@@ -1,0 +1,222 @@
+//! Hash-based exact-match lookup tables.
+//!
+//! "For the fields requiring exact matching, this lookup can be handled by
+//! a hash function" (paper §III.B). The narrow exact fields of the use
+//! cases — VLAN ID (≤ 209 unique values) and ingress port (≤ 77) — map to
+//! small hash LUTs. This implementation models the hardware directly: a
+//! power-of-two array of slots, each `valid + key + label` wide, probed by
+//! open addressing from a multiplicative hash. Memory is `capacity ×
+//! slot_width` bits regardless of occupancy, as synthesized block RAM
+//! would be.
+
+use crate::label::Label;
+use ofmem::{bits_for_index, EntryLayout, MemoryBlock, MemoryReport};
+
+/// A fixed-capacity exact-match LUT.
+#[derive(Debug, Clone)]
+pub struct HashLut {
+    key_bits: u32,
+    slots: Vec<Option<(u64, Label)>>,
+    len: usize,
+    max_probes_seen: usize,
+}
+
+impl HashLut {
+    /// Creates a LUT for `key_bits`-wide keys with capacity for at least
+    /// `expected` entries at ≤ 50 % load (power-of-two capacity).
+    #[must_use]
+    pub fn with_capacity(key_bits: u32, expected: usize) -> Self {
+        assert!(key_bits >= 1 && key_bits <= 64);
+        let capacity = (2 * expected.max(1)).next_power_of_two();
+        Self { key_bits, slots: vec![None; capacity], len: 0, max_probes_seen: 0 }
+    }
+
+    fn hash(&self, key: u64) -> usize {
+        // Fibonacci hashing folded to the table size.
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> (64 - self.slots.len().trailing_zeros())) as usize
+    }
+
+    /// Inserts or replaces a key's label. Returns the previous label, if
+    /// any.
+    ///
+    /// # Panics
+    /// Panics if the key exceeds the key width or the table is full.
+    pub fn insert(&mut self, key: u64, label: Label) -> Option<Label> {
+        assert!(self.key_bits == 64 || key >> self.key_bits == 0, "key exceeds width");
+        assert!(self.len < self.slots.len(), "LUT full");
+        let mask = self.slots.len() - 1;
+        let mut i = self.hash(key);
+        let mut probes = 1;
+        loop {
+            match self.slots[i] {
+                Some((k, old)) if k == key => {
+                    self.slots[i] = Some((key, label));
+                    return Some(old);
+                }
+                Some(_) => {
+                    i = (i + 1) & mask;
+                    probes += 1;
+                }
+                None => {
+                    self.slots[i] = Some((key, label));
+                    self.len += 1;
+                    self.max_probes_seen = self.max_probes_seen.max(probes);
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Looks a key up.
+    #[must_use]
+    pub fn lookup(&self, key: u64) -> Option<Label> {
+        let mask = self.slots.len() - 1;
+        let mut i = self.hash(key);
+        loop {
+            match self.slots[i] {
+                Some((k, label)) if k == key => return Some(label),
+                Some(_) => i = (i + 1) & mask,
+                None => return None,
+            }
+        }
+    }
+
+    /// Number of stored keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the LUT is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Slot capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Longest probe sequence an insert has needed (lookup worst case).
+    #[must_use]
+    pub fn max_probes(&self) -> usize {
+        self.max_probes_seen
+    }
+
+    /// Key width in bits.
+    #[must_use]
+    pub fn key_bits(&self) -> u32 {
+        self.key_bits
+    }
+
+    /// The slot layout: valid + key + label.
+    #[must_use]
+    pub fn slot_layout(&self, label_bits: Option<u32>) -> EntryLayout {
+        let label_bits = label_bits.unwrap_or_else(|| bits_for_index(self.len.max(1)));
+        EntryLayout::lut_entry(self.key_bits, label_bits)
+    }
+
+    /// Memory report: one block of `capacity` slots.
+    #[must_use]
+    pub fn memory_report(&self, name: &str, label_bits: Option<u32>) -> MemoryReport {
+        let mut r = MemoryReport::new();
+        r.push(MemoryBlock::with_layout(name, self.capacity(), self.slot_layout(label_bits)));
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut lut = HashLut::with_capacity(13, 100);
+        for v in 0..100u64 {
+            assert_eq!(lut.insert(v, Label(v as u32)), None);
+        }
+        for v in 0..100u64 {
+            assert_eq!(lut.lookup(v), Some(Label(v as u32)));
+        }
+        assert_eq!(lut.lookup(1000), None);
+        assert_eq!(lut.len(), 100);
+    }
+
+    #[test]
+    fn insert_replaces_existing() {
+        let mut lut = HashLut::with_capacity(16, 4);
+        assert_eq!(lut.insert(7, Label(1)), None);
+        assert_eq!(lut.insert(7, Label(2)), Some(Label(1)));
+        assert_eq!(lut.lookup(7), Some(Label(2)));
+        assert_eq!(lut.len(), 1);
+    }
+
+    #[test]
+    fn capacity_is_next_pow2_of_double() {
+        let lut = HashLut::with_capacity(13, 209); // the paper's VLAN worst case
+        assert_eq!(lut.capacity(), 512);
+        let lut = HashLut::with_capacity(13, 0);
+        assert_eq!(lut.capacity(), 2);
+    }
+
+    #[test]
+    fn agrees_with_hashmap_under_collisions() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lut = HashLut::with_capacity(16, 500);
+        let mut reference: HashMap<u64, Label> = HashMap::new();
+        for _ in 0..500 {
+            let k = rng.gen::<u64>() & 0xFFFF;
+            let l = Label(rng.gen::<u32>() & 0xFFFF);
+            lut.insert(k, l);
+            reference.insert(k, l);
+        }
+        for k in 0..=0xFFFFu64 {
+            assert_eq!(lut.lookup(k), reference.get(&k).copied(), "key {k:#x}");
+        }
+    }
+
+    #[test]
+    fn memory_is_capacity_times_slot_width() {
+        let mut lut = HashLut::with_capacity(13, 209);
+        for v in 0..209u64 {
+            lut.insert(v, Label(v as u32));
+        }
+        let report = lut.memory_report("vlan_lut", None);
+        // 512 slots x (1 + 13 + 8) bits.
+        assert_eq!(report.total_bits(), 512 * 22);
+        let fixed = lut.memory_report("vlan_lut", Some(16));
+        assert_eq!(fixed.total_bits(), 512 * 30);
+    }
+
+    #[test]
+    fn probe_tracking() {
+        let mut lut = HashLut::with_capacity(16, 100);
+        for v in 0..100u64 {
+            lut.insert(v, Label(0));
+        }
+        assert!(lut.max_probes() >= 1);
+        assert!(lut.max_probes() < 20, "excessive clustering: {}", lut.max_probes());
+    }
+
+    #[test]
+    #[should_panic(expected = "LUT full")]
+    fn overfull_panics() {
+        let mut lut = HashLut::with_capacity(16, 1);
+        lut.insert(1, Label(0));
+        lut.insert(2, Label(0));
+        lut.insert(3, Label(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "key exceeds width")]
+    fn oversized_key_panics() {
+        let mut lut = HashLut::with_capacity(13, 4);
+        lut.insert(0x2000, Label(0));
+    }
+}

@@ -1,0 +1,174 @@
+//! The label method: interning unique field values.
+//!
+//! "Labelling the unique rule fields is a key method for efficient storage
+//! and to avoid rule replication" (paper §IV.B, after DCFL [11]). A
+//! [`Dictionary`] assigns each distinct field value a dense [`Label`];
+//! repeated values share the label, so lookup structures store each value
+//! once and the update stream shrinks accordingly — the effect Fig. 5
+//! quantifies.
+
+use ofmem::bits_for_index;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+
+/// A dense label identifying one unique field value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub u32);
+
+impl Label {
+    /// The numeric label value.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// An interning dictionary: value -> label, labels dense from 0.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary<K: Eq + Hash + Clone> {
+    map: HashMap<K, Label>,
+    values: Vec<K>,
+    /// Total intern calls, including repeats (the "original method" record
+    /// count of Fig. 5).
+    interned_total: usize,
+}
+
+impl<K: Eq + Hash + Clone> Dictionary<K> {
+    /// Creates an empty dictionary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { map: HashMap::new(), values: Vec::new(), interned_total: 0 }
+    }
+
+    /// Interns a value: returns its label and whether it was new.
+    pub fn intern(&mut self, value: K) -> (Label, bool) {
+        self.interned_total += 1;
+        if let Some(&l) = self.map.get(&value) {
+            return (l, false);
+        }
+        let l = Label(self.values.len() as u32);
+        self.map.insert(value.clone(), l);
+        self.values.push(value);
+        (l, true)
+    }
+
+    /// The label of an already-interned value.
+    #[must_use]
+    pub fn get(&self, value: &K) -> Option<Label> {
+        self.map.get(value).copied()
+    }
+
+    /// The value behind a label.
+    #[must_use]
+    pub fn value_of(&self, label: Label) -> Option<&K> {
+        self.values.get(label.index())
+    }
+
+    /// Number of distinct values (= number of labels issued).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no values were interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All distinct values in label order.
+    #[must_use]
+    pub fn values(&self) -> &[K] {
+        &self.values
+    }
+
+    /// Total intern calls including repeats.
+    #[must_use]
+    pub fn interned_total(&self) -> usize {
+        self.interned_total
+    }
+
+    /// Repeats avoided by labelling — the storage/update saving the label
+    /// method buys (paper Fig. 5: 56.92 % fewer cycles on average).
+    #[must_use]
+    pub fn duplicates_avoided(&self) -> usize {
+        self.interned_total - self.values.len()
+    }
+
+    /// Bits needed to store one label of this dictionary.
+    #[must_use]
+    pub fn label_bits(&self) -> u32 {
+        bits_for_index(self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_dense_and_stable() {
+        let mut d = Dictionary::new();
+        let (a, new_a) = d.intern("alpha");
+        let (b, new_b) = d.intern("beta");
+        let (a2, new_a2) = d.intern("alpha");
+        assert_eq!(a, Label(0));
+        assert_eq!(b, Label(1));
+        assert_eq!(a2, a);
+        assert!(new_a && new_b && !new_a2);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn lookup_both_directions() {
+        let mut d = Dictionary::new();
+        let (l, _) = d.intern(42u64);
+        assert_eq!(d.get(&42), Some(l));
+        assert_eq!(d.get(&43), None);
+        assert_eq!(d.value_of(l), Some(&42));
+        assert_eq!(d.value_of(Label(9)), None);
+    }
+
+    #[test]
+    fn duplicate_accounting() {
+        let mut d = Dictionary::new();
+        for v in [1, 1, 2, 2, 2, 3] {
+            d.intern(v);
+        }
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.interned_total(), 6);
+        assert_eq!(d.duplicates_avoided(), 3);
+    }
+
+    #[test]
+    fn label_bits_track_size() {
+        let mut d = Dictionary::new();
+        for v in 0..209u32 {
+            d.intern(v);
+        }
+        // The paper's worst-case VLAN dictionary: 209 values -> 8 bits.
+        assert_eq!(d.label_bits(), 8);
+    }
+
+    #[test]
+    fn values_in_label_order() {
+        let mut d = Dictionary::new();
+        d.intern("x");
+        d.intern("y");
+        assert_eq!(d.values(), &["x", "y"]);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d: Dictionary<u8> = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.label_bits(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # ofalgo — single-field lookup algorithms
+//!
+//! The decomposition architecture (paper §IV) searches each packet header
+//! field with a dedicated one-dimensional algorithm and combines the
+//! resulting *labels*. This crate provides those algorithms:
+//!
+//! * [`label`] — the label method: dictionaries interning unique field
+//!   values so repeated rule fields are stored once (DCFL [11], §IV.B).
+//! * [`trie`] — the pipelined **multi-bit trie** (MBT) for longest-prefix
+//!   matching, with configurable stride schedules (default 5-5-6 over
+//!   16 bits, the paper's 3-level layout), per-level entry accounting and
+//!   bit-accurate memory reports.
+//! * [`em`] — the hash-based exact-match lookup table used for narrow
+//!   fields (VLAN ID, ingress port).
+//! * [`range`] — the range matcher for port fields (narrowest-range
+//!   semantics).
+//! * [`partitioned`] — wide LPM fields (48-bit Ethernet, 32-bit IPv4)
+//!   split into parallel 16-bit partition tries, the paper's field split.
+//!
+//! Every structure reports its memory as an [`ofmem::MemoryReport`] so the
+//! architecture can aggregate exact bit counts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod em;
+pub mod label;
+pub mod partitioned;
+pub mod range;
+pub mod trie;
+
+pub use em::HashLut;
+pub use label::{Dictionary, Label};
+pub use partitioned::PartitionedTrie;
+pub use range::RangeMatcher;
+pub use trie::{MatchChain, Mbt, StrideSchedule};

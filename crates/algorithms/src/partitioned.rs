@@ -1,0 +1,375 @@
+//! Wide LPM fields as parallel 16-bit partition tries.
+//!
+//! "The Ethernet address field is 48 bits and requires three 16-bit MBT
+//! structures... The IPv4 address field is split into two 16-bit partitions
+//! and sent to two 3-level trie structures (Higher trie and Lower trie).
+//! Every trie structure works in parallel to find the corresponding label."
+//! (paper §V.A)
+//!
+//! A full-width prefix decomposes per partition: partitions fully inside
+//! the prefix get an exact 16-bit entry, the partition containing the
+//! prefix end gets a shorter entry, and partitions beyond it are wildcards
+//! (a len-0 entry shared by all wildcard uses). Each partition trie has its
+//! own label dictionary; the architecture combines the per-partition labels
+//! into a rule index.
+
+use crate::label::{Dictionary, Label};
+use crate::trie::{Mbt, MatchChain, StrideSchedule, TrieSizing, UpdateCount};
+use ofmem::{MemoryBlock, MemoryReport};
+use std::collections::HashMap;
+
+/// A wide field split into parallel partition tries.
+#[derive(Debug, Clone)]
+pub struct PartitionedTrie {
+    field_bits: u32,
+    partition_bits: u32,
+    tries: Vec<Mbt>,
+    dicts: Vec<Dictionary<(u64, u32)>>,
+    /// Per partition: label -> label of the longest proper ancestor prefix.
+    /// Computed by [`PartitionedTrie::finalize`]; invalidated by inserts.
+    parent_cache: Option<Vec<HashMap<Label, Label>>>,
+}
+
+/// The per-partition entries a full-width prefix decomposes into.
+///
+/// Index `i` holds `(value, len)` for partition `i` (0 = most significant);
+/// a wildcard partition is `(0, 0)`.
+#[must_use]
+pub fn decompose(value: u128, len: u32, field_bits: u32, partition_bits: u32) -> Vec<(u64, u32)> {
+    assert!(field_bits % partition_bits == 0, "partitions must tile the field");
+    let n = (field_bits / partition_bits) as usize;
+    (0..n)
+        .map(|i| {
+            let start = partition_bits * i as u32; // bits consumed before
+            let shift = field_bits - start - partition_bits;
+            let part = ((value >> shift) as u64) & ((1 << partition_bits) - 1);
+            let plen = len.saturating_sub(start).min(partition_bits);
+            // Mask below the partition prefix length.
+            let masked = if plen == 0 {
+                0
+            } else {
+                part >> (partition_bits - plen) << (partition_bits - plen)
+            };
+            (masked, plen)
+        })
+        .collect()
+}
+
+impl PartitionedTrie {
+    /// Creates partition tries for a `field_bits`-wide field, 16-bit
+    /// partitions, classic 5-5-6 schedules.
+    #[must_use]
+    pub fn new(field_bits: u32) -> Self {
+        Self::with_schedule(field_bits, 16, StrideSchedule::classic_16())
+    }
+
+    /// Creates partition tries with explicit partition width and schedule.
+    #[must_use]
+    pub fn with_schedule(field_bits: u32, partition_bits: u32, schedule: StrideSchedule) -> Self {
+        assert!(field_bits % partition_bits == 0, "partitions must tile the field");
+        assert_eq!(schedule.total_bits(), partition_bits, "schedule must cover a partition");
+        let n = (field_bits / partition_bits) as usize;
+        Self {
+            field_bits,
+            partition_bits,
+            tries: (0..n).map(|_| Mbt::new(schedule.clone())).collect(),
+            dicts: (0..n).map(|_| Dictionary::new()).collect(),
+            parent_cache: None,
+        }
+    }
+
+    /// Number of partitions.
+    #[must_use]
+    pub fn partitions(&self) -> usize {
+        self.tries.len()
+    }
+
+    /// The partition tries (0 = higher).
+    #[must_use]
+    pub fn tries(&self) -> &[Mbt] {
+        &self.tries
+    }
+
+    /// The per-partition dictionaries.
+    #[must_use]
+    pub fn dictionaries(&self) -> &[Dictionary<(u64, u32)>] {
+        &self.dicts
+    }
+
+    /// Inserts a full-width prefix; returns the per-partition labels and
+    /// the update records written (only *new* partition values touch
+    /// memory — the label method's saving).
+    pub fn insert(&mut self, value: u128, len: u32) -> (Vec<Label>, UpdateCount) {
+        assert!(len <= self.field_bits);
+        let parts = decompose(value, len, self.field_bits, self.partition_bits);
+        let mut labels = Vec::with_capacity(parts.len());
+        let mut count = UpdateCount::default();
+        for (i, (pv, pl)) in parts.into_iter().enumerate() {
+            let (label, is_new) = self.dicts[i].intern((pv, pl));
+            if is_new {
+                // Only new values change the structure (and thus the
+                // ancestor tables); duplicate inserts leave the cache
+                // valid.
+                self.parent_cache = None;
+                count.absorb(self.tries[i].insert(pv, pl, label));
+            }
+            labels.push(label);
+        }
+        (labels, count)
+    }
+
+    /// The labels a full-width prefix maps to, if all its partition values
+    /// are interned.
+    #[must_use]
+    pub fn labels_of(&self, value: u128, len: u32) -> Option<Vec<Label>> {
+        decompose(value, len, self.field_bits, self.partition_bits)
+            .into_iter()
+            .enumerate()
+            .map(|(i, key)| self.dicts[i].get(&key))
+            .collect()
+    }
+
+    /// Parallel search: the match chain of each partition trie for a
+    /// full-width key.
+    #[must_use]
+    pub fn search(&self, key: u128) -> Vec<MatchChain> {
+        (0..self.tries.len())
+            .map(|i| {
+                let shift = self.field_bits - self.partition_bits * (i as u32 + 1);
+                let part = ((key >> shift) as u64) & ((1 << self.partition_bits) - 1);
+                self.tries[i].chain(part)
+            })
+            .collect()
+    }
+
+    /// Computes the per-partition ancestor tables: for every stored
+    /// partition prefix, the label of its longest *proper* ancestor among
+    /// the stored prefixes. With these tables, the single LPM result of a
+    /// search expands into the full set of matching stored prefixes (the
+    /// stored prefixes containing a key always form a containment chain),
+    /// which is what the index combination step needs for correctness.
+    ///
+    /// In hardware this is one small RAM per partition, indexed by label —
+    /// its cost is included in [`PartitionedTrie::memory_report`].
+    pub fn finalize(&mut self) {
+        let pb = self.partition_bits;
+        let tables = self
+            .dicts
+            .iter()
+            .map(|dict| {
+                let mut map = HashMap::new();
+                for &(v, l) in dict.values() {
+                    let me = dict.get(&(v, l)).expect("value is interned");
+                    for al in (0..l).rev() {
+                        let av = if al == 0 { 0 } else { v >> (pb - al) << (pb - al) };
+                        if let Some(p) = dict.get(&(av, al)) {
+                            map.insert(me, p);
+                            break;
+                        }
+                    }
+                }
+                map
+            })
+            .collect();
+        self.parent_cache = Some(tables);
+    }
+
+    /// Whether [`PartitionedTrie::finalize`] has run since the last insert.
+    #[must_use]
+    pub fn is_finalized(&self) -> bool {
+        self.parent_cache.is_some()
+    }
+
+    /// Parallel search returning, per partition, the **complete** chain of
+    /// matching stored prefixes (LPM result plus ancestor closure),
+    /// longest first.
+    ///
+    /// # Panics
+    /// Panics unless [`PartitionedTrie::finalize`] has run.
+    #[must_use]
+    pub fn effective_chains(&self, key: u128) -> Vec<MatchChain> {
+        let parents =
+            self.parent_cache.as_ref().expect("call finalize() before effective_chains()");
+        (0..self.tries.len())
+            .map(|i| {
+                let shift = self.field_bits - self.partition_bits * (i as u32 + 1);
+                let part = ((key >> shift) as u64) & ((1 << self.partition_bits) - 1);
+                let mut matches = Vec::new();
+                if let Some((label, len)) = self.tries[i].lookup(part) {
+                    matches.push((label, len));
+                    let mut cur = label;
+                    while let Some(&p) = parents[i].get(&cur) {
+                        let &(_, plen) =
+                            self.dicts[i].value_of(p).expect("parent is interned");
+                        matches.push((p, plen));
+                        cur = p;
+                    }
+                }
+                MatchChain { matches }
+            })
+            .collect()
+    }
+
+    /// Per partition: labels of stored entries that *shadow* the given
+    /// prefix's partition entry — same terminal level, strictly longer,
+    /// nested inside it. A search whose key falls under a shadowing entry
+    /// reports the shadow's label instead of this prefix's (expansion
+    /// keeps the longest per entry), so index builders must register
+    /// completion combinations for them.
+    #[must_use]
+    pub fn shadow_labels(&self, value: u128, len: u32) -> Vec<Vec<Label>> {
+        let parts = decompose(value, len, self.field_bits, self.partition_bits);
+        parts
+            .iter()
+            .enumerate()
+            .map(|(i, &(pv, pl))| {
+                let dict = &self.dicts[i];
+                let schedule_level = self.tries[i].schedule().terminal_level(pl);
+                dict.values()
+                    .iter()
+                    .filter(|&&(qv, ql)| {
+                        ql > pl
+                            && self.tries[i].schedule().terminal_level(ql) == schedule_level
+                            && (pl == 0
+                                || qv >> (self.partition_bits - pl)
+                                    == pv >> (self.partition_bits - pl))
+                    })
+                    .map(|key| dict.get(key).expect("stored value has a label"))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Total stored nodes across partitions (the Fig. 2 metric).
+    #[must_use]
+    pub fn stored_nodes(&self) -> usize {
+        self.tries.iter().map(Mbt::stored_nodes).sum()
+    }
+
+    /// Memory report with partition tries named `p0 (higher)` .. `pN`,
+    /// pointer widths shared at the group worst case (paper §V.A).
+    #[must_use]
+    pub fn memory_report(&self) -> MemoryReport {
+        let refs: Vec<&Mbt> = self.tries.iter().collect();
+        let group_ptrs = Mbt::group_ptr_bits(&refs);
+        let mut report = MemoryReport::new();
+        for (i, t) in self.tries.iter().enumerate() {
+            let sizing = TrieSizing {
+                label_bits: Some(self.dicts[i].label_bits()),
+                ptr_bits: Some(group_ptrs.clone()),
+            };
+            let name = match (i, self.tries.len()) {
+                (0, _) => "higher".to_owned(),
+                (i, n) if i + 1 == n => "lower".to_owned(),
+                _ => "middle".to_owned(),
+            };
+            report.merge_under(&name, t.memory_report(&sizing));
+            // The ancestor table finalize() builds: one parent label per
+            // stored unique value.
+            report.push(MemoryBlock::new(
+                format!("{name}/parents"),
+                self.dicts[i].len(),
+                self.dicts[i].label_bits(),
+            ));
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decompose_exact_48_bit() {
+        let parts = decompose(0xAABB_CCDD_EEFF, 48, 48, 16);
+        assert_eq!(parts, vec![(0xAABB, 16), (0xCCDD, 16), (0xEEFF, 16)]);
+    }
+
+    #[test]
+    fn decompose_short_prefix() {
+        // 10.0.0.0/8 over 32 bits: higher partition /8, lower wildcard.
+        let parts = decompose(0x0A00_0000, 8, 32, 16);
+        assert_eq!(parts, vec![(0x0A00, 8), (0, 0)]);
+    }
+
+    #[test]
+    fn decompose_straddling_prefix() {
+        // /24: higher exact, lower /8.
+        let parts = decompose(0x0A01_0200, 24, 32, 16);
+        assert_eq!(parts, vec![(0x0A01, 16), (0x0200, 8)]);
+    }
+
+    #[test]
+    fn decompose_default_route() {
+        assert_eq!(decompose(0, 0, 32, 16), vec![(0, 0), (0, 0)]);
+    }
+
+    #[test]
+    fn insert_dedups_partition_values() {
+        let mut pt = PartitionedTrie::new(32);
+        let (l1, c1) = pt.insert(0x0A01_0200, 24);
+        let (l2, c2) = pt.insert(0x0A01_0300, 24); // same higher partition
+        assert_eq!(l1[0], l2[0]);
+        assert_ne!(l1[1], l2[1]);
+        assert!(c1.records() > 0);
+        // Second insert only touched the lower trie.
+        assert!(c2.records() < c1.records());
+        assert_eq!(pt.dictionaries()[0].len(), 1);
+        assert_eq!(pt.dictionaries()[1].len(), 2);
+    }
+
+    #[test]
+    fn repeated_insert_writes_nothing() {
+        let mut pt = PartitionedTrie::new(48);
+        pt.insert(0xAABB_CCDD_EEFF, 48);
+        let (_, c) = pt.insert(0xAABB_CCDD_EEFF, 48);
+        assert_eq!(c.records(), 0);
+    }
+
+    #[test]
+    fn search_returns_partition_chains() {
+        let mut pt = PartitionedTrie::new(32);
+        pt.insert(0x0A01_0200, 24);
+        pt.insert(0x0A00_0000, 8);
+        let chains = pt.search(0x0A01_02FF);
+        assert_eq!(chains.len(), 2);
+        // Higher chain: exact 0x0A01 (16) then 0x0A00/8 below it.
+        assert_eq!(chains[0].matches.len(), 2);
+        assert_eq!(chains[0].best().unwrap().1, 16);
+        // Lower chain: 0x0200/8 and the wildcard from the /8 rule.
+        assert_eq!(chains[1].best().unwrap().1, 8);
+        assert!(chains[1].matches.iter().any(|&(_, l)| l == 0));
+    }
+
+    #[test]
+    fn labels_of_known_and_unknown() {
+        let mut pt = PartitionedTrie::new(32);
+        let (labels, _) = pt.insert(0x0A01_0200, 24);
+        assert_eq!(pt.labels_of(0x0A01_0200, 24), Some(labels));
+        assert_eq!(pt.labels_of(0x0B00_0000, 8), None);
+    }
+
+    #[test]
+    fn stored_nodes_sum_partitions() {
+        let mut pt = PartitionedTrie::new(48);
+        pt.insert(0xAABB_CCDD_EEFF, 48);
+        // Each of 3 tries: 32 (L1) + 32 (L2) + 64 (L3).
+        assert_eq!(pt.stored_nodes(), 3 * 128);
+    }
+
+    #[test]
+    fn memory_report_names_partitions() {
+        let mut pt = PartitionedTrie::new(48);
+        pt.insert(0xAABB_CCDD_EEFF, 48);
+        let r = pt.memory_report();
+        assert_eq!(r.groups(), vec!["higher", "middle", "lower"]);
+        assert!(r.bits_under("lower/L3") > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile the field")]
+    fn non_tiling_partition_panics() {
+        let _ = PartitionedTrie::with_schedule(40, 16, StrideSchedule::classic_16());
+    }
+}

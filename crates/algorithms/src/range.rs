@@ -1,0 +1,229 @@
+//! Range matching for port fields.
+//!
+//! "For the RM approach, the narrowest range is selected from all the
+//! ranges of the filter that match against the packet header field" (paper
+//! §III.A). The matcher projects the stored ranges onto elementary
+//! segments; each segment stores the label of the narrowest covering range.
+//! Lookup is a binary search over segment boundaries — one pipelined
+//! memory access per comparison stage in hardware.
+
+use crate::label::Label;
+use ofmem::{bits_for_index, EntryLayout, MemoryBlock, MemoryReport};
+
+/// A stored range with its label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StoredRange {
+    lo: u64,
+    hi: u64,
+    label: Label,
+}
+
+/// A range matcher over `key_bits`-wide values.
+#[derive(Debug, Clone)]
+pub struct RangeMatcher {
+    key_bits: u32,
+    ranges: Vec<StoredRange>,
+    /// Elementary segments: `(start, narrowest covering label)`, sorted.
+    segments: Vec<(u64, Option<Label>)>,
+}
+
+impl RangeMatcher {
+    /// Builds a matcher from `(lo, hi, label)` triples (inclusive bounds).
+    ///
+    /// # Panics
+    /// Panics on empty ranges or bounds exceeding the key width.
+    #[must_use]
+    pub fn new(key_bits: u32, ranges: impl IntoIterator<Item = (u64, u64, Label)>) -> Self {
+        assert!(key_bits >= 1 && key_bits <= 64);
+        let max = if key_bits == 64 { u64::MAX } else { (1 << key_bits) - 1 };
+        let ranges: Vec<StoredRange> = ranges
+            .into_iter()
+            .map(|(lo, hi, label)| {
+                assert!(lo <= hi, "empty range [{lo}, {hi}]");
+                assert!(hi <= max, "range bound {hi} exceeds {key_bits}-bit key");
+                StoredRange { lo, hi, label }
+            })
+            .collect();
+        let mut m = Self { key_bits, ranges, segments: Vec::new() };
+        m.rebuild_segments();
+        m
+    }
+
+    fn rebuild_segments(&mut self) {
+        // Boundary points: every lo and every hi+1.
+        let mut bounds: Vec<u64> = vec![0];
+        for r in &self.ranges {
+            bounds.push(r.lo);
+            if r.hi < u64::MAX {
+                bounds.push(r.hi + 1);
+            }
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+        self.segments = bounds
+            .into_iter()
+            .map(|start| {
+                let label = self
+                    .ranges
+                    .iter()
+                    .filter(|r| r.lo <= start && start <= r.hi)
+                    .min_by_key(|r| r.hi - r.lo)
+                    .map(|r| r.label);
+                (start, label)
+            })
+            .collect();
+        // Merge adjacent segments with identical labels.
+        self.segments.dedup_by(|next, prev| next.1 == prev.1);
+    }
+
+    /// The narrowest range covering `key`, if any.
+    #[must_use]
+    pub fn lookup(&self, key: u64) -> Option<Label> {
+        let idx = self.segments.partition_point(|&(start, _)| start <= key);
+        if idx == 0 {
+            None
+        } else {
+            self.segments[idx - 1].1
+        }
+    }
+
+    /// Number of stored ranges.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Whether no ranges are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of elementary segments.
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Memory report: segment table entries of `boundary + flag + label`.
+    #[must_use]
+    pub fn memory_report(&self, name: &str, label_bits: Option<u32>) -> MemoryReport {
+        let label_bits = label_bits.unwrap_or_else(|| bits_for_index(self.ranges.len().max(1)));
+        let layout = EntryLayout::new()
+            .with_field("boundary", self.key_bits)
+            .with_field("flag", 1)
+            .with_field("label", label_bits);
+        let mut r = MemoryReport::new();
+        r.push(MemoryBlock::with_layout(name, self.segments.len(), layout));
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_inside_and_outside() {
+        let m = RangeMatcher::new(16, [(100, 200, Label(1))]);
+        assert_eq!(m.lookup(100), Some(Label(1)));
+        assert_eq!(m.lookup(150), Some(Label(1)));
+        assert_eq!(m.lookup(200), Some(Label(1)));
+        assert_eq!(m.lookup(99), None);
+        assert_eq!(m.lookup(201), None);
+    }
+
+    #[test]
+    fn narrowest_range_wins() {
+        let m = RangeMatcher::new(
+            16,
+            [(0, 65_535, Label(0)), (1024, 2047, Label(1)), (1500, 1600, Label(2))],
+        );
+        assert_eq!(m.lookup(1550), Some(Label(2)));
+        assert_eq!(m.lookup(1100), Some(Label(1)));
+        assert_eq!(m.lookup(5000), Some(Label(0)));
+    }
+
+    #[test]
+    fn singleton_range() {
+        let m = RangeMatcher::new(16, [(80, 80, Label(9)), (0, 65_535, Label(0))]);
+        assert_eq!(m.lookup(80), Some(Label(9)));
+        assert_eq!(m.lookup(81), Some(Label(0)));
+    }
+
+    #[test]
+    fn empty_matcher_matches_nothing() {
+        let m = RangeMatcher::new(16, []);
+        assert_eq!(m.lookup(0), None);
+        assert!(m.is_empty());
+        assert_eq!(m.segments(), 1);
+    }
+
+    #[test]
+    fn agrees_with_linear_scan() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        let ranges: Vec<(u64, u64, Label)> = (0..50)
+            .map(|i| {
+                let lo = rng.gen::<u64>() & 0xFFFF;
+                let hi = (lo + (rng.gen::<u64>() & 0x0FFF)).min(0xFFFF);
+                (lo, hi, Label(i))
+            })
+            .collect();
+        let m = RangeMatcher::new(16, ranges.clone());
+        for _ in 0..2000 {
+            let key = rng.gen::<u64>() & 0xFFFF;
+            let want = ranges
+                .iter()
+                .filter(|&&(lo, hi, _)| lo <= key && key <= hi)
+                .min_by_key(|&&(lo, hi, _)| hi - lo)
+                .map(|&(_, _, l)| l);
+            // Ties on width can pick either; compare widths instead.
+            let got = m.lookup(key);
+            match (got, want) {
+                (None, None) => {}
+                (Some(g), Some(_)) => {
+                    let gw = ranges.iter().find(|r| r.2 == g).map(|r| r.1 - r.0).unwrap();
+                    let ww = ranges
+                        .iter()
+                        .filter(|&&(lo, hi, _)| lo <= key && key <= hi)
+                        .map(|&(lo, hi, _)| hi - lo)
+                        .min()
+                        .unwrap();
+                    assert_eq!(gw, ww, "key {key}");
+                }
+                other => panic!("mismatch at {key}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn segment_count_bounded_by_2n_plus_1() {
+        let ranges: Vec<(u64, u64, Label)> =
+            (0..20).map(|i| (i * 100, i * 100 + 50, Label(i as u32))).collect();
+        let m = RangeMatcher::new(16, ranges);
+        assert!(m.segments() <= 2 * 20 + 1);
+        assert_eq!(m.len(), 20);
+    }
+
+    #[test]
+    fn memory_report_counts_segments() {
+        let m = RangeMatcher::new(16, [(0, 10, Label(0)), (20, 30, Label(1))]);
+        let r = m.memory_report("ports", Some(8));
+        // boundary(16) + flag(1) + label(8) = 25 bits per segment.
+        assert_eq!(r.total_bits(), m.segments() as u64 * 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn inverted_range_panics() {
+        let _ = RangeMatcher::new(16, [(10, 5, Label(0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_bound_panics() {
+        let _ = RangeMatcher::new(8, [(0, 300, Label(0))]);
+    }
+}

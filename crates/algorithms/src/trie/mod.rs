@@ -1,0 +1,129 @@
+//! The pipelined multi-bit trie (MBT).
+//!
+//! "MBT searches several bits at one tree level simultaneously" (paper
+//! §IV.B). This implementation models the hardware structure directly:
+//!
+//! * a [`StrideSchedule`] fixes how many key bits each level consumes —
+//!   the paper's 16-bit fields use three levels ([`StrideSchedule::classic_16`],
+//!   5-5-6, pinned by the Fig. 3 anchor of "maximum 32 stored nodes in L1");
+//! * each level is a separate memory block of *node entries* (the unit the
+//!   paper counts as "stored nodes"); a block of `2^stride` entries is
+//!   allocated whenever a parent entry needs children;
+//! * an entry stores a flag, a label and a child pointer — the exact node
+//!   data of §V.A — and prefixes shorter than a level boundary are
+//!   installed by controlled prefix expansion.
+//!
+//! Searching walks one level per pipeline stage and collects every label on
+//! the path, longest prefix first, so the architecture can combine nested
+//! matches correctly (see `mtl-core`).
+
+mod build;
+mod schedule;
+mod search;
+mod stats;
+
+pub use build::UpdateCount;
+pub use schedule::StrideSchedule;
+pub use search::{MatchChain, PathTrace};
+pub use stats::{LevelStats, TrieSizing};
+
+use crate::label::Label;
+use std::collections::BTreeMap;
+
+/// One stored node entry: flag (label valid), label + source prefix length,
+/// child pointer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct Entry {
+    /// The label and the length of the prefix that installed it (expansion
+    /// keeps the longest).
+    pub label: Option<(Label, u32)>,
+    /// Index of the child block in the next level.
+    pub child: Option<u32>,
+}
+
+/// A block of `2^stride` entries, the trie's allocation unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Block {
+    pub entries: Vec<Entry>,
+}
+
+impl Block {
+    fn new(stride: u32) -> Self {
+        Self { entries: vec![Entry::default(); 1 << stride] }
+    }
+}
+
+/// One pipeline level: a stride and its blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Level {
+    pub stride: u32,
+    pub blocks: Vec<Block>,
+}
+
+/// A multi-bit trie over fixed-width keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mbt {
+    pub(crate) schedule: StrideSchedule,
+    pub(crate) levels: Vec<Level>,
+    /// Source of truth for rebuilds and removals: `(value, len) -> label`.
+    pub(crate) prefixes: BTreeMap<(u64, u32), Label>,
+}
+
+impl Mbt {
+    /// Creates an empty trie with the given stride schedule. The root block
+    /// of level 0 is always allocated (hardware reserves it).
+    #[must_use]
+    pub fn new(schedule: StrideSchedule) -> Self {
+        let levels: Vec<Level> = schedule
+            .strides()
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| Level {
+                stride: s,
+                blocks: if i == 0 { vec![Block::new(s)] } else { Vec::new() },
+            })
+            .collect();
+        Self { schedule, levels, prefixes: BTreeMap::new() }
+    }
+
+    /// A 16-bit trie with the paper's 3-level 5-5-6 schedule.
+    #[must_use]
+    pub fn classic_16() -> Self {
+        Self::new(StrideSchedule::classic_16())
+    }
+
+    /// The stride schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &StrideSchedule {
+        &self.schedule
+    }
+
+    /// Key width in bits.
+    #[must_use]
+    pub fn key_bits(&self) -> u32 {
+        self.schedule.total_bits()
+    }
+
+    /// Number of pipeline levels.
+    #[must_use]
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of stored prefixes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Whether the trie stores no prefixes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prefixes.is_empty()
+    }
+
+    /// The stored prefixes, sorted.
+    pub fn prefixes(&self) -> impl Iterator<Item = (u64, u32, Label)> + '_ {
+        self.prefixes.iter().map(|(&(v, l), &label)| (v, l, label))
+    }
+}

@@ -1,0 +1,162 @@
+//! Stride schedules.
+
+use std::fmt;
+
+/// How a trie divides its key bits across pipeline levels.
+///
+/// The paper's study [22] fixes 3 levels for 16-bit fields as "optimal for
+/// a tradeoff between fast lookup and efficient memory space", and the
+/// Fig. 3 anchor ("the maximum stored nodes in L1 are 32 and the memory
+/// consumption is less than 1 Kbit (832 bits)") pins the first stride to 5
+/// bits; [`StrideSchedule::classic_16`] is therefore 5-5-6.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StrideSchedule {
+    strides: Vec<u32>,
+}
+
+impl StrideSchedule {
+    /// Creates a schedule from per-level strides.
+    ///
+    /// # Panics
+    /// Panics if the schedule is empty, any stride is 0, or a stride
+    /// exceeds 16 (blocks must stay implementable as single memory reads).
+    #[must_use]
+    pub fn new(strides: Vec<u32>) -> Self {
+        assert!(!strides.is_empty(), "schedule needs at least one level");
+        assert!(
+            strides.iter().all(|&s| (1..=16).contains(&s)),
+            "strides must be 1..=16 bits"
+        );
+        Self { strides }
+    }
+
+    /// The paper's 3-level schedule for 16-bit fields: 5-5-6.
+    #[must_use]
+    pub fn classic_16() -> Self {
+        Self::new(vec![5, 5, 6])
+    }
+
+    /// A uniform schedule: `levels` levels of `stride` bits each.
+    #[must_use]
+    pub fn uniform(stride: u32, levels: usize) -> Self {
+        Self::new(vec![stride; levels])
+    }
+
+    /// Per-level strides.
+    #[must_use]
+    pub fn strides(&self) -> &[u32] {
+        &self.strides
+    }
+
+    /// Total key width covered.
+    #[must_use]
+    pub fn total_bits(&self) -> u32 {
+        self.strides.iter().sum()
+    }
+
+    /// Number of levels.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.strides.len()
+    }
+
+    /// Key bits consumed before level `level`.
+    #[must_use]
+    pub fn depth_before(&self, level: usize) -> u32 {
+        self.strides[..level].iter().sum()
+    }
+
+    /// The level in which a prefix of `len` bits terminates (level 0 for
+    /// wildcards; expansion installs the prefix's labels there).
+    #[must_use]
+    pub fn terminal_level(&self, len: u32) -> usize {
+        let mut depth = 0;
+        for (i, &s) in self.strides.iter().enumerate() {
+            depth += s;
+            if len <= depth {
+                return i;
+            }
+        }
+        self.strides.len() - 1
+    }
+
+    /// Extracts the index bits for `level` from a key (keys are aligned to
+    /// the schedule's total width, most significant bits first).
+    #[must_use]
+    pub fn index_of(&self, key: u64, level: usize) -> usize {
+        let stride = self.strides[level];
+        let consumed = self.depth_before(level) + stride;
+        let shift = self.total_bits() - consumed;
+        ((key >> shift) as usize) & ((1 << stride) - 1)
+    }
+}
+
+impl fmt::Display for StrideSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s: Vec<String> = self.strides.iter().map(u32::to_string).collect();
+        write!(f, "{}", s.join("-"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_16_is_5_5_6() {
+        let s = StrideSchedule::classic_16();
+        assert_eq!(s.strides(), &[5, 5, 6]);
+        assert_eq!(s.total_bits(), 16);
+        assert_eq!(s.levels(), 3);
+        assert_eq!(s.to_string(), "5-5-6");
+    }
+
+    #[test]
+    fn depth_before_accumulates() {
+        let s = StrideSchedule::classic_16();
+        assert_eq!(s.depth_before(0), 0);
+        assert_eq!(s.depth_before(1), 5);
+        assert_eq!(s.depth_before(2), 10);
+    }
+
+    #[test]
+    fn index_extraction_msb_first() {
+        let s = StrideSchedule::classic_16();
+        // Key 0b10110_01010_001101 (16 bits).
+        let key = 0b1011_0010_1000_1101u64;
+        assert_eq!(s.index_of(key, 0), 0b10110);
+        assert_eq!(s.index_of(key, 1), 0b01010);
+        assert_eq!(s.index_of(key, 2), 0b001101);
+    }
+
+    #[test]
+    fn terminal_levels_classic() {
+        let s = StrideSchedule::classic_16();
+        assert_eq!(s.terminal_level(0), 0);
+        assert_eq!(s.terminal_level(5), 0);
+        assert_eq!(s.terminal_level(6), 1);
+        assert_eq!(s.terminal_level(10), 1);
+        assert_eq!(s.terminal_level(11), 2);
+        assert_eq!(s.terminal_level(16), 2);
+    }
+
+    #[test]
+    fn uniform_schedule() {
+        let s = StrideSchedule::uniform(8, 4);
+        assert_eq!(s.total_bits(), 32);
+        assert_eq!(s.index_of(0xAABB_CCDD, 0), 0xAA);
+        assert_eq!(s.index_of(0xAABB_CCDD, 3), 0xDD);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_schedule_panics() {
+        let _ = StrideSchedule::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=16")]
+    fn oversized_stride_panics() {
+        let _ = StrideSchedule::new(vec![5, 20]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Trie search: pipelined longest-prefix lookup with full match chains.
+//!
+//! Each level is one pipeline stage: index into the level's block, read one
+//! entry, remember its label, follow the child pointer. Because an entry
+//! keeps the *longest* prefix that covers it at its level, the labels
+//! collected along the path — ordered longest first — are the match chain
+//! the decomposition architecture combines across fields (`mtl-core`
+//! probes label combinations in decreasing total prefix length).
+
+use super::Mbt;
+use crate::label::Label;
+
+/// All matches found on a key's root-to-leaf path, longest prefix first.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchChain {
+    /// `(label, prefix_len)` pairs, strictly decreasing in length.
+    pub matches: Vec<(Label, u32)>,
+}
+
+impl MatchChain {
+    /// The longest match (classic LPM result).
+    #[must_use]
+    pub fn best(&self) -> Option<(Label, u32)> {
+        self.matches.first().copied()
+    }
+
+    /// Whether nothing matched.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+
+    /// Number of matches on the path.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+}
+
+/// The entries a lookup touched, one per pipeline stage: `(level, block,
+/// entry)`. Used by pipeline-depth statistics and debugging.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PathTrace {
+    /// Visited coordinates.
+    pub visits: Vec<(usize, u32, usize)>,
+}
+
+impl Mbt {
+    /// Longest-prefix lookup: the best label for `key`, if any.
+    #[must_use]
+    pub fn lookup(&self, key: u64) -> Option<(Label, u32)> {
+        self.chain(key).best()
+    }
+
+    /// Full-chain lookup: every prefix on the key's path, longest first.
+    #[must_use]
+    pub fn chain(&self, key: u64) -> MatchChain {
+        self.chain_traced(key).0
+    }
+
+    /// Chain lookup that also reports the visited entries.
+    #[must_use]
+    pub fn chain_traced(&self, key: u64) -> (MatchChain, PathTrace) {
+        debug_assert!(
+            self.key_bits() == 64 || key >> self.key_bits() == 0,
+            "key exceeds trie width"
+        );
+        let mut matches: Vec<(Label, u32)> = Vec::new();
+        let mut trace = PathTrace::default();
+        let mut block_idx = 0u32;
+        for level_idx in 0..self.levels.len() {
+            let idx = self.schedule.index_of(key, level_idx);
+            let entry = self.levels[level_idx].blocks[block_idx as usize].entries[idx];
+            trace.visits.push((level_idx, block_idx, idx));
+            if let Some((label, len)) = entry.label {
+                matches.push((label, len));
+            }
+            match entry.child {
+                Some(c) => block_idx = c,
+                None => break,
+            }
+        }
+        // Path order is shortest-first (levels descend); reverse.
+        matches.reverse();
+        (MatchChain { matches }, trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trie::StrideSchedule;
+
+    /// Reference LPM: scan all prefixes.
+    fn reference_lpm(prefixes: &[(u64, u32, Label)], key: u64, width: u32) -> Option<(Label, u32)> {
+        prefixes
+            .iter()
+            .filter(|&&(v, l, _)| {
+                if l == 0 {
+                    true
+                } else {
+                    (key >> (width - l)) == (v >> (width - l))
+                }
+            })
+            .max_by_key(|&&(_, l, _)| l)
+            .map(|&(_, l, lab)| (lab, l))
+    }
+
+    #[test]
+    fn lookup_exact_key() {
+        let mut t = Mbt::classic_16();
+        t.insert(0xABCD, 16, Label(5));
+        assert_eq!(t.lookup(0xABCD), Some((Label(5), 16)));
+        assert_eq!(t.lookup(0xABCE), None);
+    }
+
+    #[test]
+    fn lookup_prefers_longest() {
+        let mut t = Mbt::classic_16();
+        t.insert(0, 0, Label(0));
+        t.insert(0xA000, 4, Label(1));
+        t.insert(0xAB00, 8, Label(2));
+        t.insert(0xABC0, 12, Label(3));
+        assert_eq!(t.lookup(0xABCD).unwrap().0, Label(3));
+        assert_eq!(t.lookup(0xABFF).unwrap().0, Label(2));
+        assert_eq!(t.lookup(0xAFFF).unwrap().0, Label(1));
+        assert_eq!(t.lookup(0xFFFF).unwrap().0, Label(0));
+    }
+
+    #[test]
+    fn chain_collects_path_longest_first() {
+        let mut t = Mbt::classic_16();
+        t.insert(0, 0, Label(0));
+        t.insert(0xAB00, 8, Label(2));
+        t.insert(0xABCD, 16, Label(3));
+        let chain = t.chain(0xABCD);
+        assert_eq!(
+            chain.matches,
+            vec![(Label(3), 16), (Label(2), 8), (Label(0), 0)]
+        );
+        assert_eq!(chain.best(), Some((Label(3), 16)));
+    }
+
+    #[test]
+    fn chain_empty_without_match() {
+        let t = Mbt::classic_16();
+        assert!(t.chain(0x1234).is_empty());
+        assert_eq!(t.lookup(0x1234), None);
+    }
+
+    #[test]
+    fn trace_records_one_visit_per_level() {
+        let mut t = Mbt::classic_16();
+        t.insert(0xABCD, 16, Label(1));
+        let (_, trace) = t.chain_traced(0xABCD);
+        assert_eq!(trace.visits.len(), 3);
+        assert_eq!(trace.visits[0].0, 0);
+        assert_eq!(trace.visits[2].0, 2);
+        // A key that diverges at L1 stops there.
+        let (_, trace) = t.chain_traced(0x0000);
+        assert_eq!(trace.visits.len(), 1);
+    }
+
+    #[test]
+    fn agrees_with_reference_on_random_sets() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            let mut prefixes = Vec::new();
+            let mut t = Mbt::classic_16();
+            let mut items: Vec<(u64, u32, Label)> = (0..100)
+                .map(|i| {
+                    let len = rng.gen_range(0..=16u32);
+                    let v = (rng.gen::<u64>() & 0xFFFF) >> (16 - len) << (16 - len);
+                    (v, len, Label(i))
+                })
+                .collect();
+            // Deduplicate (value, len) keeping the last, as insert would.
+            items.sort_by_key(|&(v, l, _)| (v, l));
+            items.dedup_by_key(|&mut (v, l, _)| (v, l));
+            // Insert shortest-first so expansion is consistent.
+            items.sort_by_key(|&(_, l, _)| l);
+            for &(v, l, lab) in &items {
+                t.insert(v, l, lab);
+                prefixes.push((v, l, lab));
+            }
+            for _ in 0..500 {
+                let key = rng.gen::<u64>() & 0xFFFF;
+                let got = t.lookup(key);
+                let want = reference_lpm(&prefixes, key, 16);
+                assert_eq!(got.map(|g| g.1), want.map(|w| w.1), "key {key:#x}");
+                // Same length but possibly different label only if two
+                // prefixes share (value, len) — excluded by dedup.
+                assert_eq!(got, want, "key {key:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn wider_schedule_lookup() {
+        // 32-bit trie with 8-8-8-8 strides (an IPv4 whole-field variant).
+        let mut t = Mbt::new(StrideSchedule::uniform(8, 4));
+        t.insert(0x0A00_0000, 8, Label(1));
+        t.insert(0x0A01_0000, 16, Label(2));
+        t.insert(0x0A01_0200, 24, Label(3));
+        assert_eq!(t.lookup(0x0A01_0203).unwrap().0, Label(3));
+        assert_eq!(t.lookup(0x0A01_FF00).unwrap().0, Label(2));
+        assert_eq!(t.lookup(0x0AFF_FFFF).unwrap().0, Label(1));
+        assert_eq!(t.lookup(0x0B00_0000), None);
+    }
+}

@@ -1,0 +1,237 @@
+//! Trie statistics and bit-accurate memory accounting.
+//!
+//! The paper's Figs. 2-4 count "stored nodes" per trie and Kbits per level.
+//! A stored node is one allocated entry: every block contributes `2^stride`
+//! entries once allocated (the root block always exists). Entry widths
+//! follow §V.A: *"The trie node data is composed of the child pointer, the
+//! label and a flag bit. However, each level node requires different child
+//! pointer sizes. This size is determined by the worst case"* — pointers at
+//! level L are sized to address the worst-case number of level-L+1 blocks,
+//! and the last level stores no pointer.
+
+use super::Mbt;
+use ofmem::{bits_for_index, EntryLayout, MemoryBlock, MemoryReport};
+
+/// Per-level occupancy numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Level index (0 = L1).
+    pub level: usize,
+    /// Stride in bits.
+    pub stride: u32,
+    /// Allocated blocks.
+    pub blocks: usize,
+    /// Stored nodes (allocated entries = blocks x 2^stride).
+    pub entries: usize,
+    /// Entries carrying a label.
+    pub labeled: usize,
+    /// Entries carrying a child pointer.
+    pub with_child: usize,
+}
+
+/// External sizing overrides so a group of tries (e.g. the three Ethernet
+/// partition tries) can share worst-case widths, as the paper does.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrieSizing {
+    /// Label width; default `bits_for_index(stored prefixes)`.
+    pub label_bits: Option<u32>,
+    /// Per-level child-pointer widths; default sized from this trie's own
+    /// next-level block counts.
+    pub ptr_bits: Option<Vec<u32>>,
+}
+
+impl Mbt {
+    /// Per-level occupancy.
+    #[must_use]
+    pub fn level_stats(&self) -> Vec<LevelStats> {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(i, level)| {
+                let entries_per_block = 1usize << level.stride;
+                let mut labeled = 0;
+                let mut with_child = 0;
+                for b in &level.blocks {
+                    labeled += b.entries.iter().filter(|e| e.label.is_some()).count();
+                    with_child += b.entries.iter().filter(|e| e.child.is_some()).count();
+                }
+                LevelStats {
+                    level: i,
+                    stride: level.stride,
+                    blocks: level.blocks.len(),
+                    entries: level.blocks.len() * entries_per_block,
+                    labeled,
+                    with_child,
+                }
+            })
+            .collect()
+    }
+
+    /// Total stored nodes (the Fig. 2 metric).
+    #[must_use]
+    pub fn stored_nodes(&self) -> usize {
+        self.level_stats().iter().map(|l| l.entries).sum()
+    }
+
+    /// The per-level entry layouts under the given sizing.
+    #[must_use]
+    pub fn level_layouts(&self, sizing: &TrieSizing) -> Vec<EntryLayout> {
+        let label_bits =
+            sizing.label_bits.unwrap_or_else(|| bits_for_index(self.prefixes.len().max(1)));
+        (0..self.levels.len())
+            .map(|i| {
+                let is_last = i + 1 == self.levels.len();
+                let ptr_bits = if is_last {
+                    0
+                } else if let Some(p) = &sizing.ptr_bits {
+                    p[i]
+                } else {
+                    bits_for_index(self.levels[i + 1].blocks.len().max(1))
+                };
+                if is_last {
+                    EntryLayout::new().with_field("flag", 1).with_field("label", label_bits)
+                } else {
+                    EntryLayout::trie_entry(label_bits, ptr_bits)
+                }
+            })
+            .collect()
+    }
+
+    /// Bit-accurate memory report: one block per level, named `L1..Ln`.
+    #[must_use]
+    pub fn memory_report(&self, sizing: &TrieSizing) -> MemoryReport {
+        let layouts = self.level_layouts(sizing);
+        let stats = self.level_stats();
+        let mut report = MemoryReport::new();
+        for (s, layout) in stats.iter().zip(layouts) {
+            report.push(MemoryBlock::with_layout(format!("L{}", s.level + 1), s.entries, layout));
+        }
+        report
+    }
+
+    /// Worst-case pointer widths across a group of tries: at each level,
+    /// enough bits to address the largest next-level block count in the
+    /// group (the paper sizes pointers "determined by the worst case
+    /// (lower trie)").
+    #[must_use]
+    pub fn group_ptr_bits(tries: &[&Mbt]) -> Vec<u32> {
+        let levels = tries.iter().map(|t| t.levels.len()).max().unwrap_or(0);
+        (0..levels)
+            .map(|i| {
+                let max_next = tries
+                    .iter()
+                    .map(|t| t.levels.get(i + 1).map_or(0, |l| l.blocks.len()))
+                    .max()
+                    .unwrap_or(0);
+                bits_for_index(max_next.max(1))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+    use crate::trie::StrideSchedule;
+
+    #[test]
+    fn empty_trie_has_only_root_block() {
+        let t = Mbt::classic_16();
+        let stats = t.level_stats();
+        assert_eq!(stats[0].blocks, 1);
+        assert_eq!(stats[0].entries, 32);
+        assert_eq!(stats[1].blocks, 0);
+        assert_eq!(stats[2].blocks, 0);
+        assert_eq!(t.stored_nodes(), 32);
+    }
+
+    /// The paper's L1 anchor: a 16-bit 5-5-6 trie's L1 holds at most 32
+    /// nodes; with a 15-bit label and a 10-bit pointer the block is 832
+    /// bits (26-bit entries).
+    #[test]
+    fn paper_l1_anchor() {
+        let mut t = Mbt::classic_16();
+        for i in 0..100u64 {
+            t.insert(i << 4, 12, Label(i as u32));
+        }
+        let sizing =
+            TrieSizing { label_bits: Some(15), ptr_bits: Some(vec![10, 11, 0]) };
+        let report = t.memory_report(&sizing);
+        let l1 = &report.blocks()[0];
+        assert_eq!(l1.entries, 32);
+        assert_eq!(l1.entry_bits, 26);
+        assert_eq!(l1.bits(), 832);
+    }
+
+    #[test]
+    fn node_counts_grow_with_distinct_paths() {
+        let mut t = Mbt::classic_16();
+        t.insert(0x0000, 16, Label(0));
+        let one_path = t.stored_nodes(); // 32 + 32 + 64
+        assert_eq!(one_path, 32 + 32 + 64);
+        t.insert(0x0001, 16, Label(1)); // same blocks
+        assert_eq!(t.stored_nodes(), one_path);
+        t.insert(0x8000, 16, Label(2)); // new L2 + L3 blocks
+        assert_eq!(t.stored_nodes(), one_path + 32 + 64);
+    }
+
+    #[test]
+    fn labeled_and_child_counts() {
+        let mut t = Mbt::classic_16();
+        t.insert(0xAB00, 8, Label(1)); // expands 4 entries in L2
+        let stats = t.level_stats();
+        assert_eq!(stats[0].with_child, 1);
+        assert_eq!(stats[0].labeled, 0);
+        assert_eq!(stats[1].labeled, 4); // 8 bits into L2: 2 free bits...
+        assert_eq!(stats[1].with_child, 0);
+    }
+
+    #[test]
+    fn last_level_has_no_pointer() {
+        let t = Mbt::classic_16();
+        let layouts = t.level_layouts(&TrieSizing::default());
+        assert!(layouts[0].field_bits("child_ptr").is_some());
+        assert!(layouts[2].field_bits("child_ptr").is_none());
+        assert_eq!(layouts[2].field_bits("flag"), Some(1));
+    }
+
+    #[test]
+    fn self_sized_pointers_track_block_counts() {
+        let mut t = Mbt::classic_16();
+        // Create 3 L2 blocks.
+        t.insert(0x0000, 16, Label(0));
+        t.insert(0x4000, 16, Label(1));
+        t.insert(0x8000, 16, Label(2));
+        let layouts = t.level_layouts(&TrieSizing::default());
+        assert_eq!(layouts[0].field_bits("child_ptr"), Some(2)); // 3 blocks -> 2 bits
+    }
+
+    #[test]
+    fn group_sizing_uses_worst_trie() {
+        let mut small = Mbt::classic_16();
+        small.insert(0x0000, 16, Label(0));
+        let mut big = Mbt::classic_16();
+        for i in 0..20u64 {
+            big.insert(i << 11, 16, Label(i as u32));
+        }
+        let group = Mbt::group_ptr_bits(&[&small, &big]);
+        let own = small.level_layouts(&TrieSizing::default());
+        let shared = small
+            .level_layouts(&TrieSizing { label_bits: None, ptr_bits: Some(group.clone()) });
+        assert!(
+            shared[0].field_bits("child_ptr").unwrap() >= own[0].field_bits("child_ptr").unwrap()
+        );
+        assert_eq!(group.len(), 3);
+    }
+
+    #[test]
+    fn memory_report_totals() {
+        let mut t = Mbt::new(StrideSchedule::classic_16());
+        t.insert(0xABCD, 16, Label(0));
+        let report = t.memory_report(&TrieSizing::default());
+        assert_eq!(report.blocks().len(), 3);
+        assert_eq!(report.total_entries(), t.stored_nodes());
+        assert!(report.total_bits() > 0);
+    }
+}

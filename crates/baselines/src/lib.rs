@@ -1,0 +1,54 @@
+//! # ofbaseline — baseline classifiers and cost models
+//!
+//! One representative implementation per category of the paper's Table I,
+//! so the qualitative comparison can be made quantitative on the same
+//! filter sets:
+//!
+//! | Table I category | Here |
+//! |---|---|
+//! | Hardware-based (TCAM) | [`tcam::TcamModel`] — ternary conversion with range expansion, all-row-search cost model |
+//! | Trie-Geometric | [`hicuts::HiCutsTree`] — HiCuts-style decision tree with rule replication |
+//! | Hashing-based | [`tss::TupleSpaceSearch`] — tuple space search over mask signatures |
+//! | (reference) | [`linear::LinearClassifier`] — priority-ordered linear scan |
+//!
+//! All implement [`Classifier`], reporting matched rule ids, memory bits
+//! and a per-lookup work metric, so `mtl-bench` can tabulate them side by
+//! side with the decomposition architecture.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hicuts;
+pub mod linear;
+pub mod tcam;
+pub mod tss;
+
+use offilter::Rule;
+use oflow::HeaderValues;
+
+/// A rule-set classifier that can be compared across categories.
+pub trait Classifier {
+    /// Short display name.
+    fn name(&self) -> &'static str;
+
+    /// The id of the highest-priority matching rule, if any.
+    fn classify(&self, header: &HeaderValues) -> Option<u32>;
+
+    /// Modeled memory footprint in bits.
+    fn memory_bits(&self) -> u64;
+
+    /// Work performed by the last-issued `classify` expressed as memory
+    /// accesses (the lookup-speed proxy Table I ranks by). Implementations
+    /// return the *expected/structural* cost, not a timed measurement.
+    fn lookup_accesses(&self, header: &HeaderValues) -> usize;
+}
+
+/// Reference decision for a rule set: highest priority, then specificity.
+#[must_use]
+pub fn reference_classify(rules: &[Rule], header: &HeaderValues) -> Option<u32> {
+    rules
+        .iter()
+        .filter(|r| r.flow_match.matches(header))
+        .max_by_key(|r| (r.priority, r.flow_match.specificity()))
+        .map(|r| r.id)
+}

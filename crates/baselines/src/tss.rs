@@ -1,0 +1,251 @@
+//! Tuple Space Search (the paper's Table I "Hashing-based" row).
+//!
+//! TSS [12] groups rules by their *mask tuple* (per-field prefix length /
+//! constraint shape); within a tuple every rule is an exact match on the
+//! masked key, so a hash table serves it. A lookup probes every tuple and
+//! keeps the best hit — fast when tuples are few, degrading as mask
+//! diversity grows (the "collision issue / memory explosion" of Table I).
+//!
+//! Range fields are handled as in Open vSwitch: each distinct range is a
+//! tuple dimension value of its own (staged lookup keeps exactness).
+
+use crate::Classifier;
+use offilter::Rule;
+use oflow::{FieldMatch, HeaderValues, MatchFieldKind};
+use std::collections::HashMap;
+
+/// The mask signature of a rule: per field, how it constrains.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Dim {
+    /// Prefix of a given length (exact = full width).
+    Prefix(u32),
+    /// A specific range (ranges hash by identity).
+    Range(u64, u64),
+    /// Unconstrained.
+    Any,
+}
+
+type Signature = Vec<(MatchFieldKind, Dim)>;
+
+/// One tuple: rules sharing a signature, hashed by masked key.
+#[derive(Debug, Clone)]
+struct Tuple {
+    signature: Signature,
+    /// masked key -> (priority, specificity, rule id)
+    table: HashMap<Vec<u128>, (u16, u32, u32)>,
+}
+
+impl Tuple {
+    fn key_of(&self, header: &HeaderValues) -> Option<Vec<u128>> {
+        self.signature
+            .iter()
+            .map(|(field, dim)| {
+                let v = header.get(*field);
+                match dim {
+                    Dim::Any => Some(0),
+                    Dim::Prefix(len) => v.map(|v| {
+                        v & oflow::flow_match::prefix_mask(field.bit_width(), *len)
+                    }),
+                    Dim::Range(lo, hi) => match v {
+                        Some(v) if u64::try_from(v).map_or(false, |v| *lo <= v && v <= *hi) => {
+                            Some(0)
+                        }
+                        _ => None,
+                    },
+                }
+            })
+            .collect()
+    }
+}
+
+/// A tuple-space-search classifier.
+#[derive(Debug, Clone)]
+pub struct TupleSpaceSearch {
+    tuples: Vec<Tuple>,
+    fields: Vec<MatchFieldKind>,
+}
+
+impl TupleSpaceSearch {
+    /// Builds the tuple space from rules.
+    #[must_use]
+    pub fn new(rules: &[Rule]) -> Self {
+        let mut fields: Vec<MatchFieldKind> = Vec::new();
+        for r in rules {
+            for (f, m) in r.flow_match.parts() {
+                if !m.is_wildcard() && !fields.contains(f) {
+                    fields.push(*f);
+                }
+            }
+        }
+        fields.sort();
+
+        let mut by_sig: HashMap<Signature, Tuple> = HashMap::new();
+        for r in rules {
+            let mut signature: Signature = Vec::with_capacity(fields.len());
+            let mut key: Vec<u128> = Vec::with_capacity(fields.len());
+            for &field in &fields {
+                let width = field.bit_width();
+                match r.flow_match.field(field) {
+                    FieldMatch::Any => {
+                        signature.push((field, Dim::Any));
+                        key.push(0);
+                    }
+                    FieldMatch::Exact(v) => {
+                        signature.push((field, Dim::Prefix(width)));
+                        key.push(v);
+                    }
+                    FieldMatch::Prefix { value, len } => {
+                        signature.push((field, Dim::Prefix(len)));
+                        key.push(value);
+                    }
+                    FieldMatch::Range { lo, hi } => {
+                        signature.push((field, Dim::Range(lo as u64, hi as u64)));
+                        key.push(0);
+                    }
+                }
+            }
+            let tuple = by_sig.entry(signature.clone()).or_insert_with(|| Tuple {
+                signature,
+                table: HashMap::new(),
+            });
+            let candidate = (r.priority, r.flow_match.specificity(), r.id);
+            tuple
+                .table
+                .entry(key)
+                .and_modify(|slot| {
+                    if (slot.0, slot.1) < (candidate.0, candidate.1) {
+                        *slot = candidate;
+                    }
+                })
+                .or_insert(candidate);
+        }
+        Self { tuples: by_sig.into_values().collect(), fields }
+    }
+
+    /// Number of tuples (hash tables probed per lookup).
+    #[must_use]
+    pub fn num_tuples(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// The fields the tuple space covers.
+    #[must_use]
+    pub fn fields(&self) -> &[MatchFieldKind] {
+        &self.fields
+    }
+}
+
+impl Classifier for TupleSpaceSearch {
+    fn name(&self) -> &'static str {
+        "tss"
+    }
+
+    fn classify(&self, header: &HeaderValues) -> Option<u32> {
+        let mut best: Option<(u16, u32, u32)> = None;
+        for t in &self.tuples {
+            let Some(key) = t.key_of(header) else { continue };
+            if let Some(&hit) = t.table.get(&key) {
+                if best.is_none_or(|b| (b.0, b.1) < (hit.0, hit.1)) {
+                    best = Some(hit);
+                }
+            }
+        }
+        best.map(|(_, _, id)| id)
+    }
+
+    fn memory_bits(&self) -> u64 {
+        // Per tuple: a hash table at 50% load of masked keys + payload.
+        self.tuples
+            .iter()
+            .map(|t| {
+                let key_bits: u64 =
+                    t.signature.iter().map(|(f, _)| u64::from(f.bit_width())).sum();
+                let capacity = (2 * t.table.len().max(1)).next_power_of_two() as u64;
+                capacity * (1 + key_bits + 16 + 32)
+            })
+            .sum()
+    }
+
+    fn lookup_accesses(&self, _header: &HeaderValues) -> usize {
+        // One hash probe per tuple.
+        self.tuples.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference_classify;
+    use offilter::synth::{generate_acl, generate_routing, AclConfig, RoutingTargets};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn agrees_with_reference_on_acl() {
+        let rules = generate_acl(&AclConfig { rules: 300, ..AclConfig::default() }, 31).rules;
+        let tss = TupleSpaceSearch::new(&rules);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..500 {
+            let h = HeaderValues::new()
+                .with(MatchFieldKind::Ipv4Src, u128::from(rng.gen::<u32>()))
+                .with(MatchFieldKind::Ipv4Dst, u128::from(rng.gen::<u32>()))
+                .with(MatchFieldKind::IpProto, 6)
+                .with(MatchFieldKind::TcpDst, u128::from(rng.gen::<u16>()))
+                .with(MatchFieldKind::TcpSrc, u128::from(rng.gen::<u16>()));
+            assert_eq!(tss.classify(&h), reference_classify(&rules, &h), "header {h}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_reference_on_routing() {
+        let rules = generate_routing(
+            &RoutingTargets {
+                name: "t".into(),
+                rules: 400,
+                port_unique: 8,
+                ip_partitions: [30, 250],
+                short_prefixes: 3,
+                out_ports: 8,
+            },
+            32,
+        )
+        .rules;
+        let tss = TupleSpaceSearch::new(&rules);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..500 {
+            let h = HeaderValues::new()
+                .with(MatchFieldKind::InPort, u128::from(rng.gen_range(0..40u32)))
+                .with(MatchFieldKind::Ipv4Dst, u128::from(rng.gen::<u32>()));
+            assert_eq!(tss.classify(&h), reference_classify(&rules, &h), "header {h}");
+        }
+    }
+
+    #[test]
+    fn tuple_count_tracks_mask_diversity() {
+        // Routing: one tuple per distinct prefix length (plus port dim).
+        let rules = generate_routing(
+            &RoutingTargets {
+                name: "t".into(),
+                rules: 300,
+                port_unique: 5,
+                ip_partitions: [20, 180],
+                short_prefixes: 2,
+                out_ports: 4,
+            },
+            33,
+        )
+        .rules;
+        let tss = TupleSpaceSearch::new(&rules);
+        assert!(tss.num_tuples() >= 2);
+        assert!(tss.num_tuples() <= 33, "one per prefix length at most: {}", tss.num_tuples());
+        // Probes per lookup = tuples.
+        assert_eq!(tss.lookup_accesses(&HeaderValues::new()), tss.num_tuples());
+    }
+
+    #[test]
+    fn empty_rules() {
+        let tss = TupleSpaceSearch::new(&[]);
+        assert_eq!(tss.classify(&HeaderValues::new()), None);
+        assert_eq!(tss.num_tuples(), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Structure build time: tries, LUTs and full switches across set sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ofalgo::PartitionedTrie;
+use offilter::synth::{generate_routing, RoutingTargets};
+use oflow::MatchFieldKind;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("build/partitioned_trie");
+    for rules in [500usize, 2000, 8000] {
+        let set = generate_routing(
+            &RoutingTargets {
+                name: "b".into(),
+                rules,
+                port_unique: 16.min(rules),
+                ip_partitions: [(rules / 20).max(2), (rules / 2).max(2)],
+                short_prefixes: 4.min(rules - 1),
+                out_ports: 16,
+            },
+            11,
+        );
+        let prefixes: Vec<(u128, u32)> = set
+            .rules
+            .iter()
+            .map(|r| r.field_as_prefix(MatchFieldKind::Ipv4Dst).unwrap())
+            .collect();
+        g.bench_function(BenchmarkId::from_parameter(rules), |b| {
+            b.iter(|| {
+                let mut pt = PartitionedTrie::new(32);
+                for &(v, len) in &prefixes {
+                    pt.insert(v, len);
+                }
+                black_box(pt.stored_nodes())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_build
+}
+criterion_main!(benches);

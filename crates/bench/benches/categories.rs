@@ -1,0 +1,33 @@
+//! Table I categories head-to-head: build cost per category on the same
+//! ACL, complementing the lookup bench.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ofbaseline::hicuts::{HiCutsParams, HiCutsTree};
+use ofbaseline::linear::LinearClassifier;
+use ofbaseline::tcam::TcamModel;
+use ofbaseline::tss::TupleSpaceSearch;
+use offilter::synth::{generate_acl, AclConfig};
+
+fn bench_categories(c: &mut Criterion) {
+    let set = generate_acl(&AclConfig { rules: 1000, ..AclConfig::default() }, 13);
+
+    c.bench_function("categories/build_linear", |b| {
+        b.iter(|| black_box(LinearClassifier::new(set.rules.clone())))
+    });
+    c.bench_function("categories/build_tss", |b| {
+        b.iter(|| black_box(TupleSpaceSearch::new(&set.rules)))
+    });
+    c.bench_function("categories/build_hicuts", |b| {
+        b.iter(|| black_box(HiCutsTree::new(set.rules.clone(), HiCutsParams::default())))
+    });
+    c.bench_function("categories/build_tcam", |b| {
+        b.iter(|| black_box(TcamModel::new(&set.rules)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_categories
+}
+criterion_main!(benches);

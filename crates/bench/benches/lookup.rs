@@ -1,0 +1,75 @@
+//! Lookup throughput: decomposition architecture vs baselines, per packet.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtl_bench::data::Workloads;
+use mtl_core::{MtlSwitch, SwitchConfig};
+use ofbaseline::hicuts::{HiCutsParams, HiCutsTree};
+use ofbaseline::linear::LinearClassifier;
+use ofbaseline::tss::TupleSpaceSearch;
+use ofbaseline::Classifier;
+use offilter::FilterKind;
+use oflow::{HeaderValues, MatchFieldKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn probe_headers(set: &offilter::FilterSet, n: usize) -> Vec<HeaderValues> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let ports: Vec<u128> = set
+        .rules
+        .iter()
+        .map(|r| r.field_as_prefix(MatchFieldKind::InPort).unwrap().0)
+        .collect();
+    (0..n)
+        .map(|_| {
+            HeaderValues::new()
+                .with(MatchFieldKind::InPort, ports[rng.gen_range(0..ports.len())])
+                .with(MatchFieldKind::Ipv4Dst, u128::from(rng.gen::<u32>()))
+        })
+        .collect()
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let w = Workloads::generate_quick(mtl_bench::DEFAULT_SEED);
+    let set = w.routing_of("boza").unwrap();
+    let probes = probe_headers(set, 1024);
+
+    let sw = MtlSwitch::build(&SwitchConfig::single_app(FilterKind::Routing, 0), &[set]);
+    let linear = LinearClassifier::new(set.rules.clone());
+    let tss = TupleSpaceSearch::new(&set.rules);
+    let hicuts = HiCutsTree::new(set.rules.clone(), HiCutsParams::default());
+
+    let mut g = c.benchmark_group("lookup/boza");
+    let mut i = 0usize;
+    g.bench_function(BenchmarkId::new("mtl", set.len()), |b| {
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            black_box(sw.classify(&probes[i]))
+        })
+    });
+    g.bench_function(BenchmarkId::new("linear", set.len()), |b| {
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            black_box(linear.classify(&probes[i]))
+        })
+    });
+    g.bench_function(BenchmarkId::new("tss", set.len()), |b| {
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            black_box(tss.classify(&probes[i]))
+        })
+    });
+    g.bench_function(BenchmarkId::new("hicuts", set.len()), |b| {
+        b.iter(|| {
+            i = (i + 1) % probes.len();
+            black_box(hicuts.classify(&probes[i]))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_lookup
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Update cost: label method vs original replay (Fig. 5's mechanism),
+//! measured as build-time record generation speed.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mtl_core::{MtlSwitch, SwitchConfig, UpdatePlan};
+use offilter::synth::{generate_mac, MacTargets};
+use offilter::paper_data::mac_stats;
+use offilter::FilterKind;
+
+fn bench_update(c: &mut Criterion) {
+    let set = generate_mac(&MacTargets::from_paper(mac_stats("bbra").unwrap()), 5);
+    let config = SwitchConfig::single_app(FilterKind::MacLearning, 0);
+
+    c.bench_function("update/build_bbra_mac", |b| {
+        b.iter(|| black_box(MtlSwitch::build(&config, &[&set])))
+    });
+
+    let sw = MtlSwitch::build(&config, &[&set]);
+    c.bench_function("update/characterization_files", |b| {
+        b.iter(|| black_box(UpdatePlan::from_switch(&sw)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_update
+}
+criterion_main!(benches);

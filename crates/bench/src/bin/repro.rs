@@ -1,0 +1,98 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [EXPERIMENT...] [--seed N] [--full]
+//!
+//! EXPERIMENT: all (default) | table1 | table2 | table3 | table4
+//!           | fig2 | fig3 | fig4 | fig5 | headline
+//! --seed N    workload RNG seed (default 2015)
+//! --full      generate the four 180k-rule routing sets at full size
+//!             (several extra seconds; default scales them down 20x)
+//! ```
+//!
+//! Results print as aligned tables and are also written as JSON under
+//! `target/repro/`.
+
+use mtl_bench::data::Workloads;
+use mtl_bench::{fig2, fig3, fig4, fig5, headline, table1, table2, table3, table4, DEFAULT_SEED};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = DEFAULT_SEED;
+    let mut full = false;
+    let mut experiments: Vec<String> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
+                seed = v.parse().unwrap_or_else(|_| usage("--seed must be an integer"));
+            }
+            "--full" => full = true,
+            "--help" | "-h" => usage(""),
+            other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
+            other => experiments.push(other.to_owned()),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_owned());
+    }
+
+    let known = [
+        "table1", "table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5", "headline",
+    ];
+    let selected: Vec<&str> = if experiments.iter().any(|e| e == "all") {
+        known.to_vec()
+    } else {
+        experiments
+            .iter()
+            .map(|e| {
+                known
+                    .iter()
+                    .copied()
+                    .find(|k| *k == e)
+                    .unwrap_or_else(|| usage(&format!("unknown experiment {e}")))
+            })
+            .collect()
+    };
+
+    // table2 is static; everything else needs workloads.
+    let needs_data = selected.iter().any(|e| *e != "table2");
+    let workloads = if needs_data {
+        eprintln!(
+            "generating workloads (seed {seed}, {}) ...",
+            if full { "full-size giant routers" } else { "giant routers scaled 20x; use --full" }
+        );
+        Some(if full { Workloads::generate(seed) } else { Workloads::generate_quick(seed) })
+    } else {
+        None
+    };
+
+    for e in selected {
+        match e {
+            "table1" => table1::report(workloads.as_ref().expect("data")),
+            "table2" => table2::report(),
+            "table3" => table3::report(workloads.as_ref().expect("data")),
+            "table4" => table4::report(workloads.as_ref().expect("data")),
+            "fig2" => fig2::report(workloads.as_ref().expect("data")),
+            "fig3" => fig3::report(workloads.as_ref().expect("data")),
+            "fig4" => fig4::report(workloads.as_ref().expect("data")),
+            "fig5" => fig5::report(workloads.as_ref().expect("data")),
+            "headline" => headline::report(workloads.as_ref().expect("data")),
+            _ => unreachable!(),
+        }
+    }
+    eprintln!("JSON written under {}", mtl_bench::output::repro_dir().display());
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: repro [EXPERIMENT...] [--seed N] [--full]\n\
+         experiments: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 headline"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

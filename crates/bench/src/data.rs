@@ -1,0 +1,89 @@
+//! Workload construction shared by all experiments.
+//!
+//! Generates the 16 MAC-learning and 16 routing filter sets from the
+//! paper's published statistics (exactly constrained; see
+//! `offilter::synth`). Generation is seeded, so every experiment sees the
+//! same data for a given seed. The four 180 000+-rule routers (coza/cozb/
+//! soza/sozb) take a few seconds each; `Workloads::generate` builds
+//! everything once and experiments borrow from it.
+
+use offilter::synth::{all_mac_sets, all_routing_sets};
+use offilter::FilterSet;
+use std::sync::OnceLock;
+
+/// All 32 filter sets of the paper's evaluation.
+#[derive(Debug, Clone)]
+pub struct Workloads {
+    /// The 16 MAC-learning sets (Table III order).
+    pub mac: Vec<FilterSet>,
+    /// The 16 routing sets (Table IV order).
+    pub routing: Vec<FilterSet>,
+}
+
+impl Workloads {
+    /// Generates every set from the published statistics.
+    #[must_use]
+    pub fn generate(seed: u64) -> Self {
+        Self { mac: all_mac_sets(seed), routing: all_routing_sets(seed) }
+    }
+
+    /// A reduced variant for quick runs: full MAC sets (all small) but the
+    /// four giant routing sets scaled down 20x (statistics scaled
+    /// proportionally; shapes preserved, absolute numbers smaller).
+    #[must_use]
+    pub fn generate_quick(seed: u64) -> Self {
+        use offilter::paper_data::ROUTING_FILTERS;
+        use offilter::synth::{generate_routing, RoutingTargets};
+        let routing = ROUTING_FILTERS
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut t = RoutingTargets::from_paper(s);
+                if s.rules > 50_000 {
+                    t.rules = s.rules / 20;
+                    t.ip_partitions = [s.ip_hi / 20, s.ip_lo / 20];
+                    t.port_unique = s.port_unique.min(t.rules);
+                }
+                generate_routing(&t, seed ^ (0x726F_7500 + i as u64))
+            })
+            .collect();
+        Self { mac: all_mac_sets(seed), routing }
+    }
+
+    /// Shared quick workloads at the default seed, generated once per
+    /// process (tests and benches reuse them).
+    #[must_use]
+    pub fn shared_quick() -> &'static Workloads {
+        static CELL: OnceLock<Workloads> = OnceLock::new();
+        CELL.get_or_init(|| Workloads::generate_quick(crate::DEFAULT_SEED))
+    }
+
+    /// The MAC set of a router.
+    #[must_use]
+    pub fn mac_of(&self, router: &str) -> Option<&FilterSet> {
+        self.mac.iter().find(|s| s.name == router)
+    }
+
+    /// The routing set of a router.
+    #[must_use]
+    pub fn routing_of(&self, router: &str) -> Option<&FilterSet> {
+        self.routing.iter().find(|s| s.name == router)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_workloads_cover_all_routers() {
+        let w = Workloads::generate_quick(1);
+        assert_eq!(w.mac.len(), 16);
+        assert_eq!(w.routing.len(), 16);
+        assert!(w.mac_of("bbra").is_some());
+        assert!(w.routing_of("coza").is_some());
+        assert!(w.mac_of("none").is_none());
+        // The giant sets are scaled down.
+        assert!(w.routing_of("coza").unwrap().len() < 10_000);
+    }
+}

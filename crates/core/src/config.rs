@@ -1,0 +1,274 @@
+//! Architecture configuration: tables, fields, algorithms.
+//!
+//! A [`SwitchConfig`] lists the OpenFlow lookup tables in pipeline order;
+//! each [`TableConfig`] names the fields it matches and the single-field
+//! algorithm assigned to each, following the paper's selection rule
+//! (§III.B): hash LUTs for exact-match fields, partitioned multi-bit tries
+//! for prefix fields, range matchers for port fields.
+
+use offilter::FilterKind;
+use oflow::{MatchFieldKind, MatchMethod};
+use std::fmt;
+
+/// The single-field algorithm searching one field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgorithmKind {
+    /// Hash-based exact-match LUT.
+    EmLut,
+    /// Multi-bit tries over `partition_bits`-wide slices of the field.
+    Mbt {
+        /// Partition width (the paper uses 16).
+        partition_bits: u32,
+        /// Stride schedule within a partition (the paper uses 5-5-6).
+        strides: Vec<u32>,
+    },
+    /// Range matcher (narrowest-range semantics).
+    Range,
+}
+
+impl AlgorithmKind {
+    /// The paper's default MBT: 16-bit partitions, 5-5-6 strides.
+    #[must_use]
+    pub fn classic_mbt() -> Self {
+        AlgorithmKind::Mbt { partition_bits: 16, strides: vec![5, 5, 6] }
+    }
+
+    /// The algorithm the paper's selection rule assigns to a field.
+    #[must_use]
+    pub fn for_field(field: MatchFieldKind) -> Self {
+        match field.match_method() {
+            MatchMethod::Exact => AlgorithmKind::EmLut,
+            MatchMethod::Lpm => Self::classic_mbt(),
+            MatchMethod::Range => AlgorithmKind::Range,
+        }
+    }
+}
+
+impl fmt::Display for AlgorithmKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgorithmKind::EmLut => write!(f, "EM-LUT"),
+            AlgorithmKind::Mbt { partition_bits, strides } => {
+                let s: Vec<String> = strides.iter().map(u32::to_string).collect();
+                write!(f, "MBT({partition_bits}-bit x {})", s.join("-"))
+            }
+            AlgorithmKind::Range => write!(f, "RM"),
+        }
+    }
+}
+
+/// One field within a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldConfig {
+    /// The match field.
+    pub field: MatchFieldKind,
+    /// Its search algorithm.
+    pub algorithm: AlgorithmKind,
+}
+
+impl FieldConfig {
+    /// A field with the paper's default algorithm choice.
+    #[must_use]
+    pub fn auto(field: MatchFieldKind) -> Self {
+        Self { field, algorithm: AlgorithmKind::for_field(field) }
+    }
+}
+
+/// One OpenFlow lookup table of the architecture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableConfig {
+    /// Table id (pipeline position).
+    pub table_id: u8,
+    /// Fields matched here.
+    pub fields: Vec<FieldConfig>,
+    /// Whether this table's index also keys on the metadata label written
+    /// by the previous table (chained-field applications).
+    pub uses_metadata: bool,
+    /// `Goto-Table` target on match, if this is not the application's last
+    /// table.
+    pub goto: Option<u8>,
+}
+
+/// A complete switch architecture: tables in pipeline order plus the
+/// application each span belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchConfig {
+    /// Human-readable configuration name.
+    pub name: String,
+    /// Applications: `(kind, tables the application spans, in order)`.
+    pub apps: Vec<(FilterKind, Vec<TableConfig>)>,
+}
+
+impl SwitchConfig {
+    /// The paper's evaluated configuration (§V.A): MAC learning and
+    /// Routing, one field per table — "4 OpenFlow Lookup Tables ... along
+    /// with two independent multibit trie structures and two exact
+    /// matching LUTs".
+    #[must_use]
+    pub fn mac_routing_preset() -> Self {
+        Self {
+            name: "mac+routing (paper §V)".into(),
+            apps: vec![
+                (
+                    FilterKind::MacLearning,
+                    vec![
+                        TableConfig {
+                            table_id: 0,
+                            fields: vec![FieldConfig::auto(MatchFieldKind::VlanVid)],
+                            uses_metadata: false,
+                            goto: Some(1),
+                        },
+                        TableConfig {
+                            table_id: 1,
+                            fields: vec![FieldConfig::auto(MatchFieldKind::EthDst)],
+                            uses_metadata: true,
+                            goto: None,
+                        },
+                    ],
+                ),
+                (
+                    FilterKind::Routing,
+                    vec![
+                        TableConfig {
+                            table_id: 2,
+                            fields: vec![FieldConfig::auto(MatchFieldKind::InPort)],
+                            uses_metadata: false,
+                            goto: Some(3),
+                        },
+                        TableConfig {
+                            table_id: 3,
+                            fields: vec![FieldConfig::auto(MatchFieldKind::Ipv4Dst)],
+                            uses_metadata: true,
+                            goto: None,
+                        },
+                    ],
+                ),
+            ],
+        }
+    }
+
+    /// A single-application preset with one table per field.
+    #[must_use]
+    pub fn single_app(kind: FilterKind, first_table: u8) -> Self {
+        let fields = kind.fields();
+        let tables: Vec<TableConfig> = fields
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| TableConfig {
+                table_id: first_table + i as u8,
+                fields: vec![FieldConfig::auto(f)],
+                uses_metadata: i > 0,
+                goto: if i + 1 < fields.len() {
+                    Some(first_table + i as u8 + 1)
+                } else {
+                    None
+                },
+            })
+            .collect();
+        Self { name: format!("{kind} single-app"), apps: vec![(kind, tables)] }
+    }
+
+    /// A flat preset: one table matching all the application's fields at
+    /// once (decomposition within a single OpenFlow table).
+    #[must_use]
+    pub fn flat_app(kind: FilterKind, table_id: u8) -> Self {
+        Self {
+            name: format!("{kind} flat"),
+            apps: vec![(
+                kind,
+                vec![TableConfig {
+                    table_id,
+                    fields: kind.fields().iter().map(|&f| FieldConfig::auto(f)).collect(),
+                    uses_metadata: false,
+                    goto: None,
+                }],
+            )],
+        }
+    }
+
+    /// All tables across applications, in id order.
+    #[must_use]
+    pub fn all_tables(&self) -> Vec<&TableConfig> {
+        let mut out: Vec<&TableConfig> = self.apps.iter().flat_map(|(_, t)| t.iter()).collect();
+        out.sort_by_key(|t| t.table_id);
+        out
+    }
+
+    /// Total number of tables.
+    #[must_use]
+    pub fn num_tables(&self) -> usize {
+        self.apps.iter().map(|(_, t)| t.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_selection_follows_matching_method() {
+        assert_eq!(AlgorithmKind::for_field(MatchFieldKind::VlanVid), AlgorithmKind::EmLut);
+        assert_eq!(AlgorithmKind::for_field(MatchFieldKind::InPort), AlgorithmKind::EmLut);
+        assert_eq!(
+            AlgorithmKind::for_field(MatchFieldKind::EthDst),
+            AlgorithmKind::classic_mbt()
+        );
+        assert_eq!(
+            AlgorithmKind::for_field(MatchFieldKind::Ipv4Dst),
+            AlgorithmKind::classic_mbt()
+        );
+        assert_eq!(AlgorithmKind::for_field(MatchFieldKind::TcpDst), AlgorithmKind::Range);
+    }
+
+    #[test]
+    fn paper_preset_shape() {
+        let c = SwitchConfig::mac_routing_preset();
+        // 4 OpenFlow lookup tables.
+        assert_eq!(c.num_tables(), 4);
+        let tables = c.all_tables();
+        assert_eq!(tables.iter().map(|t| t.table_id).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        // 2 MBT structures (eth_dst, ipv4_dst) and 2 EM LUTs.
+        let mbts = tables
+            .iter()
+            .flat_map(|t| &t.fields)
+            .filter(|f| matches!(f.algorithm, AlgorithmKind::Mbt { .. }))
+            .count();
+        let luts = tables
+            .iter()
+            .flat_map(|t| &t.fields)
+            .filter(|f| f.algorithm == AlgorithmKind::EmLut)
+            .count();
+        assert_eq!(mbts, 2);
+        assert_eq!(luts, 2);
+        // Chaining: table 0 -> 1, table 2 -> 3.
+        assert_eq!(tables[0].goto, Some(1));
+        assert_eq!(tables[2].goto, Some(3));
+        assert!(tables[1].uses_metadata);
+        assert!(tables[3].uses_metadata);
+    }
+
+    #[test]
+    fn single_app_preset_chains_tables() {
+        let c = SwitchConfig::single_app(FilterKind::Routing, 5);
+        let tables = c.all_tables();
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].table_id, 5);
+        assert_eq!(tables[0].goto, Some(6));
+        assert_eq!(tables[1].goto, None);
+    }
+
+    #[test]
+    fn flat_preset_one_table() {
+        let c = SwitchConfig::flat_app(FilterKind::Acl, 0);
+        assert_eq!(c.num_tables(), 1);
+        assert_eq!(c.all_tables()[0].fields.len(), 5);
+        assert!(!c.all_tables()[0].uses_metadata);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AlgorithmKind::EmLut.to_string(), "EM-LUT");
+        assert_eq!(AlgorithmKind::classic_mbt().to_string(), "MBT(16-bit x 5-5-6)");
+        assert_eq!(AlgorithmKind::Range.to_string(), "RM");
+    }
+}

@@ -1,0 +1,499 @@
+//! Per-field search engines.
+//!
+//! A [`FieldEngine`] wraps one single-field algorithm with its label
+//! dictionary. Engines answer two questions:
+//!
+//! * *build time* — intern a rule's field constraint, returning its label
+//!   and the alternatives needed for index completion (nested values that
+//!   could shadow it in a search);
+//! * *lookup time* — produce the [`MatchChain`] of labels matching a
+//!   header value, longest/most-specific first, including the wildcard
+//!   label when rules with an unconstrained field exist.
+
+use ofalgo::{Dictionary, HashLut, Label, MatchChain, PartitionedTrie, RangeMatcher};
+use ofalgo::trie::UpdateCount;
+use ofmem::MemoryReport;
+use oflow::{FieldMatch, MatchFieldKind};
+
+use crate::config::AlgorithmKind;
+
+/// A built single-field engine.
+#[derive(Debug)]
+pub enum FieldEngine {
+    /// Exact-match LUT with an optional wildcard label.
+    Em {
+        /// The hash LUT.
+        lut: HashLut,
+        /// Dictionary of exact values.
+        dict: Dictionary<u64>,
+        /// Label shared by all rules leaving the field unconstrained.
+        any_label: Option<Label>,
+    },
+    /// Partitioned multi-bit tries (one label vector per rule value).
+    Trie(PartitionedTrie),
+    /// Range matcher with an optional wildcard label.
+    Range {
+        /// Stored ranges in dictionary order.
+        ranges: Dictionary<(u64, u64)>,
+        /// The built matcher (rebuilt after interning).
+        matcher: RangeMatcher,
+        /// Label shared by rules leaving the field unconstrained.
+        any_label: Option<Label>,
+    },
+}
+
+/// The engine-facing view of one rule's constraint on one field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldKey {
+    /// Exact value.
+    Exact(u64),
+    /// Prefix (value aligned to field width).
+    Prefix(u128, u32),
+    /// Inclusive range.
+    Range(u64, u64),
+    /// Unconstrained.
+    Any,
+}
+
+impl FieldKey {
+    /// Converts a [`FieldMatch`] (validated against `field`).
+    #[must_use]
+    pub fn from_match(m: FieldMatch, field: MatchFieldKind) -> Self {
+        match m {
+            FieldMatch::Exact(v) => {
+                if field.match_method() == oflow::MatchMethod::Lpm {
+                    FieldKey::Prefix(v, field.bit_width())
+                } else {
+                    FieldKey::Exact(v as u64)
+                }
+            }
+            FieldMatch::Prefix { value, len } => FieldKey::Prefix(value, len),
+            FieldMatch::Range { lo, hi } => FieldKey::Range(lo as u64, hi as u64),
+            FieldMatch::Any => FieldKey::Any,
+        }
+    }
+}
+
+/// Result of interning one rule field at build time.
+#[derive(Debug, Clone)]
+pub struct InternOutcome {
+    /// The labels identifying this constraint (one per partition for
+    /// tries, a single label otherwise).
+    pub labels: Vec<Label>,
+    /// Per position: alternative labels that can shadow this constraint at
+    /// search time (same-level nested prefixes, nested ranges). Used for
+    /// index completion.
+    pub shadows: Vec<Vec<Label>>,
+    /// Memory update records this intern wrote (zero when the value was
+    /// already stored — the label method's saving).
+    pub update: UpdateCount,
+    /// Specificity of the constraint (bits pinned), for probe ordering.
+    pub specificity: u32,
+}
+
+impl FieldEngine {
+    /// Creates an empty engine for a field under the given algorithm.
+    ///
+    /// # Panics
+    /// Panics if the algorithm cannot serve the field (e.g. MBT partitions
+    /// not tiling the field width).
+    #[must_use]
+    pub fn new(field: MatchFieldKind, algorithm: &AlgorithmKind, expected: usize) -> Self {
+        match algorithm {
+            AlgorithmKind::EmLut => FieldEngine::Em {
+                lut: HashLut::with_capacity(field.bit_width().min(64), expected),
+                dict: Dictionary::new(),
+                any_label: None,
+            },
+            AlgorithmKind::Mbt { partition_bits, strides } => {
+                FieldEngine::Trie(PartitionedTrie::with_schedule(
+                    field.bit_width(),
+                    *partition_bits,
+                    ofalgo::StrideSchedule::new(strides.clone()),
+                ))
+            }
+            AlgorithmKind::Range => FieldEngine::Range {
+                ranges: Dictionary::new(),
+                matcher: RangeMatcher::new(field.bit_width().min(64), []),
+                any_label: None,
+            },
+        }
+    }
+
+    /// Number of label positions this engine contributes to the index key.
+    #[must_use]
+    pub fn label_positions(&self) -> usize {
+        match self {
+            FieldEngine::Trie(pt) => pt.partitions(),
+            _ => 1,
+        }
+    }
+
+    /// Label width per position (for index-key sizing).
+    #[must_use]
+    pub fn label_bits(&self) -> Vec<u32> {
+        match self {
+            FieldEngine::Em { dict, .. } => vec![ofmem::bits_for_index(dict.len().max(1))],
+            FieldEngine::Trie(pt) => {
+                pt.dictionaries().iter().map(Dictionary::label_bits).collect()
+            }
+            FieldEngine::Range { ranges, .. } => {
+                vec![ofmem::bits_for_index(ranges.len().max(1))]
+            }
+        }
+    }
+
+    /// Interns a rule's constraint; see [`InternOutcome`].
+    pub fn intern(&mut self, key: FieldKey, field_bits: u32) -> InternOutcome {
+        match self {
+            FieldEngine::Em { lut, dict, any_label } => match key {
+                FieldKey::Exact(v) => {
+                    let (label, is_new) = dict.intern(v);
+                    let mut update = UpdateCount::default();
+                    if is_new {
+                        lut.insert(v, label);
+                        update.entries_written = 1;
+                    }
+                    InternOutcome {
+                        labels: vec![label],
+                        shadows: vec![vec![]],
+                        update,
+                        specificity: field_bits,
+                    }
+                }
+                FieldKey::Any => {
+                    let label = *any_label.get_or_insert_with(|| {
+                        let (l, _) = dict.intern(u64::MAX); // sentinel slot
+                        l
+                    });
+                    InternOutcome {
+                        labels: vec![label],
+                        shadows: vec![vec![]],
+                        update: UpdateCount::default(),
+                        specificity: 0,
+                    }
+                }
+                other => panic!("EM engine cannot intern {other:?}"),
+            },
+            FieldEngine::Trie(pt) => {
+                let (value, len) = match key {
+                    FieldKey::Prefix(v, l) => (v, l),
+                    FieldKey::Exact(v) => (u128::from(v), field_bits),
+                    FieldKey::Any => (0, 0),
+                    other => panic!("trie engine cannot intern {other:?}"),
+                };
+                let (labels, update) = pt.insert(value, len);
+                let shadows = pt.shadow_labels(value, len);
+                InternOutcome { labels, shadows, update, specificity: len }
+            }
+            FieldEngine::Range { ranges, matcher, any_label } => {
+                let full = if field_bits >= 64 { u64::MAX } else { (1 << field_bits) - 1 };
+                match key {
+                    FieldKey::Range(lo, hi) => {
+                        let (label, is_new) = ranges.intern((lo, hi));
+                        let mut update = UpdateCount::default();
+                        if is_new {
+                            *matcher = RangeMatcher::new(
+                                field_bits.min(64),
+                                ranges
+                                    .values()
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(i, &(l, h))| (l, h, Label(i as u32))),
+                            );
+                            // Segment-table rewrite: one record per segment.
+                            update.entries_written = matcher.segments();
+                        }
+                        // Shadows: stored ranges that intersect this one
+                        // and are no wider (they can win the narrowest-
+                        // range tie somewhere in the intersection).
+                        let shadows = ranges
+                            .values()
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &(l, h))| {
+                                (l, h) != (lo, hi) && l <= hi && lo <= h && h - l <= hi - lo
+                            })
+                            .map(|(i, _)| Label(i as u32))
+                            .collect();
+                        let narrowness =
+                            field_bits.saturating_sub(64 - (hi - lo).leading_zeros());
+                        InternOutcome {
+                            labels: vec![label],
+                            shadows: vec![shadows],
+                            update,
+                            specificity: narrowness,
+                        }
+                    }
+                    FieldKey::Exact(v) => {
+                        self.intern(FieldKey::Range(v, v), field_bits)
+                    }
+                    FieldKey::Any => {
+                        // Wildcard = the full range; shadowed by everything.
+                        let (label, is_new) = ranges.intern((0, full));
+                        if is_new {
+                            *matcher = RangeMatcher::new(
+                                field_bits.min(64),
+                                ranges
+                                    .values()
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(i, &(l, h))| (l, h, Label(i as u32))),
+                            );
+                        }
+                        *any_label = Some(label);
+                        let shadows = ranges
+                            .values()
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &(l, h))| (l, h) != (0, full))
+                            .map(|(i, _)| Label(i as u32))
+                            .collect();
+                        InternOutcome {
+                            labels: vec![label],
+                            shadows: vec![shadows],
+                            update: UpdateCount::default(),
+                            specificity: 0,
+                        }
+                    }
+                    other => panic!("range engine cannot intern {other:?}"),
+                }
+            }
+        }
+    }
+
+    /// Shadow sets for a constraint, computed against the *complete*
+    /// dictionaries. The switch builder calls this in a second pass after
+    /// all rules are interned — shadows returned by [`FieldEngine::intern`]
+    /// only know the values stored so far.
+    #[must_use]
+    pub fn shadows_for(&self, key: FieldKey, field_bits: u32) -> Vec<Vec<Label>> {
+        match self {
+            FieldEngine::Em { .. } => vec![vec![]],
+            // Tries need no completion: effective_chains() already returns
+            // the full ancestor closure, which is exactly the set of
+            // stored prefixes matching a key.
+            FieldEngine::Trie(pt) => {
+                let _ = key;
+                vec![Vec::new(); pt.partitions()]
+            }
+            FieldEngine::Range { ranges, .. } => {
+                let full = if field_bits >= 64 { u64::MAX } else { (1 << field_bits) - 1 };
+                let (lo, hi) = match key {
+                    FieldKey::Range(l, h) => (l, h),
+                    FieldKey::Exact(v) => (v, v),
+                    FieldKey::Any => (0, full),
+                    other => panic!("range engine cannot shadow {other:?}"),
+                };
+                let shadows = ranges
+                    .values()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &(l, h))| {
+                        (l, h) != (lo, hi) && l <= hi && lo <= h && h - l <= hi - lo
+                    })
+                    .map(|(i, _)| Label(i as u32))
+                    .collect();
+                vec![shadows]
+            }
+        }
+    }
+
+    /// Searches a header value, returning one chain per label position.
+    #[must_use]
+    pub fn search(&self, value: u128) -> Vec<MatchChain> {
+        match self {
+            FieldEngine::Em { lut, any_label, .. } => {
+                let mut matches = Vec::new();
+                if let Some(l) = lut.lookup(value as u64) {
+                    matches.push((l, 64));
+                }
+                if let Some(l) = any_label {
+                    matches.push((*l, 0));
+                }
+                vec![MatchChain { matches }]
+            }
+            FieldEngine::Trie(pt) => pt.effective_chains(value),
+            FieldEngine::Range { matcher, any_label, .. } => {
+                let mut matches = Vec::new();
+                if let Some(l) = matcher.lookup(value as u64) {
+                    matches.push((l, 32));
+                }
+                if let Some(l) = any_label {
+                    if matches.first().map(|&(m, _)| m) != Some(*l) {
+                        matches.push((*l, 0));
+                    }
+                }
+                vec![MatchChain { matches }]
+            }
+        }
+    }
+
+    /// Finalizes the engine after all rules are interned (computes the
+    /// trie ancestor tables). Must run before [`FieldEngine::search`] on
+    /// trie engines.
+    pub fn finalize(&mut self) {
+        if let FieldEngine::Trie(pt) = self {
+            pt.finalize();
+        }
+    }
+
+    /// Chains for a header that lacks the field entirely (OpenFlow
+    /// prerequisites): only wildcard entries can match.
+    #[must_use]
+    pub fn search_missing(&self) -> Vec<MatchChain> {
+        match self {
+            FieldEngine::Em { any_label, .. } => {
+                let matches = any_label.map(|l| (l, 0)).into_iter().collect();
+                vec![MatchChain { matches }]
+            }
+            FieldEngine::Trie(pt) => (0..pt.partitions())
+                .map(|i| {
+                    let matches = pt.dictionaries()[i]
+                        .get(&(0, 0))
+                        .map(|l| (l, 0))
+                        .into_iter()
+                        .collect();
+                    MatchChain { matches }
+                })
+                .collect(),
+            FieldEngine::Range { any_label, .. } => {
+                let matches = any_label.map(|l| (l, 0)).into_iter().collect();
+                vec![MatchChain { matches }]
+            }
+        }
+    }
+
+    /// Memory report for this engine.
+    #[must_use]
+    pub fn memory_report(&self, name: &str) -> MemoryReport {
+        let mut out = MemoryReport::new();
+        match self {
+            FieldEngine::Em { lut, dict, .. } => {
+                out.merge(lut.memory_report(name, Some(ofmem::bits_for_index(dict.len().max(1)))));
+            }
+            FieldEngine::Trie(pt) => out.merge_under(name, pt.memory_report()),
+            FieldEngine::Range { matcher, ranges, .. } => {
+                out.merge(matcher.memory_report(name, Some(ranges.label_bits())));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oflow::MatchFieldKind::*;
+
+    #[test]
+    fn em_engine_intern_and_search() {
+        let mut e = FieldEngine::new(VlanVid, &AlgorithmKind::EmLut, 16);
+        let o1 = e.intern(FieldKey::Exact(100), 13);
+        let o2 = e.intern(FieldKey::Exact(100), 13);
+        assert_eq!(o1.labels, o2.labels);
+        assert_eq!(o1.update.records(), 1);
+        assert_eq!(o2.update.records(), 0);
+        let chains = e.search(100);
+        assert_eq!(chains[0].best().unwrap().0, o1.labels[0]);
+        assert!(e.search(101)[0].is_empty());
+    }
+
+    #[test]
+    fn em_engine_wildcard_label() {
+        let mut e = FieldEngine::new(VlanVid, &AlgorithmKind::EmLut, 16);
+        let o_any = e.intern(FieldKey::Any, 13);
+        let o_val = e.intern(FieldKey::Exact(5), 13);
+        // A header matching the exact value also reports the any label.
+        let chain = &e.search(5)[0];
+        assert_eq!(chain.matches.len(), 2);
+        assert_eq!(chain.matches[0].0, o_val.labels[0]);
+        assert_eq!(chain.matches[1].0, o_any.labels[0]);
+        // A header matching nothing still reports the any label.
+        let chain = &e.search(77)[0];
+        assert_eq!(chain.matches, vec![(o_any.labels[0], 0)]);
+    }
+
+    #[test]
+    fn trie_engine_partition_labels() {
+        let mut e = FieldEngine::new(Ipv4Dst, &AlgorithmKind::classic_mbt(), 16);
+        let o = e.intern(FieldKey::Prefix(0x0A01_0200, 24), 32);
+        assert_eq!(o.labels.len(), 2);
+        assert_eq!(o.specificity, 24);
+        e.finalize();
+        let chains = e.search(0x0A01_02FF);
+        assert_eq!(chains.len(), 2);
+        assert_eq!(chains[0].best().unwrap().0, o.labels[0]);
+        assert_eq!(chains[1].best().unwrap().0, o.labels[1]);
+    }
+
+    #[test]
+    fn trie_engine_ancestor_closure_in_chains() {
+        let mut e = FieldEngine::new(Ipv4Dst, &AlgorithmKind::classic_mbt(), 16);
+        // Same-level nested lower prefixes: /4 (rule len 20) and /2 (18).
+        let o_long = e.intern(FieldKey::Prefix(0x0A01_1000, 20), 32);
+        let o_short = e.intern(FieldKey::Prefix(0x0A01_0000, 18), 32);
+        // No completion shadows are needed for tries...
+        assert!(e.shadows_for(FieldKey::Prefix(0x0A01_0000, 18), 32)[1].is_empty());
+        e.finalize();
+        // ...because a key under the /4 reports BOTH labels via ancestors.
+        let chains = e.search(0x0A01_1234);
+        let lower: Vec<_> = chains[1].matches.iter().map(|&(l, _)| l).collect();
+        assert!(lower.contains(&o_long.labels[1]));
+        assert!(lower.contains(&o_short.labels[1]));
+        // A key under the /2 but outside the /4 reports only the /2.
+        let chains = e.search(0x0A01_0234);
+        let lower: Vec<_> = chains[1].matches.iter().map(|&(l, _)| l).collect();
+        assert!(lower.contains(&o_short.labels[1]));
+        assert!(!lower.contains(&o_long.labels[1]));
+    }
+
+    #[test]
+    fn range_engine_nested_shadows() {
+        let mut e = FieldEngine::new(TcpDst, &AlgorithmKind::Range, 16);
+        let o_narrow = e.intern(FieldKey::Range(100, 200), 16);
+        let o_wide = e.intern(FieldKey::Range(0, 1000), 16);
+        assert_eq!(o_wide.shadows[0], vec![o_narrow.labels[0]]);
+        assert!(o_narrow.shadows[0].is_empty());
+        // Search in the nested region reports the narrow label first.
+        let chain = &e.search(150)[0];
+        assert_eq!(chain.best().unwrap().0, o_narrow.labels[0]);
+    }
+
+    #[test]
+    fn range_engine_any_is_full_range() {
+        let mut e = FieldEngine::new(TcpDst, &AlgorithmKind::Range, 16);
+        let o_any = e.intern(FieldKey::Any, 16);
+        let o_exact = e.intern(FieldKey::Exact(80), 16);
+        let chain = &e.search(80)[0];
+        assert_eq!(chain.matches[0].0, o_exact.labels[0]);
+        assert!(chain.matches.iter().any(|&(l, _)| l == o_any.labels[0]));
+        let chain = &e.search(81)[0];
+        assert_eq!(chain.matches[0].0, o_any.labels[0]);
+    }
+
+    #[test]
+    fn label_positions_and_bits() {
+        let e = FieldEngine::new(EthDst, &AlgorithmKind::classic_mbt(), 16);
+        assert_eq!(e.label_positions(), 3);
+        assert_eq!(e.label_bits().len(), 3);
+        let e = FieldEngine::new(VlanVid, &AlgorithmKind::EmLut, 16);
+        assert_eq!(e.label_positions(), 1);
+    }
+
+    #[test]
+    fn memory_reports_nonempty() {
+        let mut e = FieldEngine::new(EthDst, &AlgorithmKind::classic_mbt(), 16);
+        e.intern(FieldKey::Prefix(0xAABB_CCDD_EEFF, 48), 48);
+        let r = e.memory_report("eth");
+        assert!(r.total_bits() > 0);
+        assert!(r.bits_under("eth/lower") > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot intern")]
+    fn em_engine_rejects_prefix() {
+        let mut e = FieldEngine::new(VlanVid, &AlgorithmKind::EmLut, 4);
+        e.intern(FieldKey::Prefix(0, 4), 13);
+    }
+}

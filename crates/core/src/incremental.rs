@@ -1,0 +1,339 @@
+//! Incremental rule updates on a built switch.
+//!
+//! The paper lists "incremental update ability" among the lookup-efficiency
+//! criteria (§I) and §V.B measures update cost per stored datum. This
+//! module provides the two controller operations:
+//!
+//! * [`MtlSwitch::add_rule`] — **incremental**: interns the rule's field
+//!   values (writing only new ones, per the label method), refreshes the
+//!   trie ancestor tables, and registers one index entry per table. The
+//!   ancestor-closure search makes this sound without touching existing
+//!   entries: a new, more specific trie value changes other packets'
+//!   LPM results, but their chains still contain the old labels, so the
+//!   old combinations still hit. The one exception is a *new unique
+//!   range* on a range-matched field — range matches are not totally
+//!   ordered, so the affected application falls back to a rebuild (and
+//!   the returned stats say so).
+//! * [`MtlSwitch::remove_rule`] — regenerates the application from its
+//!   remaining rules, exactly the paper's controller flow ("two files are
+//!   generated ... the processed information is stored in an update
+//!   file"); the cost returned is the regeneration's record count.
+
+use offilter::{FilterKind, FilterSet, Rule};
+use ofalgo::Label;
+
+use crate::actions::ActionRow;
+use crate::engine::{FieldEngine, FieldKey};
+use crate::switch::{build_app, MtlSwitch, StoredRule};
+use crate::update::UpdateStats;
+
+/// How an update was applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateMode {
+    /// Applied in place; only new datums were written.
+    Incremental,
+    /// The application was regenerated from its rule list.
+    Rebuild,
+}
+
+/// Outcome of an incremental operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Records written (2 clock cycles each, §V.B).
+    pub stats: UpdateStats,
+    /// Whether the fast path applied.
+    pub mode: UpdateMode,
+}
+
+impl MtlSwitch {
+    /// Adds a rule to an application. Returns the records written and
+    /// whether the incremental fast path applied.
+    ///
+    /// # Panics
+    /// Panics if the switch has no application of `kind`.
+    pub fn add_rule(&mut self, kind: FilterKind, rule: Rule) -> UpdateOutcome {
+        let app_idx = self
+            .apps
+            .iter()
+            .position(|a| a.kind == kind)
+            .unwrap_or_else(|| panic!("no application of kind {kind}"));
+
+        // Detect the range-engine slow path before mutating anything.
+        let needs_rebuild = {
+            let app = &self.apps[app_idx];
+            app.tables.iter().any(|te| {
+                te.engines.iter().any(|(field, engine)| {
+                    if let FieldEngine::Range { ranges, .. } = engine {
+                        let key = FieldKey::from_match(rule.field(*field), *field);
+                        match key {
+                            FieldKey::Range(lo, hi) => ranges.get(&(lo, hi)).is_none(),
+                            FieldKey::Exact(v) => ranges.get(&(v, v)).is_none(),
+                            _ => false,
+                        }
+                    } else {
+                        false
+                    }
+                })
+            })
+        };
+        if needs_rebuild {
+            let mut rules: Vec<Rule> =
+                self.apps[app_idx].rule_keys.iter().map(|s| s.rule.clone()).collect();
+            rules.push(rule);
+            return self.rebuild_application(app_idx, rules);
+        }
+
+        let MtlSwitch { apps, ledger, .. } = self;
+        let app = &mut apps[app_idx];
+        let mut records = 0usize;
+        let mut meta: Option<u32> = None;
+        let mut per_table_keys: Vec<Vec<FieldKey>> = Vec::with_capacity(app.tables.len());
+
+        let num_tables = app.tables.len();
+        for ti in 0..num_tables {
+            let te = &mut app.tables[ti];
+            let mut key: Vec<Label> = Vec::new();
+            let mut shadows: Vec<Vec<Label>> = Vec::new();
+            if te.config.uses_metadata {
+                key.push(Label(meta.expect("chained table without predecessor")));
+                shadows.push(Vec::new());
+            }
+            let mut keys = Vec::with_capacity(te.engines.len());
+            let mut spec = 0u32;
+            for (field, engine) in &mut te.engines {
+                let k = FieldKey::from_match(rule.field(*field), *field);
+                let outcome = engine.intern(k, field.bit_width());
+                records += outcome.update.records();
+                ledger.algorithm_label_records += outcome.update.records();
+                if outcome.update.records() > 0 {
+                    engine.finalize();
+                }
+                spec += outcome.specificity;
+                key.extend(outcome.labels);
+                keys.push(k);
+            }
+            for (fi, (field, engine)) in te.engines.iter().enumerate() {
+                shadows.extend(engine.shadows_for(keys[fi], field.bit_width()));
+            }
+            per_table_keys.push(keys);
+
+            let last = ti + 1 == num_tables;
+            if last {
+                let row = te.actions.push(ActionRow::Final(rule.action));
+                records += 1;
+                ledger.action_records += 1;
+                let before = te.index.len();
+                te.index.register(key, &shadows, u32::from(rule.priority), row);
+                let added = te.index.len() - before;
+                records += added;
+                ledger.index_records += added;
+            } else {
+                let goto = te.config.goto.expect("intermediate table needs goto");
+                // Find the existing combo row via a probe; create if new.
+                let row = match te.index.probe(&key) {
+                    Some((_, row)) => row,
+                    None => {
+                        let row = te.actions.push_continue(goto);
+                        records += 1;
+                        ledger.action_records += 1;
+                        row
+                    }
+                };
+                let before = te.index.len();
+                te.index.register(key, &shadows, spec, row);
+                let added = te.index.len() - before;
+                records += added;
+                ledger.index_records += added;
+                meta = Some(row);
+            }
+        }
+        app.rule_keys.push(StoredRule { rule, keys: per_table_keys });
+        UpdateOutcome { stats: UpdateStats { records }, mode: UpdateMode::Incremental }
+    }
+
+    /// Removes a rule by id; the application is regenerated from its
+    /// remaining rules (the §V.B controller flow). Returns the records the
+    /// regeneration wrote, or `None` if the id does not exist.
+    pub fn remove_rule(&mut self, kind: FilterKind, rule_id: u32) -> Option<UpdateOutcome> {
+        let app_idx = self.apps.iter().position(|a| a.kind == kind)?;
+        let before = self.apps[app_idx].rule_keys.len();
+        let rules: Vec<Rule> = self.apps[app_idx]
+            .rule_keys
+            .iter()
+            .map(|s| s.rule.clone())
+            .filter(|r| r.id != rule_id)
+            .collect();
+        if rules.len() == before {
+            return None;
+        }
+        Some(self.rebuild_application(app_idx, rules))
+    }
+
+    /// Regenerates one application from a rule list.
+    fn rebuild_application(&mut self, app_idx: usize, rules: Vec<Rule>) -> UpdateOutcome {
+        let kind = self.apps[app_idx].kind;
+        let table_cfgs: Vec<crate::config::TableConfig> =
+            self.apps[app_idx].tables.iter().map(|t| t.config.clone()).collect();
+        let set = FilterSet::new("rebuild", kind, rules);
+        let mut ledger = crate::update::BuildLedger::default();
+        let rebuilt = build_app(kind, &table_cfgs, &set, &mut ledger);
+        self.apps[app_idx] = rebuilt;
+        let records =
+            ledger.algorithm_label_records + ledger.index_records + ledger.action_records;
+        // Fold the regeneration into the switch-wide ledger.
+        self.ledger.algorithm_label_records += ledger.algorithm_label_records;
+        self.ledger.algorithm_original_records += ledger.algorithm_original_records;
+        self.ledger.index_records += ledger.index_records;
+        self.ledger.action_records += ledger.action_records;
+        UpdateOutcome { stats: UpdateStats { records }, mode: UpdateMode::Rebuild }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SwitchConfig;
+    use oflow::{FlowMatch, HeaderValues, MatchFieldKind, Verdict};
+    use offilter::RuleAction;
+
+    fn route(id: u32, port: u32, value: u128, len: u32, out: u32) -> Rule {
+        Rule::new(
+            id,
+            len as u16,
+            FlowMatch::any()
+                .with_exact(MatchFieldKind::InPort, u128::from(port))
+                .unwrap()
+                .with_prefix(MatchFieldKind::Ipv4Dst, value, len)
+                .unwrap(),
+            RuleAction::Forward(out),
+        )
+    }
+
+    fn header(port: u32, dst: u128) -> HeaderValues {
+        HeaderValues::new()
+            .with(MatchFieldKind::InPort, u128::from(port))
+            .with(MatchFieldKind::Ipv4Dst, dst)
+    }
+
+    #[test]
+    fn add_rule_becomes_visible() {
+        let set = FilterSet::new(
+            "inc",
+            FilterKind::Routing,
+            vec![route(0, 1, 0x0A00_0000, 8, 1)],
+        );
+        let mut sw =
+            MtlSwitch::build(&SwitchConfig::single_app(FilterKind::Routing, 0), &[&set]);
+        assert_eq!(sw.classify(&header(1, 0x0A01_0203)).verdict, Verdict::Output(1));
+
+        let out = sw.add_rule(FilterKind::Routing, route(1, 1, 0x0A01_0200, 24, 9));
+        assert_eq!(out.mode, UpdateMode::Incremental);
+        assert!(out.stats.records > 0);
+        // New, more specific rule wins in its region...
+        assert_eq!(sw.classify(&header(1, 0x0A01_0203)).verdict, Verdict::Output(9));
+        // ...and the old rule still covers the rest.
+        assert_eq!(sw.classify(&header(1, 0x0A02_0000)).verdict, Verdict::Output(1));
+    }
+
+    #[test]
+    fn add_rule_with_shared_values_writes_little() {
+        let set = FilterSet::new(
+            "inc",
+            FilterKind::Routing,
+            vec![route(0, 1, 0x0A01_0200, 24, 1)],
+        );
+        let mut sw =
+            MtlSwitch::build(&SwitchConfig::single_app(FilterKind::Routing, 0), &[&set]);
+        // Same prefix, different port: only the port LUT entry, the index
+        // entries and the action row are new.
+        let out = sw.add_rule(FilterKind::Routing, route(1, 2, 0x0A01_0200, 24, 5));
+        assert_eq!(out.mode, UpdateMode::Incremental);
+        assert!(
+            out.stats.records <= 6,
+            "shared values should write few records, wrote {}",
+            out.stats.records
+        );
+        assert_eq!(sw.classify(&header(2, 0x0A01_02FF)).verdict, Verdict::Output(5));
+        assert_eq!(sw.classify(&header(1, 0x0A01_02FF)).verdict, Verdict::Output(1));
+    }
+
+    #[test]
+    fn incremental_adds_match_fresh_build() {
+        // Adding rules one by one classifies like building from scratch.
+        let rules: Vec<Rule> = vec![
+            route(0, 1, 0, 0, 1),
+            route(1, 1, 0x0A00_0000, 8, 2),
+            route(2, 1, 0x0A01_0000, 16, 3),
+            route(3, 2, 0x0A01_8000, 17, 4),
+            route(4, 1, 0x0A01_0200, 24, 5),
+        ];
+        let config = SwitchConfig::single_app(FilterKind::Routing, 0);
+
+        let seed_set = FilterSet::new("inc", FilterKind::Routing, vec![rules[0].clone()]);
+        let mut incremental = MtlSwitch::build(&config, &[&seed_set]);
+        for r in &rules[1..] {
+            incremental.add_rule(FilterKind::Routing, r.clone());
+        }
+
+        let full_set = FilterSet::new("inc", FilterKind::Routing, rules.clone());
+        let fresh = MtlSwitch::build(&config, &[&full_set]);
+
+        for port in 1u32..3 {
+            for dst in [0u128, 0x0A00_0001, 0x0A01_0001, 0x0A01_8001, 0x0A01_0201, 0xFF00_0000] {
+                let h = header(port, dst);
+                assert_eq!(
+                    incremental.classify(&h).verdict,
+                    fresh.classify(&h).verdict,
+                    "port {port} dst {dst:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn remove_rule_rebuilds_without_it() {
+        let rules = vec![
+            route(0, 1, 0x0A00_0000, 8, 1),
+            route(1, 1, 0x0A01_0200, 24, 9),
+        ];
+        let set = FilterSet::new("inc", FilterKind::Routing, rules);
+        let mut sw =
+            MtlSwitch::build(&SwitchConfig::single_app(FilterKind::Routing, 0), &[&set]);
+        assert_eq!(sw.classify(&header(1, 0x0A01_0203)).verdict, Verdict::Output(9));
+
+        let out = sw.remove_rule(FilterKind::Routing, 1).expect("rule exists");
+        assert_eq!(out.mode, UpdateMode::Rebuild);
+        // The /24 is gone; the /8 takes over.
+        assert_eq!(sw.classify(&header(1, 0x0A01_0203)).verdict, Verdict::Output(1));
+        // Unknown id reports None.
+        assert!(sw.remove_rule(FilterKind::Routing, 99).is_none());
+    }
+
+    #[test]
+    fn new_range_triggers_rebuild() {
+        use offilter::synth::{generate_acl, AclConfig};
+        let set = generate_acl(&AclConfig { rules: 60, ..AclConfig::default() }, 3);
+        let config = SwitchConfig::flat_app(FilterKind::Acl, 0);
+        let mut sw = MtlSwitch::build(&config, &[&set]);
+        // A rule with a brand-new port range must rebuild.
+        let rule = Rule::new(
+            999,
+            u16::MAX,
+            FlowMatch::any()
+                .with_exact(MatchFieldKind::IpProto, 6)
+                .unwrap()
+                .with_range(MatchFieldKind::TcpDst, 40_000, 40_100)
+                .unwrap(),
+            RuleAction::Deny,
+        );
+        let out = sw.add_rule(FilterKind::Acl, rule);
+        assert_eq!(out.mode, UpdateMode::Rebuild);
+        let h = HeaderValues::new()
+            .with(MatchFieldKind::Ipv4Src, 1)
+            .with(MatchFieldKind::Ipv4Dst, 2)
+            .with(MatchFieldKind::IpProto, 6)
+            .with(MatchFieldKind::TcpSrc, 1)
+            .with(MatchFieldKind::TcpDst, 40_050);
+        assert_eq!(sw.classify(&h).verdict, Verdict::Drop);
+    }
+}

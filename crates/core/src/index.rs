@@ -1,0 +1,277 @@
+//! Label-combination index tables.
+//!
+//! "The result from each algorithm search is a label, which is used to
+//! obtain the final index to address the action tables" (paper §IV.C). The
+//! index table maps a vector of labels — one per label position of the
+//! table's fields, optionally prefixed by the incoming metadata label — to
+//! an action-table row.
+//!
+//! ## Completion entries
+//!
+//! Decomposition has a well-known correctness gap: a search reports the
+//! *most specific* label per position, so a rule whose field value is
+//! nested inside another stored value at the same trie level (or inside a
+//! narrower range) can be shadowed. The builder closes the gap by also
+//! registering the rule under every shadowing combination (bounded
+//! cross-product of the per-position shadow sets), keeping the
+//! highest-priority rule per combination. Lookup then probes the product
+//! of the per-position match chains and picks the highest-priority hit.
+//! Completion entries are counted in the memory report — they are the
+//! memory cost decomposition pays instead of TCAM replication.
+
+use ofalgo::{Label, MatchChain};
+use ofmem::{bits_for_index, EntryLayout, MemoryBlock, MemoryReport};
+use std::collections::HashMap;
+
+/// An index table entry's payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    /// Rule priority (for best-hit selection across probes).
+    priority: u32,
+    /// Action-table row.
+    row: u32,
+}
+
+/// A label-combination index.
+#[derive(Debug, Clone, Default)]
+pub struct IndexTable {
+    map: HashMap<Vec<Label>, Slot>,
+    /// Entries added for rules directly.
+    primary_entries: usize,
+    /// Entries added by shadow completion.
+    completion_entries: usize,
+    /// Widest key observed (label positions).
+    positions: usize,
+}
+
+impl IndexTable {
+    /// Creates an empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a rule under its primary label combination and all
+    /// shadowing combinations. `shadows[i]` lists alternative labels for
+    /// position `i`.
+    pub fn register(
+        &mut self,
+        key: Vec<Label>,
+        shadows: &[Vec<Label>],
+        priority: u32,
+        row: u32,
+    ) {
+        assert_eq!(key.len(), shadows.len(), "one shadow set per position");
+        self.positions = self.positions.max(key.len());
+        // Enumerate the cross product of {primary, shadows...} per slot.
+        let mut combos: Vec<Vec<Label>> = vec![Vec::with_capacity(key.len())];
+        for (i, primary) in key.iter().enumerate() {
+            let mut next = Vec::with_capacity(combos.len() * (1 + shadows[i].len()));
+            for combo in &combos {
+                let mut with_primary = combo.clone();
+                with_primary.push(*primary);
+                next.push(with_primary);
+                for alt in &shadows[i] {
+                    let mut with_alt = combo.clone();
+                    with_alt.push(*alt);
+                    next.push(with_alt);
+                }
+            }
+            combos = next;
+        }
+        for (n, combo) in combos.into_iter().enumerate() {
+            let is_primary = n == 0;
+            match self.map.get_mut(&combo) {
+                Some(slot) if slot.priority >= priority => {}
+                Some(slot) => *slot = Slot { priority, row },
+                None => {
+                    self.map.insert(combo, Slot { priority, row });
+                    if is_primary {
+                        self.primary_entries += 1;
+                    } else {
+                        self.completion_entries += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Looks up one exact combination.
+    #[must_use]
+    pub fn probe(&self, key: &[Label]) -> Option<(u32, u32)> {
+        self.map.get(key).map(|s| (s.priority, s.row))
+    }
+
+    /// Probes every combination of the per-position chains and returns the
+    /// highest-priority hit `(priority, row)`, plus the number of probes
+    /// issued (a pipeline-cost statistic).
+    #[must_use]
+    pub fn probe_chains(&self, chains: &[MatchChain]) -> (Option<(u32, u32)>, usize) {
+        if chains.iter().any(MatchChain::is_empty) {
+            return (None, 0);
+        }
+        let mut best: Option<(u32, u32)> = None;
+        let mut probes = 0;
+        let mut key: Vec<Label> = Vec::with_capacity(chains.len());
+        self.probe_rec(chains, 0, &mut key, &mut best, &mut probes);
+        (best, probes)
+    }
+
+    fn probe_rec(
+        &self,
+        chains: &[MatchChain],
+        pos: usize,
+        key: &mut Vec<Label>,
+        best: &mut Option<(u32, u32)>,
+        probes: &mut usize,
+    ) {
+        if pos == chains.len() {
+            *probes += 1;
+            if let Some(hit) = self.probe(key) {
+                if best.is_none() || hit.0 > best.unwrap().0 {
+                    *best = Some(hit);
+                }
+            }
+            return;
+        }
+        for &(label, _) in &chains[pos].matches {
+            key.push(label);
+            self.probe_rec(chains, pos + 1, key, best, probes);
+            key.pop();
+        }
+    }
+
+    /// Total entries (primary + completion).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Entries registered directly by rules.
+    #[must_use]
+    pub fn primary_entries(&self) -> usize {
+        self.primary_entries
+    }
+
+    /// Entries added by shadow completion.
+    #[must_use]
+    pub fn completion_entries(&self) -> usize {
+        self.completion_entries
+    }
+
+    /// Memory report: a hash table at ≤ 50 % load of
+    /// `valid + key(label bits) + priority + row` entries.
+    #[must_use]
+    pub fn memory_report(&self, name: &str, label_bits: &[u32]) -> MemoryReport {
+        let key_bits: u32 = label_bits.iter().sum();
+        let layout = EntryLayout::new()
+            .with_field("valid", 1)
+            .with_field("labels", key_bits)
+            .with_field("priority", 6)
+            .with_field("action_row", bits_for_index(self.map.len().max(1)));
+        let capacity = (2 * self.map.len().max(1)).next_power_of_two();
+        let mut r = MemoryReport::new();
+        r.push(MemoryBlock::with_layout(name, capacity, layout));
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(labels: &[(u32, u32)]) -> MatchChain {
+        MatchChain { matches: labels.iter().map(|&(l, len)| (Label(l), len)).collect() }
+    }
+
+    #[test]
+    fn register_and_probe() {
+        let mut idx = IndexTable::new();
+        idx.register(vec![Label(1), Label(2)], &[vec![], vec![]], 10, 0);
+        assert_eq!(idx.probe(&[Label(1), Label(2)]), Some((10, 0)));
+        assert_eq!(idx.probe(&[Label(1), Label(3)]), None);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.primary_entries(), 1);
+    }
+
+    #[test]
+    fn completion_entries_from_shadows() {
+        let mut idx = IndexTable::new();
+        // Rule at (1, 2); position 1 can be shadowed by labels 5 and 6.
+        idx.register(vec![Label(1), Label(2)], &[vec![], vec![Label(5), Label(6)]], 4, 0);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.completion_entries(), 2);
+        assert_eq!(idx.probe(&[Label(1), Label(5)]), Some((4, 0)));
+        assert_eq!(idx.probe(&[Label(1), Label(6)]), Some((4, 0)));
+    }
+
+    #[test]
+    fn higher_priority_keeps_slot() {
+        let mut idx = IndexTable::new();
+        idx.register(vec![Label(1)], &[vec![]], 10, 0);
+        idx.register(vec![Label(1)], &[vec![]], 5, 1);
+        assert_eq!(idx.probe(&[Label(1)]), Some((10, 0)));
+        idx.register(vec![Label(1)], &[vec![]], 20, 2);
+        assert_eq!(idx.probe(&[Label(1)]), Some((20, 2)));
+        // Re-registration never double counts.
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn completion_does_not_clobber_primary() {
+        let mut idx = IndexTable::new();
+        // Primary rule at (1, 5) with high priority.
+        idx.register(vec![Label(1), Label(5)], &[vec![], vec![]], 32, 0);
+        // Another rule at (1, 2) whose position-1 shadow is label 5 but
+        // with lower priority: the (1,5) slot must keep rule 0.
+        idx.register(vec![Label(1), Label(2)], &[vec![], vec![Label(5)]], 16, 1);
+        assert_eq!(idx.probe(&[Label(1), Label(5)]), Some((32, 0)));
+        assert_eq!(idx.probe(&[Label(1), Label(2)]), Some((16, 1)));
+    }
+
+    #[test]
+    fn probe_chains_picks_best_priority() {
+        let mut idx = IndexTable::new();
+        idx.register(vec![Label(1), Label(9)], &[vec![], vec![]], 24, 0);
+        idx.register(vec![Label(1), Label(8)], &[vec![], vec![]], 16, 1);
+        // Chain: position 0 = [1]; position 1 = [9 (len 24), 8 (len 16)].
+        let chains = vec![chain(&[(1, 16)]), chain(&[(9, 8), (8, 0)])];
+        let (hit, probes) = idx.probe_chains(&chains);
+        assert_eq!(hit, Some((24, 0)));
+        assert_eq!(probes, 2);
+    }
+
+    #[test]
+    fn probe_chains_empty_position_misses() {
+        let mut idx = IndexTable::new();
+        idx.register(vec![Label(1), Label(2)], &[vec![], vec![]], 1, 0);
+        let chains = vec![chain(&[(1, 16)]), chain(&[])];
+        let (hit, probes) = idx.probe_chains(&chains);
+        assert_eq!(hit, None);
+        assert_eq!(probes, 0);
+    }
+
+    #[test]
+    fn memory_report_sizing() {
+        let mut idx = IndexTable::new();
+        for i in 0..100 {
+            idx.register(vec![Label(i), Label(i + 1)], &[vec![], vec![]], 1, i);
+        }
+        let r = idx.memory_report("index", &[8, 8]);
+        // capacity 256, entry = 1 + 16 + 6 + 7 = 30 bits.
+        assert_eq!(r.total_bits(), 256 * 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "one shadow set per position")]
+    fn shadow_arity_checked() {
+        let mut idx = IndexTable::new();
+        idx.register(vec![Label(1)], &[], 1, 0);
+    }
+}

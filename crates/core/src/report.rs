@@ -1,0 +1,191 @@
+//! Whole-switch memory aggregation (the §V.A headline numbers).
+//!
+//! "Implementation of the proposed architecture based on the MAC learning
+//! and Routing filters consumes 5 Mb of total memory. In this case, 4
+//! OpenFlow Lookup Tables are implemented along with two independent
+//! multibit trie structures and two exact matching LUTs. The MBT
+//! implementation consumes the majority of the total storage."
+//!
+//! [`SwitchMemoryReport`] aggregates every structure of a built switch
+//! into an [`ofmem::MemoryReport`] with hierarchical names
+//! (`t<id>/<field>/<partition>/L<n>`, `t<id>/index`, `t<id>/actions`) and
+//! offers the slicings the paper reports: total, per structure class, per
+//! trie, per level.
+
+use crate::switch::MtlSwitch;
+use ofmem::{BitSize, MemoryReport};
+use ofmem::bram::{BramKind, M20K};
+
+/// Memory breakdown of a built switch.
+#[derive(Debug, Clone)]
+pub struct SwitchMemoryReport {
+    /// All blocks with hierarchical names.
+    pub report: MemoryReport,
+    /// Bits in multi-bit trie structures.
+    pub mbt_bits: u64,
+    /// Bits in exact-match LUTs.
+    pub lut_bits: u64,
+    /// Bits in range matchers.
+    pub range_bits: u64,
+    /// Bits in index tables.
+    pub index_bits: u64,
+    /// Bits in action tables.
+    pub action_bits: u64,
+}
+
+impl SwitchMemoryReport {
+    /// Builds the report for a switch.
+    #[must_use]
+    pub fn of(switch: &MtlSwitch) -> Self {
+        let mut report = MemoryReport::new();
+        let mut mbt_bits = 0;
+        let mut lut_bits = 0;
+        let mut range_bits = 0;
+        let mut index_bits = 0;
+        let mut action_bits = 0;
+
+        for app in &switch.apps {
+            for te in &app.tables {
+                let t = te.config.table_id;
+                for (field, engine) in &te.engines {
+                    let name = format!("t{t}/{field}");
+                    let sub = engine.memory_report(&name);
+                    let bits = sub.total_bits();
+                    match engine {
+                        crate::engine::FieldEngine::Em { .. } => lut_bits += bits,
+                        crate::engine::FieldEngine::Trie(_) => mbt_bits += bits,
+                        crate::engine::FieldEngine::Range { .. } => range_bits += bits,
+                    }
+                    report.merge(sub);
+                }
+                let mut label_bits: Vec<u32> = Vec::new();
+                if te.config.uses_metadata {
+                    label_bits.push(ofmem::bits_for_index(te.actions.len().max(1)));
+                }
+                for (_, engine) in &te.engines {
+                    label_bits.extend(engine.label_bits());
+                }
+                let idx = te.index.memory_report(&format!("t{t}/index"), &label_bits);
+                index_bits += idx.total_bits();
+                report.merge(idx);
+                let act = te.actions.memory_report(&format!("t{t}/actions"));
+                action_bits += act.total_bits();
+                report.merge(act);
+            }
+        }
+        Self { report, mbt_bits, lut_bits, range_bits, index_bits, action_bits }
+    }
+
+    /// Total bits across every structure.
+    #[must_use]
+    pub fn total(&self) -> BitSize {
+        BitSize(self.report.total_bits())
+    }
+
+    /// M20K block count on the paper's Stratix V target.
+    #[must_use]
+    pub fn m20k_blocks(&self) -> u32 {
+        M20K.total_brams(&self.report)
+    }
+
+    /// BRAM count under an alternative device.
+    #[must_use]
+    pub fn brams(&self, kind: &BramKind) -> u32 {
+        kind.total_brams(&self.report)
+    }
+
+    /// Fraction of total memory held by the MBT structures ("the majority
+    /// of the total storage" in the paper's prototype).
+    #[must_use]
+    pub fn mbt_share(&self) -> f64 {
+        let total = self.report.total_bits();
+        if total == 0 {
+            0.0
+        } else {
+            self.mbt_bits as f64 / total as f64
+        }
+    }
+}
+
+impl std::fmt::Display for SwitchMemoryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "total: {}", self.total())?;
+        writeln!(f, "  MBT structures:   {}", BitSize(self.mbt_bits))?;
+        writeln!(f, "  EM LUTs:          {}", BitSize(self.lut_bits))?;
+        if self.range_bits > 0 {
+            writeln!(f, "  range matchers:   {}", BitSize(self.range_bits))?;
+        }
+        writeln!(f, "  index tables:     {}", BitSize(self.index_bits))?;
+        writeln!(f, "  action tables:    {}", BitSize(self.action_bits))?;
+        write!(f, "  M20K blocks:      {}", self.m20k_blocks())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SwitchConfig;
+    use offilter::synth::{generate_mac, generate_routing, MacTargets, RoutingTargets};
+
+    fn built() -> MtlSwitch {
+        let mac = generate_mac(
+            &MacTargets {
+                name: "m".into(),
+                rules: 300,
+                vlan_unique: 12,
+                eth_partitions: [8, 60, 200],
+                ports: 8,
+            },
+            1,
+        );
+        let routing = generate_routing(
+            &RoutingTargets {
+                name: "r".into(),
+                rules: 400,
+                port_unique: 10,
+                ip_partitions: [30, 250],
+                short_prefixes: 3,
+                out_ports: 8,
+            },
+            2,
+        );
+        MtlSwitch::build(&SwitchConfig::mac_routing_preset(), &[&mac, &routing])
+    }
+
+    #[test]
+    fn class_bits_sum_to_total() {
+        let r = SwitchMemoryReport::of(&built());
+        assert_eq!(
+            r.mbt_bits + r.lut_bits + r.range_bits + r.index_bits + r.action_bits,
+            r.report.total_bits()
+        );
+        assert!(r.total().bits() > 0);
+    }
+
+    #[test]
+    fn mbt_dominates_for_paper_workload() {
+        let r = SwitchMemoryReport::of(&built());
+        assert!(
+            r.mbt_share() > 0.3,
+            "MBTs should hold a large share, got {}",
+            r.mbt_share()
+        );
+    }
+
+    #[test]
+    fn hierarchical_names_present() {
+        let r = SwitchMemoryReport::of(&built());
+        assert!(r.report.bits_under("t1/eth_dst/lower") > 0);
+        assert!(r.report.bits_under("t3/ipv4_dst/higher") > 0);
+        assert!(r.report.bits_under("t0/index") > 0);
+        assert!(r.report.bits_under("t2/actions") > 0);
+    }
+
+    #[test]
+    fn m20k_mapping_nonzero() {
+        let r = SwitchMemoryReport::of(&built());
+        assert!(r.m20k_blocks() > 0);
+        let display = r.to_string();
+        assert!(display.contains("M20K"), "{display}");
+    }
+}

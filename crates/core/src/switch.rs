@@ -1,0 +1,569 @@
+//! The multiple-table lookup switch.
+//!
+//! [`MtlSwitch::build`] compiles filter sets into the architecture of
+//! Fig. 1: per table, a partition/selector feeding parallel single-field
+//! engines, an index table combining their labels, and an action table
+//! holding the OpenFlow instructions. Applications spanning several tables
+//! are chained with `Write-Metadata` + `Goto-Table` (§IV.C): an
+//! intermediate table's action row passes its own row number forward as
+//! the metadata label, and the next table's index keys on it.
+//!
+//! The build runs in two passes: pass 1 interns every rule field (the
+//! label method — duplicates write nothing), pass 2 computes shadow sets
+//! against the complete dictionaries and registers index entries with
+//! completion (see [`crate::index`]).
+
+use offilter::{FilterKind, FilterSet};
+use ofalgo::{Label, MatchChain};
+use oflow::{HeaderValues, MatchFieldKind, Verdict};
+use std::collections::HashMap;
+
+use crate::actions::{ActionRow, ActionTable};
+use crate::config::{SwitchConfig, TableConfig};
+use crate::engine::{FieldEngine, FieldKey};
+use crate::index::IndexTable;
+use crate::update::BuildLedger;
+
+/// One lookup table: engines + index + actions.
+#[derive(Debug)]
+pub struct TableEngine {
+    /// Static configuration.
+    pub config: TableConfig,
+    /// Field engines in configuration order.
+    pub engines: Vec<(MatchFieldKind, FieldEngine)>,
+    /// Label-combination index.
+    pub index: IndexTable,
+    /// Action rows.
+    pub actions: ActionTable,
+}
+
+/// One application's table chain.
+#[derive(Debug)]
+pub struct AppEngine {
+    /// The application kind.
+    pub kind: FilterKind,
+    /// Tables in pipeline order.
+    pub tables: Vec<TableEngine>,
+    /// Per rule: its field keys per table (for incremental updates and
+    /// the update-plan generator).
+    pub(crate) rule_keys: Vec<StoredRule>,
+}
+
+/// Per-rule build record: the rule itself plus its engine-facing keys per
+/// table (used by incremental updates and the update-plan generator).
+#[derive(Debug, Clone)]
+pub(crate) struct StoredRule {
+    pub rule: offilter::Rule,
+    pub keys: Vec<Vec<FieldKey>>,
+}
+
+/// Outcome of classifying one header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifyResult {
+    /// Final disposition.
+    pub verdict: Verdict,
+    /// Action row matched in the final table, if any.
+    pub matched_row: Option<u32>,
+    /// Index probes issued across tables (pipeline-cost statistic).
+    pub probes: usize,
+    /// `(table id, matched?)` per table visited.
+    pub path: Vec<(u8, bool)>,
+}
+
+/// The built switch.
+#[derive(Debug)]
+pub struct MtlSwitch {
+    /// Configuration name.
+    pub name: String,
+    /// Application engines in configuration order.
+    pub apps: Vec<AppEngine>,
+    /// Build-time update accounting (feeds the Fig. 5 experiment).
+    pub ledger: BuildLedger,
+}
+
+impl MtlSwitch {
+    /// Builds a switch: each application in `config` consumes the first
+    /// filter set of its kind from `sets`.
+    ///
+    /// # Panics
+    /// Panics if a configured application has no matching filter set, or a
+    /// rule constrains a field its table does not search.
+    #[must_use]
+    pub fn build(config: &SwitchConfig, sets: &[&FilterSet]) -> Self {
+        let mut apps = Vec::new();
+        let mut ledger = BuildLedger::default();
+        for (kind, table_cfgs) in &config.apps {
+            let set = sets
+                .iter()
+                .find(|s| s.kind == *kind)
+                .unwrap_or_else(|| panic!("no filter set of kind {kind}"));
+            apps.push(build_app(*kind, table_cfgs, set, &mut ledger));
+        }
+        Self { name: config.name.clone(), apps, ledger }
+    }
+
+    /// The application engine of a kind.
+    #[must_use]
+    pub fn app(&self, kind: FilterKind) -> Option<&AppEngine> {
+        self.apps.iter().find(|a| a.kind == kind)
+    }
+
+    /// Classifies a header through one application's table chain.
+    ///
+    /// # Panics
+    /// Panics if the switch has no application of that kind.
+    #[must_use]
+    pub fn classify_app(&self, kind: FilterKind, header: &HeaderValues) -> ClassifyResult {
+        let app = self.app(kind).expect("application not configured");
+        let mut meta: Option<u32> = None;
+        let mut path = Vec::new();
+        let mut total_probes = 0;
+
+        for te in &app.tables {
+            let mut chains: Vec<MatchChain> = Vec::new();
+            if te.config.uses_metadata {
+                let m = meta.expect("metadata-using table reached without metadata");
+                chains.push(MatchChain { matches: vec![(Label(m), u32::MAX)] });
+            }
+            for (field, engine) in &te.engines {
+                match header.get(*field) {
+                    Some(v) => chains.extend(engine.search(v)),
+                    None => chains.extend(engine.search_missing()),
+                }
+            }
+            let (hit, probes) = te.index.probe_chains(&chains);
+            total_probes += probes;
+            path.push((te.config.table_id, hit.is_some()));
+            let Some((_, row)) = hit else {
+                // Table miss: "Send to controller".
+                return ClassifyResult {
+                    verdict: Verdict::ToController,
+                    matched_row: None,
+                    probes: total_probes,
+                    path,
+                };
+            };
+            match te.actions.get(row).expect("index row exists") {
+                ActionRow::Continue { meta: m, .. } => meta = Some(*m as u32),
+                ActionRow::Final(action) => {
+                    let verdict = match action {
+                        offilter::RuleAction::Forward(p) => Verdict::Output(*p),
+                        offilter::RuleAction::Deny => Verdict::Drop,
+                        offilter::RuleAction::Controller => Verdict::ToController,
+                    };
+                    return ClassifyResult {
+                        verdict,
+                        matched_row: Some(row),
+                        probes: total_probes,
+                        path,
+                    };
+                }
+            }
+        }
+        unreachable!("application chains end in a final table");
+    }
+
+    /// Classifies through the first configured application (single-app
+    /// switches).
+    #[must_use]
+    pub fn classify(&self, header: &HeaderValues) -> ClassifyResult {
+        self.classify_app(self.apps[0].kind, header)
+    }
+
+    /// Total rules across applications.
+    #[must_use]
+    pub fn total_rules(&self) -> usize {
+        self.apps.iter().map(|a| a.rule_keys.len()).sum()
+    }
+}
+
+/// Builds one application's table chain.
+pub(crate) fn build_app(
+    kind: FilterKind,
+    table_cfgs: &[TableConfig],
+    set: &FilterSet,
+    ledger: &mut BuildLedger,
+) -> AppEngine {
+    assert!(!table_cfgs.is_empty(), "application needs at least one table");
+    let mut tables: Vec<TableEngine> = table_cfgs
+        .iter()
+        .map(|tc| TableEngine {
+            config: tc.clone(),
+            engines: tc
+                .fields
+                .iter()
+                .map(|fc| (fc.field, FieldEngine::new(fc.field, &fc.algorithm, set.len())))
+                .collect(),
+            index: IndexTable::new(),
+            actions: ActionTable::new(),
+        })
+        .collect();
+
+    // Pass 1: intern all rule fields; remember keys, labels, specificity.
+    // first_cost memoises the records the first insert of a value wrote, to
+    // price the "original method" replay (Fig. 5).
+    let mut rule_keys: Vec<StoredRule> = Vec::with_capacity(set.len());
+    let mut labels: Vec<Vec<Vec<Label>>> = Vec::with_capacity(set.len());
+    let mut specs: Vec<Vec<u32>> = Vec::with_capacity(set.len());
+    let mut first_cost: HashMap<(usize, usize, FieldKey), usize> = HashMap::new();
+
+    for rule in &set.rules {
+        let mut per_table_keys = Vec::with_capacity(tables.len());
+        let mut per_table_labels = Vec::with_capacity(tables.len());
+        let mut per_table_spec = Vec::with_capacity(tables.len());
+        for (ti, te) in tables.iter_mut().enumerate() {
+            let mut keys = Vec::with_capacity(te.engines.len());
+            let mut table_labels = Vec::new();
+            let mut spec = 0;
+            for (fi, (field, engine)) in te.engines.iter_mut().enumerate() {
+                let key = FieldKey::from_match(rule.field(*field), *field);
+                let outcome = engine.intern(key, field.bit_width());
+                let records = outcome.update.records();
+                ledger.algorithm_label_records += records;
+                let replay = if records > 0 {
+                    first_cost.insert((ti, fi, key), records);
+                    records
+                } else {
+                    *first_cost.get(&(ti, fi, key)).unwrap_or(&0)
+                };
+                ledger.algorithm_original_records += replay.max(1);
+                spec += outcome.specificity;
+                table_labels.extend(outcome.labels);
+                keys.push(key);
+            }
+            per_table_keys.push(keys);
+            per_table_labels.push(table_labels);
+            per_table_spec.push(spec);
+        }
+        rule_keys.push(StoredRule { rule: rule.clone(), keys: per_table_keys });
+        labels.push(per_table_labels);
+        specs.push(per_table_spec);
+    }
+
+    // Finalize engines (trie ancestor tables) now that dictionaries are
+    // complete.
+    for te in &mut tables {
+        for (_, engine) in &mut te.engines {
+            engine.finalize();
+        }
+    }
+
+    // Pass 2: register index entries with completed shadows.
+    let mut combo_rows: Vec<HashMap<Vec<Label>, u32>> =
+        (0..tables.len()).map(|_| HashMap::new()).collect();
+    for (ri, rule) in set.rules.iter().enumerate() {
+        let mut meta: Option<u32> = None;
+        for ti in 0..tables.len() {
+            let mut key: Vec<Label> = Vec::new();
+            let mut shadows: Vec<Vec<Label>> = Vec::new();
+            if tables[ti].config.uses_metadata {
+                key.push(Label(meta.expect("chained table without previous table")));
+                shadows.push(Vec::new());
+            }
+            key.extend(labels[ri][ti].iter().copied());
+            for (fi, (field, engine)) in tables[ti].engines.iter().enumerate() {
+                let k = rule_keys[ri].keys[ti][fi];
+                shadows.extend(engine.shadows_for(k, field.bit_width()));
+            }
+            let last = ti + 1 == tables.len();
+            if last {
+                let row = tables[ti].actions.push(ActionRow::Final(rule.action));
+                ledger.action_records += 1;
+                let before = tables[ti].index.len();
+                tables[ti].index.register(key, &shadows, u32::from(rule_keys[ri].rule.priority), row);
+                ledger.index_records += tables[ti].index.len() - before;
+            } else {
+                let goto = tables[ti].config.goto.expect("intermediate table needs goto");
+                let row = match combo_rows[ti].get(&key) {
+                    Some(&row) => row,
+                    None => {
+                        let row = tables[ti].actions.push_continue(goto);
+                        ledger.action_records += 1;
+                        combo_rows[ti].insert(key.clone(), row);
+                        row
+                    }
+                };
+                let before = tables[ti].index.len();
+                tables[ti].index.register(key, &shadows, specs[ri][ti], row);
+                ledger.index_records += tables[ti].index.len() - before;
+                meta = Some(row);
+            }
+        }
+    }
+
+    AppEngine { kind, tables, rule_keys }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use offilter::synth::{generate_mac, generate_routing, MacTargets, RoutingTargets};
+    use offilter::{Rule, RuleAction};
+    use oflow::FieldMatch;
+
+    /// Flat reference classifier: highest-priority rule matching all
+    /// fields.
+    fn flat_classify<'a>(set: &'a FilterSet, header: &HeaderValues) -> Option<&'a Rule> {
+        set.rules
+            .iter()
+            .filter(|r| r.flow_match.matches(header))
+            .max_by_key(|r| (r.priority, r.flow_match.specificity()))
+    }
+
+    fn mac_set() -> FilterSet {
+        generate_mac(
+            &MacTargets {
+                name: "t".into(),
+                rules: 300,
+                vlan_unique: 12,
+                eth_partitions: [8, 60, 200],
+                ports: 8,
+            },
+            11,
+        )
+    }
+
+    fn routing_set() -> FilterSet {
+        generate_routing(
+            &RoutingTargets {
+                name: "t".into(),
+                rules: 400,
+                port_unique: 10,
+                ip_partitions: [30, 250],
+                short_prefixes: 4,
+                out_ports: 8,
+            },
+            13,
+        )
+    }
+
+    fn header_for(rule: &Rule, kind: FilterKind) -> HeaderValues {
+        let mut h = HeaderValues::new();
+        for &field in kind.fields() {
+            match rule.field(field) {
+                FieldMatch::Exact(v) => {
+                    h.set(field, v);
+                }
+                FieldMatch::Prefix { value, len } => {
+                    // Fill the free low bits with ones to stress LPM.
+                    let free = field.bit_width() - len;
+                    let fill = if free == 0 { 0 } else { (1u128 << free) - 1 };
+                    h.set(field, value | fill);
+                }
+                FieldMatch::Range { lo, .. } => {
+                    h.set(field, lo);
+                }
+                FieldMatch::Any => {}
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn mac_app_agrees_with_flat_reference() {
+        let set = mac_set();
+        let config = SwitchConfig::single_app(FilterKind::MacLearning, 0);
+        let sw = MtlSwitch::build(&config, &[&set]);
+        for rule in &set.rules {
+            let h = header_for(rule, FilterKind::MacLearning);
+            let want = flat_classify(&set, &h).unwrap();
+            let got = sw.classify(&h);
+            assert_eq!(
+                got.verdict,
+                Verdict::Output(want.action.port().unwrap()),
+                "rule {rule}"
+            );
+        }
+    }
+
+    #[test]
+    fn mac_app_misses_go_to_controller() {
+        let set = mac_set();
+        let config = SwitchConfig::single_app(FilterKind::MacLearning, 0);
+        let sw = MtlSwitch::build(&config, &[&set]);
+        // A VLAN that exists with a MAC that does not.
+        let some_vlan = set.rules[0]
+            .field_as_prefix(MatchFieldKind::VlanVid)
+            .unwrap()
+            .0;
+        let h = HeaderValues::new()
+            .with(MatchFieldKind::VlanVid, some_vlan)
+            .with(MatchFieldKind::EthDst, 0x0191_0000_0001);
+        let got = sw.classify(&h);
+        assert_eq!(got.verdict, Verdict::ToController);
+        // An unknown VLAN misses in table 0 already.
+        let h = HeaderValues::new()
+            .with(MatchFieldKind::VlanVid, 0x0FFE)
+            .with(MatchFieldKind::EthDst, 1);
+        let got = sw.classify(&h);
+        assert_eq!(got.verdict, Verdict::ToController);
+        assert_eq!(got.path.len(), 1);
+    }
+
+    #[test]
+    fn routing_app_agrees_with_flat_reference() {
+        let set = routing_set();
+        let config = SwitchConfig::single_app(FilterKind::Routing, 0);
+        let sw = MtlSwitch::build(&config, &[&set]);
+        // Probe with headers derived from every rule (prefix low bits
+        // stressed) plus shifted variants.
+        for rule in &set.rules {
+            let h = header_for(rule, FilterKind::Routing);
+            let want = flat_classify(&set, &h).expect("rule matches its own header");
+            let got = sw.classify(&h);
+            assert_eq!(
+                got.verdict,
+                Verdict::Output(want.action.port().unwrap()),
+                "rule {rule}"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_random_headers_agree_with_flat_reference() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let set = routing_set();
+        let config = SwitchConfig::single_app(FilterKind::Routing, 0);
+        let sw = MtlSwitch::build(&config, &[&set]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let ports: Vec<u128> = set
+            .rules
+            .iter()
+            .map(|r| r.field_as_prefix(MatchFieldKind::InPort).unwrap().0)
+            .collect();
+        for _ in 0..2000 {
+            let h = HeaderValues::new()
+                .with(MatchFieldKind::InPort, ports[rng.gen_range(0..ports.len())])
+                .with(MatchFieldKind::Ipv4Dst, u128::from(rng.gen::<u32>()));
+            let want = flat_classify(&set, &h);
+            let got = sw.classify(&h);
+            match want {
+                Some(rule) => assert_eq!(
+                    got.verdict,
+                    Verdict::Output(rule.action.port().unwrap()),
+                    "header {h}"
+                ),
+                None => assert_eq!(got.verdict, Verdict::ToController, "header {h}"),
+            }
+        }
+    }
+
+    #[test]
+    fn paper_preset_serves_both_apps() {
+        let mac = mac_set();
+        let routing = routing_set();
+        let config = SwitchConfig::mac_routing_preset();
+        let sw = MtlSwitch::build(&config, &[&mac, &routing]);
+        assert_eq!(sw.apps.len(), 2);
+        assert_eq!(sw.total_rules(), mac.len() + routing.len());
+
+        let h = header_for(&mac.rules[0], FilterKind::MacLearning);
+        let got = sw.classify_app(FilterKind::MacLearning, &h);
+        assert!(matches!(got.verdict, Verdict::Output(_)));
+
+        let h = header_for(&routing.rules[10], FilterKind::Routing);
+        let got = sw.classify_app(FilterKind::Routing, &h);
+        assert!(matches!(got.verdict, Verdict::Output(_)));
+    }
+
+    #[test]
+    fn ledger_shows_label_savings() {
+        let set = mac_set();
+        let config = SwitchConfig::single_app(FilterKind::MacLearning, 0);
+        let sw = MtlSwitch::build(&config, &[&set]);
+        assert!(
+            sw.ledger.algorithm_label_records < sw.ledger.algorithm_original_records,
+            "label method must write fewer records: {} vs {}",
+            sw.ledger.algorithm_label_records,
+            sw.ledger.algorithm_original_records
+        );
+    }
+
+    #[test]
+    fn nested_prefix_adversarial_case() {
+        // Rules crafted to trigger same-level shadowing: two lower-trie
+        // prefixes of lengths 18 and 20 (both L1 of the lower trie) with
+        // different ports, nested values.
+        let rules = vec![
+            Rule::new(
+                0,
+                18,
+                oflow::FlowMatch::any()
+                    .with_exact(MatchFieldKind::InPort, 1)
+                    .unwrap()
+                    .with_prefix(MatchFieldKind::Ipv4Dst, 0x0A01_0000, 18)
+                    .unwrap(),
+                RuleAction::Forward(100),
+            ),
+            Rule::new(
+                1,
+                20,
+                oflow::FlowMatch::any()
+                    .with_exact(MatchFieldKind::InPort, 2)
+                    .unwrap()
+                    .with_prefix(MatchFieldKind::Ipv4Dst, 0x0A01_1000, 20)
+                    .unwrap(),
+                RuleAction::Forward(200),
+            ),
+        ];
+        let set = FilterSet::new("adv", FilterKind::Routing, rules);
+        let config = SwitchConfig::single_app(FilterKind::Routing, 0);
+        let sw = MtlSwitch::build(&config, &[&set]);
+
+        // Packet inside the /20 region but arriving on port 1: must match
+        // rule 0 even though the lower-trie LPM reports the /20's label.
+        let h = HeaderValues::new()
+            .with(MatchFieldKind::InPort, 1)
+            .with(MatchFieldKind::Ipv4Dst, 0x0A01_1234);
+        assert_eq!(sw.classify(&h).verdict, Verdict::Output(100));
+
+        // Port 2 in the same region matches rule 1.
+        let h = HeaderValues::new()
+            .with(MatchFieldKind::InPort, 2)
+            .with(MatchFieldKind::Ipv4Dst, 0x0A01_1234);
+        assert_eq!(sw.classify(&h).verdict, Verdict::Output(200));
+
+        // Port 2 outside the /20 but inside the /18 matches nothing.
+        let h = HeaderValues::new()
+            .with(MatchFieldKind::InPort, 2)
+            .with(MatchFieldKind::Ipv4Dst, 0x0A01_0234);
+        assert_eq!(sw.classify(&h).verdict, Verdict::ToController);
+    }
+
+    #[test]
+    fn default_route_backstop() {
+        let rules = vec![
+            Rule::new(
+                0,
+                0,
+                oflow::FlowMatch::any()
+                    .with_exact(MatchFieldKind::InPort, 1)
+                    .unwrap()
+                    .with_prefix(MatchFieldKind::Ipv4Dst, 0, 0)
+                    .unwrap(),
+                RuleAction::Forward(1),
+            ),
+            Rule::new(
+                1,
+                24,
+                oflow::FlowMatch::any()
+                    .with_exact(MatchFieldKind::InPort, 1)
+                    .unwrap()
+                    .with_prefix(MatchFieldKind::Ipv4Dst, 0x0A01_0200, 24)
+                    .unwrap(),
+                RuleAction::Forward(2),
+            ),
+        ];
+        let set = FilterSet::new("def", FilterKind::Routing, rules);
+        let sw = MtlSwitch::build(&SwitchConfig::single_app(FilterKind::Routing, 0), &[&set]);
+        let h = HeaderValues::new()
+            .with(MatchFieldKind::InPort, 1)
+            .with(MatchFieldKind::Ipv4Dst, 0x0A01_0299);
+        assert_eq!(sw.classify(&h).verdict, Verdict::Output(2));
+        let h = HeaderValues::new()
+            .with(MatchFieldKind::InPort, 1)
+            .with(MatchFieldKind::Ipv4Dst, 0xDEAD_BEEF);
+        assert_eq!(sw.classify(&h).verdict, Verdict::Output(1));
+    }
+}

@@ -1,0 +1,244 @@
+//! The update process model (paper §V.B and Fig. 5).
+//!
+//! "In order to simulate the Software Controller platform, two files are
+//! generated with the information to characterize each algorithm and table
+//! block... On average, two clock cycles are required for each update. The
+//! update data is composed of the label and the information for each
+//! lookup algorithm structure or table. The index used to address the
+//! algorithm data is calculated in the first clock cycle and stored in the
+//! second clock cycle."
+//!
+//! [`BuildLedger`] accumulates, during a switch build, the update records
+//! written by the **label method** (each unique field value stored once)
+//! and the records an **original method** replay would write (each rule
+//! re-writes its field data, duplicates included). [`UpdatePlan`] turns a
+//! built switch into the two characterization files — the algorithm file
+//! and the action/table file — as streams of [`UpdateRecord`]s, and
+//! [`UpdateStats`] applies the 2-cycles-per-record timing model.
+
+use crate::switch::MtlSwitch;
+use std::fmt;
+
+/// Clock cycles per update record (index calculation + store).
+pub const CYCLES_PER_RECORD: usize = 2;
+
+/// Update-record accounting collected while building a switch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildLedger {
+    /// Algorithm-structure records written under the label method.
+    pub algorithm_label_records: usize,
+    /// Algorithm-structure records an original (label-free) build would
+    /// write: every rule replays its field data, duplicates included.
+    pub algorithm_original_records: usize,
+    /// Index-table entries written (primary + completion).
+    pub index_records: usize,
+    /// Action-table rows written.
+    pub action_records: usize,
+}
+
+impl BuildLedger {
+    /// Stats for the label-method build (algorithm structures only —
+    /// the Fig. 5 comparison scope).
+    #[must_use]
+    pub fn label_stats(&self) -> UpdateStats {
+        UpdateStats { records: self.algorithm_label_records }
+    }
+
+    /// Stats for the original-method replay.
+    #[must_use]
+    pub fn original_stats(&self) -> UpdateStats {
+        UpdateStats { records: self.algorithm_original_records }
+    }
+
+    /// Fractional cycle reduction the label method achieves
+    /// (Fig. 5 reports 56.92 % on average across the filter sets).
+    #[must_use]
+    pub fn reduction(&self) -> f64 {
+        if self.algorithm_original_records == 0 {
+            0.0
+        } else {
+            1.0 - self.algorithm_label_records as f64 / self.algorithm_original_records as f64
+        }
+    }
+
+    /// Stats for the full switch update (algorithms + index + actions)
+    /// under the label method.
+    #[must_use]
+    pub fn full_stats(&self) -> UpdateStats {
+        UpdateStats {
+            records: self.algorithm_label_records + self.index_records + self.action_records,
+        }
+    }
+}
+
+/// Record counts under the cycle model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Update records (stored datums).
+    pub records: usize,
+}
+
+impl UpdateStats {
+    /// CPU clock cycles (2 per record).
+    #[must_use]
+    pub fn cycles(&self) -> usize {
+        CYCLES_PER_RECORD * self.records
+    }
+}
+
+impl fmt::Display for UpdateStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} records, {} cycles", self.records, self.cycles())
+    }
+}
+
+/// One stored datum in a characterization file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateRecord {
+    /// Target structure (hierarchical name, as in memory reports).
+    pub target: String,
+    /// Address within the structure.
+    pub address: u64,
+}
+
+/// The two characterization files of §V.B.
+#[derive(Debug, Clone, Default)]
+pub struct UpdatePlan {
+    /// Algorithm file: trie entries, LUT slots, range segments.
+    pub algorithm_file: Vec<UpdateRecord>,
+    /// Table file: index entries and action rows.
+    pub table_file: Vec<UpdateRecord>,
+}
+
+impl UpdatePlan {
+    /// Generates the characterization files for a built switch by walking
+    /// every structure's occupied entries.
+    #[must_use]
+    pub fn from_switch(switch: &MtlSwitch) -> Self {
+        let mut plan = UpdatePlan::default();
+        for app in &switch.apps {
+            for te in &app.tables {
+                let t = te.config.table_id;
+                for (field, engine) in &te.engines {
+                    let prefix = format!("t{t}/{field}");
+                    plan.walk_engine(&prefix, engine);
+                }
+                for i in 0..te.index.len() {
+                    plan.table_file
+                        .push(UpdateRecord { target: format!("t{t}/index"), address: i as u64 });
+                }
+                for i in 0..te.actions.len() {
+                    plan.table_file
+                        .push(UpdateRecord { target: format!("t{t}/actions"), address: i as u64 });
+                }
+            }
+        }
+        plan
+    }
+
+    fn walk_engine(&mut self, prefix: &str, engine: &crate::engine::FieldEngine) {
+        use crate::engine::FieldEngine;
+        match engine {
+            FieldEngine::Em { dict, .. } => {
+                for i in 0..dict.len() {
+                    self.algorithm_file
+                        .push(UpdateRecord { target: prefix.to_owned(), address: i as u64 });
+                }
+            }
+            FieldEngine::Trie(pt) => {
+                for (pi, trie) in pt.tries().iter().enumerate() {
+                    for s in trie.level_stats() {
+                        let occupied = s.labeled + s.with_child;
+                        for a in 0..occupied {
+                            self.algorithm_file.push(UpdateRecord {
+                                target: format!("{prefix}/p{pi}/L{}", s.level + 1),
+                                address: a as u64,
+                            });
+                        }
+                    }
+                }
+            }
+            FieldEngine::Range { matcher, .. } => {
+                for i in 0..matcher.segments() {
+                    self.algorithm_file
+                        .push(UpdateRecord { target: prefix.to_owned(), address: i as u64 });
+                }
+            }
+        }
+    }
+
+    /// Total records across both files.
+    #[must_use]
+    pub fn total_records(&self) -> usize {
+        self.algorithm_file.len() + self.table_file.len()
+    }
+
+    /// Timing under the cycle model.
+    #[must_use]
+    pub fn stats(&self) -> UpdateStats {
+        UpdateStats { records: self.total_records() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SwitchConfig;
+    use offilter::synth::{generate_mac, MacTargets};
+    use offilter::FilterKind;
+
+    fn small_switch() -> MtlSwitch {
+        let set = generate_mac(
+            &MacTargets {
+                name: "u".into(),
+                rules: 200,
+                vlan_unique: 10,
+                eth_partitions: [5, 40, 120],
+                ports: 4,
+            },
+            3,
+        );
+        MtlSwitch::build(&SwitchConfig::single_app(FilterKind::MacLearning, 0), &[&set])
+    }
+
+    #[test]
+    fn ledger_reduction_positive_for_dup_heavy_sets() {
+        let sw = small_switch();
+        let red = sw.ledger.reduction();
+        assert!(red > 0.3, "expected sizeable reduction, got {red}");
+        assert!(red < 1.0);
+    }
+
+    #[test]
+    fn cycles_are_twice_records() {
+        let s = UpdateStats { records: 21 };
+        assert_eq!(s.cycles(), 42);
+        assert_eq!(s.to_string(), "21 records, 42 cycles");
+    }
+
+    #[test]
+    fn plan_covers_all_structures() {
+        let sw = small_switch();
+        let plan = UpdatePlan::from_switch(&sw);
+        assert!(!plan.algorithm_file.is_empty());
+        assert!(!plan.table_file.is_empty());
+        // The algorithm file mentions the VLAN LUT and the eth tries.
+        let targets: std::collections::BTreeSet<&str> =
+            plan.algorithm_file.iter().map(|r| r.target.as_str()).collect();
+        assert!(targets.iter().any(|t| t.contains("vlan_vid")), "{targets:?}");
+        assert!(targets.iter().any(|t| t.contains("eth_dst")), "{targets:?}");
+        // Table file covers indexes and action rows of both tables.
+        let table_targets: std::collections::BTreeSet<&str> =
+            plan.table_file.iter().map(|r| r.target.as_str()).collect();
+        assert!(table_targets.contains("t0/index"));
+        assert!(table_targets.contains("t1/actions"));
+        assert_eq!(plan.stats().records, plan.total_records());
+    }
+
+    #[test]
+    fn full_stats_include_tables() {
+        let sw = small_switch();
+        let full = sw.ledger.full_stats();
+        assert!(full.records > sw.ledger.algorithm_label_records);
+    }
+}

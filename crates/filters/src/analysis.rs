@@ -1,0 +1,275 @@
+//! Filter-set surveys: unique field values per k-bit partition.
+//!
+//! The paper's Tables III and IV count, for each filter set, the number of
+//! *unique values* each field contributes per 16-bit partition — the
+//! quantity that determines label-dictionary sizes and trie populations.
+//! For prefix fields the masked value is used (wildcard bits zeroed), so a
+//! `/8` and a `/16` rule sharing leading bits collapse into fewer partition
+//! values, exactly as the label method would store them.
+
+use crate::rule::Rule;
+use crate::set::{FilterKind, FilterSet};
+use oflow::MatchFieldKind;
+use std::collections::BTreeSet;
+
+/// Unique-value counts for one field split into `k`-bit partitions
+/// (partition 0 is the most significant — the paper's "higher").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSurvey {
+    /// The surveyed field.
+    pub field: MatchFieldKind,
+    /// Partition width in bits.
+    pub partition_bits: u32,
+    /// Unique values per partition, most significant first.
+    pub unique: Vec<usize>,
+}
+
+impl PartitionSurvey {
+    /// Number of partitions.
+    #[must_use]
+    pub fn partitions(&self) -> usize {
+        self.unique.len()
+    }
+}
+
+/// Splits a full-width value into `k`-bit partitions, most significant
+/// first. The field width is rounded up to a whole number of partitions
+/// (only exact multiples occur in the paper's fields: 48 = 3x16, 32 = 2x16).
+#[must_use]
+pub fn partitions_of(value: u128, width: u32, k: u32) -> Vec<u64> {
+    assert!(k > 0 && k <= 64, "partition width must be 1..=64");
+    let n = width.div_ceil(k);
+    (0..n)
+        .map(|i| {
+            let shift = width.saturating_sub(k * (i + 1));
+            let mask = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
+            ((value >> shift) as u64) & mask
+        })
+        .collect()
+}
+
+/// Surveys unique values of `field` per `k`-bit partition over the rules.
+/// Prefix/exact matches contribute their masked value; wildcards and ranges
+/// are skipped (they carry no concrete partition value).
+#[must_use]
+pub fn partition_survey(rules: &[Rule], field: MatchFieldKind, k: u32) -> PartitionSurvey {
+    let width = field.bit_width();
+    let n = width.div_ceil(k) as usize;
+    let mut sets: Vec<BTreeSet<u64>> = vec![BTreeSet::new(); n];
+    for r in rules {
+        if let Some((value, _len)) = r.field_as_prefix(field) {
+            for (i, p) in partitions_of(value, width, k).into_iter().enumerate() {
+                sets[i].insert(p);
+            }
+        }
+    }
+    PartitionSurvey { field, partition_bits: k, unique: sets.iter().map(BTreeSet::len).collect() }
+}
+
+/// Counts distinct concrete values of a (narrow) exact-match field.
+#[must_use]
+pub fn unique_values(rules: &[Rule], field: MatchFieldKind) -> usize {
+    rules
+        .iter()
+        .filter_map(|r| r.field_as_prefix(field).map(|(v, _)| v))
+        .collect::<BTreeSet<_>>()
+        .len()
+}
+
+/// A regenerated Table III row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacSurvey {
+    /// Router / set name.
+    pub name: String,
+    /// Rule count.
+    pub rules: usize,
+    /// Unique VLAN IDs.
+    pub vlan_unique: usize,
+    /// Unique Ethernet partition values: `[higher, middle, lower]`.
+    pub eth_partitions: [usize; 3],
+}
+
+/// Surveys a MAC-learning filter set (regenerates a Table III row).
+///
+/// # Panics
+/// Panics if the set is not [`FilterKind::MacLearning`].
+#[must_use]
+pub fn survey_mac(set: &FilterSet) -> MacSurvey {
+    assert_eq!(set.kind, FilterKind::MacLearning, "survey_mac needs a MAC filter set");
+    let eth = partition_survey(&set.rules, MatchFieldKind::EthDst, 16);
+    MacSurvey {
+        name: set.name.clone(),
+        rules: set.len(),
+        vlan_unique: unique_values(&set.rules, MatchFieldKind::VlanVid),
+        eth_partitions: [eth.unique[0], eth.unique[1], eth.unique[2]],
+    }
+}
+
+/// A regenerated Table IV row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingSurvey {
+    /// Router / set name.
+    pub name: String,
+    /// Rule count.
+    pub rules: usize,
+    /// Unique ingress ports.
+    pub port_unique: usize,
+    /// Unique IP partition values: `[higher, lower]`.
+    pub ip_partitions: [usize; 2],
+}
+
+/// Surveys a routing filter set (regenerates a Table IV row).
+///
+/// # Panics
+/// Panics if the set is not [`FilterKind::Routing`].
+#[must_use]
+pub fn survey_routing(set: &FilterSet) -> RoutingSurvey {
+    assert_eq!(set.kind, FilterKind::Routing, "survey_routing needs a routing filter set");
+    let ip = partition_survey(&set.rules, MatchFieldKind::Ipv4Dst, 16);
+    RoutingSurvey {
+        name: set.name.clone(),
+        rules: set.len(),
+        port_unique: unique_values(&set.rules, MatchFieldKind::InPort),
+        ip_partitions: [ip.unique[0], ip.unique[1]],
+    }
+}
+
+/// Histogram of prefix lengths of `field` over the rules (index = length).
+/// Wildcards count as length 0; exact matches as full width.
+#[must_use]
+pub fn prefix_length_histogram(rules: &[Rule], field: MatchFieldKind) -> Vec<usize> {
+    let mut hist = vec![0usize; field.bit_width() as usize + 1];
+    for r in rules {
+        match r.field_as_prefix(field) {
+            Some((_, len)) => hist[len as usize] += 1,
+            None => {
+                if r.field(field).is_wildcard() {
+                    hist[0] += 1;
+                }
+            }
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::RuleAction;
+    use oflow::FlowMatch;
+
+    fn mac_rule(id: u32, vlan: u128, mac: u128) -> Rule {
+        Rule::new(
+            id,
+            1,
+            FlowMatch::any()
+                .with_exact(MatchFieldKind::VlanVid, vlan)
+                .unwrap()
+                .with_exact(MatchFieldKind::EthDst, mac)
+                .unwrap(),
+            RuleAction::Forward(1),
+        )
+    }
+
+    fn route_rule(id: u32, port: u128, value: u128, len: u32) -> Rule {
+        Rule::new(
+            id,
+            len as u16,
+            FlowMatch::any()
+                .with_exact(MatchFieldKind::InPort, port)
+                .unwrap()
+                .with_prefix(MatchFieldKind::Ipv4Dst, value, len)
+                .unwrap(),
+            RuleAction::Forward(port as u32),
+        )
+    }
+
+    #[test]
+    fn partitions_of_splits_msb_first() {
+        assert_eq!(partitions_of(0xAABB_CCDD_EEFF, 48, 16), vec![0xAABB, 0xCCDD, 0xEEFF]);
+        assert_eq!(partitions_of(0x0A01_0203, 32, 16), vec![0x0A01, 0x0203]);
+        assert_eq!(partitions_of(0xFF, 8, 16), vec![0xFF]);
+    }
+
+    #[test]
+    fn mac_survey_counts_unique_partitions() {
+        let set = FilterSet::new(
+            "t",
+            FilterKind::MacLearning,
+            vec![
+                mac_rule(0, 1, 0xAAAA_0001_0001),
+                mac_rule(1, 1, 0xAAAA_0001_0002),
+                mac_rule(2, 2, 0xAAAA_0002_0001),
+            ],
+        );
+        let s = survey_mac(&set);
+        assert_eq!(s.rules, 3);
+        assert_eq!(s.vlan_unique, 2);
+        assert_eq!(s.eth_partitions, [1, 2, 2]);
+    }
+
+    #[test]
+    fn routing_survey_uses_masked_prefix_values() {
+        // 10.1.0.0/16 and 10.1.2.0/24 share hi partition 0x0A01; the /16 has
+        // lo 0x0000 and the /24 lo 0x0200.
+        let set = FilterSet::new(
+            "t",
+            FilterKind::Routing,
+            vec![
+                route_rule(0, 1, 0x0A01_0000, 16),
+                route_rule(1, 1, 0x0A01_0200, 24),
+                route_rule(2, 2, 0x0A01_0000, 16), // duplicate values, new port
+            ],
+        );
+        let s = survey_routing(&set);
+        assert_eq!(s.port_unique, 2);
+        assert_eq!(s.ip_partitions, [1, 2]);
+    }
+
+    #[test]
+    fn short_prefix_contributes_zeroed_low_partition() {
+        let set = FilterSet::new(
+            "t",
+            FilterKind::Routing,
+            vec![route_rule(0, 1, 0x0A00_0000, 8), route_rule(1, 1, 0, 0)],
+        );
+        let s = survey_routing(&set);
+        // /8 masked is 0x0A00_0000 -> hi 0x0A00, lo 0x0000.
+        // /0 masked is 0 -> hi 0, lo 0.
+        assert_eq!(s.ip_partitions, [2, 1]);
+    }
+
+    #[test]
+    fn wildcard_and_range_fields_skipped() {
+        let r = Rule::new(
+            0,
+            1,
+            FlowMatch::any().with_range(MatchFieldKind::TcpDst, 1, 5).unwrap(),
+            RuleAction::Deny,
+        );
+        let s = partition_survey(&[r], MatchFieldKind::TcpDst, 16);
+        assert_eq!(s.unique, vec![0]);
+    }
+
+    #[test]
+    fn prefix_histogram_buckets_by_length() {
+        let rules = vec![
+            route_rule(0, 1, 0x0A000000, 8),
+            route_rule(1, 1, 0x0B000000, 8),
+            route_rule(2, 1, 0x0A010000, 16),
+            route_rule(3, 1, 0, 0),
+        ];
+        let h = prefix_length_histogram(&rules, MatchFieldKind::Ipv4Dst);
+        assert_eq!(h[8], 2);
+        assert_eq!(h[16], 1);
+        assert_eq!(h[0], 1);
+        assert_eq!(h.iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "survey_mac needs")]
+    fn survey_mac_rejects_wrong_kind() {
+        let set = FilterSet::new("t", FilterKind::Routing, vec![]);
+        let _ = survey_mac(&set);
+    }
+}

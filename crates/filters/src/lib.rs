@@ -1,0 +1,36 @@
+//! # offilter — filter sets, published statistics and constrained synthesis
+//!
+//! The SOCC'15 paper analyses the *Stanford backbone* filter sets [21]:
+//! per-router MAC-learning tables (VLAN ID + destination Ethernet) and
+//! routing tables (ingress port + destination IPv4 prefix). That data set is
+//! not redistributable here, but the paper publishes the exact statistics
+//! its analysis depends on — rule counts and unique-value counts per 16-bit
+//! field partition for all 16 routers (Tables III and IV).
+//!
+//! This crate therefore provides:
+//!
+//! * [`rule`] / [`set`] — rules (built on [`oflow::FlowMatch`]) and filter
+//!   sets with application kinds.
+//! * [`paper_data`] — Tables III and IV embedded verbatim.
+//! * [`synth`] — a seeded generator that produces filter sets whose
+//!   statistics match the published numbers **exactly** (unique counts per
+//!   partition are reproduced by constrained sampling, not approximated).
+//! * [`analysis`] — the unique-value surveys that regenerate Tables III and
+//!   IV from any filter set, synthetic or parsed.
+//! * [`parse`] — text formats (MAC tables, route tables, ClassBench-like
+//!   5-tuple ACLs) with round-tripping writers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod paper_data;
+pub mod parse;
+pub mod rule;
+pub mod set;
+pub mod synth;
+
+pub use analysis::{survey_mac, survey_routing, PartitionSurvey};
+pub use paper_data::{MacFilterStats, RoutingFilterStats, ROUTERS};
+pub use rule::{Rule, RuleAction};
+pub use set::{FilterKind, FilterSet};

@@ -1,0 +1,193 @@
+//! The paper's published filter statistics, embedded verbatim.
+//!
+//! Tables III and IV of the paper report, for each of the 16 Stanford
+//! backbone routers, the rule count and the number of unique field values
+//! per 16-bit partition. These numbers are the *targets* the synthetic
+//! generator ([`crate::synth`]) reproduces exactly, and the *expected rows*
+//! the Table III / Table IV experiments compare against.
+
+/// The 16 router names, in the tables' order.
+pub const ROUTERS: [&str; 16] = [
+    "bbra", "bbrb", "boza", "bozb", "coza", "cozb", "goza", "gozb", "poza", "pozb", "roza",
+    "rozb", "soza", "sozb", "yoza", "yozb",
+];
+
+/// One row of Table III (MAC-learning filter survey).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacFilterStats {
+    /// Router name.
+    pub router: &'static str,
+    /// Number of rules.
+    pub rules: usize,
+    /// Unique VLAN ID values.
+    pub vlan_unique: usize,
+    /// Unique higher 16-bit Ethernet partition values.
+    pub eth_hi: usize,
+    /// Unique middle 16-bit Ethernet partition values.
+    pub eth_mid: usize,
+    /// Unique lower 16-bit Ethernet partition values.
+    pub eth_lo: usize,
+}
+
+/// Table III: "Number of unique field values of flow-based MAC filter".
+pub const MAC_FILTERS: [MacFilterStats; 16] = [
+    MacFilterStats { router: "bbra", rules: 507, vlan_unique: 48, eth_hi: 46, eth_mid: 133, eth_lo: 261 },
+    MacFilterStats { router: "bbrb", rules: 151, vlan_unique: 16, eth_hi: 26, eth_mid: 38, eth_lo: 55 },
+    MacFilterStats { router: "boza", rules: 3664, vlan_unique: 139, eth_hi: 136, eth_mid: 3276, eth_lo: 2664 },
+    MacFilterStats { router: "bozb", rules: 4454, vlan_unique: 139, eth_hi: 137, eth_mid: 1338, eth_lo: 3440 },
+    MacFilterStats { router: "coza", rules: 3295, vlan_unique: 32, eth_hi: 225, eth_mid: 1578, eth_lo: 2824 },
+    MacFilterStats { router: "cozb", rules: 2129, vlan_unique: 32, eth_hi: 194, eth_mid: 1101, eth_lo: 1861 },
+    MacFilterStats { router: "goza", rules: 6687, vlan_unique: 208, eth_hi: 172, eth_mid: 2579, eth_lo: 5480 },
+    MacFilterStats { router: "gozb", rules: 7370, vlan_unique: 209, eth_hi: 159, eth_mid: 1946, eth_lo: 6177 },
+    MacFilterStats { router: "poza", rules: 4533, vlan_unique: 153, eth_hi: 195, eth_mid: 2165, eth_lo: 3786 },
+    MacFilterStats { router: "pozb", rules: 4999, vlan_unique: 155, eth_hi: 169, eth_mid: 1759, eth_lo: 4170 },
+    MacFilterStats { router: "roza", rules: 3851, vlan_unique: 114, eth_hi: 136, eth_mid: 2389, eth_lo: 3264 },
+    MacFilterStats { router: "rozb", rules: 3711, vlan_unique: 113, eth_hi: 140, eth_mid: 1920, eth_lo: 3175 },
+    MacFilterStats { router: "soza", rules: 3153, vlan_unique: 41, eth_hi: 187, eth_mid: 1115, eth_lo: 2682 },
+    MacFilterStats { router: "sozb", rules: 2399, vlan_unique: 39, eth_hi: 161, eth_mid: 821, eth_lo: 2132 },
+    MacFilterStats { router: "yoza", rules: 3944, vlan_unique: 112, eth_hi: 178, eth_mid: 1655, eth_lo: 3180 },
+    MacFilterStats { router: "yozb", rules: 2944, vlan_unique: 101, eth_hi: 162, eth_mid: 1298, eth_lo: 2351 },
+];
+
+/// One row of Table IV (Routing filter survey).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutingFilterStats {
+    /// Router name.
+    pub router: &'static str,
+    /// Number of rules.
+    pub rules: usize,
+    /// Unique ingress-port values.
+    pub port_unique: usize,
+    /// Unique higher 16-bit IP address partition values.
+    pub ip_hi: usize,
+    /// Unique lower 16-bit IP address partition values.
+    pub ip_lo: usize,
+}
+
+/// Table IV: "Number of unique field values of flow-based Routing filter".
+pub const ROUTING_FILTERS: [RoutingFilterStats; 16] = [
+    RoutingFilterStats { router: "bbra", rules: 1835, port_unique: 40, ip_hi: 82, ip_lo: 1190 },
+    RoutingFilterStats { router: "bbrb", rules: 1678, port_unique: 20, ip_hi: 82, ip_lo: 1015 },
+    RoutingFilterStats { router: "boza", rules: 1614, port_unique: 26, ip_hi: 53, ip_lo: 1084 },
+    RoutingFilterStats { router: "bozb", rules: 1455, port_unique: 26, ip_hi: 53, ip_lo: 952 },
+    RoutingFilterStats { router: "coza", rules: 184_909, port_unique: 43, ip_hi: 20_214, ip_lo: 7062 },
+    RoutingFilterStats { router: "cozb", rules: 183_376, port_unique: 39, ip_hi: 20_212, ip_lo: 5575 },
+    RoutingFilterStats { router: "goza", rules: 1767, port_unique: 21, ip_hi: 57, ip_lo: 1216 },
+    RoutingFilterStats { router: "gozb", rules: 1669, port_unique: 22, ip_hi: 57, ip_lo: 1138 },
+    RoutingFilterStats { router: "poza", rules: 1489, port_unique: 18, ip_hi: 54, ip_lo: 976 },
+    RoutingFilterStats { router: "pozb", rules: 1434, port_unique: 20, ip_hi: 54, ip_lo: 932 },
+    RoutingFilterStats { router: "roza", rules: 1567, port_unique: 17, ip_hi: 52, ip_lo: 1053 },
+    RoutingFilterStats { router: "rozb", rules: 1483, port_unique: 16, ip_hi: 52, ip_lo: 988 },
+    RoutingFilterStats { router: "soza", rules: 184_682, port_unique: 48, ip_hi: 20_212, ip_lo: 6723 },
+    RoutingFilterStats { router: "sozb", rules: 180_944, port_unique: 36, ip_hi: 20_212, ip_lo: 3168 },
+    RoutingFilterStats { router: "yoza", rules: 4746, port_unique: 77, ip_hi: 58, ip_lo: 3610 },
+    RoutingFilterStats { router: "yozb", rules: 2592, port_unique: 48, ip_hi: 55, ip_lo: 1955 },
+];
+
+/// The four Table-IV exception routers the paper highlights: their *higher*
+/// 16-bit IP partition has more unique values than the lower one,
+/// "indicating a wider range of network addresses in these filter sets".
+pub const ROUTING_EXCEPTIONS: [&str; 4] = ["coza", "cozb", "soza", "sozb"];
+
+/// Looks up the Table III row for a router.
+#[must_use]
+pub fn mac_stats(router: &str) -> Option<&'static MacFilterStats> {
+    MAC_FILTERS.iter().find(|s| s.router == router)
+}
+
+/// Looks up the Table IV row for a router.
+#[must_use]
+pub fn routing_stats(router: &str) -> Option<&'static RoutingFilterStats> {
+    ROUTING_FILTERS.iter().find(|s| s.router == router)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_rows_each() {
+        assert_eq!(MAC_FILTERS.len(), 16);
+        assert_eq!(ROUTING_FILTERS.len(), 16);
+        assert_eq!(ROUTERS.len(), 16);
+        for (i, r) in ROUTERS.iter().enumerate() {
+            assert_eq!(MAC_FILTERS[i].router, *r);
+            assert_eq!(ROUTING_FILTERS[i].router, *r);
+        }
+    }
+
+    /// Paper §III.C: "there are no more than 209 different VLAN ID values
+    /// (gozb filter)".
+    #[test]
+    fn worst_case_vlan_is_gozb_209() {
+        let max = MAC_FILTERS.iter().map(|s| s.vlan_unique).max().unwrap();
+        assert_eq!(max, 209);
+        assert_eq!(mac_stats("gozb").unwrap().vlan_unique, 209);
+    }
+
+    /// Paper §III.C: "the number of unique ingress port fields achieves a
+    /// maximum of 77 different values (yoza filter)" and "the largest flow
+    /// filter for routing (coza with 184909 entries) only has 43 unique
+    /// ingress port values".
+    #[test]
+    fn ingress_port_extremes() {
+        let max = ROUTING_FILTERS.iter().map(|s| s.port_unique).max().unwrap();
+        assert_eq!(max, 77);
+        assert_eq!(routing_stats("yoza").unwrap().port_unique, 77);
+        let coza = routing_stats("coza").unwrap();
+        assert_eq!(coza.rules, 184_909);
+        assert_eq!(coza.port_unique, 43);
+    }
+
+    /// Paper §III.C: coza "reaches a maximum of 20214 unique address values
+    /// corresponding to 11% of the total flow entries".
+    #[test]
+    fn coza_hi_is_11_percent_of_rules() {
+        let coza = routing_stats("coza").unwrap();
+        assert_eq!(coza.ip_hi, 20_214);
+        let pct = coza.ip_hi as f64 / coza.rules as f64;
+        assert!((pct - 0.11).abs() < 0.005, "got {pct}");
+    }
+
+    /// The exception filters are exactly those where hi > lo.
+    #[test]
+    fn exceptions_have_hi_greater_than_lo() {
+        for s in &ROUTING_FILTERS {
+            let is_exception = ROUTING_EXCEPTIONS.contains(&s.router);
+            assert_eq!(s.ip_hi > s.ip_lo, is_exception, "router {}", s.router);
+        }
+    }
+
+    /// In the MAC survey, higher partitions always have the fewest unique
+    /// values (OUI structure).
+    #[test]
+    fn mac_hi_partition_smallest() {
+        for s in &MAC_FILTERS {
+            assert!(s.eth_hi <= s.eth_mid, "router {}", s.router);
+            assert!(s.eth_hi <= s.eth_lo, "router {}", s.router);
+        }
+    }
+
+    #[test]
+    fn lookups_by_name() {
+        assert!(mac_stats("bbra").is_some());
+        assert!(mac_stats("nope").is_none());
+        assert!(routing_stats("sozb").is_some());
+        assert!(routing_stats("").is_none());
+    }
+
+    /// Unique counts can never exceed rule counts.
+    #[test]
+    fn unique_counts_bounded_by_rules() {
+        for s in &MAC_FILTERS {
+            for u in [s.vlan_unique, s.eth_hi, s.eth_mid, s.eth_lo] {
+                assert!(u <= s.rules, "router {}", s.router);
+            }
+        }
+        for s in &ROUTING_FILTERS {
+            for u in [s.port_unique, s.ip_hi, s.ip_lo] {
+                assert!(u <= s.rules, "router {}", s.router);
+            }
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Text formats for filter sets, with round-tripping writers.
+//!
+//! Three line-oriented formats cover the paper's applications:
+//!
+//! * **MAC tables** — `vlan <vid> mac <aa:bb:cc:dd:ee:ff> port <n>`
+//! * **Route tables** — `route <a.b.c.d>/<len> in <port> out <port>`
+//! * **ClassBench-like ACLs** — `@<src>/<len> <dst>/<len> <lo> : <hi> <lo> : <hi> <proto>/<mask>`
+//!
+//! Lines starting with `#` and blank lines are ignored. Writers emit
+//! exactly what the parsers accept, so `parse(write(set)) == set` for the
+//! supported field shapes (the round-trip property tests rely on this).
+
+use crate::rule::{Rule, RuleAction};
+use crate::set::{FilterKind, FilterSet};
+use oflow::{FieldMatch, FlowMatch, MatchFieldKind};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Error parsing a filter-set file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for FilterParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for FilterParseError {}
+
+fn err(line: usize, reason: impl Into<String>) -> FilterParseError {
+    FilterParseError { line, reason: reason.into() }
+}
+
+// ---------------------------------------------------------------- MAC tables
+
+/// Parses a MAC table file.
+pub fn parse_mac_table(name: &str, text: &str) -> Result<FilterSet, FilterParseError> {
+    let mut rules = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let [kw_vlan, vid, kw_mac, mac, kw_port, port] = tokens[..] else {
+            return Err(err(lineno, "expected 'vlan V mac M port P'"));
+        };
+        if kw_vlan != "vlan" || kw_mac != "mac" || kw_port != "port" {
+            return Err(err(lineno, "expected 'vlan V mac M port P'"));
+        }
+        let vid: u16 = vid.parse().map_err(|_| err(lineno, "bad vlan id"))?;
+        let mac: u64 = parse_mac(mac).ok_or_else(|| err(lineno, "bad mac"))?;
+        let port: u32 = port.parse().map_err(|_| err(lineno, "bad port"))?;
+        let fm = FlowMatch::any()
+            .with_exact(MatchFieldKind::VlanVid, u128::from(vid))
+            .map_err(|e| err(lineno, e.to_string()))?
+            .with_exact(MatchFieldKind::EthDst, u128::from(mac))
+            .map_err(|e| err(lineno, e.to_string()))?;
+        rules.push(Rule::new(0, 1, fm, RuleAction::Forward(port)));
+    }
+    Ok(FilterSet::new(name, FilterKind::MacLearning, rules))
+}
+
+/// Writes a MAC table file.
+#[must_use]
+pub fn write_mac_table(set: &FilterSet) -> String {
+    let mut out = format!("# {} ({} rules)\n", set.full_name(), set.len());
+    for r in &set.rules {
+        let vid = match r.field(MatchFieldKind::VlanVid) {
+            FieldMatch::Exact(v) => v,
+            _ => continue,
+        };
+        let mac = match r.field(MatchFieldKind::EthDst) {
+            FieldMatch::Exact(v) => v as u64,
+            _ => continue,
+        };
+        let port = r.action.port().unwrap_or(0);
+        out.push_str(&format!("vlan {vid} mac {} port {port}\n", fmt_mac(mac)));
+    }
+    out
+}
+
+// Minimal MAC helpers, kept local: offilter does not depend on ofpacket.
+fn parse_mac(s: &str) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut n = 0;
+    for part in s.split(':') {
+        if n == 6 || part.len() > 2 {
+            return None;
+        }
+        v = (v << 8) | u64::from(u8::from_str_radix(part, 16).ok()?);
+        n += 1;
+    }
+    (n == 6).then_some(v)
+}
+
+fn fmt_mac(v: u64) -> String {
+    let b = v.to_be_bytes();
+    format!("{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}", b[2], b[3], b[4], b[5], b[6], b[7])
+}
+
+// --------------------------------------------------------------- route tables
+
+/// Parses a route table file.
+pub fn parse_route_table(name: &str, text: &str) -> Result<FilterSet, FilterParseError> {
+    let mut rules = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let [kw_route, prefix, kw_in, in_port, kw_out, out_port] = tokens[..] else {
+            return Err(err(lineno, "expected 'route A.B.C.D/L in P out Q'"));
+        };
+        if kw_route != "route" || kw_in != "in" || kw_out != "out" {
+            return Err(err(lineno, "expected 'route A.B.C.D/L in P out Q'"));
+        }
+        let (addr, len) = prefix.split_once('/').ok_or_else(|| err(lineno, "bad prefix"))?;
+        let addr: Ipv4Addr = addr.parse().map_err(|_| err(lineno, "bad address"))?;
+        let len: u32 = len.parse().map_err(|_| err(lineno, "bad prefix length"))?;
+        let in_port: u32 = in_port.parse().map_err(|_| err(lineno, "bad in port"))?;
+        let out_port: u32 = out_port.parse().map_err(|_| err(lineno, "bad out port"))?;
+        let fm = FlowMatch::any()
+            .with_exact(MatchFieldKind::InPort, u128::from(in_port))
+            .map_err(|e| err(lineno, e.to_string()))?
+            .with_prefix(MatchFieldKind::Ipv4Dst, u128::from(u32::from(addr)), len)
+            .map_err(|e| err(lineno, e.to_string()))?;
+        rules.push(Rule::new(0, len as u16, fm, RuleAction::Forward(out_port)));
+    }
+    Ok(FilterSet::new(name, FilterKind::Routing, rules))
+}
+
+/// Writes a route table file.
+#[must_use]
+pub fn write_route_table(set: &FilterSet) -> String {
+    let mut out = format!("# {} ({} rules)\n", set.full_name(), set.len());
+    for r in &set.rules {
+        let in_port = match r.field(MatchFieldKind::InPort) {
+            FieldMatch::Exact(v) => v,
+            _ => continue,
+        };
+        let (value, len) = match r.field(MatchFieldKind::Ipv4Dst) {
+            FieldMatch::Prefix { value, len } => (value, len),
+            FieldMatch::Exact(value) => (value, 32),
+            _ => continue,
+        };
+        let addr = Ipv4Addr::from(value as u32);
+        let out_port = r.action.port().unwrap_or(0);
+        out.push_str(&format!("route {addr}/{len} in {in_port} out {out_port}\n"));
+    }
+    out
+}
+
+// ------------------------------------------------------------ ClassBench ACLs
+
+/// Parses a ClassBench-like ACL file.
+///
+/// Format per line:
+/// `@srcIP/len dstIP/len loPort : hiPort loPort : hiPort proto/mask`
+/// An action suffix `deny` or `fwd N` may follow; default is `fwd 1`.
+pub fn parse_classbench(name: &str, text: &str) -> Result<FilterSet, FilterParseError> {
+    let mut rules = Vec::new();
+    let mut lines: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.is_empty() && !line.starts_with('#') {
+            lines.push(line);
+        }
+    }
+    let total = lines.len();
+    for (i, line) in lines.into_iter().enumerate() {
+        let lineno = i + 1;
+        let line = line.strip_prefix('@').ok_or_else(|| err(lineno, "missing '@'"))?;
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.len() < 9 {
+            return Err(err(lineno, "expected 9+ tokens"));
+        }
+        let mut fm = FlowMatch::any();
+        for (field, tok) in
+            [(MatchFieldKind::Ipv4Src, tokens[0]), (MatchFieldKind::Ipv4Dst, tokens[1])]
+        {
+            let (addr, len) = tok.split_once('/').ok_or_else(|| err(lineno, "bad prefix"))?;
+            let addr: Ipv4Addr = addr.parse().map_err(|_| err(lineno, "bad address"))?;
+            let len: u32 = len.parse().map_err(|_| err(lineno, "bad length"))?;
+            if len == 32 {
+                // Full-width prefixes are canonically exact matches.
+                fm = fm
+                    .with_exact(field, u128::from(u32::from(addr)))
+                    .map_err(|e| err(lineno, e.to_string()))?;
+            } else if len > 0 {
+                fm = fm
+                    .with_prefix(field, u128::from(u32::from(addr)), len)
+                    .map_err(|e| err(lineno, e.to_string()))?;
+            }
+        }
+        for (field, lo_tok, hi_tok) in [
+            (MatchFieldKind::TcpSrc, tokens[2], tokens[4]),
+            (MatchFieldKind::TcpDst, tokens[5], tokens[7]),
+        ] {
+            if tokens[3] != ":" || tokens[6] != ":" {
+                return Err(err(lineno, "expected ':' between ports"));
+            }
+            let lo: u16 = lo_tok.parse().map_err(|_| err(lineno, "bad port"))?;
+            let hi: u16 = hi_tok.parse().map_err(|_| err(lineno, "bad port"))?;
+            if lo == hi {
+                // Singleton ranges are canonically exact matches.
+                fm = fm
+                    .with_exact(field, u128::from(lo))
+                    .map_err(|e| err(lineno, e.to_string()))?;
+            } else if (lo, hi) != (0, 65_535) {
+                fm = fm
+                    .with_range(field, u128::from(lo), u128::from(hi))
+                    .map_err(|e| err(lineno, e.to_string()))?;
+            }
+        }
+        let (proto, mask) =
+            tokens[8].split_once('/').ok_or_else(|| err(lineno, "bad proto"))?;
+        let proto = u8::from_str_radix(proto.trim_start_matches("0x"), 16)
+            .map_err(|_| err(lineno, "bad proto"))?;
+        let mask = u8::from_str_radix(mask.trim_start_matches("0x"), 16)
+            .map_err(|_| err(lineno, "bad proto mask"))?;
+        if mask == 0xFF {
+            fm = fm
+                .with_exact(MatchFieldKind::IpProto, u128::from(proto))
+                .map_err(|e| err(lineno, e.to_string()))?;
+        }
+        let action = match tokens.get(9) {
+            Some(&"deny") => RuleAction::Deny,
+            Some(&"fwd") => RuleAction::Forward(
+                tokens.get(10).and_then(|t| t.parse().ok()).ok_or_else(|| err(lineno, "bad fwd port"))?,
+            ),
+            None => RuleAction::Forward(1),
+            Some(other) => return Err(err(lineno, format!("unknown action '{other}'"))),
+        };
+        // ClassBench order: first rule wins.
+        rules.push(Rule::new(0, (total - i) as u16, fm, action));
+    }
+    Ok(FilterSet::new(name, FilterKind::Acl, rules))
+}
+
+/// Writes a ClassBench-like ACL file.
+#[must_use]
+pub fn write_classbench(set: &FilterSet) -> String {
+    let mut out = String::new();
+    for r in &set.rules {
+        let prefix = |field| match r.field(field) {
+            FieldMatch::Prefix { value, len } => (Ipv4Addr::from(value as u32), len),
+            FieldMatch::Exact(value) => (Ipv4Addr::from(value as u32), 32),
+            _ => (Ipv4Addr::UNSPECIFIED, 0),
+        };
+        let range = |field| match r.field(field) {
+            FieldMatch::Range { lo, hi } => (lo, hi),
+            FieldMatch::Exact(v) => (v, v),
+            _ => (0, 65_535),
+        };
+        let (sa, sl) = prefix(MatchFieldKind::Ipv4Src);
+        let (da, dl) = prefix(MatchFieldKind::Ipv4Dst);
+        let (splo, sphi) = range(MatchFieldKind::TcpSrc);
+        let (dplo, dphi) = range(MatchFieldKind::TcpDst);
+        let (proto, mask) = match r.field(MatchFieldKind::IpProto) {
+            FieldMatch::Exact(p) => (p, 0xFFu8),
+            _ => (0, 0),
+        };
+        let action = match r.action {
+            RuleAction::Deny => " deny".to_owned(),
+            RuleAction::Forward(p) => format!(" fwd {p}"),
+            RuleAction::Controller => String::new(),
+        };
+        out.push_str(&format!(
+            "@{sa}/{sl} {da}/{dl} {splo} : {sphi} {dplo} : {dphi} {proto:#04x}/{mask:#04x}{action}\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate_acl, generate_mac, generate_routing, AclConfig, MacTargets, RoutingTargets};
+
+    #[test]
+    fn mac_round_trip() {
+        let t = MacTargets {
+            name: "rt".into(),
+            rules: 100,
+            vlan_unique: 10,
+            eth_partitions: [5, 30, 80],
+            ports: 8,
+        };
+        let set = generate_mac(&t, 1);
+        let text = write_mac_table(&set);
+        let parsed = parse_mac_table("rt", &text).unwrap();
+        assert_eq!(parsed.rules.len(), set.rules.len());
+        for (a, b) in parsed.rules.iter().zip(set.rules.iter()) {
+            assert_eq!(a.flow_match, b.flow_match);
+            assert_eq!(a.action, b.action);
+        }
+    }
+
+    #[test]
+    fn route_round_trip_preserves_matches() {
+        let t = RoutingTargets {
+            name: "rt".into(),
+            rules: 200,
+            port_unique: 8,
+            ip_partitions: [20, 120],
+            short_prefixes: 3,
+            out_ports: 8,
+        };
+        let set = generate_routing(&t, 2);
+        let text = write_route_table(&set);
+        let parsed = parse_route_table("rt", &text).unwrap();
+        assert_eq!(parsed.rules.len(), set.rules.len());
+        for (a, b) in parsed.rules.iter().zip(set.rules.iter()) {
+            assert_eq!(a.flow_match, b.flow_match);
+        }
+    }
+
+    #[test]
+    fn classbench_round_trip_preserves_matches() {
+        let set = generate_acl(&AclConfig { rules: 150, ..AclConfig::default() }, 3);
+        let text = write_classbench(&set);
+        let parsed = parse_classbench("acl", &text).unwrap();
+        assert_eq!(parsed.rules.len(), set.rules.len());
+        for (a, b) in parsed.rules.iter().zip(set.rules.iter()) {
+            assert_eq!(a.flow_match, b.flow_match, "{a} vs {b}");
+            assert_eq!(a.action, b.action);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\nvlan 5 mac 00:11:22:33:44:55 port 3\n";
+        let set = parse_mac_table("x", text).unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.rules[0].action, RuleAction::Forward(3));
+    }
+
+    #[test]
+    fn bad_lines_report_position() {
+        let text = "vlan 5 mac 00:11:22:33:44:55 port 3\nvlan nope mac 00:11:22:33:44:55 port 1\n";
+        let e = parse_mac_table("x", text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn route_parses_default() {
+        let set = parse_route_table("x", "route 0.0.0.0/0 in 1 out 2\n").unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(
+            set.rules[0].field(MatchFieldKind::Ipv4Dst),
+            FieldMatch::Prefix { value: 0, len: 0 }
+        );
+    }
+
+    #[test]
+    fn classbench_rejects_missing_at() {
+        assert!(parse_classbench("x", "1.2.3.4/32 ...\n").is_err());
+    }
+
+    #[test]
+    fn classbench_parses_wildcards_as_any() {
+        let text = "@0.0.0.0/0 10.0.0.0/8 0 : 65535 80 : 80 0x06/0xff deny\n";
+        let set = parse_classbench("x", text).unwrap();
+        let r = &set.rules[0];
+        assert_eq!(r.field(MatchFieldKind::Ipv4Src), FieldMatch::Any);
+        assert_eq!(r.field(MatchFieldKind::TcpSrc), FieldMatch::Any);
+        assert_eq!(r.field(MatchFieldKind::TcpDst), FieldMatch::Exact(80));
+        assert_eq!(r.field(MatchFieldKind::IpProto), FieldMatch::Exact(6));
+        assert_eq!(r.action, RuleAction::Deny);
+    }
+}

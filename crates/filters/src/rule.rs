@@ -1,0 +1,125 @@
+//! Rules: a flow match plus the forwarding decision it encodes.
+//!
+//! The terms *filter* and *rule* are interchangeable (paper §III). A rule
+//! wraps an [`oflow::FlowMatch`] with an identifier, priority and the action
+//! its application assigns — for the paper's use cases, an output port
+//! (`Write-Actions: output`) with the pipeline wiring (`Goto-Table`) added
+//! by the architecture, not the rule.
+
+use oflow::{FieldMatch, FlowMatch, MatchFieldKind};
+use std::fmt;
+
+/// The forwarding decision a rule encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleAction {
+    /// Forward out of a port.
+    Forward(u32),
+    /// Drop (ACL deny).
+    Deny,
+    /// Punt to the controller.
+    Controller,
+}
+
+impl RuleAction {
+    /// The output port if this is a `Forward`.
+    #[must_use]
+    pub fn port(self) -> Option<u32> {
+        match self {
+            RuleAction::Forward(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RuleAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleAction::Forward(p) => write!(f, "fwd:{p}"),
+            RuleAction::Deny => write!(f, "deny"),
+            RuleAction::Controller => write!(f, "controller"),
+        }
+    }
+}
+
+/// A classification rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// Stable identifier within its filter set (also the action-table row).
+    pub id: u32,
+    /// Priority for overlap resolution; higher wins (prefix rules typically
+    /// use the prefix length).
+    pub priority: u16,
+    /// The match.
+    pub flow_match: FlowMatch,
+    /// The decision.
+    pub action: RuleAction,
+}
+
+impl Rule {
+    /// Creates a rule.
+    #[must_use]
+    pub fn new(id: u32, priority: u16, flow_match: FlowMatch, action: RuleAction) -> Self {
+        Self { id, priority, flow_match, action }
+    }
+
+    /// The constraint this rule places on `field`.
+    #[must_use]
+    pub fn field(&self, field: MatchFieldKind) -> FieldMatch {
+        self.flow_match.field(field)
+    }
+
+    /// The masked value and prefix length of `field`, treating exact
+    /// matches as full-width prefixes. Returns `None` for ranges and
+    /// wildcards.
+    #[must_use]
+    pub fn field_as_prefix(&self, field: MatchFieldKind) -> Option<(u128, u32)> {
+        match self.field(field) {
+            FieldMatch::Exact(v) => Some((v, field.bit_width())),
+            FieldMatch::Prefix { value, len } => Some((value, len)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} prio={} [{}] -> {}", self.id, self.priority, self.flow_match, self.action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oflow::MatchFieldKind::*;
+
+    #[test]
+    fn field_as_prefix_normalises_exact() {
+        let fm = FlowMatch::any()
+            .with_exact(VlanVid, 5)
+            .unwrap()
+            .with_prefix(Ipv4Dst, 0x0A000000, 8)
+            .unwrap()
+            .with_range(TcpDst, 1, 10)
+            .unwrap();
+        let r = Rule::new(0, 1, fm, RuleAction::Forward(1));
+        assert_eq!(r.field_as_prefix(VlanVid), Some((5, 13)));
+        assert_eq!(r.field_as_prefix(Ipv4Dst), Some((0x0A000000, 8)));
+        assert_eq!(r.field_as_prefix(TcpDst), None);
+        assert_eq!(r.field_as_prefix(UdpDst), None); // Any
+    }
+
+    #[test]
+    fn action_port() {
+        assert_eq!(RuleAction::Forward(9).port(), Some(9));
+        assert_eq!(RuleAction::Deny.port(), None);
+        assert_eq!(RuleAction::Forward(9).to_string(), "fwd:9");
+    }
+
+    #[test]
+    fn display_mentions_id_and_action() {
+        let r = Rule::new(17, 3, FlowMatch::any(), RuleAction::Controller);
+        let s = r.to_string();
+        assert!(s.contains("#17"));
+        assert!(s.contains("controller"));
+    }
+}

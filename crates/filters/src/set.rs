@@ -1,0 +1,137 @@
+//! Filter sets: named collections of rules for one application.
+
+use crate::rule::Rule;
+use oflow::MatchFieldKind;
+use std::fmt;
+
+/// The application a filter set serves, mirroring the Stanford backbone
+/// suffixes the paper lists (§III.C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FilterKind {
+    /// MAC learning (`_rtr_mac_table`): VLAN ID + destination Ethernet.
+    MacLearning,
+    /// Routing / packet forwarding (`_rtr_route`): ingress port + IPv4
+    /// destination prefix.
+    Routing,
+    /// Access control lists (`_rtr_config` ACL entries): 5-tuple.
+    Acl,
+    /// ARP (`_rtr_arp`): target protocol address.
+    Arp,
+}
+
+impl FilterKind {
+    /// The fields this application's rules constrain, in table order.
+    #[must_use]
+    pub fn fields(self) -> &'static [MatchFieldKind] {
+        match self {
+            FilterKind::MacLearning => &[MatchFieldKind::VlanVid, MatchFieldKind::EthDst],
+            FilterKind::Routing => &[MatchFieldKind::InPort, MatchFieldKind::Ipv4Dst],
+            FilterKind::Acl => &[
+                MatchFieldKind::Ipv4Src,
+                MatchFieldKind::Ipv4Dst,
+                MatchFieldKind::IpProto,
+                MatchFieldKind::TcpSrc,
+                MatchFieldKind::TcpDst,
+            ],
+            FilterKind::Arp => &[MatchFieldKind::InPort, MatchFieldKind::ArpTpa],
+        }
+    }
+
+    /// Stanford-backbone style suffix.
+    #[must_use]
+    pub fn suffix(self) -> &'static str {
+        match self {
+            FilterKind::MacLearning => "mac_table",
+            FilterKind::Routing => "route",
+            FilterKind::Acl => "config",
+            FilterKind::Arp => "arp",
+        }
+    }
+}
+
+impl fmt::Display for FilterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// A named rule collection for one application on one router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterSet {
+    /// Router name (`bbra`, `coza`, ...).
+    pub name: String,
+    /// Application kind.
+    pub kind: FilterKind,
+    /// The rules, ids `0..len`.
+    pub rules: Vec<Rule>,
+}
+
+impl FilterSet {
+    /// Creates a filter set, renumbering rule ids to `0..len`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, kind: FilterKind, mut rules: Vec<Rule>) -> Self {
+        for (i, r) in rules.iter_mut().enumerate() {
+            r.id = i as u32;
+        }
+        Self { name: name.into(), kind, rules }
+    }
+
+    /// Number of rules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set has no rules.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Stanford-style identifier, e.g. `bbra_rtr_route`.
+    #[must_use]
+    pub fn full_name(&self) -> String {
+        format!("{}_rtr_{}", self.name, self.kind.suffix())
+    }
+}
+
+impl fmt::Display for FilterSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} rules)", self.full_name(), self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::RuleAction;
+    use oflow::FlowMatch;
+
+    #[test]
+    fn kinds_expose_fields() {
+        assert_eq!(FilterKind::MacLearning.fields().len(), 2);
+        assert_eq!(FilterKind::Routing.fields().len(), 2);
+        assert_eq!(FilterKind::Acl.fields().len(), 5);
+        assert_eq!(FilterKind::MacLearning.fields()[0], MatchFieldKind::VlanVid);
+    }
+
+    #[test]
+    fn new_renumbers_ids() {
+        let rules = vec![
+            Rule::new(99, 1, FlowMatch::any(), RuleAction::Deny),
+            Rule::new(99, 1, FlowMatch::any(), RuleAction::Deny),
+        ];
+        let s = FilterSet::new("bbra", FilterKind::Routing, rules);
+        assert_eq!(s.rules[0].id, 0);
+        assert_eq!(s.rules[1].id, 1);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn full_name_matches_stanford_convention() {
+        let s = FilterSet::new("coza", FilterKind::MacLearning, vec![]);
+        assert_eq!(s.full_name(), "coza_rtr_mac_table");
+        assert!(s.is_empty());
+        assert_eq!(s.to_string(), "coza_rtr_mac_table (0 rules)");
+    }
+}

@@ -1,0 +1,188 @@
+//! ACL (5-tuple) filter-set generator, ClassBench-flavoured.
+//!
+//! The paper's third application family (`_rtr_config` ACL entries) matches
+//! on the classic 5-tuple: source/destination IPv4 prefixes, protocol, and
+//! source/destination port ranges. This generator is used by the baseline
+//! comparisons (Table I quantification) and the ACL example; it is
+//! statistics-shaped rather than exactly constrained, since the paper does
+//! not publish ACL partition counts.
+
+use crate::rule::{Rule, RuleAction};
+use crate::set::{FilterKind, FilterSet};
+use oflow::{FlowMatch, MatchFieldKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Shape parameters for a generated ACL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AclConfig {
+    /// Set name.
+    pub name: String,
+    /// Number of rules.
+    pub rules: usize,
+    /// Number of distinct internal /24 networks rules refer to.
+    pub networks: usize,
+    /// Fraction of rules carrying a port range (vs. exact/any ports).
+    pub range_fraction: f64,
+    /// Fraction of deny rules.
+    pub deny_fraction: f64,
+}
+
+impl Default for AclConfig {
+    fn default() -> Self {
+        Self {
+            name: "acl".into(),
+            rules: 1000,
+            networks: 64,
+            range_fraction: 0.35,
+            deny_fraction: 0.30,
+        }
+    }
+}
+
+/// Well-known destination ports ACLs concentrate on.
+const COMMON_PORTS: [u16; 12] = [22, 25, 53, 80, 110, 123, 143, 443, 445, 993, 3306, 8080];
+
+/// Common port ranges (ephemeral, registered, RPC).
+const COMMON_RANGES: [(u16, u16); 4] = [(1024, 65_535), (49_152, 65_535), (135, 139), (6000, 6063)];
+
+/// Generates an ACL filter set.
+#[must_use]
+pub fn generate_acl(config: &AclConfig, seed: u64) -> FilterSet {
+    assert!(config.rules > 0 && config.networks > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Internal networks: clustered /24s under a handful of /16s.
+    let mut networks: Vec<u32> = Vec::with_capacity(config.networks);
+    let mut seen = HashSet::new();
+    let supernets: Vec<u32> =
+        (0..4).map(|_| u32::from(rng.gen::<u16>()) << 16).collect();
+    while networks.len() < config.networks {
+        let base = supernets[rng.gen_range(0..supernets.len())];
+        let net = base | (u32::from(rng.gen::<u8>()) << 8);
+        if seen.insert(net) {
+            networks.push(net);
+        }
+    }
+
+    let mut rules = Vec::with_capacity(config.rules);
+    for i in 0..config.rules {
+        let mut fm = FlowMatch::any();
+
+        // Source: internal network, a host within one, or any.
+        fm = match rng.gen_range(0..3) {
+            0 => {
+                let net = networks[rng.gen_range(0..networks.len())];
+                fm.with_prefix(MatchFieldKind::Ipv4Src, u128::from(net), 24).expect("prefix")
+            }
+            1 => {
+                let net = networks[rng.gen_range(0..networks.len())];
+                let host = net | u32::from(rng.gen::<u8>());
+                fm.with_exact(MatchFieldKind::Ipv4Src, u128::from(host)).expect("host")
+            }
+            _ => fm,
+        };
+        // Destination: like source but biased toward networks.
+        fm = match rng.gen_range(0..4) {
+            0..=1 => {
+                let net = networks[rng.gen_range(0..networks.len())];
+                fm.with_prefix(MatchFieldKind::Ipv4Dst, u128::from(net), 24).expect("prefix")
+            }
+            2 => {
+                let net = networks[rng.gen_range(0..networks.len())];
+                let host = net | u32::from(rng.gen::<u8>());
+                fm.with_exact(MatchFieldKind::Ipv4Dst, u128::from(host)).expect("host")
+            }
+            _ => fm,
+        };
+
+        // Protocol: mostly TCP/UDP, some any.
+        let proto = match rng.gen_range(0..10) {
+            0..=5 => Some(6u8),
+            6..=8 => Some(17u8),
+            _ => None,
+        };
+        if let Some(p) = proto {
+            fm = fm.with_exact(MatchFieldKind::IpProto, u128::from(p)).expect("proto");
+        }
+
+        // Destination port: range, well-known exact, or any.
+        if proto.is_some() {
+            if rng.gen_bool(config.range_fraction) {
+                let (lo, hi) = COMMON_RANGES[rng.gen_range(0..COMMON_RANGES.len())];
+                fm = fm
+                    .with_range(MatchFieldKind::TcpDst, u128::from(lo), u128::from(hi))
+                    .expect("range");
+            } else if rng.gen_bool(0.7) {
+                let p = COMMON_PORTS[rng.gen_range(0..COMMON_PORTS.len())];
+                fm = fm.with_exact(MatchFieldKind::TcpDst, u128::from(p)).expect("port");
+            }
+        }
+
+        let action = if rng.gen_bool(config.deny_fraction) {
+            RuleAction::Deny
+        } else {
+            RuleAction::Forward(rng.gen_range(1..=16))
+        };
+        // Priority: earlier rules win, as in ordered ACLs.
+        let priority = (config.rules - i) as u16;
+        rules.push(Rule::new(i as u32, priority, fm, action));
+    }
+
+    FilterSet::new(config.name.clone(), FilterKind::Acl, rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oflow::FieldMatch;
+
+    #[test]
+    fn generates_requested_count() {
+        let set = generate_acl(&AclConfig::default(), 1);
+        assert_eq!(set.len(), 1000);
+        assert_eq!(set.kind, FilterKind::Acl);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = AclConfig::default();
+        assert_eq!(generate_acl(&c, 2), generate_acl(&c, 2));
+        assert_ne!(generate_acl(&c, 2), generate_acl(&c, 3));
+    }
+
+    #[test]
+    fn priorities_strictly_ordered() {
+        let set = generate_acl(&AclConfig { rules: 50, ..AclConfig::default() }, 4);
+        for w in set.rules.windows(2) {
+            assert!(w[0].priority > w[1].priority);
+        }
+    }
+
+    #[test]
+    fn contains_ranges_and_denies() {
+        let set = generate_acl(&AclConfig::default(), 5);
+        let ranges = set
+            .rules
+            .iter()
+            .filter(|r| matches!(r.field(MatchFieldKind::TcpDst), FieldMatch::Range { .. }))
+            .count();
+        let denies = set.rules.iter().filter(|r| r.action == RuleAction::Deny).count();
+        assert!(ranges > 100, "expected many ranges, got {ranges}");
+        assert!(denies > 100, "expected many denies, got {denies}");
+    }
+
+    #[test]
+    fn port_matches_only_with_protocol() {
+        let set = generate_acl(&AclConfig::default(), 6);
+        for r in &set.rules {
+            if !matches!(r.field(MatchFieldKind::TcpDst), FieldMatch::Any) {
+                assert!(
+                    !matches!(r.field(MatchFieldKind::IpProto), FieldMatch::Any),
+                    "port match without protocol in {r}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! MAC-learning filter-set generator.
+//!
+//! Emits `(VLAN ID, destination Ethernet) -> output port` rules whose
+//! unique-value counts per field match the targets exactly. Ethernet
+//! addresses are assembled from three independently constrained 16-bit
+//! partition pools, mirroring the paper's partition analysis; the pools'
+//! allocation-block sampler reproduces OUI/NIC locality (few unique higher
+//! partitions, many clustered lower ones).
+
+use super::pools::UniquePool;
+use crate::paper_data::MacFilterStats;
+use crate::rule::{Rule, RuleAction};
+use crate::set::{FilterKind, FilterSet};
+use oflow::{FlowMatch, MatchFieldKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Statistical targets for a generated MAC set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacTargets {
+    /// Set name (router id).
+    pub name: String,
+    /// Number of rules.
+    pub rules: usize,
+    /// Unique VLAN IDs.
+    pub vlan_unique: usize,
+    /// Unique values per 16-bit Ethernet partition `[hi, mid, lo]`.
+    pub eth_partitions: [usize; 3],
+    /// Number of distinct output ports to spread rules over.
+    pub ports: usize,
+}
+
+impl MacTargets {
+    /// Targets from a published Table III row.
+    #[must_use]
+    pub fn from_paper(s: &MacFilterStats) -> Self {
+        Self {
+            name: s.router.to_owned(),
+            rules: s.rules,
+            vlan_unique: s.vlan_unique,
+            eth_partitions: [s.eth_hi, s.eth_mid, s.eth_lo],
+            ports: 48,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.rules > 0, "need at least one rule");
+        assert!(self.vlan_unique >= 1 && self.vlan_unique <= self.rules);
+        for (i, &u) in self.eth_partitions.iter().enumerate() {
+            assert!(u >= 1 && u <= self.rules, "partition {i} target {u} infeasible");
+        }
+        // The MAC must be unique per rule, so the partition combination
+        // space must cover the rule count.
+        let combos = self.eth_partitions.iter().map(|&u| u as u128).product::<u128>();
+        assert!(combos >= self.rules as u128, "partition targets cannot yield enough MACs");
+    }
+}
+
+/// Per-partition clustering strengths: the higher partition is OUI-like
+/// (modest clustering over vendor blocks), the middle and lower partitions
+/// follow sequential NIC allocation (strong runs).
+const CLUSTER_P: [f64; 3] = [0.55, 0.85, 0.92];
+
+/// Generates a MAC-learning filter set meeting `targets` exactly.
+#[must_use]
+pub fn generate_mac(targets: &MacTargets, seed: u64) -> FilterSet {
+    targets.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = targets.rules;
+
+    let mut vlan_pool = UniquePool::new(targets.vlan_unique, 12, 0.30);
+    let mut parts: Vec<UniquePool> = targets
+        .eth_partitions
+        .iter()
+        .zip(CLUSTER_P)
+        .map(|(&t, p)| UniquePool::new(t, 16, p))
+        .collect();
+
+    let mut used_macs: HashSet<u64> = HashSet::with_capacity(n);
+    let mut rules = Vec::with_capacity(n);
+
+    for i in 0..n {
+        let remaining = n - i;
+        let vlan = vlan_pool.draw(remaining, &mut rng);
+
+        // Choose partition values; the combination must be a new MAC.
+        // A draw containing a new partition value cannot collide, so only
+        // all-reuse draws retry. Early in a set the reuse pools are tiny
+        // and their combination space can be exhausted outright, so after
+        // a few failed retries a new value is *forced* into the partition
+        // with the most outstanding need (never exceeding its target —
+        // pools at target keep retrying, which `validate` guarantees will
+        // terminate).
+        let mut new_flags: Vec<bool> =
+            parts.iter().map(|p| p.decide_new(remaining, &mut rng)).collect();
+        let mut mac;
+        let mut attempts = 0usize;
+        loop {
+            let mut pieces = [0u64; 3];
+            let mut any_new = false;
+            for (j, part) in parts.iter_mut().enumerate() {
+                if new_flags[j] && !part.is_full() {
+                    pieces[j] = part.new_value(&mut rng);
+                    any_new = true;
+                } else {
+                    pieces[j] = part.reuse(&mut rng);
+                }
+            }
+            mac = (pieces[0] << 32) | (pieces[1] << 16) | pieces[2];
+            if any_new || used_macs.insert(mac) {
+                if any_new {
+                    used_macs.insert(mac);
+                }
+                break;
+            }
+            attempts += 1;
+            if attempts % 8 == 0 {
+                if let Some(j) = (0..parts.len())
+                    .filter(|&j| !parts[j].is_full())
+                    .max_by_key(|&j| parts[j].need())
+                {
+                    new_flags[j] = true;
+                }
+            }
+        }
+
+        let fm = FlowMatch::any()
+            .with_exact(MatchFieldKind::VlanVid, u128::from(vlan))
+            .expect("vlan fits field")
+            .with_exact(MatchFieldKind::EthDst, u128::from(mac))
+            .expect("mac fits field");
+        let port = rng.gen_range(1..=targets.ports as u32);
+        rules.push(Rule::new(i as u32, 1, fm, RuleAction::Forward(port)));
+    }
+
+    FilterSet::new(targets.name.clone(), FilterKind::MacLearning, rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::survey_mac;
+    use crate::paper_data::mac_stats;
+
+    fn small_targets() -> MacTargets {
+        MacTargets {
+            name: "test".into(),
+            rules: 500,
+            vlan_unique: 20,
+            eth_partitions: [10, 80, 300],
+            ports: 8,
+        }
+    }
+
+    #[test]
+    fn exact_unique_counts() {
+        let set = generate_mac(&small_targets(), 1);
+        let s = survey_mac(&set);
+        assert_eq!(s.rules, 500);
+        assert_eq!(s.vlan_unique, 20);
+        assert_eq!(s.eth_partitions, [10, 80, 300]);
+    }
+
+    #[test]
+    fn macs_are_unique_per_rule() {
+        let set = generate_mac(&small_targets(), 2);
+        let macs: HashSet<u128> = set
+            .rules
+            .iter()
+            .map(|r| r.field_as_prefix(MatchFieldKind::EthDst).unwrap().0)
+            .collect();
+        assert_eq!(macs.len(), set.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate_mac(&small_targets(), 3), generate_mac(&small_targets(), 3));
+        assert_ne!(generate_mac(&small_targets(), 3), generate_mac(&small_targets(), 4));
+    }
+
+    #[test]
+    fn paper_row_bbra_exact() {
+        let t = MacTargets::from_paper(mac_stats("bbra").unwrap());
+        let set = generate_mac(&t, 42);
+        let s = survey_mac(&set);
+        assert_eq!(s.rules, 507);
+        assert_eq!(s.vlan_unique, 48);
+        assert_eq!(s.eth_partitions, [46, 133, 261]);
+    }
+
+    #[test]
+    fn paper_row_gozb_exact() {
+        // The largest MAC filter (7370 rules).
+        let t = MacTargets::from_paper(mac_stats("gozb").unwrap());
+        let set = generate_mac(&t, 42);
+        let s = survey_mac(&set);
+        assert_eq!(s.eth_partitions, [159, 1946, 6177]);
+        assert_eq!(s.vlan_unique, 209);
+    }
+
+    #[test]
+    fn all_rules_constrain_both_fields() {
+        let set = generate_mac(&small_targets(), 5);
+        for r in &set.rules {
+            assert!(r.field_as_prefix(MatchFieldKind::VlanVid).is_some());
+            assert!(r.field_as_prefix(MatchFieldKind::EthDst).is_some());
+            assert!(r.action.port().is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot yield enough MACs")]
+    fn infeasible_combination_panics() {
+        let t = MacTargets {
+            name: "bad".into(),
+            rules: 100,
+            vlan_unique: 1,
+            eth_partitions: [1, 1, 50],
+            ports: 4,
+        };
+        let _ = generate_mac(&t, 0);
+    }
+
+    #[test]
+    fn single_rule_set() {
+        let t = MacTargets {
+            name: "one".into(),
+            rules: 1,
+            vlan_unique: 1,
+            eth_partitions: [1, 1, 1],
+            ports: 1,
+        };
+        let set = generate_mac(&t, 9);
+        assert_eq!(set.len(), 1);
+        let s = survey_mac(&set);
+        assert_eq!(s.eth_partitions, [1, 1, 1]);
+    }
+}

@@ -1,0 +1,365 @@
+//! Constrained unique-value pools.
+//!
+//! The generator must emit `n` rules whose field partitions contain an
+//! *exact* number of unique values (the published Table III/IV counts). A
+//! [`UniquePool`] does the bookkeeping: per rule it decides whether the
+//! partition takes a brand-new value or reuses an existing one, such that
+//! after the last rule the pool holds exactly `target` distinct values.
+//!
+//! The decision rule is a balanced occupancy scheme with a hard backstop:
+//! with `need` new values still owed and `remaining` rules left, a new
+//! value is forced when `need == remaining` and otherwise drawn with
+//! probability `need / remaining`. This yields exact counts for any
+//! feasible target while spreading new values evenly through the set.
+//!
+//! New values are produced by an *allocation-block* sampler: with
+//! probability `cluster_p` the next value extends a recent allocation run
+//! (previous value + 1), otherwise it opens a new run at a uniform
+//! position. Real MAC tables and route tables are dominated by such runs
+//! (sequential NIC allocation, subnetting), and the run structure is what
+//! keeps multi-bit-trie populations far below the uniform-sampling worst
+//! case — the effect the paper's node counts reflect.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// A pool issuing values with an exact final unique count.
+#[derive(Debug, Clone)]
+pub struct UniquePool {
+    target: usize,
+    values: Vec<u64>,
+    seen: HashSet<u64>,
+    domain_bits: u32,
+    cluster_p: f64,
+    run_head: Option<u64>,
+}
+
+impl UniquePool {
+    /// Creates a pool that will issue exactly `target` distinct values
+    /// drawn from `domain_bits`-bit space.
+    ///
+    /// # Panics
+    /// Panics if the target exceeds the domain size.
+    #[must_use]
+    pub fn new(target: usize, domain_bits: u32, cluster_p: f64) -> Self {
+        assert!(domain_bits <= 64, "domain too wide");
+        if domain_bits < 64 {
+            assert!(
+                (target as u128) <= (1u128 << domain_bits),
+                "target {target} exceeds {domain_bits}-bit domain"
+            );
+        }
+        assert!((0.0..=1.0).contains(&cluster_p));
+        Self {
+            target,
+            values: Vec::with_capacity(target),
+            seen: HashSet::with_capacity(target),
+            domain_bits,
+            cluster_p,
+            run_head: None,
+        }
+    }
+
+    /// Distinct values issued so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no values have been issued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// New values still owed.
+    #[must_use]
+    pub fn need(&self) -> usize {
+        self.target - self.values.len()
+    }
+
+    /// Whether the pool reached its target.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.need() == 0
+    }
+
+    /// The distinct values issued so far.
+    #[must_use]
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// Whether the next draw must introduce a new value to stay feasible.
+    #[must_use]
+    pub fn must_new(&self, remaining: usize) -> bool {
+        self.need() >= remaining
+    }
+
+    /// Decides whether the next draw introduces a new value, given
+    /// `remaining` rules (including the current one) are left.
+    pub fn decide_new(&self, remaining: usize, rng: &mut StdRng) -> bool {
+        debug_assert!(remaining >= 1);
+        if self.is_full() {
+            false
+        } else if self.must_new(remaining) || self.is_empty() {
+            true
+        } else {
+            rng.gen_bool(self.need() as f64 / remaining as f64)
+        }
+    }
+
+    fn domain_mask(&self) -> u64 {
+        if self.domain_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.domain_bits) - 1
+        }
+    }
+
+    /// Draws a fresh (unseen) value using the allocation-block sampler and
+    /// records it.
+    pub fn new_value(&mut self, rng: &mut StdRng) -> u64 {
+        assert!(!self.is_full(), "pool already reached its target");
+        let mask = self.domain_mask();
+        loop {
+            let candidate = match self.run_head {
+                Some(prev) if rng.gen_bool(self.cluster_p) => prev.wrapping_add(1) & mask,
+                _ => rng.gen::<u64>() & mask,
+            };
+            self.run_head = Some(candidate);
+            if self.seen.insert(candidate) {
+                self.values.push(candidate);
+                return candidate;
+            }
+            // Collision: nudge the run head so the next extension moves on.
+        }
+    }
+
+    /// Draws a fresh value satisfying `pred`; falls back to uniform
+    /// sampling filtered by `pred`. Returns `None` if no satisfying value
+    /// is found within a sampling budget (callers then relax constraints).
+    pub fn new_value_where(
+        &mut self,
+        rng: &mut StdRng,
+        pred: impl Fn(u64) -> bool,
+    ) -> Option<u64> {
+        assert!(!self.is_full(), "pool already reached its target");
+        let mask = self.domain_mask();
+        for _ in 0..4096 {
+            let candidate = match self.run_head {
+                Some(prev) if rng.gen_bool(self.cluster_p) => prev.wrapping_add(1) & mask,
+                _ => rng.gen::<u64>() & mask,
+            };
+            self.run_head = Some(candidate);
+            if pred(candidate) && !self.seen.contains(&candidate) {
+                self.seen.insert(candidate);
+                self.values.push(candidate);
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    /// Draws a fresh value whose low `align` bits are zero (a prefix-aligned
+    /// partition value), clustering on the meaningful high bits. Returns
+    /// `None` when the aligned sub-space is (nearly) exhausted.
+    pub fn new_value_aligned(&mut self, rng: &mut StdRng, align: u32) -> Option<u64> {
+        assert!(!self.is_full(), "pool already reached its target");
+        assert!(align <= self.domain_bits);
+        let meaningful = self.domain_bits - align;
+        let base_mask = if meaningful >= 64 { u64::MAX } else { (1u64 << meaningful) - 1 };
+        let attempts = 1024usize.min(2 * (base_mask as usize + 1));
+        for _ in 0..attempts {
+            let base = match self.run_head {
+                Some(prev) if rng.gen_bool(self.cluster_p) => (prev >> align).wrapping_add(1),
+                _ => rng.gen::<u64>(),
+            } & base_mask;
+            let candidate = base << align;
+            self.run_head = Some(candidate);
+            if self.seen.insert(candidate) {
+                self.values.push(candidate);
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    /// Records an externally chosen value (e.g. the all-zero value a short
+    /// prefix contributes). Returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if the value is new but the pool already reached its target.
+    pub fn record(&mut self, value: u64) -> bool {
+        if self.seen.contains(&value) {
+            return false;
+        }
+        assert!(!self.is_full(), "recording {value:#x} would exceed the pool target");
+        self.seen.insert(value);
+        self.values.push(value);
+        true
+    }
+
+    /// Picks an already-issued value uniformly.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty.
+    pub fn reuse(&self, rng: &mut StdRng) -> u64 {
+        assert!(!self.is_empty(), "nothing to reuse");
+        self.values[rng.gen_range(0..self.values.len())]
+    }
+
+    /// Picks an already-issued value satisfying `pred`, if any exists.
+    pub fn reuse_where(&self, rng: &mut StdRng, pred: impl Fn(u64) -> bool) -> Option<u64> {
+        let candidates: Vec<u64> = self.values.iter().copied().filter(|v| pred(*v)).collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[rng.gen_range(0..candidates.len())])
+        }
+    }
+
+    /// Standard draw: decide new vs reuse, then sample accordingly.
+    pub fn draw(&mut self, remaining: usize, rng: &mut StdRng) -> u64 {
+        if self.decide_new(remaining, rng) {
+            self.new_value(rng)
+        } else {
+            self.reuse(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn exact_target_reached() {
+        for seed in 0..5 {
+            let mut r = rng(seed);
+            let mut pool = UniquePool::new(100, 16, 0.5);
+            let n = 1000;
+            for i in 0..n {
+                let _ = pool.draw(n - i, &mut r);
+            }
+            assert_eq!(pool.len(), 100, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn target_equal_to_rules_forces_all_new() {
+        let mut r = rng(1);
+        let mut pool = UniquePool::new(50, 16, 0.0);
+        let mut out = Vec::new();
+        for i in 0..50 {
+            out.push(pool.draw(50 - i, &mut r));
+        }
+        let distinct: HashSet<_> = out.iter().collect();
+        assert_eq!(distinct.len(), 50);
+    }
+
+    #[test]
+    fn values_fit_domain() {
+        let mut r = rng(2);
+        let mut pool = UniquePool::new(200, 13, 0.3);
+        for i in 0..400 {
+            let v = pool.draw(400 - i, &mut r);
+            assert!(v < (1 << 13));
+        }
+        assert_eq!(pool.len(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn infeasible_target_panics() {
+        let _ = UniquePool::new(20_000, 13, 0.0);
+    }
+
+    #[test]
+    fn clustering_produces_runs() {
+        let mut r = rng(3);
+        let mut clustered = UniquePool::new(1000, 48, 0.95);
+        let mut uniform = UniquePool::new(1000, 48, 0.0);
+        for _ in 0..1000 {
+            clustered.new_value(&mut r);
+            uniform.new_value(&mut r);
+        }
+        let runs = |vals: &[u64]| {
+            let mut sorted = vals.to_vec();
+            sorted.sort_unstable();
+            sorted.windows(2).filter(|w| w[1] == w[0] + 1).count()
+        };
+        assert!(
+            runs(clustered.values()) > 10 * runs(uniform.values()).max(1),
+            "clustered {} vs uniform {}",
+            runs(clustered.values()),
+            runs(uniform.values())
+        );
+    }
+
+    #[test]
+    fn record_counts_only_new() {
+        let mut pool = UniquePool::new(2, 16, 0.0);
+        assert!(pool.record(7));
+        assert!(!pool.record(7));
+        assert_eq!(pool.len(), 1);
+        assert!(pool.record(9));
+        assert!(pool.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the pool target")]
+    fn record_past_target_panics() {
+        let mut pool = UniquePool::new(1, 16, 0.0);
+        pool.record(1);
+        pool.record(2);
+    }
+
+    #[test]
+    fn reuse_where_filters() {
+        let mut pool = UniquePool::new(3, 16, 0.0);
+        pool.record(0x10);
+        pool.record(0x20);
+        pool.record(0x31);
+        let mut r = rng(4);
+        let even = pool.reuse_where(&mut r, |v| v % 2 == 0).unwrap();
+        assert!(even == 0x10 || even == 0x20);
+        assert!(pool.reuse_where(&mut r, |v| v > 0x100).is_none());
+    }
+
+    #[test]
+    fn new_value_where_respects_predicate() {
+        let mut pool = UniquePool::new(10, 16, 0.0);
+        let mut r = rng(5);
+        for _ in 0..10 {
+            let v = pool.new_value_where(&mut r, |v| v & 0xFF == 0).unwrap();
+            assert_eq!(v & 0xFF, 0);
+        }
+        assert!(pool.is_full());
+    }
+
+    #[test]
+    fn must_new_backstop() {
+        let pool = UniquePool::new(5, 16, 0.0);
+        assert!(pool.must_new(5));
+        assert!(pool.must_new(3));
+        assert!(!pool.must_new(6));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let gen = |seed| {
+            let mut r = rng(seed);
+            let mut pool = UniquePool::new(50, 16, 0.5);
+            (0..200).map(|i| pool.draw(200 - i, &mut r)).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(7), gen(7));
+        assert_ne!(gen(7), gen(8));
+    }
+}

@@ -1,0 +1,381 @@
+//! Routing filter-set generator.
+//!
+//! Emits `(ingress port, IPv4 destination prefix) -> output port` rules
+//! whose unique-value counts (ingress ports, higher/lower 16-bit IP
+//! partitions of the masked prefix) match the targets exactly.
+//!
+//! The interaction between prefix *length* and partition *uniqueness* is
+//! the delicate part: a `/L` prefix only has `L - 16` meaningful bits in
+//! the lower partition (zero for `L <= 16`), so introducing a new lower
+//! partition value requires `L >= 17` and alignment to `32 - L` trailing
+//! zero bits, while reusing a value constrains the length from below. The
+//! generator resolves both directions: new values are sampled under the
+//! alignment predicate, reused values stretch the length when needed.
+
+use super::pools::UniquePool;
+use crate::paper_data::RoutingFilterStats;
+use crate::rule::{Rule, RuleAction};
+use crate::set::{FilterKind, FilterSet};
+use oflow::{FlowMatch, MatchFieldKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// Statistical targets for a generated routing set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingTargets {
+    /// Set name (router id).
+    pub name: String,
+    /// Number of rules.
+    pub rules: usize,
+    /// Unique ingress-port values.
+    pub port_unique: usize,
+    /// Unique higher / lower 16-bit IP partition values.
+    pub ip_partitions: [usize; 2],
+    /// Number of short prefixes (`len < 16`, including one default route)
+    /// mixed in before the main population.
+    pub short_prefixes: usize,
+    /// Number of distinct next-hop (output) ports.
+    pub out_ports: usize,
+}
+
+impl RoutingTargets {
+    /// Targets from a published Table IV row. The short-prefix count
+    /// reflects the paper's note that routing filters "contain a larger
+    /// number of wildcard flow entries and require larger prefix lookups
+    /// (e.g. 0.0.0.0/0)".
+    #[must_use]
+    pub fn from_paper(s: &RoutingFilterStats) -> Self {
+        Self {
+            name: s.router.to_owned(),
+            rules: s.rules,
+            port_unique: s.port_unique,
+            ip_partitions: [s.ip_hi, s.ip_lo],
+            short_prefixes: (s.rules / 300).clamp(1, 12),
+            out_ports: 32,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.rules > 0);
+        assert!(self.port_unique >= 1 && self.port_unique <= self.rules);
+        let [hi, lo] = self.ip_partitions;
+        assert!(hi >= 1 && hi <= self.rules, "hi target infeasible");
+        assert!(lo >= 1 && lo <= self.rules, "lo target infeasible");
+        assert!(self.short_prefixes < self.rules);
+        // Each lower value carries one canonical prefix length, so the
+        // (hi, lo) combinations must cover the rule count.
+        let combos = hi as u128 * lo as u128;
+        assert!(combos >= self.rules as u128, "partition targets cannot yield enough prefixes");
+    }
+}
+
+/// Samples a prefix length in `16..=32` from a BGP-flavoured histogram
+/// (/24 dominant, /16 common, a tail of host routes).
+fn sample_len(rng: &mut StdRng) -> u32 {
+    // Weights for lengths 16..=32.
+    const W: [u32; 17] = [8, 2, 3, 4, 5, 6, 7, 8, 35, 2, 2, 1, 1, 1, 1, 1, 8];
+    let total: u32 = W.iter().sum();
+    let mut x = rng.gen_range(0..total);
+    for (i, w) in W.iter().enumerate() {
+        if x < *w {
+            return 16 + i as u32;
+        }
+        x -= w;
+    }
+    24
+}
+
+/// Generates a routing filter set meeting `targets` exactly.
+#[must_use]
+pub fn generate_routing(targets: &RoutingTargets, seed: u64) -> FilterSet {
+    targets.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = targets.rules;
+    let [hi_target, lo_target] = targets.ip_partitions;
+
+    // Clustering calibration (see DESIGN.md §5). Ordinary routers carry a
+    // handful of campus networks whose higher 16-bit values are nearly
+    // contiguous (very strong runs); the exception routers (hi > lo)
+    // carry a wide range of networks, so their higher partitions spread
+    // further. Lower partitions mix subnet alignments, spreading the most.
+    let hi_cluster = if hi_target > lo_target { 0.88 } else { 0.97 };
+    let mut hi_pool = UniquePool::new(hi_target, 16, hi_cluster);
+    let mut lo_pool = UniquePool::new(lo_target, 16, 0.95);
+    let mut port_pool = UniquePool::new(targets.port_unique, 10, 0.0);
+
+    let mut used: HashSet<(u64, u32)> = HashSet::with_capacity(n);
+    // Canonical prefix length per lower-partition value: a masked prefix
+    // value appears with exactly one length, as in real route tables.
+    let mut lo_lens: HashMap<u64, u32> = HashMap::with_capacity(lo_target);
+    let mut rules = Vec::with_capacity(n);
+    let push = |rules: &mut Vec<Rule>, value: u64, len: u32, port: u64| {
+        let fm = FlowMatch::any()
+            .with_exact(MatchFieldKind::InPort, u128::from(port))
+            .expect("port fits")
+            .with_prefix(MatchFieldKind::Ipv4Dst, u128::from(value), len)
+            .expect("prefix fits");
+        let out = 1 + (value.wrapping_mul(0x9E37_79B9) >> 16) % 32;
+        rules.push(Rule::new(
+            rules.len() as u32,
+            len as u16,
+            fm,
+            RuleAction::Forward(out as u32),
+        ));
+    };
+
+    // Phase 1: short prefixes (len < 16), including the default route.
+    // All shorts share the single lower-partition value 0, so they are
+    // capped to keep `lo_target` reachable by the remaining rules; each
+    // short contributes one fresh higher value, so `hi_target` stays
+    // reachable too.
+    let shorts = targets
+        .short_prefixes
+        .min(hi_target)
+        .min(n.saturating_sub(lo_target) + 1);
+    for s in 0..shorts {
+        let remaining = n - rules.len();
+        let (value, len) = if s == 0 {
+            (0u64, 0u32) // 0.0.0.0/0
+        } else {
+            // A /8../15 prefix; its masked hi partition must be aligned.
+            let len = rng.gen_range(8..16u32);
+            let align = 16 - len; // zero bits inside the hi partition
+            let hi = loop {
+                let v = (rng.gen::<u64>() & 0xFFFF) >> align << align;
+                let fresh = hi_pool.is_full() || !hi_pool.values().contains(&v);
+                if fresh && !used.contains(&(v << 16, len)) {
+                    break v;
+                }
+            };
+            (hi << 16, len)
+        };
+        let hi16 = value >> 16;
+        if !hi_pool.is_full() {
+            hi_pool.record(hi16);
+        } else if !hi_pool.values().contains(&hi16) {
+            // Cannot afford a new hi value; fold into an existing one by
+            // using the default route's hi (0) — only reachable when the
+            // hi target is tiny.
+            continue;
+        }
+        if !lo_pool.is_full() {
+            lo_pool.record(0);
+            lo_lens.insert(0, 16);
+        }
+        used.insert((value, len));
+        let port = port_pool.draw(remaining, &mut rng);
+        push(&mut rules, value, len, port);
+    }
+
+    // Phase 2: main population, len >= 16.
+    while rules.len() < n {
+        let remaining = n - rules.len();
+        let hi_new = hi_pool.decide_new(remaining, &mut rng);
+        let lo_new = lo_pool.decide_new(remaining, &mut rng);
+
+        let mut len = sample_len(&mut rng);
+        let hi = if hi_new { hi_pool.new_value(&mut rng) } else { hi_pool.reuse(&mut rng) };
+
+        let (lo, lo_len) = if lo_new {
+            // A new lower value needs len >= 17; resample from the same
+            // histogram conditioned on that (keeps /24 dominant and the
+            // deep /27../32 tail rare, as in real route tables).
+            while len < 17 {
+                len = sample_len(&mut rng);
+            }
+            // New lower value aligned to the prefix length. When the
+            // aligned sub-space is exhausted (the dense routers use every
+            // /24-aligned value), fall back to host routes — real RIBs
+            // with this many unique lower values are dominated by /32s,
+            // which pack densely into trie blocks.
+            let v = loop {
+                let align = (32 - len).min(16);
+                if let Some(v) = lo_pool.new_value_aligned(&mut rng, align) {
+                    break v;
+                }
+                assert!(len < 32, "lower partition space exhausted");
+                len = 32;
+            };
+            lo_lens.insert(v, len);
+            (v, len)
+        } else {
+            // Reuse a lower value at its canonical length.
+            let v = lo_pool.reuse(&mut rng);
+            (v, lo_lens[&v])
+        };
+
+        let mut value = (hi << 16) | lo;
+        let mut final_len = lo_len;
+        if hi_new || lo_new {
+            used.insert((value, final_len));
+        } else {
+            // Both reused: the (value, len) pair may already exist.
+            let mut placed = used.insert((value, final_len));
+            let mut attempts = 0;
+            while !placed {
+                attempts += 1;
+                if attempts < 64 {
+                    let v = lo_pool.reuse(&mut rng);
+                    let h = hi_pool.reuse(&mut rng);
+                    final_len = lo_lens[&v];
+                    value = (h << 16) | v;
+                } else {
+                    // Deterministic sweep over the remaining combination
+                    // space.
+                    let mut found = false;
+                    'sweep: for &h in hi_pool.values() {
+                        for &v in lo_pool.values() {
+                            let l = lo_lens[&v];
+                            if !used.contains(&((h << 16) | v, l)) {
+                                value = (h << 16) | v;
+                                final_len = l;
+                                found = true;
+                                break 'sweep;
+                            }
+                        }
+                    }
+                    if !found {
+                        // Early in the set the small reuse pools can be
+                        // genuinely exhausted; introduce a new value in
+                        // the pool with the most outstanding need (the
+                        // target backstops still guarantee exact counts).
+                        if !lo_pool.is_full()
+                            && (hi_pool.is_full() || lo_pool.need() >= hi_pool.need())
+                        {
+                            let mut l = sample_len(&mut rng);
+                            while l < 17 {
+                                l = sample_len(&mut rng);
+                            }
+                            let v = loop {
+                                let align = (32 - l).min(16);
+                                if let Some(v) = lo_pool.new_value_aligned(&mut rng, align) {
+                                    break v;
+                                }
+                                assert!(l < 32, "lower partition space exhausted");
+                                l = 32;
+                            };
+                            lo_lens.insert(v, l);
+                            value = (hi_pool.reuse(&mut rng) << 16) | v;
+                            final_len = l;
+                        } else if !hi_pool.is_full() {
+                            let h = hi_pool.new_value(&mut rng);
+                            let v = lo_pool.reuse(&mut rng);
+                            value = (h << 16) | v;
+                            final_len = lo_lens[&v];
+                        } else {
+                            unreachable!(
+                                "validate() guarantees hi x lo combinations cover the rules"
+                            );
+                        }
+                    }
+                }
+                placed = used.insert((value, final_len));
+            }
+        }
+        let port = port_pool.draw(remaining, &mut rng);
+        push(&mut rules, value, final_len, port);
+    }
+
+    FilterSet::new(targets.name.clone(), FilterKind::Routing, rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{prefix_length_histogram, survey_routing};
+    use crate::paper_data::routing_stats;
+
+    fn small_targets() -> RoutingTargets {
+        RoutingTargets {
+            name: "test".into(),
+            rules: 800,
+            port_unique: 12,
+            ip_partitions: [40, 500],
+            short_prefixes: 4,
+            out_ports: 16,
+        }
+    }
+
+    #[test]
+    fn exact_unique_counts() {
+        let set = generate_routing(&small_targets(), 1);
+        let s = survey_routing(&set);
+        assert_eq!(s.rules, 800);
+        assert_eq!(s.port_unique, 12);
+        assert_eq!(s.ip_partitions, [40, 500]);
+    }
+
+    #[test]
+    fn prefixes_unique_per_rule() {
+        let set = generate_routing(&small_targets(), 2);
+        let prefixes: HashSet<(u128, u32)> = set
+            .rules
+            .iter()
+            .map(|r| r.field_as_prefix(MatchFieldKind::Ipv4Dst).unwrap())
+            .collect();
+        assert_eq!(prefixes.len(), set.len());
+    }
+
+    #[test]
+    fn masked_values_respect_length() {
+        let set = generate_routing(&small_targets(), 3);
+        for r in &set.rules {
+            let (v, len) = r.field_as_prefix(MatchFieldKind::Ipv4Dst).unwrap();
+            if len < 32 {
+                let low_mask = (1u128 << (32 - len)) - 1;
+                assert_eq!(v & low_mask, 0, "prefix {v:#x}/{len} has bits below the mask");
+            }
+        }
+    }
+
+    #[test]
+    fn contains_default_route_and_short_prefixes() {
+        let set = generate_routing(&small_targets(), 4);
+        let hist = prefix_length_histogram(&set.rules, MatchFieldKind::Ipv4Dst);
+        assert!(hist[0] >= 1, "default route missing");
+        let shorts: usize = hist[..16].iter().sum();
+        assert!(shorts >= 2, "expected several short prefixes, got {shorts}");
+    }
+
+    #[test]
+    fn priority_equals_prefix_length() {
+        let set = generate_routing(&small_targets(), 5);
+        for r in &set.rules {
+            let (_, len) = r.field_as_prefix(MatchFieldKind::Ipv4Dst).unwrap();
+            assert_eq!(u32::from(r.priority), len);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate_routing(&small_targets(), 6), generate_routing(&small_targets(), 6));
+        assert_ne!(generate_routing(&small_targets(), 6), generate_routing(&small_targets(), 7));
+    }
+
+    #[test]
+    fn paper_row_bbra_exact() {
+        let t = RoutingTargets::from_paper(routing_stats("bbra").unwrap());
+        let set = generate_routing(&t, 42);
+        let s = survey_routing(&set);
+        assert_eq!(s.rules, 1835);
+        assert_eq!(s.port_unique, 40);
+        assert_eq!(s.ip_partitions, [82, 1190]);
+    }
+
+    /// An exception-shaped set (hi >> lo, as coza/soza) at reduced scale.
+    #[test]
+    fn exception_shape_hi_greater_than_lo() {
+        let t = RoutingTargets {
+            name: "mini-coza".into(),
+            rules: 20_000,
+            port_unique: 43,
+            ip_partitions: [2200, 800],
+            short_prefixes: 8,
+            out_ports: 32,
+        };
+        let set = generate_routing(&t, 8);
+        let s = survey_routing(&set);
+        assert_eq!(s.ip_partitions, [2200, 800]);
+    }
+}

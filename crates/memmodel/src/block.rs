@@ -1,0 +1,255 @@
+//! Memory blocks and aggregated reports.
+//!
+//! The architecture maps every lookup structure onto its own embedded memory
+//! block ("each lookup algorithm is implemented in a separate memory block,
+//! and each node level of the multi-bit trie is searched in a different
+//! pipeline stage"). A [`MemoryBlock`] is `entries × entry_bits`; a
+//! [`MemoryReport`] aggregates blocks with hierarchical names so experiments
+//! can slice totals by structure, trie, or level.
+
+use crate::layout::EntryLayout;
+use crate::units::{kbits, mbits};
+use std::fmt;
+
+/// One logical embedded-memory block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryBlock {
+    /// Hierarchical name, `/`-separated (e.g. `"mac/eth_dst/lower/L3"`).
+    pub name: String,
+    /// Number of stored entries (the paper's "stored nodes" for tries).
+    pub entries: usize,
+    /// Width of one entry in bits.
+    pub entry_bits: u32,
+    /// Entry layout the width was derived from, if known.
+    pub layout: Option<EntryLayout>,
+}
+
+impl MemoryBlock {
+    /// Creates a block from an explicit entry count and width.
+    #[must_use]
+    pub fn new(name: impl Into<String>, entries: usize, entry_bits: u32) -> Self {
+        Self { name: name.into(), entries, entry_bits, layout: None }
+    }
+
+    /// Creates a block whose entry width comes from `layout`.
+    #[must_use]
+    pub fn with_layout(name: impl Into<String>, entries: usize, layout: EntryLayout) -> Self {
+        Self {
+            name: name.into(),
+            entries,
+            entry_bits: layout.total_bits(),
+            layout: Some(layout),
+        }
+    }
+
+    /// Total size of the block in bits.
+    #[must_use]
+    pub fn bits(&self) -> u64 {
+        self.entries as u64 * u64::from(self.entry_bits)
+    }
+
+    /// Total size in Kbits (1 Kbit = 1000 bits, as the paper reports).
+    #[must_use]
+    pub fn kbits(&self) -> f64 {
+        kbits(self.bits())
+    }
+}
+
+impl fmt::Display for MemoryBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} entries x {} bits = {:.2} Kbits",
+            self.name,
+            self.entries,
+            self.entry_bits,
+            self.kbits()
+        )
+    }
+}
+
+/// An aggregation of [`MemoryBlock`]s with hierarchical grouping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryReport {
+    blocks: Vec<MemoryBlock>,
+}
+
+impl MemoryReport {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a block.
+    pub fn push(&mut self, block: MemoryBlock) {
+        self.blocks.push(block);
+    }
+
+    /// Adds every block of `other`, prefixing their names with `prefix/`.
+    pub fn merge_under(&mut self, prefix: &str, other: MemoryReport) {
+        for mut b in other.blocks {
+            b.name = format!("{prefix}/{}", b.name);
+            self.blocks.push(b);
+        }
+    }
+
+    /// Adds every block of `other` unchanged.
+    pub fn merge(&mut self, other: MemoryReport) {
+        self.blocks.extend(other.blocks);
+    }
+
+    /// All blocks, in insertion order.
+    #[must_use]
+    pub fn blocks(&self) -> &[MemoryBlock] {
+        &self.blocks
+    }
+
+    /// Total size of all blocks in bits.
+    #[must_use]
+    pub fn total_bits(&self) -> u64 {
+        self.blocks.iter().map(MemoryBlock::bits).sum()
+    }
+
+    /// Total size in Kbits (1000 bits).
+    #[must_use]
+    pub fn total_kbits(&self) -> f64 {
+        kbits(self.total_bits())
+    }
+
+    /// Total size in Mbits (1 000 000 bits).
+    #[must_use]
+    pub fn total_mbits(&self) -> f64 {
+        mbits(self.total_bits())
+    }
+
+    /// Total number of stored entries across all blocks.
+    #[must_use]
+    pub fn total_entries(&self) -> usize {
+        self.blocks.iter().map(|b| b.entries).sum()
+    }
+
+    /// Sum of bits over blocks whose name starts with `prefix`
+    /// (path-component aware: `"a/b"` matches `"a/b"` and `"a/b/c"`, not
+    /// `"a/bc"`).
+    #[must_use]
+    pub fn bits_under(&self, prefix: &str) -> u64 {
+        self.blocks
+            .iter()
+            .filter(|b| {
+                b.name == prefix
+                    || b.name
+                        .strip_prefix(prefix)
+                        .is_some_and(|rest| rest.starts_with('/'))
+            })
+            .map(MemoryBlock::bits)
+            .sum()
+    }
+
+    /// Entries stored under `prefix` (same matching rule as
+    /// [`MemoryReport::bits_under`]).
+    #[must_use]
+    pub fn entries_under(&self, prefix: &str) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| {
+                b.name == prefix
+                    || b.name
+                        .strip_prefix(prefix)
+                        .is_some_and(|rest| rest.starts_with('/'))
+            })
+            .map(|b| b.entries)
+            .sum()
+    }
+
+    /// Distinct first-level group names, in first-appearance order.
+    #[must_use]
+    pub fn groups(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for b in &self.blocks {
+            let g = b.name.split('/').next().unwrap_or(&b.name).to_owned();
+            if !out.contains(&g) {
+                out.push(g);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for MemoryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.blocks {
+            writeln!(f, "  {b}")?;
+        }
+        write!(
+            f,
+            "  total: {} entries, {:.2} Kbits ({:.3} Mbits)",
+            self.total_entries(),
+            self.total_kbits(),
+            self.total_mbits()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MemoryReport {
+        let mut r = MemoryReport::new();
+        r.push(MemoryBlock::new("eth/lower/L1", 32, 26));
+        r.push(MemoryBlock::new("eth/lower/L2", 1024, 26));
+        r.push(MemoryBlock::new("eth/lower/L3", 4096, 16));
+        r.push(MemoryBlock::new("ip/lower/L1", 32, 20));
+        r
+    }
+
+    #[test]
+    fn block_size_is_entries_times_width() {
+        let b = MemoryBlock::new("x", 32, 26);
+        assert_eq!(b.bits(), 832); // the paper's L1 anchor
+        assert!((b.kbits() - 0.832).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layout_block_uses_layout_width() {
+        let b = MemoryBlock::with_layout("x", 10, EntryLayout::trie_entry(12, 13));
+        assert_eq!(b.entry_bits, 26);
+        assert_eq!(b.bits(), 260);
+    }
+
+    #[test]
+    fn totals_aggregate_all_blocks() {
+        let r = sample();
+        assert_eq!(r.total_entries(), 32 + 1024 + 4096 + 32);
+        assert_eq!(
+            r.total_bits(),
+            32 * 26 + 1024 * 26 + 4096 * 16 + 32 * 20
+        );
+    }
+
+    #[test]
+    fn prefix_sums_are_path_aware() {
+        let r = sample();
+        assert_eq!(r.bits_under("eth"), 32 * 26 + 1024 * 26 + 4096 * 16);
+        assert_eq!(r.bits_under("eth/lower"), r.bits_under("eth"));
+        assert_eq!(r.bits_under("eth/lower/L1"), 832);
+        assert_eq!(r.bits_under("ip"), 640);
+        // No false prefix matches on partial components.
+        assert_eq!(r.bits_under("et"), 0);
+        assert_eq!(r.entries_under("eth/lower/L2"), 1024);
+    }
+
+    #[test]
+    fn merge_under_prefixes_names() {
+        let mut top = MemoryReport::new();
+        top.merge_under("mac", sample());
+        assert_eq!(top.bits_under("mac/eth"), sample().bits_under("eth"));
+        assert_eq!(top.groups(), vec!["mac".to_owned()]);
+    }
+
+    #[test]
+    fn groups_are_first_level_names() {
+        assert_eq!(sample().groups(), vec!["eth".to_owned(), "ip".to_owned()]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Mapping logical memory blocks onto physical FPGA block RAMs.
+//!
+//! The paper synthesizes on a Stratix V (5SGXMB6R3F43C4), whose embedded
+//! memory is organised as **M20K** blocks: 20 480 bits each, configurable as
+//! 512×40, 1K×20, 2K×10, 4K×5, 8K×2 or 16K×1. A logical block of
+//! `entries × entry_bits` is tiled over M20Ks by choosing the geometry that
+//! minimises the number of physical blocks (depth tiles × width tiles).
+//!
+//! The mapping matters for the headline result: the 5 Mbit total is only
+//! meaningful if it fits the device (the 5SGXMB6R3F43C4 offers 2 640 M20K
+//! blocks ≈ 52 Mbit).
+
+use crate::block::{MemoryBlock, MemoryReport};
+
+/// A physical BRAM kind with its configurable geometries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BramKind {
+    /// Human-readable name, e.g. `"M20K"`.
+    pub name: &'static str,
+    /// Raw capacity of one block in bits.
+    pub capacity_bits: u32,
+    /// Available (depth, width) configurations.
+    pub geometries: &'static [(u32, u32)],
+}
+
+/// Stratix-V M20K block (20 480 bits, six geometries).
+pub const M20K: BramKind = BramKind {
+    name: "M20K",
+    capacity_bits: 20_480,
+    geometries: &[
+        (512, 40),
+        (1_024, 20),
+        (2_048, 10),
+        (4_096, 5),
+        (8_192, 2),
+        (16_384, 1),
+    ],
+};
+
+/// Xilinx-style 18 Kbit BRAM for cross-device what-ifs.
+pub const BRAM18K: BramKind = BramKind {
+    name: "BRAM18K",
+    capacity_bits: 18_432,
+    geometries: &[(512, 36), (1_024, 18), (2_048, 9), (4_096, 4), (8_192, 2), (16_384, 1)],
+};
+
+/// Result of mapping one logical block onto physical BRAMs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BramMapping {
+    /// Name of the logical block mapped.
+    pub block_name: String,
+    /// Chosen geometry (depth, width).
+    pub geometry: (u32, u32),
+    /// Number of physical BRAMs used.
+    pub brams: u32,
+    /// Bits actually required by the logical block.
+    pub used_bits: u64,
+    /// Bits provisioned by the physical blocks (`brams × capacity`).
+    pub provisioned_bits: u64,
+}
+
+impl BramMapping {
+    /// Fraction of provisioned bits actually used (0..=1).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.provisioned_bits == 0 {
+            0.0
+        } else {
+            self.used_bits as f64 / self.provisioned_bits as f64
+        }
+    }
+}
+
+impl BramKind {
+    /// Number of physical blocks needed for `entries × entry_bits` under a
+    /// fixed geometry.
+    #[must_use]
+    pub fn blocks_for_geometry(&self, entries: usize, entry_bits: u32, geometry: (u32, u32)) -> u32 {
+        if entries == 0 || entry_bits == 0 {
+            return 0;
+        }
+        let (depth, width) = geometry;
+        let depth_tiles = entries.div_ceil(depth as usize) as u32;
+        let width_tiles = entry_bits.div_ceil(width);
+        depth_tiles * width_tiles
+    }
+
+    /// Maps a logical block onto this BRAM kind, choosing the geometry that
+    /// minimises physical block count (ties broken toward wider words, which
+    /// minimises output multiplexing).
+    #[must_use]
+    pub fn map_block(&self, block: &MemoryBlock) -> BramMapping {
+        let mut best: Option<((u32, u32), u32)> = None;
+        for &geom in self.geometries {
+            let n = self.blocks_for_geometry(block.entries, block.entry_bits, geom);
+            match best {
+                Some((_, bn)) if bn <= n => {}
+                _ => best = Some((geom, n)),
+            }
+        }
+        let (geometry, brams) = best.unwrap_or(((0, 0), 0));
+        BramMapping {
+            block_name: block.name.clone(),
+            geometry,
+            brams,
+            used_bits: block.bits(),
+            provisioned_bits: u64::from(brams) * u64::from(self.capacity_bits),
+        }
+    }
+
+    /// Maps every block of a report; returns per-block mappings.
+    #[must_use]
+    pub fn map_report(&self, report: &MemoryReport) -> Vec<BramMapping> {
+        report.blocks().iter().map(|b| self.map_block(b)).collect()
+    }
+
+    /// Total physical blocks for a whole report.
+    #[must_use]
+    pub fn total_brams(&self, report: &MemoryReport) -> u32 {
+        self.map_report(report).iter().map(|m| m.brams).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_block_needs_no_brams() {
+        let b = MemoryBlock::new("x", 0, 26);
+        assert_eq!(M20K.map_block(&b).brams, 0);
+    }
+
+    #[test]
+    fn small_block_fits_one_bram() {
+        // The paper's L1: 32 entries x 26 bits = 832 bits.
+        let b = MemoryBlock::new("L1", 32, 26);
+        let m = M20K.map_block(&b);
+        assert_eq!(m.brams, 1);
+        assert_eq!(m.used_bits, 832);
+        assert!(m.utilization() < 0.05);
+    }
+
+    #[test]
+    fn geometry_choice_minimises_blocks() {
+        // 4096 entries x 5 bits fits exactly one M20K in 4096x5 mode; the
+        // 512x40 mode would need 8 depth tiles.
+        let b = MemoryBlock::new("narrow", 4096, 5);
+        let m = M20K.map_block(&b);
+        assert_eq!(m.brams, 1);
+        assert_eq!(m.geometry, (4_096, 5));
+    }
+
+    #[test]
+    fn wide_deep_block_tiles_in_both_dimensions() {
+        // 2000 entries x 50 bits: using 512x40 -> 4 depth x 2 width = 8;
+        // using 1024x20 -> 2 x 3 = 6; 2048x10 -> 1 x 5 = 5.
+        let b = MemoryBlock::new("big", 2_000, 50);
+        let m = M20K.map_block(&b);
+        assert_eq!(m.brams, 5);
+        assert_eq!(m.geometry, (2_048, 10));
+    }
+
+    #[test]
+    fn report_totals_sum_blocks() {
+        let mut r = MemoryReport::new();
+        r.push(MemoryBlock::new("a", 32, 26));
+        r.push(MemoryBlock::new("b", 4096, 5));
+        assert_eq!(M20K.total_brams(&r), 2);
+    }
+
+    #[test]
+    fn blocks_for_geometry_rounds_up() {
+        assert_eq!(M20K.blocks_for_geometry(513, 40, (512, 40)), 2);
+        assert_eq!(M20K.blocks_for_geometry(512, 41, (512, 40)), 2);
+        assert_eq!(M20K.blocks_for_geometry(513, 41, (512, 40)), 4);
+    }
+
+    #[test]
+    fn bram18k_differs_from_m20k() {
+        let b = MemoryBlock::new("x", 1024, 20);
+        assert_eq!(M20K.map_block(&b).brams, 1);
+        // 18K BRAM in 1024x18 mode needs 2 width tiles for 20-bit words,
+        // or 2048x9 -> 3 width tiles x 1 depth... best is 2.
+        assert_eq!(BRAM18K.map_block(&b).brams, 2);
+    }
+}

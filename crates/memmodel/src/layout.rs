@@ -1,0 +1,174 @@
+//! Per-entry field layouts.
+//!
+//! Every stored entry in the architecture — a trie node entry, a LUT slot, an
+//! index-table row, an action-table row — is a fixed-width word composed of
+//! named fields. [`EntryLayout`] captures that composition so memory blocks
+//! can report both their total size and how the bits break down.
+
+use crate::width::bits_for_index;
+use std::fmt;
+
+/// A named bit-field inside an entry word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldBits {
+    /// Human-readable field name (`"flag"`, `"label"`, `"child_ptr"`, ...).
+    pub name: String,
+    /// Width of the field in bits.
+    pub bits: u32,
+}
+
+/// Fixed-width layout of one stored entry.
+///
+/// The paper's trie entry is the motivating example: *"The trie node data is
+/// composed of the child pointer, the label and a flag bit."* Build that
+/// layout with [`EntryLayout::trie_entry`].
+///
+/// ```
+/// use ofmem::EntryLayout;
+/// // L1 entry of the paper's worst-case trie: 26 bits.
+/// let l1 = EntryLayout::trie_entry(15, 10);
+/// assert_eq!(l1.total_bits(), 26);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntryLayout {
+    fields: Vec<FieldBits>,
+}
+
+impl EntryLayout {
+    /// Creates an empty layout; add fields with [`EntryLayout::with_field`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self { fields: Vec::new() }
+    }
+
+    /// Adds a named field of `bits` bits and returns the layout.
+    #[must_use]
+    pub fn with_field(mut self, name: &str, bits: u32) -> Self {
+        self.fields.push(FieldBits { name: name.to_owned(), bits });
+        self
+    }
+
+    /// The paper's multi-bit-trie entry: 1 flag bit + a label + a child
+    /// pointer.
+    #[must_use]
+    pub fn trie_entry(label_bits: u32, child_ptr_bits: u32) -> Self {
+        Self::new()
+            .with_field("flag", 1)
+            .with_field("label", label_bits)
+            .with_field("child_ptr", child_ptr_bits)
+    }
+
+    /// A trie entry sized from structure counts rather than explicit widths:
+    /// the label must distinguish `max_labels` values and the child pointer
+    /// `max_next_level_blocks` blocks (the paper sizes pointers by the
+    /// worst-case / lower trie).
+    #[must_use]
+    pub fn trie_entry_for(max_labels: usize, max_next_level_blocks: usize) -> Self {
+        Self::trie_entry(bits_for_index(max_labels), bits_for_index(max_next_level_blocks))
+    }
+
+    /// An exact-match LUT slot: 1 valid bit + the stored key + a label.
+    #[must_use]
+    pub fn lut_entry(key_bits: u32, label_bits: u32) -> Self {
+        Self::new()
+            .with_field("valid", 1)
+            .with_field("key", key_bits)
+            .with_field("label", label_bits)
+    }
+
+    /// An action-table row: an instruction word of `instr_bits` plus a
+    /// next-table id of `table_id_bits` (the `Goto-Table` target).
+    #[must_use]
+    pub fn action_entry(instr_bits: u32, table_id_bits: u32) -> Self {
+        Self::new()
+            .with_field("instructions", instr_bits)
+            .with_field("goto_table", table_id_bits)
+    }
+
+    /// Total width of the entry word in bits.
+    #[must_use]
+    pub fn total_bits(&self) -> u32 {
+        self.fields.iter().map(|f| f.bits).sum()
+    }
+
+    /// The individual fields, in declaration order.
+    #[must_use]
+    pub fn fields(&self) -> &[FieldBits] {
+        &self.fields
+    }
+
+    /// Width of the named field, if present.
+    #[must_use]
+    pub fn field_bits(&self, name: &str) -> Option<u32> {
+        self.fields.iter().find(|f| f.name == name).map(|f| f.bits)
+    }
+}
+
+impl Default for EntryLayout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for EntryLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for field in &self.fields {
+            if !first {
+                write!(f, " + ")?;
+            }
+            write!(f, "{}[{}]", field.name, field.bits)?;
+            first = false;
+        }
+        write!(f, " = {} bits", self.total_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_sum_of_fields() {
+        let l = EntryLayout::new().with_field("a", 3).with_field("b", 7);
+        assert_eq!(l.total_bits(), 10);
+        assert_eq!(l.field_bits("a"), Some(3));
+        assert_eq!(l.field_bits("b"), Some(7));
+        assert_eq!(l.field_bits("c"), None);
+    }
+
+    #[test]
+    fn trie_entry_has_flag_label_pointer() {
+        let l = EntryLayout::trie_entry(12, 13);
+        assert_eq!(l.total_bits(), 26);
+        assert_eq!(l.field_bits("flag"), Some(1));
+        assert_eq!(l.field_bits("label"), Some(12));
+        assert_eq!(l.field_bits("child_ptr"), Some(13));
+    }
+
+    #[test]
+    fn trie_entry_for_sizes_from_counts() {
+        // 4096 labels -> 12 bits; 8192 blocks -> 13 bits; + flag = 26.
+        let l = EntryLayout::trie_entry_for(4096, 8192);
+        assert_eq!(l.total_bits(), 26);
+    }
+
+    #[test]
+    fn lut_entry_contains_key() {
+        let l = EntryLayout::lut_entry(13, 8);
+        assert_eq!(l.total_bits(), 22);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let l = EntryLayout::trie_entry(12, 13);
+        let s = l.to_string();
+        assert!(s.contains("flag[1]"), "{s}");
+        assert!(s.contains("26 bits"), "{s}");
+    }
+
+    #[test]
+    fn empty_layout_is_zero_bits() {
+        assert_eq!(EntryLayout::default().total_bits(), 0);
+    }
+}

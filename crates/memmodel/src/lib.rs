@@ -1,0 +1,36 @@
+//! # ofmem — bit-accurate embedded-memory cost model
+//!
+//! The SOCC'15 paper reports every result as *bits of embedded FPGA memory*:
+//! trie levels, exact-match LUTs and action tables are each mapped to a
+//! dedicated memory block whose size is `entries × entry_width`, and entry
+//! widths are derived from the data stored per entry (a flag bit, a label and
+//! a child pointer whose width is sized by the worst-case next-level
+//! occupancy).
+//!
+//! This crate provides the pieces of that model:
+//!
+//! * [`width`] — bit-width calculators (`bits_for_count`, `bits_for_index`).
+//! * [`layout`] — per-entry field layouts ([`layout::EntryLayout`]).
+//! * [`block`] — memory blocks and aggregated reports
+//!   ([`block::MemoryBlock`], [`block::MemoryReport`]).
+//! * [`bram`] — mapping of logical blocks onto Stratix-V style M20K BRAMs.
+//! * [`units`] — formatting helpers (bits → Kbit/Mbit, paper-style).
+//!
+//! The model is deliberately independent of any particular data structure so
+//! that tries, LUTs, index tables and action tables can all account their
+//! storage through one code path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod bram;
+pub mod layout;
+pub mod units;
+pub mod width;
+
+pub use block::{MemoryBlock, MemoryReport};
+pub use bram::{BramKind, BramMapping};
+pub use layout::EntryLayout;
+pub use units::{kbits, mbits, BitSize};
+pub use width::{bits_for_count, bits_for_index, bits_for_value};

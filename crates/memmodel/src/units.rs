@@ -1,0 +1,103 @@
+//! Unit conversions and formatting.
+//!
+//! The paper reports memory in decimal units: "832 bits", "983.7 Kbits",
+//! "5 Mbits". We therefore use 1 Kbit = 1000 bits and 1 Mbit = 10^6 bits
+//! (not the binary Ki/Mi variants) so reproduced numbers are comparable.
+
+use std::fmt;
+
+/// Converts bits to Kbits (1 Kbit = 1000 bits).
+#[must_use]
+pub fn kbits(bits: u64) -> f64 {
+    bits as f64 / 1_000.0
+}
+
+/// Converts bits to Mbits (1 Mbit = 1 000 000 bits).
+#[must_use]
+pub fn mbits(bits: u64) -> f64 {
+    bits as f64 / 1_000_000.0
+}
+
+/// A bit quantity that formats itself the way the paper does: bits below
+/// 1 Kbit, Kbits below 1 Mbit, Mbits above.
+///
+/// ```
+/// use ofmem::BitSize;
+/// assert_eq!(BitSize(832).to_string(), "832 bits");
+/// assert_eq!(BitSize(983_700).to_string(), "983.70 Kbits");
+/// assert_eq!(BitSize(5_000_000).to_string(), "5.000 Mbits");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BitSize(pub u64);
+
+impl BitSize {
+    /// The raw number of bits.
+    #[must_use]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// In Kbits.
+    #[must_use]
+    pub fn kbits(self) -> f64 {
+        kbits(self.0)
+    }
+
+    /// In Mbits.
+    #[must_use]
+    pub fn mbits(self) -> f64 {
+        mbits(self.0)
+    }
+}
+
+impl fmt::Display for BitSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{} bits", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.2} Kbits", self.kbits())
+        } else {
+            write!(f, "{:.3} Mbits", self.mbits())
+        }
+    }
+}
+
+impl std::ops::Add for BitSize {
+    type Output = BitSize;
+    fn add(self, rhs: BitSize) -> BitSize {
+        BitSize(self.0 + rhs.0)
+    }
+}
+
+impl std::iter::Sum for BitSize {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        BitSize(iter.map(|b| b.0).sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decimal_units() {
+        assert!((kbits(983_700) - 983.7).abs() < 1e-9);
+        assert!((mbits(5_000_000) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_picks_scale() {
+        assert_eq!(BitSize(0).to_string(), "0 bits");
+        assert_eq!(BitSize(999).to_string(), "999 bits");
+        assert_eq!(BitSize(1_000).to_string(), "1.00 Kbits");
+        assert_eq!(BitSize(999_999).to_string(), "1000.00 Kbits");
+        assert_eq!(BitSize(1_000_000).to_string(), "1.000 Mbits");
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(BitSize(1) + BitSize(2), BitSize(3));
+        let s: BitSize = [BitSize(10), BitSize(20)].into_iter().sum();
+        assert_eq!(s, BitSize(30));
+    }
+}

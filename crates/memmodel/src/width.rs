@@ -1,0 +1,120 @@
+//! Bit-width calculators.
+//!
+//! Hardware lookup structures size their fields by worst-case occupancy: a
+//! child pointer that must distinguish `n` blocks needs `ceil(log2(n))` bits,
+//! a label that must distinguish `n` unique field values likewise. The paper
+//! applies this rule per trie level ("each level node requires different
+//! child pointer sizes... determined by the worst case").
+
+/// Number of bits needed to *index* one of `count` distinct items
+/// (`ceil(log2(count))`).
+///
+/// By convention a zero- or one-entry structure still consumes one address
+/// bit: hardware cannot have a zero-width bus, and the paper's smallest
+/// structures are likewise accounted with non-zero widths.
+///
+/// ```
+/// use ofmem::bits_for_index;
+/// assert_eq!(bits_for_index(0), 1);
+/// assert_eq!(bits_for_index(1), 1);
+/// assert_eq!(bits_for_index(2), 1);
+/// assert_eq!(bits_for_index(3), 2);
+/// assert_eq!(bits_for_index(256), 8);
+/// assert_eq!(bits_for_index(257), 9);
+/// ```
+#[must_use]
+pub fn bits_for_index(count: usize) -> u32 {
+    if count <= 2 {
+        1
+    } else {
+        usize::BITS - (count - 1).leading_zeros()
+    }
+}
+
+/// Number of bits needed to *count* up to `count` items inclusive
+/// (`ceil(log2(count + 1))`), i.e. to store any value in `0..=count`.
+///
+/// ```
+/// use ofmem::bits_for_count;
+/// assert_eq!(bits_for_count(0), 1);
+/// assert_eq!(bits_for_count(1), 1);
+/// assert_eq!(bits_for_count(2), 2);
+/// assert_eq!(bits_for_count(255), 8);
+/// assert_eq!(bits_for_count(256), 9);
+/// ```
+#[must_use]
+pub fn bits_for_count(count: usize) -> u32 {
+    if count <= 1 {
+        1
+    } else {
+        usize::BITS - count.leading_zeros()
+    }
+}
+
+/// Number of bits needed to store the specific value `value`
+/// (`floor(log2(value)) + 1`, with 1 for zero).
+///
+/// ```
+/// use ofmem::bits_for_value;
+/// assert_eq!(bits_for_value(0), 1);
+/// assert_eq!(bits_for_value(1), 1);
+/// assert_eq!(bits_for_value(2), 2);
+/// assert_eq!(bits_for_value(0xFFFF), 16);
+/// ```
+#[must_use]
+pub fn bits_for_value(value: u128) -> u32 {
+    if value == 0 {
+        1
+    } else {
+        128 - value.leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_widths_track_powers_of_two() {
+        for p in 1..20u32 {
+            let n = 1usize << p;
+            assert_eq!(bits_for_index(n), p, "2^{p} items need {p} bits");
+            assert_eq!(bits_for_index(n + 1), p + 1);
+        }
+    }
+
+    #[test]
+    fn count_widths_track_powers_of_two() {
+        for p in 1..20u32 {
+            let n = 1usize << p;
+            assert_eq!(bits_for_count(n - 1), p);
+            assert_eq!(bits_for_count(n), p + 1);
+        }
+    }
+
+    #[test]
+    fn minimum_width_is_one_bit() {
+        assert_eq!(bits_for_index(0), 1);
+        assert_eq!(bits_for_index(1), 1);
+        assert_eq!(bits_for_count(0), 1);
+        assert_eq!(bits_for_value(0), 1);
+    }
+
+    #[test]
+    fn value_width_is_position_of_msb() {
+        assert_eq!(bits_for_value(u128::MAX), 128);
+        assert_eq!(bits_for_value(1 << 47), 48);
+        assert_eq!(bits_for_value((1 << 47) - 1), 47);
+    }
+
+    /// The paper's anchor: a 32-entry L1 block with 26-bit entries is
+    /// 832 bits; 26 = 1 flag + label + pointer widths realistically sized.
+    #[test]
+    fn paper_l1_anchor_widths() {
+        // 32 L1 entries (stride 5).
+        assert_eq!(bits_for_index(32), 5);
+        // A pointer into <= 1024 L2 blocks needs 10 bits; a label for
+        // <= 32768 unique values needs 15 bits; 1 + 10 + 15 = 26.
+        assert_eq!(1 + bits_for_index(1024) + bits_for_index(32768), 26);
+    }
+}

@@ -1,0 +1,231 @@
+//! OpenFlow actions.
+//!
+//! The subset of OpenFlow v1.3 actions the paper's use cases exercise
+//! (forwarding, flooding, controller punting, header rewriting, tag
+//! push/pop), plus the *action set* semantics used by `Write-Actions`:
+//! one action per type, applied in the specification's fixed order at the
+//! end of the pipeline.
+
+use crate::fields::MatchFieldKind;
+use std::fmt;
+
+/// Reserved OpenFlow port numbers (subset).
+pub mod port {
+    /// Flood to all ports except ingress.
+    pub const FLOOD: u32 = 0xFFFF_FFFB;
+    /// Send to all ports.
+    pub const ALL: u32 = 0xFFFF_FFFC;
+    /// Punt to the controller.
+    pub const CONTROLLER: u32 = 0xFFFF_FFFD;
+    /// Process locally on the switch.
+    pub const LOCAL: u32 = 0xFFFF_FFFE;
+}
+
+/// A single OpenFlow action.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Forward out of a port (possibly a reserved port).
+    Output(u32),
+    /// Drop the packet (encoded in OpenFlow as an empty action set; explicit
+    /// here for clarity).
+    Drop,
+    /// Rewrite a header field.
+    SetField {
+        /// Field to rewrite.
+        field: MatchFieldKind,
+        /// New value (masked to field width on application).
+        value: u128,
+    },
+    /// Push an 802.1Q VLAN tag with the given TPID (ethertype).
+    PushVlan(u16),
+    /// Pop the outermost VLAN tag.
+    PopVlan,
+    /// Push an MPLS shim with the given ethertype.
+    PushMpls(u16),
+    /// Pop the outermost MPLS shim.
+    PopMpls(u16),
+    /// Set the output queue.
+    SetQueue(u32),
+    /// Process through a group table entry.
+    Group(u32),
+    /// Decrement IP TTL.
+    DecNwTtl,
+}
+
+impl Action {
+    /// Action-set slot order per OpenFlow v1.3 §5.10: when the action set is
+    /// executed, actions run in this fixed order regardless of write order.
+    #[must_use]
+    pub fn set_order(&self) -> u8 {
+        match self {
+            Action::PopVlan | Action::PopMpls(_) => 0,
+            Action::PushMpls(_) => 1,
+            Action::PushVlan(_) => 2,
+            Action::DecNwTtl => 3,
+            Action::SetField { .. } => 4,
+            Action::SetQueue(_) => 5,
+            Action::Group(_) => 6,
+            Action::Output(_) => 7,
+            Action::Drop => 8,
+        }
+    }
+
+    /// The slot key used for "one action per type" replacement semantics.
+    /// `SetField` slots are per-field.
+    #[must_use]
+    pub fn slot_key(&self) -> (u8, u32) {
+        match self {
+            Action::SetField { field, .. } => (4, *field as u32),
+            other => (other.set_order(), 0),
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Output(p) if *p == port::CONTROLLER => write!(f, "output:CONTROLLER"),
+            Action::Output(p) if *p == port::FLOOD => write!(f, "output:FLOOD"),
+            Action::Output(p) => write!(f, "output:{p}"),
+            Action::Drop => write!(f, "drop"),
+            Action::SetField { field, value } => write!(f, "set_field:{field}={value:#x}"),
+            Action::PushVlan(t) => write!(f, "push_vlan:{t:#x}"),
+            Action::PopVlan => write!(f, "pop_vlan"),
+            Action::PushMpls(t) => write!(f, "push_mpls:{t:#x}"),
+            Action::PopMpls(t) => write!(f, "pop_mpls:{t:#x}"),
+            Action::SetQueue(q) => write!(f, "set_queue:{q}"),
+            Action::Group(g) => write!(f, "group:{g}"),
+            Action::DecNwTtl => write!(f, "dec_nw_ttl"),
+        }
+    }
+}
+
+/// An OpenFlow *action set*: at most one action per slot, executed in
+/// specification order when the pipeline ends.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ActionSet {
+    actions: Vec<Action>, // kept sorted by slot_key
+}
+
+impl ActionSet {
+    /// Creates an empty action set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `Write-Actions` semantics: each action replaces any previous action
+    /// in the same slot.
+    pub fn write(&mut self, action: Action) {
+        let key = action.slot_key();
+        match self.actions.binary_search_by_key(&key, Action::slot_key) {
+            Ok(i) => self.actions[i] = action,
+            Err(i) => self.actions.insert(i, action),
+        }
+    }
+
+    /// Writes every action of `actions` in order.
+    pub fn write_all(&mut self, actions: &[Action]) {
+        for a in actions {
+            self.write(a.clone());
+        }
+    }
+
+    /// `Clear-Actions` semantics.
+    pub fn clear(&mut self) {
+        self.actions.clear();
+    }
+
+    /// The actions in execution order.
+    #[must_use]
+    pub fn in_order(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// The output port the set forwards to, if any.
+    #[must_use]
+    pub fn output_port(&self) -> Option<u32> {
+        self.actions.iter().find_map(|a| match a {
+            Action::Output(p) => Some(*p),
+            _ => None,
+        })
+    }
+
+    /// Whether the set is empty (OpenFlow: packet is dropped).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+impl fmt::Display for ActionSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.actions.is_empty() {
+            return write!(f, "<empty: drop>");
+        }
+        let mut first = true;
+        for a in &self.actions {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_replaces_same_slot() {
+        let mut s = ActionSet::new();
+        s.write(Action::Output(1));
+        s.write(Action::Output(2));
+        assert_eq!(s.in_order(), &[Action::Output(2)]);
+        assert_eq!(s.output_port(), Some(2));
+    }
+
+    #[test]
+    fn set_field_slots_are_per_field() {
+        use crate::fields::MatchFieldKind::*;
+        let mut s = ActionSet::new();
+        s.write(Action::SetField { field: EthDst, value: 1 });
+        s.write(Action::SetField { field: EthSrc, value: 2 });
+        s.write(Action::SetField { field: EthDst, value: 3 });
+        assert_eq!(s.in_order().len(), 2);
+    }
+
+    #[test]
+    fn execution_order_is_spec_order() {
+        let mut s = ActionSet::new();
+        s.write(Action::Output(7));
+        s.write(Action::PopVlan);
+        s.write(Action::DecNwTtl);
+        let order: Vec<u8> = s.in_order().iter().map(Action::set_order).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+        assert_eq!(s.in_order().first(), Some(&Action::PopVlan));
+        assert_eq!(s.in_order().last(), Some(&Action::Output(7)));
+    }
+
+    #[test]
+    fn clear_empties_set() {
+        let mut s = ActionSet::new();
+        s.write(Action::Output(1));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.output_port(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut s = ActionSet::new();
+        assert_eq!(s.to_string(), "<empty: drop>");
+        s.write(Action::Output(super::port::CONTROLLER));
+        assert_eq!(s.to_string(), "output:CONTROLLER");
+    }
+}

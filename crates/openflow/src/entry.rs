@@ -1,0 +1,113 @@
+//! Flow entries.
+//!
+//! A [`FlowEntry`] pairs a [`FlowMatch`] with a priority, a cookie, an
+//! instruction list and counters — the switch-side representation of an
+//! OpenFlow flow.
+
+use crate::flow_match::FlowMatch;
+use crate::instructions::Instruction;
+use std::fmt;
+
+/// Per-entry statistics counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Packets that matched this entry.
+    pub packets: u64,
+    /// Bytes of those packets (when known).
+    pub bytes: u64,
+}
+
+/// A flow entry in a flow table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowEntry {
+    /// Match priority; higher wins. Table-miss entries use priority 0 with
+    /// an empty match.
+    pub priority: u16,
+    /// The multi-field match.
+    pub flow_match: FlowMatch,
+    /// Instructions executed on match.
+    pub instructions: Vec<Instruction>,
+    /// Controller-assigned opaque identifier.
+    pub cookie: u64,
+    /// Match counters.
+    pub counters: Counters,
+}
+
+impl FlowEntry {
+    /// Creates an entry with the given priority, match and instructions.
+    #[must_use]
+    pub fn new(priority: u16, flow_match: FlowMatch, instructions: Vec<Instruction>) -> Self {
+        Self { priority, flow_match, instructions, cookie: 0, counters: Counters::default() }
+    }
+
+    /// Builder-style cookie assignment.
+    #[must_use]
+    pub fn with_cookie(mut self, cookie: u64) -> Self {
+        self.cookie = cookie;
+        self
+    }
+
+    /// Whether this is a table-miss entry (priority 0, match-all).
+    #[must_use]
+    pub fn is_table_miss(&self) -> bool {
+        self.priority == 0 && self.flow_match.parts().iter().all(|(_, m)| m.is_wildcard())
+    }
+
+    /// The `GotoTable` target among this entry's instructions, if any.
+    #[must_use]
+    pub fn goto_target(&self) -> Option<u8> {
+        self.instructions.iter().find_map(Instruction::goto_target)
+    }
+}
+
+impl fmt::Display for FlowEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio={} match[{}] ->", self.priority, self.flow_match)?;
+        for i in &self.instructions {
+            write!(f, " {i}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::Action;
+    use crate::fields::MatchFieldKind;
+
+    #[test]
+    fn table_miss_detection() {
+        let miss = FlowEntry::new(0, FlowMatch::any(), vec![]);
+        assert!(miss.is_table_miss());
+        let not_miss = FlowEntry::new(1, FlowMatch::any(), vec![]);
+        assert!(!not_miss.is_table_miss());
+        let constrained = FlowEntry::new(
+            0,
+            FlowMatch::any().with_exact(MatchFieldKind::VlanVid, 1).unwrap(),
+            vec![],
+        );
+        assert!(!constrained.is_table_miss());
+    }
+
+    #[test]
+    fn goto_target_found() {
+        let e = FlowEntry::new(
+            5,
+            FlowMatch::any(),
+            vec![
+                Instruction::WriteActions(vec![Action::Output(1)]),
+                Instruction::GotoTable(2),
+            ],
+        );
+        assert_eq!(e.goto_target(), Some(2));
+    }
+
+    #[test]
+    fn display_includes_priority_and_instructions() {
+        let e = FlowEntry::new(7, FlowMatch::any(), vec![Instruction::GotoTable(1)]);
+        let s = e.to_string();
+        assert!(s.contains("prio=7"), "{s}");
+        assert!(s.contains("goto_table:1"), "{s}");
+    }
+}

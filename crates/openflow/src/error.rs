@@ -1,0 +1,84 @@
+//! Error types for the OpenFlow substrate.
+
+use crate::fields::MatchFieldKind;
+use std::fmt;
+
+/// Errors raised by flow-table and pipeline operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OflowError {
+    /// A field value exceeds the field's bit width.
+    ValueOutOfRange {
+        /// The offending field.
+        field: MatchFieldKind,
+        /// The value supplied.
+        value: u128,
+    },
+    /// A prefix length exceeds the field's bit width.
+    PrefixTooLong {
+        /// The offending field.
+        field: MatchFieldKind,
+        /// The prefix length supplied.
+        len: u32,
+    },
+    /// A range with `lo > hi`.
+    EmptyRange {
+        /// The offending field.
+        field: MatchFieldKind,
+        /// Range lower bound.
+        lo: u128,
+        /// Range upper bound.
+        hi: u128,
+    },
+    /// `Goto-Table` must strictly increase the table id (OpenFlow v1.3
+    /// §5.1); the pipeline rejects backward or self jumps.
+    BackwardGoto {
+        /// Table the instruction was found in.
+        from: u8,
+        /// Requested destination table.
+        to: u8,
+    },
+    /// A `Goto-Table` named a table the pipeline does not contain.
+    NoSuchTable(u8),
+    /// A flow-mod targeted a table the pipeline does not contain.
+    TableOutOfRange(u8),
+    /// Adding a flow that overlaps an existing one while `check_overlap`
+    /// was requested.
+    Overlap,
+}
+
+impl fmt::Display for OflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OflowError::ValueOutOfRange { field, value } => {
+                write!(f, "value {value:#x} exceeds {}-bit field {field}", field.bit_width())
+            }
+            OflowError::PrefixTooLong { field, len } => {
+                write!(f, "prefix length {len} exceeds {}-bit field {field}", field.bit_width())
+            }
+            OflowError::EmptyRange { field, lo, hi } => {
+                write!(f, "empty range [{lo}, {hi}] on field {field}")
+            }
+            OflowError::BackwardGoto { from, to } => {
+                write!(f, "Goto-Table must increase: table {from} -> table {to}")
+            }
+            OflowError::NoSuchTable(id) => write!(f, "pipeline has no table {id}"),
+            OflowError::TableOutOfRange(id) => write!(f, "flow-mod targets missing table {id}"),
+            OflowError::Overlap => write!(f, "overlapping entry at equal priority"),
+        }
+    }
+}
+
+impl std::error::Error for OflowError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_context() {
+        let e = OflowError::ValueOutOfRange { field: MatchFieldKind::VlanVid, value: 0x2000 };
+        assert!(e.to_string().contains("13-bit"));
+        let e = OflowError::BackwardGoto { from: 3, to: 1 };
+        assert!(e.to_string().contains("3 -> table 1"));
+    }
+}

@@ -1,0 +1,287 @@
+//! OpenFlow v1.3 OXM match fields.
+//!
+//! OpenFlow v1.3 defines 39 matchable packet header fields plus the 64-bit
+//! `metadata` register the pipeline uses to pass state between tables. Each
+//! field has a fixed width and, per the paper's Table II, a *matching
+//! method* its lookups require: Exact Matching (EM), Range Matching (RM) or
+//! Longest Prefix Matching (LPM, "wildcard matching" in the paper).
+
+use std::fmt;
+
+/// Matching method a field's lookup requires (paper Table II, column 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatchMethod {
+    /// Exact Matching: all bits of the header field must equal the entry.
+    Exact,
+    /// Range Matching: the header value must fall in `[lo, hi]`; the
+    /// narrowest matching range wins.
+    Range,
+    /// Longest Prefix Matching: the entry with the most matching leading
+    /// bits wins.
+    Lpm,
+}
+
+impl fmt::Display for MatchMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MatchMethod::Exact => "Exact Matching (EM)",
+            MatchMethod::Range => "Wildcard matching (RM)",
+            MatchMethod::Lpm => "Wildcard matching (LPM)",
+        };
+        f.write_str(s)
+    }
+}
+
+macro_rules! match_fields {
+    ($( $(#[$doc:meta])* $variant:ident => ($name:literal, $bits:literal, $method:ident, $common:literal) ),+ $(,)?) => {
+        /// An OXM match field of OpenFlow v1.3.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[allow(missing_docs)]
+        pub enum MatchFieldKind {
+            $( $(#[$doc])* $variant ),+
+        }
+
+        impl MatchFieldKind {
+            /// Every match field, including `Metadata`.
+            pub const ALL: &'static [MatchFieldKind] = &[ $(MatchFieldKind::$variant),+ ];
+
+            /// Canonical lowercase name (OXM-style).
+            #[must_use]
+            pub fn name(self) -> &'static str {
+                match self { $(MatchFieldKind::$variant => $name),+ }
+            }
+
+            /// Field width in bits.
+            #[must_use]
+            pub fn bit_width(self) -> u32 {
+                match self { $(MatchFieldKind::$variant => $bits),+ }
+            }
+
+            /// Matching method the field's lookup requires.
+            #[must_use]
+            pub fn match_method(self) -> MatchMethod {
+                match self { $(MatchFieldKind::$variant => MatchMethod::$method),+ }
+            }
+
+            /// Whether the field is one of the paper's 15 "common matching
+            /// fields supporting applications" (Table II).
+            #[must_use]
+            pub fn is_common(self) -> bool {
+                match self { $(MatchFieldKind::$variant => $common),+ }
+            }
+        }
+    };
+}
+
+match_fields! {
+    /// Switch ingress port.
+    InPort => ("in_port", 32, Exact, true),
+    /// Physical ingress port (when `in_port` is logical).
+    InPhyPort => ("in_phy_port", 32, Exact, false),
+    /// Pipeline metadata register (table-to-table state).
+    Metadata => ("metadata", 64, Exact, false),
+    /// Ethernet destination address.
+    EthDst => ("eth_dst", 48, Lpm, true),
+    /// Ethernet source address.
+    EthSrc => ("eth_src", 48, Lpm, true),
+    /// Ethernet type (after VLAN tags).
+    EthType => ("eth_type", 16, Exact, true),
+    /// VLAN identifier.
+    VlanVid => ("vlan_vid", 13, Exact, true),
+    /// VLAN priority (PCP).
+    VlanPcp => ("vlan_pcp", 3, Exact, true),
+    /// IP DSCP (6 bits of the ToS byte).
+    IpDscp => ("ip_dscp", 6, Exact, true),
+    /// IP ECN (2 bits of the ToS byte).
+    IpEcn => ("ip_ecn", 2, Exact, false),
+    /// IP protocol number.
+    IpProto => ("ip_proto", 8, Exact, true),
+    /// IPv4 source address.
+    Ipv4Src => ("ipv4_src", 32, Lpm, true),
+    /// IPv4 destination address.
+    Ipv4Dst => ("ipv4_dst", 32, Lpm, true),
+    /// TCP source port.
+    TcpSrc => ("tcp_src", 16, Range, true),
+    /// TCP destination port.
+    TcpDst => ("tcp_dst", 16, Range, true),
+    /// UDP source port.
+    UdpSrc => ("udp_src", 16, Range, false),
+    /// UDP destination port.
+    UdpDst => ("udp_dst", 16, Range, false),
+    /// SCTP source port.
+    SctpSrc => ("sctp_src", 16, Range, false),
+    /// SCTP destination port.
+    SctpDst => ("sctp_dst", 16, Range, false),
+    /// ICMPv4 type.
+    Icmpv4Type => ("icmpv4_type", 8, Exact, false),
+    /// ICMPv4 code.
+    Icmpv4Code => ("icmpv4_code", 8, Exact, false),
+    /// ARP opcode.
+    ArpOp => ("arp_op", 16, Exact, false),
+    /// ARP source protocol address.
+    ArpSpa => ("arp_spa", 32, Lpm, false),
+    /// ARP target protocol address.
+    ArpTpa => ("arp_tpa", 32, Lpm, false),
+    /// ARP source hardware address.
+    ArpSha => ("arp_sha", 48, Exact, false),
+    /// ARP target hardware address.
+    ArpTha => ("arp_tha", 48, Exact, false),
+    /// IPv6 source address.
+    Ipv6Src => ("ipv6_src", 128, Lpm, true),
+    /// IPv6 destination address.
+    Ipv6Dst => ("ipv6_dst", 128, Lpm, true),
+    /// IPv6 flow label.
+    Ipv6Flabel => ("ipv6_flabel", 20, Exact, false),
+    /// ICMPv6 type.
+    Icmpv6Type => ("icmpv6_type", 8, Exact, false),
+    /// ICMPv6 code.
+    Icmpv6Code => ("icmpv6_code", 8, Exact, false),
+    /// IPv6 neighbour-discovery target address.
+    Ipv6NdTarget => ("ipv6_nd_target", 128, Exact, false),
+    /// IPv6 ND source link-layer address.
+    Ipv6NdSll => ("ipv6_nd_sll", 48, Exact, false),
+    /// IPv6 ND target link-layer address.
+    Ipv6NdTll => ("ipv6_nd_tll", 48, Exact, false),
+    /// MPLS label.
+    MplsLabel => ("mpls_label", 20, Exact, true),
+    /// MPLS traffic class.
+    MplsTc => ("mpls_tc", 3, Exact, false),
+    /// MPLS bottom-of-stack bit.
+    MplsBos => ("mpls_bos", 1, Exact, false),
+    /// PBB I-SID.
+    PbbIsid => ("pbb_isid", 24, Exact, false),
+    /// Logical tunnel id.
+    TunnelId => ("tunnel_id", 64, Exact, false),
+    /// IPv6 extension header pseudo-field.
+    Ipv6Exthdr => ("ipv6_exthdr", 9, Exact, false),
+}
+
+impl MatchFieldKind {
+    /// The 39 matchable fields of OpenFlow v1.3 (everything except the
+    /// internal `metadata` register) — the count the paper quotes in §III.A.
+    #[must_use]
+    pub fn matchable() -> Vec<MatchFieldKind> {
+        Self::ALL
+            .iter()
+            .copied()
+            .filter(|f| *f != MatchFieldKind::Metadata)
+            .collect()
+    }
+
+    /// The paper's Table II rows: the 15 common fields, in table order.
+    #[must_use]
+    pub fn table2_fields() -> [MatchFieldKind; 15] {
+        [
+            MatchFieldKind::InPort,
+            MatchFieldKind::EthSrc,
+            MatchFieldKind::EthDst,
+            MatchFieldKind::EthType,
+            MatchFieldKind::VlanVid,
+            MatchFieldKind::VlanPcp,
+            MatchFieldKind::MplsLabel,
+            MatchFieldKind::Ipv4Src,
+            MatchFieldKind::Ipv4Dst,
+            MatchFieldKind::Ipv6Src,
+            MatchFieldKind::Ipv6Dst,
+            MatchFieldKind::IpProto,
+            MatchFieldKind::IpDscp,
+            MatchFieldKind::TcpSrc,
+            MatchFieldKind::TcpDst,
+        ]
+    }
+
+    /// Mask covering the field's width (`bit_width` low bits set).
+    #[must_use]
+    pub fn value_mask(self) -> u128 {
+        let w = self.bit_width();
+        if w >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << w) - 1
+        }
+    }
+
+    /// Looks a field up by its canonical name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<MatchFieldKind> {
+        Self::ALL.iter().copied().find(|f| f.name() == name)
+    }
+}
+
+impl fmt::Display for MatchFieldKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_nine_matchable_fields_plus_metadata() {
+        // §III.A: "The number of matching header fields ... is 39
+        // (excluding metadata)".
+        assert_eq!(MatchFieldKind::matchable().len(), 39);
+        assert_eq!(MatchFieldKind::ALL.len(), 40);
+        assert_eq!(MatchFieldKind::Metadata.bit_width(), 64);
+    }
+
+    #[test]
+    fn fifteen_common_fields() {
+        let common: Vec<_> = MatchFieldKind::ALL.iter().filter(|f| f.is_common()).collect();
+        assert_eq!(common.len(), 15);
+        assert_eq!(MatchFieldKind::table2_fields().len(), 15);
+        for f in MatchFieldKind::table2_fields() {
+            assert!(f.is_common(), "{f} should be common");
+        }
+    }
+
+    #[test]
+    fn table2_widths_and_methods_match_paper() {
+        use MatchFieldKind::*;
+        let expect: &[(MatchFieldKind, u32, MatchMethod)] = &[
+            (InPort, 32, MatchMethod::Exact),
+            (EthSrc, 48, MatchMethod::Lpm),
+            (EthDst, 48, MatchMethod::Lpm),
+            (EthType, 16, MatchMethod::Exact),
+            (VlanVid, 13, MatchMethod::Exact),
+            (VlanPcp, 3, MatchMethod::Exact),
+            (MplsLabel, 20, MatchMethod::Exact),
+            (Ipv4Src, 32, MatchMethod::Lpm),
+            (Ipv4Dst, 32, MatchMethod::Lpm),
+            (Ipv6Src, 128, MatchMethod::Lpm),
+            (Ipv6Dst, 128, MatchMethod::Lpm),
+            (IpProto, 8, MatchMethod::Exact),
+            (IpDscp, 6, MatchMethod::Exact),
+            (TcpSrc, 16, MatchMethod::Range),
+            (TcpDst, 16, MatchMethod::Range),
+        ];
+        for &(f, bits, method) in expect {
+            assert_eq!(f.bit_width(), bits, "{f} width");
+            assert_eq!(f.match_method(), method, "{f} method");
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for &f in MatchFieldKind::ALL {
+            assert_eq!(MatchFieldKind::from_name(f.name()), Some(f));
+        }
+        assert_eq!(MatchFieldKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn value_masks_cover_width() {
+        assert_eq!(MatchFieldKind::VlanVid.value_mask(), 0x1FFF);
+        assert_eq!(MatchFieldKind::EthDst.value_mask(), 0xFFFF_FFFF_FFFF);
+        assert_eq!(MatchFieldKind::Ipv6Src.value_mask(), u128::MAX);
+        assert_eq!(MatchFieldKind::MplsBos.value_mask(), 1);
+    }
+
+    #[test]
+    fn display_uses_name() {
+        assert_eq!(MatchFieldKind::Ipv4Dst.to_string(), "ipv4_dst");
+        assert!(MatchMethod::Lpm.to_string().contains("LPM"));
+    }
+}

@@ -1,0 +1,422 @@
+//! Per-field match specifications and multi-field flow matches.
+//!
+//! A [`FieldMatch`] is the match a single flow-entry field places on one
+//! header field: exact value, prefix (LPM wildcard), range, or fully
+//! wildcarded. A [`FlowMatch`] combines field matches over any subset of the
+//! OXM fields; fields not mentioned are wildcarded, exactly as in OpenFlow.
+
+use crate::error::OflowError;
+use crate::fields::{MatchFieldKind, MatchMethod};
+use crate::header::HeaderValues;
+use std::fmt;
+
+/// Match specification for a single field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FieldMatch {
+    /// All field bits must equal `value`.
+    Exact(u128),
+    /// The top `len` bits must equal the top `len` bits of `value`
+    /// (`len == 0` matches anything; bits of `value` below the prefix are
+    /// stored zeroed).
+    Prefix {
+        /// Prefix value, aligned to the field's full width.
+        value: u128,
+        /// Number of significant leading bits.
+        len: u32,
+    },
+    /// The value must lie in `lo..=hi` (inclusive).
+    Range {
+        /// Inclusive lower bound.
+        lo: u128,
+        /// Inclusive upper bound.
+        hi: u128,
+    },
+    /// Wildcard: matches any value.
+    Any,
+}
+
+impl FieldMatch {
+    /// Validates the match against a field's width and constructs the
+    /// canonical form (prefix values masked, full-width prefixes kept as
+    /// prefixes).
+    pub fn checked(self, field: MatchFieldKind) -> Result<FieldMatch, OflowError> {
+        let mask = field.value_mask();
+        let width = field.bit_width();
+        match self {
+            FieldMatch::Exact(v) => {
+                if v & !mask != 0 {
+                    return Err(OflowError::ValueOutOfRange { field, value: v });
+                }
+                Ok(FieldMatch::Exact(v))
+            }
+            FieldMatch::Prefix { value, len } => {
+                if len > width {
+                    return Err(OflowError::PrefixTooLong { field, len });
+                }
+                if value & !mask != 0 {
+                    return Err(OflowError::ValueOutOfRange { field, value });
+                }
+                Ok(FieldMatch::Prefix { value: value & prefix_mask(width, len), len })
+            }
+            FieldMatch::Range { lo, hi } => {
+                if lo > hi {
+                    return Err(OflowError::EmptyRange { field, lo, hi });
+                }
+                if hi & !mask != 0 {
+                    return Err(OflowError::ValueOutOfRange { field, value: hi });
+                }
+                Ok(FieldMatch::Range { lo, hi })
+            }
+            FieldMatch::Any => Ok(FieldMatch::Any),
+        }
+    }
+
+    /// Whether `value` (a full-width field value) satisfies this match,
+    /// for a field of `width` bits.
+    #[must_use]
+    pub fn matches(&self, value: u128, width: u32) -> bool {
+        match *self {
+            FieldMatch::Exact(v) => value == v,
+            FieldMatch::Prefix { value: p, len } => {
+                let m = prefix_mask(width, len);
+                value & m == p & m
+            }
+            FieldMatch::Range { lo, hi } => lo <= value && value <= hi,
+            FieldMatch::Any => true,
+        }
+    }
+
+    /// Whether this match places no constraint at all.
+    #[must_use]
+    pub fn is_wildcard(&self) -> bool {
+        matches!(self, FieldMatch::Any) || matches!(self, FieldMatch::Prefix { len: 0, .. })
+    }
+
+    /// The matching method this specification needs from a lookup engine.
+    #[must_use]
+    pub fn needed_method(&self) -> MatchMethod {
+        match self {
+            FieldMatch::Exact(_) => MatchMethod::Exact,
+            FieldMatch::Prefix { .. } | FieldMatch::Any => MatchMethod::Lpm,
+            FieldMatch::Range { .. } => MatchMethod::Range,
+        }
+    }
+
+    /// A specificity score used to order overlapping matches when
+    /// priorities tie: exact > longer prefix > narrower range > any.
+    #[must_use]
+    pub fn specificity(&self, width: u32) -> u32 {
+        match *self {
+            FieldMatch::Exact(_) => width,
+            FieldMatch::Prefix { len, .. } => len,
+            FieldMatch::Range { lo, hi } => {
+                // Log-scaled narrowness: a singleton range counts as exact.
+                let span = hi - lo;
+                width.saturating_sub(128 - span.leading_zeros()).min(width)
+            }
+            FieldMatch::Any => 0,
+        }
+    }
+
+    /// Whether the two matches can both be satisfied by some value
+    /// (used by overlap checking).
+    #[must_use]
+    pub fn overlaps(&self, other: &FieldMatch, width: u32) -> bool {
+        match (*self, *other) {
+            (FieldMatch::Any, _) | (_, FieldMatch::Any) => true,
+            (FieldMatch::Exact(a), b) => b.matches(a, width),
+            (a, FieldMatch::Exact(b)) => a.matches(b, width),
+            (FieldMatch::Prefix { value: v1, len: l1 }, FieldMatch::Prefix { value: v2, len: l2 }) => {
+                let l = l1.min(l2);
+                let m = prefix_mask(width, l);
+                v1 & m == v2 & m
+            }
+            (FieldMatch::Range { lo: a1, hi: b1 }, FieldMatch::Range { lo: a2, hi: b2 }) => {
+                a1 <= b2 && a2 <= b1
+            }
+            (FieldMatch::Prefix { value, len }, FieldMatch::Range { lo, hi })
+            | (FieldMatch::Range { lo, hi }, FieldMatch::Prefix { value, len }) => {
+                let m = prefix_mask(width, len);
+                let p_lo = value & m;
+                let p_hi = p_lo | !m & prefix_mask(width, width);
+                p_lo <= hi && lo <= p_hi
+            }
+        }
+    }
+}
+
+/// Mask with the top `len` bits (of a `width`-bit field) set.
+#[must_use]
+pub fn prefix_mask(width: u32, len: u32) -> u128 {
+    debug_assert!(len <= width && width <= 128);
+    if len == 0 {
+        0
+    } else {
+        let full = if width >= 128 { u128::MAX } else { (1u128 << width) - 1 };
+        full & !((1u128 << (width - len)) - 1)
+    }
+}
+
+impl fmt::Display for FieldMatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldMatch::Exact(v) => write!(f, "={v:#x}"),
+            FieldMatch::Prefix { value, len } => write!(f, "={value:#x}/{len}"),
+            FieldMatch::Range { lo, hi } => write!(f, "[{lo}..={hi}]"),
+            FieldMatch::Any => write!(f, "*"),
+        }
+    }
+}
+
+/// A multi-field match: a conjunction of [`FieldMatch`]es over distinct
+/// fields. Fields not present are wildcarded.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct FlowMatch {
+    // Sorted by field for canonical equality/hashing.
+    parts: Vec<(MatchFieldKind, FieldMatch)>,
+}
+
+impl FlowMatch {
+    /// The empty (match-all) flow match — OpenFlow's table-miss match.
+    #[must_use]
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a field constraint; validates it first.
+    pub fn with(mut self, field: MatchFieldKind, m: FieldMatch) -> Result<Self, OflowError> {
+        let m = m.checked(field)?;
+        match self.parts.binary_search_by_key(&field, |(f, _)| *f) {
+            Ok(i) => self.parts[i].1 = m,
+            Err(i) => self.parts.insert(i, (field, m)),
+        }
+        Ok(self)
+    }
+
+    /// Convenience: exact-match constraint.
+    pub fn with_exact(self, field: MatchFieldKind, value: u128) -> Result<Self, OflowError> {
+        self.with(field, FieldMatch::Exact(value))
+    }
+
+    /// Convenience: prefix constraint.
+    pub fn with_prefix(
+        self,
+        field: MatchFieldKind,
+        value: u128,
+        len: u32,
+    ) -> Result<Self, OflowError> {
+        self.with(field, FieldMatch::Prefix { value, len })
+    }
+
+    /// Convenience: range constraint.
+    pub fn with_range(self, field: MatchFieldKind, lo: u128, hi: u128) -> Result<Self, OflowError> {
+        self.with(field, FieldMatch::Range { lo, hi })
+    }
+
+    /// The constrained fields and their matches, sorted by field.
+    #[must_use]
+    pub fn parts(&self) -> &[(MatchFieldKind, FieldMatch)] {
+        &self.parts
+    }
+
+    /// The constraint on `field` (`Any` if unconstrained).
+    #[must_use]
+    pub fn field(&self, field: MatchFieldKind) -> FieldMatch {
+        self.parts
+            .binary_search_by_key(&field, |(f, _)| *f)
+            .map(|i| self.parts[i].1)
+            .unwrap_or(FieldMatch::Any)
+    }
+
+    /// Whether the header satisfies every field constraint. A header that
+    /// lacks a constrained field (e.g. a non-IP packet against an
+    /// `ipv4_dst` match) does not match, per OpenFlow prerequisites.
+    #[must_use]
+    pub fn matches(&self, header: &HeaderValues) -> bool {
+        self.parts.iter().all(|(field, m)| {
+            if m.is_wildcard() {
+                return true;
+            }
+            match header.get(*field) {
+                Some(v) => m.matches(v, field.bit_width()),
+                None => false,
+            }
+        })
+    }
+
+    /// Total specificity (sum over fields) for tie-breaking.
+    #[must_use]
+    pub fn specificity(&self) -> u32 {
+        self.parts.iter().map(|(f, m)| m.specificity(f.bit_width())).sum()
+    }
+
+    /// Whether some header could satisfy both matches.
+    #[must_use]
+    pub fn overlaps(&self, other: &FlowMatch) -> bool {
+        for (field, m) in &self.parts {
+            let o = other.field(*field);
+            if !m.overlaps(&o, field.bit_width()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Number of constrained (non-wildcard) fields.
+    #[must_use]
+    pub fn constrained_fields(&self) -> usize {
+        self.parts.iter().filter(|(_, m)| !m.is_wildcard()).count()
+    }
+}
+
+impl fmt::Display for FlowMatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.parts.is_empty() {
+            return write!(f, "<any>");
+        }
+        let mut first = true;
+        for (field, m) in &self.parts {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{field}{m}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::MatchFieldKind::*;
+
+    #[test]
+    fn prefix_mask_shapes() {
+        assert_eq!(prefix_mask(32, 0), 0);
+        assert_eq!(prefix_mask(32, 32), 0xFFFF_FFFF);
+        assert_eq!(prefix_mask(32, 8), 0xFF00_0000);
+        assert_eq!(prefix_mask(16, 5), 0xF800);
+        assert_eq!(prefix_mask(128, 1), 1u128 << 127);
+    }
+
+    #[test]
+    fn exact_matches_only_equal_values() {
+        let m = FieldMatch::Exact(42);
+        assert!(m.matches(42, 32));
+        assert!(!m.matches(43, 32));
+    }
+
+    #[test]
+    fn prefix_matches_leading_bits() {
+        let m = FieldMatch::Prefix { value: 0x0A00_0000, len: 8 }; // 10.0.0.0/8
+        assert!(m.matches(0x0A01_0203, 32));
+        assert!(!m.matches(0x0B01_0203, 32));
+        let any = FieldMatch::Prefix { value: 0, len: 0 };
+        assert!(any.matches(u128::from(u32::MAX), 32));
+        assert!(any.is_wildcard());
+    }
+
+    #[test]
+    fn range_matches_inclusive() {
+        let m = FieldMatch::Range { lo: 1024, hi: 2047 };
+        assert!(m.matches(1024, 16));
+        assert!(m.matches(2047, 16));
+        assert!(!m.matches(1023, 16));
+        assert!(!m.matches(2048, 16));
+    }
+
+    #[test]
+    fn checked_rejects_out_of_width_values() {
+        assert!(FieldMatch::Exact(0x2000).checked(VlanVid).is_err()); // 13-bit field
+        assert!(FieldMatch::Exact(0x1FFF).checked(VlanVid).is_ok());
+        assert!(FieldMatch::Prefix { value: 0, len: 33 }.checked(Ipv4Dst).is_err());
+        assert!(FieldMatch::Range { lo: 5, hi: 4 }.checked(TcpDst).is_err());
+        assert!(FieldMatch::Range { lo: 0, hi: 0x1_0000 }.checked(TcpDst).is_err());
+    }
+
+    #[test]
+    fn checked_canonicalises_prefix_low_bits() {
+        let m = FieldMatch::Prefix { value: 0x0A01_0203, len: 8 }.checked(Ipv4Dst).unwrap();
+        assert_eq!(m, FieldMatch::Prefix { value: 0x0A00_0000, len: 8 });
+    }
+
+    #[test]
+    fn flow_match_requires_all_fields() {
+        let fm = FlowMatch::any()
+            .with_exact(VlanVid, 100)
+            .unwrap()
+            .with_prefix(EthDst, 0xAABB_0000_0000, 16)
+            .unwrap();
+        let mut h = HeaderValues::new();
+        h.set(VlanVid, 100);
+        h.set(EthDst, 0xAABB_1234_5678);
+        assert!(fm.matches(&h));
+        h.set(VlanVid, 101);
+        assert!(!fm.matches(&h));
+    }
+
+    #[test]
+    fn missing_header_field_fails_match() {
+        let fm = FlowMatch::any().with_exact(Ipv4Dst, 1).unwrap();
+        let h = HeaderValues::new(); // non-IP packet
+        assert!(!fm.matches(&h));
+        // ... but a pure wildcard entry matches anything.
+        assert!(FlowMatch::any().matches(&h));
+    }
+
+    #[test]
+    fn with_replaces_existing_constraint() {
+        let fm = FlowMatch::any()
+            .with_exact(VlanVid, 1)
+            .unwrap()
+            .with_exact(VlanVid, 2)
+            .unwrap();
+        assert_eq!(fm.parts().len(), 1);
+        assert_eq!(fm.field(VlanVid), FieldMatch::Exact(2));
+    }
+
+    #[test]
+    fn specificity_orders_prefixes() {
+        let longer = FlowMatch::any().with_prefix(Ipv4Dst, 0, 24).unwrap();
+        let shorter = FlowMatch::any().with_prefix(Ipv4Dst, 0, 8).unwrap();
+        assert!(longer.specificity() > shorter.specificity());
+        let exact = FlowMatch::any().with_exact(Ipv4Dst, 0).unwrap();
+        assert!(exact.specificity() > longer.specificity());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = FlowMatch::any().with_prefix(Ipv4Dst, 0x0A00_0000, 8).unwrap();
+        let b = FlowMatch::any().with_prefix(Ipv4Dst, 0x0A01_0000, 16).unwrap();
+        let c = FlowMatch::any().with_prefix(Ipv4Dst, 0x0B00_0000, 8).unwrap();
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        // Different fields never conflict.
+        let d = FlowMatch::any().with_exact(VlanVid, 5).unwrap();
+        assert!(a.overlaps(&d));
+    }
+
+    #[test]
+    fn range_prefix_overlap() {
+        let r = FieldMatch::Range { lo: 10, hi: 20 };
+        let p = FieldMatch::Prefix { value: 16, len: 28 }; // [16..=31] in 32-bit space? width 32, len 28 -> block of 16 starting at 16
+        assert!(r.overlaps(&p, 32));
+        let p2 = FieldMatch::Prefix { value: 32, len: 28 }; // [32..=47]
+        assert!(!r.overlaps(&p2, 32));
+    }
+
+    #[test]
+    fn display_formats() {
+        let fm = FlowMatch::any()
+            .with_exact(VlanVid, 100)
+            .unwrap()
+            .with_prefix(Ipv4Dst, 0x0A000000, 8)
+            .unwrap();
+        let s = fm.to_string();
+        assert!(s.contains("vlan_vid"), "{s}");
+        assert!(s.contains("/8"), "{s}");
+        assert_eq!(FlowMatch::any().to_string(), "<any>");
+    }
+}

@@ -1,0 +1,162 @@
+//! Extracted packet header values.
+//!
+//! [`HeaderValues`] is the interface between packet parsing and flow
+//! matching: a sparse map from [`MatchFieldKind`] to the field's value as a
+//! `u128`. A field is absent when the packet does not carry the
+//! corresponding protocol layer (e.g. no `tcp_dst` on a UDP packet), which
+//! models OpenFlow's match prerequisites.
+
+use crate::fields::MatchFieldKind;
+use std::fmt;
+
+/// Sparse per-packet field values, keyed by match field.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct HeaderValues {
+    // Sorted by field; packets carry ~5-15 fields so a Vec beats a map.
+    values: Vec<(MatchFieldKind, u128)>,
+}
+
+impl HeaderValues {
+    /// Creates an empty header (no fields present).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a field value, masking it to the field's width.
+    pub fn set(&mut self, field: MatchFieldKind, value: u128) -> &mut Self {
+        let v = value & field.value_mask();
+        match self.values.binary_search_by_key(&field, |(f, _)| *f) {
+            Ok(i) => self.values[i].1 = v,
+            Err(i) => self.values.insert(i, (field, v)),
+        }
+        self
+    }
+
+    /// Builder-style [`HeaderValues::set`].
+    #[must_use]
+    pub fn with(mut self, field: MatchFieldKind, value: u128) -> Self {
+        self.set(field, value);
+        self
+    }
+
+    /// The value of `field`, if the packet carries it.
+    #[must_use]
+    pub fn get(&self, field: MatchFieldKind) -> Option<u128> {
+        self.values
+            .binary_search_by_key(&field, |(f, _)| *f)
+            .map(|i| self.values[i].1)
+            .ok()
+    }
+
+    /// Removes a field (used when popping tags).
+    pub fn unset(&mut self, field: MatchFieldKind) {
+        if let Ok(i) = self.values.binary_search_by_key(&field, |(f, _)| *f) {
+            self.values.remove(i);
+        }
+    }
+
+    /// Whether the packet carries `field`.
+    #[must_use]
+    pub fn contains(&self, field: MatchFieldKind) -> bool {
+        self.get(field).is_some()
+    }
+
+    /// All present fields with their values, sorted by field.
+    #[must_use]
+    pub fn fields(&self) -> &[(MatchFieldKind, u128)] {
+        &self.values
+    }
+
+    /// Number of present fields.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no fields are present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl fmt::Display for HeaderValues {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (field, v) in &self.values {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{field}={v:#x}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(MatchFieldKind, u128)> for HeaderValues {
+    fn from_iter<I: IntoIterator<Item = (MatchFieldKind, u128)>>(iter: I) -> Self {
+        let mut h = HeaderValues::new();
+        for (f, v) in iter {
+            h.set(f, v);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::MatchFieldKind::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut h = HeaderValues::new();
+        h.set(VlanVid, 100).set(Ipv4Dst, 0x0A000001);
+        assert_eq!(h.get(VlanVid), Some(100));
+        assert_eq!(h.get(Ipv4Dst), Some(0x0A000001));
+        assert_eq!(h.get(TcpDst), None);
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn set_masks_to_field_width() {
+        let mut h = HeaderValues::new();
+        h.set(VlanVid, 0xFFFF); // 13-bit field
+        assert_eq!(h.get(VlanVid), Some(0x1FFF));
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let h = HeaderValues::new().with(VlanVid, 1).with(VlanVid, 2);
+        assert_eq!(h.get(VlanVid), Some(2));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn unset_removes() {
+        let mut h = HeaderValues::new().with(VlanVid, 1);
+        assert!(h.contains(VlanVid));
+        h.unset(VlanVid);
+        assert!(!h.contains(VlanVid));
+        h.unset(VlanVid); // idempotent
+    }
+
+    #[test]
+    fn fields_sorted_and_iterable() {
+        let h: HeaderValues =
+            [(Ipv4Dst, 5u128), (InPort, 3u128), (VlanVid, 7u128)].into_iter().collect();
+        let keys: Vec<_> = h.fields().iter().map(|(f, _)| *f).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn display_lists_fields() {
+        let h = HeaderValues::new().with(VlanVid, 0x64);
+        assert_eq!(h.to_string(), "vlan_vid=0x64");
+    }
+}

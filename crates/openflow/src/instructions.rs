@@ -1,0 +1,133 @@
+//! OpenFlow instructions.
+//!
+//! Instructions are attached to flow entries and drive the multi-table
+//! pipeline. The paper's architecture relies on exactly the multi-table
+//! subset: *"when the packet header matches with a flow entry, there are two
+//! required instructions: Goto-Table ... and Write-action"*, with table-miss
+//! falling back to *"Send to controller"*.
+
+use crate::actions::Action;
+use std::fmt;
+
+/// An OpenFlow v1.3 instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Continue processing at the given (higher-numbered) table.
+    GotoTable(u8),
+    /// Merge the actions into the pipeline action set.
+    WriteActions(Vec<Action>),
+    /// Execute the actions immediately, without touching the action set.
+    ApplyActions(Vec<Action>),
+    /// Empty the action set.
+    ClearActions,
+    /// Update the metadata register: `metadata = (metadata & !mask) |
+    /// (value & mask)`.
+    WriteMetadata {
+        /// Metadata bits to write.
+        value: u64,
+        /// Which bits to touch.
+        mask: u64,
+    },
+    /// Attach the packet to a meter (rate-limiting; modeled as a no-op tag).
+    Meter(u32),
+}
+
+impl Instruction {
+    /// OpenFlow v1.3 §5.9 instruction execution order.
+    #[must_use]
+    pub fn exec_order(&self) -> u8 {
+        match self {
+            Instruction::Meter(_) => 0,
+            Instruction::ApplyActions(_) => 1,
+            Instruction::ClearActions => 2,
+            Instruction::WriteActions(_) => 3,
+            Instruction::WriteMetadata { .. } => 4,
+            Instruction::GotoTable(_) => 5,
+        }
+    }
+
+    /// The goto target if this is a `GotoTable`.
+    #[must_use]
+    pub fn goto_target(&self) -> Option<u8> {
+        match self {
+            Instruction::GotoTable(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+/// Sorts instructions into specification execution order (stable, so at most
+/// one instruction per type is assumed, as OpenFlow requires).
+#[must_use]
+pub fn in_exec_order(instructions: &[Instruction]) -> Vec<&Instruction> {
+    let mut v: Vec<&Instruction> = instructions.iter().collect();
+    v.sort_by_key(|i| i.exec_order());
+    v
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::GotoTable(t) => write!(f, "goto_table:{t}"),
+            Instruction::WriteActions(a) => {
+                write!(f, "write_actions(")?;
+                for (i, act) in a.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{act}")?;
+                }
+                write!(f, ")")
+            }
+            Instruction::ApplyActions(a) => {
+                write!(f, "apply_actions(")?;
+                for (i, act) in a.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{act}")?;
+                }
+                write!(f, ")")
+            }
+            Instruction::ClearActions => write!(f, "clear_actions"),
+            Instruction::WriteMetadata { value, mask } => {
+                write!(f, "write_metadata:{value:#x}/{mask:#x}")
+            }
+            Instruction::Meter(m) => write!(f, "meter:{m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goto_is_last_in_exec_order() {
+        let ins = vec![
+            Instruction::GotoTable(1),
+            Instruction::WriteActions(vec![Action::Output(1)]),
+            Instruction::Meter(9),
+        ];
+        let ordered = in_exec_order(&ins);
+        assert!(matches!(ordered.first(), Some(Instruction::Meter(9))));
+        assert!(matches!(ordered.last(), Some(Instruction::GotoTable(1))));
+    }
+
+    #[test]
+    fn goto_target_extraction() {
+        assert_eq!(Instruction::GotoTable(3).goto_target(), Some(3));
+        assert_eq!(Instruction::ClearActions.goto_target(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Instruction::WriteActions(vec![Action::Output(2), Action::DecNwTtl]);
+        assert_eq!(i.to_string(), "write_actions(output:2, dec_nw_ttl)");
+        assert_eq!(Instruction::GotoTable(1).to_string(), "goto_table:1");
+        assert_eq!(
+            Instruction::WriteMetadata { value: 0xAB, mask: 0xFF }.to_string(),
+            "write_metadata:0xab/0xff"
+        );
+    }
+}

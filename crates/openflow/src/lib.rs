@@ -1,0 +1,45 @@
+//! # oflow — OpenFlow v1.3 switch-side substrate
+//!
+//! A software model of the parts of OpenFlow v1.3 that the SOCC'15 paper
+//! builds on:
+//!
+//! * [`fields`] — the protocol's OXM match fields with their widths and the
+//!   matching method each requires (Exact / Range / Longest-Prefix), i.e.
+//!   the raw material of the paper's Table II.
+//! * [`flow_match`] — per-field match specifications (exact, prefix, range,
+//!   any) and multi-field flow matches.
+//! * [`header`] — extracted packet header values keyed by match field.
+//! * [`actions`] / [`instructions`] — OpenFlow actions and the instruction
+//!   set driving multi-table processing (`Goto-Table`, `Write-Actions`, ...).
+//! * [`entry`] / [`table`] — flow entries with priorities and flow tables
+//!   with OpenFlow flow-mod semantics.
+//! * [`pipeline`] — the multi-table pipeline introduced in OpenFlow v1.1,
+//!   implemented by straightforward linear search. This is the **reference
+//!   oracle** the decomposition architecture in `mtl-core` is tested
+//!   against.
+//!
+//! Nothing in this crate is optimised for speed; it is the semantic ground
+//! truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actions;
+pub mod entry;
+pub mod error;
+pub mod fields;
+pub mod flow_match;
+pub mod header;
+pub mod instructions;
+pub mod pipeline;
+pub mod table;
+
+pub use actions::Action;
+pub use entry::FlowEntry;
+pub use error::OflowError;
+pub use fields::{MatchFieldKind, MatchMethod};
+pub use flow_match::{FieldMatch, FlowMatch};
+pub use header::HeaderValues;
+pub use instructions::Instruction;
+pub use pipeline::{Pipeline, PipelineResult, Verdict};
+pub use table::{FlowTable, TableId};

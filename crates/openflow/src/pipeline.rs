@@ -1,0 +1,426 @@
+//! The OpenFlow multi-table pipeline (reference implementation).
+//!
+//! Packets enter at table 0 and follow `Goto-Table` instructions forward
+//! through numbered tables, accumulating an action set via `Write-Actions`
+//! and metadata via `Write-Metadata`. When no `Goto-Table` fires, the action
+//! set executes. A table miss without a table-miss entry punts the packet to
+//! the controller — the behaviour the paper assigns to unmatched headers
+//! (*"the instruction is 'Send to controller'"*).
+//!
+//! This implementation uses linear-search tables ([`crate::FlowTable`]) and
+//! is the semantic oracle for the decomposition-based architecture in
+//! `mtl-core`.
+
+use crate::actions::{port, Action, ActionSet};
+use crate::entry::FlowEntry;
+use crate::error::OflowError;
+use crate::fields::MatchFieldKind;
+use crate::header::HeaderValues;
+use crate::instructions::{in_exec_order, Instruction};
+use crate::table::{FlowTable, TableId};
+
+/// Final disposition of a processed packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Forward out of the given port.
+    Output(u32),
+    /// Punt to the controller (table miss or explicit CONTROLLER output).
+    ToController,
+    /// Dropped (empty action set or explicit drop).
+    Drop,
+}
+
+/// Record of one table visited during processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableHit {
+    /// Table visited.
+    pub table: TableId,
+    /// Priority of the matched entry, `None` on miss.
+    pub matched_priority: Option<u16>,
+    /// Cookie of the matched entry, `None` on miss.
+    pub cookie: Option<u64>,
+}
+
+/// Outcome of pipeline processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineResult {
+    /// Final disposition.
+    pub verdict: Verdict,
+    /// The action set as it stood when the pipeline ended.
+    pub action_set: ActionSet,
+    /// Tables visited, in order.
+    pub path: Vec<TableHit>,
+    /// Metadata value when the pipeline ended.
+    pub metadata: u64,
+    /// Header as rewritten by apply-actions/set-field during traversal.
+    pub final_header: HeaderValues,
+}
+
+/// A multi-table OpenFlow pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    tables: Vec<FlowTable>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with `n` empty tables numbered `0..n`.
+    #[must_use]
+    pub fn with_tables(n: u8) -> Self {
+        Self { tables: (0..n).map(FlowTable::new).collect() }
+    }
+
+    /// Access a table by id.
+    #[must_use]
+    pub fn table(&self, id: TableId) -> Option<&FlowTable> {
+        self.tables.get(id as usize)
+    }
+
+    /// Mutable access to a table by id.
+    pub fn table_mut(&mut self, id: TableId) -> Option<&mut FlowTable> {
+        self.tables.get_mut(id as usize)
+    }
+
+    /// Number of tables.
+    #[must_use]
+    pub fn num_tables(&self) -> u8 {
+        self.tables.len() as u8
+    }
+
+    /// Total flow entries across tables.
+    #[must_use]
+    pub fn total_entries(&self) -> usize {
+        self.tables.iter().map(FlowTable::len).sum()
+    }
+
+    /// Adds an entry to a table, validating any `Goto-Table` targets
+    /// (must exist and be strictly greater than the entry's table).
+    pub fn add_flow(&mut self, table: TableId, entry: FlowEntry) -> Result<(), OflowError> {
+        if table as usize >= self.tables.len() {
+            return Err(OflowError::TableOutOfRange(table));
+        }
+        if let Some(target) = entry.goto_target() {
+            if target <= table {
+                return Err(OflowError::BackwardGoto { from: table, to: target });
+            }
+            if target as usize >= self.tables.len() {
+                return Err(OflowError::NoSuchTable(target));
+            }
+        }
+        self.tables[table as usize].add(entry, false)
+    }
+
+    /// Processes a packet header through the pipeline, updating match
+    /// counters on the entries hit.
+    pub fn process(&mut self, header: &HeaderValues) -> PipelineResult {
+        let mut header = header.clone();
+        let mut action_set = ActionSet::new();
+        let mut metadata: u64 = header.get(MatchFieldKind::Metadata).unwrap_or(0) as u64;
+        let mut path = Vec::new();
+        let mut next: Option<TableId> = if self.tables.is_empty() { None } else { Some(0) };
+
+        while let Some(tid) = next {
+            next = None;
+            header.set(MatchFieldKind::Metadata, u128::from(metadata));
+            let table = &mut self.tables[tid as usize];
+            let Some(entry) = table.lookup_mut(&header) else {
+                // Table miss with no table-miss entry: send to controller.
+                path.push(TableHit { table: tid, matched_priority: None, cookie: None });
+                return PipelineResult {
+                    verdict: Verdict::ToController,
+                    action_set,
+                    path,
+                    metadata,
+                    final_header: header,
+                };
+            };
+            entry.counters.packets += 1;
+            path.push(TableHit {
+                table: tid,
+                matched_priority: Some(entry.priority),
+                cookie: Some(entry.cookie),
+            });
+            let instructions = entry.instructions.clone();
+            for ins in in_exec_order(&instructions) {
+                match ins {
+                    Instruction::Meter(_) => {}
+                    Instruction::ApplyActions(acts) => {
+                        for a in acts {
+                            apply_immediate(a, &mut header);
+                        }
+                    }
+                    Instruction::ClearActions => action_set.clear(),
+                    Instruction::WriteActions(acts) => action_set.write_all(acts),
+                    Instruction::WriteMetadata { value, mask } => {
+                        metadata = (metadata & !mask) | (value & mask);
+                    }
+                    Instruction::GotoTable(t) => next = Some(*t),
+                }
+            }
+        }
+
+        // Pipeline ended: execute the action set.
+        let mut verdict = Verdict::Drop;
+        for a in action_set.in_order() {
+            match a {
+                Action::Output(p) if *p == port::CONTROLLER => {
+                    verdict = Verdict::ToController;
+                }
+                Action::Output(p) => verdict = Verdict::Output(*p),
+                Action::Drop => verdict = Verdict::Drop,
+                other => apply_immediate(other, &mut header),
+            }
+        }
+        PipelineResult { verdict, action_set, path, metadata, final_header: header }
+    }
+}
+
+/// Applies a header-rewriting action immediately (apply-actions semantics or
+/// action-set execution).
+fn apply_immediate(action: &Action, header: &mut HeaderValues) {
+    match action {
+        Action::SetField { field, value } => {
+            header.set(*field, *value);
+        }
+        Action::PushVlan(_) => {
+            header.set(MatchFieldKind::VlanVid, 0);
+            header.set(MatchFieldKind::VlanPcp, 0);
+        }
+        Action::PopVlan => {
+            header.unset(MatchFieldKind::VlanVid);
+            header.unset(MatchFieldKind::VlanPcp);
+        }
+        Action::PushMpls(_) => {
+            header.set(MatchFieldKind::MplsLabel, 0);
+            header.set(MatchFieldKind::MplsBos, 1);
+        }
+        Action::PopMpls(_) => {
+            header.unset(MatchFieldKind::MplsLabel);
+            header.unset(MatchFieldKind::MplsBos);
+            header.unset(MatchFieldKind::MplsTc);
+        }
+        Action::DecNwTtl | Action::SetQueue(_) | Action::Group(_) => {}
+        Action::Output(_) | Action::Drop => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::MatchFieldKind::*;
+    use crate::flow_match::FlowMatch;
+
+    /// Two-table MAC-learning style pipeline: table 0 matches VLAN and
+    /// jumps to table 1; table 1 matches eth_dst and outputs.
+    fn mac_pipeline() -> Pipeline {
+        let mut p = Pipeline::with_tables(2);
+        p.add_flow(
+            0,
+            FlowEntry::new(
+                10,
+                FlowMatch::any().with_exact(VlanVid, 100).unwrap(),
+                vec![Instruction::GotoTable(1), Instruction::WriteMetadata { value: 7, mask: 0xFF }],
+            ),
+        )
+        .unwrap();
+        p.add_flow(
+            1,
+            FlowEntry::new(
+                10,
+                FlowMatch::any().with_exact(EthDst, 0xAABB_CCDD_EEFF).unwrap(),
+                vec![Instruction::WriteActions(vec![Action::Output(3)])],
+            ),
+        )
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn two_table_match_outputs() {
+        let mut p = mac_pipeline();
+        let h = HeaderValues::new().with(VlanVid, 100).with(EthDst, 0xAABB_CCDD_EEFF);
+        let r = p.process(&h);
+        assert_eq!(r.verdict, Verdict::Output(3));
+        assert_eq!(r.path.len(), 2);
+        assert_eq!(r.metadata, 7);
+        assert_eq!(r.path[0].table, 0);
+        assert_eq!(r.path[1].table, 1);
+    }
+
+    #[test]
+    fn miss_in_first_table_goes_to_controller() {
+        let mut p = mac_pipeline();
+        let h = HeaderValues::new().with(VlanVid, 999).with(EthDst, 1);
+        let r = p.process(&h);
+        assert_eq!(r.verdict, Verdict::ToController);
+        assert_eq!(r.path.len(), 1);
+        assert_eq!(r.path[0].matched_priority, None);
+    }
+
+    #[test]
+    fn miss_in_second_table_goes_to_controller() {
+        let mut p = mac_pipeline();
+        let h = HeaderValues::new().with(VlanVid, 100).with(EthDst, 42);
+        let r = p.process(&h);
+        assert_eq!(r.verdict, Verdict::ToController);
+        assert_eq!(r.path.len(), 2);
+    }
+
+    #[test]
+    fn table_miss_entry_overrides_controller_punt() {
+        let mut p = mac_pipeline();
+        // Add a table-miss entry that floods instead.
+        p.add_flow(
+            0,
+            FlowEntry::new(
+                0,
+                FlowMatch::any(),
+                vec![Instruction::WriteActions(vec![Action::Output(port::FLOOD)])],
+            ),
+        )
+        .unwrap();
+        let h = HeaderValues::new().with(VlanVid, 999);
+        let r = p.process(&h);
+        assert_eq!(r.verdict, Verdict::Output(port::FLOOD));
+    }
+
+    #[test]
+    fn backward_goto_rejected() {
+        let mut p = Pipeline::with_tables(2);
+        let e = FlowEntry::new(1, FlowMatch::any(), vec![Instruction::GotoTable(0)]);
+        assert_eq!(p.add_flow(1, e, ), Err(OflowError::BackwardGoto { from: 1, to: 0 }));
+        let e = FlowEntry::new(1, FlowMatch::any(), vec![Instruction::GotoTable(5)]);
+        assert_eq!(p.add_flow(0, e), Err(OflowError::NoSuchTable(5)));
+        let e = FlowEntry::new(1, FlowMatch::any(), vec![]);
+        assert_eq!(p.add_flow(9, e), Err(OflowError::TableOutOfRange(9)));
+    }
+
+    #[test]
+    fn counters_increment_on_match() {
+        let mut p = mac_pipeline();
+        let h = HeaderValues::new().with(VlanVid, 100).with(EthDst, 0xAABB_CCDD_EEFF);
+        p.process(&h);
+        p.process(&h);
+        assert_eq!(p.table(0).unwrap().entries()[0].counters.packets, 2);
+        assert_eq!(p.table(1).unwrap().entries()[0].counters.packets, 2);
+    }
+
+    #[test]
+    fn metadata_visible_to_later_tables() {
+        let mut p = Pipeline::with_tables(2);
+        p.add_flow(
+            0,
+            FlowEntry::new(
+                1,
+                FlowMatch::any(),
+                vec![
+                    Instruction::WriteMetadata { value: 0xAB, mask: 0xFF },
+                    Instruction::GotoTable(1),
+                ],
+            ),
+        )
+        .unwrap();
+        p.add_flow(
+            1,
+            FlowEntry::new(
+                1,
+                FlowMatch::any().with_exact(Metadata, 0xAB).unwrap(),
+                vec![Instruction::WriteActions(vec![Action::Output(9)])],
+            ),
+        )
+        .unwrap();
+        let r = p.process(&HeaderValues::new());
+        assert_eq!(r.verdict, Verdict::Output(9));
+    }
+
+    #[test]
+    fn apply_actions_rewrite_header_mid_pipeline() {
+        let mut p = Pipeline::with_tables(2);
+        p.add_flow(
+            0,
+            FlowEntry::new(
+                1,
+                FlowMatch::any(),
+                vec![
+                    Instruction::ApplyActions(vec![Action::SetField { field: VlanVid, value: 7 }]),
+                    Instruction::GotoTable(1),
+                ],
+            ),
+        )
+        .unwrap();
+        p.add_flow(
+            1,
+            FlowEntry::new(
+                1,
+                FlowMatch::any().with_exact(VlanVid, 7).unwrap(),
+                vec![Instruction::WriteActions(vec![Action::Output(1)])],
+            ),
+        )
+        .unwrap();
+        let r = p.process(&HeaderValues::new().with(VlanVid, 1));
+        assert_eq!(r.verdict, Verdict::Output(1));
+        assert_eq!(r.final_header.get(VlanVid), Some(7));
+    }
+
+    #[test]
+    fn clear_actions_drops() {
+        let mut p = Pipeline::with_tables(2);
+        p.add_flow(
+            0,
+            FlowEntry::new(
+                1,
+                FlowMatch::any(),
+                vec![
+                    Instruction::WriteActions(vec![Action::Output(1)]),
+                    Instruction::GotoTable(1),
+                ],
+            ),
+        )
+        .unwrap();
+        p.add_flow(1, FlowEntry::new(1, FlowMatch::any(), vec![Instruction::ClearActions]))
+            .unwrap();
+        let r = p.process(&HeaderValues::new());
+        assert_eq!(r.verdict, Verdict::Drop);
+        assert!(r.action_set.is_empty());
+    }
+
+    #[test]
+    fn empty_pipeline_drops() {
+        let mut p = Pipeline::default();
+        let r = p.process(&HeaderValues::new());
+        assert_eq!(r.verdict, Verdict::Drop);
+        assert!(r.path.is_empty());
+    }
+
+    #[test]
+    fn explicit_controller_output() {
+        let mut p = Pipeline::with_tables(1);
+        p.add_flow(
+            0,
+            FlowEntry::new(
+                0,
+                FlowMatch::any(),
+                vec![Instruction::WriteActions(vec![Action::Output(port::CONTROLLER)])],
+            ),
+        )
+        .unwrap();
+        let r = p.process(&HeaderValues::new());
+        assert_eq!(r.verdict, Verdict::ToController);
+    }
+
+    #[test]
+    fn vlan_pop_unsets_fields() {
+        let mut p = Pipeline::with_tables(1);
+        p.add_flow(
+            0,
+            FlowEntry::new(
+                1,
+                FlowMatch::any(),
+                vec![Instruction::ApplyActions(vec![Action::PopVlan])],
+            ),
+        )
+        .unwrap();
+        let r = p.process(&HeaderValues::new().with(VlanVid, 5).with(VlanPcp, 2));
+        assert!(!r.final_header.contains(VlanVid));
+        assert!(!r.final_header.contains(VlanPcp));
+    }
+}

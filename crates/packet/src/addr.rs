@@ -1,0 +1,145 @@
+//! Link-layer addresses.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 48-bit IEEE 802 MAC address.
+///
+/// The paper's MAC-filter analysis splits this into three 16-bit
+/// partitions (higher / middle / lower); [`MacAddr::partition16`] exposes
+/// exactly that split.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// Broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xFF; 6]);
+
+    /// Builds from the numeric 48-bit value (low 48 bits of `v`).
+    #[must_use]
+    pub fn from_u64(v: u64) -> Self {
+        let b = v.to_be_bytes();
+        MacAddr([b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+
+    /// The numeric 48-bit value.
+    #[must_use]
+    pub fn to_u64(self) -> u64 {
+        let b = self.0;
+        u64::from_be_bytes([0, 0, b[0], b[1], b[2], b[3], b[4], b[5]])
+    }
+
+    /// The 16-bit partition `i` (0 = higher, 1 = middle, 2 = lower), as in
+    /// the paper's Table III field split.
+    #[must_use]
+    pub fn partition16(self, i: usize) -> u16 {
+        assert!(i < 3, "MAC has three 16-bit partitions");
+        u16::from_be_bytes([self.0[2 * i], self.0[2 * i + 1]])
+    }
+
+    /// The 24-bit Organizationally Unique Identifier (vendor prefix).
+    #[must_use]
+    pub fn oui(self) -> u32 {
+        u32::from_be_bytes([0, self.0[0], self.0[1], self.0[2]])
+    }
+
+    /// Whether the group (multicast) bit is set.
+    #[must_use]
+    pub fn is_multicast(self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+/// Error parsing a MAC address from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacParseError(String);
+
+impl fmt::Display for MacParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address: {}", self.0)
+    }
+}
+
+impl std::error::Error for MacParseError {}
+
+impl FromStr for MacAddr {
+    type Err = MacParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut bytes = [0u8; 6];
+        let mut n = 0;
+        for part in s.split(|c| c == ':' || c == '-') {
+            if n == 6 {
+                return Err(MacParseError(s.to_owned()));
+            }
+            bytes[n] =
+                u8::from_str_radix(part, 16).map_err(|_| MacParseError(s.to_owned()))?;
+            n += 1;
+        }
+        if n != 6 {
+            return Err(MacParseError(s.to_owned()));
+        }
+        Ok(MacAddr(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trip() {
+        let m = MacAddr([0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF]);
+        assert_eq!(m.to_u64(), 0xAABB_CCDD_EEFF);
+        assert_eq!(MacAddr::from_u64(0xAABB_CCDD_EEFF), m);
+        assert_eq!(MacAddr::from_u64(m.to_u64()), m);
+    }
+
+    #[test]
+    fn partitions_match_paper_split() {
+        let m = MacAddr([0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF]);
+        assert_eq!(m.partition16(0), 0xAABB); // higher
+        assert_eq!(m.partition16(1), 0xCCDD); // middle
+        assert_eq!(m.partition16(2), 0xEEFF); // lower
+    }
+
+    #[test]
+    #[should_panic(expected = "three 16-bit partitions")]
+    fn partition_index_bounds() {
+        let _ = MacAddr::default().partition16(3);
+    }
+
+    #[test]
+    fn oui_is_top_three_bytes() {
+        let m = MacAddr([0x00, 0x1B, 0x21, 0x01, 0x02, 0x03]);
+        assert_eq!(m.oui(), 0x001B21);
+    }
+
+    #[test]
+    fn multicast_bit() {
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr([0xAA, 0, 0, 0, 0, 0]).is_multicast());
+        assert!(MacAddr([0x01, 0, 0, 0, 0, 0]).is_multicast());
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let m: MacAddr = "aa:bb:cc:dd:ee:ff".parse().unwrap();
+        assert_eq!(m.to_string(), "aa:bb:cc:dd:ee:ff");
+        let m2: MacAddr = "AA-BB-CC-DD-EE-FF".parse().unwrap();
+        assert_eq!(m, m2);
+        assert!("aa:bb:cc".parse::<MacAddr>().is_err());
+        assert!("aa:bb:cc:dd:ee:ff:00".parse::<MacAddr>().is_err());
+        assert!("zz:bb:cc:dd:ee:ff".parse::<MacAddr>().is_err());
+    }
+}

@@ -1,0 +1,387 @@
+//! Layered packet construction.
+//!
+//! [`PacketBuilder`] assembles a frame from L2 up, fixing up length and
+//! checksum fields at [`PacketBuilder::build`] time so tests and traces can
+//! describe packets declaratively.
+
+use crate::addr::MacAddr;
+use crate::checksum::transport_checksum_v4;
+use crate::headers::{
+    ethertype, ip_proto, ArpHeader, EthernetHeader, IcmpHeader, Ipv4Header, Ipv6Header,
+    MplsHeader, TcpHeader, UdpHeader, VlanTag,
+};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Layer-3+ content of a frame under construction.
+#[derive(Debug, Clone)]
+enum L3 {
+    None,
+    Arp(ArpHeader),
+    Ipv4(Ipv4Header, L4),
+    Ipv6(Ipv6Header, L4),
+}
+
+/// Layer-4 content.
+#[derive(Debug, Clone)]
+enum L4 {
+    None,
+    Tcp(TcpHeader),
+    Udp(UdpHeader),
+    Icmp(IcmpHeader),
+    Raw(Vec<u8>),
+}
+
+/// A declarative packet builder.
+///
+/// ```
+/// use ofpacket::{PacketBuilder, MacAddr};
+/// use std::net::Ipv4Addr;
+///
+/// let bytes = PacketBuilder::ethernet(
+///         MacAddr::from_u64(0x020000000001),
+///         MacAddr::from_u64(0x020000000002),
+///     )
+///     .vlan(100, 3)
+///     .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+///     .tcp(12345, 80)
+///     .payload(b"hello".to_vec())
+///     .build();
+/// assert!(bytes.len() >= 14 + 4 + 20 + 20 + 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    vlans: Vec<(u16, u8)>,
+    mpls: Vec<MplsHeader>,
+    l3: L3,
+    payload: Vec<u8>,
+}
+
+impl PacketBuilder {
+    /// Starts a frame with the given Ethernet addresses.
+    #[must_use]
+    pub fn ethernet(src: MacAddr, dst: MacAddr) -> Self {
+        Self {
+            src_mac: src,
+            dst_mac: dst,
+            vlans: Vec::new(),
+            mpls: Vec::new(),
+            l3: L3::None,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Pushes an 802.1Q tag (outermost first).
+    #[must_use]
+    pub fn vlan(mut self, vid: u16, pcp: u8) -> Self {
+        self.vlans.push((vid, pcp));
+        self
+    }
+
+    /// Pushes an MPLS label (outermost first; bottom-of-stack bits are
+    /// fixed automatically).
+    #[must_use]
+    pub fn mpls(mut self, label: u32, tc: u8, ttl: u8) -> Self {
+        self.mpls.push(MplsHeader { label, tc, bos: false, ttl });
+        self
+    }
+
+    /// Sets an ARP body.
+    #[must_use]
+    pub fn arp(mut self, arp: ArpHeader) -> Self {
+        self.l3 = L3::Arp(arp);
+        self
+    }
+
+    /// Sets an IPv4 layer.
+    #[must_use]
+    pub fn ipv4(mut self, src: Ipv4Addr, dst: Ipv4Addr) -> Self {
+        self.l3 = L3::Ipv4(Ipv4Header::template(src, dst, 0), L4::None);
+        self
+    }
+
+    /// Adjusts the pending IPv4 header (DSCP, TTL, ...).
+    #[must_use]
+    pub fn ipv4_with(mut self, f: impl FnOnce(&mut Ipv4Header)) -> Self {
+        if let L3::Ipv4(ref mut h, _) = self.l3 {
+            f(h);
+        }
+        self
+    }
+
+    /// Sets an IPv6 layer.
+    #[must_use]
+    pub fn ipv6(mut self, src: Ipv6Addr, dst: Ipv6Addr) -> Self {
+        self.l3 = L3::Ipv6(
+            Ipv6Header {
+                traffic_class: 0,
+                flow_label: 0,
+                payload_len: 0,
+                next_header: 59, // no next header
+                hop_limit: 64,
+                src,
+                dst,
+            },
+            L4::None,
+        );
+        self
+    }
+
+    /// Adds a TCP segment.
+    #[must_use]
+    pub fn tcp(mut self, src_port: u16, dst_port: u16) -> Self {
+        self.set_l4(L4::Tcp(TcpHeader::template(src_port, dst_port)), ip_proto::TCP);
+        self
+    }
+
+    /// Adds a UDP datagram.
+    #[must_use]
+    pub fn udp(mut self, src_port: u16, dst_port: u16) -> Self {
+        self.set_l4(
+            L4::Udp(UdpHeader { src_port, dst_port, length: 0, checksum: 0 }),
+            ip_proto::UDP,
+        );
+        self
+    }
+
+    /// Adds an ICMP echo-request header.
+    #[must_use]
+    pub fn icmp(mut self, icmp_type: u8, code: u8) -> Self {
+        self.set_l4(L4::Icmp(IcmpHeader { icmp_type, code, checksum: 0 }), ip_proto::ICMP);
+        self
+    }
+
+    /// Adds an opaque L4 payload with an explicit protocol number.
+    #[must_use]
+    pub fn raw_l4(mut self, proto: u8, data: Vec<u8>) -> Self {
+        self.set_l4(L4::Raw(data), proto);
+        self
+    }
+
+    /// Appends application payload bytes.
+    #[must_use]
+    pub fn payload(mut self, data: Vec<u8>) -> Self {
+        self.payload = data;
+        self
+    }
+
+    fn set_l4(&mut self, l4: L4, proto: u8) {
+        match self.l3 {
+            L3::Ipv4(ref mut h, ref mut slot) => {
+                h.protocol = proto;
+                *slot = l4;
+            }
+            L3::Ipv6(ref mut h, ref mut slot) => {
+                h.next_header = proto;
+                *slot = l4;
+            }
+            _ => panic!("set an IP layer before L4"),
+        }
+    }
+
+    /// Serializes the frame, fixing lengths and checksums.
+    #[must_use]
+    pub fn build(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+
+        // Decide the Ethernet ethertype chain: VLANs, then MPLS/L3.
+        let inner_ethertype = match (&self.mpls.is_empty(), &self.l3) {
+            (false, _) => ethertype::MPLS,
+            (true, L3::Arp(_)) => ethertype::ARP,
+            (true, L3::Ipv4(..)) => ethertype::IPV4,
+            (true, L3::Ipv6(..)) => ethertype::IPV6,
+            (true, L3::None) => 0xFFFF,
+        };
+        let first_ethertype =
+            if self.vlans.is_empty() { inner_ethertype } else { ethertype::VLAN };
+        EthernetHeader { dst: self.dst_mac, src: self.src_mac, ethertype: first_ethertype }
+            .write_to(&mut out);
+        for (i, (vid, pcp)) in self.vlans.iter().enumerate() {
+            let next =
+                if i + 1 < self.vlans.len() { ethertype::VLAN } else { inner_ethertype };
+            VlanTag { pcp: *pcp, dei: false, vid: *vid, ethertype: next }.write_to(&mut out);
+        }
+        for (i, shim) in self.mpls.iter().enumerate() {
+            let mut s = *shim;
+            s.bos = i + 1 == self.mpls.len();
+            s.write_to(&mut out);
+        }
+
+        // L4 segment bytes (checksummed against the pseudo-header below).
+        let mut segment = Vec::new();
+        let l4 = match &self.l3 {
+            L3::Ipv4(_, l4) | L3::Ipv6(_, l4) => l4,
+            _ => &L4::None,
+        };
+        match l4 {
+            L4::Tcp(t) => {
+                t.write_to(&mut segment);
+                segment.extend_from_slice(&self.payload);
+            }
+            L4::Udp(u) => {
+                let mut u = *u;
+                u.length = (UdpHeader::LEN + self.payload.len()) as u16;
+                u.write_to(&mut segment);
+                segment.extend_from_slice(&self.payload);
+            }
+            L4::Icmp(c) => {
+                c.write_to(&mut segment);
+                segment.extend_from_slice(&self.payload);
+            }
+            L4::Raw(d) => {
+                segment.extend_from_slice(d);
+                segment.extend_from_slice(&self.payload);
+            }
+            L4::None => segment.extend_from_slice(&self.payload),
+        }
+
+        match self.l3 {
+            L3::None => out.extend_from_slice(&self.payload),
+            L3::Arp(arp) => arp.write_to(&mut out),
+            L3::Ipv4(mut h, ref l4) => {
+                h.total_len = (h.header_len() + segment.len()) as u16;
+                if let L4::Tcp(_) | L4::Udp(_) = l4 {
+                    let ck = transport_checksum_v4(
+                        h.src.octets(),
+                        h.dst.octets(),
+                        h.protocol,
+                        &segment,
+                    );
+                    // Checksum slot is at offset 16 (TCP) / 6 (UDP) of the
+                    // segment.
+                    let off = if matches!(l4, L4::Tcp(_)) { 16 } else { 6 };
+                    segment[off] = (ck >> 8) as u8;
+                    segment[off + 1] = (ck & 0xFF) as u8;
+                }
+                h.write_to(&mut out);
+                out.extend_from_slice(&segment);
+            }
+            L3::Ipv6(mut h, _) => {
+                h.payload_len = segment.len() as u16;
+                h.write_to(&mut out);
+                out.extend_from_slice(&segment);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum::verify;
+
+    fn macs() -> (MacAddr, MacAddr) {
+        (MacAddr::from_u64(0x02_0000_000001), MacAddr::from_u64(0x02_0000_000002))
+    }
+
+    #[test]
+    fn plain_ipv4_tcp_frame() {
+        let (s, d) = macs();
+        let bytes = PacketBuilder::ethernet(s, d)
+            .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .tcp(1234, 80)
+            .build();
+        assert_eq!(bytes.len(), 14 + 20 + 20);
+        // Ethertype at offset 12.
+        assert_eq!(&bytes[12..14], &ethertype::IPV4.to_be_bytes());
+        // IPv4 checksum valid over its 20 bytes.
+        assert!(verify(&bytes[14..34]));
+    }
+
+    #[test]
+    fn vlan_tag_inserted() {
+        let (s, d) = macs();
+        let bytes = PacketBuilder::ethernet(s, d)
+            .vlan(100, 5)
+            .ipv4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
+            .udp(53, 53)
+            .build();
+        assert_eq!(&bytes[12..14], &ethertype::VLAN.to_be_bytes());
+        let (tag, _) = VlanTag::parse(&bytes[14..]).unwrap();
+        assert_eq!(tag.vid, 100);
+        assert_eq!(tag.pcp, 5);
+        assert_eq!(tag.ethertype, ethertype::IPV4);
+    }
+
+    #[test]
+    fn double_vlan_chains_tpids() {
+        let (s, d) = macs();
+        let bytes = PacketBuilder::ethernet(s, d)
+            .vlan(10, 0)
+            .vlan(20, 0)
+            .ipv4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
+            .build();
+        let (outer, _) = VlanTag::parse(&bytes[14..]).unwrap();
+        assert_eq!(outer.vid, 10);
+        assert_eq!(outer.ethertype, ethertype::VLAN);
+        let (inner, _) = VlanTag::parse(&bytes[18..]).unwrap();
+        assert_eq!(inner.vid, 20);
+        assert_eq!(inner.ethertype, ethertype::IPV4);
+    }
+
+    #[test]
+    fn mpls_bottom_of_stack_set_on_last() {
+        let (s, d) = macs();
+        let bytes = PacketBuilder::ethernet(s, d)
+            .mpls(1000, 0, 64)
+            .mpls(2000, 0, 64)
+            .ipv4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
+            .build();
+        assert_eq!(&bytes[12..14], &ethertype::MPLS.to_be_bytes());
+        let (outer, _) = MplsHeader::parse(&bytes[14..]).unwrap();
+        let (inner, _) = MplsHeader::parse(&bytes[18..]).unwrap();
+        assert!(!outer.bos);
+        assert!(inner.bos);
+        assert_eq!(outer.label, 1000);
+        assert_eq!(inner.label, 2000);
+    }
+
+    #[test]
+    fn udp_length_and_checksum_fixed_up() {
+        let (s, d) = macs();
+        let bytes = PacketBuilder::ethernet(s, d)
+            .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 9))
+            .udp(1111, 2222)
+            .payload(vec![0xAA; 10])
+            .build();
+        let (udp, _) = UdpHeader::parse(&bytes[34..]).unwrap();
+        assert_eq!(udp.length, 18);
+        assert_ne!(udp.checksum, 0);
+    }
+
+    #[test]
+    fn arp_frame() {
+        let (s, d) = macs();
+        let arp = ArpHeader {
+            operation: 1,
+            sender_mac: s,
+            sender_ip: Ipv4Addr::new(10, 0, 0, 1),
+            target_mac: MacAddr::default(),
+            target_ip: Ipv4Addr::new(10, 0, 0, 2),
+        };
+        let bytes = PacketBuilder::ethernet(s, d).arp(arp).build();
+        assert_eq!(&bytes[12..14], &ethertype::ARP.to_be_bytes());
+        assert_eq!(bytes.len(), 14 + 28);
+    }
+
+    #[test]
+    fn ipv6_payload_len() {
+        let (s, d) = macs();
+        let bytes = PacketBuilder::ethernet(s, d)
+            .ipv6(Ipv6Addr::LOCALHOST, Ipv6Addr::UNSPECIFIED)
+            .udp(1, 2)
+            .payload(vec![0; 4])
+            .build();
+        let (v6, _) = Ipv6Header::parse(&bytes[14..]).unwrap();
+        assert_eq!(v6.payload_len, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "set an IP layer")]
+    fn l4_without_l3_panics() {
+        let (s, d) = macs();
+        let _ = PacketBuilder::ethernet(s, d).tcp(1, 2);
+    }
+}

@@ -1,0 +1,90 @@
+//! The Internet checksum (RFC 1071) used by IPv4, TCP, UDP and ICMP.
+
+/// One's-complement sum of 16-bit words, folded to 16 bits. Odd trailing
+/// bytes are padded with zero, per RFC 1071.
+#[must_use]
+pub fn ones_complement_sum(data: &[u8], initial: u32) -> u32 {
+    let mut sum = initial;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    sum
+}
+
+/// Internet checksum over `data` (the one's complement of the folded sum).
+#[must_use]
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    !(ones_complement_sum(data, 0) as u16)
+}
+
+/// TCP/UDP checksum with the IPv4 pseudo-header.
+#[must_use]
+pub fn transport_checksum_v4(src: [u8; 4], dst: [u8; 4], proto: u8, segment: &[u8]) -> u16 {
+    let mut pseudo = Vec::with_capacity(12 + segment.len());
+    pseudo.extend_from_slice(&src);
+    pseudo.extend_from_slice(&dst);
+    pseudo.push(0);
+    pseudo.push(proto);
+    pseudo.extend_from_slice(&(segment.len() as u16).to_be_bytes());
+    pseudo.extend_from_slice(segment);
+    internet_checksum(&pseudo)
+}
+
+/// Verifies a checksummed region: the folded sum including the stored
+/// checksum must be `0xFFFF`.
+#[must_use]
+pub fn verify(data: &[u8]) -> bool {
+    ones_complement_sum(data, 0) == 0xFFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 1071 §3 worked example.
+    #[test]
+    fn rfc1071_example() {
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(ones_complement_sum(&data, 0), 0xddf2);
+        assert_eq!(internet_checksum(&data), !0xddf2u16);
+    }
+
+    #[test]
+    fn odd_length_pads_zero() {
+        assert_eq!(ones_complement_sum(&[0xAB], 0), 0xAB00);
+    }
+
+    #[test]
+    fn verify_accepts_valid_region() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11];
+        data.extend_from_slice(&[0, 0]); // checksum placeholder
+        data.extend_from_slice(&[10, 0, 0, 1, 10, 0, 0, 2]);
+        let ck = internet_checksum(&data);
+        data[10] = (ck >> 8) as u8;
+        data[11] = (ck & 0xFF) as u8;
+        assert!(verify(&data));
+        data[0] ^= 1;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn empty_data_checksums_to_all_ones() {
+        assert_eq!(internet_checksum(&[]), 0xFFFF);
+        assert!(ones_complement_sum(&[], 0) == 0);
+    }
+
+    #[test]
+    fn pseudo_header_changes_transport_checksum() {
+        let seg = [0u8; 8];
+        let a = transport_checksum_v4([10, 0, 0, 1], [10, 0, 0, 2], 17, &seg);
+        let b = transport_checksum_v4([10, 0, 0, 1], [10, 0, 0, 3], 17, &seg);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,332 @@
+//! Full-stack parsing and OXM field extraction.
+//!
+//! [`parse_packet`] walks a frame from the Ethernet header upward and
+//! produces a [`ParsedPacket`]; [`ParsedPacket::header_values`] flattens it
+//! into [`oflow::HeaderValues`] — the representation every classifier in
+//! this workspace consumes. Field presence follows OpenFlow prerequisites:
+//! `tcp_dst` only exists on TCP packets, `vlan_vid` only on tagged frames,
+//! and so on.
+
+use crate::headers::{
+    ethertype, ip_proto, ArpHeader, EthernetHeader, HeaderError, IcmpHeader, Ipv4Header,
+    Ipv6Header, MplsHeader, TcpHeader, UdpHeader, VlanTag,
+};
+use oflow::{HeaderValues, MatchFieldKind};
+
+/// Error from full-stack parsing.
+pub type ParseError = HeaderError;
+
+/// A fully parsed frame.
+#[derive(Debug, Clone)]
+pub struct ParsedPacket {
+    /// The Ethernet header.
+    pub ethernet: EthernetHeader,
+    /// VLAN tags, outermost first.
+    pub vlans: Vec<VlanTag>,
+    /// MPLS label stack, outermost first.
+    pub mpls: Vec<MplsHeader>,
+    /// IPv4 header, if present.
+    pub ipv4: Option<Ipv4Header>,
+    /// IPv6 header, if present.
+    pub ipv6: Option<Ipv6Header>,
+    /// ARP body, if present.
+    pub arp: Option<ArpHeader>,
+    /// TCP header, if present.
+    pub tcp: Option<TcpHeader>,
+    /// UDP header, if present.
+    pub udp: Option<UdpHeader>,
+    /// ICMP header, if present.
+    pub icmp: Option<IcmpHeader>,
+    /// Offset of the (unparsed) payload within the original frame.
+    pub payload_offset: usize,
+}
+
+/// Parses a frame from the Ethernet layer upward.
+///
+/// Unknown ethertypes / protocols stop the walk without failing: whatever
+/// was recognised is returned and the rest is payload.
+pub fn parse_packet(frame: &[u8]) -> Result<ParsedPacket, ParseError> {
+    let (eth, mut off) = EthernetHeader::parse(frame)?;
+    let mut pkt = ParsedPacket {
+        ethernet: eth,
+        vlans: Vec::new(),
+        mpls: Vec::new(),
+        ipv4: None,
+        ipv6: None,
+        arp: None,
+        tcp: None,
+        udp: None,
+        icmp: None,
+        payload_offset: off,
+    };
+
+    let mut ety = eth.ethertype;
+    while ety == ethertype::VLAN || ety == ethertype::QINQ {
+        let (tag, used) = VlanTag::parse(&frame[off..])?;
+        off += used;
+        ety = tag.ethertype;
+        pkt.vlans.push(tag);
+    }
+    if ety == ethertype::MPLS {
+        loop {
+            let (shim, used) = MplsHeader::parse(&frame[off..])?;
+            off += used;
+            let bos = shim.bos;
+            pkt.mpls.push(shim);
+            if bos {
+                break;
+            }
+        }
+        // Per RFC 4928 heuristics: first nibble 4 => IPv4, 6 => IPv6.
+        ety = match frame.get(off).map(|b| b >> 4) {
+            Some(4) => ethertype::IPV4,
+            Some(6) => ethertype::IPV6,
+            _ => 0,
+        };
+    }
+
+    let mut proto = None;
+    match ety {
+        ethertype::ARP => {
+            let (arp, used) = ArpHeader::parse(&frame[off..])?;
+            off += used;
+            pkt.arp = Some(arp);
+        }
+        ethertype::IPV4 => {
+            let (ip, used) = Ipv4Header::parse(&frame[off..])?;
+            off += used;
+            proto = Some(ip.protocol);
+            pkt.ipv4 = Some(ip);
+        }
+        ethertype::IPV6 => {
+            let (ip, used) = Ipv6Header::parse(&frame[off..])?;
+            off += used;
+            proto = Some(ip.next_header);
+            pkt.ipv6 = Some(ip);
+        }
+        _ => {}
+    }
+
+    match proto {
+        Some(ip_proto::TCP) => {
+            let (t, used) = TcpHeader::parse(&frame[off..])?;
+            off += used;
+            pkt.tcp = Some(t);
+        }
+        Some(ip_proto::UDP) => {
+            let (u, used) = UdpHeader::parse(&frame[off..])?;
+            off += used;
+            pkt.udp = Some(u);
+        }
+        Some(ip_proto::ICMP) => {
+            let (c, used) = IcmpHeader::parse(&frame[off..])?;
+            off += used;
+            pkt.icmp = Some(c);
+        }
+        _ => {}
+    }
+
+    pkt.payload_offset = off;
+    Ok(pkt)
+}
+
+impl ParsedPacket {
+    /// Flattens the parsed layers into OXM header values, stamping the
+    /// given ingress port.
+    #[must_use]
+    pub fn header_values(&self, in_port: u32) -> HeaderValues {
+        use MatchFieldKind::*;
+        let mut h = HeaderValues::new();
+        h.set(InPort, u128::from(in_port));
+        h.set(EthDst, u128::from(self.ethernet.dst.to_u64()));
+        h.set(EthSrc, u128::from(self.ethernet.src.to_u64()));
+
+        // eth_type is the type of the innermost non-tag payload, per
+        // OpenFlow (tags are matched via their own fields).
+        let mut ety = self.ethernet.ethertype;
+        if let Some(last_tag) = self.vlans.last() {
+            ety = last_tag.ethertype;
+        }
+        if !self.mpls.is_empty() {
+            ety = ethertype::MPLS;
+        }
+        h.set(EthType, u128::from(ety));
+
+        if let Some(tag) = self.vlans.first() {
+            h.set(VlanVid, u128::from(tag.openflow_vid()));
+            h.set(VlanPcp, u128::from(tag.pcp));
+        }
+        if let Some(shim) = self.mpls.first() {
+            h.set(MplsLabel, u128::from(shim.label));
+            h.set(MplsTc, u128::from(shim.tc));
+            h.set(MplsBos, u128::from(shim.bos));
+        }
+        if let Some(arp) = &self.arp {
+            h.set(ArpOp, u128::from(arp.operation));
+            h.set(ArpSpa, u128::from(u32::from(arp.sender_ip)));
+            h.set(ArpTpa, u128::from(u32::from(arp.target_ip)));
+            h.set(ArpSha, u128::from(arp.sender_mac.to_u64()));
+            h.set(ArpTha, u128::from(arp.target_mac.to_u64()));
+        }
+        if let Some(ip) = &self.ipv4 {
+            h.set(Ipv4Src, u128::from(u32::from(ip.src)));
+            h.set(Ipv4Dst, u128::from(u32::from(ip.dst)));
+            h.set(IpProto, u128::from(ip.protocol));
+            h.set(IpDscp, u128::from(ip.dscp));
+            h.set(IpEcn, u128::from(ip.ecn));
+        }
+        if let Some(ip) = &self.ipv6 {
+            h.set(Ipv6Src, u128::from_be_bytes(ip.src.octets()));
+            h.set(Ipv6Dst, u128::from_be_bytes(ip.dst.octets()));
+            h.set(IpProto, u128::from(ip.next_header));
+            h.set(IpDscp, u128::from(ip.dscp()));
+            h.set(Ipv6Flabel, u128::from(ip.flow_label));
+        }
+        if let Some(t) = &self.tcp {
+            h.set(TcpSrc, u128::from(t.src_port));
+            h.set(TcpDst, u128::from(t.dst_port));
+        }
+        if let Some(u) = &self.udp {
+            h.set(UdpSrc, u128::from(u.src_port));
+            h.set(UdpDst, u128::from(u.dst_port));
+        }
+        if let Some(c) = &self.icmp {
+            h.set(Icmpv4Type, u128::from(c.icmp_type));
+            h.set(Icmpv4Code, u128::from(c.code));
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::MacAddr;
+    use crate::builder::PacketBuilder;
+    use oflow::MatchFieldKind::*;
+    use std::net::Ipv4Addr;
+
+    fn macs() -> (MacAddr, MacAddr) {
+        (MacAddr::from_u64(0x02_0000_000001), MacAddr::from_u64(0x02_0000_000002))
+    }
+
+    #[test]
+    fn tcp_over_vlan_extraction() {
+        let (s, d) = macs();
+        let frame = PacketBuilder::ethernet(s, d)
+            .vlan(100, 3)
+            .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(192, 168, 1, 1))
+            .tcp(4444, 80)
+            .build();
+        let pkt = parse_packet(&frame).unwrap();
+        assert_eq!(pkt.vlans.len(), 1);
+        let h = pkt.header_values(7);
+        assert_eq!(h.get(InPort), Some(7));
+        assert_eq!(h.get(VlanVid), Some(0x1000 | 100));
+        assert_eq!(h.get(VlanPcp), Some(3));
+        assert_eq!(h.get(EthType), Some(0x0800));
+        assert_eq!(h.get(Ipv4Dst), Some(u128::from(u32::from(Ipv4Addr::new(192, 168, 1, 1)))));
+        assert_eq!(h.get(TcpDst), Some(80));
+        assert_eq!(h.get(UdpDst), None);
+        assert_eq!(h.get(EthDst), Some(0x02_0000_000002));
+    }
+
+    #[test]
+    fn untagged_frame_has_no_vlan_fields() {
+        let (s, d) = macs();
+        let frame = PacketBuilder::ethernet(s, d)
+            .ipv4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
+            .udp(53, 53)
+            .build();
+        let h = parse_packet(&frame).unwrap().header_values(0);
+        assert_eq!(h.get(VlanVid), None);
+        assert_eq!(h.get(UdpSrc), Some(53));
+        assert_eq!(h.get(TcpSrc), None);
+    }
+
+    #[test]
+    fn mpls_stack_extraction() {
+        let (s, d) = macs();
+        let frame = PacketBuilder::ethernet(s, d)
+            .mpls(12345, 2, 64)
+            .ipv4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
+            .build();
+        let pkt = parse_packet(&frame).unwrap();
+        assert_eq!(pkt.mpls.len(), 1);
+        // MPLS payload heuristic recovered the IPv4 layer.
+        assert!(pkt.ipv4.is_some());
+        let h = pkt.header_values(0);
+        assert_eq!(h.get(MplsLabel), Some(12345));
+        assert_eq!(h.get(EthType), Some(u128::from(ethertype::MPLS)));
+    }
+
+    #[test]
+    fn arp_extraction() {
+        let (s, d) = macs();
+        let arp = ArpHeader {
+            operation: 2,
+            sender_mac: s,
+            sender_ip: Ipv4Addr::new(10, 0, 0, 1),
+            target_mac: d,
+            target_ip: Ipv4Addr::new(10, 0, 0, 2),
+        };
+        let frame = PacketBuilder::ethernet(s, d).arp(arp).build();
+        let h = parse_packet(&frame).unwrap().header_values(1);
+        assert_eq!(h.get(ArpOp), Some(2));
+        assert_eq!(h.get(ArpTpa), Some(u128::from(u32::from(Ipv4Addr::new(10, 0, 0, 2)))));
+        assert_eq!(h.get(Ipv4Dst), None);
+    }
+
+    #[test]
+    fn icmp_extraction() {
+        let (s, d) = macs();
+        let frame = PacketBuilder::ethernet(s, d)
+            .ipv4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
+            .icmp(8, 0)
+            .build();
+        let h = parse_packet(&frame).unwrap().header_values(0);
+        assert_eq!(h.get(Icmpv4Type), Some(8));
+        assert_eq!(h.get(Icmpv4Code), Some(0));
+    }
+
+    #[test]
+    fn unknown_ethertype_is_payload() {
+        let (s, d) = macs();
+        let mut frame = Vec::new();
+        crate::headers::EthernetHeader { dst: d, src: s, ethertype: 0x9999 }
+            .write_to(&mut frame);
+        frame.extend_from_slice(&[1, 2, 3]);
+        let pkt = parse_packet(&frame).unwrap();
+        assert!(pkt.ipv4.is_none());
+        assert_eq!(pkt.payload_offset, 14);
+        let h = pkt.header_values(0);
+        assert_eq!(h.get(EthType), Some(0x9999));
+    }
+
+    #[test]
+    fn truncated_inner_layer_fails() {
+        let (s, d) = macs();
+        let frame = PacketBuilder::ethernet(s, d)
+            .ipv4(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2))
+            .tcp(1, 2)
+            .build();
+        assert!(parse_packet(&frame[..40]).is_err());
+    }
+
+    #[test]
+    fn ipv6_extraction() {
+        use std::net::Ipv6Addr;
+        let (s, d) = macs();
+        let frame = PacketBuilder::ethernet(s, d)
+            .ipv6(
+                Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1),
+                Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2),
+            )
+            .tcp(1000, 443)
+            .build();
+        let h = parse_packet(&frame).unwrap().header_values(0);
+        assert_eq!(h.get(TcpDst), Some(443));
+        assert!(h.get(Ipv6Dst).is_some());
+        assert_eq!(h.get(Ipv4Dst), None);
+    }
+}

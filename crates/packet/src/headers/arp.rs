@@ -1,0 +1,102 @@
+//! ARP header (Ethernet/IPv4 flavour).
+
+use super::{need, HeaderError};
+use crate::addr::MacAddr;
+use std::net::Ipv4Addr;
+
+/// An ARP packet for Ethernet + IPv4 (28 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpHeader {
+    /// Operation: 1 = request, 2 = reply.
+    pub operation: u16,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address.
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpHeader {
+    /// Serialized length in bytes.
+    pub const LEN: usize = 28;
+
+    /// Appends the packet to `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&1u16.to_be_bytes()); // htype = Ethernet
+        out.extend_from_slice(&0x0800u16.to_be_bytes()); // ptype = IPv4
+        out.push(6); // hlen
+        out.push(4); // plen
+        out.extend_from_slice(&self.operation.to_be_bytes());
+        out.extend_from_slice(&self.sender_mac.0);
+        out.extend_from_slice(&self.sender_ip.octets());
+        out.extend_from_slice(&self.target_mac.0);
+        out.extend_from_slice(&self.target_ip.octets());
+    }
+
+    /// Parses the packet; returns it and the bytes consumed.
+    pub fn parse(data: &[u8]) -> Result<(Self, usize), HeaderError> {
+        need("arp", data, Self::LEN)?;
+        if data[4] != 6 || data[5] != 4 {
+            return Err(HeaderError::Malformed { layer: "arp", reason: "not Ethernet/IPv4" });
+        }
+        let mut smac = [0u8; 6];
+        let mut tmac = [0u8; 6];
+        smac.copy_from_slice(&data[8..14]);
+        tmac.copy_from_slice(&data[18..24]);
+        Ok((
+            Self {
+                operation: u16::from_be_bytes([data[6], data[7]]),
+                sender_mac: MacAddr(smac),
+                sender_ip: Ipv4Addr::new(data[14], data[15], data[16], data[17]),
+                target_mac: MacAddr(tmac),
+                target_ip: Ipv4Addr::new(data[24], data[25], data[26], data[27]),
+            },
+            Self::LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let h = ArpHeader {
+            operation: 1,
+            sender_mac: MacAddr([1, 2, 3, 4, 5, 6]),
+            sender_ip: Ipv4Addr::new(10, 0, 0, 1),
+            target_mac: MacAddr::default(),
+            target_ip: Ipv4Addr::new(10, 0, 0, 2),
+        };
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        assert_eq!(buf.len(), 28);
+        let (parsed, used) = ArpHeader::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(used, 28);
+    }
+
+    #[test]
+    fn non_ethernet_ipv4_rejected() {
+        let mut buf = Vec::new();
+        ArpHeader {
+            operation: 1,
+            sender_mac: MacAddr::default(),
+            sender_ip: Ipv4Addr::UNSPECIFIED,
+            target_mac: MacAddr::default(),
+            target_ip: Ipv4Addr::UNSPECIFIED,
+        }
+        .write_to(&mut buf);
+        buf[4] = 8;
+        assert!(ArpHeader::parse(&buf).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(ArpHeader::parse(&[0u8; 27]).is_err());
+    }
+}

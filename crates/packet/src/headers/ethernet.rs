@@ -1,0 +1,73 @@
+//! Ethernet II header.
+
+use super::{need, HeaderError};
+use crate::addr::MacAddr;
+
+/// An Ethernet II frame header (14 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Ethertype of the payload (or of the first tag).
+    pub ethertype: u16,
+}
+
+impl EthernetHeader {
+    /// Serialized length in bytes.
+    pub const LEN: usize = 14;
+
+    /// Appends the header to `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.dst.0);
+        out.extend_from_slice(&self.src.0);
+        out.extend_from_slice(&self.ethertype.to_be_bytes());
+    }
+
+    /// Parses the header; returns it and the bytes consumed.
+    pub fn parse(data: &[u8]) -> Result<(Self, usize), HeaderError> {
+        need("ethernet", data, Self::LEN)?;
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&data[0..6]);
+        src.copy_from_slice(&data[6..12]);
+        Ok((
+            Self {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype: u16::from_be_bytes([data[12], data[13]]),
+            },
+            Self::LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::headers::ethertype;
+
+    #[test]
+    fn round_trip() {
+        let h = EthernetHeader {
+            dst: MacAddr([1, 2, 3, 4, 5, 6]),
+            src: MacAddr([7, 8, 9, 10, 11, 12]),
+            ethertype: ethertype::IPV4,
+        };
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        assert_eq!(buf.len(), EthernetHeader::LEN);
+        let (parsed, used) = EthernetHeader::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(used, EthernetHeader::LEN);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(matches!(
+            EthernetHeader::parse(&[0u8; 13]),
+            Err(HeaderError::Truncated { layer: "ethernet", .. })
+        ));
+    }
+}

@@ -1,0 +1,59 @@
+//! ICMP header (v4 and v6 share the 4-byte layout we model).
+
+use super::{need, HeaderError};
+
+/// An ICMP header (type, code, checksum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IcmpHeader {
+    /// Message type (8 = echo request for ICMPv4).
+    pub icmp_type: u8,
+    /// Message code.
+    pub code: u8,
+    /// Checksum over the ICMP message.
+    pub checksum: u16,
+}
+
+impl IcmpHeader {
+    /// Serialized length in bytes.
+    pub const LEN: usize = 4;
+
+    /// Appends the header to `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        out.push(self.icmp_type);
+        out.push(self.code);
+        out.extend_from_slice(&self.checksum.to_be_bytes());
+    }
+
+    /// Parses the header; returns it and the bytes consumed.
+    pub fn parse(data: &[u8]) -> Result<(Self, usize), HeaderError> {
+        need("icmp", data, Self::LEN)?;
+        Ok((
+            Self {
+                icmp_type: data[0],
+                code: data[1],
+                checksum: u16::from_be_bytes([data[2], data[3]]),
+            },
+            Self::LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let h = IcmpHeader { icmp_type: 8, code: 0, checksum: 0x1234 };
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        let (parsed, used) = IcmpHeader::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(used, 4);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(IcmpHeader::parse(&[8, 0]).is_err());
+    }
+}

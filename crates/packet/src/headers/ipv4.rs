@@ -1,0 +1,155 @@
+//! IPv4 header.
+
+use super::{need, HeaderError};
+use crate::checksum::internet_checksum;
+use std::net::Ipv4Addr;
+
+/// An IPv4 header (20 bytes without options; options preserved opaquely).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Differentiated services code point (6 bits).
+    pub dscp: u8,
+    /// Explicit congestion notification (2 bits).
+    pub ecn: u8,
+    /// Identification field.
+    pub identification: u16,
+    /// Don't-fragment flag.
+    pub dont_fragment: bool,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol number.
+    pub protocol: u8,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Raw option bytes (length must be a multiple of 4, at most 40).
+    pub options: Vec<u8>,
+    /// Total length field (header + payload); filled by the builder.
+    pub total_len: u16,
+}
+
+impl Ipv4Header {
+    /// Minimum serialized length in bytes.
+    pub const MIN_LEN: usize = 20;
+
+    /// Header length in bytes including options.
+    #[must_use]
+    pub fn header_len(&self) -> usize {
+        Self::MIN_LEN + self.options.len()
+    }
+
+    /// Appends the header (with a correct checksum) to `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        let ihl = (self.header_len() / 4) as u8;
+        let start = out.len();
+        out.push(0x40 | ihl);
+        out.push((self.dscp << 2) | (self.ecn & 0x3));
+        out.extend_from_slice(&self.total_len.to_be_bytes());
+        out.extend_from_slice(&self.identification.to_be_bytes());
+        let flags = u16::from(self.dont_fragment) << 14;
+        out.extend_from_slice(&flags.to_be_bytes());
+        out.push(self.ttl);
+        out.push(self.protocol);
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.dst.octets());
+        out.extend_from_slice(&self.options);
+        let ck = internet_checksum(&out[start..]);
+        out[start + 10] = (ck >> 8) as u8;
+        out[start + 11] = (ck & 0xFF) as u8;
+    }
+
+    /// Parses the header; returns it and the bytes consumed (IHL * 4).
+    pub fn parse(data: &[u8]) -> Result<(Self, usize), HeaderError> {
+        need("ipv4", data, Self::MIN_LEN)?;
+        let version = data[0] >> 4;
+        if version != 4 {
+            return Err(HeaderError::Malformed { layer: "ipv4", reason: "version != 4" });
+        }
+        let ihl = usize::from(data[0] & 0x0F) * 4;
+        if ihl < Self::MIN_LEN {
+            return Err(HeaderError::Malformed { layer: "ipv4", reason: "IHL < 5" });
+        }
+        need("ipv4", data, ihl)?;
+        Ok((
+            Self {
+                dscp: data[1] >> 2,
+                ecn: data[1] & 0x3,
+                total_len: u16::from_be_bytes([data[2], data[3]]),
+                identification: u16::from_be_bytes([data[4], data[5]]),
+                dont_fragment: data[6] & 0x40 != 0,
+                ttl: data[8],
+                protocol: data[9],
+                src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
+                dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
+                options: data[Self::MIN_LEN..ihl].to_vec(),
+            },
+            ihl,
+        ))
+    }
+
+    /// A minimal header template for the builder.
+    #[must_use]
+    pub fn template(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8) -> Self {
+        Self {
+            dscp: 0,
+            ecn: 0,
+            identification: 0,
+            dont_fragment: true,
+            ttl: 64,
+            protocol,
+            src,
+            dst,
+            options: Vec::new(),
+            total_len: Self::MIN_LEN as u16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum::verify;
+
+    #[test]
+    fn round_trip_with_valid_checksum() {
+        let mut h = Ipv4Header::template(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), 6);
+        h.dscp = 46;
+        h.total_len = 40;
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        assert_eq!(buf.len(), 20);
+        assert!(verify(&buf));
+        let (parsed, used) = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(used, 20);
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn options_extend_header() {
+        let mut h = Ipv4Header::template(Ipv4Addr::new(1, 1, 1, 1), Ipv4Addr::new(2, 2, 2, 2), 17);
+        h.options = vec![1, 1, 1, 1]; // 4 bytes of NOP
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        assert_eq!(buf.len(), 24);
+        let (parsed, used) = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(used, 24);
+        assert_eq!(parsed.options, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_bad_ihl() {
+        let mut buf = Vec::new();
+        Ipv4Header::template(Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED, 6).write_to(&mut buf);
+        buf[0] = 0x60 | (buf[0] & 0x0F);
+        assert!(Ipv4Header::parse(&buf).is_err());
+        buf[0] = 0x42; // version 4, IHL 2
+        assert!(Ipv4Header::parse(&buf).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(Ipv4Header::parse(&[0x45; 10]).is_err());
+    }
+}

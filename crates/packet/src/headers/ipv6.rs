@@ -1,0 +1,119 @@
+//! IPv6 header.
+
+use super::{need, HeaderError};
+use std::net::Ipv6Addr;
+
+/// An IPv6 fixed header (40 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv6Header {
+    /// Traffic class (DSCP + ECN).
+    pub traffic_class: u8,
+    /// 20-bit flow label.
+    pub flow_label: u32,
+    /// Payload length in bytes.
+    pub payload_len: u16,
+    /// Next header (protocol) number.
+    pub next_header: u8,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+}
+
+impl Ipv6Header {
+    /// Serialized length in bytes.
+    pub const LEN: usize = 40;
+
+    /// Appends the header to `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        let w = (6u32 << 28)
+            | (u32::from(self.traffic_class) << 20)
+            | (self.flow_label & 0xF_FFFF);
+        out.extend_from_slice(&w.to_be_bytes());
+        out.extend_from_slice(&self.payload_len.to_be_bytes());
+        out.push(self.next_header);
+        out.push(self.hop_limit);
+        out.extend_from_slice(&self.src.octets());
+        out.extend_from_slice(&self.dst.octets());
+    }
+
+    /// Parses the header; returns it and the bytes consumed.
+    pub fn parse(data: &[u8]) -> Result<(Self, usize), HeaderError> {
+        need("ipv6", data, Self::LEN)?;
+        let w = u32::from_be_bytes([data[0], data[1], data[2], data[3]]);
+        if w >> 28 != 6 {
+            return Err(HeaderError::Malformed { layer: "ipv6", reason: "version != 6" });
+        }
+        let mut src = [0u8; 16];
+        let mut dst = [0u8; 16];
+        src.copy_from_slice(&data[8..24]);
+        dst.copy_from_slice(&data[24..40]);
+        Ok((
+            Self {
+                traffic_class: ((w >> 20) & 0xFF) as u8,
+                flow_label: w & 0xF_FFFF,
+                payload_len: u16::from_be_bytes([data[4], data[5]]),
+                next_header: data[6],
+                hop_limit: data[7],
+                src: Ipv6Addr::from(src),
+                dst: Ipv6Addr::from(dst),
+            },
+            Self::LEN,
+        ))
+    }
+
+    /// DSCP portion of the traffic class.
+    #[must_use]
+    pub fn dscp(&self) -> u8 {
+        self.traffic_class >> 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let h = Ipv6Header {
+            traffic_class: 0xB8,
+            flow_label: 0x12345,
+            payload_len: 8,
+            next_header: 17,
+            hop_limit: 64,
+            src: Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 1),
+            dst: Ipv6Addr::new(0x2001, 0xdb8, 0, 0, 0, 0, 0, 2),
+        };
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        assert_eq!(buf.len(), 40);
+        let (parsed, used) = Ipv6Header::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(used, 40);
+        assert_eq!(parsed.dscp(), 0xB8 >> 2);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = Vec::new();
+        Ipv6Header {
+            traffic_class: 0,
+            flow_label: 0,
+            payload_len: 0,
+            next_header: 59,
+            hop_limit: 1,
+            src: Ipv6Addr::UNSPECIFIED,
+            dst: Ipv6Addr::UNSPECIFIED,
+        }
+        .write_to(&mut buf);
+        buf[0] = 0x40 | (buf[0] & 0x0F);
+        assert!(Ipv6Header::parse(&buf).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(Ipv6Header::parse(&[0x60; 39]).is_err());
+    }
+}

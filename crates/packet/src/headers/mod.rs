@@ -1,0 +1,98 @@
+//! Protocol header structures.
+//!
+//! Each header type offers `write_to(&mut Vec<u8>)` (serialize in network
+//! byte order) and `parse(&[u8]) -> Result<(Self, usize), HeaderError>`
+//! returning the header and the number of bytes consumed.
+
+pub mod arp;
+pub mod ethernet;
+pub mod icmp;
+pub mod ipv4;
+pub mod ipv6;
+pub mod mpls;
+pub mod tcp;
+pub mod udp;
+pub mod vlan;
+
+pub use arp::ArpHeader;
+pub use ethernet::EthernetHeader;
+pub use icmp::IcmpHeader;
+pub use ipv4::Ipv4Header;
+pub use ipv6::Ipv6Header;
+pub use mpls::MplsHeader;
+pub use tcp::TcpHeader;
+pub use udp::UdpHeader;
+pub use vlan::VlanTag;
+
+use std::fmt;
+
+/// Well-known ethertypes.
+pub mod ethertype {
+    /// IPv4.
+    pub const IPV4: u16 = 0x0800;
+    /// ARP.
+    pub const ARP: u16 = 0x0806;
+    /// 802.1Q VLAN tag.
+    pub const VLAN: u16 = 0x8100;
+    /// 802.1ad service tag (QinQ outer).
+    pub const QINQ: u16 = 0x88A8;
+    /// IPv6.
+    pub const IPV6: u16 = 0x86DD;
+    /// MPLS unicast.
+    pub const MPLS: u16 = 0x8847;
+}
+
+/// IP protocol numbers.
+pub mod ip_proto {
+    /// ICMP.
+    pub const ICMP: u8 = 1;
+    /// TCP.
+    pub const TCP: u8 = 6;
+    /// UDP.
+    pub const UDP: u8 = 17;
+    /// SCTP.
+    pub const SCTP: u8 = 132;
+}
+
+/// Error parsing a protocol header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeaderError {
+    /// Fewer bytes than the header needs.
+    Truncated {
+        /// Header being parsed.
+        layer: &'static str,
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// A version/size field is inconsistent.
+    Malformed {
+        /// Header being parsed.
+        layer: &'static str,
+        /// What was wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeaderError::Truncated { layer, needed, got } => {
+                write!(f, "{layer}: truncated (need {needed} bytes, got {got})")
+            }
+            HeaderError::Malformed { layer, reason } => write!(f, "{layer}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for HeaderError {}
+
+/// Bounds-checks `data` for a fixed-size header.
+pub(crate) fn need(layer: &'static str, data: &[u8], n: usize) -> Result<(), HeaderError> {
+    if data.len() < n {
+        Err(HeaderError::Truncated { layer, needed: n, got: data.len() })
+    } else {
+        Ok(())
+    }
+}

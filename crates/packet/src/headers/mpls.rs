@@ -1,0 +1,74 @@
+//! MPLS label stack entry.
+
+use super::{need, HeaderError};
+
+/// One MPLS shim (4 bytes): label, traffic class, bottom-of-stack, TTL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MplsHeader {
+    /// 20-bit label.
+    pub label: u32,
+    /// 3-bit traffic class.
+    pub tc: u8,
+    /// Bottom-of-stack flag.
+    pub bos: bool,
+    /// Time to live.
+    pub ttl: u8,
+}
+
+impl MplsHeader {
+    /// Serialized length in bytes.
+    pub const LEN: usize = 4;
+
+    /// Appends the shim to `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        let w = ((self.label & 0xF_FFFF) << 12)
+            | (u32::from(self.tc & 0x7) << 9)
+            | (u32::from(self.bos) << 8)
+            | u32::from(self.ttl);
+        out.extend_from_slice(&w.to_be_bytes());
+    }
+
+    /// Parses one shim; returns it and the bytes consumed.
+    pub fn parse(data: &[u8]) -> Result<(Self, usize), HeaderError> {
+        need("mpls", data, Self::LEN)?;
+        let w = u32::from_be_bytes([data[0], data[1], data[2], data[3]]);
+        Ok((
+            Self {
+                label: w >> 12,
+                tc: ((w >> 9) & 0x7) as u8,
+                bos: w & 0x100 != 0,
+                ttl: (w & 0xFF) as u8,
+            },
+            Self::LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let h = MplsHeader { label: 0xABCDE, tc: 3, bos: true, ttl: 64 };
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        let (parsed, used) = MplsHeader::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(used, 4);
+    }
+
+    #[test]
+    fn label_masked_to_20_bits() {
+        let h = MplsHeader { label: u32::MAX, tc: 0, bos: false, ttl: 1 };
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        let (parsed, _) = MplsHeader::parse(&buf).unwrap();
+        assert_eq!(parsed.label, 0xF_FFFF);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(MplsHeader::parse(&[0u8; 2]).is_err());
+    }
+}

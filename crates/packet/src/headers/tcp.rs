@@ -1,0 +1,148 @@
+//! TCP header.
+
+use super::{need, HeaderError};
+
+/// A TCP header (20 bytes, options preserved opaquely).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flag bits (low 9 bits: NS..FIN).
+    pub flags: u16,
+    /// Receive window.
+    pub window: u16,
+    /// Checksum (written as-is; compute with `checksum::transport_checksum_v4`).
+    pub checksum: u16,
+    /// Urgent pointer.
+    pub urgent: u16,
+    /// Raw option bytes (multiple of 4, at most 40).
+    pub options: Vec<u8>,
+}
+
+/// TCP flag constants.
+pub mod flags {
+    /// Synchronize.
+    pub const SYN: u16 = 0x002;
+    /// Acknowledge.
+    pub const ACK: u16 = 0x010;
+    /// Finish.
+    pub const FIN: u16 = 0x001;
+    /// Reset.
+    pub const RST: u16 = 0x004;
+    /// Push.
+    pub const PSH: u16 = 0x008;
+}
+
+impl TcpHeader {
+    /// Minimum serialized length in bytes.
+    pub const MIN_LEN: usize = 20;
+
+    /// Header length including options.
+    #[must_use]
+    pub fn header_len(&self) -> usize {
+        Self::MIN_LEN + self.options.len()
+    }
+
+    /// Appends the header to `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        let data_offset = (self.header_len() / 4) as u16;
+        let w = (data_offset << 12) | (self.flags & 0x1FF);
+        out.extend_from_slice(&w.to_be_bytes());
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&self.checksum.to_be_bytes());
+        out.extend_from_slice(&self.urgent.to_be_bytes());
+        out.extend_from_slice(&self.options);
+    }
+
+    /// Parses the header; returns it and the bytes consumed.
+    pub fn parse(data: &[u8]) -> Result<(Self, usize), HeaderError> {
+        need("tcp", data, Self::MIN_LEN)?;
+        let w = u16::from_be_bytes([data[12], data[13]]);
+        let hlen = usize::from(w >> 12) * 4;
+        if hlen < Self::MIN_LEN {
+            return Err(HeaderError::Malformed { layer: "tcp", reason: "data offset < 5" });
+        }
+        need("tcp", data, hlen)?;
+        Ok((
+            Self {
+                src_port: u16::from_be_bytes([data[0], data[1]]),
+                dst_port: u16::from_be_bytes([data[2], data[3]]),
+                seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+                ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+                flags: w & 0x1FF,
+                window: u16::from_be_bytes([data[14], data[15]]),
+                checksum: u16::from_be_bytes([data[16], data[17]]),
+                urgent: u16::from_be_bytes([data[18], data[19]]),
+                options: data[Self::MIN_LEN..hlen].to_vec(),
+            },
+            hlen,
+        ))
+    }
+
+    /// A SYN template for the builder.
+    #[must_use]
+    pub fn template(src_port: u16, dst_port: u16) -> Self {
+        Self {
+            src_port,
+            dst_port,
+            seq: 0,
+            ack: 0,
+            flags: flags::SYN,
+            window: 65_535,
+            checksum: 0,
+            urgent: 0,
+            options: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut h = TcpHeader::template(12345, 80);
+        h.flags = flags::SYN | flags::ACK;
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        assert_eq!(buf.len(), 20);
+        let (parsed, used) = TcpHeader::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(used, 20);
+    }
+
+    #[test]
+    fn options_round_trip() {
+        let mut h = TcpHeader::template(1, 2);
+        h.options = vec![2, 4, 5, 0xB4]; // MSS 1460
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        let (parsed, used) = TcpHeader::parse(&buf).unwrap();
+        assert_eq!(used, 24);
+        assert_eq!(parsed.options, h.options);
+    }
+
+    #[test]
+    fn bad_data_offset_rejected() {
+        let mut buf = Vec::new();
+        TcpHeader::template(1, 2).write_to(&mut buf);
+        buf[12] = 0x40; // data offset 4
+        assert!(TcpHeader::parse(&buf).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(TcpHeader::parse(&[0u8; 19]).is_err());
+    }
+}

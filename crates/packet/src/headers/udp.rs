@@ -1,0 +1,72 @@
+//! UDP header.
+
+use super::{need, HeaderError};
+
+/// A UDP header (8 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header + payload.
+    pub length: u16,
+    /// Checksum (0 = not computed, legal for IPv4).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Serialized length in bytes.
+    pub const LEN: usize = 8;
+
+    /// Appends the header to `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.length.to_be_bytes());
+        out.extend_from_slice(&self.checksum.to_be_bytes());
+    }
+
+    /// Parses the header; returns it and the bytes consumed.
+    pub fn parse(data: &[u8]) -> Result<(Self, usize), HeaderError> {
+        need("udp", data, Self::LEN)?;
+        let h = Self {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            length: u16::from_be_bytes([data[4], data[5]]),
+            checksum: u16::from_be_bytes([data[6], data[7]]),
+        };
+        if usize::from(h.length) < Self::LEN {
+            return Err(HeaderError::Malformed { layer: "udp", reason: "length < 8" });
+        }
+        Ok((h, Self::LEN))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let h = UdpHeader { src_port: 53, dst_port: 5353, length: 16, checksum: 0xABCD };
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        let (parsed, used) = UdpHeader::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(used, 8);
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let h = UdpHeader { src_port: 1, dst_port: 2, length: 4, checksum: 0 };
+        let mut buf = Vec::new();
+        h.write_to(&mut buf);
+        assert!(UdpHeader::parse(&buf).is_err());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(UdpHeader::parse(&[0u8; 7]).is_err());
+    }
+}

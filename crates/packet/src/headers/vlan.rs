@@ -1,0 +1,88 @@
+//! 802.1Q VLAN tag.
+
+use super::{need, HeaderError};
+
+/// An 802.1Q tag body: PCP, DEI, VID and the encapsulated ethertype
+/// (4 bytes following the TPID already consumed from the Ethernet header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VlanTag {
+    /// Priority code point (3 bits).
+    pub pcp: u8,
+    /// Drop-eligible indicator.
+    pub dei: bool,
+    /// VLAN identifier (12 bits on the wire; OpenFlow's 13-bit `vlan_vid`
+    /// adds a presence flag bit).
+    pub vid: u16,
+    /// Ethertype of what follows the tag.
+    pub ethertype: u16,
+}
+
+impl VlanTag {
+    /// Serialized length in bytes (TCI + inner ethertype).
+    pub const LEN: usize = 4;
+
+    /// Appends TCI + inner ethertype to `out`.
+    pub fn write_to(&self, out: &mut Vec<u8>) {
+        let tci = (u16::from(self.pcp & 0x7) << 13)
+            | (u16::from(self.dei) << 12)
+            | (self.vid & 0x0FFF);
+        out.extend_from_slice(&tci.to_be_bytes());
+        out.extend_from_slice(&self.ethertype.to_be_bytes());
+    }
+
+    /// Parses the tag body; returns it and the bytes consumed.
+    pub fn parse(data: &[u8]) -> Result<(Self, usize), HeaderError> {
+        need("vlan", data, Self::LEN)?;
+        let tci = u16::from_be_bytes([data[0], data[1]]);
+        Ok((
+            Self {
+                pcp: (tci >> 13) as u8,
+                dei: tci & 0x1000 != 0,
+                vid: tci & 0x0FFF,
+                ethertype: u16::from_be_bytes([data[2], data[3]]),
+            },
+            Self::LEN,
+        ))
+    }
+
+    /// OpenFlow's 13-bit `vlan_vid` encoding: OFPVID_PRESENT (0x1000) | vid.
+    #[must_use]
+    pub fn openflow_vid(&self) -> u16 {
+        0x1000 | (self.vid & 0x0FFF)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let t = VlanTag { pcp: 5, dei: true, vid: 0x123, ethertype: 0x0800 };
+        let mut buf = Vec::new();
+        t.write_to(&mut buf);
+        let (parsed, used) = VlanTag::parse(&buf).unwrap();
+        assert_eq!(parsed, t);
+        assert_eq!(used, 4);
+    }
+
+    #[test]
+    fn vid_masked_to_12_bits() {
+        let t = VlanTag { pcp: 0, dei: false, vid: 0xFFFF, ethertype: 0 };
+        let mut buf = Vec::new();
+        t.write_to(&mut buf);
+        let (parsed, _) = VlanTag::parse(&buf).unwrap();
+        assert_eq!(parsed.vid, 0x0FFF);
+    }
+
+    #[test]
+    fn openflow_vid_sets_present_bit() {
+        let t = VlanTag { pcp: 0, dei: false, vid: 100, ethertype: 0 };
+        assert_eq!(t.openflow_vid(), 0x1000 | 100);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(VlanTag::parse(&[0u8; 3]).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! # ofpacket — byte-level packet substrate
+//!
+//! Construction, parsing and field extraction for the protocol stack the
+//! paper's filters classify: Ethernet II, 802.1Q VLAN, MPLS, ARP, IPv4,
+//! IPv6, TCP, UDP and ICMP.
+//!
+//! The crate serves three purposes in the reproduction:
+//!
+//! 1. **Realistic inputs** — lookup benchmarks classify real packet bytes,
+//!    not pre-parsed tuples, so header extraction cost is visible.
+//! 2. **Field extraction** — [`extract::parse_packet`] turns raw bytes into
+//!    [`oflow::HeaderValues`], the interface all classifiers consume.
+//! 3. **Trace generation** — [`trace`] synthesises packet streams that hit
+//!    or miss a given rule population with a chosen ratio.
+//!
+//! All multi-byte fields are network byte order (big-endian) on the wire.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod builder;
+pub mod checksum;
+pub mod extract;
+pub mod headers;
+pub mod trace;
+
+pub use addr::MacAddr;
+pub use builder::PacketBuilder;
+pub use extract::{parse_packet, ParseError, ParsedPacket};

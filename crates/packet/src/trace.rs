@@ -1,0 +1,155 @@
+//! Synthetic packet-trace generation.
+//!
+//! Benchmarks need packet streams with controlled locality and hit ratios.
+//! [`TraceGenerator`] produces [`oflow::HeaderValues`] sequences (and full
+//! frames via [`TraceGenerator::frames`]) by sampling from a population of
+//! header templates — typically derived from a rule set so a chosen fraction
+//! of packets hit installed flows.
+
+use crate::addr::MacAddr;
+use crate::builder::PacketBuilder;
+use oflow::{HeaderValues, MatchFieldKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+
+/// A reproducible trace generator over a template population.
+#[derive(Debug)]
+pub struct TraceGenerator {
+    templates: Vec<HeaderValues>,
+    rng: StdRng,
+    /// Probability that an emitted header is drawn from the templates
+    /// (vs. randomised into a likely miss).
+    pub hit_ratio: f64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator over `templates` with the given RNG seed.
+    ///
+    /// # Panics
+    /// Panics if `templates` is empty or `hit_ratio` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(templates: Vec<HeaderValues>, hit_ratio: f64, seed: u64) -> Self {
+        assert!(!templates.is_empty(), "trace needs at least one template");
+        assert!((0.0..=1.0).contains(&hit_ratio), "hit_ratio must be in [0,1]");
+        Self { templates, rng: StdRng::seed_from_u64(seed), hit_ratio }
+    }
+
+    /// Emits the next header. Hits are uniform draws from the templates;
+    /// misses are a template with its widest fields randomised.
+    pub fn next_header(&mut self) -> HeaderValues {
+        let idx = self.rng.gen_range(0..self.templates.len());
+        let mut h = self.templates[idx].clone();
+        if self.rng.gen_bool(1.0 - self.hit_ratio) {
+            // Perturb address-like fields to miss with high probability.
+            for field in [
+                MatchFieldKind::EthDst,
+                MatchFieldKind::Ipv4Dst,
+                MatchFieldKind::VlanVid,
+                MatchFieldKind::InPort,
+            ] {
+                if h.contains(field) {
+                    let v: u128 = u128::from(self.rng.gen::<u64>());
+                    h.set(field, v);
+                }
+            }
+        }
+        h
+    }
+
+    /// Emits `n` headers.
+    pub fn headers(&mut self, n: usize) -> Vec<HeaderValues> {
+        (0..n).map(|_| self.next_header()).collect()
+    }
+
+    /// Emits `n` full frames (bytes) realising the headers; only fields the
+    /// builder understands are realised (Ethernet/VLAN/IPv4/TCP/UDP).
+    pub fn frames(&mut self, n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|_| realise(&self.next_header())).collect()
+    }
+}
+
+/// Builds a concrete frame carrying the given header values.
+#[must_use]
+pub fn realise(h: &HeaderValues) -> Vec<u8> {
+    use MatchFieldKind::*;
+    let src = MacAddr::from_u64(h.get(EthSrc).unwrap_or(0x02_0000_00AA_u128.into()) as u64);
+    let dst = MacAddr::from_u64(h.get(EthDst).unwrap_or(0x02_0000_00BB_u128.into()) as u64);
+    let mut b = PacketBuilder::ethernet(src, dst);
+    if let Some(vid) = h.get(VlanVid) {
+        b = b.vlan((vid & 0xFFF) as u16, h.get(VlanPcp).unwrap_or(0) as u8);
+    }
+    if let Some(dst_ip) = h.get(Ipv4Dst) {
+        let src_ip = h.get(Ipv4Src).unwrap_or(0x0A00_0001);
+        b = b.ipv4(Ipv4Addr::from(src_ip as u32), Ipv4Addr::from(dst_ip as u32));
+        if let Some(p) = h.get(TcpDst) {
+            b = b.tcp(h.get(TcpSrc).unwrap_or(40_000) as u16, p as u16);
+        } else if let Some(p) = h.get(UdpDst) {
+            b = b.udp(h.get(UdpSrc).unwrap_or(40_000) as u16, p as u16);
+        } else {
+            b = b.raw_l4(h.get(IpProto).unwrap_or(253) as u8, Vec::new());
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::parse_packet;
+
+    fn template() -> HeaderValues {
+        HeaderValues::new()
+            .with(MatchFieldKind::EthSrc, 0x02_0000_000001)
+            .with(MatchFieldKind::EthDst, 0x02_0000_000002)
+            .with(MatchFieldKind::VlanVid, 100)
+            .with(MatchFieldKind::Ipv4Dst, 0x0A00_0001)
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = TraceGenerator::new(vec![template()], 0.5, 42);
+        let mut b = TraceGenerator::new(vec![template()], 0.5, 42);
+        assert_eq!(a.headers(100), b.headers(100));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = TraceGenerator::new(vec![template()], 0.5, 1);
+        let mut b = TraceGenerator::new(vec![template()], 0.5, 2);
+        assert_ne!(a.headers(100), b.headers(100));
+    }
+
+    #[test]
+    fn full_hit_ratio_only_emits_templates() {
+        let mut g = TraceGenerator::new(vec![template()], 1.0, 7);
+        for h in g.headers(50) {
+            assert_eq!(h, template());
+        }
+    }
+
+    #[test]
+    fn zero_hit_ratio_perturbs() {
+        let mut g = TraceGenerator::new(vec![template()], 0.0, 7);
+        let perturbed = g.headers(50).iter().filter(|h| **h != template()).count();
+        assert!(perturbed > 45, "almost all should be perturbed, got {perturbed}");
+    }
+
+    #[test]
+    fn frames_parse_back() {
+        let mut g = TraceGenerator::new(vec![template()], 1.0, 3);
+        for f in g.frames(10) {
+            let pkt = parse_packet(&f).unwrap();
+            let h = pkt.header_values(0);
+            assert_eq!(h.get(MatchFieldKind::Ipv4Dst), Some(0x0A00_0001));
+            // VLAN vid in OpenFlow encoding has the present bit.
+            assert_eq!(h.get(MatchFieldKind::VlanVid), Some(0x1000 | 100));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one template")]
+    fn empty_templates_panic() {
+        let _ = TraceGenerator::new(vec![], 1.0, 0);
+    }
+}

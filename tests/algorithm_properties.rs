@@ -1,0 +1,101 @@
+//! Property tests on the remaining single-field algorithms and the label
+//! machinery: hash LUT vs `HashMap`, range matcher vs linear scan,
+//! dictionary bijectivity, and the TCAM range expansion's exact cover.
+
+use ofalgo::{Dictionary, HashLut, Label, RangeMatcher};
+use ofbaseline::tcam::range_to_prefixes;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// HashLut behaves exactly like a HashMap under inserts/replacements.
+    #[test]
+    fn hashlut_matches_hashmap(
+        ops in proptest::collection::vec((0u64..512, any::<u32>()), 1..200),
+        queries in proptest::collection::vec(0u64..1024, 50)
+    ) {
+        let mut lut = HashLut::with_capacity(16, ops.len());
+        let mut reference: HashMap<u64, Label> = HashMap::new();
+        for (k, v) in ops {
+            let l = Label(v);
+            let got_prev = lut.insert(k, l);
+            let want_prev = reference.insert(k, l);
+            prop_assert_eq!(got_prev, want_prev);
+        }
+        prop_assert_eq!(lut.len(), reference.len());
+        for q in queries {
+            prop_assert_eq!(lut.lookup(q), reference.get(&q).copied(), "key {}", q);
+        }
+    }
+
+    /// RangeMatcher returns a narrowest covering range (width-equal to the
+    /// linear scan's choice) and misses exactly when no range covers.
+    #[test]
+    fn range_matcher_matches_scan(
+        ranges in proptest::collection::vec((0u64..1000, 0u64..200), 0..40),
+        queries in proptest::collection::vec(0u64..1400, 60)
+    ) {
+        let ranges: Vec<(u64, u64, Label)> = ranges
+            .into_iter()
+            .enumerate()
+            .map(|(i, (lo, span))| (lo, lo + span, Label(i as u32)))
+            .collect();
+        let m = RangeMatcher::new(16, ranges.clone());
+        for q in queries {
+            let got = m.lookup(q);
+            let want_width = ranges
+                .iter()
+                .filter(|&&(lo, hi, _)| lo <= q && q <= hi)
+                .map(|&(lo, hi, _)| hi - lo)
+                .min();
+            match (got, want_width) {
+                (None, None) => {}
+                (Some(label), Some(w)) => {
+                    let got_range = ranges.iter().find(|r| r.2 == label).unwrap();
+                    prop_assert!(got_range.0 <= q && q <= got_range.1, "label covers query");
+                    prop_assert_eq!(got_range.1 - got_range.0, w, "narrowest width");
+                }
+                other => prop_assert!(false, "mismatch at {}: {:?}", q, other),
+            }
+        }
+    }
+
+    /// Dictionary: intern is a bijection between distinct values and dense
+    /// labels; duplicate accounting is exact.
+    #[test]
+    fn dictionary_bijective(values in proptest::collection::vec(0u32..100, 1..300)) {
+        let mut d = Dictionary::new();
+        for &v in &values {
+            d.intern(v);
+        }
+        let distinct: std::collections::BTreeSet<u32> = values.iter().copied().collect();
+        prop_assert_eq!(d.len(), distinct.len());
+        prop_assert_eq!(d.interned_total(), values.len());
+        prop_assert_eq!(d.duplicates_avoided(), values.len() - distinct.len());
+        // Labels are dense 0..len and invert correctly.
+        for (i, v) in d.values().iter().enumerate() {
+            prop_assert_eq!(d.get(v), Some(Label(i as u32)));
+            prop_assert_eq!(d.value_of(Label(i as u32)), Some(v));
+        }
+    }
+
+    /// TCAM range expansion covers exactly the range — every value inside
+    /// matches some prefix, nothing outside does, and prefixes never
+    /// overlap (each value matches exactly one).
+    #[test]
+    fn range_expansion_exact_and_disjoint(lo in 0u64..4096, span in 0u64..4096) {
+        let hi = (lo + span).min(4095);
+        let prefixes = range_to_prefixes(lo, hi, 12);
+        prop_assert!(prefixes.len() <= 2 * 12 - 2 + 1, "at most 2w-2 prefixes: {}", prefixes.len());
+        for v in 0u64..4096 {
+            let hits = prefixes.iter().filter(|&&(p, care)| v & care == p & care).count();
+            if (lo..=hi).contains(&v) {
+                prop_assert_eq!(hits, 1, "value {} should match exactly once", v);
+            } else {
+                prop_assert_eq!(hits, 0, "value {} outside range matched", v);
+            }
+        }
+    }
+}

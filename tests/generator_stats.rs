@@ -1,0 +1,111 @@
+//! The substitution contract: for arbitrary feasible targets, the
+//! constrained generators reproduce the requested statistics exactly —
+//! this is what justifies standing synthetic data in for the Stanford
+//! backbone sets (DESIGN.md §2).
+
+use offilter::analysis::{prefix_length_histogram, survey_mac, survey_routing};
+use offilter::synth::{generate_mac, generate_routing, MacTargets, RoutingTargets};
+use oflow::MatchFieldKind;
+use proptest::prelude::*;
+
+fn mac_targets() -> impl Strategy<Value = MacTargets> {
+    (50usize..400, 1usize..30, 1usize..20, 1usize..60, 1usize..120).prop_filter_map(
+        "feasible combination space",
+        |(rules, vlan, hi, mid, lo)| {
+            let vlan = vlan.min(rules);
+            let (hi, mid, lo) = (hi.min(rules), mid.min(rules), lo.min(rules));
+            if (hi as u128) * (mid as u128) * (lo as u128) < rules as u128 {
+                return None;
+            }
+            Some(MacTargets {
+                name: "prop".into(),
+                rules,
+                vlan_unique: vlan,
+                eth_partitions: [hi, mid, lo],
+                ports: 8,
+            })
+        },
+    )
+}
+
+fn routing_targets() -> impl Strategy<Value = RoutingTargets> {
+    (60usize..400, 1usize..25, 2usize..40, 2usize..200, 0usize..6).prop_filter_map(
+        "feasible combination space",
+        |(rules, ports, hi, lo, shorts)| {
+            let ports = ports.min(rules);
+            let (hi, lo) = (hi.min(rules), lo.min(rules));
+            if (hi as u128) * (lo as u128) < rules as u128 {
+                return None;
+            }
+            Some(RoutingTargets {
+                name: "prop".into(),
+                rules,
+                port_unique: ports,
+                ip_partitions: [hi, lo],
+                short_prefixes: shorts.min(rules - 1).min(hi),
+                out_ports: 8,
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// MAC sets hit their targets exactly, with unique MACs per rule.
+    #[test]
+    fn mac_generator_exact(t in mac_targets(), seed in any::<u64>()) {
+        let set = generate_mac(&t, seed);
+        let s = survey_mac(&set);
+        prop_assert_eq!(s.rules, t.rules);
+        prop_assert_eq!(s.vlan_unique, t.vlan_unique);
+        prop_assert_eq!(s.eth_partitions, t.eth_partitions);
+        let macs: std::collections::HashSet<u128> = set
+            .rules
+            .iter()
+            .map(|r| r.field_as_prefix(MatchFieldKind::EthDst).unwrap().0)
+            .collect();
+        prop_assert_eq!(macs.len(), set.len(), "MACs must be unique");
+    }
+
+    /// Routing sets hit their targets exactly, with unique prefixes,
+    /// aligned values and priority == prefix length.
+    #[test]
+    fn routing_generator_exact(t in routing_targets(), seed in any::<u64>()) {
+        let set = generate_routing(&t, seed);
+        let s = survey_routing(&set);
+        prop_assert_eq!(s.rules, t.rules);
+        prop_assert_eq!(s.port_unique, t.port_unique);
+        prop_assert_eq!(s.ip_partitions, t.ip_partitions);
+
+        let mut prefixes = std::collections::HashSet::new();
+        for r in &set.rules {
+            let (v, len) = r.field_as_prefix(MatchFieldKind::Ipv4Dst).unwrap();
+            prop_assert!(prefixes.insert((v, len)), "duplicate prefix {:#x}/{}", v, len);
+            if len < 32 {
+                prop_assert_eq!(v & ((1u128 << (32 - len)) - 1), 0, "unaligned {:#x}/{}", v, len);
+            }
+            prop_assert_eq!(u32::from(r.priority), len);
+        }
+    }
+
+    /// Determinism: the same seed gives the same set; different seeds
+    /// (almost always) differ.
+    #[test]
+    fn generators_deterministic(t in routing_targets(), seed in any::<u64>()) {
+        let a = generate_routing(&t, seed);
+        let b = generate_routing(&t, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Short prefixes appear when requested (including the default route).
+    #[test]
+    fn short_prefixes_present(t in routing_targets()) {
+        prop_assume!(t.short_prefixes >= 1);
+        let set = generate_routing(&t, 1);
+        let hist = prefix_length_histogram(&set.rules, MatchFieldKind::Ipv4Dst);
+        let shorts: usize = hist[..16].iter().sum();
+        prop_assert!(shorts >= 1, "no short prefixes generated");
+        prop_assert!(hist[0] >= 1, "no default route");
+    }
+}

@@ -1,0 +1,160 @@
+//! Cross-crate consistency of the memory and update models: report
+//! arithmetic, BRAM mapping sanity, characterization-file coverage, and
+//! the label method's monotone savings.
+
+use mtl_core::{MtlSwitch, SwitchConfig, SwitchMemoryReport, UpdatePlan};
+use ofmem::bram::{BRAM18K, M20K};
+use ofmem::{MemoryBlock, MemoryReport};
+use offilter::synth::{generate_mac, generate_routing, MacTargets, RoutingTargets};
+use offilter::FilterKind;
+use proptest::prelude::*;
+
+fn small_switch(seed: u64) -> MtlSwitch {
+    let mac = generate_mac(
+        &MacTargets {
+            name: "m".into(),
+            rules: 250,
+            vlan_unique: 10,
+            eth_partitions: [6, 50, 170],
+            ports: 8,
+        },
+        seed,
+    );
+    let routing = generate_routing(
+        &RoutingTargets {
+            name: "r".into(),
+            rules: 300,
+            port_unique: 9,
+            ip_partitions: [25, 190],
+            short_prefixes: 3,
+            out_ports: 8,
+        },
+        seed + 1,
+    );
+    MtlSwitch::build(&SwitchConfig::mac_routing_preset(), &[&mac, &routing])
+}
+
+#[test]
+fn switch_report_covers_every_structure() {
+    let sw = small_switch(1);
+    let r = SwitchMemoryReport::of(&sw);
+    // Every table contributes field engines, an index and actions.
+    for t in 0..4u8 {
+        assert!(r.report.bits_under(&format!("t{t}/index")) > 0, "t{t} index");
+        assert!(r.report.bits_under(&format!("t{t}/actions")) > 0, "t{t} actions");
+    }
+    // The trie groups exist with all three levels.
+    for level in ["L1", "L2", "L3"] {
+        assert!(r.report.bits_under(&format!("t1/eth_dst/lower/{level}")) > 0, "{level}");
+    }
+    // Ancestor tables are accounted.
+    assert!(r.report.bits_under("t1/eth_dst/lower/parents") > 0);
+    // Class totals partition the total.
+    assert_eq!(
+        r.mbt_bits + r.lut_bits + r.range_bits + r.index_bits + r.action_bits,
+        r.report.total_bits()
+    );
+}
+
+#[test]
+fn update_plan_matches_structures() {
+    let sw = small_switch(2);
+    let plan = UpdatePlan::from_switch(&sw);
+    // Table file covers exactly the index entries + action rows.
+    let expected_table_records: usize = sw
+        .apps
+        .iter()
+        .flat_map(|a| &a.tables)
+        .map(|t| t.index.len() + t.actions.len())
+        .sum();
+    assert_eq!(plan.table_file.len(), expected_table_records);
+    // The algorithm file characterizes the *final* occupied entries; the
+    // ledger additionally counts intermediate writes (prefix-expansion
+    // overwrites, range-segment rewrites), so it bounds the file from
+    // above and the unique-value count from below.
+    assert!(plan.algorithm_file.len() <= sw.ledger.algorithm_label_records);
+    let unique_values: usize = sw
+        .apps
+        .iter()
+        .flat_map(|a| &a.tables)
+        .flat_map(|t| &t.engines)
+        .map(|(_, e)| match e {
+            mtl_core::FieldEngine::Em { dict, .. } => dict.len(),
+            mtl_core::FieldEngine::Trie(pt) => {
+                pt.dictionaries().iter().map(|d| d.len()).sum()
+            }
+            mtl_core::FieldEngine::Range { ranges, .. } => ranges.len(),
+        })
+        .sum();
+    assert!(plan.algorithm_file.len() >= unique_values);
+    assert_eq!(plan.stats().cycles(), 2 * plan.total_records());
+}
+
+#[test]
+fn label_savings_grow_with_duplication() {
+    // Same rule count, shrinking unique-value budget -> larger savings.
+    let mut last_reduction = -1.0f64;
+    for uniques in [200usize, 100, 40, 12] {
+        let set = generate_mac(
+            &MacTargets {
+                name: "dup".into(),
+                rules: 400,
+                vlan_unique: uniques.min(400) / 2,
+                eth_partitions: [6, uniques, uniques],
+                ports: 8,
+            },
+            7,
+        );
+        let sw = MtlSwitch::build(&SwitchConfig::single_app(FilterKind::MacLearning, 0), &[&set]);
+        let reduction = sw.ledger.reduction();
+        assert!(
+            reduction > last_reduction,
+            "reduction should grow as uniques shrink: {reduction} after {last_reduction}"
+        );
+        last_reduction = reduction;
+    }
+    assert!(last_reduction > 0.5, "heavy duplication should save >50%: {last_reduction}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Report arithmetic: totals are sums; prefix queries partition.
+    #[test]
+    fn report_arithmetic(blocks in proptest::collection::vec(
+        ("[ab]/[cd]", 0usize..5000, 1u32..64), 0..20)
+    ) {
+        let mut report = MemoryReport::new();
+        let mut by_hand: u64 = 0;
+        for (name, entries, bits) in &blocks {
+            report.push(MemoryBlock::new(name.clone(), *entries, *bits));
+            by_hand += *entries as u64 * u64::from(*bits);
+        }
+        prop_assert_eq!(report.total_bits(), by_hand);
+        // Group queries partition the total (names are a/c..b/d shaped).
+        let groups: u64 = ["a", "b"].iter().map(|g| report.bits_under(g)).sum();
+        prop_assert_eq!(groups, by_hand);
+    }
+
+    /// BRAM mapping: never fewer blocks than capacity requires, always
+    /// enough provisioned bits, and monotone in entry count.
+    #[test]
+    fn bram_mapping_sane(entries in 0usize..100_000, bits in 1u32..128) {
+        let block = MemoryBlock::new("x", entries, bits);
+        for kind in [&M20K, &BRAM18K] {
+            let m = kind.map_block(&block);
+            if entries == 0 {
+                prop_assert_eq!(m.brams, 0);
+                continue;
+            }
+            prop_assert!(m.provisioned_bits >= m.used_bits,
+                "{}: provisioned {} < used {}", kind.name, m.provisioned_bits, m.used_bits);
+            let lower_bound = (block.bits() + u64::from(kind.capacity_bits) - 1)
+                / u64::from(kind.capacity_bits);
+            prop_assert!(u64::from(m.brams) >= lower_bound);
+            // Monotonicity: one more entry never needs fewer BRAMs.
+            let bigger = MemoryBlock::new("x", entries + 1, bits);
+            prop_assert!(kind.map_block(&bigger).brams >= m.brams);
+        }
+    }
+}

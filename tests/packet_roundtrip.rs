@@ -1,0 +1,148 @@
+//! Packet substrate properties: build -> parse round trips across the
+//! protocol stack, checksum validity, and extraction consistency.
+
+use ofpacket::headers::{ethertype, Ipv4Header, TcpHeader, UdpHeader, VlanTag};
+use ofpacket::{parse_packet, MacAddr, PacketBuilder};
+use oflow::MatchFieldKind;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any TCP/IPv4 frame the builder produces parses back to the same
+    /// field values, with valid IPv4 and TCP checksums.
+    #[test]
+    fn tcp_frame_roundtrip(
+        src_mac in any::<u64>(),
+        dst_mac in any::<u64>(),
+        vlan in proptest::option::of(0u16..4096),
+        src_ip in any::<u32>(),
+        dst_ip in any::<u32>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64)
+    ) {
+        let src_mac = MacAddr::from_u64(src_mac & 0xFFFF_FFFF_FFFF);
+        let dst_mac = MacAddr::from_u64(dst_mac & 0xFFFF_FFFF_FFFF);
+        let mut b = PacketBuilder::ethernet(src_mac, dst_mac);
+        if let Some(v) = vlan {
+            b = b.vlan(v, 3);
+        }
+        let frame = b
+            .ipv4(Ipv4Addr::from(src_ip), Ipv4Addr::from(dst_ip))
+            .tcp(sport, dport)
+            .payload(payload.clone())
+            .build();
+
+        let pkt = parse_packet(&frame).expect("self-built frame parses");
+        prop_assert_eq!(pkt.ethernet.src, src_mac);
+        prop_assert_eq!(pkt.ethernet.dst, dst_mac);
+        match vlan {
+            Some(v) => {
+                prop_assert_eq!(pkt.vlans.len(), 1);
+                prop_assert_eq!(pkt.vlans[0].vid, v & 0xFFF);
+            }
+            None => prop_assert!(pkt.vlans.is_empty()),
+        }
+        let ip = pkt.ipv4.as_ref().expect("ipv4 present");
+        prop_assert_eq!(ip.src, Ipv4Addr::from(src_ip));
+        prop_assert_eq!(ip.dst, Ipv4Addr::from(dst_ip));
+        let tcp = pkt.tcp.as_ref().expect("tcp present");
+        prop_assert_eq!(tcp.src_port, sport);
+        prop_assert_eq!(tcp.dst_port, dport);
+        prop_assert_eq!(&frame[pkt.payload_offset..], &payload[..]);
+
+        // IPv4 header checksum verifies over the header bytes.
+        let l2 = 14 + if vlan.is_some() { 4 } else { 0 };
+        prop_assert!(ofpacket::checksum::verify(&frame[l2..l2 + 20]));
+
+        // TCP checksum verifies with the pseudo-header.
+        let seg = &frame[l2 + 20..];
+        let ck = ofpacket::checksum::transport_checksum_v4(
+            Ipv4Addr::from(src_ip).octets(),
+            Ipv4Addr::from(dst_ip).octets(),
+            6,
+            seg,
+        );
+        prop_assert_eq!(ck, 0, "checksummed segment folds to zero");
+    }
+
+    /// Header extraction yields exactly the fields the layers carry.
+    #[test]
+    fn extraction_field_presence(
+        udp in any::<bool>(),
+        vlan in any::<bool>(),
+        in_port in 0u32..64
+    ) {
+        let mut b = PacketBuilder::ethernet(
+            MacAddr::from_u64(0x02_0000_000001),
+            MacAddr::from_u64(0x02_0000_000002),
+        );
+        if vlan {
+            b = b.vlan(7, 0);
+        }
+        let b = b.ipv4(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8));
+        let frame = if udp { b.udp(1, 2) } else { b.tcp(3, 4) }.build();
+        let h = parse_packet(&frame).unwrap().header_values(in_port);
+
+        prop_assert_eq!(h.get(MatchFieldKind::InPort), Some(u128::from(in_port)));
+        prop_assert_eq!(h.get(MatchFieldKind::VlanVid).is_some(), vlan);
+        prop_assert_eq!(h.get(MatchFieldKind::UdpDst).is_some(), udp);
+        prop_assert_eq!(h.get(MatchFieldKind::TcpDst).is_some(), !udp);
+        prop_assert!(h.get(MatchFieldKind::Ipv4Dst).is_some());
+        prop_assert_eq!(h.get(MatchFieldKind::Ipv6Dst), None);
+    }
+
+    /// Individual header codecs are their own inverses on arbitrary
+    /// field values.
+    #[test]
+    fn header_codecs_roundtrip(
+        vid in 0u16..4096,
+        pcp in 0u8..8,
+        dscp in 0u8..64,
+        ttl in any::<u8>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        length in 8u16..2000
+    ) {
+        let tag = VlanTag { pcp, dei: false, vid, ethertype: ethertype::IPV4 };
+        let mut buf = Vec::new();
+        tag.write_to(&mut buf);
+        prop_assert_eq!(VlanTag::parse(&buf).unwrap().0, tag);
+
+        let mut ip = Ipv4Header::template(Ipv4Addr::LOCALHOST, Ipv4Addr::BROADCAST, 17);
+        ip.dscp = dscp;
+        ip.ttl = ttl;
+        ip.total_len = length.max(20);
+        let mut buf = Vec::new();
+        ip.write_to(&mut buf);
+        prop_assert_eq!(Ipv4Header::parse(&buf).unwrap().0, ip);
+
+        let udp = UdpHeader { src_port: sport, dst_port: dport, length, checksum: 0 };
+        let mut buf = Vec::new();
+        udp.write_to(&mut buf);
+        prop_assert_eq!(UdpHeader::parse(&buf).unwrap().0, udp);
+
+        let tcp = TcpHeader::template(sport, dport);
+        let mut buf = Vec::new();
+        tcp.write_to(&mut buf);
+        prop_assert_eq!(TcpHeader::parse(&buf).unwrap().0, tcp);
+    }
+
+    /// Truncating any frame inside a header never panics — parsing fails
+    /// cleanly or succeeds on a shorter stack.
+    #[test]
+    fn truncation_never_panics(cut in 0usize..60) {
+        let frame = PacketBuilder::ethernet(
+            MacAddr::from_u64(1),
+            MacAddr::from_u64(2),
+        )
+        .vlan(5, 0)
+        .ipv4(Ipv4Addr::new(9, 9, 9, 9), Ipv4Addr::new(8, 8, 8, 8))
+        .tcp(80, 443)
+        .build();
+        let cut = cut.min(frame.len());
+        let _ = parse_packet(&frame[..cut]); // must not panic
+    }
+}

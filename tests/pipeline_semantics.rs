@@ -1,0 +1,184 @@
+//! OpenFlow multi-table semantics of the reference pipeline: goto
+//! monotonicity, metadata flow, action-set accumulation and table-miss
+//! behaviour under arbitrary table programs.
+
+use oflow::actions::port;
+use oflow::{
+    Action, FlowEntry, FlowMatch, HeaderValues, Instruction, MatchFieldKind, Pipeline, Verdict,
+};
+use proptest::prelude::*;
+
+/// A small random table program: per table, entries matching a VLAN value
+/// and either writing an output or jumping forward.
+#[derive(Debug, Clone)]
+struct ProgramEntry {
+    table: u8,
+    vlan: u16,
+    priority: u16,
+    output: u32,
+    goto_next: bool,
+}
+
+fn entries() -> impl Strategy<Value = Vec<ProgramEntry>> {
+    proptest::collection::vec(
+        (0u8..3, 0u16..8, 1u16..6, 1u32..100, any::<bool>()).prop_map(
+            |(table, vlan, priority, output, goto_next)| ProgramEntry {
+                table,
+                vlan,
+                priority,
+                output,
+                goto_next,
+            },
+        ),
+        0..24,
+    )
+}
+
+fn build(program: &[ProgramEntry]) -> Pipeline {
+    let mut p = Pipeline::with_tables(3);
+    for e in program {
+        let mut instructions =
+            vec![Instruction::WriteActions(vec![Action::Output(e.output)])];
+        if e.goto_next && e.table < 2 {
+            instructions.push(Instruction::GotoTable(e.table + 1));
+        }
+        p.add_flow(
+            e.table,
+            FlowEntry::new(
+                e.priority,
+                FlowMatch::any().with_exact(MatchFieldKind::VlanVid, u128::from(e.vlan)).unwrap(),
+                instructions,
+            ),
+        )
+        .expect("forward-only program is valid");
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The visited path is strictly increasing in table id and starts at 0.
+    #[test]
+    fn path_strictly_increases(program in entries(), vlan in 0u16..10) {
+        let mut p = build(&program);
+        let r = p.process(&HeaderValues::new().with(MatchFieldKind::VlanVid, u128::from(vlan)));
+        prop_assert!(!r.path.is_empty());
+        prop_assert_eq!(r.path[0].table, 0);
+        for w in r.path.windows(2) {
+            prop_assert!(w[1].table > w[0].table, "path must move forward: {:?}", r.path);
+        }
+    }
+
+    /// A match ending without goto executes the LAST written output (the
+    /// action-set replacement semantics); a miss anywhere punts to the
+    /// controller.
+    #[test]
+    fn verdict_follows_action_set_semantics(program in entries(), vlan in 0u16..10) {
+        let mut p = build(&program);
+        let header = HeaderValues::new().with(MatchFieldKind::VlanVid, u128::from(vlan));
+        let r = p.process(&header);
+
+        // Simulate the spec by hand. Priority ties inside a table are
+        // resolved by insertion order in the pipeline; skip those
+        // ambiguous programs rather than re-encode the tiebreak.
+        let mut table = 0u8;
+        let verdict = loop {
+            let candidates: Vec<_> = program
+                .iter()
+                .filter(|e| e.table == table && e.vlan == vlan)
+                .collect();
+            let top = candidates.iter().map(|e| e.priority).max();
+            if candidates.iter().filter(|e| Some(e.priority) == top).count() > 1 {
+                return Ok(());
+            }
+            match candidates.into_iter().max_by_key(|e| e.priority) {
+                None => break Verdict::ToController,
+                Some(e) => {
+                    if e.goto_next && e.table < 2 {
+                        table += 1;
+                    } else {
+                        break Verdict::Output(e.output);
+                    }
+                }
+            }
+        };
+        prop_assert_eq!(r.verdict, verdict, "header vlan={}", vlan);
+    }
+
+    /// Metadata written in one table is matchable in later tables,
+    /// masked writes compose.
+    #[test]
+    fn metadata_masked_writes(v1 in any::<u64>(), m1 in any::<u64>(), v2 in any::<u64>(), m2 in any::<u64>()) {
+        let mut p = Pipeline::with_tables(3);
+        p.add_flow(0, FlowEntry::new(1, FlowMatch::any(), vec![
+            Instruction::WriteMetadata { value: v1, mask: m1 },
+            Instruction::GotoTable(1),
+        ])).unwrap();
+        p.add_flow(1, FlowEntry::new(1, FlowMatch::any(), vec![
+            Instruction::WriteMetadata { value: v2, mask: m2 },
+            Instruction::GotoTable(2),
+        ])).unwrap();
+        let expected = {
+            let after1 = v1 & m1;
+            (after1 & !m2) | (v2 & m2)
+        };
+        p.add_flow(2, FlowEntry::new(1,
+            FlowMatch::any().with_exact(MatchFieldKind::Metadata, u128::from(expected)).unwrap(),
+            vec![Instruction::WriteActions(vec![Action::Output(42)])],
+        )).unwrap();
+        let r = p.process(&HeaderValues::new());
+        prop_assert_eq!(r.verdict, Verdict::Output(42));
+        prop_assert_eq!(r.metadata, expected);
+    }
+
+    /// Clear-Actions always empties the set regardless of prior writes.
+    #[test]
+    fn clear_actions_wins(outputs in proptest::collection::vec(1u32..50, 1..5)) {
+        let mut p = Pipeline::with_tables(2);
+        let actions: Vec<Action> = outputs.iter().map(|&o| Action::Output(o)).collect();
+        p.add_flow(0, FlowEntry::new(1, FlowMatch::any(), vec![
+            Instruction::WriteActions(actions),
+            Instruction::GotoTable(1),
+        ])).unwrap();
+        p.add_flow(1, FlowEntry::new(1, FlowMatch::any(), vec![Instruction::ClearActions]))
+            .unwrap();
+        let r = p.process(&HeaderValues::new());
+        prop_assert_eq!(r.verdict, Verdict::Drop);
+    }
+}
+
+/// Explicit CONTROLLER output and table-miss entries behave per spec.
+#[test]
+fn controller_punt_paths() {
+    let mut p = Pipeline::with_tables(2);
+    // Table 0: known VLANs jump; unknown miss (no table-miss entry).
+    p.add_flow(
+        0,
+        FlowEntry::new(
+            5,
+            FlowMatch::any().with_exact(MatchFieldKind::VlanVid, 1).unwrap(),
+            vec![Instruction::GotoTable(1)],
+        ),
+    )
+    .unwrap();
+    // Table 1: everything to controller explicitly.
+    p.add_flow(
+        1,
+        FlowEntry::new(
+            0,
+            FlowMatch::any(),
+            vec![Instruction::WriteActions(vec![Action::Output(port::CONTROLLER)])],
+        ),
+    )
+    .unwrap();
+
+    let hit = p.process(&HeaderValues::new().with(MatchFieldKind::VlanVid, 1));
+    assert_eq!(hit.verdict, Verdict::ToController);
+    assert_eq!(hit.path.len(), 2);
+
+    let miss = p.process(&HeaderValues::new().with(MatchFieldKind::VlanVid, 9));
+    assert_eq!(miss.verdict, Verdict::ToController);
+    assert_eq!(miss.path.len(), 1);
+    assert_eq!(miss.path[0].matched_priority, None);
+}

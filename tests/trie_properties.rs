@@ -1,0 +1,190 @@
+//! Property tests on the multi-bit trie: LPM agreement with a reference
+//! scan, ancestor-closure completeness, rebuild idempotence, and node
+//! accounting invariants.
+
+use ofalgo::{Label, Mbt, PartitionedTrie, StrideSchedule};
+use ofalgo::trie::TrieSizing;
+use proptest::prelude::*;
+
+/// Reference LPM over raw prefixes.
+fn ref_lpm(prefixes: &[(u64, u32)], key: u64, width: u32) -> Option<(usize, u32)> {
+    prefixes
+        .iter()
+        .enumerate()
+        .filter(|&(_, &(v, l))| l == 0 || (key >> (width - l)) == (v >> (width - l)))
+        .max_by_key(|&(_, &(_, l))| l)
+        .map(|(i, &(_, l))| (i, l))
+}
+
+/// Deduplicated, aligned prefixes from raw pairs.
+fn normalise(raw: Vec<(u64, u32)>, width: u32) -> Vec<(u64, u32)> {
+    let mut seen = std::collections::HashSet::new();
+    raw.into_iter()
+        .map(|(v, l)| {
+            let l = l % (width + 1);
+            let v = if l == 0 { 0 } else { (v & ((1 << width) - 1)) >> (width - l) << (width - l) };
+            (v, l)
+        })
+        .filter(|p| seen.insert(*p))
+        .collect()
+}
+
+fn schedules() -> impl Strategy<Value = StrideSchedule> {
+    prop_oneof![
+        Just(StrideSchedule::classic_16()),
+        Just(StrideSchedule::new(vec![4, 4, 4, 4])),
+        Just(StrideSchedule::new(vec![8, 8])),
+        Just(StrideSchedule::new(vec![16])),
+        Just(StrideSchedule::new(vec![3, 5, 8])),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// LPM over any stride schedule agrees with the reference scan.
+    #[test]
+    fn lpm_matches_reference(
+        schedule in schedules(),
+        raw in proptest::collection::vec((any::<u64>(), 0u32..=16), 0..80),
+        keys in proptest::collection::vec(any::<u64>(), 40)
+    ) {
+        let prefixes = normalise(raw, 16);
+        let mut sorted = prefixes.clone();
+        sorted.sort_by_key(|&(_, l)| l);
+        let mut trie = Mbt::new(schedule);
+        for (i, &(v, l)) in sorted.iter().enumerate() {
+            trie.insert(v, l, Label(i as u32));
+        }
+        for key in keys {
+            let key = key & 0xFFFF;
+            let got = trie.lookup(key).map(|(_, l)| l);
+            let want = ref_lpm(&sorted, key, 16).map(|(_, l)| l);
+            prop_assert_eq!(got, want, "key {:#x}", key);
+        }
+    }
+
+    /// The effective chain (LPM + ancestor closure) is exactly the set of
+    /// stored prefixes matching the key — the property that makes the
+    /// index combination step correct.
+    #[test]
+    fn effective_chain_is_all_matching_prefixes(
+        raw in proptest::collection::vec((any::<u64>(), 0u32..=32), 0..60),
+        keys in proptest::collection::vec(any::<u32>(), 30)
+    ) {
+        let prefixes = normalise(raw, 32);
+        let mut pt = PartitionedTrie::new(32);
+        for &(v, l) in &prefixes {
+            pt.insert(u128::from(v), l);
+        }
+        pt.finalize();
+        for key in keys {
+            let chains = pt.effective_chains(u128::from(key));
+            // Per partition, the chain's lengths must equal the lengths of
+            // every stored partition entry containing the key part.
+            for (i, chain) in chains.iter().enumerate() {
+                let dict = &pt.dictionaries()[i];
+                let part = if i == 0 { u64::from(key >> 16) } else { u64::from(key & 0xFFFF) };
+                let mut want: Vec<u32> = dict
+                    .values()
+                    .iter()
+                    .filter(|&&(v, l)| l == 0 || (part >> (16 - l)) == (v >> (16 - l)))
+                    .map(|&(_, l)| l)
+                    .collect();
+                want.sort_unstable_by(|a, b| b.cmp(a));
+                let got: Vec<u32> = chain.matches.iter().map(|&(_, l)| l).collect();
+                prop_assert_eq!(got, want, "key {:#x} partition {}", key, i);
+            }
+        }
+    }
+
+    /// Rebuild preserves semantics and size exactly (block numbering may
+    /// permute, so equivalence is checked on lookups and node counts).
+    #[test]
+    fn rebuild_is_idempotent(
+        raw in proptest::collection::vec((any::<u64>(), 0u32..=16), 1..50)
+    ) {
+        let prefixes = normalise(raw, 16);
+        let mut sorted = prefixes.clone();
+        sorted.sort_by_key(|&(_, l)| l);
+        let mut trie = Mbt::classic_16();
+        for (i, &(v, l)) in sorted.iter().enumerate() {
+            trie.insert(v, l, Label(i as u32));
+        }
+        let mut rebuilt = trie.clone();
+        rebuilt.rebuild();
+        prop_assert_eq!(trie.stored_nodes(), rebuilt.stored_nodes());
+        prop_assert_eq!(trie.len(), rebuilt.len());
+        for key in (0..=0xFFFFu64).step_by(7) {
+            prop_assert_eq!(trie.lookup(key), rebuilt.lookup(key), "key {:#x}", key);
+        }
+    }
+
+    /// Removing a prefix yields the same structure as never inserting it.
+    #[test]
+    fn remove_equals_never_inserted(
+        raw in proptest::collection::vec((any::<u64>(), 0u32..=16), 2..40),
+        victim in any::<prop::sample::Index>()
+    ) {
+        let prefixes = normalise(raw, 16);
+        prop_assume!(prefixes.len() >= 2);
+        let mut sorted = prefixes.clone();
+        sorted.sort_by_key(|&(_, l)| l);
+        let victim = victim.index(sorted.len());
+
+        let mut with = Mbt::classic_16();
+        for (i, &(v, l)) in sorted.iter().enumerate() {
+            with.insert(v, l, Label(i as u32));
+        }
+        let (v, l) = sorted[victim];
+        let (existed, _) = with.remove(v, l);
+        prop_assert!(existed);
+
+        let mut without = Mbt::classic_16();
+        let mut remainder: Vec<(usize, (u64, u32))> =
+            sorted.iter().copied().enumerate().filter(|&(i, _)| i != victim).collect();
+        remainder.sort_by_key(|&(_, (_, l))| l);
+        for (i, (v, l)) in remainder {
+            without.insert(v, l, Label(i as u32));
+        }
+        // Structures must agree on every lookup (labels differ by id, so
+        // compare matched lengths).
+        for key in 0..=0xFFFFu64 {
+            prop_assert_eq!(
+                with.lookup(key).map(|(_, l)| l),
+                without.lookup(key).map(|(_, l)| l),
+                "key {:#x}", key
+            );
+        }
+    }
+
+    /// Node accounting: stored nodes equal blocks x block size per level,
+    /// and only the last level may lack child pointers.
+    #[test]
+    fn node_accounting_consistent(
+        raw in proptest::collection::vec((any::<u64>(), 0u32..=16), 0..60)
+    ) {
+        let prefixes = normalise(raw, 16);
+        let mut sorted = prefixes.clone();
+        sorted.sort_by_key(|&(_, l)| l);
+        let mut trie = Mbt::classic_16();
+        for (i, &(v, l)) in sorted.iter().enumerate() {
+            trie.insert(v, l, Label(i as u32));
+        }
+        let stats = trie.level_stats();
+        prop_assert_eq!(stats.len(), 3);
+        let mut total = 0;
+        for s in &stats {
+            prop_assert_eq!(s.entries, s.blocks << s.stride);
+            prop_assert!(s.labeled <= s.entries);
+            prop_assert!(s.with_child <= s.entries);
+            total += s.entries;
+        }
+        prop_assert_eq!(trie.stored_nodes(), total);
+        // Last level never points anywhere.
+        prop_assert_eq!(stats[2].with_child, 0);
+        // Memory report mirrors the stats.
+        let report = trie.memory_report(&TrieSizing::default());
+        prop_assert_eq!(report.total_entries(), total);
+    }
+}
