@@ -26,7 +26,7 @@ impl HashLut {
     /// `expected` entries at ≤ 50 % load (power-of-two capacity).
     #[must_use]
     pub fn with_capacity(key_bits: u32, expected: usize) -> Self {
-        assert!(key_bits >= 1 && key_bits <= 64);
+        assert!((1..=64).contains(&key_bits));
         let capacity = (2 * expected.max(1)).next_power_of_two();
         Self { key_bits, slots: vec![None; capacity], len: 0, max_probes_seen: 0 }
     }

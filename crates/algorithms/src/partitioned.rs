@@ -14,7 +14,7 @@
 //! into a rule index.
 
 use crate::label::{Dictionary, Label};
-use crate::trie::{Mbt, MatchChain, StrideSchedule, TrieSizing, UpdateCount};
+use crate::trie::{MatchChain, Mbt, StrideSchedule, TrieSizing, UpdateCount};
 use ofmem::{MemoryBlock, MemoryReport};
 use std::collections::HashMap;
 
@@ -36,7 +36,7 @@ pub struct PartitionedTrie {
 /// a wildcard partition is `(0, 0)`.
 #[must_use]
 pub fn decompose(value: u128, len: u32, field_bits: u32, partition_bits: u32) -> Vec<(u64, u32)> {
-    assert!(field_bits % partition_bits == 0, "partitions must tile the field");
+    assert!(field_bits.is_multiple_of(partition_bits), "partitions must tile the field");
     let n = (field_bits / partition_bits) as usize;
     (0..n)
         .map(|i| {
@@ -66,7 +66,7 @@ impl PartitionedTrie {
     /// Creates partition tries with explicit partition width and schedule.
     #[must_use]
     pub fn with_schedule(field_bits: u32, partition_bits: u32, schedule: StrideSchedule) -> Self {
-        assert!(field_bits % partition_bits == 0, "partitions must tile the field");
+        assert!(field_bits.is_multiple_of(partition_bits), "partitions must tile the field");
         assert_eq!(schedule.total_bits(), partition_bits, "schedule must cover a partition");
         let n = (field_bits / partition_bits) as usize;
         Self {
@@ -188,26 +188,36 @@ impl PartitionedTrie {
     /// Panics unless [`PartitionedTrie::finalize`] has run.
     #[must_use]
     pub fn effective_chains(&self, key: u128) -> Vec<MatchChain> {
+        let mut out = vec![MatchChain::default(); self.tries.len()];
+        self.effective_chains_into(key, &mut out);
+        out
+    }
+
+    /// As [`PartitionedTrie::effective_chains`], writing into
+    /// caller-provided chains (one slot per partition) so batch lookups
+    /// can reuse the match buffers across keys instead of allocating.
+    ///
+    /// # Panics
+    /// Panics unless [`PartitionedTrie::finalize`] has run, or if `out`
+    /// has fewer slots than there are partitions.
+    pub fn effective_chains_into(&self, key: u128, out: &mut [MatchChain]) {
         let parents =
             self.parent_cache.as_ref().expect("call finalize() before effective_chains()");
-        (0..self.tries.len())
-            .map(|i| {
-                let shift = self.field_bits - self.partition_bits * (i as u32 + 1);
-                let part = ((key >> shift) as u64) & ((1 << self.partition_bits) - 1);
-                let mut matches = Vec::new();
-                if let Some((label, len)) = self.tries[i].lookup(part) {
-                    matches.push((label, len));
-                    let mut cur = label;
-                    while let Some(&p) = parents[i].get(&cur) {
-                        let &(_, plen) =
-                            self.dicts[i].value_of(p).expect("parent is interned");
-                        matches.push((p, plen));
-                        cur = p;
-                    }
+        assert!(out.len() >= self.tries.len(), "one output chain per partition");
+        for (i, chain) in out.iter_mut().enumerate().take(self.tries.len()) {
+            let shift = self.field_bits - self.partition_bits * (i as u32 + 1);
+            let part = ((key >> shift) as u64) & ((1 << self.partition_bits) - 1);
+            chain.matches.clear();
+            if let Some((label, len)) = self.tries[i].lookup(part) {
+                chain.matches.push((label, len));
+                let mut cur = label;
+                while let Some(&p) = parents[i].get(&cur) {
+                    let &(_, plen) = self.dicts[i].value_of(p).expect("parent is interned");
+                    chain.matches.push((p, plen));
+                    cur = p;
                 }
-                MatchChain { matches }
-            })
-            .collect()
+            }
+        }
     }
 
     /// Per partition: labels of stored entries that *shadow* the given

@@ -34,7 +34,7 @@ impl RangeMatcher {
     /// Panics on empty ranges or bounds exceeding the key width.
     #[must_use]
     pub fn new(key_bits: u32, ranges: impl IntoIterator<Item = (u64, u64, Label)>) -> Self {
-        assert!(key_bits >= 1 && key_bits <= 64);
+        assert!((1..=64).contains(&key_bits));
         let max = if key_bits == 64 { u64::MAX } else { (1 << key_bits) - 1 };
         let ranges: Vec<StoredRange> = ranges
             .into_iter()

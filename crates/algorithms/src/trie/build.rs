@@ -156,6 +156,9 @@ impl Mbt {
 }
 
 #[cfg(test)]
+// Binary literals below are grouped by the trie's 5-5-6 stride schedule,
+// not by nibbles, so the groupings carry meaning.
+#[allow(clippy::unusual_byte_groupings)]
 mod tests {
     use super::*;
     use crate::trie::StrideSchedule;

@@ -23,10 +23,7 @@ impl StrideSchedule {
     #[must_use]
     pub fn new(strides: Vec<u32>) -> Self {
         assert!(!strides.is_empty(), "schedule needs at least one level");
-        assert!(
-            strides.iter().all(|&s| (1..=16).contains(&s)),
-            "strides must be 1..=16 bits"
-        );
+        assert!(strides.iter().all(|&s| (1..=16).contains(&s)), "strides must be 1..=16 bits");
         Self { strides }
     }
 

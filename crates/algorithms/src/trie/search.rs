@@ -95,13 +95,15 @@ mod tests {
     fn reference_lpm(prefixes: &[(u64, u32, Label)], key: u64, width: u32) -> Option<(Label, u32)> {
         prefixes
             .iter()
-            .filter(|&&(v, l, _)| {
-                if l == 0 {
-                    true
-                } else {
-                    (key >> (width - l)) == (v >> (width - l))
-                }
-            })
+            .filter(
+                |&&(v, l, _)| {
+                    if l == 0 {
+                        true
+                    } else {
+                        (key >> (width - l)) == (v >> (width - l))
+                    }
+                },
+            )
             .max_by_key(|&&(_, l, _)| l)
             .map(|&(_, l, lab)| (lab, l))
     }
@@ -134,10 +136,7 @@ mod tests {
         t.insert(0xAB00, 8, Label(2));
         t.insert(0xABCD, 16, Label(3));
         let chain = t.chain(0xABCD);
-        assert_eq!(
-            chain.matches,
-            vec![(Label(3), 16), (Label(2), 8), (Label(0), 0)]
-        );
+        assert_eq!(chain.matches, vec![(Label(3), 16), (Label(2), 8), (Label(0), 0)]);
         assert_eq!(chain.best(), Some((Label(3), 16)));
     }
 

@@ -155,8 +155,7 @@ mod tests {
         for i in 0..100u64 {
             t.insert(i << 4, 12, Label(i as u32));
         }
-        let sizing =
-            TrieSizing { label_bits: Some(15), ptr_bits: Some(vec![10, 11, 0]) };
+        let sizing = TrieSizing { label_bits: Some(15), ptr_bits: Some(vec![10, 11, 0]) };
         let report = t.memory_report(&sizing);
         let l1 = &report.blocks()[0];
         assert_eq!(l1.entries, 32);
@@ -217,8 +216,8 @@ mod tests {
         }
         let group = Mbt::group_ptr_bits(&[&small, &big]);
         let own = small.level_layouts(&TrieSizing::default());
-        let shared = small
-            .level_layouts(&TrieSizing { label_bits: None, ptr_bits: Some(group.clone()) });
+        let shared =
+            small.level_layouts(&TrieSizing { label_bits: None, ptr_bits: Some(group.clone()) });
         assert!(
             shared[0].field_bits("child_ptr").unwrap() >= own[0].field_bits("child_ptr").unwrap()
         );

@@ -9,8 +9,8 @@
 //! tracks replication explicitly so experiments can compare it against the
 //! decomposition architecture's completion-entry overhead.
 
-use crate::Classifier;
-use offilter::Rule;
+use crate::{BuildError, Classifier, ClassifierBuilder};
+use offilter::{FilterSet, Rule};
 use oflow::{FieldMatch, HeaderValues, MatchFieldKind};
 
 /// Build parameters.
@@ -45,6 +45,7 @@ enum Node {
         region: Region,
         children: Vec<Node>,
     },
+    /// Rule *positions* (indices into `HiCutsTree::rules`, not rule ids).
     Leaf(Vec<u32>),
 }
 
@@ -91,7 +92,9 @@ impl HiCutsTree {
             }
         }
         fields.sort();
-        let ids: Vec<u32> = rules.iter().map(|r| r.id).collect();
+        // The tree stores rule positions, so arbitrary (non-dense) rule
+        // ids are fine; ids only reappear at classify time.
+        let ids: Vec<u32> = (0..rules.len() as u32).collect();
         let mut stored_rule_refs = 0;
         let mut nodes = 0;
         let mut max_depth_seen = 0;
@@ -231,8 +234,14 @@ fn build(
     Node::Internal { field, region, children }
 }
 
+impl ClassifierBuilder for HiCutsTree {
+    fn try_build(set: &FilterSet) -> Result<Self, BuildError> {
+        Ok(Self::new(set.rules.clone(), HiCutsParams::default()))
+    }
+}
+
 impl Classifier for HiCutsTree {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "hicuts"
     }
 
@@ -240,15 +249,13 @@ impl Classifier for HiCutsTree {
         let mut node = &self.root;
         loop {
             match node {
-                Node::Leaf(ids) => {
-                    return ids
+                Node::Leaf(positions) => {
+                    return positions
                         .iter()
-                        .filter(|&&id| self.rules[id as usize].flow_match.matches(header))
-                        .max_by_key(|&&id| {
-                            let r = &self.rules[id as usize];
-                            (r.priority, r.flow_match.specificity())
-                        })
-                        .copied();
+                        .map(|&pos| &self.rules[pos as usize])
+                        .filter(|r| r.flow_match.matches(header))
+                        .max_by_key(|r| (r.priority, r.flow_match.specificity()))
+                        .map(|r| r.id);
                 }
                 Node::Internal { field, region, children } => {
                     let v = header.get(*field).unwrap_or(0);
@@ -273,6 +280,11 @@ impl Classifier for HiCutsTree {
         self.nodes as u64 * node_bits + self.stored_rule_refs as u64 * ref_bits
     }
 
+    fn build_records(&self) -> usize {
+        // Every tree node plus every (replicated) leaf rule reference.
+        self.nodes + self.stored_rule_refs
+    }
+
     fn lookup_accesses(&self, header: &HeaderValues) -> usize {
         // Nodes visited + leaf rules scanned.
         let mut node = &self.root;
@@ -280,7 +292,7 @@ impl Classifier for HiCutsTree {
         loop {
             accesses += 1;
             match node {
-                Node::Leaf(ids) => return accesses + ids.len(),
+                Node::Leaf(positions) => return accesses + positions.len(),
                 Node::Internal { field, region, children } => {
                     let v = header.get(*field).unwrap_or(0);
                     let span = region.hi - region.lo + 1;
@@ -373,7 +385,8 @@ mod tests {
     #[test]
     fn deeper_cuts_shrink_leaves() {
         let rules = acl_rules(300, 45);
-        let shallow = HiCutsTree::new(rules.clone(), HiCutsParams { binth: 64, cuts: 4, max_depth: 20 });
+        let shallow =
+            HiCutsTree::new(rules.clone(), HiCutsParams { binth: 64, cuts: 4, max_depth: 20 });
         let deep = HiCutsTree::new(rules, HiCutsParams { binth: 4, cuts: 4, max_depth: 24 });
         assert!(deep.depth() >= shallow.depth());
         assert!(deep.nodes() >= shallow.nodes());

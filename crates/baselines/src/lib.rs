@@ -11,9 +11,13 @@
 //! | Hashing-based | [`tss::TupleSpaceSearch`] — tuple space search over mask signatures |
 //! | (reference) | [`linear::LinearClassifier`] — priority-ordered linear scan |
 //!
-//! All implement [`Classifier`], reporting matched rule ids, memory bits
-//! and a per-lookup work metric, so `mtl-bench` can tabulate them side by
-//! side with the decomposition architecture.
+//! All implement the shared [`classifier_api::Classifier`] trait —
+//! reporting matched rule ids, memory bits and a per-lookup work metric —
+//! and build fallibly through [`classifier_api::ClassifierBuilder`], so
+//! `mtl-bench` can tabulate them side by side with the decomposition
+//! architecture through one `Box<dyn Classifier>` registry.
+//! [`tss::TupleSpaceSearch`] additionally implements
+//! [`classifier_api::DynamicClassifier`] (in-tuple incremental inserts).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,32 +27,7 @@ pub mod linear;
 pub mod tcam;
 pub mod tss;
 
-use offilter::Rule;
-use oflow::HeaderValues;
-
-/// A rule-set classifier that can be compared across categories.
-pub trait Classifier {
-    /// Short display name.
-    fn name(&self) -> &'static str;
-
-    /// The id of the highest-priority matching rule, if any.
-    fn classify(&self, header: &HeaderValues) -> Option<u32>;
-
-    /// Modeled memory footprint in bits.
-    fn memory_bits(&self) -> u64;
-
-    /// Work performed by the last-issued `classify` expressed as memory
-    /// accesses (the lookup-speed proxy Table I ranks by). Implementations
-    /// return the *expected/structural* cost, not a timed measurement.
-    fn lookup_accesses(&self, header: &HeaderValues) -> usize;
-}
-
-/// Reference decision for a rule set: highest priority, then specificity.
-#[must_use]
-pub fn reference_classify(rules: &[Rule], header: &HeaderValues) -> Option<u32> {
-    rules
-        .iter()
-        .filter(|r| r.flow_match.matches(header))
-        .max_by_key(|r| (r.priority, r.flow_match.specificity()))
-        .map(|r| r.id)
-}
+pub use classifier_api::{
+    reference_classify, BuildError, Classifier, ClassifierBuilder, ClassifierRegistry,
+    DynamicClassifier, RegistryEntry, UpdateReport,
+};

@@ -4,8 +4,8 @@
 //! stores each rule's full match data (value + mask per constrained
 //! field), i.e. the storage a naive software table would need.
 
-use crate::Classifier;
-use offilter::Rule;
+use crate::{BuildError, Classifier, ClassifierBuilder};
+use offilter::{FilterSet, Rule};
 use oflow::{FieldMatch, HeaderValues};
 
 /// A linear-scan classifier over rules sorted by priority.
@@ -36,8 +36,14 @@ impl LinearClassifier {
     }
 }
 
+impl ClassifierBuilder for LinearClassifier {
+    fn try_build(set: &FilterSet) -> Result<Self, BuildError> {
+        Ok(Self::new(set.rules.clone()))
+    }
+}
+
 impl Classifier for LinearClassifier {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "linear"
     }
 
@@ -70,6 +76,11 @@ impl Classifier for LinearClassifier {
             Some(i) => i + 1,
             None => self.rules.len(),
         }
+    }
+
+    fn build_records(&self) -> usize {
+        // One stored row per rule.
+        self.rules.len()
     }
 }
 

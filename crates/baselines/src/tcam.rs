@@ -13,8 +13,8 @@
 //! Functionally the model matches lowest-index-wins TCAM semantics, with
 //! entries ordered by rule priority.
 
-use crate::Classifier;
-use offilter::Rule;
+use crate::{BuildError, Classifier, ClassifierBuilder};
+use offilter::{FilterSet, Rule};
 use oflow::{FieldMatch, HeaderValues, MatchFieldKind};
 
 /// One ternary entry: per-field value and care mask.
@@ -166,8 +166,14 @@ impl TcamModel {
     }
 }
 
+impl ClassifierBuilder for TcamModel {
+    fn try_build(set: &FilterSet) -> Result<Self, BuildError> {
+        Ok(Self::new(&set.rules))
+    }
+}
+
 impl Classifier for TcamModel {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "tcam"
     }
 
@@ -184,6 +190,11 @@ impl Classifier for TcamModel {
     fn lookup_accesses(&self, _header: &HeaderValues) -> usize {
         // Parallel search: a single access cycle regardless of size...
         1
+    }
+
+    fn build_records(&self) -> usize {
+        // One ternary row per entry, range expansion included.
+        self.entries.len()
     }
 }
 

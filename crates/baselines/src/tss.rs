@@ -9,8 +9,8 @@
 //! Range fields are handled as in Open vSwitch: each distinct range is a
 //! tuple dimension value of its own (staged lookup keeps exactness).
 
-use crate::Classifier;
-use offilter::Rule;
+use crate::{BuildError, Classifier, ClassifierBuilder, DynamicClassifier, UpdateReport};
+use offilter::{FilterSet, Rule};
 use oflow::{FieldMatch, HeaderValues, MatchFieldKind};
 use std::collections::HashMap;
 
@@ -43,13 +43,11 @@ impl Tuple {
                 let v = header.get(*field);
                 match dim {
                     Dim::Any => Some(0),
-                    Dim::Prefix(len) => v.map(|v| {
-                        v & oflow::flow_match::prefix_mask(field.bit_width(), *len)
-                    }),
+                    Dim::Prefix(len) => {
+                        v.map(|v| v & oflow::flow_match::prefix_mask(field.bit_width(), *len))
+                    }
                     Dim::Range(lo, hi) => match v {
-                        Some(v) if u64::try_from(v).map_or(false, |v| *lo <= v && v <= *hi) => {
-                            Some(0)
-                        }
+                        Some(v) if u64::try_from(v).is_ok_and(|v| *lo <= v && v <= *hi) => Some(0),
                         _ => None,
                     },
                 }
@@ -63,14 +61,65 @@ impl Tuple {
 pub struct TupleSpaceSearch {
     tuples: Vec<Tuple>,
     fields: Vec<MatchFieldKind>,
+    /// The stored rules (needed for incremental removal, which rebuilds
+    /// the tuple space from the survivors, and for field-set extensions).
+    rules: Vec<Rule>,
+}
+
+/// The signature and masked key of a rule over a fixed field list.
+fn signature_of(rule: &Rule, fields: &[MatchFieldKind]) -> (Signature, Vec<u128>) {
+    let mut signature: Signature = Vec::with_capacity(fields.len());
+    let mut key: Vec<u128> = Vec::with_capacity(fields.len());
+    for &field in fields {
+        let width = field.bit_width();
+        match rule.flow_match.field(field) {
+            FieldMatch::Any => {
+                signature.push((field, Dim::Any));
+                key.push(0);
+            }
+            FieldMatch::Exact(v) => {
+                signature.push((field, Dim::Prefix(width)));
+                key.push(v);
+            }
+            FieldMatch::Prefix { value, len } => {
+                signature.push((field, Dim::Prefix(len)));
+                key.push(value);
+            }
+            FieldMatch::Range { lo, hi } => {
+                signature.push((field, Dim::Range(lo as u64, hi as u64)));
+                key.push(0);
+            }
+        }
+    }
+    (signature, key)
+}
+
+/// Merges one rule into a tuple's hash table (best priority wins a key).
+fn merge_entry(tuple: &mut Tuple, key: Vec<u128>, rule: &Rule) {
+    let candidate = (rule.priority, rule.flow_match.specificity(), rule.id);
+    tuple
+        .table
+        .entry(key)
+        .and_modify(|slot| {
+            if (slot.0, slot.1) < (candidate.0, candidate.1) {
+                *slot = candidate;
+            }
+        })
+        .or_insert(candidate);
 }
 
 impl TupleSpaceSearch {
     /// Builds the tuple space from rules.
     #[must_use]
     pub fn new(rules: &[Rule]) -> Self {
+        Self::from_rules(rules.to_vec())
+    }
+
+    /// Builds the tuple space, taking ownership of the rules (the rebuild
+    /// paths use this to avoid re-cloning a rule set they already own).
+    fn from_rules(rules: Vec<Rule>) -> Self {
         let mut fields: Vec<MatchFieldKind> = Vec::new();
-        for r in rules {
+        for r in &rules {
             for (f, m) in r.flow_match.parts() {
                 if !m.is_wildcard() && !fields.contains(f) {
                     fields.push(*f);
@@ -80,46 +129,14 @@ impl TupleSpaceSearch {
         fields.sort();
 
         let mut by_sig: HashMap<Signature, Tuple> = HashMap::new();
-        for r in rules {
-            let mut signature: Signature = Vec::with_capacity(fields.len());
-            let mut key: Vec<u128> = Vec::with_capacity(fields.len());
-            for &field in &fields {
-                let width = field.bit_width();
-                match r.flow_match.field(field) {
-                    FieldMatch::Any => {
-                        signature.push((field, Dim::Any));
-                        key.push(0);
-                    }
-                    FieldMatch::Exact(v) => {
-                        signature.push((field, Dim::Prefix(width)));
-                        key.push(v);
-                    }
-                    FieldMatch::Prefix { value, len } => {
-                        signature.push((field, Dim::Prefix(len)));
-                        key.push(value);
-                    }
-                    FieldMatch::Range { lo, hi } => {
-                        signature.push((field, Dim::Range(lo as u64, hi as u64)));
-                        key.push(0);
-                    }
-                }
-            }
-            let tuple = by_sig.entry(signature.clone()).or_insert_with(|| Tuple {
-                signature,
-                table: HashMap::new(),
-            });
-            let candidate = (r.priority, r.flow_match.specificity(), r.id);
-            tuple
-                .table
-                .entry(key)
-                .and_modify(|slot| {
-                    if (slot.0, slot.1) < (candidate.0, candidate.1) {
-                        *slot = candidate;
-                    }
-                })
-                .or_insert(candidate);
+        for r in &rules {
+            let (signature, key) = signature_of(r, &fields);
+            let tuple = by_sig
+                .entry(signature.clone())
+                .or_insert_with(|| Tuple { signature, table: HashMap::new() });
+            merge_entry(tuple, key, r);
         }
-        Self { tuples: by_sig.into_values().collect(), fields }
+        Self { tuples: by_sig.into_values().collect(), fields, rules }
     }
 
     /// Number of tuples (hash tables probed per lookup).
@@ -135,8 +152,61 @@ impl TupleSpaceSearch {
     }
 }
 
+impl ClassifierBuilder for TupleSpaceSearch {
+    fn try_build(set: &FilterSet) -> Result<Self, BuildError> {
+        Ok(Self::new(&set.rules))
+    }
+}
+
+impl DynamicClassifier for TupleSpaceSearch {
+    /// Inserts in place when the rule only constrains fields the tuple
+    /// space already covers — one hash-table write into the (possibly
+    /// fresh) tuple of its mask signature, the TSS fast path. A rule
+    /// constraining a *new* field changes every signature, so the space
+    /// is rebuilt.
+    fn insert_rule(&mut self, rule: Rule) -> Result<UpdateReport, BuildError> {
+        let extends_fields = rule
+            .flow_match
+            .parts()
+            .iter()
+            .any(|(f, m)| !m.is_wildcard() && !self.fields.contains(f));
+        if extends_fields {
+            let mut rules = std::mem::take(&mut self.rules);
+            rules.push(rule);
+            let records = rules.len();
+            *self = Self::from_rules(rules);
+            return Ok(UpdateReport { records, rebuilt: true });
+        }
+        let (signature, key) = signature_of(&rule, &self.fields);
+        let tuple = match self.tuples.iter_mut().find(|t| t.signature == signature) {
+            Some(t) => t,
+            None => {
+                self.tuples.push(Tuple { signature, table: HashMap::new() });
+                self.tuples.last_mut().expect("just pushed")
+            }
+        };
+        merge_entry(tuple, key, &rule);
+        self.rules.push(rule);
+        Ok(UpdateReport { records: 1, rebuilt: false })
+    }
+
+    /// Removes by rebuilding from the surviving rules (several rules can
+    /// collapse onto one masked key, so in-place deletion would need
+    /// per-key shadow lists).
+    fn remove_rule(&mut self, rule_id: u32) -> Option<UpdateReport> {
+        if !self.rules.iter().any(|r| r.id == rule_id) {
+            return None;
+        }
+        let mut survivors = std::mem::take(&mut self.rules);
+        survivors.retain(|r| r.id != rule_id);
+        let records = survivors.len();
+        *self = Self::from_rules(survivors);
+        Some(UpdateReport { records, rebuilt: true })
+    }
+}
+
 impl Classifier for TupleSpaceSearch {
-    fn name(&self) -> &'static str {
+    fn name(&self) -> &str {
         "tss"
     }
 
@@ -158,8 +228,7 @@ impl Classifier for TupleSpaceSearch {
         self.tuples
             .iter()
             .map(|t| {
-                let key_bits: u64 =
-                    t.signature.iter().map(|(f, _)| u64::from(f.bit_width())).sum();
+                let key_bits: u64 = t.signature.iter().map(|(f, _)| u64::from(f.bit_width())).sum();
                 let capacity = (2 * t.table.len().max(1)).next_power_of_two() as u64;
                 capacity * (1 + key_bits + 16 + 32)
             })
@@ -169,6 +238,11 @@ impl Classifier for TupleSpaceSearch {
     fn lookup_accesses(&self, _header: &HeaderValues) -> usize {
         // One hash probe per tuple.
         self.tuples.len()
+    }
+
+    fn build_records(&self) -> usize {
+        // One hash-table write per rule.
+        self.rules.len()
     }
 }
 
@@ -247,5 +321,47 @@ mod tests {
         let tss = TupleSpaceSearch::new(&[]);
         assert_eq!(tss.classify(&HeaderValues::new()), None);
         assert_eq!(tss.num_tuples(), 0);
+    }
+
+    #[test]
+    fn dynamic_updates_track_fresh_build() {
+        let rules = generate_acl(&AclConfig { rules: 120, ..AclConfig::default() }, 35).rules;
+        let (seed_rules, added_rules) = rules.split_at(80);
+        let mut tss = TupleSpaceSearch::new(seed_rules);
+        // Same field universe: every insert takes the in-place fast path.
+        for r in added_rules {
+            let report = tss.insert_rule(r.clone()).expect("insert works");
+            assert!(!report.rebuilt, "rule {} forced a rebuild", r.id);
+            assert_eq!(report.records, 1);
+        }
+        let fresh = TupleSpaceSearch::new(&rules);
+        let mut rng = StdRng::seed_from_u64(36);
+        for _ in 0..300 {
+            let h = HeaderValues::new()
+                .with(MatchFieldKind::Ipv4Src, u128::from(rng.gen::<u32>()))
+                .with(MatchFieldKind::Ipv4Dst, u128::from(rng.gen::<u32>()))
+                .with(MatchFieldKind::IpProto, 6)
+                .with(MatchFieldKind::TcpDst, u128::from(rng.gen::<u16>()))
+                .with(MatchFieldKind::TcpSrc, u128::from(rng.gen::<u16>()));
+            assert_eq!(tss.classify(&h), fresh.classify(&h), "header {h}");
+        }
+        // A rule over a brand-new field rebuilds the space.
+        let widener = Rule::new(
+            9_000,
+            u16::MAX,
+            oflow::FlowMatch::any().with_exact(MatchFieldKind::VlanVid, 7).unwrap(),
+            offilter::RuleAction::Deny,
+        );
+        let report = tss.insert_rule(widener).expect("insert works");
+        assert!(report.rebuilt);
+        let h = HeaderValues::new().with(MatchFieldKind::VlanVid, 7);
+        assert_eq!(tss.classify(&h), Some(9_000));
+        // Removal rebuilds from survivors: the widener no longer matches,
+        // only whatever catch-all the ACL set itself contains.
+        let report = tss.remove_rule(9_000).expect("rule exists");
+        assert!(report.rebuilt);
+        assert_eq!(tss.classify(&h), reference_classify(&rules, &h));
+        assert_ne!(tss.classify(&h), Some(9_000));
+        assert!(tss.remove_rule(9_000).is_none());
     }
 }

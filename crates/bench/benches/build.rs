@@ -19,11 +19,8 @@ fn bench_build(c: &mut Criterion) {
             },
             11,
         );
-        let prefixes: Vec<(u128, u32)> = set
-            .rules
-            .iter()
-            .map(|r| r.field_as_prefix(MatchFieldKind::Ipv4Dst).unwrap())
-            .collect();
+        let prefixes: Vec<(u128, u32)> =
+            set.rules.iter().map(|r| r.field_as_prefix(MatchFieldKind::Ipv4Dst).unwrap()).collect();
         g.bench_function(BenchmarkId::from_parameter(rules), |b| {
             b.iter(|| {
                 let mut pt = PartitionedTrie::new(32);

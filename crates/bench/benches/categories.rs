@@ -20,9 +20,7 @@ fn bench_categories(c: &mut Criterion) {
     c.bench_function("categories/build_hicuts", |b| {
         b.iter(|| black_box(HiCutsTree::new(set.rules.clone(), HiCutsParams::default())))
     });
-    c.bench_function("categories/build_tcam", |b| {
-        b.iter(|| black_box(TcamModel::new(&set.rules)))
-    });
+    c.bench_function("categories/build_tcam", |b| b.iter(|| black_box(TcamModel::new(&set.rules))));
 }
 
 criterion_group! {

@@ -14,11 +14,8 @@ use rand::{Rng, SeedableRng};
 
 fn probe_headers(set: &offilter::FilterSet, n: usize) -> Vec<HeaderValues> {
     let mut rng = StdRng::seed_from_u64(7);
-    let ports: Vec<u128> = set
-        .rules
-        .iter()
-        .map(|r| r.field_as_prefix(MatchFieldKind::InPort).unwrap().0)
-        .collect();
+    let ports: Vec<u128> =
+        set.rules.iter().map(|r| r.field_as_prefix(MatchFieldKind::InPort).unwrap().0).collect();
     (0..n)
         .map(|_| {
             HeaderValues::new()

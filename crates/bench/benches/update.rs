@@ -3,8 +3,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mtl_core::{MtlSwitch, SwitchConfig, UpdatePlan};
-use offilter::synth::{generate_mac, MacTargets};
 use offilter::paper_data::mac_stats;
+use offilter::synth::{generate_mac, MacTargets};
 use offilter::FilterKind;
 
 fn bench_update(c: &mut Criterion) {

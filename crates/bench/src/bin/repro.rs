@@ -14,7 +14,9 @@
 //! `target/repro/`.
 
 use mtl_bench::data::Workloads;
-use mtl_bench::{fig2, fig3, fig4, fig5, headline, table1, table2, table3, table4, DEFAULT_SEED};
+use mtl_bench::{
+    fig2, fig3, fig4, fig5, headline, table1, table2, table3, table4, throughput, DEFAULT_SEED,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,7 +42,16 @@ fn main() {
     }
 
     let known = [
-        "table1", "table2", "table3", "table4", "fig2", "fig3", "fig4", "fig5", "headline",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "headline",
+        "throughput",
     ];
     let selected: Vec<&str> = if experiments.iter().any(|e| e == "all") {
         known.to_vec()
@@ -80,6 +91,7 @@ fn main() {
             "fig4" => fig4::report(workloads.as_ref().expect("data")),
             "fig5" => fig5::report(workloads.as_ref().expect("data")),
             "headline" => headline::report(workloads.as_ref().expect("data")),
+            "throughput" => throughput::report(workloads.as_ref().expect("data")),
             _ => unreachable!(),
         }
     }
@@ -92,7 +104,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [EXPERIMENT...] [--seed N] [--full]\n\
-         experiments: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 headline"
+         experiments: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 headline throughput"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

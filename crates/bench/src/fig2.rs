@@ -9,14 +9,13 @@
 //! the coza/b, soza/b higher tries.
 
 use crate::data::Workloads;
-use crate::output::{render_table, write_json};
+use crate::output::{obj, render_table, write_json, Json, ToJson};
 use ofalgo::PartitionedTrie;
 use offilter::{FilterKind, FilterSet};
 use oflow::MatchFieldKind;
-use serde::Serialize;
 
 /// Node counts for one router's field tries.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Router name.
     pub router: String,
@@ -28,13 +27,30 @@ pub struct Row {
     pub total: usize,
 }
 
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        obj([
+            ("router", self.router.as_str().into()),
+            ("rules", self.rules.into()),
+            ("per_trie", self.per_trie.clone().into()),
+            ("total", self.total.into()),
+        ])
+    }
+}
+
 /// The Fig. 2 results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2 {
     /// Fig. 2(a): Ethernet tries (higher/middle/lower).
     pub ethernet: Vec<Row>,
     /// Fig. 2(b): IP tries (higher/lower).
     pub ip: Vec<Row>,
+}
+
+impl ToJson for Fig2 {
+    fn to_json(&self) -> Json {
+        obj([("ethernet", self.ethernet.to_json()), ("ip", self.ip.to_json())])
+    }
 }
 
 /// Builds the partition tries for one set's LPM field.
@@ -89,26 +105,22 @@ pub fn report(w: &Workloads) {
     println!("{}", render_table(&["router", "rules", "higher", "middle", "lower", "total"], &rows));
 
     println!("== Fig. 2(b): stored nodes, IPv4 address fields ==");
-    let rows: Vec<Vec<String>> = f
-        .ip
-        .iter()
-        .map(|r| {
-            vec![
-                r.router.clone(),
-                r.rules.to_string(),
-                r.per_trie[0].to_string(),
-                r.per_trie[1].to_string(),
-                r.total.to_string(),
-            ]
-        })
-        .collect();
+    let rows: Vec<Vec<String>> =
+        f.ip.iter()
+            .map(|r| {
+                vec![
+                    r.router.clone(),
+                    r.rules.to_string(),
+                    r.per_trie[0].to_string(),
+                    r.per_trie[1].to_string(),
+                    r.total.to_string(),
+                ]
+            })
+            .collect();
     println!("{}", render_table(&["router", "rules", "higher", "lower", "total"], &rows));
 
     let max_eth = f.ethernet.iter().max_by_key(|r| r.total).unwrap();
-    println!(
-        "max Ethernet nodes: {} ({}) — paper: 54010 (gozb)\n",
-        max_eth.total, max_eth.router
-    );
+    println!("max Ethernet nodes: {} ({}) — paper: 54010 (gozb)\n", max_eth.total, max_eth.router);
     write_json("fig2", &f);
 }
 
@@ -119,7 +131,7 @@ mod tests {
     #[test]
     fn shapes_match_paper_claims() {
         let w = Workloads::shared_quick();
-        let f = run(&w);
+        let f = run(w);
         assert_eq!(f.ethernet.len(), 16);
         assert_eq!(f.ip.len(), 16);
 
@@ -143,8 +155,7 @@ mod tests {
         // IP: lower tries dominate except the exception routers
         // (hi > lo unique counts there; Fig. 2(b) discussion).
         for r in &f.ip {
-            let exception =
-                offilter::paper_data::ROUTING_EXCEPTIONS.contains(&r.router.as_str());
+            let exception = offilter::paper_data::ROUTING_EXCEPTIONS.contains(&r.router.as_str());
             if !exception {
                 assert!(
                     r.per_trie[1] >= r.per_trie[0],
@@ -161,10 +172,6 @@ mod tests {
         // are within 1% of it, so synthetic clustering noise can swap
         // them).
         let max_eth = f.ethernet.iter().max_by_key(|r| r.total).unwrap();
-        assert!(
-            max_eth.router == "gozb" || max_eth.router == "goza",
-            "max is {}",
-            max_eth.router
-        );
+        assert!(max_eth.router == "gozb" || max_eth.router == "goza", "max is {}", max_eth.router);
     }
 }

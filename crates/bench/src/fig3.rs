@@ -6,11 +6,10 @@
 
 use crate::data::Workloads;
 use crate::fig2::tries_for;
-use crate::output::{render_table, write_json};
-use serde::Serialize;
+use crate::output::{arr, obj, render_table, write_json, Json, ToJson};
 
 /// Per-level memory of one router's chosen trie.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Router name.
     pub router: String,
@@ -22,11 +21,28 @@ pub struct Row {
     pub total_kbits: f64,
 }
 
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        obj([
+            ("router", self.router.as_str().into()),
+            ("nodes", arr(self.nodes.iter().map(|&n| n.into()))),
+            ("kbits", arr(self.kbits.iter().map(|&k| k.into()))),
+            ("total_kbits", self.total_kbits.into()),
+        ])
+    }
+}
+
 /// The Fig. 3 results (Ethernet lower trie per router).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig3 {
     /// Per-router rows.
     pub rows: Vec<Row>,
+}
+
+impl ToJson for Fig3 {
+    fn to_json(&self) -> Json {
+        obj([("rows", self.rows.to_json())])
+    }
 }
 
 /// Extracts a per-level row from a partitioned trie's memory report.
@@ -40,22 +56,13 @@ pub fn level_row(set_name: &str, pt: &ofalgo::PartitionedTrie, trie_name: &str) 
         nodes[i] = report.entries_under(&path);
         kbits[i] = report.bits_under(&path) as f64 / 1_000.0;
     }
-    Row {
-        router: set_name.to_owned(),
-        nodes,
-        kbits,
-        total_kbits: kbits.iter().sum(),
-    }
+    Row { router: set_name.to_owned(), nodes, kbits, total_kbits: kbits.iter().sum() }
 }
 
 /// Runs the experiment.
 #[must_use]
 pub fn run(w: &Workloads) -> Fig3 {
-    let rows = w
-        .mac
-        .iter()
-        .map(|set| level_row(&set.name, &tries_for(set), "lower"))
-        .collect();
+    let rows = w.mac.iter().map(|set| level_row(&set.name, &tries_for(set), "lower")).collect();
     Fig3 { rows }
 }
 
@@ -91,7 +98,7 @@ mod tests {
     #[test]
     fn l1_anchor_and_l3_dominance() {
         let w = Workloads::shared_quick();
-        let f = run(&w);
+        let f = run(w);
         for r in &f.rows {
             // L1 of a 5-5-6 16-bit trie is the 32-entry root block.
             assert!(r.nodes[0] <= 32, "router {}: L1 {} nodes", r.router, r.nodes[0]);

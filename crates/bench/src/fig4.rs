@@ -9,12 +9,11 @@
 use crate::data::Workloads;
 use crate::fig2::tries_for;
 use crate::fig3::{level_row, Row};
-use crate::output::{render_table, write_json};
+use crate::output::{obj, render_table, write_json, Json, ToJson};
 use offilter::paper_data::ROUTING_EXCEPTIONS;
-use serde::Serialize;
 
 /// The Fig. 4 results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4 {
     /// (a) lower-trie rows for non-exception routers.
     pub ordinary_lower: Vec<Row>,
@@ -22,6 +21,16 @@ pub struct Fig4 {
     pub exception_higher: Vec<Row>,
     /// (b) lower-trie rows for the exception routers.
     pub exception_lower: Vec<Row>,
+}
+
+impl ToJson for Fig4 {
+    fn to_json(&self) -> Json {
+        obj([
+            ("ordinary_lower", self.ordinary_lower.to_json()),
+            ("exception_higher", self.exception_higher.to_json()),
+            ("exception_lower", self.exception_lower.to_json()),
+        ])
+    }
 }
 
 /// Runs the experiment.
@@ -67,7 +76,9 @@ pub fn report(w: &Workloads) {
     print_rows("== Fig. 4(a): IP lower trie, ordinary routers ==", &f.ordinary_lower);
     print_rows("== Fig. 4(b): IP higher trie, exception routers ==", &f.exception_higher);
     print_rows("== Fig. 4(b): IP lower trie, exception routers ==", &f.exception_lower);
-    println!("paper anchors: exception higher tries > their lower tries; ordinary lower <= ~321 Kbits\n");
+    println!(
+        "paper anchors: exception higher tries > their lower tries; ordinary lower <= ~321 Kbits\n"
+    );
     write_json("fig4", &f);
 }
 
@@ -78,7 +89,7 @@ mod tests {
     #[test]
     fn exception_higher_tries_dominate() {
         let w = Workloads::shared_quick();
-        let f = run(&w);
+        let f = run(w);
         assert_eq!(f.ordinary_lower.len(), 12);
         assert_eq!(f.exception_higher.len(), 4);
         for (hi, lo) in f.exception_higher.iter().zip(&f.exception_lower) {
@@ -96,7 +107,7 @@ mod tests {
     #[test]
     fn l1_small_everywhere() {
         let w = Workloads::shared_quick();
-        let f = run(&w);
+        let f = run(w);
         for r in f.ordinary_lower.iter().chain(&f.exception_higher).chain(&f.exception_lower) {
             assert!(r.kbits[0] < 1.0, "router {}: L1 {} Kbits", r.router, r.kbits[0]);
         }

@@ -8,12 +8,11 @@
 //! Paper anchor: "achieving a 56.92% fewer CPU clock cycles on average".
 
 use crate::data::Workloads;
-use crate::output::{render_table, write_json};
+use crate::output::{obj, render_table, write_json, Json, ToJson};
 use mtl_core::{MtlSwitch, SwitchConfig};
-use serde::Serialize;
 
 /// One router's update-cost comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Router name.
     pub router: String,
@@ -27,13 +26,31 @@ pub struct Row {
     pub reduction: f64,
 }
 
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        obj([
+            ("router", self.router.as_str().into()),
+            ("rules", self.rules.into()),
+            ("original_cycles", self.original_cycles.into()),
+            ("label_cycles", self.label_cycles.into()),
+            ("reduction", self.reduction.into()),
+        ])
+    }
+}
+
 /// The Fig. 5 results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5 {
     /// Per-router rows.
     pub rows: Vec<Row>,
     /// Mean reduction across routers (paper: 0.5692).
     pub average_reduction: f64,
+}
+
+impl ToJson for Fig5 {
+    fn to_json(&self) -> Json {
+        obj([("rows", self.rows.to_json()), ("average_reduction", self.average_reduction.into())])
+    }
 }
 
 /// Runs the experiment.
@@ -82,10 +99,7 @@ pub fn report(w: &Workloads) {
         "{}",
         render_table(&["router", "rules", "original cyc", "label cyc", "reduction"], &rows)
     );
-    println!(
-        "average reduction: {:.2}% (paper: 56.92%)\n",
-        100.0 * f.average_reduction
-    );
+    println!("average reduction: {:.2}% (paper: 56.92%)\n", 100.0 * f.average_reduction);
     write_json("fig5", &f);
 }
 
@@ -96,7 +110,7 @@ mod tests {
     #[test]
     fn label_method_wins_everywhere() {
         let w = Workloads::shared_quick();
-        let f = run(&w);
+        let f = run(w);
         assert_eq!(f.rows.len(), 16);
         for r in &f.rows {
             assert!(

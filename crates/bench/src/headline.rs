@@ -12,12 +12,11 @@
 //! for every router pair.
 
 use crate::data::Workloads;
-use crate::output::{render_table, write_json};
+use crate::output::{obj, render_table, write_json, Json, ToJson};
 use mtl_core::{MtlSwitch, SwitchConfig, SwitchMemoryReport};
-use serde::Serialize;
 
 /// One switch build's memory summary.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Summary {
     /// MAC router used.
     pub mac_router: String,
@@ -41,8 +40,25 @@ pub struct Summary {
     pub m20k_blocks: u32,
 }
 
+impl ToJson for Summary {
+    fn to_json(&self) -> Json {
+        obj([
+            ("mac_router", self.mac_router.as_str().into()),
+            ("routing_router", self.routing_router.as_str().into()),
+            ("total_bits", self.total_bits.into()),
+            ("total_mbits", self.total_mbits.into()),
+            ("mbt_bits", self.mbt_bits.into()),
+            ("lut_bits", self.lut_bits.into()),
+            ("index_bits", self.index_bits.into()),
+            ("action_bits", self.action_bits.into()),
+            ("mbt_share", self.mbt_share.into()),
+            ("m20k_blocks", self.m20k_blocks.into()),
+        ])
+    }
+}
+
 /// The headline results.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Headline {
     /// The paper-scale prototype: worst-case MAC filter (gozb) with the
     /// largest ordinary routing filter (yoza).
@@ -53,6 +69,16 @@ pub struct Headline {
     pub coza: Summary,
     /// Per-router sweep (router i of both tables).
     pub sweep: Vec<Summary>,
+}
+
+impl ToJson for Headline {
+    fn to_json(&self) -> Json {
+        obj([
+            ("worst_case", self.worst_case.to_json()),
+            ("coza", self.coza.to_json()),
+            ("sweep", self.sweep.to_json()),
+        ])
+    }
 }
 
 fn summarize(w: &Workloads, mac: &str, routing: &str) -> Summary {
@@ -81,10 +107,7 @@ fn summarize(w: &Workloads, mac: &str, routing: &str) -> Summary {
 pub fn run(w: &Workloads) -> Headline {
     let worst_case = summarize(w, "gozb", "yoza");
     let coza = summarize(w, "gozb", "coza");
-    let sweep = offilter::paper_data::ROUTERS
-        .iter()
-        .map(|r| summarize(w, r, r))
-        .collect();
+    let sweep = offilter::paper_data::ROUTERS.iter().map(|r| summarize(w, r, r)).collect();
     Headline { worst_case, coza, sweep }
 }
 
@@ -138,7 +161,7 @@ mod tests {
     #[test]
     fn totals_in_paper_ballpark() {
         let w = Workloads::shared_quick();
-        let h = run(&w);
+        let h = run(w);
         // Quick mode scales coza down 20x, so only the sweep's small
         // routers are meaningful here; they must land within an order of
         // magnitude of the paper's 5 Mbit prototype.

@@ -5,6 +5,11 @@
 //! (written under `target/repro/`). The `repro` binary drives them; the
 //! Criterion benches under `benches/` measure lookup/update/build speed.
 //!
+//! Experiments that compare lookup engines iterate the
+//! [`registry`] module's `Box<dyn Classifier>` collection — one generic
+//! measurement loop for the decomposition architecture and all four
+//! baselines — instead of hand-rolled per-type code.
+//!
 //! | Experiment | Paper artefact | Module |
 //! |---|---|---|
 //! | `table1` | Table I (algorithm categories, quantified) | [`table1`] |
@@ -16,6 +21,7 @@
 //! | `fig4`   | Fig. 4(a)/(b) (IP trie Kbits per level) | [`fig4`] |
 //! | `fig5`   | Fig. 5 (update cycles, label vs original) | [`fig5`] |
 //! | `headline` | §V.A totals (5 Mbit, 4 tables, MBT share) | [`headline`] |
+//! | `throughput` | (extension) batch vs single-packet lookup | [`throughput`] |
 
 #![forbid(unsafe_code)]
 
@@ -26,10 +32,12 @@ pub mod fig4;
 pub mod fig5;
 pub mod headline;
 pub mod output;
+pub mod registry;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod throughput;
 
 /// Default RNG seed for every experiment (reproducibility).
 pub const DEFAULT_SEED: u64 = 2015;

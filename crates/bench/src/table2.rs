@@ -4,12 +4,11 @@
 //! experiment verifies the implementation agrees with the paper's listing
 //! row by row.
 
-use crate::output::{render_table, write_json};
+use crate::output::{obj, render_table, write_json, Json, ToJson};
 use oflow::MatchFieldKind;
-use serde::Serialize;
 
 /// One Table II row.
-#[derive(Debug, Clone, Serialize, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Row {
     /// Field name.
     pub field: String,
@@ -19,13 +18,32 @@ pub struct Row {
     pub method: String,
 }
 
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        obj([
+            ("field", self.field.as_str().into()),
+            ("bits", self.bits.into()),
+            ("method", self.method.as_str().into()),
+        ])
+    }
+}
+
 /// The full regenerated table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2 {
     /// The 15 common fields, paper order.
     pub rows: Vec<Row>,
     /// Total matchable fields in v1.3 (excluding metadata).
     pub total_matchable_fields: usize,
+}
+
+impl ToJson for Table2 {
+    fn to_json(&self) -> Json {
+        obj([
+            ("rows", self.rows.to_json()),
+            ("total_matchable_fields", self.total_matchable_fields.into()),
+        ])
+    }
 }
 
 /// Runs the experiment.
@@ -52,10 +70,7 @@ pub fn report() {
         .map(|r| vec![r.field.clone(), r.bits.to_string(), r.method.clone()])
         .collect();
     println!("{}", render_table(&["field", "bits", "method"], &rows));
-    println!(
-        "matchable fields (excl. metadata): {} (paper: 39)\n",
-        t.total_matchable_fields
-    );
+    println!("matchable fields (excl. metadata): {} (paper: 39)\n", t.total_matchable_fields);
     write_json("table2", &t);
 }
 
@@ -69,10 +84,7 @@ mod tests {
         assert_eq!(t.rows.len(), 15);
         assert_eq!(t.total_matchable_fields, 39);
         let ingress = &t.rows[0];
-        assert_eq!(
-            (ingress.field.as_str(), ingress.bits),
-            ("in_port", 32)
-        );
+        assert_eq!((ingress.field.as_str(), ingress.bits), ("in_port", 32));
         assert!(ingress.method.contains("EM"));
         let v6 = t.rows.iter().find(|r| r.field == "ipv6_src").unwrap();
         assert_eq!(v6.bits, 128);

@@ -6,13 +6,12 @@
 //! the paper's distributional shape.
 
 use crate::data::Workloads;
-use crate::output::{render_table, write_json};
+use crate::output::{arr, obj, render_table, write_json, Json, ToJson};
 use offilter::paper_data::mac_stats;
 use offilter::survey_mac;
-use serde::Serialize;
 
 /// One Table III row: measured and published.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Router name.
     pub router: String,
@@ -24,6 +23,17 @@ pub struct Row {
     pub paper: [usize; 4],
 }
 
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        obj([
+            ("router", self.router.as_str().into()),
+            ("rules", self.rules.into()),
+            ("measured", arr(self.measured.iter().map(|&v| v.into()))),
+            ("paper", arr(self.paper.iter().map(|&v| v.into()))),
+        ])
+    }
+}
+
 impl Row {
     /// Whether measured == published in every column.
     #[must_use]
@@ -33,10 +43,16 @@ impl Row {
 }
 
 /// The regenerated table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3 {
     /// Per-router rows.
     pub rows: Vec<Row>,
+}
+
+impl ToJson for Table3 {
+    fn to_json(&self) -> Json {
+        obj([("rows", self.rows.to_json())])
+    }
 }
 
 /// Runs the survey over generated workloads.
@@ -100,7 +116,7 @@ mod tests {
     #[test]
     fn every_row_exact() {
         let w = Workloads::shared_quick();
-        let t = run(&w);
+        let t = run(w);
         assert_eq!(t.rows.len(), 16);
         for r in &t.rows {
             assert!(r.exact(), "router {} measured {:?} paper {:?}", r.router, r.measured, r.paper);

@@ -5,13 +5,12 @@
 //! the *higher* 16-bit IP partition than in the lower one.
 
 use crate::data::Workloads;
-use crate::output::{render_table, write_json};
+use crate::output::{arr, obj, render_table, write_json, Json, ToJson};
 use offilter::paper_data::{routing_stats, ROUTING_EXCEPTIONS};
 use offilter::survey_routing;
-use serde::Serialize;
 
 /// One Table IV row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Router name.
     pub router: String,
@@ -41,11 +40,29 @@ impl Row {
     }
 }
 
+impl ToJson for Row {
+    fn to_json(&self) -> Json {
+        obj([
+            ("router", self.router.as_str().into()),
+            ("rules", self.rules.into()),
+            ("measured", arr(self.measured.iter().map(|&v| v.into()))),
+            ("paper", arr(self.paper.iter().map(|&v| v.into()))),
+            ("exception", self.exception.into()),
+        ])
+    }
+}
+
 /// The regenerated table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table4 {
     /// Per-router rows.
     pub rows: Vec<Row>,
+}
+
+impl ToJson for Table4 {
+    fn to_json(&self) -> Json {
+        obj([("rows", self.rows.to_json())])
+    }
 }
 
 /// Runs the survey.
@@ -105,7 +122,7 @@ mod tests {
     #[test]
     fn rows_match_and_exceptions_hold() {
         let w = Workloads::shared_quick();
-        let t = run(&w);
+        let t = run(w);
         assert_eq!(t.rows.len(), 16);
         for r in &t.rows {
             assert!(r.exception_shape_holds(), "router {}", r.router);

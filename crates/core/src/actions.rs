@@ -7,8 +7,8 @@
 //! A miss anywhere maps to the implicit "Send to controller" behaviour.
 
 use offilter::RuleAction;
-use ofmem::{bits_for_index, EntryLayout, MemoryBlock, MemoryReport};
 use oflow::{Action, Instruction};
+use ofmem::{bits_for_index, EntryLayout, MemoryBlock, MemoryReport};
 
 /// One action-table row.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,9 +37,11 @@ impl ActionRow {
                 vec![Instruction::WriteActions(vec![Action::Output(*p)])]
             }
             ActionRow::Final(RuleAction::Deny) => vec![Instruction::ClearActions],
-            ActionRow::Final(RuleAction::Controller) => vec![Instruction::WriteActions(vec![
-                Action::Output(oflow::actions::port::CONTROLLER),
-            ])],
+            ActionRow::Final(RuleAction::Controller) => {
+                vec![Instruction::WriteActions(vec![Action::Output(
+                    oflow::actions::port::CONTROLLER,
+                )])]
+            }
         }
     }
 }

@@ -158,11 +158,7 @@ impl SwitchConfig {
                 table_id: first_table + i as u8,
                 fields: vec![FieldConfig::auto(f)],
                 uses_metadata: i > 0,
-                goto: if i + 1 < fields.len() {
-                    Some(first_table + i as u8 + 1)
-                } else {
-                    None
-                },
+                goto: if i + 1 < fields.len() { Some(first_table + i as u8 + 1) } else { None },
             })
             .collect();
         Self { name: format!("{kind} single-app"), apps: vec![(kind, tables)] }
@@ -209,14 +205,8 @@ mod tests {
     fn algorithm_selection_follows_matching_method() {
         assert_eq!(AlgorithmKind::for_field(MatchFieldKind::VlanVid), AlgorithmKind::EmLut);
         assert_eq!(AlgorithmKind::for_field(MatchFieldKind::InPort), AlgorithmKind::EmLut);
-        assert_eq!(
-            AlgorithmKind::for_field(MatchFieldKind::EthDst),
-            AlgorithmKind::classic_mbt()
-        );
-        assert_eq!(
-            AlgorithmKind::for_field(MatchFieldKind::Ipv4Dst),
-            AlgorithmKind::classic_mbt()
-        );
+        assert_eq!(AlgorithmKind::for_field(MatchFieldKind::EthDst), AlgorithmKind::classic_mbt());
+        assert_eq!(AlgorithmKind::for_field(MatchFieldKind::Ipv4Dst), AlgorithmKind::classic_mbt());
         assert_eq!(AlgorithmKind::for_field(MatchFieldKind::TcpDst), AlgorithmKind::Range);
     }
 

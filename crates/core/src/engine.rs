@@ -9,11 +9,17 @@
 //! * *lookup time* — produce the [`MatchChain`] of labels matching a
 //!   header value, longest/most-specific first, including the wildcard
 //!   label when rules with an unconstrained field exist.
+//!
+//! All build-time operations are fallible: a constraint an algorithm
+//! cannot store (a range handed to an exact-match LUT, a prefix handed to
+//! a range matcher) surfaces as a [`BuildError`] instead of a panic, so
+//! the whole switch build path returns `Result`.
 
-use ofalgo::{Dictionary, HashLut, Label, MatchChain, PartitionedTrie, RangeMatcher};
+use classifier_api::BuildError;
 use ofalgo::trie::UpdateCount;
-use ofmem::MemoryReport;
+use ofalgo::{Dictionary, HashLut, Label, MatchChain, PartitionedTrie, RangeMatcher};
 use oflow::{FieldMatch, MatchFieldKind};
+use ofmem::MemoryReport;
 
 use crate::config::AlgorithmKind;
 
@@ -91,32 +97,62 @@ pub struct InternOutcome {
     pub specificity: u32,
 }
 
+/// The [`BuildError::UnsupportedConstraint`] for `key` under `algorithm`.
+fn unsupported(field: MatchFieldKind, algorithm: &'static str, key: FieldKey) -> BuildError {
+    BuildError::UnsupportedConstraint { field, algorithm, constraint: format!("{key:?}") }
+}
+
 impl FieldEngine {
     /// Creates an empty engine for a field under the given algorithm.
     ///
-    /// # Panics
-    /// Panics if the algorithm cannot serve the field (e.g. MBT partitions
-    /// not tiling the field width).
-    #[must_use]
-    pub fn new(field: MatchFieldKind, algorithm: &AlgorithmKind, expected: usize) -> Self {
+    /// # Errors
+    /// [`BuildError::InvalidSchedule`] if the algorithm cannot serve the
+    /// field (MBT partitions not tiling the field width, or a stride
+    /// schedule not covering a partition).
+    pub fn try_new(
+        field: MatchFieldKind,
+        algorithm: &AlgorithmKind,
+        expected: usize,
+    ) -> Result<Self, BuildError> {
         match algorithm {
-            AlgorithmKind::EmLut => FieldEngine::Em {
+            AlgorithmKind::EmLut => Ok(FieldEngine::Em {
                 lut: HashLut::with_capacity(field.bit_width().min(64), expected),
                 dict: Dictionary::new(),
                 any_label: None,
-            },
+            }),
             AlgorithmKind::Mbt { partition_bits, strides } => {
-                FieldEngine::Trie(PartitionedTrie::with_schedule(
-                    field.bit_width(),
+                let width = field.bit_width();
+                if *partition_bits == 0 || !width.is_multiple_of(*partition_bits) {
+                    return Err(BuildError::InvalidSchedule {
+                        field,
+                        detail: format!(
+                            "{partition_bits}-bit partitions do not tile the \
+                             {width}-bit field"
+                        ),
+                    });
+                }
+                let schedule = ofalgo::StrideSchedule::new(strides.clone());
+                if schedule.total_bits() != *partition_bits {
+                    return Err(BuildError::InvalidSchedule {
+                        field,
+                        detail: format!(
+                            "stride schedule {strides:?} covers {} bits, \
+                             partition is {partition_bits}",
+                            schedule.total_bits()
+                        ),
+                    });
+                }
+                Ok(FieldEngine::Trie(PartitionedTrie::with_schedule(
+                    width,
                     *partition_bits,
-                    ofalgo::StrideSchedule::new(strides.clone()),
-                ))
+                    schedule,
+                )))
             }
-            AlgorithmKind::Range => FieldEngine::Range {
+            AlgorithmKind::Range => Ok(FieldEngine::Range {
                 ranges: Dictionary::new(),
                 matcher: RangeMatcher::new(field.bit_width().min(64), []),
                 any_label: None,
-            },
+            }),
         }
     }
 
@@ -134,17 +170,50 @@ impl FieldEngine {
     pub fn label_bits(&self) -> Vec<u32> {
         match self {
             FieldEngine::Em { dict, .. } => vec![ofmem::bits_for_index(dict.len().max(1))],
-            FieldEngine::Trie(pt) => {
-                pt.dictionaries().iter().map(Dictionary::label_bits).collect()
-            }
+            FieldEngine::Trie(pt) => pt.dictionaries().iter().map(Dictionary::label_bits).collect(),
             FieldEngine::Range { ranges, .. } => {
                 vec![ofmem::bits_for_index(ranges.len().max(1))]
             }
         }
     }
 
+    /// Checks — without mutating anything — that this engine's algorithm
+    /// can store a constraint of `key`'s shape. [`FieldEngine::intern`]
+    /// fails exactly when this does, so callers that must stay atomic
+    /// (incremental updates) validate every key up front.
+    ///
+    /// # Errors
+    /// [`BuildError::UnsupportedConstraint`] when the shape cannot be
+    /// stored.
+    pub fn validate_key(&self, field: MatchFieldKind, key: FieldKey) -> Result<(), BuildError> {
+        let supported = match self {
+            FieldEngine::Em { .. } => matches!(key, FieldKey::Exact(_) | FieldKey::Any),
+            FieldEngine::Trie(_) => !matches!(key, FieldKey::Range(..)),
+            FieldEngine::Range { .. } => !matches!(key, FieldKey::Prefix(..)),
+        };
+        if supported {
+            Ok(())
+        } else {
+            let algorithm = match self {
+                FieldEngine::Em { .. } => "EM-LUT",
+                FieldEngine::Trie(_) => "MBT",
+                FieldEngine::Range { .. } => "RM",
+            };
+            Err(unsupported(field, algorithm, key))
+        }
+    }
+
     /// Interns a rule's constraint; see [`InternOutcome`].
-    pub fn intern(&mut self, key: FieldKey, field_bits: u32) -> InternOutcome {
+    ///
+    /// # Errors
+    /// [`BuildError::UnsupportedConstraint`] when the constraint shape
+    /// cannot be stored by this engine's algorithm.
+    pub fn intern(
+        &mut self,
+        field: MatchFieldKind,
+        key: FieldKey,
+        field_bits: u32,
+    ) -> Result<InternOutcome, BuildError> {
         match self {
             FieldEngine::Em { lut, dict, any_label } => match key {
                 FieldKey::Exact(v) => {
@@ -154,37 +223,37 @@ impl FieldEngine {
                         lut.insert(v, label);
                         update.entries_written = 1;
                     }
-                    InternOutcome {
+                    Ok(InternOutcome {
                         labels: vec![label],
                         shadows: vec![vec![]],
                         update,
                         specificity: field_bits,
-                    }
+                    })
                 }
                 FieldKey::Any => {
                     let label = *any_label.get_or_insert_with(|| {
                         let (l, _) = dict.intern(u64::MAX); // sentinel slot
                         l
                     });
-                    InternOutcome {
+                    Ok(InternOutcome {
                         labels: vec![label],
                         shadows: vec![vec![]],
                         update: UpdateCount::default(),
                         specificity: 0,
-                    }
+                    })
                 }
-                other => panic!("EM engine cannot intern {other:?}"),
+                other => Err(unsupported(field, "EM-LUT", other)),
             },
             FieldEngine::Trie(pt) => {
                 let (value, len) = match key {
                     FieldKey::Prefix(v, l) => (v, l),
                     FieldKey::Exact(v) => (u128::from(v), field_bits),
                     FieldKey::Any => (0, 0),
-                    other => panic!("trie engine cannot intern {other:?}"),
+                    other => return Err(unsupported(field, "MBT", other)),
                 };
                 let (labels, update) = pt.insert(value, len);
                 let shadows = pt.shadow_labels(value, len);
-                InternOutcome { labels, shadows, update, specificity: len }
+                Ok(InternOutcome { labels, shadows, update, specificity: len })
             }
             FieldEngine::Range { ranges, matcher, any_label } => {
                 let full = if field_bits >= 64 { u64::MAX } else { (1 << field_bits) - 1 };
@@ -216,18 +285,15 @@ impl FieldEngine {
                             })
                             .map(|(i, _)| Label(i as u32))
                             .collect();
-                        let narrowness =
-                            field_bits.saturating_sub(64 - (hi - lo).leading_zeros());
-                        InternOutcome {
+                        let narrowness = field_bits.saturating_sub(64 - (hi - lo).leading_zeros());
+                        Ok(InternOutcome {
                             labels: vec![label],
                             shadows: vec![shadows],
                             update,
                             specificity: narrowness,
-                        }
+                        })
                     }
-                    FieldKey::Exact(v) => {
-                        self.intern(FieldKey::Range(v, v), field_bits)
-                    }
+                    FieldKey::Exact(v) => self.intern(field, FieldKey::Range(v, v), field_bits),
                     FieldKey::Any => {
                         // Wildcard = the full range; shadowed by everything.
                         let (label, is_new) = ranges.intern((0, full));
@@ -249,14 +315,14 @@ impl FieldEngine {
                             .filter(|&(_, &(l, h))| (l, h) != (0, full))
                             .map(|(i, _)| Label(i as u32))
                             .collect();
-                        InternOutcome {
+                        Ok(InternOutcome {
                             labels: vec![label],
                             shadows: vec![shadows],
                             update: UpdateCount::default(),
                             specificity: 0,
-                        }
+                        })
                     }
-                    other => panic!("range engine cannot intern {other:?}"),
+                    other => Err(unsupported(field, "RM", other)),
                 }
             }
         }
@@ -266,16 +332,24 @@ impl FieldEngine {
     /// dictionaries. The switch builder calls this in a second pass after
     /// all rules are interned — shadows returned by [`FieldEngine::intern`]
     /// only know the values stored so far.
-    #[must_use]
-    pub fn shadows_for(&self, key: FieldKey, field_bits: u32) -> Vec<Vec<Label>> {
+    ///
+    /// # Errors
+    /// [`BuildError::UnsupportedConstraint`] when the constraint shape
+    /// does not belong to this engine's algorithm.
+    pub fn shadows_for(
+        &self,
+        field: MatchFieldKind,
+        key: FieldKey,
+        field_bits: u32,
+    ) -> Result<Vec<Vec<Label>>, BuildError> {
         match self {
-            FieldEngine::Em { .. } => vec![vec![]],
+            FieldEngine::Em { .. } => Ok(vec![vec![]]),
             // Tries need no completion: effective_chains() already returns
             // the full ancestor closure, which is exactly the set of
             // stored prefixes matching a key.
             FieldEngine::Trie(pt) => {
                 let _ = key;
-                vec![Vec::new(); pt.partitions()]
+                Ok(vec![Vec::new(); pt.partitions()])
             }
             FieldEngine::Range { ranges, .. } => {
                 let full = if field_bits >= 64 { u64::MAX } else { (1 << field_bits) - 1 };
@@ -283,7 +357,7 @@ impl FieldEngine {
                     FieldKey::Range(l, h) => (l, h),
                     FieldKey::Exact(v) => (v, v),
                     FieldKey::Any => (0, full),
-                    other => panic!("range engine cannot shadow {other:?}"),
+                    other => return Err(unsupported(field, "RM", other)),
                 };
                 let shadows = ranges
                     .values()
@@ -294,7 +368,7 @@ impl FieldEngine {
                     })
                     .map(|(i, _)| Label(i as u32))
                     .collect();
-                vec![shadows]
+                Ok(vec![shadows])
             }
         }
     }
@@ -302,20 +376,33 @@ impl FieldEngine {
     /// Searches a header value, returning one chain per label position.
     #[must_use]
     pub fn search(&self, value: u128) -> Vec<MatchChain> {
+        let mut out = vec![MatchChain::default(); self.label_positions()];
+        self.search_into(value, &mut out);
+        out
+    }
+
+    /// As [`FieldEngine::search`], writing into caller-provided chains
+    /// (one per label position) so batch classification reuses the match
+    /// buffers across packets instead of allocating per lookup.
+    ///
+    /// # Panics
+    /// Panics if `out` has fewer slots than [`FieldEngine::label_positions`].
+    pub fn search_into(&self, value: u128, out: &mut [MatchChain]) {
         match self {
             FieldEngine::Em { lut, any_label, .. } => {
-                let mut matches = Vec::new();
+                let matches = &mut out[0].matches;
+                matches.clear();
                 if let Some(l) = lut.lookup(value as u64) {
                     matches.push((l, 64));
                 }
                 if let Some(l) = any_label {
                     matches.push((*l, 0));
                 }
-                vec![MatchChain { matches }]
             }
-            FieldEngine::Trie(pt) => pt.effective_chains(value),
+            FieldEngine::Trie(pt) => pt.effective_chains_into(value, out),
             FieldEngine::Range { matcher, any_label, .. } => {
-                let mut matches = Vec::new();
+                let matches = &mut out[0].matches;
+                matches.clear();
                 if let Some(l) = matcher.lookup(value as u64) {
                     matches.push((l, 32));
                 }
@@ -324,7 +411,6 @@ impl FieldEngine {
                         matches.push((*l, 0));
                     }
                 }
-                vec![MatchChain { matches }]
             }
         }
     }
@@ -342,26 +428,40 @@ impl FieldEngine {
     /// prerequisites): only wildcard entries can match.
     #[must_use]
     pub fn search_missing(&self) -> Vec<MatchChain> {
+        let mut out = vec![MatchChain::default(); self.label_positions()];
+        self.search_missing_into(&mut out);
+        out
+    }
+
+    /// As [`FieldEngine::search_missing`], writing into caller-provided
+    /// chains.
+    ///
+    /// # Panics
+    /// Panics if `out` has fewer slots than [`FieldEngine::label_positions`].
+    pub fn search_missing_into(&self, out: &mut [MatchChain]) {
         match self {
-            FieldEngine::Em { any_label, .. } => {
-                let matches = any_label.map(|l| (l, 0)).into_iter().collect();
-                vec![MatchChain { matches }]
+            FieldEngine::Em { any_label, .. } | FieldEngine::Range { any_label, .. } => {
+                out[0].matches.clear();
+                if let Some(l) = any_label {
+                    out[0].matches.push((*l, 0));
+                }
             }
-            FieldEngine::Trie(pt) => (0..pt.partitions())
-                .map(|i| {
-                    let matches = pt.dictionaries()[i]
-                        .get(&(0, 0))
-                        .map(|l| (l, 0))
-                        .into_iter()
-                        .collect();
-                    MatchChain { matches }
-                })
-                .collect(),
-            FieldEngine::Range { any_label, .. } => {
-                let matches = any_label.map(|l| (l, 0)).into_iter().collect();
-                vec![MatchChain { matches }]
+            FieldEngine::Trie(pt) => {
+                for (i, chain) in out.iter_mut().enumerate().take(pt.partitions()) {
+                    chain.matches.clear();
+                    if let Some(l) = pt.dictionaries()[i].get(&(0, 0)) {
+                        chain.matches.push((l, 0));
+                    }
+                }
             }
         }
+    }
+
+    /// Structural memory accesses one lookup through this engine costs
+    /// (one LUT probe, one walk per partition trie, one segment search).
+    #[must_use]
+    pub fn search_accesses(&self) -> usize {
+        self.label_positions()
     }
 
     /// Memory report for this engine.
@@ -386,11 +486,15 @@ mod tests {
     use super::*;
     use oflow::MatchFieldKind::*;
 
+    fn engine(field: MatchFieldKind, algorithm: &AlgorithmKind) -> FieldEngine {
+        FieldEngine::try_new(field, algorithm, 16).expect("valid algorithm/field pair")
+    }
+
     #[test]
     fn em_engine_intern_and_search() {
-        let mut e = FieldEngine::new(VlanVid, &AlgorithmKind::EmLut, 16);
-        let o1 = e.intern(FieldKey::Exact(100), 13);
-        let o2 = e.intern(FieldKey::Exact(100), 13);
+        let mut e = engine(VlanVid, &AlgorithmKind::EmLut);
+        let o1 = e.intern(VlanVid, FieldKey::Exact(100), 13).unwrap();
+        let o2 = e.intern(VlanVid, FieldKey::Exact(100), 13).unwrap();
         assert_eq!(o1.labels, o2.labels);
         assert_eq!(o1.update.records(), 1);
         assert_eq!(o2.update.records(), 0);
@@ -401,9 +505,9 @@ mod tests {
 
     #[test]
     fn em_engine_wildcard_label() {
-        let mut e = FieldEngine::new(VlanVid, &AlgorithmKind::EmLut, 16);
-        let o_any = e.intern(FieldKey::Any, 13);
-        let o_val = e.intern(FieldKey::Exact(5), 13);
+        let mut e = engine(VlanVid, &AlgorithmKind::EmLut);
+        let o_any = e.intern(VlanVid, FieldKey::Any, 13).unwrap();
+        let o_val = e.intern(VlanVid, FieldKey::Exact(5), 13).unwrap();
         // A header matching the exact value also reports the any label.
         let chain = &e.search(5)[0];
         assert_eq!(chain.matches.len(), 2);
@@ -416,8 +520,8 @@ mod tests {
 
     #[test]
     fn trie_engine_partition_labels() {
-        let mut e = FieldEngine::new(Ipv4Dst, &AlgorithmKind::classic_mbt(), 16);
-        let o = e.intern(FieldKey::Prefix(0x0A01_0200, 24), 32);
+        let mut e = engine(Ipv4Dst, &AlgorithmKind::classic_mbt());
+        let o = e.intern(Ipv4Dst, FieldKey::Prefix(0x0A01_0200, 24), 32).unwrap();
         assert_eq!(o.labels.len(), 2);
         assert_eq!(o.specificity, 24);
         e.finalize();
@@ -429,12 +533,14 @@ mod tests {
 
     #[test]
     fn trie_engine_ancestor_closure_in_chains() {
-        let mut e = FieldEngine::new(Ipv4Dst, &AlgorithmKind::classic_mbt(), 16);
+        let mut e = engine(Ipv4Dst, &AlgorithmKind::classic_mbt());
         // Same-level nested lower prefixes: /4 (rule len 20) and /2 (18).
-        let o_long = e.intern(FieldKey::Prefix(0x0A01_1000, 20), 32);
-        let o_short = e.intern(FieldKey::Prefix(0x0A01_0000, 18), 32);
+        let o_long = e.intern(Ipv4Dst, FieldKey::Prefix(0x0A01_1000, 20), 32).unwrap();
+        let o_short = e.intern(Ipv4Dst, FieldKey::Prefix(0x0A01_0000, 18), 32).unwrap();
         // No completion shadows are needed for tries...
-        assert!(e.shadows_for(FieldKey::Prefix(0x0A01_0000, 18), 32)[1].is_empty());
+        assert!(
+            e.shadows_for(Ipv4Dst, FieldKey::Prefix(0x0A01_0000, 18), 32).unwrap()[1].is_empty()
+        );
         e.finalize();
         // ...because a key under the /4 reports BOTH labels via ancestors.
         let chains = e.search(0x0A01_1234);
@@ -450,9 +556,9 @@ mod tests {
 
     #[test]
     fn range_engine_nested_shadows() {
-        let mut e = FieldEngine::new(TcpDst, &AlgorithmKind::Range, 16);
-        let o_narrow = e.intern(FieldKey::Range(100, 200), 16);
-        let o_wide = e.intern(FieldKey::Range(0, 1000), 16);
+        let mut e = engine(TcpDst, &AlgorithmKind::Range);
+        let o_narrow = e.intern(TcpDst, FieldKey::Range(100, 200), 16).unwrap();
+        let o_wide = e.intern(TcpDst, FieldKey::Range(0, 1000), 16).unwrap();
         assert_eq!(o_wide.shadows[0], vec![o_narrow.labels[0]]);
         assert!(o_narrow.shadows[0].is_empty());
         // Search in the nested region reports the narrow label first.
@@ -462,9 +568,9 @@ mod tests {
 
     #[test]
     fn range_engine_any_is_full_range() {
-        let mut e = FieldEngine::new(TcpDst, &AlgorithmKind::Range, 16);
-        let o_any = e.intern(FieldKey::Any, 16);
-        let o_exact = e.intern(FieldKey::Exact(80), 16);
+        let mut e = engine(TcpDst, &AlgorithmKind::Range);
+        let o_any = e.intern(TcpDst, FieldKey::Any, 16).unwrap();
+        let o_exact = e.intern(TcpDst, FieldKey::Exact(80), 16).unwrap();
         let chain = &e.search(80)[0];
         assert_eq!(chain.matches[0].0, o_exact.labels[0]);
         assert!(chain.matches.iter().any(|&(l, _)| l == o_any.labels[0]));
@@ -474,26 +580,58 @@ mod tests {
 
     #[test]
     fn label_positions_and_bits() {
-        let e = FieldEngine::new(EthDst, &AlgorithmKind::classic_mbt(), 16);
+        let e = engine(EthDst, &AlgorithmKind::classic_mbt());
         assert_eq!(e.label_positions(), 3);
         assert_eq!(e.label_bits().len(), 3);
-        let e = FieldEngine::new(VlanVid, &AlgorithmKind::EmLut, 16);
+        assert_eq!(e.search_accesses(), 3);
+        let e = engine(VlanVid, &AlgorithmKind::EmLut);
         assert_eq!(e.label_positions(), 1);
+        assert_eq!(e.search_accesses(), 1);
     }
 
     #[test]
     fn memory_reports_nonempty() {
-        let mut e = FieldEngine::new(EthDst, &AlgorithmKind::classic_mbt(), 16);
-        e.intern(FieldKey::Prefix(0xAABB_CCDD_EEFF, 48), 48);
+        let mut e = engine(EthDst, &AlgorithmKind::classic_mbt());
+        e.intern(EthDst, FieldKey::Prefix(0xAABB_CCDD_EEFF, 48), 48).unwrap();
         let r = e.memory_report("eth");
         assert!(r.total_bits() > 0);
         assert!(r.bits_under("eth/lower") > 0);
     }
 
     #[test]
-    #[should_panic(expected = "cannot intern")]
-    fn em_engine_rejects_prefix() {
-        let mut e = FieldEngine::new(VlanVid, &AlgorithmKind::EmLut, 4);
-        e.intern(FieldKey::Prefix(0, 4), 13);
+    fn em_engine_rejects_prefix_as_error() {
+        let mut e = engine(VlanVid, &AlgorithmKind::EmLut);
+        let err = e.intern(VlanVid, FieldKey::Prefix(0, 4), 13).unwrap_err();
+        assert!(matches!(err, BuildError::UnsupportedConstraint { .. }), "{err:?}");
+        assert!(err.to_string().contains("EM-LUT"), "{err}");
+    }
+
+    #[test]
+    fn range_engine_rejects_prefix_as_error() {
+        let mut e = engine(TcpDst, &AlgorithmKind::Range);
+        let err = e.intern(TcpDst, FieldKey::Prefix(0, 4), 16).unwrap_err();
+        assert!(matches!(err, BuildError::UnsupportedConstraint { .. }), "{err:?}");
+        let err = e.shadows_for(TcpDst, FieldKey::Prefix(0, 4), 16).unwrap_err();
+        assert!(matches!(err, BuildError::UnsupportedConstraint { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn bad_schedules_are_errors_not_panics() {
+        // Partition width not tiling the field.
+        let err = FieldEngine::try_new(
+            Ipv4Dst,
+            &AlgorithmKind::Mbt { partition_bits: 5, strides: vec![5] },
+            4,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BuildError::InvalidSchedule { .. }), "{err:?}");
+        // Strides not covering the partition.
+        let err = FieldEngine::try_new(
+            Ipv4Dst,
+            &AlgorithmKind::Mbt { partition_bits: 16, strides: vec![5, 5] },
+            4,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BuildError::InvalidSchedule { .. }), "{err:?}");
     }
 }

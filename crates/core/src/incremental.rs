@@ -19,12 +19,13 @@
 //!   generated ... the processed information is stored in an update
 //!   file"); the cost returned is the regeneration's record count.
 
-use offilter::{FilterKind, FilterSet, Rule};
+use classifier_api::BuildError;
 use ofalgo::Label;
+use offilter::{FilterKind, FilterSet, Rule};
 
 use crate::actions::ActionRow;
 use crate::engine::{FieldEngine, FieldKey};
-use crate::switch::{build_app, MtlSwitch, StoredRule};
+use crate::switch::{try_build_app, MtlSwitch, StoredRule};
 use crate::update::UpdateStats;
 
 /// How an update was applied.
@@ -50,13 +51,44 @@ impl MtlSwitch {
     /// whether the incremental fast path applied.
     ///
     /// # Panics
-    /// Panics if the switch has no application of `kind`.
+    /// Panics if the switch has no application of `kind` or the rule's
+    /// constraints cannot be stored; see [`MtlSwitch::try_add_rule`] for
+    /// the fallible form.
     pub fn add_rule(&mut self, kind: FilterKind, rule: Rule) -> UpdateOutcome {
+        self.try_add_rule(kind, rule).unwrap_or_else(|e| panic!("incremental add failed: {e}"))
+    }
+
+    /// Adds a rule to an application. Returns the records written and
+    /// whether the incremental fast path applied.
+    ///
+    /// On error the switch is unchanged: every field constraint is
+    /// validated against its engine *before* anything is interned or
+    /// registered, so a rejected rule cannot leave orphan index entries
+    /// or action rows behind.
+    ///
+    /// # Errors
+    /// [`BuildError::MissingFilterSet`] when the switch has no application
+    /// of `kind`; [`BuildError::UnsupportedConstraint`] when the rule
+    /// constrains a field in a way its table's algorithm cannot store.
+    pub fn try_add_rule(
+        &mut self,
+        kind: FilterKind,
+        rule: Rule,
+    ) -> Result<UpdateOutcome, BuildError> {
         let app_idx = self
             .apps
             .iter()
             .position(|a| a.kind == kind)
-            .unwrap_or_else(|| panic!("no application of kind {kind}"));
+            .ok_or(BuildError::MissingFilterSet { kind })?;
+
+        // Validate every constraint shape up front, so a rejection in a
+        // later table cannot leave earlier tables partially updated.
+        for te in &self.apps[app_idx].tables {
+            for (field, engine) in &te.engines {
+                let key = FieldKey::from_match(rule.field(*field), *field);
+                engine.validate_key(*field, key)?;
+            }
+        }
 
         // Detect the range-engine slow path before mutating anything.
         let needs_rebuild = {
@@ -102,7 +134,7 @@ impl MtlSwitch {
             let mut spec = 0u32;
             for (field, engine) in &mut te.engines {
                 let k = FieldKey::from_match(rule.field(*field), *field);
-                let outcome = engine.intern(k, field.bit_width());
+                let outcome = engine.intern(*field, k, field.bit_width())?;
                 records += outcome.update.records();
                 ledger.algorithm_label_records += outcome.update.records();
                 if outcome.update.records() > 0 {
@@ -113,13 +145,15 @@ impl MtlSwitch {
                 keys.push(k);
             }
             for (fi, (field, engine)) in te.engines.iter().enumerate() {
-                shadows.extend(engine.shadows_for(keys[fi], field.bit_width()));
+                shadows.extend(engine.shadows_for(*field, keys[fi], field.bit_width())?);
             }
             per_table_keys.push(keys);
 
             let last = ti + 1 == num_tables;
             if last {
                 let row = te.actions.push(ActionRow::Final(rule.action));
+                debug_assert_eq!(row as usize, app.final_rule_ids.len());
+                app.final_rule_ids.push(rule.id);
                 records += 1;
                 ledger.action_records += 1;
                 let before = te.index.len();
@@ -128,7 +162,10 @@ impl MtlSwitch {
                 records += added;
                 ledger.index_records += added;
             } else {
-                let goto = te.config.goto.expect("intermediate table needs goto");
+                let goto = te
+                    .config
+                    .goto
+                    .ok_or(BuildError::MissingGoto { table_id: te.config.table_id })?;
                 // Find the existing combo row via a probe; create if new.
                 let row = match te.index.probe(&key) {
                     Some((_, row)) => row,
@@ -148,7 +185,7 @@ impl MtlSwitch {
             }
         }
         app.rule_keys.push(StoredRule { rule, keys: per_table_keys });
-        UpdateOutcome { stats: UpdateStats { records }, mode: UpdateMode::Incremental }
+        Ok(UpdateOutcome { stats: UpdateStats { records }, mode: UpdateMode::Incremental })
     }
 
     /// Removes a rule by id; the application is regenerated from its
@@ -166,26 +203,35 @@ impl MtlSwitch {
         if rules.len() == before {
             return None;
         }
-        Some(self.rebuild_application(app_idx, rules))
+        Some(
+            self.rebuild_application(app_idx, rules)
+                .expect("remaining rules built successfully before"),
+        )
     }
 
     /// Regenerates one application from a rule list.
-    fn rebuild_application(&mut self, app_idx: usize, rules: Vec<Rule>) -> UpdateOutcome {
+    fn rebuild_application(
+        &mut self,
+        app_idx: usize,
+        rules: Vec<Rule>,
+    ) -> Result<UpdateOutcome, BuildError> {
         let kind = self.apps[app_idx].kind;
         let table_cfgs: Vec<crate::config::TableConfig> =
             self.apps[app_idx].tables.iter().map(|t| t.config.clone()).collect();
-        let set = FilterSet::new("rebuild", kind, rules);
+        // Keep the surviving rules' ids: callers hold on to them (the
+        // unified DynamicClassifier surface removes by id), so the
+        // regeneration must not renumber.
+        let set = FilterSet::preserving_ids("rebuild", kind, rules);
         let mut ledger = crate::update::BuildLedger::default();
-        let rebuilt = build_app(kind, &table_cfgs, &set, &mut ledger);
+        let rebuilt = try_build_app(kind, &table_cfgs, &set, &mut ledger)?;
         self.apps[app_idx] = rebuilt;
-        let records =
-            ledger.algorithm_label_records + ledger.index_records + ledger.action_records;
+        let records = ledger.algorithm_label_records + ledger.index_records + ledger.action_records;
         // Fold the regeneration into the switch-wide ledger.
         self.ledger.algorithm_label_records += ledger.algorithm_label_records;
         self.ledger.algorithm_original_records += ledger.algorithm_original_records;
         self.ledger.index_records += ledger.index_records;
         self.ledger.action_records += ledger.action_records;
-        UpdateOutcome { stats: UpdateStats { records }, mode: UpdateMode::Rebuild }
+        Ok(UpdateOutcome { stats: UpdateStats { records }, mode: UpdateMode::Rebuild })
     }
 }
 
@@ -193,8 +239,8 @@ impl MtlSwitch {
 mod tests {
     use super::*;
     use crate::config::SwitchConfig;
-    use oflow::{FlowMatch, HeaderValues, MatchFieldKind, Verdict};
     use offilter::RuleAction;
+    use oflow::{FlowMatch, HeaderValues, MatchFieldKind, Verdict};
 
     fn route(id: u32, port: u32, value: u128, len: u32, out: u32) -> Rule {
         Rule::new(
@@ -217,13 +263,8 @@ mod tests {
 
     #[test]
     fn add_rule_becomes_visible() {
-        let set = FilterSet::new(
-            "inc",
-            FilterKind::Routing,
-            vec![route(0, 1, 0x0A00_0000, 8, 1)],
-        );
-        let mut sw =
-            MtlSwitch::build(&SwitchConfig::single_app(FilterKind::Routing, 0), &[&set]);
+        let set = FilterSet::new("inc", FilterKind::Routing, vec![route(0, 1, 0x0A00_0000, 8, 1)]);
+        let mut sw = MtlSwitch::build(&SwitchConfig::single_app(FilterKind::Routing, 0), &[&set]);
         assert_eq!(sw.classify(&header(1, 0x0A01_0203)).verdict, Verdict::Output(1));
 
         let out = sw.add_rule(FilterKind::Routing, route(1, 1, 0x0A01_0200, 24, 9));
@@ -237,13 +278,8 @@ mod tests {
 
     #[test]
     fn add_rule_with_shared_values_writes_little() {
-        let set = FilterSet::new(
-            "inc",
-            FilterKind::Routing,
-            vec![route(0, 1, 0x0A01_0200, 24, 1)],
-        );
-        let mut sw =
-            MtlSwitch::build(&SwitchConfig::single_app(FilterKind::Routing, 0), &[&set]);
+        let set = FilterSet::new("inc", FilterKind::Routing, vec![route(0, 1, 0x0A01_0200, 24, 1)]);
+        let mut sw = MtlSwitch::build(&SwitchConfig::single_app(FilterKind::Routing, 0), &[&set]);
         // Same prefix, different port: only the port LUT entry, the index
         // entries and the action row are new.
         let out = sw.add_rule(FilterKind::Routing, route(1, 2, 0x0A01_0200, 24, 5));
@@ -292,13 +328,9 @@ mod tests {
 
     #[test]
     fn remove_rule_rebuilds_without_it() {
-        let rules = vec![
-            route(0, 1, 0x0A00_0000, 8, 1),
-            route(1, 1, 0x0A01_0200, 24, 9),
-        ];
+        let rules = vec![route(0, 1, 0x0A00_0000, 8, 1), route(1, 1, 0x0A01_0200, 24, 9)];
         let set = FilterSet::new("inc", FilterKind::Routing, rules);
-        let mut sw =
-            MtlSwitch::build(&SwitchConfig::single_app(FilterKind::Routing, 0), &[&set]);
+        let mut sw = MtlSwitch::build(&SwitchConfig::single_app(FilterKind::Routing, 0), &[&set]);
         assert_eq!(sw.classify(&header(1, 0x0A01_0203)).verdict, Verdict::Output(9));
 
         let out = sw.remove_rule(FilterKind::Routing, 1).expect("rule exists");
@@ -307,6 +339,58 @@ mod tests {
         assert_eq!(sw.classify(&header(1, 0x0A01_0203)).verdict, Verdict::Output(1));
         // Unknown id reports None.
         assert!(sw.remove_rule(FilterKind::Routing, 99).is_none());
+    }
+
+    #[test]
+    fn rejected_rule_leaves_switch_unchanged() {
+        use oflow::FieldMatch;
+        // Chained routing preset: table 0 = InPort EM-LUT, table 1 =
+        // Ipv4Dst MBT. Rule A leaves the port wildcarded.
+        let set = FilterSet::new(
+            "atomic",
+            FilterKind::Routing,
+            vec![Rule::new(
+                0,
+                8,
+                FlowMatch::any().with_prefix(MatchFieldKind::Ipv4Dst, 0x0A00_0000, 8).unwrap(),
+                RuleAction::Forward(1),
+            )],
+        );
+        let mut sw = MtlSwitch::build(&SwitchConfig::single_app(FilterKind::Routing, 0), &[&set]);
+        let before_h = header(1, 0x0A01_0203);
+        assert_eq!(sw.classify(&before_h).verdict, Verdict::Output(1));
+        let index_sizes: Vec<usize> = sw.apps[0].tables.iter().map(|t| t.index.len()).collect();
+        let action_sizes: Vec<usize> = sw.apps[0].tables.iter().map(|t| t.actions.len()).collect();
+        let ledger_before = sw.ledger;
+
+        // Rule B: valid exact port for table 0, but a Range on the MBT
+        // field — rejected by table 1. Without up-front validation this
+        // left an orphan table-0 index entry that outranked rule A.
+        let bad = Rule::new(
+            1,
+            u16::MAX,
+            FlowMatch::any()
+                .with_exact(MatchFieldKind::InPort, 1)
+                .unwrap()
+                .with_range(MatchFieldKind::Ipv4Dst, 10, 20)
+                .unwrap(),
+            RuleAction::Deny,
+        );
+        // (Range on an LPM field survives FieldKey conversion as a Range
+        // key, which the trie engine cannot store.)
+        assert!(matches!(bad.field(MatchFieldKind::Ipv4Dst), FieldMatch::Range { .. }));
+        let err = sw.try_add_rule(FilterKind::Routing, bad).unwrap_err();
+        assert!(matches!(err, BuildError::UnsupportedConstraint { .. }), "{err:?}");
+
+        // Nothing changed: same classification, same structure sizes,
+        // same ledger, same rule count.
+        assert_eq!(sw.classify(&before_h).verdict, Verdict::Output(1));
+        let index_after: Vec<usize> = sw.apps[0].tables.iter().map(|t| t.index.len()).collect();
+        let action_after: Vec<usize> = sw.apps[0].tables.iter().map(|t| t.actions.len()).collect();
+        assert_eq!(index_after, index_sizes);
+        assert_eq!(action_after, action_sizes);
+        assert_eq!(sw.ledger, ledger_before);
+        assert_eq!(sw.total_rules(), 1);
     }
 
     #[test]

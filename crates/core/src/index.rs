@@ -54,13 +54,7 @@ impl IndexTable {
     /// Registers a rule under its primary label combination and all
     /// shadowing combinations. `shadows[i]` lists alternative labels for
     /// position `i`.
-    pub fn register(
-        &mut self,
-        key: Vec<Label>,
-        shadows: &[Vec<Label>],
-        priority: u32,
-        row: u32,
-    ) {
+    pub fn register(&mut self, key: Vec<Label>, shadows: &[Vec<Label>], priority: u32, row: u32) {
         assert_eq!(key.len(), shadows.len(), "one shadow set per position");
         self.positions = self.positions.max(key.len());
         // Enumerate the cross product of {primary, shadows...} per slot.

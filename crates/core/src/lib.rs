@@ -11,6 +11,10 @@
 //!
 //! Crate layout:
 //!
+//! * [`classifier`] — the unified [`classifier_api::Classifier`] /
+//!   [`classifier_api::ClassifierBuilder`] /
+//!   [`classifier_api::DynamicClassifier`] implementations, putting the
+//!   architecture behind the same trait as every baseline.
 //! * [`config`] — architecture description: which fields in which table,
 //!   searched by which algorithm; presets for the paper's MAC + Routing
 //!   use case (4 OpenFlow tables, 2 MBTs, 2 exact-match LUTs).
@@ -29,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod actions;
+pub mod classifier;
 pub mod config;
 pub mod engine;
 pub mod incremental;
@@ -37,6 +42,9 @@ pub mod report;
 pub mod switch;
 pub mod update;
 
+pub use classifier_api::{
+    BuildError, Classifier, ClassifierBuilder, DynamicClassifier, UpdateReport,
+};
 pub use config::{AlgorithmKind, FieldConfig, SwitchConfig, TableConfig};
 pub use engine::FieldEngine;
 pub use incremental::{UpdateMode, UpdateOutcome};

@@ -1,6 +1,6 @@
 //! The multiple-table lookup switch.
 //!
-//! [`MtlSwitch::build`] compiles filter sets into the architecture of
+//! [`MtlSwitch::try_build`] compiles filter sets into the architecture of
 //! Fig. 1: per table, a partition/selector feeding parallel single-field
 //! engines, an index table combining their labels, and an action table
 //! holding the OpenFlow instructions. Applications spanning several tables
@@ -11,10 +11,14 @@
 //! The build runs in two passes: pass 1 interns every rule field (the
 //! label method — duplicates write nothing), pass 2 computes shadow sets
 //! against the complete dictionaries and registers index entries with
-//! completion (see [`crate::index`]).
+//! completion (see [`crate::index`]). Every structural problem — a
+//! missing filter set, an unchained intermediate table, a constraint the
+//! assigned algorithm cannot store — surfaces as a
+//! [`classifier_api::BuildError`]; nothing on the build path panics.
 
-use offilter::{FilterKind, FilterSet};
+use classifier_api::BuildError;
 use ofalgo::{Label, MatchChain};
+use offilter::{FilterKind, FilterSet};
 use oflow::{HeaderValues, MatchFieldKind, Verdict};
 use std::collections::HashMap;
 
@@ -37,6 +41,15 @@ pub struct TableEngine {
     pub actions: ActionTable,
 }
 
+impl TableEngine {
+    /// Structural memory accesses one packet's search through this
+    /// table's engines costs (excluding index probes).
+    #[must_use]
+    pub fn engine_accesses(&self) -> usize {
+        self.engines.iter().map(|(_, e)| e.search_accesses()).sum()
+    }
+}
+
 /// One application's table chain.
 #[derive(Debug)]
 pub struct AppEngine {
@@ -47,6 +60,17 @@ pub struct AppEngine {
     /// Per rule: its field keys per table (for incremental updates and
     /// the update-plan generator).
     pub(crate) rule_keys: Vec<StoredRule>,
+    /// Final-table action row -> originating rule id (rows are allocated
+    /// one per rule, in rule order).
+    pub(crate) final_rule_ids: Vec<u32>,
+}
+
+impl AppEngine {
+    /// The rule id a final-table action row belongs to.
+    #[must_use]
+    pub fn rule_id_of_row(&self, row: u32) -> Option<u32> {
+        self.final_rule_ids.get(row as usize).copied()
+    }
 }
 
 /// Per-rule build record: the rule itself plus its engine-facing keys per
@@ -85,21 +109,36 @@ impl MtlSwitch {
     /// Builds a switch: each application in `config` consumes the first
     /// filter set of its kind from `sets`.
     ///
-    /// # Panics
-    /// Panics if a configured application has no matching filter set, or a
-    /// rule constrains a field its table does not search.
-    #[must_use]
-    pub fn build(config: &SwitchConfig, sets: &[&FilterSet]) -> Self {
+    /// # Errors
+    /// * [`BuildError::MissingFilterSet`] — a configured application has
+    ///   no matching filter set;
+    /// * [`BuildError::EmptyApplication`] /
+    ///   [`BuildError::MissingGoto`] /
+    ///   [`BuildError::DanglingMetadata`] — malformed table chains;
+    /// * [`BuildError::UnsupportedConstraint`] /
+    ///   [`BuildError::InvalidSchedule`] — a rule constrains a field in a
+    ///   way its table's algorithm cannot store.
+    pub fn try_build(config: &SwitchConfig, sets: &[&FilterSet]) -> Result<Self, BuildError> {
         let mut apps = Vec::new();
         let mut ledger = BuildLedger::default();
         for (kind, table_cfgs) in &config.apps {
             let set = sets
                 .iter()
                 .find(|s| s.kind == *kind)
-                .unwrap_or_else(|| panic!("no filter set of kind {kind}"));
-            apps.push(build_app(*kind, table_cfgs, set, &mut ledger));
+                .ok_or(BuildError::MissingFilterSet { kind: *kind })?;
+            apps.push(try_build_app(*kind, table_cfgs, set, &mut ledger)?);
         }
-        Self { name: config.name.clone(), apps, ledger }
+        Ok(Self { name: config.name.clone(), apps, ledger })
+    }
+
+    /// Builds a switch, panicking on error — a convenience wrapper over
+    /// [`MtlSwitch::try_build`] for presets known to be valid.
+    ///
+    /// # Panics
+    /// Panics with the [`BuildError`] display if the build fails.
+    #[must_use]
+    pub fn build(config: &SwitchConfig, sets: &[&FilterSet]) -> Self {
+        Self::try_build(config, sets).unwrap_or_else(|e| panic!("switch build failed: {e}"))
     }
 
     /// The application engine of a kind.
@@ -170,6 +209,63 @@ impl MtlSwitch {
         self.classify_app(self.apps[0].kind, header)
     }
 
+    /// Classifies a batch of headers through one application, processing
+    /// the pipeline *table-major and engine-major*: every live packet of
+    /// a tile is pushed through one field engine before the next engine
+    /// is touched, so per-engine dispatch is amortised across the vector
+    /// — and, more importantly, all label chains are written into one
+    /// flat buffer that is reused across packets, tables and tiles, so
+    /// the steady-state batch path performs no chain allocations at all
+    /// (the per-packet path allocates fresh chains for every lookup).
+    /// Semantically identical to calling [`MtlSwitch::classify_app`] per
+    /// header.
+    ///
+    /// # Panics
+    /// Panics if the switch has no application of that kind.
+    #[must_use]
+    pub fn classify_batch_app(
+        &self,
+        kind: FilterKind,
+        headers: &[HeaderValues],
+    ) -> Vec<ClassifyResult> {
+        /// Packets per tile: large enough to amortise per-engine
+        /// dispatch, small enough that a tile's chains stay cache-hot.
+        const TILE: usize = 64;
+        let app = self.app(kind).expect("application not configured");
+        // Per table: chain-slot count per packet (metadata + one slot per
+        // engine label position) and each engine's offset within it.
+        let layouts: Vec<(usize, Vec<usize>)> = app
+            .tables
+            .iter()
+            .map(|te| {
+                let mut next = usize::from(te.config.uses_metadata);
+                let offsets = te
+                    .engines
+                    .iter()
+                    .map(|(_, e)| {
+                        let o = next;
+                        next += e.label_positions();
+                        o
+                    })
+                    .collect();
+                (next, offsets)
+            })
+            .collect();
+
+        let mut chain_buf: Vec<MatchChain> = Vec::new();
+        let mut out = Vec::with_capacity(headers.len());
+        for tile in headers.chunks(TILE) {
+            classify_tile(app, &layouts, tile, &mut chain_buf, &mut out);
+        }
+        out
+    }
+
+    /// Batched classification through the first configured application.
+    #[must_use]
+    pub fn classify_batch(&self, headers: &[HeaderValues]) -> Vec<ClassifyResult> {
+        self.classify_batch_app(self.apps[0].kind, headers)
+    }
+
     /// Total rules across applications.
     #[must_use]
     pub fn total_rules(&self) -> usize {
@@ -177,27 +273,128 @@ impl MtlSwitch {
     }
 }
 
+/// Engine-major classification of one tile of headers, appending one
+/// [`ClassifyResult`] per header to `out`. `layouts` carries each table's
+/// chain-slot stride and per-engine offsets; `chain_buf` is the reusable
+/// flat chain storage (grown on demand, never shrunk).
+fn classify_tile(
+    app: &AppEngine,
+    layouts: &[(usize, Vec<usize>)],
+    headers: &[HeaderValues],
+    chain_buf: &mut Vec<MatchChain>,
+    out: &mut Vec<ClassifyResult>,
+) {
+    let n = headers.len();
+    let mut results: Vec<Option<ClassifyResult>> = (0..n).map(|_| None).collect();
+    let mut probes = vec![0usize; n];
+    let mut paths: Vec<Vec<(u8, bool)>> = vec![Vec::new(); n];
+    let mut meta: Vec<u32> = vec![0; n];
+    // Packets still flowing through the pipeline, by header index.
+    let mut alive: Vec<u32> = (0..n as u32).collect();
+
+    for (te, (stride, offsets)) in app.tables.iter().zip(layouts) {
+        if alive.is_empty() {
+            break;
+        }
+        let stride = *stride;
+        chain_buf.resize_with((alive.len() * stride).max(chain_buf.len()), MatchChain::default);
+
+        // Chain gathering, engine-major: one engine serves every live
+        // packet before the next engine is touched.
+        if te.config.uses_metadata {
+            for (slot, &pi) in alive.iter().enumerate() {
+                let matches = &mut chain_buf[slot * stride].matches;
+                matches.clear();
+                matches.push((Label(meta[pi as usize]), u32::MAX));
+            }
+        }
+        for (ei, (field, engine)) in te.engines.iter().enumerate() {
+            let off = offsets[ei];
+            let width = engine.label_positions();
+            for (slot, &pi) in alive.iter().enumerate() {
+                let dst = &mut chain_buf[slot * stride + off..slot * stride + off + width];
+                match headers[pi as usize].get(*field) {
+                    Some(v) => engine.search_into(v, dst),
+                    None => engine.search_missing_into(dst),
+                }
+            }
+        }
+
+        // Index probe + action resolution, per packet.
+        let mut next_alive = Vec::with_capacity(alive.len());
+        for (slot, &pi) in alive.iter().enumerate() {
+            let p = pi as usize;
+            let chains = &chain_buf[slot * stride..(slot + 1) * stride];
+            let (hit, used) = te.index.probe_chains(chains);
+            probes[p] += used;
+            paths[p].push((te.config.table_id, hit.is_some()));
+            let Some((_, row)) = hit else {
+                results[p] = Some(ClassifyResult {
+                    verdict: Verdict::ToController,
+                    matched_row: None,
+                    probes: probes[p],
+                    path: std::mem::take(&mut paths[p]),
+                });
+                continue;
+            };
+            match te.actions.get(row).expect("index row exists") {
+                ActionRow::Continue { meta: m, .. } => {
+                    meta[p] = *m as u32;
+                    next_alive.push(pi);
+                }
+                ActionRow::Final(action) => {
+                    let verdict = match action {
+                        offilter::RuleAction::Forward(port) => Verdict::Output(*port),
+                        offilter::RuleAction::Deny => Verdict::Drop,
+                        offilter::RuleAction::Controller => Verdict::ToController,
+                    };
+                    results[p] = Some(ClassifyResult {
+                        verdict,
+                        matched_row: Some(row),
+                        probes: probes[p],
+                        path: std::mem::take(&mut paths[p]),
+                    });
+                }
+            }
+        }
+        alive = next_alive;
+    }
+    debug_assert!(alive.is_empty(), "application chains end in a final table");
+    out.extend(results.into_iter().map(|r| r.expect("every packet resolves to a verdict")));
+}
+
 /// Builds one application's table chain.
-pub(crate) fn build_app(
+pub(crate) fn try_build_app(
     kind: FilterKind,
     table_cfgs: &[TableConfig],
     set: &FilterSet,
     ledger: &mut BuildLedger,
-) -> AppEngine {
-    assert!(!table_cfgs.is_empty(), "application needs at least one table");
-    let mut tables: Vec<TableEngine> = table_cfgs
-        .iter()
-        .map(|tc| TableEngine {
+) -> Result<AppEngine, BuildError> {
+    if table_cfgs.is_empty() {
+        return Err(BuildError::EmptyApplication { kind });
+    }
+    if table_cfgs[0].uses_metadata {
+        return Err(BuildError::DanglingMetadata { table_id: table_cfgs[0].table_id });
+    }
+    for tc in &table_cfgs[..table_cfgs.len() - 1] {
+        if tc.goto.is_none() {
+            return Err(BuildError::MissingGoto { table_id: tc.table_id });
+        }
+    }
+
+    let mut tables: Vec<TableEngine> = Vec::with_capacity(table_cfgs.len());
+    for tc in table_cfgs {
+        let mut engines = Vec::with_capacity(tc.fields.len());
+        for fc in &tc.fields {
+            engines.push((fc.field, FieldEngine::try_new(fc.field, &fc.algorithm, set.len())?));
+        }
+        tables.push(TableEngine {
             config: tc.clone(),
-            engines: tc
-                .fields
-                .iter()
-                .map(|fc| (fc.field, FieldEngine::new(fc.field, &fc.algorithm, set.len())))
-                .collect(),
+            engines,
             index: IndexTable::new(),
             actions: ActionTable::new(),
-        })
-        .collect();
+        });
+    }
 
     // Pass 1: intern all rule fields; remember keys, labels, specificity.
     // first_cost memoises the records the first insert of a value wrote, to
@@ -217,7 +414,7 @@ pub(crate) fn build_app(
             let mut spec = 0;
             for (fi, (field, engine)) in te.engines.iter_mut().enumerate() {
                 let key = FieldKey::from_match(rule.field(*field), *field);
-                let outcome = engine.intern(key, field.bit_width());
+                let outcome = engine.intern(*field, key, field.bit_width())?;
                 let records = outcome.update.records();
                 ledger.algorithm_label_records += records;
                 let replay = if records > 0 {
@@ -251,29 +448,40 @@ pub(crate) fn build_app(
     // Pass 2: register index entries with completed shadows.
     let mut combo_rows: Vec<HashMap<Vec<Label>, u32>> =
         (0..tables.len()).map(|_| HashMap::new()).collect();
+    let mut final_rule_ids: Vec<u32> = Vec::with_capacity(set.len());
     for (ri, rule) in set.rules.iter().enumerate() {
         let mut meta: Option<u32> = None;
         for ti in 0..tables.len() {
             let mut key: Vec<Label> = Vec::new();
             let mut shadows: Vec<Vec<Label>> = Vec::new();
             if tables[ti].config.uses_metadata {
-                key.push(Label(meta.expect("chained table without previous table")));
+                key.push(Label(meta.expect("chained table follows an intermediate table")));
                 shadows.push(Vec::new());
             }
             key.extend(labels[ri][ti].iter().copied());
             for (fi, (field, engine)) in tables[ti].engines.iter().enumerate() {
                 let k = rule_keys[ri].keys[ti][fi];
-                shadows.extend(engine.shadows_for(k, field.bit_width()));
+                shadows.extend(engine.shadows_for(*field, k, field.bit_width())?);
             }
             let last = ti + 1 == tables.len();
             if last {
                 let row = tables[ti].actions.push(ActionRow::Final(rule.action));
+                debug_assert_eq!(row as usize, final_rule_ids.len());
+                final_rule_ids.push(rule.id);
                 ledger.action_records += 1;
                 let before = tables[ti].index.len();
-                tables[ti].index.register(key, &shadows, u32::from(rule_keys[ri].rule.priority), row);
+                tables[ti].index.register(
+                    key,
+                    &shadows,
+                    u32::from(rule_keys[ri].rule.priority),
+                    row,
+                );
                 ledger.index_records += tables[ti].index.len() - before;
             } else {
-                let goto = tables[ti].config.goto.expect("intermediate table needs goto");
+                let goto = tables[ti]
+                    .config
+                    .goto
+                    .ok_or(BuildError::MissingGoto { table_id: tables[ti].config.table_id })?;
                 let row = match combo_rows[ti].get(&key) {
                     Some(&row) => row,
                     None => {
@@ -291,7 +499,7 @@ pub(crate) fn build_app(
         }
     }
 
-    AppEngine { kind, tables, rule_keys }
+    Ok(AppEngine { kind, tables, rule_keys, final_rule_ids })
 }
 
 #[cfg(test)]
@@ -368,11 +576,7 @@ mod tests {
             let h = header_for(rule, FilterKind::MacLearning);
             let want = flat_classify(&set, &h).unwrap();
             let got = sw.classify(&h);
-            assert_eq!(
-                got.verdict,
-                Verdict::Output(want.action.port().unwrap()),
-                "rule {rule}"
-            );
+            assert_eq!(got.verdict, Verdict::Output(want.action.port().unwrap()), "rule {rule}");
         }
     }
 
@@ -382,10 +586,7 @@ mod tests {
         let config = SwitchConfig::single_app(FilterKind::MacLearning, 0);
         let sw = MtlSwitch::build(&config, &[&set]);
         // A VLAN that exists with a MAC that does not.
-        let some_vlan = set.rules[0]
-            .field_as_prefix(MatchFieldKind::VlanVid)
-            .unwrap()
-            .0;
+        let some_vlan = set.rules[0].field_as_prefix(MatchFieldKind::VlanVid).unwrap().0;
         let h = HeaderValues::new()
             .with(MatchFieldKind::VlanVid, some_vlan)
             .with(MatchFieldKind::EthDst, 0x0191_0000_0001);
@@ -411,11 +612,7 @@ mod tests {
             let h = header_for(rule, FilterKind::Routing);
             let want = flat_classify(&set, &h).expect("rule matches its own header");
             let got = sw.classify(&h);
-            assert_eq!(
-                got.verdict,
-                Verdict::Output(want.action.port().unwrap()),
-                "rule {rule}"
-            );
+            assert_eq!(got.verdict, Verdict::Output(want.action.port().unwrap()), "rule {rule}");
         }
     }
 
@@ -450,6 +647,37 @@ mod tests {
     }
 
     #[test]
+    fn batch_classification_matches_per_packet() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let set = routing_set();
+        let config = SwitchConfig::single_app(FilterKind::Routing, 0);
+        let sw = MtlSwitch::build(&config, &[&set]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let ports: Vec<u128> = set
+            .rules
+            .iter()
+            .map(|r| r.field_as_prefix(MatchFieldKind::InPort).unwrap().0)
+            .collect();
+        let headers: Vec<HeaderValues> = (0..512)
+            .map(|i| {
+                // Mix hits, misses and unknown ports.
+                let port = if i % 7 == 0 { 0xFFFF } else { ports[rng.gen_range(0..ports.len())] };
+                HeaderValues::new()
+                    .with(MatchFieldKind::InPort, port)
+                    .with(MatchFieldKind::Ipv4Dst, u128::from(rng.gen::<u32>()))
+            })
+            .collect();
+        let batch = sw.classify_batch(&headers);
+        assert_eq!(batch.len(), headers.len());
+        for (h, got) in headers.iter().zip(&batch) {
+            assert_eq!(got, &sw.classify(h), "header {h}");
+        }
+        // Empty batches are fine.
+        assert!(sw.classify_batch(&[]).is_empty());
+    }
+
+    #[test]
     fn paper_preset_serves_both_apps() {
         let mac = mac_set();
         let routing = routing_set();
@@ -478,6 +706,71 @@ mod tests {
             sw.ledger.algorithm_label_records,
             sw.ledger.algorithm_original_records
         );
+    }
+
+    #[test]
+    fn missing_filter_set_is_an_error() {
+        let set = mac_set();
+        let config = SwitchConfig::single_app(FilterKind::Routing, 0);
+        let err = MtlSwitch::try_build(&config, &[&set]).unwrap_err();
+        assert_eq!(err, BuildError::MissingFilterSet { kind: FilterKind::Routing });
+    }
+
+    #[test]
+    fn malformed_chains_are_errors() {
+        let set = routing_set();
+        // First table keyed on metadata nobody wrote.
+        let mut config = SwitchConfig::single_app(FilterKind::Routing, 0);
+        config.apps[0].1[0].uses_metadata = true;
+        let err = MtlSwitch::try_build(&config, &[&set]).unwrap_err();
+        assert!(matches!(err, BuildError::DanglingMetadata { table_id: 0 }), "{err:?}");
+        // Intermediate table without a goto target.
+        let mut config = SwitchConfig::single_app(FilterKind::Routing, 0);
+        config.apps[0].1[0].goto = None;
+        let err = MtlSwitch::try_build(&config, &[&set]).unwrap_err();
+        assert!(matches!(err, BuildError::MissingGoto { table_id: 0 }), "{err:?}");
+        // Application with zero tables.
+        let mut config = SwitchConfig::single_app(FilterKind::Routing, 0);
+        config.apps[0].1.clear();
+        let err = MtlSwitch::try_build(&config, &[&set]).unwrap_err();
+        assert!(matches!(err, BuildError::EmptyApplication { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn unsupported_rule_constraint_is_an_error() {
+        // A range constraint on a field configured as an EM LUT.
+        let rules = vec![Rule::new(
+            0,
+            1,
+            oflow::FlowMatch::any()
+                .with_range(MatchFieldKind::InPort, 1, 5)
+                .unwrap()
+                .with_prefix(MatchFieldKind::Ipv4Dst, 0, 0)
+                .unwrap(),
+            RuleAction::Forward(1),
+        )];
+        let set = FilterSet::new("bad", FilterKind::Routing, rules);
+        let config = SwitchConfig::single_app(FilterKind::Routing, 0);
+        let err = MtlSwitch::try_build(&config, &[&set]).unwrap_err();
+        assert!(matches!(err, BuildError::UnsupportedConstraint { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn final_rows_map_back_to_rule_ids() {
+        let set = routing_set();
+        let config = SwitchConfig::single_app(FilterKind::Routing, 0);
+        let sw = MtlSwitch::build(&config, &[&set]);
+        let app = &sw.apps[0];
+        assert_eq!(app.final_rule_ids.len(), set.len());
+        for rule in &set.rules {
+            let h = header_for(rule, FilterKind::Routing);
+            let got = sw.classify(&h);
+            let row = got.matched_row.expect("rule matches its own header");
+            let id = app.rule_id_of_row(row).expect("row maps to a rule");
+            let want = flat_classify(&set, &h).unwrap();
+            assert_eq!(id, want.id, "rule {rule}");
+        }
+        assert_eq!(app.rule_id_of_row(u32::MAX), None);
     }
 
     #[test]

@@ -8,8 +8,8 @@
 
 /// The 16 router names, in the tables' order.
 pub const ROUTERS: [&str; 16] = [
-    "bbra", "bbrb", "boza", "bozb", "coza", "cozb", "goza", "gozb", "poza", "pozb", "roza",
-    "rozb", "soza", "sozb", "yoza", "yozb",
+    "bbra", "bbrb", "boza", "bozb", "coza", "cozb", "goza", "gozb", "poza", "pozb", "roza", "rozb",
+    "soza", "sozb", "yoza", "yozb",
 ];
 
 /// One row of Table III (MAC-learning filter survey).
@@ -31,22 +31,134 @@ pub struct MacFilterStats {
 
 /// Table III: "Number of unique field values of flow-based MAC filter".
 pub const MAC_FILTERS: [MacFilterStats; 16] = [
-    MacFilterStats { router: "bbra", rules: 507, vlan_unique: 48, eth_hi: 46, eth_mid: 133, eth_lo: 261 },
-    MacFilterStats { router: "bbrb", rules: 151, vlan_unique: 16, eth_hi: 26, eth_mid: 38, eth_lo: 55 },
-    MacFilterStats { router: "boza", rules: 3664, vlan_unique: 139, eth_hi: 136, eth_mid: 3276, eth_lo: 2664 },
-    MacFilterStats { router: "bozb", rules: 4454, vlan_unique: 139, eth_hi: 137, eth_mid: 1338, eth_lo: 3440 },
-    MacFilterStats { router: "coza", rules: 3295, vlan_unique: 32, eth_hi: 225, eth_mid: 1578, eth_lo: 2824 },
-    MacFilterStats { router: "cozb", rules: 2129, vlan_unique: 32, eth_hi: 194, eth_mid: 1101, eth_lo: 1861 },
-    MacFilterStats { router: "goza", rules: 6687, vlan_unique: 208, eth_hi: 172, eth_mid: 2579, eth_lo: 5480 },
-    MacFilterStats { router: "gozb", rules: 7370, vlan_unique: 209, eth_hi: 159, eth_mid: 1946, eth_lo: 6177 },
-    MacFilterStats { router: "poza", rules: 4533, vlan_unique: 153, eth_hi: 195, eth_mid: 2165, eth_lo: 3786 },
-    MacFilterStats { router: "pozb", rules: 4999, vlan_unique: 155, eth_hi: 169, eth_mid: 1759, eth_lo: 4170 },
-    MacFilterStats { router: "roza", rules: 3851, vlan_unique: 114, eth_hi: 136, eth_mid: 2389, eth_lo: 3264 },
-    MacFilterStats { router: "rozb", rules: 3711, vlan_unique: 113, eth_hi: 140, eth_mid: 1920, eth_lo: 3175 },
-    MacFilterStats { router: "soza", rules: 3153, vlan_unique: 41, eth_hi: 187, eth_mid: 1115, eth_lo: 2682 },
-    MacFilterStats { router: "sozb", rules: 2399, vlan_unique: 39, eth_hi: 161, eth_mid: 821, eth_lo: 2132 },
-    MacFilterStats { router: "yoza", rules: 3944, vlan_unique: 112, eth_hi: 178, eth_mid: 1655, eth_lo: 3180 },
-    MacFilterStats { router: "yozb", rules: 2944, vlan_unique: 101, eth_hi: 162, eth_mid: 1298, eth_lo: 2351 },
+    MacFilterStats {
+        router: "bbra",
+        rules: 507,
+        vlan_unique: 48,
+        eth_hi: 46,
+        eth_mid: 133,
+        eth_lo: 261,
+    },
+    MacFilterStats {
+        router: "bbrb",
+        rules: 151,
+        vlan_unique: 16,
+        eth_hi: 26,
+        eth_mid: 38,
+        eth_lo: 55,
+    },
+    MacFilterStats {
+        router: "boza",
+        rules: 3664,
+        vlan_unique: 139,
+        eth_hi: 136,
+        eth_mid: 3276,
+        eth_lo: 2664,
+    },
+    MacFilterStats {
+        router: "bozb",
+        rules: 4454,
+        vlan_unique: 139,
+        eth_hi: 137,
+        eth_mid: 1338,
+        eth_lo: 3440,
+    },
+    MacFilterStats {
+        router: "coza",
+        rules: 3295,
+        vlan_unique: 32,
+        eth_hi: 225,
+        eth_mid: 1578,
+        eth_lo: 2824,
+    },
+    MacFilterStats {
+        router: "cozb",
+        rules: 2129,
+        vlan_unique: 32,
+        eth_hi: 194,
+        eth_mid: 1101,
+        eth_lo: 1861,
+    },
+    MacFilterStats {
+        router: "goza",
+        rules: 6687,
+        vlan_unique: 208,
+        eth_hi: 172,
+        eth_mid: 2579,
+        eth_lo: 5480,
+    },
+    MacFilterStats {
+        router: "gozb",
+        rules: 7370,
+        vlan_unique: 209,
+        eth_hi: 159,
+        eth_mid: 1946,
+        eth_lo: 6177,
+    },
+    MacFilterStats {
+        router: "poza",
+        rules: 4533,
+        vlan_unique: 153,
+        eth_hi: 195,
+        eth_mid: 2165,
+        eth_lo: 3786,
+    },
+    MacFilterStats {
+        router: "pozb",
+        rules: 4999,
+        vlan_unique: 155,
+        eth_hi: 169,
+        eth_mid: 1759,
+        eth_lo: 4170,
+    },
+    MacFilterStats {
+        router: "roza",
+        rules: 3851,
+        vlan_unique: 114,
+        eth_hi: 136,
+        eth_mid: 2389,
+        eth_lo: 3264,
+    },
+    MacFilterStats {
+        router: "rozb",
+        rules: 3711,
+        vlan_unique: 113,
+        eth_hi: 140,
+        eth_mid: 1920,
+        eth_lo: 3175,
+    },
+    MacFilterStats {
+        router: "soza",
+        rules: 3153,
+        vlan_unique: 41,
+        eth_hi: 187,
+        eth_mid: 1115,
+        eth_lo: 2682,
+    },
+    MacFilterStats {
+        router: "sozb",
+        rules: 2399,
+        vlan_unique: 39,
+        eth_hi: 161,
+        eth_mid: 821,
+        eth_lo: 2132,
+    },
+    MacFilterStats {
+        router: "yoza",
+        rules: 3944,
+        vlan_unique: 112,
+        eth_hi: 178,
+        eth_mid: 1655,
+        eth_lo: 3180,
+    },
+    MacFilterStats {
+        router: "yozb",
+        rules: 2944,
+        vlan_unique: 101,
+        eth_hi: 162,
+        eth_mid: 1298,
+        eth_lo: 2351,
+    },
 ];
 
 /// One row of Table IV (Routing filter survey).
@@ -70,16 +182,40 @@ pub const ROUTING_FILTERS: [RoutingFilterStats; 16] = [
     RoutingFilterStats { router: "bbrb", rules: 1678, port_unique: 20, ip_hi: 82, ip_lo: 1015 },
     RoutingFilterStats { router: "boza", rules: 1614, port_unique: 26, ip_hi: 53, ip_lo: 1084 },
     RoutingFilterStats { router: "bozb", rules: 1455, port_unique: 26, ip_hi: 53, ip_lo: 952 },
-    RoutingFilterStats { router: "coza", rules: 184_909, port_unique: 43, ip_hi: 20_214, ip_lo: 7062 },
-    RoutingFilterStats { router: "cozb", rules: 183_376, port_unique: 39, ip_hi: 20_212, ip_lo: 5575 },
+    RoutingFilterStats {
+        router: "coza",
+        rules: 184_909,
+        port_unique: 43,
+        ip_hi: 20_214,
+        ip_lo: 7062,
+    },
+    RoutingFilterStats {
+        router: "cozb",
+        rules: 183_376,
+        port_unique: 39,
+        ip_hi: 20_212,
+        ip_lo: 5575,
+    },
     RoutingFilterStats { router: "goza", rules: 1767, port_unique: 21, ip_hi: 57, ip_lo: 1216 },
     RoutingFilterStats { router: "gozb", rules: 1669, port_unique: 22, ip_hi: 57, ip_lo: 1138 },
     RoutingFilterStats { router: "poza", rules: 1489, port_unique: 18, ip_hi: 54, ip_lo: 976 },
     RoutingFilterStats { router: "pozb", rules: 1434, port_unique: 20, ip_hi: 54, ip_lo: 932 },
     RoutingFilterStats { router: "roza", rules: 1567, port_unique: 17, ip_hi: 52, ip_lo: 1053 },
     RoutingFilterStats { router: "rozb", rules: 1483, port_unique: 16, ip_hi: 52, ip_lo: 988 },
-    RoutingFilterStats { router: "soza", rules: 184_682, port_unique: 48, ip_hi: 20_212, ip_lo: 6723 },
-    RoutingFilterStats { router: "sozb", rules: 180_944, port_unique: 36, ip_hi: 20_212, ip_lo: 3168 },
+    RoutingFilterStats {
+        router: "soza",
+        rules: 184_682,
+        port_unique: 48,
+        ip_hi: 20_212,
+        ip_lo: 6723,
+    },
+    RoutingFilterStats {
+        router: "sozb",
+        rules: 180_944,
+        port_unique: 36,
+        ip_hi: 20_212,
+        ip_lo: 3168,
+    },
     RoutingFilterStats { router: "yoza", rules: 4746, port_unique: 77, ip_hi: 58, ip_lo: 3610 },
     RoutingFilterStats { router: "yozb", rules: 2592, port_unique: 48, ip_hi: 55, ip_lo: 1955 },
 ];

@@ -213,17 +213,15 @@ pub fn parse_classbench(name: &str, text: &str) -> Result<FilterSet, FilterParse
             let hi: u16 = hi_tok.parse().map_err(|_| err(lineno, "bad port"))?;
             if lo == hi {
                 // Singleton ranges are canonically exact matches.
-                fm = fm
-                    .with_exact(field, u128::from(lo))
-                    .map_err(|e| err(lineno, e.to_string()))?;
+                fm =
+                    fm.with_exact(field, u128::from(lo)).map_err(|e| err(lineno, e.to_string()))?;
             } else if (lo, hi) != (0, 65_535) {
                 fm = fm
                     .with_range(field, u128::from(lo), u128::from(hi))
                     .map_err(|e| err(lineno, e.to_string()))?;
             }
         }
-        let (proto, mask) =
-            tokens[8].split_once('/').ok_or_else(|| err(lineno, "bad proto"))?;
+        let (proto, mask) = tokens[8].split_once('/').ok_or_else(|| err(lineno, "bad proto"))?;
         let proto = u8::from_str_radix(proto.trim_start_matches("0x"), 16)
             .map_err(|_| err(lineno, "bad proto"))?;
         let mask = u8::from_str_radix(mask.trim_start_matches("0x"), 16)
@@ -236,7 +234,10 @@ pub fn parse_classbench(name: &str, text: &str) -> Result<FilterSet, FilterParse
         let action = match tokens.get(9) {
             Some(&"deny") => RuleAction::Deny,
             Some(&"fwd") => RuleAction::Forward(
-                tokens.get(10).and_then(|t| t.parse().ok()).ok_or_else(|| err(lineno, "bad fwd port"))?,
+                tokens
+                    .get(10)
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err(lineno, "bad fwd port"))?,
             ),
             None => RuleAction::Forward(1),
             Some(other) => return Err(err(lineno, format!("unknown action '{other}'"))),
@@ -285,7 +286,9 @@ pub fn write_classbench(set: &FilterSet) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::synth::{generate_acl, generate_mac, generate_routing, AclConfig, MacTargets, RoutingTargets};
+    use crate::synth::{
+        generate_acl, generate_mac, generate_routing, AclConfig, MacTargets, RoutingTargets,
+    };
 
     #[test]
     fn mac_round_trip() {

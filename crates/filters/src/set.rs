@@ -76,6 +76,14 @@ impl FilterSet {
         Self { name: name.into(), kind, rules }
     }
 
+    /// Creates a filter set keeping the rules' existing ids — for callers
+    /// that regenerate a structure from rules whose ids are already
+    /// referenced elsewhere (incremental update rebuilds).
+    #[must_use]
+    pub fn preserving_ids(name: impl Into<String>, kind: FilterKind, rules: Vec<Rule>) -> Self {
+        Self { name: name.into(), kind, rules }
+    }
+
     /// Number of rules.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -125,6 +133,17 @@ mod tests {
         assert_eq!(s.rules[0].id, 0);
         assert_eq!(s.rules[1].id, 1);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn preserving_ids_keeps_them() {
+        let rules = vec![
+            Rule::new(7, 1, FlowMatch::any(), RuleAction::Deny),
+            Rule::new(99, 1, FlowMatch::any(), RuleAction::Deny),
+        ];
+        let s = FilterSet::preserving_ids("bbra", FilterKind::Routing, rules);
+        assert_eq!(s.rules[0].id, 7);
+        assert_eq!(s.rules[1].id, 99);
     }
 
     #[test]

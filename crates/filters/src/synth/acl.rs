@@ -56,8 +56,7 @@ pub fn generate_acl(config: &AclConfig, seed: u64) -> FilterSet {
     // Internal networks: clustered /24s under a handful of /16s.
     let mut networks: Vec<u32> = Vec::with_capacity(config.networks);
     let mut seen = HashSet::new();
-    let supernets: Vec<u32> =
-        (0..4).map(|_| u32::from(rng.gen::<u16>()) << 16).collect();
+    let supernets: Vec<u32> = (0..4).map(|_| u32::from(rng.gen::<u16>()) << 16).collect();
     while networks.len() < config.networks {
         let base = supernets[rng.gen_range(0..supernets.len())];
         let net = base | (u32::from(rng.gen::<u8>()) << 8);

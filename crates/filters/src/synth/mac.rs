@@ -115,7 +115,7 @@ pub fn generate_mac(targets: &MacTargets, seed: u64) -> FilterSet {
                 break;
             }
             attempts += 1;
-            if attempts % 8 == 0 {
+            if attempts.is_multiple_of(8) {
                 if let Some(j) = (0..parts.len())
                     .filter(|&j| !parts[j].is_full())
                     .max_by_key(|&j| parts[j].need())

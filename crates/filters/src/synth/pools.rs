@@ -140,11 +140,7 @@ impl UniquePool {
     /// Draws a fresh value satisfying `pred`; falls back to uniform
     /// sampling filtered by `pred`. Returns `None` if no satisfying value
     /// is found within a sampling budget (callers then relax constraints).
-    pub fn new_value_where(
-        &mut self,
-        rng: &mut StdRng,
-        pred: impl Fn(u64) -> bool,
-    ) -> Option<u64> {
+    pub fn new_value_where(&mut self, rng: &mut StdRng, pred: impl Fn(u64) -> bool) -> Option<u64> {
         assert!(!self.is_full(), "pool already reached its target");
         let mask = self.domain_mask();
         for _ in 0..4096 {

@@ -116,12 +116,7 @@ pub fn generate_routing(targets: &RoutingTargets, seed: u64) -> FilterSet {
             .with_prefix(MatchFieldKind::Ipv4Dst, u128::from(value), len)
             .expect("prefix fits");
         let out = 1 + (value.wrapping_mul(0x9E37_79B9) >> 16) % 32;
-        rules.push(Rule::new(
-            rules.len() as u32,
-            len as u16,
-            fm,
-            RuleAction::Forward(out as u32),
-        ));
+        rules.push(Rule::new(rules.len() as u32, len as u16, fm, RuleAction::Forward(out as u32)));
     };
 
     // Phase 1: short prefixes (len < 16), including the default route.
@@ -129,10 +124,7 @@ pub fn generate_routing(targets: &RoutingTargets, seed: u64) -> FilterSet {
     // capped to keep `lo_target` reachable by the remaining rules; each
     // short contributes one fresh higher value, so `hi_target` stays
     // reachable too.
-    let shorts = targets
-        .short_prefixes
-        .min(hi_target)
-        .min(n.saturating_sub(lo_target) + 1);
+    let shorts = targets.short_prefixes.min(hi_target).min(n.saturating_sub(lo_target) + 1);
     for s in 0..shorts {
         let remaining = n - rules.len();
         let (value, len) = if s == 0 {
@@ -309,11 +301,8 @@ mod tests {
     #[test]
     fn prefixes_unique_per_rule() {
         let set = generate_routing(&small_targets(), 2);
-        let prefixes: HashSet<(u128, u32)> = set
-            .rules
-            .iter()
-            .map(|r| r.field_as_prefix(MatchFieldKind::Ipv4Dst).unwrap())
-            .collect();
+        let prefixes: HashSet<(u128, u32)> =
+            set.rules.iter().map(|r| r.field_as_prefix(MatchFieldKind::Ipv4Dst).unwrap()).collect();
         assert_eq!(prefixes.len(), set.len());
     }
 

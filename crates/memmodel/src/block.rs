@@ -34,12 +34,7 @@ impl MemoryBlock {
     /// Creates a block whose entry width comes from `layout`.
     #[must_use]
     pub fn with_layout(name: impl Into<String>, entries: usize, layout: EntryLayout) -> Self {
-        Self {
-            name: name.into(),
-            entries,
-            entry_bits: layout.total_bits(),
-            layout: Some(layout),
-        }
+        Self { name: name.into(), entries, entry_bits: layout.total_bits(), layout: Some(layout) }
     }
 
     /// Total size of the block in bits.
@@ -138,9 +133,7 @@ impl MemoryReport {
             .iter()
             .filter(|b| {
                 b.name == prefix
-                    || b.name
-                        .strip_prefix(prefix)
-                        .is_some_and(|rest| rest.starts_with('/'))
+                    || b.name.strip_prefix(prefix).is_some_and(|rest| rest.starts_with('/'))
             })
             .map(MemoryBlock::bits)
             .sum()
@@ -154,9 +147,7 @@ impl MemoryReport {
             .iter()
             .filter(|b| {
                 b.name == prefix
-                    || b.name
-                        .strip_prefix(prefix)
-                        .is_some_and(|rest| rest.starts_with('/'))
+                    || b.name.strip_prefix(prefix).is_some_and(|rest| rest.starts_with('/'))
             })
             .map(|b| b.entries)
             .sum()
@@ -222,10 +213,7 @@ mod tests {
     fn totals_aggregate_all_blocks() {
         let r = sample();
         assert_eq!(r.total_entries(), 32 + 1024 + 4096 + 32);
-        assert_eq!(
-            r.total_bits(),
-            32 * 26 + 1024 * 26 + 4096 * 16 + 32 * 20
-        );
+        assert_eq!(r.total_bits(), 32 * 26 + 1024 * 26 + 4096 * 16 + 32 * 20);
     }
 
     #[test]

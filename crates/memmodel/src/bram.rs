@@ -27,14 +27,7 @@ pub struct BramKind {
 pub const M20K: BramKind = BramKind {
     name: "M20K",
     capacity_bits: 20_480,
-    geometries: &[
-        (512, 40),
-        (1_024, 20),
-        (2_048, 10),
-        (4_096, 5),
-        (8_192, 2),
-        (16_384, 1),
-    ],
+    geometries: &[(512, 40), (1_024, 20), (2_048, 10), (4_096, 5), (8_192, 2), (16_384, 1)],
 };
 
 /// Xilinx-style 18 Kbit BRAM for cross-device what-ifs.
@@ -75,7 +68,12 @@ impl BramKind {
     /// Number of physical blocks needed for `entries × entry_bits` under a
     /// fixed geometry.
     #[must_use]
-    pub fn blocks_for_geometry(&self, entries: usize, entry_bits: u32, geometry: (u32, u32)) -> u32 {
+    pub fn blocks_for_geometry(
+        &self,
+        entries: usize,
+        entry_bits: u32,
+        geometry: (u32, u32),
+    ) -> u32 {
         if entries == 0 || entry_bits == 0 {
             return 0;
         }

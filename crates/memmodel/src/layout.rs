@@ -80,9 +80,7 @@ impl EntryLayout {
     /// next-table id of `table_id_bits` (the `Goto-Table` target).
     #[must_use]
     pub fn action_entry(instr_bits: u32, table_id_bits: u32) -> Self {
-        Self::new()
-            .with_field("instructions", instr_bits)
-            .with_field("goto_table", table_id_bits)
+        Self::new().with_field("instructions", instr_bits).with_field("goto_table", table_id_bits)
     }
 
     /// Total width of the entry word in bits.

@@ -95,10 +95,7 @@ mod tests {
         let e = FlowEntry::new(
             5,
             FlowMatch::any(),
-            vec![
-                Instruction::WriteActions(vec![Action::Output(1)]),
-                Instruction::GotoTable(2),
-            ],
+            vec![Instruction::WriteActions(vec![Action::Output(1)]), Instruction::GotoTable(2)],
         );
         assert_eq!(e.goto_target(), Some(2));
     }

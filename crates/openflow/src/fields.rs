@@ -161,11 +161,7 @@ impl MatchFieldKind {
     /// internal `metadata` register) — the count the paper quotes in §III.A.
     #[must_use]
     pub fn matchable() -> Vec<MatchFieldKind> {
-        Self::ALL
-            .iter()
-            .copied()
-            .filter(|f| *f != MatchFieldKind::Metadata)
-            .collect()
+        Self::ALL.iter().copied().filter(|f| *f != MatchFieldKind::Metadata).collect()
     }
 
     /// The paper's Table II rows: the 15 common fields, in table order.

@@ -126,7 +126,10 @@ impl FieldMatch {
             (FieldMatch::Any, _) | (_, FieldMatch::Any) => true,
             (FieldMatch::Exact(a), b) => b.matches(a, width),
             (a, FieldMatch::Exact(b)) => a.matches(b, width),
-            (FieldMatch::Prefix { value: v1, len: l1 }, FieldMatch::Prefix { value: v2, len: l2 }) => {
+            (
+                FieldMatch::Prefix { value: v1, len: l1 },
+                FieldMatch::Prefix { value: v2, len: l2 },
+            ) => {
                 let l = l1.min(l2);
                 let m = prefix_mask(width, l);
                 v1 & m == v2 & m
@@ -367,11 +370,7 @@ mod tests {
 
     #[test]
     fn with_replaces_existing_constraint() {
-        let fm = FlowMatch::any()
-            .with_exact(VlanVid, 1)
-            .unwrap()
-            .with_exact(VlanVid, 2)
-            .unwrap();
+        let fm = FlowMatch::any().with_exact(VlanVid, 1).unwrap().with_exact(VlanVid, 2).unwrap();
         assert_eq!(fm.parts().len(), 1);
         assert_eq!(fm.field(VlanVid), FieldMatch::Exact(2));
     }

@@ -43,10 +43,7 @@ impl HeaderValues {
     /// The value of `field`, if the packet carries it.
     #[must_use]
     pub fn get(&self, field: MatchFieldKind) -> Option<u128> {
-        self.values
-            .binary_search_by_key(&field, |(f, _)| *f)
-            .map(|i| self.values[i].1)
-            .ok()
+        self.values.binary_search_by_key(&field, |(f, _)| *f).map(|i| self.values[i].1).ok()
     }
 
     /// Removes a field (used when popping tags).

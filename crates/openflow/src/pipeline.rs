@@ -218,7 +218,10 @@ mod tests {
             FlowEntry::new(
                 10,
                 FlowMatch::any().with_exact(VlanVid, 100).unwrap(),
-                vec![Instruction::GotoTable(1), Instruction::WriteMetadata { value: 7, mask: 0xFF }],
+                vec![
+                    Instruction::GotoTable(1),
+                    Instruction::WriteMetadata { value: 7, mask: 0xFF },
+                ],
             ),
         )
         .unwrap();
@@ -287,7 +290,7 @@ mod tests {
     fn backward_goto_rejected() {
         let mut p = Pipeline::with_tables(2);
         let e = FlowEntry::new(1, FlowMatch::any(), vec![Instruction::GotoTable(0)]);
-        assert_eq!(p.add_flow(1, e, ), Err(OflowError::BackwardGoto { from: 1, to: 0 }));
+        assert_eq!(p.add_flow(1, e,), Err(OflowError::BackwardGoto { from: 1, to: 0 }));
         let e = FlowEntry::new(1, FlowMatch::any(), vec![Instruction::GotoTable(5)]);
         assert_eq!(p.add_flow(0, e), Err(OflowError::NoSuchTable(5)));
         let e = FlowEntry::new(1, FlowMatch::any(), vec![]);
@@ -369,10 +372,7 @@ mod tests {
             FlowEntry::new(
                 1,
                 FlowMatch::any(),
-                vec![
-                    Instruction::WriteActions(vec![Action::Output(1)]),
-                    Instruction::GotoTable(1),
-                ],
+                vec![Instruction::WriteActions(vec![Action::Output(1)]), Instruction::GotoTable(1)],
             ),
         )
         .unwrap();

@@ -55,9 +55,7 @@ impl FlowTable {
             return Ok(());
         }
         let key = (entry.priority, entry.flow_match.specificity());
-        let pos = self
-            .entries
-            .partition_point(|e| (e.priority, e.flow_match.specificity()) >= key);
+        let pos = self.entries.partition_point(|e| (e.priority, e.flow_match.specificity()) >= key);
         self.entries.insert(pos, entry);
         Ok(())
     }
@@ -176,11 +174,8 @@ mod tests {
     fn lookup_returns_highest_priority() {
         let mut t = FlowTable::new(0);
         t.add(entry(1, 5), false).unwrap();
-        t.add(
-            FlowEntry::new(10, FlowMatch::any(), vec![Instruction::ClearActions]),
-            false,
-        )
-        .unwrap();
+        t.add(FlowEntry::new(10, FlowMatch::any(), vec![Instruction::ClearActions]), false)
+            .unwrap();
         let h = HeaderValues::new().with(VlanVid, 5);
         let hit = t.lookup(&h).unwrap();
         assert_eq!(hit.priority, 10);
@@ -245,12 +240,20 @@ mod tests {
     fn nonstrict_delete_removes_subsumed() {
         let mut t = FlowTable::new(0);
         t.add(
-            FlowEntry::new(1, FlowMatch::any().with_prefix(Ipv4Dst, 0x0A010000, 16).unwrap(), vec![]),
+            FlowEntry::new(
+                1,
+                FlowMatch::any().with_prefix(Ipv4Dst, 0x0A010000, 16).unwrap(),
+                vec![],
+            ),
             false,
         )
         .unwrap();
         t.add(
-            FlowEntry::new(1, FlowMatch::any().with_prefix(Ipv4Dst, 0x0B000000, 8).unwrap(), vec![]),
+            FlowEntry::new(
+                1,
+                FlowMatch::any().with_prefix(Ipv4Dst, 0x0B000000, 8).unwrap(),
+                vec![],
+            ),
             false,
         )
         .unwrap();
@@ -276,11 +279,8 @@ mod tests {
     fn range_pattern_subsumption() {
         // Deleting [0..=100] removes exact 50 and range [10..=20].
         let mut t = FlowTable::new(0);
-        t.add(
-            FlowEntry::new(1, FlowMatch::any().with_exact(TcpDst, 50).unwrap(), vec![]),
-            false,
-        )
-        .unwrap();
+        t.add(FlowEntry::new(1, FlowMatch::any().with_exact(TcpDst, 50).unwrap(), vec![]), false)
+            .unwrap();
         t.add(
             FlowEntry::new(1, FlowMatch::any().with_range(TcpDst, 10, 20).unwrap(), vec![]),
             false,

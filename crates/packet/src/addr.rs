@@ -78,12 +78,11 @@ impl FromStr for MacAddr {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut bytes = [0u8; 6];
         let mut n = 0;
-        for part in s.split(|c| c == ':' || c == '-') {
+        for part in s.split([':', '-']) {
             if n == 6 {
                 return Err(MacParseError(s.to_owned()));
             }
-            bytes[n] =
-                u8::from_str_radix(part, 16).map_err(|_| MacParseError(s.to_owned()))?;
+            bytes[n] = u8::from_str_radix(part, 16).map_err(|_| MacParseError(s.to_owned()))?;
             n += 1;
         }
         if n != 6 {

@@ -7,8 +7,8 @@
 use crate::addr::MacAddr;
 use crate::checksum::transport_checksum_v4;
 use crate::headers::{
-    ethertype, ip_proto, ArpHeader, EthernetHeader, IcmpHeader, Ipv4Header, Ipv6Header,
-    MplsHeader, TcpHeader, UdpHeader, VlanTag,
+    ethertype, ip_proto, ArpHeader, EthernetHeader, IcmpHeader, Ipv4Header, Ipv6Header, MplsHeader,
+    TcpHeader, UdpHeader, VlanTag,
 };
 use std::net::{Ipv4Addr, Ipv6Addr};
 
@@ -193,13 +193,11 @@ impl PacketBuilder {
             (true, L3::Ipv6(..)) => ethertype::IPV6,
             (true, L3::None) => 0xFFFF,
         };
-        let first_ethertype =
-            if self.vlans.is_empty() { inner_ethertype } else { ethertype::VLAN };
+        let first_ethertype = if self.vlans.is_empty() { inner_ethertype } else { ethertype::VLAN };
         EthernetHeader { dst: self.dst_mac, src: self.src_mac, ethertype: first_ethertype }
             .write_to(&mut out);
         for (i, (vid, pcp)) in self.vlans.iter().enumerate() {
-            let next =
-                if i + 1 < self.vlans.len() { ethertype::VLAN } else { inner_ethertype };
+            let next = if i + 1 < self.vlans.len() { ethertype::VLAN } else { inner_ethertype };
             VlanTag { pcp: *pcp, dei: false, vid: *vid, ethertype: next }.write_to(&mut out);
         }
         for (i, shim) in self.mpls.iter().enumerate() {
@@ -242,12 +240,8 @@ impl PacketBuilder {
             L3::Ipv4(mut h, ref l4) => {
                 h.total_len = (h.header_len() + segment.len()) as u16;
                 if let L4::Tcp(_) | L4::Udp(_) = l4 {
-                    let ck = transport_checksum_v4(
-                        h.src.octets(),
-                        h.dst.octets(),
-                        h.protocol,
-                        &segment,
-                    );
+                    let ck =
+                        transport_checksum_v4(h.src.octets(), h.dst.octets(), h.protocol, &segment);
                     // Checksum slot is at offset 16 (TCP) / 6 (UDP) of the
                     // segment.
                     let off = if matches!(l4, L4::Tcp(_)) { 16 } else { 6 };
@@ -273,7 +267,7 @@ mod tests {
     use crate::checksum::verify;
 
     fn macs() -> (MacAddr, MacAddr) {
-        (MacAddr::from_u64(0x02_0000_000001), MacAddr::from_u64(0x02_0000_000002))
+        (MacAddr::from_u64(0x0200_0000_0001), MacAddr::from_u64(0x0200_0000_0002))
     }
 
     #[test]

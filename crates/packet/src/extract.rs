@@ -207,7 +207,7 @@ mod tests {
     use std::net::Ipv4Addr;
 
     fn macs() -> (MacAddr, MacAddr) {
-        (MacAddr::from_u64(0x02_0000_000001), MacAddr::from_u64(0x02_0000_000002))
+        (MacAddr::from_u64(0x0200_0000_0001), MacAddr::from_u64(0x0200_0000_0002))
     }
 
     #[test]
@@ -228,7 +228,7 @@ mod tests {
         assert_eq!(h.get(Ipv4Dst), Some(u128::from(u32::from(Ipv4Addr::new(192, 168, 1, 1)))));
         assert_eq!(h.get(TcpDst), Some(80));
         assert_eq!(h.get(UdpDst), None);
-        assert_eq!(h.get(EthDst), Some(0x02_0000_000002));
+        assert_eq!(h.get(EthDst), Some(0x0200_0000_0002));
     }
 
     #[test]
@@ -293,8 +293,7 @@ mod tests {
     fn unknown_ethertype_is_payload() {
         let (s, d) = macs();
         let mut frame = Vec::new();
-        crate::headers::EthernetHeader { dst: d, src: s, ethertype: 0x9999 }
-            .write_to(&mut frame);
+        crate::headers::EthernetHeader { dst: d, src: s, ethertype: 0x9999 }.write_to(&mut frame);
         frame.extend_from_slice(&[1, 2, 3]);
         let pkt = parse_packet(&frame).unwrap();
         assert!(pkt.ipv4.is_none());

@@ -28,9 +28,7 @@ impl Ipv6Header {
 
     /// Appends the header to `out`.
     pub fn write_to(&self, out: &mut Vec<u8>) {
-        let w = (6u32 << 28)
-            | (u32::from(self.traffic_class) << 20)
-            | (self.flow_label & 0xF_FFFF);
+        let w = (6u32 << 28) | (u32::from(self.traffic_class) << 20) | (self.flow_label & 0xF_FFFF);
         out.extend_from_slice(&w.to_be_bytes());
         out.extend_from_slice(&self.payload_len.to_be_bytes());
         out.push(self.next_header);

@@ -23,9 +23,8 @@ impl VlanTag {
 
     /// Appends TCI + inner ethertype to `out`.
     pub fn write_to(&self, out: &mut Vec<u8>) {
-        let tci = (u16::from(self.pcp & 0x7) << 13)
-            | (u16::from(self.dei) << 12)
-            | (self.vid & 0x0FFF);
+        let tci =
+            (u16::from(self.pcp & 0x7) << 13) | (u16::from(self.dei) << 12) | (self.vid & 0x0FFF);
         out.extend_from_slice(&tci.to_be_bytes());
         out.extend_from_slice(&self.ethertype.to_be_bytes());
     }

@@ -73,8 +73,8 @@ impl TraceGenerator {
 #[must_use]
 pub fn realise(h: &HeaderValues) -> Vec<u8> {
     use MatchFieldKind::*;
-    let src = MacAddr::from_u64(h.get(EthSrc).unwrap_or(0x02_0000_00AA_u128.into()) as u64);
-    let dst = MacAddr::from_u64(h.get(EthDst).unwrap_or(0x02_0000_00BB_u128.into()) as u64);
+    let src = MacAddr::from_u64(h.get(EthSrc).unwrap_or(0x02_0000_00AA_u128) as u64);
+    let dst = MacAddr::from_u64(h.get(EthDst).unwrap_or(0x02_0000_00BB_u128) as u64);
     let mut b = PacketBuilder::ethernet(src, dst);
     if let Some(vid) = h.get(VlanVid) {
         b = b.vlan((vid & 0xFFF) as u16, h.get(VlanPcp).unwrap_or(0) as u8);
@@ -100,8 +100,8 @@ mod tests {
 
     fn template() -> HeaderValues {
         HeaderValues::new()
-            .with(MatchFieldKind::EthSrc, 0x02_0000_000001)
-            .with(MatchFieldKind::EthDst, 0x02_0000_000002)
+            .with(MatchFieldKind::EthSrc, 0x0200_0000_0001)
+            .with(MatchFieldKind::EthDst, 0x0200_0000_0002)
             .with(MatchFieldKind::VlanVid, 100)
             .with(MatchFieldKind::Ipv4Dst, 0x0A00_0001)
     }

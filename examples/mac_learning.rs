@@ -10,10 +10,10 @@
 //! cargo run --example mac_learning [router]
 //! ```
 
-use openflow_mtl::prelude::*;
 use offilter::paper_data::mac_stats;
 use offilter::synth::{generate_mac, MacTargets};
 use oflow::FieldMatch;
+use openflow_mtl::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -64,14 +64,12 @@ fn main() {
         } else {
             (rng.gen::<u16>() & 0xFFF, rng.gen::<u64>() & 0xFFFF_FFFF_FFFF)
         };
-        let frame = PacketBuilder::ethernet(
-            MacAddr::from_u64(0x02_0000_0000AA),
-            MacAddr::from_u64(mac),
-        )
-        .vlan(vlan, 0)
-        .ipv4("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
-        .udp(4000, 4000)
-        .build();
+        let frame =
+            PacketBuilder::ethernet(MacAddr::from_u64(0x0200_0000_00AA), MacAddr::from_u64(mac))
+                .vlan(vlan, 0)
+                .ipv4("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+                .udp(4000, 4000)
+                .build();
 
         // Header extraction note: OpenFlow's vlan_vid carries a presence
         // bit; the MAC rules match the raw 12-bit VID, so mask it off.

@@ -11,17 +11,20 @@
 //! cargo run --release --example memory_planner
 //! ```
 
-use openflow_mtl::prelude::*;
-use ofalgo::Mbt;
 use ofalgo::trie::TrieSizing;
+use ofalgo::Mbt;
 use offilter::synth::{generate_routing, RoutingTargets};
-use ofmem::bram::M20K;
 use oflow::MatchFieldKind;
+use ofmem::bram::M20K;
+use openflow_mtl::prelude::*;
 
 fn main() {
     // 1. Sweep rule-set size for a fixed shape (Table IV-like ratios).
     println!("== memory vs rule count (routing application) ==");
-    println!("{:>8}  {:>12}  {:>10}  {:>10}  {:>6}", "rules", "total Kbits", "MBT Kbits", "idx Kbits", "M20K");
+    println!(
+        "{:>8}  {:>12}  {:>10}  {:>10}  {:>6}",
+        "rules", "total Kbits", "MBT Kbits", "idx Kbits", "M20K"
+    );
     for rules in [500usize, 1_000, 2_000, 4_000, 8_000, 16_000] {
         let set = generate_routing(
             &RoutingTargets {

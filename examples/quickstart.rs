@@ -31,7 +31,13 @@ fn main() {
 
     // 3. Classify a few headers.
     println!("\nclassification:");
-    for (port, dst) in [(1u32, "10.1.2.77"), (1, "10.1.9.9"), (2, "10.200.1.1"), (1, "192.168.0.1"), (9, "10.1.2.77")] {
+    for (port, dst) in [
+        (1u32, "10.1.2.77"),
+        (1, "10.1.9.9"),
+        (2, "10.200.1.1"),
+        (1, "192.168.0.1"),
+        (9, "10.1.2.77"),
+    ] {
         let header = HeaderValues::new()
             .with(MatchFieldKind::InPort, u128::from(port))
             .with(MatchFieldKind::Ipv4Dst, ip(dst));

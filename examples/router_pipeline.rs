@@ -11,9 +11,9 @@
 //! cargo run --example router_pipeline
 //! ```
 
-use openflow_mtl::prelude::*;
 use offilter::synth::{generate_mac, generate_routing, MacTargets, RoutingTargets};
 use oflow::{Action, FieldMatch};
+use openflow_mtl::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -97,9 +97,7 @@ fn main() {
                         .unwrap()
                         .with_exact(MatchFieldKind::EthDst, mac)
                         .unwrap(),
-                    vec![Instruction::WriteActions(vec![Action::Output(
-                        r.action.port().unwrap(),
-                    )])],
+                    vec![Instruction::WriteActions(vec![Action::Output(r.action.port().unwrap())])],
                 ),
             )
             .expect("valid flow");
@@ -120,10 +118,7 @@ fn main() {
             let FieldMatch::Exact(m) = r.field(MatchFieldKind::EthDst) else { unreachable!() };
             (v, m)
         } else {
-            (
-                u128::from(rng.gen::<u16>() & 0xFFF),
-                u128::from(rng.gen::<u64>() & 0xFFFF_FFFF_FFFF),
-            )
+            (u128::from(rng.gen::<u16>() & 0xFFF), u128::from(rng.gen::<u64>() & 0xFFFF_FFFF_FFFF))
         };
         let header = HeaderValues::new()
             .with(MatchFieldKind::VlanVid, vlan)
@@ -150,10 +145,7 @@ fn main() {
         let header = HeaderValues::new()
             .with(MatchFieldKind::InPort, ports[rng.gen_range(0..ports.len())])
             .with(MatchFieldKind::Ipv4Dst, u128::from(rng.gen::<u32>()));
-        if matches!(
-            switch.classify_app(FilterKind::Routing, &header).verdict,
-            Verdict::Output(_)
-        ) {
+        if matches!(switch.classify_app(FilterKind::Routing, &header).verdict, Verdict::Output(_)) {
             forwarded += 1;
         }
     }

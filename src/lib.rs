@@ -17,6 +17,7 @@
 //! | [`offilter`] | Rule sets, the paper's published statistics, constrained synthesis, surveys |
 //! | [`ofalgo`] | Multi-bit tries, exact-match LUTs, range matchers, labels |
 //! | [`ofmem`] | Memory layouts, blocks, Kbit accounting, M20K mapping |
+//! | [`classifier_api`] | The unified fallible `Classifier` contract every engine implements |
 //! | [`mtl_core`] | The paper's architecture: engines, index tables, action tables, update model |
 //! | [`ofbaseline`] | Linear scan, TCAM model, tuple space search, HiCuts |
 //!
@@ -40,22 +41,30 @@
 //! ];
 //! let set = FilterSet::new("quick", FilterKind::Routing, rules);
 //!
-//! // Build the paper's two-table architecture and classify a header.
+//! // Build the paper's two-table architecture (fallibly) and classify.
 //! let config = SwitchConfig::single_app(FilterKind::Routing, 0);
-//! let switch = MtlSwitch::build(&config, &[&set]);
+//! let switch = MtlSwitch::try_build(&config, &[&set]).expect("valid set");
 //! let header = HeaderValues::new()
 //!     .with(MatchFieldKind::InPort, 1)
 //!     .with(MatchFieldKind::Ipv4Dst, 0x0A01_02FF);
 //! assert_eq!(switch.classify(&header).verdict, Verdict::Output(7));
 //!
+//! // Every engine — this architecture and all baselines — also speaks
+//! // the unified `Classifier` trait (rule-id results, batch lookup):
+//! let unified: &dyn Classifier = &switch;
+//! assert_eq!(unified.classify(&header), Some(0));
+//! assert_eq!(unified.classify_batch(&[header.clone()]), vec![Some(0)]);
+//!
 //! // And ask what it costs in embedded memory.
 //! let memory = SwitchMemoryReport::of(&switch);
 //! assert!(memory.total().bits() > 0);
+//! assert_eq!(unified.memory_bits(), memory.total().bits());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use classifier_api;
 pub use mtl_core;
 pub use ofalgo;
 pub use ofbaseline;
@@ -66,9 +75,11 @@ pub use ofpacket;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use mtl_core::{
-        ClassifyResult, MtlSwitch, SwitchConfig, SwitchMemoryReport, UpdatePlan,
+    pub use classifier_api::{
+        reference_classify, BuildError, Classifier, ClassifierBuilder, ClassifierRegistry,
+        DynamicClassifier, UpdateReport,
     };
+    pub use mtl_core::{ClassifyResult, MtlSwitch, SwitchConfig, SwitchMemoryReport, UpdatePlan};
     pub use ofalgo::{HashLut, Label, Mbt, PartitionedTrie, RangeMatcher, StrideSchedule};
     pub use offilter::{FilterKind, FilterSet, Rule, RuleAction};
     pub use oflow::{

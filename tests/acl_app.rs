@@ -3,8 +3,8 @@
 //! exercising the range engine and its completion entries inside the
 //! full architecture.
 
-use openflow_mtl::prelude::*;
 use offilter::synth::{generate_acl, AclConfig};
+use openflow_mtl::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -91,10 +91,8 @@ fn acl_memory_report_includes_range_matchers() {
 fn acl_range_completion_entries_counted() {
     // Nested ranges force completion entries; they must appear in the
     // index statistics (the honest memory cost of decomposition).
-    let set = generate_acl(
-        &AclConfig { rules: 500, range_fraction: 0.8, ..AclConfig::default() },
-        79,
-    );
+    let set =
+        generate_acl(&AclConfig { rules: 500, range_fraction: 0.8, ..AclConfig::default() }, 79);
     let sw = MtlSwitch::build(&SwitchConfig::flat_app(FilterKind::Acl, 0), &[&set]);
     let table = &sw.apps[0].tables[0];
     assert!(

@@ -82,11 +82,8 @@ fn ipv6_lpm_through_eight_partitions() {
 
 #[test]
 fn ipv6_engine_has_eight_tries_with_l1_anchor() {
-    let set = FilterSet::new(
-        "v6",
-        FilterKind::Routing,
-        vec![v6_rule(0, 1, v6("2001:db8::"), 32, 1)],
-    );
+    let set =
+        FilterSet::new("v6", FilterKind::Routing, vec![v6_rule(0, 1, v6("2001:db8::"), 32, 1)]);
     let sw = MtlSwitch::build(&config(), &[&set]);
     let m = SwitchMemoryReport::of(&sw);
     // Eight partition tries exist (higher, six middles, lower); each L1
@@ -103,11 +100,7 @@ fn ipv6_engine_has_eight_tries_with_l1_anchor() {
 
 #[test]
 fn ipv6_incremental_add() {
-    let set = FilterSet::new(
-        "v6",
-        FilterKind::Routing,
-        vec![v6_rule(0, 1, 0, 0, 1)],
-    );
+    let set = FilterSet::new("v6", FilterKind::Routing, vec![v6_rule(0, 1, 0, 0, 1)]);
     let mut sw = MtlSwitch::build(&config(), &[&set]);
     let out = sw.add_rule(FilterKind::Routing, v6_rule(1, 1, v6("2001:db8::"), 32, 9));
     assert_eq!(out.mode, mtl_core::UpdateMode::Incremental);

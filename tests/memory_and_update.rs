@@ -3,10 +3,10 @@
 //! the label method's monotone savings.
 
 use mtl_core::{MtlSwitch, SwitchConfig, SwitchMemoryReport, UpdatePlan};
-use ofmem::bram::{BRAM18K, M20K};
-use ofmem::{MemoryBlock, MemoryReport};
 use offilter::synth::{generate_mac, generate_routing, MacTargets, RoutingTargets};
 use offilter::FilterKind;
+use ofmem::bram::{BRAM18K, M20K};
+use ofmem::{MemoryBlock, MemoryReport};
 use proptest::prelude::*;
 
 fn small_switch(seed: u64) -> MtlSwitch {
@@ -61,12 +61,8 @@ fn update_plan_matches_structures() {
     let sw = small_switch(2);
     let plan = UpdatePlan::from_switch(&sw);
     // Table file covers exactly the index entries + action rows.
-    let expected_table_records: usize = sw
-        .apps
-        .iter()
-        .flat_map(|a| &a.tables)
-        .map(|t| t.index.len() + t.actions.len())
-        .sum();
+    let expected_table_records: usize =
+        sw.apps.iter().flat_map(|a| &a.tables).map(|t| t.index.len() + t.actions.len()).sum();
     assert_eq!(plan.table_file.len(), expected_table_records);
     // The algorithm file characterizes the *final* occupied entries; the
     // ledger additionally counts intermediate writes (prefix-expansion
@@ -80,9 +76,7 @@ fn update_plan_matches_structures() {
         .flat_map(|t| &t.engines)
         .map(|(_, e)| match e {
             mtl_core::FieldEngine::Em { dict, .. } => dict.len(),
-            mtl_core::FieldEngine::Trie(pt) => {
-                pt.dictionaries().iter().map(|d| d.len()).sum()
-            }
+            mtl_core::FieldEngine::Trie(pt) => pt.dictionaries().iter().map(|d| d.len()).sum(),
             mtl_core::FieldEngine::Range { ranges, .. } => ranges.len(),
         })
         .sum();
@@ -149,8 +143,7 @@ proptest! {
             }
             prop_assert!(m.provisioned_bits >= m.used_bits,
                 "{}: provisioned {} < used {}", kind.name, m.provisioned_bits, m.used_bits);
-            let lower_bound = (block.bits() + u64::from(kind.capacity_bits) - 1)
-                / u64::from(kind.capacity_bits);
+            let lower_bound = block.bits().div_ceil(u64::from(kind.capacity_bits));
             prop_assert!(u64::from(m.brams) >= lower_bound);
             // Monotonicity: one more entry never needs fewer BRAMs.
             let bigger = MemoryBlock::new("x", entries + 1, bits);

@@ -148,10 +148,10 @@ proptest! {
 #[test]
 fn regression_same_level_nesting_with_default() {
     let rules = vec![
-        (1u32, 0u128, 0u32),            // default via port 1
-        (2, 0x0003_0000, 18),           // /18
-        (1, 0x0003_0C00, 22),           // /22 nested inside the /18 (same L1 level of lower trie? lens 18,22)
-        (3, 0x0003_0F00, 24),           // /24 deeper
+        (1u32, 0u128, 0u32),  // default via port 1
+        (2, 0x0003_0000, 18), // /18
+        (1, 0x0003_0C00, 22), // /22 nested inside the /18 (same L1 level of lower trie? lens 18,22)
+        (3, 0x0003_0F00, 24), // /24 deeper
     ];
     let rules: Vec<Rule> = rules
         .into_iter()

@@ -1,9 +1,9 @@
 //! Packet substrate properties: build -> parse round trips across the
 //! protocol stack, checksum validity, and extraction consistency.
 
+use oflow::MatchFieldKind;
 use ofpacket::headers::{ethertype, Ipv4Header, TcpHeader, UdpHeader, VlanTag};
 use ofpacket::{parse_packet, MacAddr, PacketBuilder};
-use oflow::MatchFieldKind;
 use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
@@ -76,8 +76,8 @@ proptest! {
         in_port in 0u32..64
     ) {
         let mut b = PacketBuilder::ethernet(
-            MacAddr::from_u64(0x02_0000_000001),
-            MacAddr::from_u64(0x02_0000_000002),
+            MacAddr::from_u64(0x0200_0000_0001),
+            MacAddr::from_u64(0x0200_0000_0002),
         );
         if vlan {
             b = b.vlan(7, 0);

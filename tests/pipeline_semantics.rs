@@ -37,8 +37,7 @@ fn entries() -> impl Strategy<Value = Vec<ProgramEntry>> {
 fn build(program: &[ProgramEntry]) -> Pipeline {
     let mut p = Pipeline::with_tables(3);
     for e in program {
-        let mut instructions =
-            vec![Instruction::WriteActions(vec![Action::Output(e.output)])];
+        let mut instructions = vec![Instruction::WriteActions(vec![Action::Output(e.output)])];
         if e.goto_next && e.table < 2 {
             instructions.push(Instruction::GotoTable(e.table + 1));
         }

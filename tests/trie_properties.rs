@@ -2,8 +2,8 @@
 //! scan, ancestor-closure completeness, rebuild idempotence, and node
 //! accounting invariants.
 
-use ofalgo::{Label, Mbt, PartitionedTrie, StrideSchedule};
 use ofalgo::trie::TrieSizing;
+use ofalgo::{Label, Mbt, PartitionedTrie, StrideSchedule};
 use proptest::prelude::*;
 
 /// Reference LPM over raw prefixes.

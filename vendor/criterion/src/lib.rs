@@ -1,0 +1,204 @@
+//! Offline minimal stand-in for the `criterion` bench harness.
+//!
+//! The build environment has no network access, so this crate supplies
+//! the API the workspace's benches use — `criterion_group!`,
+//! `criterion_main!`, `Criterion::bench_function`, benchmark groups,
+//! `BenchmarkId` and `black_box` — with a simple calibrated wall-clock
+//! measurement loop and plain text output. No statistics, plots or
+//! comparisons; good enough to run `cargo bench` and eyeball numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-exported from std).
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` `self.iters` times, recording total elapsed time.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Configuration + runner handle.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, measurement_time: Duration::from_millis(500) }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(&id.to_string(), self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{id}", self.name);
+        run_bench(&full, self.criterion.sample_size, self.criterion.measurement_time, f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_bench(id: &str, samples: usize, budget: Duration, mut f: impl FnMut(&mut Bencher)) {
+    // Calibrate: grow iteration count until one sample costs >= ~1ms or
+    // the budget share is reached.
+    let mut iters: u64 = 1;
+    let per_sample = budget / samples.max(1) as u32;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1).min(per_sample) || iters >= 1 << 24 {
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..samples {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        best = best.min(b.elapsed);
+        total += b.elapsed;
+    }
+    let mean_ns = total.as_nanos() as f64 / (samples as u64 * iters) as f64;
+    let best_ns = best.as_nanos() as f64 / iters as f64;
+    println!("bench {id:<48} {mean_ns:>12.1} ns/iter (best {best_ns:.1} ns, {iters} iters x {samples} samples)");
+}
+
+/// Declares a benchmark group runner, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs listed groups. Accepts and ignores
+/// criterion's CLI flags (notably the `--bench`/`--test` args cargo
+/// passes), so `cargo bench` and `cargo test --benches` both work.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` the harness passes `--test`; benches are
+            // compile-checked but not run, matching criterion's behavior.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(10));
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+        let mut g = c.benchmark_group("g");
+        g.bench_function(BenchmarkId::new("x", 5), |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("mtl", 300).to_string(), "mtl/300");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}
