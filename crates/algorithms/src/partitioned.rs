@@ -16,7 +16,10 @@
 use crate::label::{Dictionary, Label};
 use crate::trie::{MatchChain, Mbt, StrideSchedule, TrieSizing, UpdateCount};
 use ofmem::{MemoryBlock, MemoryReport};
-use std::collections::HashMap;
+
+/// Sentinel parent for labels with no proper ancestor (labels are dense,
+/// so `u32::MAX` can never collide with a real label id).
+const NO_PARENT: Label = Label(u32::MAX);
 
 /// A wide field split into parallel partition tries.
 #[derive(Debug, Clone)]
@@ -25,9 +28,11 @@ pub struct PartitionedTrie {
     partition_bits: u32,
     tries: Vec<Mbt>,
     dicts: Vec<Dictionary<(u64, u32)>>,
-    /// Per partition: label -> label of the longest proper ancestor prefix.
-    /// Computed by [`PartitionedTrie::finalize`]; invalidated by inserts.
-    parent_cache: Option<Vec<HashMap<Label, Label>>>,
+    /// Per partition: dense table indexed by label id holding the label of
+    /// the longest proper ancestor prefix ([`NO_PARENT`] when none) — the
+    /// hardware's one-RAM-per-partition ancestor table. Computed by
+    /// [`PartitionedTrie::finalize`]; invalidated by inserts.
+    parent_cache: Option<Vec<Vec<Label>>>,
 }
 
 /// The per-partition entries a full-width prefix decomposes into.
@@ -157,18 +162,19 @@ impl PartitionedTrie {
             .dicts
             .iter()
             .map(|dict| {
-                let mut map = HashMap::new();
-                for &(v, l) in dict.values() {
-                    let me = dict.get(&(v, l)).expect("value is interned");
+                // Dictionary values are in label order, so position i in
+                // the dense table is exactly Label(i)'s slot.
+                let mut table = vec![NO_PARENT; dict.len()];
+                for (slot, &(v, l)) in table.iter_mut().zip(dict.values()) {
                     for al in (0..l).rev() {
                         let av = if al == 0 { 0 } else { v >> (pb - al) << (pb - al) };
                         if let Some(p) = dict.get(&(av, al)) {
-                            map.insert(me, p);
+                            *slot = p;
                             break;
                         }
                     }
                 }
-                map
+                table
             })
             .collect();
         self.parent_cache = Some(tables);
@@ -195,7 +201,9 @@ impl PartitionedTrie {
 
     /// As [`PartitionedTrie::effective_chains`], writing into
     /// caller-provided chains (one slot per partition) so batch lookups
-    /// can reuse the match buffers across keys instead of allocating.
+    /// can reuse the match buffers across keys instead of allocating. The
+    /// ancestor closure is one dense-array load per nesting step — no
+    /// hashing, no allocation.
     ///
     /// # Panics
     /// Panics unless [`PartitionedTrie::finalize`] has run, or if `out`
@@ -207,13 +215,17 @@ impl PartitionedTrie {
         for (i, chain) in out.iter_mut().enumerate().take(self.tries.len()) {
             let shift = self.field_bits - self.partition_bits * (i as u32 + 1);
             let part = ((key >> shift) as u64) & ((1 << self.partition_bits) - 1);
-            chain.matches.clear();
+            chain.clear();
             if let Some((label, len)) = self.tries[i].lookup(part) {
-                chain.matches.push((label, len));
+                chain.push(label, len);
                 let mut cur = label;
-                while let Some(&p) = parents[i].get(&cur) {
+                loop {
+                    let p = parents[i][cur.index()];
+                    if p == NO_PARENT {
+                        break;
+                    }
                     let &(_, plen) = self.dicts[i].value_of(p).expect("parent is interned");
-                    chain.matches.push((p, plen));
+                    chain.push(p, plen);
                     cur = p;
                 }
             }
@@ -345,11 +357,11 @@ mod tests {
         let chains = pt.search(0x0A01_02FF);
         assert_eq!(chains.len(), 2);
         // Higher chain: exact 0x0A01 (16) then 0x0A00/8 below it.
-        assert_eq!(chains[0].matches.len(), 2);
+        assert_eq!(chains[0].len(), 2);
         assert_eq!(chains[0].best().unwrap().1, 16);
         // Lower chain: 0x0200/8 and the wildcard from the /8 rule.
         assert_eq!(chains[1].best().unwrap().1, 8);
-        assert!(chains[1].matches.iter().any(|&(_, l)| l == 0));
+        assert!(chains[1].iter().any(|(_, l)| l == 0));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Trie construction: insertion with controlled prefix expansion, removal,
 //! and update-record accounting.
 
-use super::{Block, Mbt};
+use super::Mbt;
 use crate::label::Label;
 
 /// Number of stored datums an operation wrote — the unit of the paper's
@@ -67,23 +67,23 @@ impl Mbt {
             let depth_before = self.schedule.depth_before(level_idx);
             let stride = self.levels[level_idx].stride;
             let level_end = depth_before + stride;
+            let base = block_idx << stride;
 
             if len <= level_end {
                 // Terminates here: expand over the covered entries.
                 let idx = self.schedule.index_of(value, level_idx);
                 let free_bits = level_end - len;
-                let base = idx & !((1usize << free_bits) - 1);
+                let start = base + (idx & !((1usize << free_bits) - 1));
                 let span = 1usize << free_bits;
-                let block = &mut self.levels[level_idx].blocks[block_idx];
-                for e in &mut block.entries[base..base + span] {
+                for e in &mut self.levels[level_idx].entries[start..start + span] {
                     // Longest prefix wins within an entry; equal length
                     // replaces (rule update).
-                    let install = match e.label {
+                    let install = match e.label() {
                         Some((_, existing_len)) => existing_len <= len,
                         None => true,
                     };
                     if install {
-                        e.label = Some((label, len));
+                        e.set_label(label, len);
                         count.entries_written += 1;
                     }
                 }
@@ -92,14 +92,12 @@ impl Mbt {
 
             // Descend; allocate the child block if missing.
             let idx = self.schedule.index_of(value, level_idx);
-            let next_stride = self.levels[level_idx + 1].stride;
-            let child = self.levels[level_idx].blocks[block_idx].entries[idx].child;
+            let child = self.levels[level_idx].entries[base + idx].child();
             block_idx = match child {
                 Some(c) => c as usize,
                 None => {
-                    let new_idx = self.levels[level_idx + 1].blocks.len() as u32;
-                    self.levels[level_idx + 1].blocks.push(Block::new(next_stride));
-                    self.levels[level_idx].blocks[block_idx].entries[idx].child = Some(new_idx);
+                    let new_idx = self.levels[level_idx + 1].alloc_block();
+                    self.levels[level_idx].entries[base + idx].set_child(new_idx);
                     count.entries_written += 1; // the pointer write
                     count.blocks_allocated += 1;
                     new_idx as usize
@@ -195,10 +193,9 @@ mod tests {
         t.insert(0, 0, Label(0)); // default: expands over all 32 L1 entries
         t.insert(0b10110_00000_000000, 5, Label(1));
         // Search through the public API once implemented; structural check:
-        let l1 = &t.levels[0].blocks[0];
-        let covered = l1.entries[0b10110].label.unwrap();
+        let covered = t.entry(0, 0, 0b10110).label().unwrap();
         assert_eq!(covered, (Label(1), 5));
-        assert_eq!(l1.entries[0].label.unwrap(), (Label(0), 0));
+        assert_eq!(t.entry(0, 0, 0).label().unwrap(), (Label(0), 0));
     }
 
     #[test]
@@ -208,8 +205,7 @@ mod tests {
         let c = t.insert(0, 0, Label(0));
         // Default writes the other 31 entries, not the /5's slot.
         assert_eq!(c.entries_written, 31);
-        let l1 = &t.levels[0].blocks[0];
-        assert_eq!(l1.entries[0b10110].label.unwrap(), (Label(1), 5));
+        assert_eq!(t.entry(0, 0, 0b10110).label().unwrap(), (Label(1), 5));
     }
 
     #[test]
@@ -256,8 +252,7 @@ mod tests {
         );
         assert_eq!(t.len(), 3);
         // L1 entry for 0b10101 (0xA8>>3...): /4 expansion beat the default.
-        let l1 = &t.levels[0].blocks[0];
-        assert_eq!(l1.entries[0b10100].label.unwrap().0, Label(2));
+        assert_eq!(t.entry(0, 0, 0b10100).label().unwrap().0, Label(2));
     }
 
     #[test]

@@ -13,6 +13,16 @@
 //!   data of §V.A — and prefixes shorter than a level boundary are
 //!   installed by controlled prefix expansion.
 //!
+//! ## Memory layout
+//!
+//! The software model mirrors the hardware's flat memory: every level is
+//! **one contiguous arena** of [`PackedEntry`] words, and block `b` simply
+//! occupies `entries[b << stride .. (b + 1) << stride]`. An entry packs the
+//! label, the installing prefix length and the child block index into a
+//! single 64-bit word with sentinel values instead of `Option`s, so a
+//! lookup is `levels.len()` sequential indexed loads — no per-block `Vec`
+//! indirection, no branching on niche encodings, nothing allocated.
+//!
 //! Searching walks one level per pipeline stage and collects every label on
 //! the path, longest prefix first, so the architecture can combine nested
 //! matches correctly (see `mtl-core`).
@@ -30,34 +40,88 @@ pub use stats::{LevelStats, TrieSizing};
 use crate::label::Label;
 use std::collections::BTreeMap;
 
-/// One stored node entry: flag (label valid), label + source prefix length,
-/// child pointer.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub(crate) struct Entry {
+/// One stored node entry — flag (label valid), label + source prefix
+/// length, child pointer — packed into a single word.
+///
+/// Bit layout (LSB first): `child` block index in bits 0..32 (sentinel
+/// `0xFFFF_FFFF` = leaf), installing prefix length in bits 32..40, label in
+/// bits 40..64 (sentinel `0xFF_FFFF` = no label).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PackedEntry(u64);
+
+impl PackedEntry {
+    const NO_CHILD: u64 = 0xFFFF_FFFF;
+    const NO_LABEL: u64 = 0xFF_FFFF;
+    /// An entry with no label and no child.
+    pub(crate) const EMPTY: Self = Self((Self::NO_LABEL << 40) | Self::NO_CHILD);
+
     /// The label and the length of the prefix that installed it (expansion
     /// keeps the longest).
-    pub label: Option<(Label, u32)>,
+    #[inline]
+    pub(crate) fn label(self) -> Option<(Label, u32)> {
+        let l = self.0 >> 40;
+        if l == Self::NO_LABEL {
+            None
+        } else {
+            Some((Label(l as u32), ((self.0 >> 32) & 0xFF) as u32))
+        }
+    }
+
     /// Index of the child block in the next level.
-    pub child: Option<u32>,
-}
+    #[inline]
+    pub(crate) fn child(self) -> Option<u32> {
+        let c = self.0 & Self::NO_CHILD;
+        if c == Self::NO_CHILD {
+            None
+        } else {
+            Some(c as u32)
+        }
+    }
 
-/// A block of `2^stride` entries, the trie's allocation unit.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct Block {
-    pub entries: Vec<Entry>,
-}
+    /// Installs a label (and its prefix length) into the word.
+    ///
+    /// # Panics
+    /// Panics if the label exceeds the packed 24-bit label space or the
+    /// length exceeds 8 bits (key widths are at most 64).
+    pub(crate) fn set_label(&mut self, label: Label, len: u32) {
+        assert!(u64::from(label.0) < Self::NO_LABEL, "label {label} exceeds packed 24-bit space");
+        assert!(len <= 0xFF, "prefix length {len} exceeds packed 8-bit space");
+        self.0 = (self.0 & Self::NO_CHILD) | (u64::from(len) << 32) | (u64::from(label.0) << 40);
+    }
 
-impl Block {
-    fn new(stride: u32) -> Self {
-        Self { entries: vec![Entry::default(); 1 << stride] }
+    /// Installs a child block pointer into the word.
+    pub(crate) fn set_child(&mut self, child: u32) {
+        debug_assert!(u64::from(child) != Self::NO_CHILD, "child index collides with sentinel");
+        self.0 = (self.0 & !Self::NO_CHILD) | u64::from(child);
     }
 }
 
-/// One pipeline level: a stride and its blocks.
+/// One pipeline level: a stride and its flat entry arena.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) struct Level {
     pub stride: u32,
-    pub blocks: Vec<Block>,
+    /// Contiguous entry arena; block `b` occupies
+    /// `entries[b << stride .. (b + 1) << stride]`.
+    pub entries: Vec<PackedEntry>,
+}
+
+impl Level {
+    fn new(stride: u32) -> Self {
+        Self { stride, entries: Vec::new() }
+    }
+
+    /// Number of allocated blocks.
+    pub(crate) fn blocks(&self) -> usize {
+        self.entries.len() >> self.stride
+    }
+
+    /// Allocates one zeroed block of `2^stride` entries at the end of the
+    /// arena and returns its block index.
+    pub(crate) fn alloc_block(&mut self) -> u32 {
+        let idx = self.blocks() as u32;
+        self.entries.resize(self.entries.len() + (1usize << self.stride), PackedEntry::EMPTY);
+        idx
+    }
 }
 
 /// A multi-bit trie over fixed-width keys.
@@ -78,9 +142,12 @@ impl Mbt {
             .strides()
             .iter()
             .enumerate()
-            .map(|(i, &s)| Level {
-                stride: s,
-                blocks: if i == 0 { vec![Block::new(s)] } else { Vec::new() },
+            .map(|(i, &s)| {
+                let mut level = Level::new(s);
+                if i == 0 {
+                    level.alloc_block();
+                }
+                level
             })
             .collect();
         Self { schedule, levels, prefixes: BTreeMap::new() }
@@ -125,5 +192,52 @@ impl Mbt {
     /// The stored prefixes, sorted.
     pub fn prefixes(&self) -> impl Iterator<Item = (u64, u32, Label)> + '_ {
         self.prefixes.iter().map(|(&(v, l), &label)| (v, l, label))
+    }
+
+    /// The entry at `(level, block, index)` — structural test hook.
+    #[cfg(test)]
+    pub(crate) fn entry(&self, level: usize, block: u32, idx: usize) -> PackedEntry {
+        let l = &self.levels[level];
+        l.entries[((block as usize) << l.stride) + idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_entry_roundtrip() {
+        let mut e = PackedEntry::EMPTY;
+        assert_eq!(e.label(), None);
+        assert_eq!(e.child(), None);
+        e.set_label(Label(1234), 13);
+        assert_eq!(e.label(), Some((Label(1234), 13)));
+        assert_eq!(e.child(), None);
+        e.set_child(77);
+        assert_eq!(e.child(), Some(77));
+        // Label survives a child write and vice versa.
+        assert_eq!(e.label(), Some((Label(1234), 13)));
+        e.set_label(Label(0), 0);
+        assert_eq!(e.label(), Some((Label(0), 0)));
+        assert_eq!(e.child(), Some(77));
+    }
+
+    #[test]
+    #[should_panic(expected = "24-bit")]
+    fn oversized_label_panics() {
+        let mut e = PackedEntry::EMPTY;
+        e.set_label(Label(0xFF_FFFF), 4);
+    }
+
+    #[test]
+    fn level_arena_is_contiguous() {
+        let mut l = Level::new(5);
+        assert_eq!(l.blocks(), 0);
+        assert_eq!(l.alloc_block(), 0);
+        assert_eq!(l.alloc_block(), 1);
+        assert_eq!(l.blocks(), 2);
+        assert_eq!(l.entries.len(), 64);
+        assert!(l.entries.iter().all(|&e| e == PackedEntry::EMPTY));
     }
 }

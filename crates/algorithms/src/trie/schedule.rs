@@ -12,6 +12,11 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct StrideSchedule {
     strides: Vec<u32>,
+    /// Precomputed per-level right-shift for [`StrideSchedule::index_of`]
+    /// (`total_bits - depth_before(level) - stride`), so the lookup hot
+    /// path extracts index bits with one shift and one mask instead of
+    /// re-summing strides on every level visit.
+    shifts: Vec<u32>,
 }
 
 impl StrideSchedule {
@@ -24,7 +29,16 @@ impl StrideSchedule {
     pub fn new(strides: Vec<u32>) -> Self {
         assert!(!strides.is_empty(), "schedule needs at least one level");
         assert!(strides.iter().all(|&s| (1..=16).contains(&s)), "strides must be 1..=16 bits");
-        Self { strides }
+        let total: u32 = strides.iter().sum();
+        let mut consumed = 0;
+        let shifts = strides
+            .iter()
+            .map(|&s| {
+                consumed += s;
+                total - consumed
+            })
+            .collect();
+        Self { strides, shifts }
     }
 
     /// The paper's 3-level schedule for 16-bit fields: 5-5-6.
@@ -79,12 +93,10 @@ impl StrideSchedule {
 
     /// Extracts the index bits for `level` from a key (keys are aligned to
     /// the schedule's total width, most significant bits first).
+    #[inline]
     #[must_use]
     pub fn index_of(&self, key: u64, level: usize) -> usize {
-        let stride = self.strides[level];
-        let consumed = self.depth_before(level) + stride;
-        let shift = self.total_bits() - consumed;
-        ((key >> shift) as usize) & ((1 << stride) - 1)
+        ((key >> self.shifts[level]) as usize) & ((1 << self.strides[level]) - 1)
     }
 }
 

@@ -1,39 +1,163 @@
 //! Trie search: pipelined longest-prefix lookup with full match chains.
 //!
-//! Each level is one pipeline stage: index into the level's block, read one
-//! entry, remember its label, follow the child pointer. Because an entry
-//! keeps the *longest* prefix that covers it at its level, the labels
-//! collected along the path — ordered longest first — are the match chain
-//! the decomposition architecture combines across fields (`mtl-core`
-//! probes label combinations in decreasing total prefix length).
+//! Each level is one pipeline stage: index into the level's flat entry
+//! arena, read one packed word, remember its label, follow the child
+//! pointer. Because an entry keeps the *longest* prefix that covers it at
+//! its level, the labels collected along the path — ordered longest first —
+//! are the match chain the decomposition architecture combines across
+//! fields (`mtl-core` probes label combinations in decreasing total prefix
+//! length).
+//!
+//! The hot paths are allocation-free: [`Mbt::lookup`] tracks only the
+//! deepest label seen, and [`Mbt::chain_into`] writes into a caller-owned
+//! [`MatchChain`] whose matches live inline. The traced variant
+//! ([`Mbt::chain_traced`]) keeps its own loop so debugging cost never
+//! leaks into the fast path.
 
 use super::Mbt;
 use crate::label::Label;
 
+/// Inline match-slot capacity of a [`MatchChain`].
+///
+/// Sized for the deepest effective chain a 16-bit partition trie can
+/// produce — one stored prefix per length 0..=16, i.e. 17 nested matches —
+/// so the paper's field split never needs heap storage. Deeper chains
+/// (wider single-partition tries) spill to a `Vec` that keeps its capacity
+/// across [`MatchChain::clear`], so reused chains still settle to zero
+/// allocations.
+const INLINE_MATCHES: usize = 17;
+
 /// All matches found on a key's root-to-leaf path, longest prefix first.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// `(label, prefix_len)` pairs, strictly decreasing in length, stored in a
+/// fixed-capacity inline array (see [`INLINE_MATCHES`]) with a rarely-used
+/// heap spill for deeper chains.
+#[derive(Clone)]
 pub struct MatchChain {
-    /// `(label, prefix_len)` pairs, strictly decreasing in length.
-    pub matches: Vec<(Label, u32)>,
+    len: u32,
+    inline: [(Label, u32); INLINE_MATCHES],
+    /// Holds *all* matches once `len` exceeds the inline capacity; keeps
+    /// its capacity across `clear()` so buffer reuse stays allocation-free.
+    spill: Vec<(Label, u32)>,
 }
 
 impl MatchChain {
+    /// An empty chain.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { len: 0, inline: [(Label(0), 0); INLINE_MATCHES], spill: Vec::new() }
+    }
+
+    /// Builds a chain from `(label, prefix_len)` pairs in order.
+    #[must_use]
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Label, u32)>) -> Self {
+        let mut c = Self::new();
+        for (label, len) in pairs {
+            c.push(label, len);
+        }
+        c
+    }
+
+    /// Appends one match.
+    #[inline]
+    pub fn push(&mut self, label: Label, prefix_len: u32) {
+        let n = self.len as usize;
+        if n < INLINE_MATCHES {
+            self.inline[n] = (label, prefix_len);
+        } else {
+            if n == INLINE_MATCHES {
+                self.spill.clear();
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push((label, prefix_len));
+        }
+        self.len += 1;
+    }
+
+    /// Empties the chain, keeping any spill capacity for reuse.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// The matches as a slice, longest prefix first.
+    #[inline]
+    #[must_use]
+    pub fn as_slice(&self) -> &[(Label, u32)] {
+        let n = self.len as usize;
+        if n <= INLINE_MATCHES {
+            &self.inline[..n]
+        } else {
+            &self.spill[..n]
+        }
+    }
+
+    /// The matches as a mutable slice.
+    fn as_mut_slice(&mut self) -> &mut [(Label, u32)] {
+        let n = self.len as usize;
+        if n <= INLINE_MATCHES {
+            &mut self.inline[..n]
+        } else {
+            &mut self.spill[..n]
+        }
+    }
+
+    /// Reverses the match order in place (collection order is
+    /// shortest-first; chains are exposed longest-first).
+    pub fn reverse(&mut self) {
+        self.as_mut_slice().reverse();
+    }
+
+    /// Iterates the matches, longest prefix first.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, u32)> + '_ {
+        self.as_slice().iter().copied()
+    }
+
     /// The longest match (classic LPM result).
+    #[inline]
     #[must_use]
     pub fn best(&self) -> Option<(Label, u32)> {
-        self.matches.first().copied()
+        self.as_slice().first().copied()
     }
 
     /// Whether nothing matched.
+    #[inline]
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.matches.is_empty()
+        self.len == 0
     }
 
     /// Number of matches on the path.
+    #[inline]
     #[must_use]
     pub fn len(&self) -> usize {
-        self.matches.len()
+        self.len as usize
+    }
+}
+
+impl Default for MatchChain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartialEq for MatchChain {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for MatchChain {}
+
+impl std::fmt::Debug for MatchChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl FromIterator<(Label, u32)> for MatchChain {
+    fn from_iter<T: IntoIterator<Item = (Label, u32)>>(iter: T) -> Self {
+        Self::from_pairs(iter)
     }
 }
 
@@ -47,42 +171,88 @@ pub struct PathTrace {
 
 impl Mbt {
     /// Longest-prefix lookup: the best label for `key`, if any.
+    /// Allocation-free: tracks only the deepest label on the walk.
     #[must_use]
     pub fn lookup(&self, key: u64) -> Option<(Label, u32)> {
-        self.chain(key).best()
+        debug_assert!(
+            self.key_bits() == 64 || key >> self.key_bits() == 0,
+            "key exceeds trie width"
+        );
+        let mut best = None;
+        let mut block = 0usize;
+        for (level_idx, level) in self.levels.iter().enumerate() {
+            let idx = self.schedule.index_of(key, level_idx);
+            let entry = level.entries[(block << level.stride) + idx];
+            if let Some(m) = entry.label() {
+                best = Some(m);
+            }
+            match entry.child() {
+                Some(c) => block = c as usize,
+                None => break,
+            }
+        }
+        best
     }
 
     /// Full-chain lookup: every prefix on the key's path, longest first.
     #[must_use]
     pub fn chain(&self, key: u64) -> MatchChain {
-        self.chain_traced(key).0
+        let mut out = MatchChain::new();
+        self.chain_into(key, &mut out);
+        out
     }
 
-    /// Chain lookup that also reports the visited entries.
+    /// As [`Mbt::chain`], writing into a caller-provided chain so batch
+    /// lookups reuse the match buffer. Performs no heap allocation for
+    /// chains up to the inline capacity.
+    pub fn chain_into(&self, key: u64, out: &mut MatchChain) {
+        debug_assert!(
+            self.key_bits() == 64 || key >> self.key_bits() == 0,
+            "key exceeds trie width"
+        );
+        out.clear();
+        let mut block = 0usize;
+        for (level_idx, level) in self.levels.iter().enumerate() {
+            let idx = self.schedule.index_of(key, level_idx);
+            let entry = level.entries[(block << level.stride) + idx];
+            if let Some((label, len)) = entry.label() {
+                out.push(label, len);
+            }
+            match entry.child() {
+                Some(c) => block = c as usize,
+                None => break,
+            }
+        }
+        // Path order is shortest-first (levels descend); reverse.
+        out.reverse();
+    }
+
+    /// Chain lookup that also reports the visited entries. Debug/statistics
+    /// path — the untraced [`Mbt::chain`] has its own loop and never pays
+    /// for the visit log.
     #[must_use]
     pub fn chain_traced(&self, key: u64) -> (MatchChain, PathTrace) {
         debug_assert!(
             self.key_bits() == 64 || key >> self.key_bits() == 0,
             "key exceeds trie width"
         );
-        let mut matches: Vec<(Label, u32)> = Vec::new();
+        let mut chain = MatchChain::new();
         let mut trace = PathTrace::default();
-        let mut block_idx = 0u32;
-        for level_idx in 0..self.levels.len() {
+        let mut block = 0u32;
+        for (level_idx, level) in self.levels.iter().enumerate() {
             let idx = self.schedule.index_of(key, level_idx);
-            let entry = self.levels[level_idx].blocks[block_idx as usize].entries[idx];
-            trace.visits.push((level_idx, block_idx, idx));
-            if let Some((label, len)) = entry.label {
-                matches.push((label, len));
+            let entry = level.entries[((block as usize) << level.stride) + idx];
+            trace.visits.push((level_idx, block, idx));
+            if let Some((label, len)) = entry.label() {
+                chain.push(label, len);
             }
-            match entry.child {
-                Some(c) => block_idx = c,
+            match entry.child() {
+                Some(c) => block = c,
                 None => break,
             }
         }
-        // Path order is shortest-first (levels descend); reverse.
-        matches.reverse();
-        (MatchChain { matches }, trace)
+        chain.reverse();
+        (chain, trace)
     }
 }
 
@@ -136,8 +306,12 @@ mod tests {
         t.insert(0xAB00, 8, Label(2));
         t.insert(0xABCD, 16, Label(3));
         let chain = t.chain(0xABCD);
-        assert_eq!(chain.matches, vec![(Label(3), 16), (Label(2), 8), (Label(0), 0)]);
+        assert_eq!(chain.as_slice(), &[(Label(3), 16), (Label(2), 8), (Label(0), 0)]);
         assert_eq!(chain.best(), Some((Label(3), 16)));
+        // The untraced and traced paths agree.
+        assert_eq!(chain, t.chain_traced(0xABCD).0);
+        // lookup() agrees with the chain head.
+        assert_eq!(t.lookup(0xABCD), chain.best());
     }
 
     #[test]
@@ -145,6 +319,54 @@ mod tests {
         let t = Mbt::classic_16();
         assert!(t.chain(0x1234).is_empty());
         assert_eq!(t.lookup(0x1234), None);
+    }
+
+    #[test]
+    fn chain_into_reuses_buffer() {
+        let mut t = Mbt::classic_16();
+        t.insert(0xAB00, 8, Label(1));
+        t.insert(0xABCD, 16, Label(2));
+        let mut buf = MatchChain::new();
+        t.chain_into(0xABCD, &mut buf);
+        assert_eq!(buf.len(), 2);
+        t.chain_into(0x0000, &mut buf);
+        assert!(buf.is_empty());
+        t.chain_into(0xABFF, &mut buf);
+        assert_eq!(buf.as_slice(), &[(Label(1), 8)]);
+    }
+
+    #[test]
+    fn match_chain_spills_past_inline_capacity() {
+        let mut c = MatchChain::new();
+        for i in 0..40u32 {
+            c.push(Label(i), 40 - i);
+        }
+        assert_eq!(c.len(), 40);
+        let got: Vec<u32> = c.iter().map(|(l, _)| l.0).collect();
+        assert_eq!(got, (0..40).collect::<Vec<_>>());
+        c.reverse();
+        assert_eq!(c.best(), Some((Label(39), 1)));
+        // clear() keeps the spill; the chain is reusable and equal to a
+        // fresh one.
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c, MatchChain::new());
+        c.push(Label(7), 3);
+        assert_eq!(c.as_slice(), &[(Label(7), 3)]);
+    }
+
+    #[test]
+    fn match_chain_equality_ignores_storage() {
+        let mut a = MatchChain::new();
+        // Force `a` through the spill path, then back under the inline cap.
+        for i in 0..20u32 {
+            a.push(Label(i), i);
+        }
+        a.clear();
+        a.push(Label(1), 5);
+        let b = MatchChain::from_pairs([(Label(1), 5)]);
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
     #[test]

@@ -48,18 +48,17 @@ impl Mbt {
             .iter()
             .enumerate()
             .map(|(i, level)| {
-                let entries_per_block = 1usize << level.stride;
                 let mut labeled = 0;
                 let mut with_child = 0;
-                for b in &level.blocks {
-                    labeled += b.entries.iter().filter(|e| e.label.is_some()).count();
-                    with_child += b.entries.iter().filter(|e| e.child.is_some()).count();
+                for e in &level.entries {
+                    labeled += usize::from(e.label().is_some());
+                    with_child += usize::from(e.child().is_some());
                 }
                 LevelStats {
                     level: i,
                     stride: level.stride,
-                    blocks: level.blocks.len(),
-                    entries: level.blocks.len() * entries_per_block,
+                    blocks: level.blocks(),
+                    entries: level.entries.len(),
                     labeled,
                     with_child,
                 }
@@ -86,7 +85,7 @@ impl Mbt {
                 } else if let Some(p) = &sizing.ptr_bits {
                     p[i]
                 } else {
-                    bits_for_index(self.levels[i + 1].blocks.len().max(1))
+                    bits_for_index(self.levels[i + 1].blocks().max(1))
                 };
                 if is_last {
                     EntryLayout::new().with_field("flag", 1).with_field("label", label_bits)
@@ -120,7 +119,7 @@ impl Mbt {
             .map(|i| {
                 let max_next = tries
                     .iter()
-                    .map(|t| t.levels.get(i + 1).map_or(0, |l| l.blocks.len()))
+                    .map(|t| t.levels.get(i + 1).map_or(0, super::Level::blocks))
                     .max()
                     .unwrap_or(0);
                 bits_for_index(max_next.max(1))

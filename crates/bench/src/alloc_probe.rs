@@ -1,0 +1,106 @@
+//! Heap-allocation probe for lookup hot paths.
+//!
+//! Installs a counting [`GlobalAlloc`] that forwards to the system
+//! allocator and bumps a **thread-local** counter on every `alloc`,
+//! `alloc_zeroed` and growing `realloc`. Thread-locality matters twice:
+//! counting stays off the other test threads' traffic (so probes are not
+//! flaky under `cargo test`'s parallelism), and the single-packet path
+//! under measurement runs on the probing thread by construction.
+//!
+//! The counter is a `Cell<u64>` with const initialisation — accessing it
+//! never allocates, so the allocator cannot recurse into itself.
+//!
+//! [`allocations_in`] is the probe: warm the path up first (buffers grow
+//! to their high-water mark on first use), then assert the steady state.
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// System allocator wrapper counting this thread's heap allocations.
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    fn bump() {
+        // `try_with` so a (de)allocation during TLS teardown degrades to
+        // "not counted" instead of aborting.
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+    }
+}
+
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the only addition is a thread-local counter
+// bump, which performs no allocation.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        Self::bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size > layout.size() {
+            Self::bump();
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Heap allocations this thread has performed so far.
+#[must_use]
+pub fn current() -> u64 {
+    ALLOCATIONS.with(Cell::get)
+}
+
+/// Runs `f` and returns its result plus the number of heap allocations it
+/// performed on this thread.
+pub fn allocations_in<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    let before = current();
+    let value = f();
+    (value, current() - before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_allocations_on_this_thread() {
+        let ((), none) = allocations_in(|| {
+            let x = std::hint::black_box(41) + 1;
+            assert_eq!(x, 42);
+        });
+        assert_eq!(none, 0, "arithmetic must not allocate");
+
+        let (v, some) = allocations_in(|| vec![1u8; 4096]);
+        assert!(some >= 1, "vec![..] must allocate");
+        drop(v);
+
+        // Reusing existing capacity is allocation-free.
+        let mut buf: Vec<u64> = Vec::with_capacity(64);
+        let ((), reuse) = allocations_in(|| {
+            for round in 0..8u64 {
+                buf.clear();
+                buf.extend(0..60);
+                assert_eq!(buf.len(), 60, "round {round}");
+            }
+        });
+        assert_eq!(reuse, 0, "capacity reuse must not allocate");
+    }
+}

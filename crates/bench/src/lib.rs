@@ -21,10 +21,13 @@
 //! | `fig4`   | Fig. 4(a)/(b) (IP trie Kbits per level) | [`fig4`] |
 //! | `fig5`   | Fig. 5 (update cycles, label vs original) | [`fig5`] |
 //! | `headline` | §V.A totals (5 Mbit, 4 tables, MBT share) | [`headline`] |
-//! | `throughput` | (extension) batch vs single-packet lookup | [`throughput`] |
+//! | `throughput` | (extension) batch / multi-core lookup + alloc probe | [`throughput`] |
 
-#![forbid(unsafe_code)]
+// Unsafe is denied everywhere except the counting global allocator in
+// [`alloc_probe`], which needs a `GlobalAlloc` impl.
+#![deny(unsafe_code)]
 
+pub mod alloc_probe;
 pub mod data;
 pub mod fig2;
 pub mod fig3;

@@ -94,6 +94,14 @@ mod tests {
                 assert_eq!(classifier.classify(h), want, "{category} header {h}");
                 assert_eq!(*batched, want, "{category} (batch) header {h}");
             }
+            // Multi-core sharding returns the identical vector.
+            for threads in [2, 5] {
+                assert_eq!(
+                    classifier.par_classify_batch(&headers, threads),
+                    batch,
+                    "{category} par({threads})"
+                );
+            }
         }
     }
 }

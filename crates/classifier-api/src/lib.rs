@@ -114,7 +114,12 @@ impl std::error::Error for BuildError {}
 
 /// A rule-set classifier that can be measured and compared across
 /// categories.
-pub trait Classifier {
+///
+/// Classification is a `&self` operation on every engine, so the trait
+/// requires `Send + Sync`: any classifier can be shared across worker
+/// threads, and [`Classifier::par_classify_batch`] shards a batch over a
+/// scoped thread pool for free.
+pub trait Classifier: Send + Sync {
     /// Short display name ("linear", "tcam", "mtl", ...).
     fn name(&self) -> &str;
 
@@ -132,6 +137,19 @@ pub trait Classifier {
         headers.iter().map(|h| self.classify(h)).collect()
     }
 
+    /// Classifies a batch across `threads` worker threads; element `i` of
+    /// the result is `classify(&headers[i])`.
+    ///
+    /// The default shards the batch into `threads` contiguous chunks and
+    /// runs [`Classifier::classify_batch`] on each inside
+    /// [`std::thread::scope`], so every engine — including batch-optimised
+    /// overrides — scales across cores without any per-engine code.
+    /// `threads <= 1` (or a batch too small to shard) degrades to the
+    /// single-threaded batch path.
+    fn par_classify_batch(&self, headers: &[HeaderValues], threads: usize) -> Vec<Option<u32>> {
+        sharded(headers, threads, |chunk| self.classify_batch(chunk))
+    }
+
     /// Modeled memory footprint in bits.
     fn memory_bits(&self) -> u64;
 
@@ -145,6 +163,40 @@ pub trait Classifier {
     /// update). Rule replication (HiCuts), range expansion (TCAM) and
     /// completion entries (decomposition) all surface here.
     fn build_records(&self) -> usize;
+}
+
+/// Shards `items` into `threads` contiguous chunks, runs `f` on each
+/// inside [`std::thread::scope`], and concatenates the results in input
+/// order. The backbone of [`Classifier::par_classify_batch`] — also used
+/// by engines exposing richer parallel batch surfaces (the decomposition
+/// switch's full-result batches). `threads <= 1` (or a single-item batch)
+/// degrades to calling `f` inline.
+///
+/// # Panics
+/// Panics if a worker thread panics.
+pub fn sharded<I: Sync, T: Send>(
+    items: &[I],
+    threads: usize,
+    f: impl Fn(&[I]) -> Vec<T> + Sync,
+) -> Vec<T> {
+    // Cap the worker count at the item count and at a multiple of the
+    // hardware parallelism (floor 64 so modest oversubscription sweeps
+    // still run as asked): an absurd `threads` argument must not
+    // translate into one OS thread per packet.
+    let hw = std::thread::available_parallelism().map_or(1, usize::from);
+    let threads = threads.clamp(1, items.len().max(1)).min((4 * hw).max(64));
+    if threads == 1 {
+        return f(items);
+    }
+    let shard = items.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items.chunks(shard).map(|chunk| scope.spawn(|| f(chunk))).collect();
+        for handle in handles {
+            out.extend(handle.join().expect("classification worker panicked"));
+        }
+    });
+    out
 }
 
 /// Fallible construction of a classifier from one filter set.
@@ -292,6 +344,21 @@ mod tests {
         let headers = vec![HeaderValues::new(), HeaderValues::new()];
         assert_eq!(c.classify_batch(&headers), vec![Some(7), Some(7)]);
         assert_eq!(c.classify_batch(&[]), Vec::<Option<u32>>::new());
+    }
+
+    #[test]
+    fn default_par_batch_matches_batch() {
+        let c = Fixed(Some(3));
+        let headers = vec![HeaderValues::new(); 37];
+        let want = c.classify_batch(&headers);
+        // More threads than packets, equal, fewer, one, zero: all agree.
+        for threads in [0, 1, 2, 5, 37, 64] {
+            assert_eq!(c.par_classify_batch(&headers, threads), want, "threads={threads}");
+        }
+        assert!(c.par_classify_batch(&[], 4).is_empty());
+        // Trait objects can shard too (Classifier is Send + Sync).
+        let boxed: Box<dyn Classifier> = Box::new(Fixed(None));
+        assert_eq!(boxed.par_classify_batch(&headers, 3), vec![None; 37]);
     }
 
     #[test]

@@ -49,15 +49,17 @@ impl Classifier for MtlSwitch {
     }
 
     fn classify(&self, header: &HeaderValues) -> Option<u32> {
-        let result = self.classify_app(self.primary_kind(), header);
-        self.row_to_rule(result.matched_row)
+        // The zero-allocation fast path: no per-table path log, chains and
+        // probe keys live in per-thread reusable buffers.
+        self.row_to_rule(self.classify_row(self.primary_kind(), header))
     }
 
     fn classify_batch(&self, headers: &[HeaderValues]) -> Vec<Option<u32>> {
-        self.classify_batch_app(self.primary_kind(), headers)
-            .into_iter()
-            .map(|r| self.row_to_rule(r.matched_row))
-            .collect()
+        let mut rows = self.classify_batch_rows(self.primary_kind(), headers);
+        for row in &mut rows {
+            *row = self.row_to_rule(*row);
+        }
+        rows
     }
 
     fn memory_bits(&self) -> u64 {

@@ -390,25 +390,25 @@ impl FieldEngine {
     pub fn search_into(&self, value: u128, out: &mut [MatchChain]) {
         match self {
             FieldEngine::Em { lut, any_label, .. } => {
-                let matches = &mut out[0].matches;
-                matches.clear();
+                let chain = &mut out[0];
+                chain.clear();
                 if let Some(l) = lut.lookup(value as u64) {
-                    matches.push((l, 64));
+                    chain.push(l, 64);
                 }
                 if let Some(l) = any_label {
-                    matches.push((*l, 0));
+                    chain.push(*l, 0);
                 }
             }
             FieldEngine::Trie(pt) => pt.effective_chains_into(value, out),
             FieldEngine::Range { matcher, any_label, .. } => {
-                let matches = &mut out[0].matches;
-                matches.clear();
+                let chain = &mut out[0];
+                chain.clear();
                 if let Some(l) = matcher.lookup(value as u64) {
-                    matches.push((l, 32));
+                    chain.push(l, 32);
                 }
                 if let Some(l) = any_label {
-                    if matches.first().map(|&(m, _)| m) != Some(*l) {
-                        matches.push((*l, 0));
+                    if chain.best().map(|(m, _)| m) != Some(*l) {
+                        chain.push(*l, 0);
                     }
                 }
             }
@@ -441,16 +441,16 @@ impl FieldEngine {
     pub fn search_missing_into(&self, out: &mut [MatchChain]) {
         match self {
             FieldEngine::Em { any_label, .. } | FieldEngine::Range { any_label, .. } => {
-                out[0].matches.clear();
+                out[0].clear();
                 if let Some(l) = any_label {
-                    out[0].matches.push((*l, 0));
+                    out[0].push(*l, 0);
                 }
             }
             FieldEngine::Trie(pt) => {
                 for (i, chain) in out.iter_mut().enumerate().take(pt.partitions()) {
-                    chain.matches.clear();
+                    chain.clear();
                     if let Some(l) = pt.dictionaries()[i].get(&(0, 0)) {
-                        chain.matches.push((l, 0));
+                        chain.push(l, 0);
                     }
                 }
             }
@@ -510,12 +510,12 @@ mod tests {
         let o_val = e.intern(VlanVid, FieldKey::Exact(5), 13).unwrap();
         // A header matching the exact value also reports the any label.
         let chain = &e.search(5)[0];
-        assert_eq!(chain.matches.len(), 2);
-        assert_eq!(chain.matches[0].0, o_val.labels[0]);
-        assert_eq!(chain.matches[1].0, o_any.labels[0]);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain.as_slice()[0].0, o_val.labels[0]);
+        assert_eq!(chain.as_slice()[1].0, o_any.labels[0]);
         // A header matching nothing still reports the any label.
         let chain = &e.search(77)[0];
-        assert_eq!(chain.matches, vec![(o_any.labels[0], 0)]);
+        assert_eq!(chain.as_slice(), &[(o_any.labels[0], 0)]);
     }
 
     #[test]
@@ -544,12 +544,12 @@ mod tests {
         e.finalize();
         // ...because a key under the /4 reports BOTH labels via ancestors.
         let chains = e.search(0x0A01_1234);
-        let lower: Vec<_> = chains[1].matches.iter().map(|&(l, _)| l).collect();
+        let lower: Vec<_> = chains[1].iter().map(|(l, _)| l).collect();
         assert!(lower.contains(&o_long.labels[1]));
         assert!(lower.contains(&o_short.labels[1]));
         // A key under the /2 but outside the /4 reports only the /2.
         let chains = e.search(0x0A01_0234);
-        let lower: Vec<_> = chains[1].matches.iter().map(|&(l, _)| l).collect();
+        let lower: Vec<_> = chains[1].iter().map(|(l, _)| l).collect();
         assert!(lower.contains(&o_short.labels[1]));
         assert!(!lower.contains(&o_long.labels[1]));
     }
@@ -572,10 +572,10 @@ mod tests {
         let o_any = e.intern(TcpDst, FieldKey::Any, 16).unwrap();
         let o_exact = e.intern(TcpDst, FieldKey::Exact(80), 16).unwrap();
         let chain = &e.search(80)[0];
-        assert_eq!(chain.matches[0].0, o_exact.labels[0]);
-        assert!(chain.matches.iter().any(|&(l, _)| l == o_any.labels[0]));
+        assert_eq!(chain.as_slice()[0].0, o_exact.labels[0]);
+        assert!(chain.iter().any(|(l, _)| l == o_any.labels[0]));
         let chain = &e.search(81)[0];
-        assert_eq!(chain.matches[0].0, o_any.labels[0]);
+        assert_eq!(chain.as_slice()[0].0, o_any.labels[0]);
     }
 
     #[test]

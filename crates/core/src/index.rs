@@ -22,6 +22,7 @@
 use ofalgo::{Label, MatchChain};
 use ofmem::{bits_for_index, EntryLayout, MemoryBlock, MemoryReport};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// An index table entry's payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,10 +33,59 @@ struct Slot {
     row: u32,
 }
 
+/// Multiply-rotate hasher (the FxHash construction) for the probe path.
+///
+/// Index keys are short vectors of dense, attacker-free label ids — the
+/// builder assigns them, not the traffic — so SipHash's flooding
+/// resistance buys nothing here while dominating the per-probe cost. The
+/// lookup hot path probes the product of the match chains per packet;
+/// a two-multiply hash keeps each probe a handful of cycles.
+#[derive(Debug, Clone, Copy, Default)]
+struct FxHasher(u64);
+
+impl FxHasher {
+    const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+type FxBuild = BuildHasherDefault<FxHasher>;
+
 /// A label-combination index.
 #[derive(Debug, Clone, Default)]
 pub struct IndexTable {
-    map: HashMap<Vec<Label>, Slot>,
+    map: HashMap<Vec<Label>, Slot, FxBuild>,
     /// Entries added for rules directly.
     primary_entries: usize,
     /// Entries added by shadow completion.
@@ -101,13 +151,28 @@ impl IndexTable {
     /// issued (a pipeline-cost statistic).
     #[must_use]
     pub fn probe_chains(&self, chains: &[MatchChain]) -> (Option<(u32, u32)>, usize) {
+        let mut key: Vec<Label> = Vec::with_capacity(chains.len());
+        self.probe_chains_with(chains, &mut key)
+    }
+
+    /// As [`IndexTable::probe_chains`], assembling candidate keys in a
+    /// caller-provided buffer so the single-packet hot path performs no
+    /// heap allocation (the buffer grows once to the table's position
+    /// count and is reused across probes).
+    #[must_use]
+    pub fn probe_chains_with(
+        &self,
+        chains: &[MatchChain],
+        key: &mut Vec<Label>,
+    ) -> (Option<(u32, u32)>, usize) {
         if chains.iter().any(MatchChain::is_empty) {
             return (None, 0);
         }
         let mut best: Option<(u32, u32)> = None;
         let mut probes = 0;
-        let mut key: Vec<Label> = Vec::with_capacity(chains.len());
-        self.probe_rec(chains, 0, &mut key, &mut best, &mut probes);
+        key.clear();
+        key.reserve(chains.len());
+        self.probe_rec(chains, 0, key, &mut best, &mut probes);
         (best, probes)
     }
 
@@ -128,7 +193,7 @@ impl IndexTable {
             }
             return;
         }
-        for &(label, _) in &chains[pos].matches {
+        for (label, _) in chains[pos].iter() {
             key.push(label);
             self.probe_rec(chains, pos + 1, key, best, probes);
             key.pop();
@@ -181,7 +246,7 @@ mod tests {
     use super::*;
 
     fn chain(labels: &[(u32, u32)]) -> MatchChain {
-        MatchChain { matches: labels.iter().map(|&(l, len)| (Label(l), len)).collect() }
+        MatchChain::from_pairs(labels.iter().map(|&(l, len)| (Label(l), len)))
     }
 
     #[test]

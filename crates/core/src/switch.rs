@@ -20,6 +20,7 @@ use classifier_api::BuildError;
 use ofalgo::{Label, MatchChain};
 use offilter::{FilterKind, FilterSet};
 use oflow::{HeaderValues, MatchFieldKind, Verdict};
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 use crate::actions::{ActionRow, ActionTable};
@@ -48,6 +49,51 @@ impl TableEngine {
     pub fn engine_accesses(&self) -> usize {
         self.engines.iter().map(|(_, e)| e.search_accesses()).sum()
     }
+
+    /// Chain slots one packet needs through this table: the metadata slot
+    /// plus one per engine label position.
+    fn chain_slots(&self) -> usize {
+        usize::from(self.config.uses_metadata)
+            + self.engines.iter().map(|(_, e)| e.label_positions()).sum::<usize>()
+    }
+
+    /// Fills `chains` (one slot per [`TableEngine::chain_slots`]) with the
+    /// header's match chains through this table's engines, prefixed by the
+    /// metadata chain when the table keys on it. Allocation-free once the
+    /// chains' buffers have grown.
+    fn fill_chains(&self, header: &HeaderValues, meta: Option<u32>, chains: &mut [MatchChain]) {
+        let mut off = 0;
+        if self.config.uses_metadata {
+            let m = meta.expect("metadata-using table reached without metadata");
+            chains[0].clear();
+            chains[0].push(Label(m), u32::MAX);
+            off = 1;
+        }
+        for (field, engine) in &self.engines {
+            let width = engine.label_positions();
+            let dst = &mut chains[off..off + width];
+            match header.get(*field) {
+                Some(v) => engine.search_into(v, dst),
+                None => engine.search_missing_into(dst),
+            }
+            off += width;
+        }
+    }
+}
+
+/// Per-thread reusable buffers for the single-packet lookup path: the
+/// match chains of the widest table visited so far and the index-probe key
+/// under assembly. Both grow to a high-water mark and are then reused, so
+/// a steady-state [`MtlSwitch::classify_row`] performs zero heap
+/// allocations.
+#[derive(Default)]
+struct Scratch {
+    chains: Vec<MatchChain>,
+    key: Vec<Label>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::default();
 }
 
 /// One application's table chain.
@@ -154,33 +200,75 @@ impl MtlSwitch {
     #[must_use]
     pub fn classify_app(&self, kind: FilterKind, header: &HeaderValues) -> ClassifyResult {
         let app = self.app(kind).expect("application not configured");
-        let mut meta: Option<u32> = None;
-        let mut path = Vec::new();
-        let mut total_probes = 0;
+        let mut path = Vec::with_capacity(app.tables.len());
+        let mut probes = 0;
+        let (verdict, matched_row) = self.walk_tables(app, header, &mut probes, Some(&mut path));
+        ClassifyResult { verdict, matched_row, probes, path }
+    }
 
+    /// Classifies through the first configured application (single-app
+    /// switches).
+    #[must_use]
+    pub fn classify(&self, header: &HeaderValues) -> ClassifyResult {
+        self.classify_app(self.apps[0].kind, header)
+    }
+
+    /// The fast single-packet path: classifies a header through one
+    /// application and returns only the matched final-table action row.
+    /// Skips the per-table path log of [`MtlSwitch::classify_app`] and
+    /// runs entirely on per-thread reusable buffers, so the steady state
+    /// performs **zero heap allocations** per packet.
+    ///
+    /// # Panics
+    /// Panics if the switch has no application of that kind.
+    #[must_use]
+    pub fn classify_row(&self, kind: FilterKind, header: &HeaderValues) -> Option<u32> {
+        let app = self.app(kind).expect("application not configured");
+        let mut probes = 0;
+        self.walk_tables(app, header, &mut probes, None).1
+    }
+
+    /// As [`MtlSwitch::walk_tables_with`], borrowing the thread-local
+    /// scratch for one walk.
+    fn walk_tables(
+        &self,
+        app: &AppEngine,
+        header: &HeaderValues,
+        probes: &mut usize,
+        path: Option<&mut Vec<(u8, bool)>>,
+    ) -> (Verdict, Option<u32>) {
+        SCRATCH
+            .with(|cell| self.walk_tables_with(&mut cell.borrow_mut(), app, header, probes, path))
+    }
+
+    /// Walks a header through an application's tables using the given
+    /// scratch buffers. Returns the verdict and the final action row (if
+    /// a final table hit); appends `(table, matched?)` pairs to `path`
+    /// when provided.
+    fn walk_tables_with(
+        &self,
+        scratch: &mut Scratch,
+        app: &AppEngine,
+        header: &HeaderValues,
+        probes: &mut usize,
+        mut path: Option<&mut Vec<(u8, bool)>>,
+    ) -> (Verdict, Option<u32>) {
+        let Scratch { chains, key } = scratch;
+        let mut meta: Option<u32> = None;
         for te in &app.tables {
-            let mut chains: Vec<MatchChain> = Vec::new();
-            if te.config.uses_metadata {
-                let m = meta.expect("metadata-using table reached without metadata");
-                chains.push(MatchChain { matches: vec![(Label(m), u32::MAX)] });
+            let slots = te.chain_slots();
+            if chains.len() < slots {
+                chains.resize_with(slots, MatchChain::default);
             }
-            for (field, engine) in &te.engines {
-                match header.get(*field) {
-                    Some(v) => chains.extend(engine.search(v)),
-                    None => chains.extend(engine.search_missing()),
-                }
+            te.fill_chains(header, meta, &mut chains[..slots]);
+            let (hit, used) = te.index.probe_chains_with(&chains[..slots], key);
+            *probes += used;
+            if let Some(p) = path.as_deref_mut() {
+                p.push((te.config.table_id, hit.is_some()));
             }
-            let (hit, probes) = te.index.probe_chains(&chains);
-            total_probes += probes;
-            path.push((te.config.table_id, hit.is_some()));
             let Some((_, row)) = hit else {
                 // Table miss: "Send to controller".
-                return ClassifyResult {
-                    verdict: Verdict::ToController,
-                    matched_row: None,
-                    probes: total_probes,
-                    path,
-                };
+                return (Verdict::ToController, None);
             };
             match te.actions.get(row).expect("index row exists") {
                 ActionRow::Continue { meta: m, .. } => meta = Some(*m as u32),
@@ -190,23 +278,11 @@ impl MtlSwitch {
                         offilter::RuleAction::Deny => Verdict::Drop,
                         offilter::RuleAction::Controller => Verdict::ToController,
                     };
-                    return ClassifyResult {
-                        verdict,
-                        matched_row: Some(row),
-                        probes: total_probes,
-                        path,
-                    };
+                    return (verdict, Some(row));
                 }
             }
         }
         unreachable!("application chains end in a final table");
-    }
-
-    /// Classifies through the first configured application (single-app
-    /// switches).
-    #[must_use]
-    pub fn classify(&self, header: &HeaderValues) -> ClassifyResult {
-        self.classify_app(self.apps[0].kind, header)
     }
 
     /// Classifies a batch of headers through one application, processing
@@ -253,17 +329,68 @@ impl MtlSwitch {
             .collect();
 
         let mut chain_buf: Vec<MatchChain> = Vec::new();
+        let mut key_buf: Vec<Label> = Vec::new();
         let mut out = Vec::with_capacity(headers.len());
         for tile in headers.chunks(TILE) {
-            classify_tile(app, &layouts, tile, &mut chain_buf, &mut out);
+            classify_tile(app, &layouts, tile, &mut chain_buf, &mut key_buf, &mut out);
         }
         out
+    }
+
+    /// Batched classification returning only the matched final-table rows
+    /// — the lean path behind the [`classifier_api::Classifier`] batch
+    /// surface. Runs the zero-allocation [`MtlSwitch::classify_row`] walk
+    /// per packet, borrowing the per-thread scratch once for the whole
+    /// batch: with the flattened trie arenas, per-packet dispatch is cheap
+    /// enough that the only per-batch heap write left is the result vector
+    /// itself.
+    ///
+    /// # Panics
+    /// Panics if the switch has no application of that kind.
+    #[must_use]
+    pub fn classify_batch_rows(
+        &self,
+        kind: FilterKind,
+        headers: &[HeaderValues],
+    ) -> Vec<Option<u32>> {
+        let app = self.app(kind).expect("application not configured");
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            headers
+                .iter()
+                .map(|h| {
+                    let mut probes = 0;
+                    self.walk_tables_with(scratch, app, h, &mut probes, None).1
+                })
+                .collect()
+        })
     }
 
     /// Batched classification through the first configured application.
     #[must_use]
     pub fn classify_batch(&self, headers: &[HeaderValues]) -> Vec<ClassifyResult> {
         self.classify_batch_app(self.apps[0].kind, headers)
+    }
+
+    /// Multi-core batched classification: shards `headers` into `threads`
+    /// contiguous chunks and runs [`MtlSwitch::classify_batch_app`] on
+    /// each inside [`std::thread::scope`]. Classification is `&self`, so
+    /// the workers share the built switch with no synchronisation; each
+    /// worker owns its chain buffers (and per-thread scratch), making the
+    /// shards fully independent. Semantically identical to the
+    /// single-threaded batch path.
+    ///
+    /// # Panics
+    /// Panics if the switch has no application of that kind or a worker
+    /// thread panics.
+    #[must_use]
+    pub fn par_classify_batch_app(
+        &self,
+        kind: FilterKind,
+        headers: &[HeaderValues],
+        threads: usize,
+    ) -> Vec<ClassifyResult> {
+        classifier_api::sharded(headers, threads, |chunk| self.classify_batch_app(kind, chunk))
     }
 
     /// Total rules across applications.
@@ -276,12 +403,14 @@ impl MtlSwitch {
 /// Engine-major classification of one tile of headers, appending one
 /// [`ClassifyResult`] per header to `out`. `layouts` carries each table's
 /// chain-slot stride and per-engine offsets; `chain_buf` is the reusable
-/// flat chain storage (grown on demand, never shrunk).
+/// flat chain storage and `key_buf` the reusable index-probe key (both
+/// grown on demand, never shrunk).
 fn classify_tile(
     app: &AppEngine,
     layouts: &[(usize, Vec<usize>)],
     headers: &[HeaderValues],
     chain_buf: &mut Vec<MatchChain>,
+    key_buf: &mut Vec<Label>,
     out: &mut Vec<ClassifyResult>,
 ) {
     let n = headers.len();
@@ -303,9 +432,9 @@ fn classify_tile(
         // packet before the next engine is touched.
         if te.config.uses_metadata {
             for (slot, &pi) in alive.iter().enumerate() {
-                let matches = &mut chain_buf[slot * stride].matches;
-                matches.clear();
-                matches.push((Label(meta[pi as usize]), u32::MAX));
+                let chain = &mut chain_buf[slot * stride];
+                chain.clear();
+                chain.push(Label(meta[pi as usize]), u32::MAX);
             }
         }
         for (ei, (field, engine)) in te.engines.iter().enumerate() {
@@ -325,7 +454,7 @@ fn classify_tile(
         for (slot, &pi) in alive.iter().enumerate() {
             let p = pi as usize;
             let chains = &chain_buf[slot * stride..(slot + 1) * stride];
-            let (hit, used) = te.index.probe_chains(chains);
+            let (hit, used) = te.index.probe_chains_with(chains, key_buf);
             probes[p] += used;
             paths[p].push((te.config.table_id, hit.is_some()));
             let Some((_, row)) = hit else {
@@ -675,6 +804,41 @@ mod tests {
         }
         // Empty batches are fine.
         assert!(sw.classify_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn fast_row_path_and_parallel_batch_agree_with_classify() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let set = routing_set();
+        let config = SwitchConfig::single_app(FilterKind::Routing, 0);
+        let sw = MtlSwitch::build(&config, &[&set]);
+        let mut rng = StdRng::seed_from_u64(23);
+        let ports: Vec<u128> = set
+            .rules
+            .iter()
+            .map(|r| r.field_as_prefix(MatchFieldKind::InPort).unwrap().0)
+            .collect();
+        let headers: Vec<HeaderValues> = (0..300)
+            .map(|i| {
+                let port = if i % 9 == 0 { 0xFFFF } else { ports[rng.gen_range(0..ports.len())] };
+                HeaderValues::new()
+                    .with(MatchFieldKind::InPort, port)
+                    .with(MatchFieldKind::Ipv4Dst, u128::from(rng.gen::<u32>()))
+            })
+            .collect();
+        let batch = sw.classify_batch(&headers);
+        for (h, want) in headers.iter().zip(&batch) {
+            // The pathless fast row equals the full result's matched row.
+            assert_eq!(sw.classify_row(FilterKind::Routing, h), want.matched_row, "header {h}");
+        }
+        // Sharded classification is element-wise identical, whatever the
+        // thread count (including counts that do not divide the batch).
+        for threads in [1, 2, 3, 7, 300, 512] {
+            let par = sw.par_classify_batch_app(FilterKind::Routing, &headers, threads);
+            assert_eq!(par, batch, "threads = {threads}");
+        }
+        assert!(sw.par_classify_batch_app(FilterKind::Routing, &[], 4).is_empty());
     }
 
     #[test]

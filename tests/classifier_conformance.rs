@@ -78,7 +78,8 @@ fn probe_headers(set: &FilterSet, n: usize, seed: u64) -> Vec<HeaderValues> {
 }
 
 /// The conformance property: classify == oracle, batch == per-packet,
-/// and the cost surfaces report sane values.
+/// par_classify_batch == batch for any thread count, and the cost
+/// surfaces report sane values.
 fn assert_conformance(set: &FilterSet, probes: usize, seed: u64) {
     let headers = probe_headers(set, probes, seed);
     for classifier in all_classifiers(set) {
@@ -91,7 +92,15 @@ fn assert_conformance(set: &FilterSet, probes: usize, seed: u64) {
             assert_eq!(*batched, want, "{name} batch vs oracle on {h}");
             assert!(classifier.lookup_accesses(h) >= 1, "{name}: zero-cost lookup");
         }
+        // Sharded classification is element-wise identical to the batch
+        // (and hence to per-packet classify), for thread counts that
+        // divide the batch, don't, and exceed it.
+        for threads in [1, 2, 3, 8, probes + 7] {
+            let par = classifier.par_classify_batch(&headers, threads);
+            assert_eq!(par, batch, "{name}: par({threads}) vs batch");
+        }
         assert!(classifier.classify_batch(&[]).is_empty(), "{name}: empty batch");
+        assert!(classifier.par_classify_batch(&[], 4).is_empty(), "{name}: empty par batch");
         assert!(classifier.memory_bits() > 0, "{name}: zero memory");
         assert!(classifier.build_records() > 0, "{name}: zero build records");
     }

@@ -92,9 +92,56 @@ proptest! {
                     .map(|&(_, l)| l)
                     .collect();
                 want.sort_unstable_by(|a, b| b.cmp(a));
-                let got: Vec<u32> = chain.matches.iter().map(|&(_, l)| l).collect();
+                let got: Vec<u32> = chain.iter().map(|(_, l)| l).collect();
                 prop_assert_eq!(got, want, "key {:#x} partition {}", key, i);
             }
+        }
+    }
+
+    /// The flattened/packed arena layout returns chains identical to a
+    /// reference oracle over arbitrary stride schedules: per level, the
+    /// chain holds exactly the longest stored prefix covering the key
+    /// that terminates at that level (controlled prefix expansion keeps
+    /// the longest per entry), ordered longest first.
+    #[test]
+    fn packed_layout_chain_matches_reference_oracle(
+        schedule in schedules(),
+        raw in proptest::collection::vec((any::<u64>(), 0u32..=16), 0..80),
+        keys in proptest::collection::vec(any::<u64>(), 40)
+    ) {
+        let prefixes = normalise(raw, 16);
+        let mut sorted = prefixes.clone();
+        sorted.sort_by_key(|&(_, l)| l);
+        let levels = schedule.levels();
+        let mut trie = Mbt::new(schedule.clone());
+        for (i, &(v, l)) in sorted.iter().enumerate() {
+            trie.insert(v, l, Label(i as u32));
+        }
+        let mut buf = ofalgo::MatchChain::new();
+        for key in keys {
+            let key = key & 0xFFFF;
+            // Oracle: longest covering prefix per terminal level,
+            // shortest level first, then reversed (longest first).
+            let mut want: Vec<(Label, u32)> = (0..levels)
+                .filter_map(|li| {
+                    sorted
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &(v, l))| {
+                            schedule.terminal_level(l) == li
+                                && (l == 0 || (key >> (16 - l)) == (v >> (16 - l)))
+                        })
+                        .max_by_key(|&(_, &(_, l))| l)
+                        .map(|(i, &(_, l))| (Label(i as u32), l))
+                })
+                .collect();
+            want.reverse();
+            let got = trie.chain(key);
+            prop_assert_eq!(got.as_slice(), want.as_slice(), "key {:#x}", key);
+            // The buffer-reusing variant and the traced variant agree.
+            trie.chain_into(key, &mut buf);
+            prop_assert_eq!(&buf, &got);
+            prop_assert_eq!(trie.chain_traced(key).0, got);
         }
     }
 
