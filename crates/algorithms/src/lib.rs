@@ -33,4 +33,4 @@ pub use em::HashLut;
 pub use label::{Dictionary, Label};
 pub use partitioned::PartitionedTrie;
 pub use range::RangeMatcher;
-pub use trie::{MatchChain, Mbt, StrideSchedule};
+pub use trie::{MatchChain, Mbt, StrideSchedule, MULTI_WAY};

@@ -215,18 +215,80 @@ impl PartitionedTrie {
         for (i, chain) in out.iter_mut().enumerate().take(self.tries.len()) {
             let shift = self.field_bits - self.partition_bits * (i as u32 + 1);
             let part = ((key >> shift) as u64) & ((1 << self.partition_bits) - 1);
-            chain.clear();
-            if let Some((label, len)) = self.tries[i].lookup(part) {
-                chain.push(label, len);
-                let mut cur = label;
-                loop {
-                    let p = parents[i][cur.index()];
-                    if p == NO_PARENT {
-                        break;
-                    }
-                    let &(_, plen) = self.dicts[i].value_of(p).expect("parent is interned");
-                    chain.push(p, plen);
-                    cur = p;
+            self.expand_hit(i, &parents[i], self.tries[i].lookup(part), chain);
+        }
+    }
+
+    /// Expands one partition's LPM hit into the full containment chain
+    /// of stored prefixes (longest first) via the partition's dense
+    /// ancestor table — the one closure loop both the single-key and the
+    /// multi-key search paths share.
+    #[inline]
+    fn expand_hit(
+        &self,
+        partition: usize,
+        parents: &[Label],
+        hit: Option<(Label, u32)>,
+        chain: &mut MatchChain,
+    ) {
+        chain.clear();
+        if let Some((label, len)) = hit {
+            chain.push(label, len);
+            let mut cur = label;
+            loop {
+                let p = parents[cur.index()];
+                if p == NO_PARENT {
+                    break;
+                }
+                let &(_, plen) = self.dicts[partition].value_of(p).expect("parent is interned");
+                chain.push(p, plen);
+                cur = p;
+            }
+        }
+    }
+
+    /// Multi-key variant of [`PartitionedTrie::effective_chains_into`]
+    /// with a **scattered** output layout: key `j`'s chain for partition
+    /// `p` is written to `out[lanes[j] * stride + offset + p]`. This is
+    /// the layout of `mtl-core`'s engine-major batch pipeline, where one
+    /// flat chain buffer interleaves every engine's positions per packet.
+    ///
+    /// Per partition the group's trie walks run **interleaved** (one
+    /// level at a time across all keys, via [`Mbt::lookup_multi`]), so
+    /// the independent per-level loads of up to [`crate::MULTI_WAY`] keys
+    /// overlap instead of serialising; the ancestor closure is then one
+    /// dense-array load per nesting step, exactly as in the single-key
+    /// path. Allocation-free.
+    ///
+    /// # Panics
+    /// Panics unless [`PartitionedTrie::finalize`] has run, if `lanes` is
+    /// shorter than `keys`, or if any output index falls outside `out`.
+    pub fn effective_chains_multi_scatter(
+        &self,
+        keys: &[u128],
+        lanes: &[u32],
+        out: &mut [MatchChain],
+        stride: usize,
+        offset: usize,
+    ) {
+        use crate::trie::MULTI_WAY;
+        let parents =
+            self.parent_cache.as_ref().expect("call finalize() before effective_chains()");
+        assert!(lanes.len() >= keys.len(), "one output lane per key");
+        let mut parts = [0u64; MULTI_WAY];
+        let mut hits: [Option<(Label, u32)>; MULTI_WAY] = [None; MULTI_WAY];
+        for (kchunk, lchunk) in keys.chunks(MULTI_WAY).zip(lanes.chunks(MULTI_WAY)) {
+            let n = kchunk.len();
+            for (p, trie) in self.tries.iter().enumerate() {
+                let shift = self.field_bits - self.partition_bits * (p as u32 + 1);
+                let mask = (1u128 << self.partition_bits) - 1;
+                for (slot, &key) in parts.iter_mut().zip(kchunk.iter()) {
+                    *slot = ((key >> shift) & mask) as u64;
+                }
+                trie.lookup_multi(&parts[..n], &mut hits[..n]);
+                for (&lane, &hit) in lchunk.iter().zip(hits.iter()) {
+                    let chain = &mut out[lane as usize * stride + offset + p];
+                    self.expand_hit(p, &parents[p], hit, chain);
                 }
             }
         }

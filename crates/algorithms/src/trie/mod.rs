@@ -34,7 +34,7 @@ mod stats;
 
 pub use build::UpdateCount;
 pub use schedule::StrideSchedule;
-pub use search::{MatchChain, PathTrace};
+pub use search::{MatchChain, PathTrace, MULTI_WAY};
 pub use stats::{LevelStats, TrieSizing};
 
 use crate::label::Label;

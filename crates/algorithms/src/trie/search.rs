@@ -27,6 +27,12 @@ use crate::label::Label;
 /// allocations.
 const INLINE_MATCHES: usize = 17;
 
+/// Keys one interleaved walk ([`Mbt::lookup_multi`] /
+/// [`Mbt::chain_into_multi`]) advances level-synchronously: enough
+/// independent loads per level to cover memory latency, few enough that a
+/// group's lane state stays in registers.
+pub const MULTI_WAY: usize = 8;
+
 /// All matches found on a key's root-to-leaf path, longest prefix first.
 ///
 /// `(label, prefix_len)` pairs, strictly decreasing in length, stored in a
@@ -225,6 +231,88 @@ impl Mbt {
         }
         // Path order is shortest-first (levels descend); reverse.
         out.reverse();
+    }
+
+    /// Interleaved multi-key LPM: looks up `keys` in groups of up to
+    /// [`MULTI_WAY`], advancing every key of a group **one level at a
+    /// time** through the flattened arena. The per-level loads of a group
+    /// are independent, so the out-of-order core overlaps their latency
+    /// instead of serialising one root-to-leaf walk per key — the
+    /// software analogue of the paper's per-level pipeline stages.
+    /// `out[i]` receives `lookup(keys[i])`. Allocation-free.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than `keys`.
+    pub fn lookup_multi(&self, keys: &[u64], out: &mut [Option<(Label, u32)>]) {
+        assert!(out.len() >= keys.len(), "one output slot per key");
+        for (keys, out) in keys.chunks(MULTI_WAY).zip(out.chunks_mut(MULTI_WAY)) {
+            self.lookup_group(keys, out);
+        }
+    }
+
+    /// One interleaved group of at most [`MULTI_WAY`] keys.
+    fn lookup_group(&self, keys: &[u64], out: &mut [Option<(Label, u32)>]) {
+        for o in out.iter_mut().take(keys.len()) {
+            *o = None;
+        }
+        self.walk_group(keys, |lane, label, len| out[lane] = Some((label, len)));
+    }
+
+    /// The one level-synchronous group walk every multi-key path shares:
+    /// advances at most [`MULTI_WAY`] keys one level at a time through
+    /// the flattened arenas, invoking `visit(lane, label, prefix_len)`
+    /// for every labelled entry on each lane's path (shortest prefix
+    /// first — callers keep the last or collect and reverse).
+    #[inline]
+    fn walk_group(&self, keys: &[u64], mut visit: impl FnMut(usize, Label, u32)) {
+        let n = keys.len();
+        debug_assert!(n <= MULTI_WAY);
+        let mut block = [0usize; MULTI_WAY];
+        let mut live = [true; MULTI_WAY];
+        for (level_idx, level) in self.levels.iter().enumerate() {
+            let mut advancing = false;
+            for lane in 0..n {
+                if !live[lane] {
+                    continue;
+                }
+                let idx = self.schedule.index_of(keys[lane], level_idx);
+                let entry = level.entries[(block[lane] << level.stride) + idx];
+                if let Some((label, len)) = entry.label() {
+                    visit(lane, label, len);
+                }
+                match entry.child() {
+                    Some(c) => {
+                        block[lane] = c as usize;
+                        advancing = true;
+                    }
+                    None => live[lane] = false,
+                }
+            }
+            if !advancing {
+                break;
+            }
+        }
+    }
+
+    /// Interleaved multi-key full-chain lookup: `outs[i]` receives the
+    /// chain of `keys[i]` (longest prefix first), with the same
+    /// level-synchronous walk as [`Mbt::lookup_multi`]. Allocation-free
+    /// once the chains' buffers have grown.
+    ///
+    /// # Panics
+    /// Panics if `outs` is shorter than `keys`.
+    pub fn chain_into_multi(&self, keys: &[u64], outs: &mut [MatchChain]) {
+        assert!(outs.len() >= keys.len(), "one output chain per key");
+        for (keys, outs) in keys.chunks(MULTI_WAY).zip(outs.chunks_mut(MULTI_WAY)) {
+            let n = keys.len();
+            for chain in outs.iter_mut().take(n) {
+                chain.clear();
+            }
+            self.walk_group(keys, |lane, label, len| outs[lane].push(label, len));
+            for chain in outs.iter_mut().take(n) {
+                chain.reverse();
+            }
+        }
     }
 
     /// Chain lookup that also reports the visited entries. Debug/statistics

@@ -4,7 +4,7 @@
 //! repro [EXPERIMENT...] [--seed N] [--full]
 //!
 //! EXPERIMENT: all (default) | table1 | table2 | table3 | table4
-//!           | fig2 | fig3 | fig4 | fig5 | headline
+//!           | fig2 | fig3 | fig4 | fig5 | headline | throughput | cache
 //! --seed N    workload RNG seed (default 2015)
 //! --full      generate the four 180k-rule routing sets at full size
 //!             (several extra seconds; default scales them down 20x)
@@ -15,7 +15,8 @@
 
 use mtl_bench::data::Workloads;
 use mtl_bench::{
-    fig2, fig3, fig4, fig5, headline, table1, table2, table3, table4, throughput, DEFAULT_SEED,
+    cache, fig2, fig3, fig4, fig5, headline, table1, table2, table3, table4, throughput,
+    DEFAULT_SEED,
 };
 
 fn main() {
@@ -52,6 +53,7 @@ fn main() {
         "fig5",
         "headline",
         "throughput",
+        "cache",
     ];
     let selected: Vec<&str> = if experiments.iter().any(|e| e == "all") {
         known.to_vec()
@@ -92,6 +94,7 @@ fn main() {
             "fig5" => fig5::report(workloads.as_ref().expect("data")),
             "headline" => headline::report(workloads.as_ref().expect("data")),
             "throughput" => throughput::report(workloads.as_ref().expect("data")),
+            "cache" => cache::report(workloads.as_ref().expect("data")),
             _ => unreachable!(),
         }
     }
@@ -104,7 +107,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [EXPERIMENT...] [--seed N] [--full]\n\
-         experiments: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 headline throughput"
+         experiments: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 headline throughput cache"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

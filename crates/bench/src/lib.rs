@@ -22,12 +22,14 @@
 //! | `fig5`   | Fig. 5 (update cycles, label vs original) | [`fig5`] |
 //! | `headline` | §V.A totals (5 Mbit, 4 tables, MBT share) | [`headline`] |
 //! | `throughput` | (extension) batch / multi-core lookup + alloc probe | [`throughput`] |
+//! | `cache`  | (extension) flow-cache hit rate + ns/pkt under Zipf skew | [`cache`] |
 
 // Unsafe is denied everywhere except the counting global allocator in
 // [`alloc_probe`], which needs a `GlobalAlloc` impl.
 #![deny(unsafe_code)]
 
 pub mod alloc_probe;
+pub mod cache;
 pub mod data;
 pub mod fig2;
 pub mod fig3;

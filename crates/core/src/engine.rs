@@ -415,6 +415,77 @@ impl FieldEngine {
         }
     }
 
+    /// Batched, strided search: packet `j`'s chains for this engine are
+    /// written to `out[j * stride + offset ..][..label_positions]`, with
+    /// `values[j]` the packet's header value (`None` when the packet
+    /// lacks the field — only wildcard entries can match it).
+    ///
+    /// Trie engines walk their partition tries **interleaved**: groups of
+    /// up to [`ofalgo::MULTI_WAY`] packets advance level-synchronously
+    /// through the flattened arenas
+    /// ([`PartitionedTrie::effective_chains_multi_scatter`]), overlapping
+    /// the independent per-level loads. Single-probe engines (LUT, range
+    /// segments) loop per packet — they have no levels to interleave.
+    /// Allocation-free once the chains' buffers have grown.
+    ///
+    /// # Panics
+    /// Panics if any strided output index falls outside `out`.
+    pub fn search_many_into(
+        &self,
+        values: &[Option<u128>],
+        out: &mut [MatchChain],
+        stride: usize,
+        offset: usize,
+    ) {
+        match self {
+            FieldEngine::Trie(pt) => {
+                const WAY: usize = ofalgo::MULTI_WAY;
+                let width = pt.partitions();
+                let mut keys = [0u128; WAY];
+                let mut lanes = [0u32; WAY];
+                let mut group = 0usize;
+                for (j, v) in values.iter().enumerate() {
+                    match v {
+                        Some(v) => {
+                            keys[group] = *v;
+                            lanes[group] = j as u32;
+                            group += 1;
+                            if group == WAY {
+                                pt.effective_chains_multi_scatter(
+                                    &keys, &lanes, out, stride, offset,
+                                );
+                                group = 0;
+                            }
+                        }
+                        None => {
+                            let base = j * stride + offset;
+                            self.search_missing_into(&mut out[base..base + width]);
+                        }
+                    }
+                }
+                if group > 0 {
+                    pt.effective_chains_multi_scatter(
+                        &keys[..group],
+                        &lanes[..group],
+                        out,
+                        stride,
+                        offset,
+                    );
+                }
+            }
+            _ => {
+                let width = self.label_positions();
+                for (j, v) in values.iter().enumerate() {
+                    let base = j * stride + offset;
+                    match v {
+                        Some(v) => self.search_into(*v, &mut out[base..base + width]),
+                        None => self.search_missing_into(&mut out[base..base + width]),
+                    }
+                }
+            }
+        }
+    }
+
     /// Finalizes the engine after all rules are interned (computes the
     /// trie ancestor tables). Must run before [`FieldEngine::search`] on
     /// trie engines.

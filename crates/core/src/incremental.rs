@@ -115,6 +115,10 @@ impl MtlSwitch {
             return self.rebuild_application(app_idx, rules);
         }
 
+        // The rule set is definitely changing: invalidate every
+        // epoch-stamped flow cache in O(1).
+        self.epoch += 1;
+
         let MtlSwitch { apps, ledger, .. } = self;
         let app = &mut apps[app_idx];
         let mut records = 0usize;
@@ -157,7 +161,7 @@ impl MtlSwitch {
                 records += 1;
                 ledger.action_records += 1;
                 let before = te.index.len();
-                te.index.register(key, &shadows, u32::from(rule.priority), row);
+                te.index.register(&key, &shadows, u32::from(rule.priority), row);
                 let added = te.index.len() - before;
                 records += added;
                 ledger.index_records += added;
@@ -177,7 +181,7 @@ impl MtlSwitch {
                     }
                 };
                 let before = te.index.len();
-                te.index.register(key, &shadows, spec, row);
+                te.index.register(&key, &shadows, spec, row);
                 let added = te.index.len() - before;
                 records += added;
                 ledger.index_records += added;
@@ -225,6 +229,9 @@ impl MtlSwitch {
         let mut ledger = crate::update::BuildLedger::default();
         let rebuilt = try_build_app(kind, &table_cfgs, &set, &mut ledger)?;
         self.apps[app_idx] = rebuilt;
+        // Regeneration changed the rule set (and renumbered rows):
+        // invalidate every epoch-stamped flow cache.
+        self.epoch += 1;
         let records = ledger.algorithm_label_records + ledger.index_records + ledger.action_records;
         // Fold the regeneration into the switch-wide ledger.
         self.ledger.algorithm_label_records += ledger.algorithm_label_records;

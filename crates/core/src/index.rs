@@ -18,19 +18,46 @@
 //! of the per-position match chains and picks the highest-priority hit.
 //! Completion entries are counted in the memory report — they are the
 //! memory cost decomposition pays instead of TCAM replication.
+//!
+//! ## Storage layout
+//!
+//! The table is **open-addressed**: one flat power-of-two array of
+//! buckets (hash tag + priority + row) with linear probing and no
+//! tombstones (the architecture never deletes single entries — removals
+//! regenerate the application). Every key of a table has the same width
+//! (the table's label-position count is fixed by its engine
+//! configuration), so keys live **inline** in one contiguous `Vec<Label>`
+//! arena at `positions` labels per bucket — no per-entry heap `Vec`, no
+//! pointer chase on the probe path. This is the software model of the
+//! hardware index RAM: one wide word per slot holding
+//! `valid | labels | priority | action_row`.
 
 use ofalgo::{Label, MatchChain};
 use ofmem::{bits_for_index, EntryLayout, MemoryBlock, MemoryReport};
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
+use std::hash::Hasher;
 
-/// An index table entry's payload.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Slot {
+/// One open-addressed bucket: hash tag (with [`EMPTY`] as the vacancy
+/// sentinel), rule priority and action-table row. The bucket's key lives
+/// in the table's inline key arena at the same slot index.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    /// Full key hash; [`EMPTY`] marks a vacant slot (real hashes are
+    /// remapped away from the sentinel).
+    hash: u64,
     /// Rule priority (for best-hit selection across probes).
     priority: u32,
     /// Action-table row.
     row: u32,
+}
+
+/// Vacancy sentinel for [`Bucket::hash`].
+const EMPTY: u64 = u64::MAX;
+
+/// Initial bucket count of a non-empty table.
+const INITIAL_CAPACITY: usize = 16;
+
+impl Bucket {
+    const VACANT: Self = Self { hash: EMPTY, priority: 0, row: 0 };
 }
 
 /// Multiply-rotate hasher (the FxHash construction) for the probe path.
@@ -41,7 +68,7 @@ struct Slot {
 /// lookup hot path probes the product of the match chains per packet;
 /// a two-multiply hash keeps each probe a handful of cycles.
 #[derive(Debug, Clone, Copy, Default)]
-struct FxHasher(u64);
+pub(crate) struct FxHasher(u64);
 
 impl FxHasher {
     const SEED: u64 = 0x517c_c1b7_2722_0a95;
@@ -80,70 +107,189 @@ impl Hasher for FxHasher {
     }
 }
 
-type FxBuild = BuildHasherDefault<FxHasher>;
-
 /// A label-combination index.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct IndexTable {
-    map: HashMap<Vec<Label>, Slot, FxBuild>,
+    /// Open-addressed buckets; length is a power of two (or zero before
+    /// the first registration).
+    buckets: Vec<Bucket>,
+    /// Inline key arena: slot `i`'s key occupies
+    /// `keys[i * positions .. (i + 1) * positions]`.
+    keys: Vec<Label>,
+    /// Fixed key width (label positions), set by the first registration.
+    positions: usize,
+    /// Occupied buckets.
+    len: usize,
     /// Entries added for rules directly.
     primary_entries: usize,
     /// Entries added by shadow completion.
     completion_entries: usize,
-    /// Widest key observed (label positions).
-    positions: usize,
+}
+
+impl Default for IndexTable {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl IndexTable {
     /// Creates an empty index.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            buckets: Vec::new(),
+            keys: Vec::new(),
+            positions: 0,
+            len: 0,
+            primary_entries: 0,
+            completion_entries: 0,
+        }
+    }
+
+    /// Hashes a key, remapping away from the vacancy sentinel.
+    #[inline]
+    fn hash_key(key: &[Label]) -> u64 {
+        let mut h = FxHasher::default();
+        for &label in key {
+            h.add(u64::from(label.0));
+        }
+        let v = h.finish();
+        if v == EMPTY {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// The key stored at bucket `slot`.
+    #[inline]
+    fn key_at(&self, slot: usize) -> &[Label] {
+        &self.keys[slot * self.positions..(slot + 1) * self.positions]
     }
 
     /// Registers a rule under its primary label combination and all
     /// shadowing combinations. `shadows[i]` lists alternative labels for
     /// position `i`.
-    pub fn register(&mut self, key: Vec<Label>, shadows: &[Vec<Label>], priority: u32, row: u32) {
+    ///
+    /// # Panics
+    /// Panics if `key` and `shadows` disagree on the position count, or if
+    /// `key`'s width differs from previously registered keys (a table's
+    /// key width is fixed by its engine configuration).
+    pub fn register(&mut self, key: &[Label], shadows: &[Vec<Label>], priority: u32, row: u32) {
         assert_eq!(key.len(), shadows.len(), "one shadow set per position");
-        self.positions = self.positions.max(key.len());
-        // Enumerate the cross product of {primary, shadows...} per slot.
-        let mut combos: Vec<Vec<Label>> = vec![Vec::with_capacity(key.len())];
-        for (i, primary) in key.iter().enumerate() {
-            let mut next = Vec::with_capacity(combos.len() * (1 + shadows[i].len()));
-            for combo in &combos {
-                let mut with_primary = combo.clone();
-                with_primary.push(*primary);
-                next.push(with_primary);
-                for alt in &shadows[i] {
-                    let mut with_alt = combo.clone();
-                    with_alt.push(*alt);
-                    next.push(with_alt);
-                }
-            }
-            combos = next;
+        if self.len == 0 {
+            self.positions = key.len();
+        } else {
+            assert_eq!(key.len(), self.positions, "index keys have a fixed width per table");
         }
-        for (n, combo) in combos.into_iter().enumerate() {
-            let is_primary = n == 0;
-            match self.map.get_mut(&combo) {
-                Some(slot) if slot.priority >= priority => {}
-                Some(slot) => *slot = Slot { priority, row },
-                None => {
-                    self.map.insert(combo, Slot { priority, row });
-                    if is_primary {
-                        self.primary_entries += 1;
-                    } else {
-                        self.completion_entries += 1;
-                    }
+        // Enumerate the cross product of {primary, shadows...} per
+        // position with an odometer; combo 0 (all primaries) is the
+        // primary entry.
+        let mut combo: Vec<Label> = key.to_vec();
+        let mut odometer = vec![0usize; key.len()];
+        let mut first = true;
+        loop {
+            self.upsert(&combo, priority, row, first);
+            first = false;
+            // Advance the odometer; full wrap means every combination of
+            // {primary, shadows} has been registered.
+            let mut pos = 0;
+            loop {
+                if pos == odometer.len() {
+                    return;
                 }
+                odometer[pos] += 1;
+                if odometer[pos] <= shadows[pos].len() {
+                    combo[pos] = shadows[pos][odometer[pos] - 1];
+                    break;
+                }
+                odometer[pos] = 0;
+                combo[pos] = key[pos];
+                pos += 1;
             }
         }
     }
 
-    /// Looks up one exact combination.
+    /// Inserts one combination, keeping the higher-priority rule when the
+    /// slot is already taken.
+    fn upsert(&mut self, key: &[Label], priority: u32, row: u32, is_primary: bool) {
+        self.grow_for(self.len + 1);
+        let hash = Self::hash_key(key);
+        let mask = self.buckets.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            let b = self.buckets[slot];
+            if b.hash == EMPTY {
+                self.buckets[slot] = Bucket { hash, priority, row };
+                self.keys[slot * self.positions..(slot + 1) * self.positions].copy_from_slice(key);
+                self.len += 1;
+                if is_primary {
+                    self.primary_entries += 1;
+                } else {
+                    self.completion_entries += 1;
+                }
+                return;
+            }
+            if b.hash == hash && self.key_at(slot) == key {
+                if priority > b.priority {
+                    self.buckets[slot].priority = priority;
+                    self.buckets[slot].row = row;
+                }
+                return;
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Grows the bucket array so `needed` entries stay at or below 50 %
+    /// load, rehashing the existing entries into the wider array.
+    fn grow_for(&mut self, needed: usize) {
+        let target = if self.buckets.is_empty() {
+            INITIAL_CAPACITY
+        } else if needed * 2 > self.buckets.len() {
+            self.buckets.len() * 2
+        } else {
+            return;
+        };
+        let old_buckets = std::mem::replace(&mut self.buckets, vec![Bucket::VACANT; target]);
+        let old_keys = std::mem::replace(&mut self.keys, vec![Label(0); target * self.positions]);
+        let mask = target - 1;
+        for (i, b) in old_buckets.iter().enumerate() {
+            if b.hash == EMPTY {
+                continue;
+            }
+            let key = &old_keys[i * self.positions..(i + 1) * self.positions];
+            let mut slot = (b.hash as usize) & mask;
+            while self.buckets[slot].hash != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            self.buckets[slot] = *b;
+            self.keys[slot * self.positions..(slot + 1) * self.positions].copy_from_slice(key);
+        }
+    }
+
+    /// Looks up one exact combination — the single probe routine every
+    /// entry point (direct probes, chain products) funnels through, so
+    /// the legacy surfaces cannot drift from the optimized path.
+    #[inline]
     #[must_use]
     pub fn probe(&self, key: &[Label]) -> Option<(u32, u32)> {
-        self.map.get(key).map(|s| (s.priority, s.row))
+        if self.len == 0 || key.len() != self.positions {
+            return None;
+        }
+        let hash = Self::hash_key(key);
+        let mask = self.buckets.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            let b = self.buckets[slot];
+            if b.hash == EMPTY {
+                return None;
+            }
+            if b.hash == hash && self.key_at(slot) == key {
+                return Some((b.priority, b.row));
+            }
+            slot = (slot + 1) & mask;
+        }
     }
 
     /// Probes every combination of the per-position chains and returns the
@@ -203,13 +349,20 @@ impl IndexTable {
     /// Total entries (primary + completion).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// Whether the index is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
+    }
+
+    /// Allocated bucket slots (power of two; zero before the first
+    /// registration).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.buckets.len()
     }
 
     /// Entries registered directly by rules.
@@ -224,8 +377,9 @@ impl IndexTable {
         self.completion_entries
     }
 
-    /// Memory report: a hash table at ≤ 50 % load of
-    /// `valid + key(label bits) + priority + row` entries.
+    /// Memory report: the open-addressed array at its actual allocated
+    /// capacity (≤ 50 % load), each slot one wide word of
+    /// `valid + key(label bits) + priority + row`.
     #[must_use]
     pub fn memory_report(&self, name: &str, label_bits: &[u32]) -> MemoryReport {
         let key_bits: u32 = label_bits.iter().sum();
@@ -233,8 +387,8 @@ impl IndexTable {
             .with_field("valid", 1)
             .with_field("labels", key_bits)
             .with_field("priority", 6)
-            .with_field("action_row", bits_for_index(self.map.len().max(1)));
-        let capacity = (2 * self.map.len().max(1)).next_power_of_two();
+            .with_field("action_row", bits_for_index(self.len.max(1)));
+        let capacity = self.buckets.len().max(2);
         let mut r = MemoryReport::new();
         r.push(MemoryBlock::with_layout(name, capacity, layout));
         r
@@ -252,7 +406,7 @@ mod tests {
     #[test]
     fn register_and_probe() {
         let mut idx = IndexTable::new();
-        idx.register(vec![Label(1), Label(2)], &[vec![], vec![]], 10, 0);
+        idx.register(&[Label(1), Label(2)], &[vec![], vec![]], 10, 0);
         assert_eq!(idx.probe(&[Label(1), Label(2)]), Some((10, 0)));
         assert_eq!(idx.probe(&[Label(1), Label(3)]), None);
         assert_eq!(idx.len(), 1);
@@ -263,7 +417,7 @@ mod tests {
     fn completion_entries_from_shadows() {
         let mut idx = IndexTable::new();
         // Rule at (1, 2); position 1 can be shadowed by labels 5 and 6.
-        idx.register(vec![Label(1), Label(2)], &[vec![], vec![Label(5), Label(6)]], 4, 0);
+        idx.register(&[Label(1), Label(2)], &[vec![], vec![Label(5), Label(6)]], 4, 0);
         assert_eq!(idx.len(), 3);
         assert_eq!(idx.completion_entries(), 2);
         assert_eq!(idx.probe(&[Label(1), Label(5)]), Some((4, 0)));
@@ -271,12 +425,28 @@ mod tests {
     }
 
     #[test]
+    fn multi_position_shadow_cross_product() {
+        let mut idx = IndexTable::new();
+        // Shadows on both positions: the full {primary, alts} x
+        // {primary, alts} product must be registered.
+        idx.register(&[Label(1), Label(2)], &[vec![Label(7)], vec![Label(5), Label(6)]], 4, 0);
+        assert_eq!(idx.len(), 6);
+        assert_eq!(idx.primary_entries(), 1);
+        assert_eq!(idx.completion_entries(), 5);
+        for a in [1, 7] {
+            for b in [2, 5, 6] {
+                assert_eq!(idx.probe(&[Label(a), Label(b)]), Some((4, 0)), "({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
     fn higher_priority_keeps_slot() {
         let mut idx = IndexTable::new();
-        idx.register(vec![Label(1)], &[vec![]], 10, 0);
-        idx.register(vec![Label(1)], &[vec![]], 5, 1);
+        idx.register(&[Label(1)], &[vec![]], 10, 0);
+        idx.register(&[Label(1)], &[vec![]], 5, 1);
         assert_eq!(idx.probe(&[Label(1)]), Some((10, 0)));
-        idx.register(vec![Label(1)], &[vec![]], 20, 2);
+        idx.register(&[Label(1)], &[vec![]], 20, 2);
         assert_eq!(idx.probe(&[Label(1)]), Some((20, 2)));
         // Re-registration never double counts.
         assert_eq!(idx.len(), 1);
@@ -286,10 +456,10 @@ mod tests {
     fn completion_does_not_clobber_primary() {
         let mut idx = IndexTable::new();
         // Primary rule at (1, 5) with high priority.
-        idx.register(vec![Label(1), Label(5)], &[vec![], vec![]], 32, 0);
+        idx.register(&[Label(1), Label(5)], &[vec![], vec![]], 32, 0);
         // Another rule at (1, 2) whose position-1 shadow is label 5 but
         // with lower priority: the (1,5) slot must keep rule 0.
-        idx.register(vec![Label(1), Label(2)], &[vec![], vec![Label(5)]], 16, 1);
+        idx.register(&[Label(1), Label(2)], &[vec![], vec![Label(5)]], 16, 1);
         assert_eq!(idx.probe(&[Label(1), Label(5)]), Some((32, 0)));
         assert_eq!(idx.probe(&[Label(1), Label(2)]), Some((16, 1)));
     }
@@ -297,8 +467,8 @@ mod tests {
     #[test]
     fn probe_chains_picks_best_priority() {
         let mut idx = IndexTable::new();
-        idx.register(vec![Label(1), Label(9)], &[vec![], vec![]], 24, 0);
-        idx.register(vec![Label(1), Label(8)], &[vec![], vec![]], 16, 1);
+        idx.register(&[Label(1), Label(9)], &[vec![], vec![]], 24, 0);
+        idx.register(&[Label(1), Label(8)], &[vec![], vec![]], 16, 1);
         // Chain: position 0 = [1]; position 1 = [9 (len 24), 8 (len 16)].
         let chains = vec![chain(&[(1, 16)]), chain(&[(9, 8), (8, 0)])];
         let (hit, probes) = idx.probe_chains(&chains);
@@ -309,7 +479,7 @@ mod tests {
     #[test]
     fn probe_chains_empty_position_misses() {
         let mut idx = IndexTable::new();
-        idx.register(vec![Label(1), Label(2)], &[vec![], vec![]], 1, 0);
+        idx.register(&[Label(1), Label(2)], &[vec![], vec![]], 1, 0);
         let chains = vec![chain(&[(1, 16)]), chain(&[])];
         let (hit, probes) = idx.probe_chains(&chains);
         assert_eq!(hit, None);
@@ -317,10 +487,39 @@ mod tests {
     }
 
     #[test]
+    fn growth_preserves_entries() {
+        let mut idx = IndexTable::new();
+        // Enough entries to force several rehashes from the initial
+        // capacity; every registered combination must stay probeable.
+        for i in 0..500u32 {
+            idx.register(&[Label(i), Label(i * 7 + 1)], &[vec![], vec![]], i, i);
+        }
+        assert_eq!(idx.len(), 500);
+        assert!(idx.capacity() >= 1000, "load factor stays at or under 50%");
+        assert!(idx.capacity().is_power_of_two());
+        for i in 0..500u32 {
+            assert_eq!(idx.probe(&[Label(i), Label(i * 7 + 1)]), Some((i, i)), "entry {i}");
+        }
+        assert_eq!(idx.probe(&[Label(1000), Label(0)]), None);
+    }
+
+    #[test]
+    fn probe_wrong_width_misses() {
+        let mut idx = IndexTable::new();
+        idx.register(&[Label(1), Label(2)], &[vec![], vec![]], 1, 0);
+        assert_eq!(idx.probe(&[Label(1)]), None);
+        assert_eq!(idx.probe(&[Label(1), Label(2), Label(3)]), None);
+        // The empty (default) table misses on everything.
+        let empty = IndexTable::default();
+        assert_eq!(empty.probe(&[Label(1)]), None);
+        assert_eq!(empty.probe(&[]), None);
+    }
+
+    #[test]
     fn memory_report_sizing() {
         let mut idx = IndexTable::new();
         for i in 0..100 {
-            idx.register(vec![Label(i), Label(i + 1)], &[vec![], vec![]], 1, i);
+            idx.register(&[Label(i), Label(i + 1)], &[vec![], vec![]], 1, i);
         }
         let r = idx.memory_report("index", &[8, 8]);
         // capacity 256, entry = 1 + 16 + 6 + 7 = 30 bits.
@@ -331,6 +530,14 @@ mod tests {
     #[should_panic(expected = "one shadow set per position")]
     fn shadow_arity_checked() {
         let mut idx = IndexTable::new();
-        idx.register(vec![Label(1)], &[], 1, 0);
+        idx.register(&[Label(1)], &[], 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed width")]
+    fn key_width_is_fixed() {
+        let mut idx = IndexTable::new();
+        idx.register(&[Label(1), Label(2)], &[vec![], vec![]], 1, 0);
+        idx.register(&[Label(1)], &[vec![]], 1, 1);
     }
 }

@@ -15,6 +15,9 @@
 //!   [`classifier_api::ClassifierBuilder`] /
 //!   [`classifier_api::DynamicClassifier`] implementations, putting the
 //!   architecture behind the same trait as every baseline.
+//! * [`cache`] — the flow/result cache fronting the lookup pipeline:
+//!   fixed-capacity, open-addressed, epoch-stamped so incremental updates
+//!   invalidate in O(1).
 //! * [`config`] — architecture description: which fields in which table,
 //!   searched by which algorithm; presets for the paper's MAC + Routing
 //!   use case (4 OpenFlow tables, 2 MBTs, 2 exact-match LUTs).
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod actions;
+pub mod cache;
 pub mod classifier;
 pub mod config;
 pub mod engine;
@@ -42,6 +46,7 @@ pub mod report;
 pub mod switch;
 pub mod update;
 
+pub use cache::FlowCache;
 pub use classifier_api::{
     BuildError, Classifier, ClassifierBuilder, DynamicClassifier, UpdateReport,
 };

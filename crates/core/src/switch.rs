@@ -24,6 +24,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 
 use crate::actions::{ActionRow, ActionTable};
+use crate::cache::FlowCache;
 use crate::config::{SwitchConfig, TableConfig};
 use crate::engine::{FieldEngine, FieldKey};
 use crate::index::IndexTable;
@@ -81,15 +82,20 @@ impl TableEngine {
     }
 }
 
-/// Per-thread reusable buffers for the single-packet lookup path: the
-/// match chains of the widest table visited so far and the index-probe key
-/// under assembly. Both grow to a high-water mark and are then reused, so
-/// a steady-state [`MtlSwitch::classify_row`] performs zero heap
-/// allocations.
+/// Per-thread reusable buffers for the lookup paths: the match chains of
+/// the widest table visited so far, the index-probe key under assembly,
+/// and the tile-sized buffers of the engine-major batch-rows pipeline.
+/// All grow to a high-water mark and are then reused, so a steady-state
+/// [`MtlSwitch::classify_row`] (and the warmed batch paths) performs zero
+/// heap allocations.
 #[derive(Default)]
 struct Scratch {
     chains: Vec<MatchChain>,
     key: Vec<Label>,
+    /// Flat chain storage of one batch tile (`slot * stride + position`).
+    tile_chains: Vec<MatchChain>,
+    /// Gathered per-packet header values for one engine of one tile.
+    values: Vec<Option<u128>>,
 }
 
 thread_local! {
@@ -149,6 +155,10 @@ pub struct MtlSwitch {
     pub apps: Vec<AppEngine>,
     /// Build-time update accounting (feeds the Fig. 5 experiment).
     pub ledger: BuildLedger,
+    /// Rule-set generation counter: bumped by every `add_rule` /
+    /// `remove_rule` / rebuild, so epoch-stamped flow caches invalidate
+    /// in O(1) (see [`crate::cache::FlowCache`]).
+    pub(crate) epoch: u64,
 }
 
 impl MtlSwitch {
@@ -174,7 +184,16 @@ impl MtlSwitch {
                 .ok_or(BuildError::MissingFilterSet { kind: *kind })?;
             apps.push(try_build_app(*kind, table_cfgs, set, &mut ledger)?);
         }
-        Ok(Self { name: config.name.clone(), apps, ledger })
+        Ok(Self { name: config.name.clone(), apps, ledger, epoch: 0 })
+    }
+
+    /// The rule-set generation: incremented by every mutation
+    /// ([`MtlSwitch::add_rule`], [`MtlSwitch::remove_rule`], rebuilds).
+    /// Flow caches stamp entries with this value, so a bump invalidates
+    /// every cached result in O(1).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Builds a switch, panicking on error — a convenience wrapper over
@@ -228,6 +247,102 @@ impl MtlSwitch {
         self.walk_tables(app, header, &mut probes, None).1
     }
 
+    /// The three-stage fast path: flow cache → index → trie. Serves the
+    /// header from `cache` when it holds a current-epoch entry (skipping
+    /// the engine walks and index probes entirely); otherwise runs the
+    /// zero-allocation [`MtlSwitch::classify_row`] walk and memoises the
+    /// result. Cache entries are epoch-stamped, so results are always
+    /// identical to the uncached path — incremental updates invalidate
+    /// the whole cache by bumping [`MtlSwitch::epoch`].
+    ///
+    /// # Panics
+    /// Panics if the switch has no application of that kind.
+    #[must_use]
+    pub fn classify_cached(
+        &self,
+        kind: FilterKind,
+        header: &HeaderValues,
+        cache: &mut FlowCache,
+    ) -> Option<u32> {
+        if let Some(row) = cache.lookup(self.epoch, header) {
+            return row;
+        }
+        let row = self.classify_row(kind, header);
+        cache.insert(self.epoch, header, row);
+        row
+    }
+
+    /// Batched [`MtlSwitch::classify_cached`]: one cache lookup per
+    /// packet, with misses resolved by the zero-allocation per-packet
+    /// walk over the shared thread scratch. On skewed (elephant-flow)
+    /// traffic nearly every packet is a hit and the whole batch touches
+    /// neither tries nor index tables.
+    ///
+    /// # Panics
+    /// Panics if the switch has no application of that kind.
+    #[must_use]
+    pub fn classify_batch_rows_cached(
+        &self,
+        kind: FilterKind,
+        headers: &[HeaderValues],
+        cache: &mut FlowCache,
+    ) -> Vec<Option<u32>> {
+        let app = self.app(kind).expect("application not configured");
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            headers
+                .iter()
+                .map(|h| {
+                    if let Some(row) = cache.lookup(self.epoch, h) {
+                        return row;
+                    }
+                    let mut probes = 0;
+                    let row = self.walk_tables_with(scratch, app, h, &mut probes, None).1;
+                    cache.insert(self.epoch, h, row);
+                    row
+                })
+                .collect()
+        })
+    }
+
+    /// Cache-aware multi-core batch classification: shards `headers`
+    /// over one worker per element of `caches`, each worker serving its
+    /// shard through its **own** flow cache (no locks, and cache warmth
+    /// persists across calls since the caller owns the caches).
+    /// Semantically identical to [`MtlSwitch::classify_batch_rows`].
+    ///
+    /// # Panics
+    /// Panics if `caches` is empty, the switch has no application of that
+    /// kind, or a worker thread panics.
+    #[must_use]
+    pub fn par_classify_batch_cached(
+        &self,
+        kind: FilterKind,
+        headers: &[HeaderValues],
+        caches: &mut [FlowCache],
+    ) -> Vec<Option<u32>> {
+        assert!(!caches.is_empty(), "need at least one worker cache");
+        let threads = caches.len().min(headers.len().max(1));
+        if threads == 1 {
+            return self.classify_batch_rows_cached(kind, headers, &mut caches[0]);
+        }
+        let shard = headers.len().div_ceil(threads);
+        let mut out = Vec::with_capacity(headers.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = headers
+                .chunks(shard)
+                .zip(caches.iter_mut())
+                .map(|(chunk, cache)| {
+                    scope.spawn(move || self.classify_batch_rows_cached(kind, chunk, cache))
+                })
+                .collect();
+            for handle in handles {
+                out.extend(handle.join().expect("classification worker panicked"));
+            }
+        });
+        out
+    }
+
     /// As [`MtlSwitch::walk_tables_with`], borrowing the thread-local
     /// scratch for one walk.
     fn walk_tables(
@@ -253,7 +368,7 @@ impl MtlSwitch {
         probes: &mut usize,
         mut path: Option<&mut Vec<(u8, bool)>>,
     ) -> (Verdict, Option<u32>) {
-        let Scratch { chains, key } = scratch;
+        let Scratch { chains, key, .. } = scratch;
         let mut meta: Option<u32> = None;
         for te in &app.tables {
             let slots = te.chain_slots();
@@ -304,46 +419,36 @@ impl MtlSwitch {
         kind: FilterKind,
         headers: &[HeaderValues],
     ) -> Vec<ClassifyResult> {
-        /// Packets per tile: large enough to amortise per-engine
-        /// dispatch, small enough that a tile's chains stay cache-hot.
-        const TILE: usize = 64;
         let app = self.app(kind).expect("application not configured");
-        // Per table: chain-slot count per packet (metadata + one slot per
-        // engine label position) and each engine's offset within it.
-        let layouts: Vec<(usize, Vec<usize>)> = app
-            .tables
-            .iter()
-            .map(|te| {
-                let mut next = usize::from(te.config.uses_metadata);
-                let offsets = te
-                    .engines
-                    .iter()
-                    .map(|(_, e)| {
-                        let o = next;
-                        next += e.label_positions();
-                        o
-                    })
-                    .collect();
-                (next, offsets)
-            })
-            .collect();
-
+        let layouts = table_layouts(app);
         let mut chain_buf: Vec<MatchChain> = Vec::new();
+        let mut value_buf: Vec<Option<u128>> = Vec::new();
         let mut key_buf: Vec<Label> = Vec::new();
         let mut out = Vec::with_capacity(headers.len());
         for tile in headers.chunks(TILE) {
-            classify_tile(app, &layouts, tile, &mut chain_buf, &mut key_buf, &mut out);
+            classify_tile(
+                app,
+                &layouts,
+                tile,
+                &mut chain_buf,
+                &mut value_buf,
+                &mut key_buf,
+                &mut out,
+            );
         }
         out
     }
 
     /// Batched classification returning only the matched final-table rows
     /// — the lean path behind the [`classifier_api::Classifier`] batch
-    /// surface. Runs the zero-allocation [`MtlSwitch::classify_row`] walk
-    /// per packet, borrowing the per-thread scratch once for the whole
-    /// batch: with the flattened trie arenas, per-packet dispatch is cheap
-    /// enough that the only per-batch heap write left is the result vector
-    /// itself.
+    /// surface. Runs the same engine-major tile pipeline as
+    /// [`MtlSwitch::classify_batch_app`] (per tile, every live packet is
+    /// pushed through one field engine before the next is touched, with
+    /// trie engines walking up to [`ofalgo::MULTI_WAY`] keys
+    /// level-synchronously so independent loads overlap), but skips the
+    /// per-table path log and probe accounting and runs entirely on the
+    /// per-thread scratch: the only per-batch heap write in the steady
+    /// state is the result vector itself.
     ///
     /// # Panics
     /// Panics if the switch has no application of that kind.
@@ -354,16 +459,15 @@ impl MtlSwitch {
         headers: &[HeaderValues],
     ) -> Vec<Option<u32>> {
         let app = self.app(kind).expect("application not configured");
+        let layouts = table_layouts(app);
+        let mut out = Vec::with_capacity(headers.len());
         SCRATCH.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
-            headers
-                .iter()
-                .map(|h| {
-                    let mut probes = 0;
-                    self.walk_tables_with(scratch, app, h, &mut probes, None).1
-                })
-                .collect()
-        })
+            for tile in headers.chunks(TILE) {
+                classify_tile_rows(app, &layouts, tile, scratch, &mut out);
+            }
+        });
+        out
     }
 
     /// Batched classification through the first configured application.
@@ -400,16 +504,44 @@ impl MtlSwitch {
     }
 }
 
+/// Packets per batch tile: large enough to amortise per-engine dispatch,
+/// small enough that a tile's chains stay cache-hot.
+const TILE: usize = 64;
+
+/// Per table: chain-slot count per packet (metadata + one slot per engine
+/// label position) and each engine's offset within it — the layout of the
+/// flat chain buffers both batch pipelines write.
+fn table_layouts(app: &AppEngine) -> Vec<(usize, Vec<usize>)> {
+    app.tables
+        .iter()
+        .map(|te| {
+            let mut next = usize::from(te.config.uses_metadata);
+            let offsets = te
+                .engines
+                .iter()
+                .map(|(_, e)| {
+                    let o = next;
+                    next += e.label_positions();
+                    o
+                })
+                .collect();
+            (next, offsets)
+        })
+        .collect()
+}
+
 /// Engine-major classification of one tile of headers, appending one
 /// [`ClassifyResult`] per header to `out`. `layouts` carries each table's
 /// chain-slot stride and per-engine offsets; `chain_buf` is the reusable
-/// flat chain storage and `key_buf` the reusable index-probe key (both
-/// grown on demand, never shrunk).
+/// flat chain storage, `value_buf` the reusable gathered header values,
+/// and `key_buf` the reusable index-probe key (all grown on demand, never
+/// shrunk).
 fn classify_tile(
     app: &AppEngine,
     layouts: &[(usize, Vec<usize>)],
     headers: &[HeaderValues],
     chain_buf: &mut Vec<MatchChain>,
+    value_buf: &mut Vec<Option<u128>>,
     key_buf: &mut Vec<Label>,
     out: &mut Vec<ClassifyResult>,
 ) {
@@ -427,9 +559,11 @@ fn classify_tile(
         }
         let stride = *stride;
         chain_buf.resize_with((alive.len() * stride).max(chain_buf.len()), MatchChain::default);
+        value_buf.resize(alive.len().max(value_buf.len()), None);
 
         // Chain gathering, engine-major: one engine serves every live
-        // packet before the next engine is touched.
+        // packet before the next engine is touched; trie engines walk
+        // their groups interleaved (level-synchronous multi-key walks).
         if te.config.uses_metadata {
             for (slot, &pi) in alive.iter().enumerate() {
                 let chain = &mut chain_buf[slot * stride];
@@ -438,15 +572,10 @@ fn classify_tile(
             }
         }
         for (ei, (field, engine)) in te.engines.iter().enumerate() {
-            let off = offsets[ei];
-            let width = engine.label_positions();
             for (slot, &pi) in alive.iter().enumerate() {
-                let dst = &mut chain_buf[slot * stride + off..slot * stride + off + width];
-                match headers[pi as usize].get(*field) {
-                    Some(v) => engine.search_into(v, dst),
-                    None => engine.search_missing_into(dst),
-                }
+                value_buf[slot] = headers[pi as usize].get(*field);
             }
+            engine.search_many_into(&value_buf[..alive.len()], chain_buf, stride, offsets[ei]);
         }
 
         // Index probe + action resolution, per packet.
@@ -490,6 +619,80 @@ fn classify_tile(
     }
     debug_assert!(alive.is_empty(), "application chains end in a final table");
     out.extend(results.into_iter().map(|r| r.expect("every packet resolves to a verdict")));
+}
+
+/// The lean, allocation-free sibling of [`classify_tile`]: same
+/// engine-major pipeline (metadata fill, gathered values, interleaved
+/// multi-key trie walks, index probes), but it resolves packets to final
+/// action rows only — no verdicts, no path logs, no probe counters — and
+/// every buffer lives in the per-thread [`Scratch`]. Per-packet state is
+/// in fixed [`TILE`]-sized stack arrays.
+fn classify_tile_rows(
+    app: &AppEngine,
+    layouts: &[(usize, Vec<usize>)],
+    headers: &[HeaderValues],
+    scratch: &mut Scratch,
+    out: &mut Vec<Option<u32>>,
+) {
+    let n = headers.len();
+    debug_assert!(n <= TILE);
+    let Scratch { key, tile_chains, values, .. } = scratch;
+    let mut result = [None::<u32>; TILE];
+    let mut meta = [0u32; TILE];
+    // Packets still flowing through the pipeline, by header index,
+    // compacted in place as packets resolve.
+    let mut alive = [0u32; TILE];
+    for (slot, a) in alive.iter_mut().enumerate().take(n) {
+        *a = slot as u32;
+    }
+    let mut alive_len = n;
+
+    for (te, (stride, offsets)) in app.tables.iter().zip(layouts) {
+        if alive_len == 0 {
+            break;
+        }
+        let stride = *stride;
+        if tile_chains.len() < alive_len * stride {
+            tile_chains.resize_with(alive_len * stride, MatchChain::default);
+        }
+        if values.len() < alive_len {
+            values.resize(alive_len, None);
+        }
+
+        if te.config.uses_metadata {
+            for (slot, &pi) in alive.iter().enumerate().take(alive_len) {
+                let chain = &mut tile_chains[slot * stride];
+                chain.clear();
+                chain.push(Label(meta[pi as usize]), u32::MAX);
+            }
+        }
+        for (ei, (field, engine)) in te.engines.iter().enumerate() {
+            for (slot, &pi) in alive.iter().enumerate().take(alive_len) {
+                values[slot] = headers[pi as usize].get(*field);
+            }
+            engine.search_many_into(&values[..alive_len], tile_chains, stride, offsets[ei]);
+        }
+
+        let mut next_len = 0;
+        for slot in 0..alive_len {
+            let pi = alive[slot];
+            let chains = &tile_chains[slot * stride..(slot + 1) * stride];
+            let (hit, _) = te.index.probe_chains_with(chains, key);
+            // A table miss resolves the packet to "no row" (to-controller).
+            let Some((_, row)) = hit else { continue };
+            match te.actions.get(row).expect("index row exists") {
+                ActionRow::Continue { meta: m, .. } => {
+                    meta[pi as usize] = *m as u32;
+                    alive[next_len] = pi;
+                    next_len += 1;
+                }
+                ActionRow::Final(_) => result[pi as usize] = Some(row),
+            }
+        }
+        alive_len = next_len;
+    }
+    debug_assert_eq!(alive_len, 0, "application chains end in a final table");
+    out.extend_from_slice(&result[..n]);
 }
 
 /// Builds one application's table chain.
@@ -600,7 +803,7 @@ pub(crate) fn try_build_app(
                 ledger.action_records += 1;
                 let before = tables[ti].index.len();
                 tables[ti].index.register(
-                    key,
+                    &key,
                     &shadows,
                     u32::from(rule_keys[ri].rule.priority),
                     row,
@@ -611,18 +814,20 @@ pub(crate) fn try_build_app(
                     .config
                     .goto
                     .ok_or(BuildError::MissingGoto { table_id: tables[ti].config.table_id })?;
-                let row = match combo_rows[ti].get(&key) {
-                    Some(&row) => row,
+                let (row, combo_is_new) = match combo_rows[ti].get(&key) {
+                    Some(&row) => (row, false),
                     None => {
                         let row = tables[ti].actions.push_continue(goto);
                         ledger.action_records += 1;
-                        combo_rows[ti].insert(key.clone(), row);
-                        row
+                        (row, true)
                     }
                 };
                 let before = tables[ti].index.len();
-                tables[ti].index.register(key, &shadows, specs[ri][ti], row);
+                tables[ti].index.register(&key, &shadows, specs[ri][ti], row);
                 ledger.index_records += tables[ti].index.len() - before;
+                if combo_is_new {
+                    combo_rows[ti].insert(key, row);
+                }
                 meta = Some(row);
             }
         }

@@ -12,11 +12,13 @@ mod acl;
 mod mac;
 mod pools;
 mod routing;
+mod traffic;
 
 pub use acl::{generate_acl, AclConfig};
 pub use mac::{generate_mac, MacTargets};
 pub use pools::UniquePool;
 pub use routing::{generate_routing, RoutingTargets};
+pub use traffic::{generate_flows, generate_trace, TraceConfig, ZipfSampler};
 
 use crate::paper_data::{MAC_FILTERS, ROUTING_FILTERS};
 use crate::set::FilterSet;

@@ -1,0 +1,282 @@
+//! Skewed synthetic traffic traces.
+//!
+//! Every benchmark before this module replayed *uniform* traffic — the
+//! one distribution real switches never see. Measured packet traces are
+//! heavily skewed: a small set of **elephant flows** carries most
+//! packets, classically modelled as a Zipf distribution over flow ranks
+//! (flow `k`'s probability ∝ `1 / k^s`). Caching-style fast paths live
+//! or die by this skew, so the trace generator makes it a first-class
+//! knob:
+//!
+//! * build a pool of distinct **flows** (headers derived from the filter
+//!   set's own rules, plus a configurable fraction of random headers
+//!   that match nothing — real traffic contains garbage);
+//! * assign Zipf ranks to flows in shuffled order (so hot flows are not
+//!   correlated with rule order);
+//! * emit packets by sampling flow ranks from the Zipf CDF
+//!   (`skew = 0` degenerates to uniform).
+
+use crate::set::FilterSet;
+use oflow::{FieldMatch, HeaderValues};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a synthetic traffic trace.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Packets to emit.
+    pub packets: usize,
+    /// Distinct flows in the pool.
+    pub flows: usize,
+    /// Zipf exponent `s` over flow ranks; `0.0` = uniform.
+    pub skew: f64,
+    /// Fraction of the flow pool that is fully random (usually matching
+    /// no rule — exercising the miss path).
+    pub random_fraction: f64,
+}
+
+impl TraceConfig {
+    /// A trace of `packets` packets over 1024 flows at the given skew,
+    /// with 1/8 of the flows random.
+    #[must_use]
+    pub fn with_skew(packets: usize, skew: f64) -> Self {
+        Self { packets, flows: 1024, skew, random_fraction: 0.125 }
+    }
+}
+
+/// A cumulative Zipf distribution over `n` ranks with exponent `s`.
+///
+/// Sampling is inverse-CDF: one uniform draw, one binary search. `s = 0`
+/// is the uniform distribution.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the CDF for `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or `s` is negative/non-finite.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "skew must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Samples a rank in `0..n`.
+    #[inline]
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point: first rank whose cumulative mass exceeds u.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has no ranks (never true — construction
+    /// requires at least one).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+/// `bits` uniformly random low bits (0 yields 0, 128 yields a full
+/// word); safe across the whole 0..=128 range IPv6-wide fields need.
+fn random_bits(rng: &mut StdRng, bits: u32) -> u128 {
+    if bits == 0 {
+        return 0;
+    }
+    let word = u128::from(rng.gen::<u64>()) | (u128::from(rng.gen::<u64>()) << 64);
+    if bits >= 128 {
+        word
+    } else {
+        word & ((1u128 << bits) - 1)
+    }
+}
+
+/// A header matching `rule` on every field of its kind, free bits drawn
+/// from `rng` (prefix tails, in-range points), so distinct draws give
+/// distinct flows under the same rule.
+fn header_for_rule(set: &FilterSet, rule_idx: usize, rng: &mut StdRng) -> HeaderValues {
+    let rule = &set.rules[rule_idx];
+    let mut h = HeaderValues::new();
+    for &field in set.kind.fields() {
+        match rule.field(field) {
+            FieldMatch::Exact(v) => {
+                h.set(field, v);
+            }
+            FieldMatch::Prefix { value, len } => {
+                h.set(field, value | random_bits(rng, field.bit_width() - len));
+            }
+            FieldMatch::Range { lo, hi } => {
+                h.set(field, lo + u128::from(rng.gen::<u64>()) % (hi - lo + 1));
+            }
+            FieldMatch::Any => {
+                h.set(field, random_bits(rng, field.bit_width()));
+            }
+        }
+    }
+    h
+}
+
+/// A fully random header over the kind's fields (usually matching no
+/// rule).
+fn random_header(set: &FilterSet, rng: &mut StdRng) -> HeaderValues {
+    let mut h = HeaderValues::new();
+    for &field in set.kind.fields() {
+        h.set(field, random_bits(rng, field.bit_width()));
+    }
+    h
+}
+
+/// Generates the distinct flow pool of a trace: headers derived from the
+/// set's rules (round-robin, randomized free bits) interleaved with
+/// `random_fraction` fully random headers, in shuffled rank order.
+///
+/// # Panics
+/// Panics if the set has no rules or `cfg.flows` is zero.
+#[must_use]
+pub fn generate_flows(set: &FilterSet, cfg: &TraceConfig, seed: u64) -> Vec<HeaderValues> {
+    assert!(!set.rules.is_empty(), "flow pool needs rules to derive headers from");
+    assert!(cfg.flows > 0, "need at least one flow");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7472_6166);
+    let mut flows: Vec<HeaderValues> = (0..cfg.flows)
+        .map(|i| {
+            if rng.gen_bool(cfg.random_fraction) {
+                random_header(set, &mut rng)
+            } else {
+                header_for_rule(set, i % set.rules.len(), &mut rng)
+            }
+        })
+        .collect();
+    // Fisher-Yates: decorrelate Zipf rank (index) from rule order.
+    for i in (1..flows.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        flows.swap(i, j);
+    }
+    flows
+}
+
+/// Generates a trace of `cfg.packets` headers over the flow pool of
+/// [`generate_flows`], flow ranks sampled Zipf(`cfg.skew`).
+///
+/// # Panics
+/// Panics if the set has no rules, or `cfg.flows`/`cfg.packets` is zero.
+#[must_use]
+pub fn generate_trace(set: &FilterSet, cfg: &TraceConfig, seed: u64) -> Vec<HeaderValues> {
+    assert!(cfg.packets > 0, "need at least one packet");
+    let flows = generate_flows(set, cfg, seed);
+    let sampler = ZipfSampler::new(flows.len(), cfg.skew);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7061_636B);
+    (0..cfg.packets).map(|_| flows[sampler.sample(&mut rng)].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate_routing, RoutingTargets};
+    use std::collections::HashMap;
+
+    fn routing_set() -> FilterSet {
+        generate_routing(
+            &RoutingTargets {
+                name: "t".into(),
+                rules: 200,
+                port_unique: 8,
+                ip_partitions: [20, 120],
+                short_prefixes: 3,
+                out_ports: 8,
+            },
+            5,
+        )
+    }
+
+    #[test]
+    fn zipf_mass_concentrates_with_skew() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let uniform = ZipfSampler::new(1000, 0.0);
+        let skewed = ZipfSampler::new(1000, 1.1);
+        let head_share = |sampler: &ZipfSampler, rng: &mut StdRng| {
+            let n = 20_000;
+            let head = (0..n).filter(|_| sampler.sample(rng) < 10).count();
+            head as f64 / n as f64
+        };
+        let u = head_share(&uniform, &mut rng);
+        let s = head_share(&skewed, &mut rng);
+        // Top-10 of 1000 flows: ~1% uniform, dominant under s=1.1.
+        assert!(u < 0.05, "uniform head share {u}");
+        assert!(s > 0.4, "skewed head share {s}");
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_uniform() {
+        let sampler = ZipfSampler::new(8, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 8];
+        for _ in 0..16_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((1600..=2400).contains(&c), "rank {i} count {c}");
+        }
+    }
+
+    #[test]
+    fn trace_respects_flow_pool_and_packet_count() {
+        let set = routing_set();
+        let cfg = TraceConfig { packets: 5000, flows: 64, skew: 1.1, random_fraction: 0.1 };
+        let trace = generate_trace(&set, &cfg, 7);
+        assert_eq!(trace.len(), 5000);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for h in &trace {
+            *counts.entry(format!("{h}")).or_default() += 1;
+        }
+        assert!(counts.len() <= 64, "at most `flows` distinct headers");
+        assert!(counts.len() > 10, "skew must not collapse the pool entirely");
+        // The hottest flow dominates under s=1.1.
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > 5000 / 64 * 3, "hottest flow carries {max} packets");
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let set = routing_set();
+        let cfg = TraceConfig::with_skew(256, 0.8);
+        let a = generate_trace(&set, &cfg, 11);
+        let b = generate_trace(&set, &cfg, 11);
+        assert_eq!(a, b);
+        let c = generate_trace(&set, &cfg, 12);
+        assert_ne!(a, c, "different seeds give different traces");
+    }
+
+    #[test]
+    fn rule_derived_flows_match_their_rule() {
+        let set = routing_set();
+        let cfg = TraceConfig { packets: 1, flows: 128, skew: 0.0, random_fraction: 0.0 };
+        let flows = generate_flows(&set, &cfg, 3);
+        // Every non-random flow must match the rule it was derived from
+        // (some rule — the derivation guarantees at least one match).
+        for h in &flows {
+            assert!(
+                set.rules.iter().any(|r| r.flow_match.matches(h)),
+                "derived flow {h} matches no rule"
+            );
+        }
+    }
+}

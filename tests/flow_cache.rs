@@ -1,0 +1,198 @@
+//! Flow-cache consistency under incremental updates.
+//!
+//! The cache memoises `header → action row` with an epoch stamp; every
+//! `add_rule` / `remove_rule` bumps the switch epoch, so a cached entry
+//! can never outlive the rule set it was computed against. These tests
+//! drive random interleavings of updates and cached classification and
+//! assert, after **every** update, that cache-enabled classification ==
+//! cache-disabled classification == the reference oracle — exactly the
+//! bug class (serving stale rows) an epoch mistake would produce.
+
+use classifier_api::reference_classify;
+use mtl_core::{FlowCache, MtlSwitch, SwitchConfig};
+use offilter::{FilterKind, FilterSet, Rule, RuleAction};
+use oflow::{FlowMatch, HeaderValues, MatchFieldKind};
+use proptest::prelude::*;
+
+fn route(id: u32, port: u32, value: u32, len: u32, out: u32) -> Rule {
+    Rule::new(
+        id,
+        len as u16,
+        FlowMatch::any()
+            .with_exact(MatchFieldKind::InPort, u128::from(port))
+            .unwrap()
+            .with_prefix(MatchFieldKind::Ipv4Dst, u128::from(value), len)
+            .unwrap(),
+        RuleAction::Forward(out),
+    )
+}
+
+fn header(port: u32, dst: u32) -> HeaderValues {
+    HeaderValues::new()
+        .with(MatchFieldKind::InPort, u128::from(port))
+        .with(MatchFieldKind::Ipv4Dst, u128::from(dst))
+}
+
+/// A pool of nested/overlapping routing rules for update sequences.
+fn rule_pool() -> Vec<Rule> {
+    let mut pool = Vec::new();
+    let mut id = 0;
+    for port in 1..=2u32 {
+        for (value, len) in [
+            (0x0000_0000, 0),
+            (0x0A00_0000, 8),
+            (0x0A01_0000, 16),
+            (0x0A01_8000, 17),
+            (0x0A01_0200, 24),
+            (0x0A01_0280, 25),
+            (0x0B00_0000, 8),
+            (0x0B0B_0000, 16),
+        ] {
+            pool.push(route(id, port, value, len, id + 100));
+            id += 1;
+        }
+    }
+    pool
+}
+
+/// Probe headers hitting the pool's nesting structure plus misses.
+fn probes() -> Vec<HeaderValues> {
+    let mut out = Vec::new();
+    for port in 1..=3u32 {
+        for dst in [
+            0x0A01_0203u32,
+            0x0A01_0281,
+            0x0A01_8001,
+            0x0A01_FFFF,
+            0x0A02_0000,
+            0x0B0B_0001,
+            0x0BFF_0000,
+            0xDEAD_BEEF,
+        ] {
+            out.push(header(port, dst));
+        }
+    }
+    out
+}
+
+/// Asserts the three-way agreement on every probe header, through the
+/// single-packet and batch cached surfaces.
+fn assert_consistent(
+    sw: &MtlSwitch,
+    rules: &[Rule],
+    cache: &mut FlowCache,
+    headers: &[HeaderValues],
+    ctx: &str,
+) {
+    let app = sw.app(FilterKind::Routing).expect("routing app");
+    for h in headers {
+        let uncached_row = sw.classify_row(FilterKind::Routing, h);
+        let cached_row = sw.classify_cached(FilterKind::Routing, h, cache);
+        assert_eq!(cached_row, uncached_row, "{ctx}: cached row differs on {h}");
+        let got_id = uncached_row.and_then(|row| app.rule_id_of_row(row));
+        let want_id = reference_classify(rules, h);
+        assert_eq!(got_id, want_id, "{ctx}: oracle disagrees on {h}");
+    }
+    // The batch surface must agree element-wise too (and is served
+    // almost entirely from the now-warm cache).
+    let uncached = sw.classify_batch_rows(FilterKind::Routing, headers);
+    let cached = sw.classify_batch_rows_cached(FilterKind::Routing, headers, cache);
+    assert_eq!(cached, uncached, "{ctx}: cached batch differs");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random interleavings of add_rule / remove_rule with cached
+    /// classification: after every update the cache must agree with the
+    /// uncached path and the oracle (no stale rows survive an epoch).
+    #[test]
+    fn cached_classification_survives_random_updates(
+        seed_mask in 1u32..0xFFFF,
+        ops in proptest::collection::vec((any::<bool>(), any::<prop::sample::Index>()), 1..12)
+    ) {
+        let pool = rule_pool();
+        // Seed switch: the pool rules whose bit is set in seed_mask
+        // (at least one — rule 0 is always included).
+        let seeded: Vec<Rule> = pool
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i == 0 || seed_mask & (1 << (i % 16)) != 0)
+            .map(|(_, r)| r.clone())
+            .collect();
+        let set = FilterSet::preserving_ids("fc", FilterKind::Routing, seeded.clone());
+        let config = SwitchConfig::single_app(FilterKind::Routing, 0);
+        let mut sw = MtlSwitch::build(&config, &[&set]);
+        let mut live: Vec<Rule> = seeded;
+        let mut cache = FlowCache::new(64);
+        let headers = probes();
+
+        // Warm the cache on the seed state (entries that MUST not be
+        // served stale after the updates below).
+        assert_consistent(&sw, &live, &mut cache, &headers, "seed");
+
+        for (i, (add, which)) in ops.iter().enumerate() {
+            if *add {
+                // Add a pool rule not currently live (if any).
+                let missing: Vec<&Rule> =
+                    pool.iter().filter(|r| !live.iter().any(|l| l.id == r.id)).collect();
+                if missing.is_empty() {
+                    continue;
+                }
+                let rule = missing[which.index(missing.len())].clone();
+                sw.add_rule(FilterKind::Routing, rule.clone());
+                live.push(rule);
+            } else {
+                if live.len() <= 1 {
+                    continue;
+                }
+                let victim = live[which.index(live.len())].id;
+                sw.remove_rule(FilterKind::Routing, victim).expect("victim is live");
+                live.retain(|r| r.id != victim);
+            }
+            assert_consistent(&sw, &live, &mut cache, &headers, &format!("op {i}"));
+        }
+    }
+}
+
+#[test]
+fn epoch_advances_on_every_mutation() {
+    let pool = rule_pool();
+    let set = FilterSet::preserving_ids("fc", FilterKind::Routing, vec![pool[0].clone()]);
+    let config = SwitchConfig::single_app(FilterKind::Routing, 0);
+    let mut sw = MtlSwitch::build(&config, &[&set]);
+    let e0 = sw.epoch();
+    sw.add_rule(FilterKind::Routing, pool[1].clone());
+    let e1 = sw.epoch();
+    assert!(e1 > e0, "add_rule must bump the epoch");
+    sw.remove_rule(FilterKind::Routing, pool[1].id).expect("rule exists");
+    let e2 = sw.epoch();
+    assert!(e2 > e1, "remove_rule must bump the epoch");
+}
+
+#[test]
+fn cache_aware_parallel_batch_agrees() {
+    let pool = rule_pool();
+    let set = FilterSet::preserving_ids("fc", FilterKind::Routing, pool.clone());
+    let config = SwitchConfig::single_app(FilterKind::Routing, 0);
+    let sw = MtlSwitch::build(&config, &[&set]);
+    // A trace with repeats (cache hits) across shard boundaries.
+    let headers: Vec<HeaderValues> =
+        (0..500).map(|i| probes()[i % probes().len()].clone()).collect();
+    let want = sw.classify_batch_rows(FilterKind::Routing, &headers);
+    for workers in [1usize, 2, 3, 7] {
+        let mut caches: Vec<FlowCache> = (0..workers).map(|_| FlowCache::new(64)).collect();
+        let got = sw.par_classify_batch_cached(FilterKind::Routing, &headers, &mut caches);
+        assert_eq!(got, want, "workers = {workers}");
+        // Re-running with warm caches stays identical.
+        let again = sw.par_classify_batch_cached(FilterKind::Routing, &headers, &mut caches);
+        assert_eq!(again, want, "warm workers = {workers}");
+        assert!(
+            caches.iter().map(FlowCache::hits).sum::<u64>() > 0,
+            "warm rerun must serve hits (workers = {workers})"
+        );
+    }
+    assert!(sw
+        .par_classify_batch_cached(FilterKind::Routing, &[], &mut [FlowCache::new(16)])
+        .is_empty());
+}

@@ -145,6 +145,36 @@ proptest! {
         }
     }
 
+    /// The interleaved multi-key walks agree exactly with the
+    /// single-key paths on random key batches of every size around the
+    /// group width: `lookup_multi == lookup` and
+    /// `chain_into_multi == chain_into`, element-wise.
+    #[test]
+    fn multi_key_walks_match_single_key(
+        schedule in schedules(),
+        raw in proptest::collection::vec((any::<u64>(), 0u32..=16), 0..80),
+        keys in proptest::collection::vec(any::<u64>(), 0..40)
+    ) {
+        let prefixes = normalise(raw, 16);
+        let mut sorted = prefixes.clone();
+        sorted.sort_by_key(|&(_, l)| l);
+        let mut trie = Mbt::new(schedule);
+        for (i, &(v, l)) in sorted.iter().enumerate() {
+            trie.insert(v, l, Label(i as u32));
+        }
+        let keys: Vec<u64> = keys.into_iter().map(|k| k & 0xFFFF).collect();
+        let mut hits = vec![None; keys.len()];
+        trie.lookup_multi(&keys, &mut hits);
+        let mut chains = vec![ofalgo::MatchChain::new(); keys.len()];
+        trie.chain_into_multi(&keys, &mut chains);
+        let mut single = ofalgo::MatchChain::new();
+        for (i, &key) in keys.iter().enumerate() {
+            prop_assert_eq!(hits[i], trie.lookup(key), "key {:#x}", key);
+            trie.chain_into(key, &mut single);
+            prop_assert_eq!(&chains[i], &single, "key {:#x}", key);
+        }
+    }
+
     /// Rebuild preserves semantics and size exactly (block numbering may
     /// permute, so equivalence is checked on lookups and node counts).
     #[test]
