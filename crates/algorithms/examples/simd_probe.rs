@@ -1,0 +1,65 @@
+//! Quick A/B probe: scalar vs vector multi-key walk timing on one
+//! randomly filled 16-bit partition trie, plus a result-equality check.
+//!
+//! ```sh
+//! cargo run --release --features simd -p ofalgo --example simd_probe
+//! ```
+
+use ofalgo::{set_simd_enabled, simd_level, Label, MatchChain, Mbt};
+use std::time::Instant;
+
+fn main() {
+    // A realistically sized 16-bit partition trie: a few hundred prefixes.
+    let mut t = Mbt::classic_16();
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut items: Vec<(u64, u32)> = (0..300)
+        .map(|_| {
+            let len = (next() % 17) as u32;
+            let v = if len == 0 { 0 } else { (next() & 0xFFFF) >> (16 - len) << (16 - len) };
+            (v, len)
+        })
+        .collect();
+    items.sort_by_key(|&(_, l)| l);
+    items.dedup();
+    for (i, &(v, l)) in items.iter().enumerate() {
+        t.insert(v, l, Label(i as u32));
+    }
+
+    let keys: Vec<u64> = (0..4096).map(|_| next() & 0xFFFF).collect();
+    let mut out = vec![None; keys.len()];
+    let mut chains = vec![MatchChain::new(); keys.len()];
+    let reps = 2000;
+
+    for mode in [false, true] {
+        set_simd_enabled(mode);
+        let level = simd_level();
+        // lookup_multi
+        let start = Instant::now();
+        for _ in 0..reps {
+            t.lookup_multi(&keys, &mut out);
+        }
+        let ns = start.elapsed().as_nanos() as f64 / (reps * keys.len()) as f64;
+        // chain_into_multi
+        let start = Instant::now();
+        for _ in 0..reps {
+            t.chain_into_multi(&keys, &mut chains);
+        }
+        let cns = start.elapsed().as_nanos() as f64 / (reps * keys.len()) as f64;
+        println!("{level:>7}: lookup_multi {ns:.2} ns/key   chain_into_multi {cns:.2} ns/key");
+    }
+
+    // Equality check scalar vs simd.
+    set_simd_enabled(false);
+    let mut out_s = vec![None; keys.len()];
+    t.lookup_multi(&keys, &mut out_s);
+    set_simd_enabled(true);
+    t.lookup_multi(&keys, &mut out);
+    assert_eq!(out, out_s, "simd != scalar");
+    println!("equality: ok");
+}

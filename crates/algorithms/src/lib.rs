@@ -19,8 +19,21 @@
 //!
 //! Every structure reports its memory as an [`ofmem::MemoryReport`] so the
 //! architecture can aggregate exact bit counts.
+//!
+//! ## The `simd` feature
+//!
+//! With `--features simd` the interleaved multi-key trie walks
+//! ([`Mbt::lookup_multi`] / [`Mbt::chain_into_multi`]) run on explicit
+//! vector lanes — AVX2 or SSE2 on x86_64, NEON on aarch64, chosen **at
+//! runtime** by CPU detection ([`simd_level`] reports the active
+//! backend, [`set_simd_enabled`] forces the scalar walk for A/B
+//! measurement). The scalar walk is always compiled and is the only code
+//! path without the feature; results are bit-identical in either mode.
+//! Unsafe code is confined to the vector kernels (`trie::simd`) and only
+//! exists under the feature gate.
 
-#![forbid(unsafe_code)]
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod em;
@@ -33,4 +46,4 @@ pub use em::HashLut;
 pub use label::{Dictionary, Label};
 pub use partitioned::PartitionedTrie;
 pub use range::RangeMatcher;
-pub use trie::{MatchChain, Mbt, StrideSchedule, MULTI_WAY};
+pub use trie::{set_simd_enabled, simd_level, MatchChain, Mbt, StrideSchedule, MULTI_WAY};

@@ -30,11 +30,13 @@
 mod build;
 mod schedule;
 mod search;
+mod simd;
 mod stats;
 
 pub use build::UpdateCount;
 pub use schedule::StrideSchedule;
 pub use search::{MatchChain, PathTrace, MULTI_WAY};
+pub use simd::{set_simd_enabled, simd_level};
 pub use stats::{LevelStats, TrieSizing};
 
 use crate::label::Label;

@@ -98,6 +98,15 @@ impl StrideSchedule {
     pub fn index_of(&self, key: u64, level: usize) -> usize {
         ((key >> self.shifts[level]) as usize) & ((1 << self.strides[level]) - 1)
     }
+
+    /// The precomputed right-shift of `level` — the vector walks broadcast
+    /// it across lanes instead of calling [`StrideSchedule::index_of`] per
+    /// key.
+    #[cfg_attr(not(feature = "simd"), allow(dead_code))]
+    #[inline]
+    pub(crate) fn shift_of(&self, level: usize) -> u32 {
+        self.shifts[level]
+    }
 }
 
 impl fmt::Display for StrideSchedule {

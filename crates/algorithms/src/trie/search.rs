@@ -241,12 +241,19 @@ impl Mbt {
     /// software analogue of the paper's per-level pipeline stages.
     /// `out[i]` receives `lookup(keys[i])`. Allocation-free.
     ///
+    /// With the `simd` cargo feature the group step runs on explicit
+    /// vector lanes (AVX2/SSE2/NEON, selected at runtime — see
+    /// [`crate::trie::simd_level`]); the scalar walk is always compiled
+    /// and serves as the fallback. Results are identical either way.
+    ///
     /// # Panics
     /// Panics if `out` is shorter than `keys`.
     pub fn lookup_multi(&self, keys: &[u64], out: &mut [Option<(Label, u32)>]) {
         assert!(out.len() >= keys.len(), "one output slot per key");
         for (keys, out) in keys.chunks(MULTI_WAY).zip(out.chunks_mut(MULTI_WAY)) {
-            self.lookup_group(keys, out);
+            if !super::simd::lookup_group(self, keys, out) {
+                self.lookup_group(keys, out);
+            }
         }
     }
 
@@ -296,22 +303,30 @@ impl Mbt {
 
     /// Interleaved multi-key full-chain lookup: `outs[i]` receives the
     /// chain of `keys[i]` (longest prefix first), with the same
-    /// level-synchronous walk as [`Mbt::lookup_multi`]. Allocation-free
-    /// once the chains' buffers have grown.
+    /// level-synchronous walk as [`Mbt::lookup_multi`] — and the same
+    /// runtime-dispatched vector lanes under the `simd` feature.
+    /// Allocation-free once the chains' buffers have grown.
     ///
     /// # Panics
     /// Panics if `outs` is shorter than `keys`.
     pub fn chain_into_multi(&self, keys: &[u64], outs: &mut [MatchChain]) {
         assert!(outs.len() >= keys.len(), "one output chain per key");
         for (keys, outs) in keys.chunks(MULTI_WAY).zip(outs.chunks_mut(MULTI_WAY)) {
-            let n = keys.len();
-            for chain in outs.iter_mut().take(n) {
-                chain.clear();
+            if !super::simd::chain_group(self, keys, outs) {
+                self.chain_group_scalar(keys, outs);
             }
-            self.walk_group(keys, |lane, label, len| outs[lane].push(label, len));
-            for chain in outs.iter_mut().take(n) {
-                chain.reverse();
-            }
+        }
+    }
+
+    /// The scalar chain group walk (fallback of [`Mbt::chain_into_multi`]).
+    fn chain_group_scalar(&self, keys: &[u64], outs: &mut [MatchChain]) {
+        let n = keys.len();
+        for chain in outs.iter_mut().take(n) {
+            chain.clear();
+        }
+        self.walk_group(keys, |lane, label, len| outs[lane].push(label, len));
+        for chain in outs.iter_mut().take(n) {
+            chain.reverse();
         }
     }
 

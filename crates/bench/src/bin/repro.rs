@@ -1,13 +1,16 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [EXPERIMENT...] [--seed N] [--full]
+//! repro [EXPERIMENT...] [--seed N] [--full] [--trace FILE]
 //!
 //! EXPERIMENT: all (default) | table1 | table2 | table3 | table4
 //!           | fig2 | fig3 | fig4 | fig5 | headline | throughput | cache
-//! --seed N    workload RNG seed (default 2015)
-//! --full      generate the four 180k-rule routing sets at full size
-//!             (several extra seconds; default scales them down 20x)
+//! --seed N      workload RNG seed (default 2015)
+//! --full        generate the four 180k-rule routing sets at full size
+//!               (several extra seconds; default scales them down 20x)
+//! --trace FILE  replay a recorded header trace (ofpacket::trace format)
+//!               through the cache experiment instead of the synthetic
+//!               Zipf sweep
 //! ```
 //!
 //! Results print as aligned tables and are also written as JSON under
@@ -23,6 +26,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = DEFAULT_SEED;
     let mut full = false;
+    let mut trace: Option<std::path::PathBuf> = None;
     let mut experiments: Vec<String> = Vec::new();
 
     let mut it = args.iter();
@@ -33,6 +37,10 @@ fn main() {
                 seed = v.parse().unwrap_or_else(|_| usage("--seed must be an integer"));
             }
             "--full" => full = true,
+            "--trace" => {
+                let v = it.next().unwrap_or_else(|| usage("--trace needs a file path"));
+                trace = Some(v.into());
+            }
             "--help" | "-h" => usage(""),
             other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
             other => experiments.push(other.to_owned()),
@@ -94,7 +102,10 @@ fn main() {
             "fig5" => fig5::report(workloads.as_ref().expect("data")),
             "headline" => headline::report(workloads.as_ref().expect("data")),
             "throughput" => throughput::report(workloads.as_ref().expect("data")),
-            "cache" => cache::report(workloads.as_ref().expect("data")),
+            "cache" => match &trace {
+                Some(path) => cache::report_recorded(workloads.as_ref().expect("data"), path),
+                None => cache::report(workloads.as_ref().expect("data")),
+            },
             _ => unreachable!(),
         }
     }
@@ -106,7 +117,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}\n");
     }
     eprintln!(
-        "usage: repro [EXPERIMENT...] [--seed N] [--full]\n\
+        "usage: repro [EXPERIMENT...] [--seed N] [--full] [--trace FILE]\n\
          experiments: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 headline throughput cache"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -21,9 +21,19 @@
 //!   bench harness iterates.
 //! * [`reference_classify`] — the highest-priority-match oracle every
 //!   implementation is validated against.
+//! * [`cache`] — the shared epoch-stamped [`FlowCache`] (TinyLFU
+//!   admission) and [`cached`] — the [`CachedClassifier`] wrapper that
+//!   puts *any* engine behind it, so registry comparisons measure every
+//!   baseline through the identical cache.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod cache;
+pub mod cached;
+
+pub use cache::{Admission, CacheStats, FlowCache, FxHasher, MAX_CACHED_FIELDS};
+pub use cached::CachedClassifier;
 
 use offilter::{FilterKind, FilterSet, Rule};
 use oflow::{HeaderValues, MatchFieldKind};
@@ -163,6 +173,22 @@ pub trait Classifier: Send + Sync {
     /// update). Rule replication (HiCuts), range expansion (TCAM) and
     /// completion entries (decomposition) all surface here.
     fn build_records(&self) -> usize;
+
+    /// Monotone rule-set generation counter for epoch-stamped caching:
+    /// any observable change to classification results must be preceded
+    /// by a change of this value. Flow caches ([`FlowCache`],
+    /// [`CachedClassifier`]) stamp entries with it, so one counter bump
+    /// invalidates every memoised result in O(1).
+    ///
+    /// The default returns 0 — correct for engines that are never
+    /// mutated behind the shared reference (classification is `&self`;
+    /// `&mut self` updates through [`DynamicClassifier`] on a *wrapped*
+    /// engine are covered by the wrapper's own bump counter). Engines
+    /// that track updates natively (the decomposition switch's epoch,
+    /// TSS's in-place inserts) override it.
+    fn generation(&self) -> u64 {
+        0
+    }
 }
 
 /// Shards `items` into `threads` contiguous chunks, runs `f` on each

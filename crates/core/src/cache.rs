@@ -1,294 +1,25 @@
-//! Flow/result cache: memoised classification for elephant flows.
+//! The flow/result cache fronting the lookup pipeline.
 //!
-//! Real switch traffic is heavily skewed — a small set of elephant flows
-//! carries most packets — so the architecture front-loads a **flow
-//! cache** ahead of the engine walk: a fixed-capacity, open-addressed,
-//! set-associative table memoising `header → final action row`. A hit
-//! skips the per-field trie walks *and* the index-probe product entirely;
-//! a miss falls through to the normal zero-allocation lookup and installs
-//! the result.
+//! The cache itself now lives in [`classifier_api::cache`] — it moved
+//! out of this crate so every engine (TSS, HiCuts, TCAM, linear scan)
+//! can sit behind the *identical* cache via
+//! [`classifier_api::CachedClassifier`], not just the decomposition
+//! architecture. This module re-exports it under its historical path;
+//! the architecture-specific integration is unchanged:
 //!
-//! ## Consistency with incremental updates
+//! * [`crate::MtlSwitch::classify_cached`] /
+//!   [`crate::MtlSwitch::classify_batch_rows_cached`] /
+//!   [`crate::MtlSwitch::par_classify_batch_cached`] front the
+//!   zero-allocation lookup pipeline with caller-owned caches (one per
+//!   worker, no locks);
+//! * entries are stamped with [`crate::MtlSwitch::epoch`], which every
+//!   `add_rule` / `remove_rule` / rebuild bumps, so updates invalidate
+//!   every cached result in O(1) and cached classification is provably
+//!   byte-identical to uncached.
 //!
-//! Entries are **epoch-stamped**: every mutation of the rule set
-//! ([`crate::MtlSwitch::add_rule`] / [`crate::MtlSwitch::remove_rule`] /
-//! rebuilds) bumps the switch's epoch counter, and a cached entry is only
-//! served when its stamp equals the switch's current epoch. Invalidation
-//! is therefore O(1) — one integer increment — with no cache walking;
-//! stale entries die lazily as they are re-probed or overwritten.
-//!
-//! ## Allocation behaviour
-//!
-//! Entries are plain `Copy` data: a header's fields are stored in a
-//! fixed inline array (headers with more than [`MAX_CACHED_FIELDS`]
-//! fields bypass the cache), so lookups *and* inserts perform **zero
-//! heap allocations** — the cache cannot regress the architecture's
-//! zero-alloc steady state. The cache itself is not shared: each worker
-//! thread owns one ([`crate::MtlSwitch::par_classify_batch_cached`]), so
-//! there are no locks on the hot path.
+//! See [`classifier_api::cache`] for the table design (open-addressed,
+//! set-associative, all-`Copy` inline entries) and the TinyLFU-style
+//! frequency-aware admission filter that keeps one-hit wonders from
+//! evicting elephant flows.
 
-use oflow::{HeaderValues, MatchFieldKind};
-use std::hash::Hasher;
-
-/// Most header fields a cacheable flow key may carry. Headers with more
-/// fields (none of the paper's applications produce them) bypass the
-/// cache rather than forcing heap-allocated keys.
-pub const MAX_CACHED_FIELDS: usize = 8;
-
-/// Associativity: slots probed per lookup/insert from the hash's home
-/// slot (linear window, wrap-around).
-const WAYS: usize = 4;
-
-/// Vacancy sentinel for [`Entry::hash`].
-const EMPTY: u64 = u64::MAX;
-
-/// One cached flow: the full header key inline, the epoch it was
-/// installed at, and the memoised result (a final-table action row, or
-/// `None` for a to-controller miss — misses are results too).
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    /// Full key hash; [`EMPTY`] marks a vacant slot.
-    hash: u64,
-    /// Switch epoch the result was computed at.
-    epoch: u64,
-    /// Number of valid `fields` slots.
-    len: u8,
-    /// The header's `(field, value)` pairs, in header (sorted) order.
-    fields: [(MatchFieldKind, u128); MAX_CACHED_FIELDS],
-    /// Memoised classification result.
-    row: Option<u32>,
-}
-
-impl Entry {
-    const VACANT: Self = Self {
-        hash: EMPTY,
-        epoch: 0,
-        len: 0,
-        fields: [(MatchFieldKind::InPort, 0); MAX_CACHED_FIELDS],
-        row: None,
-    };
-}
-
-/// A fixed-capacity, open-addressed flow/result cache.
-///
-/// See the [module docs](self) for the design. Create one per worker
-/// thread (or per pipeline) and pass it to
-/// [`crate::MtlSwitch::classify_cached`]; hit/miss counters accumulate
-/// until [`FlowCache::reset_stats`].
-#[derive(Debug, Clone)]
-pub struct FlowCache {
-    entries: Vec<Entry>,
-    mask: usize,
-    hits: u64,
-    misses: u64,
-}
-
-impl FlowCache {
-    /// Creates a cache with at least `capacity` slots (rounded up to a
-    /// power of two, minimum [`WAYS`]).
-    #[must_use]
-    pub fn new(capacity: usize) -> Self {
-        let cap = capacity.next_power_of_two().max(WAYS);
-        Self { entries: vec![Entry::VACANT; cap], mask: cap - 1, hits: 0, misses: 0 }
-    }
-
-    /// Hashes a header's field set; `None` when the header carries too
-    /// many fields to cache.
-    #[inline]
-    fn hash_header(header: &HeaderValues) -> Option<u64> {
-        let fields = header.fields();
-        if fields.len() > MAX_CACHED_FIELDS {
-            return None;
-        }
-        let mut h = crate::index::FxHasher::default();
-        for &(field, value) in fields {
-            h.write_u32(field as u32);
-            h.write_u64(value as u64);
-            h.write_u64((value >> 64) as u64);
-        }
-        let v = h.finish();
-        Some(if v == EMPTY { 0 } else { v })
-    }
-
-    /// Looks up a header's memoised result under the given switch epoch.
-    /// `Some(row)` is a cache hit (the memoised classification, which may
-    /// itself be `None` = to-controller); `None` means the caller must
-    /// classify and [`FlowCache::insert`] the result.
-    #[inline]
-    pub fn lookup(&mut self, epoch: u64, header: &HeaderValues) -> Option<Option<u32>> {
-        let Some(hash) = Self::hash_header(header) else {
-            self.misses += 1;
-            return None;
-        };
-        let fields = header.fields();
-        let base = (hash as usize) & self.mask;
-        for way in 0..WAYS {
-            let e = &self.entries[(base + way) & self.mask];
-            if e.hash == hash
-                && e.epoch == epoch
-                && usize::from(e.len) == fields.len()
-                && &e.fields[..fields.len()] == fields
-            {
-                self.hits += 1;
-                return Some(e.row);
-            }
-        }
-        self.misses += 1;
-        None
-    }
-
-    /// Installs a classification result under the given epoch. Prefers a
-    /// vacant or stale (old-epoch) slot in the probe window, then the
-    /// entry's own slot if the window is full of live entries (plain
-    /// replacement — the cache is a cache). Headers too wide to cache
-    /// are skipped. Allocation-free.
-    pub fn insert(&mut self, epoch: u64, header: &HeaderValues, row: Option<u32>) {
-        let Some(hash) = Self::hash_header(header) else {
-            return;
-        };
-        let fields = header.fields();
-        let base = (hash as usize) & self.mask;
-        let mut victim = base;
-        for way in 0..WAYS {
-            let i = (base + way) & self.mask;
-            let e = &self.entries[i];
-            let same_key = e.hash == hash
-                && usize::from(e.len) == fields.len()
-                && &e.fields[..fields.len()] == fields;
-            if e.hash == EMPTY || e.epoch != epoch || same_key {
-                victim = i;
-                break;
-            }
-        }
-        let e = &mut self.entries[victim];
-        e.hash = hash;
-        e.epoch = epoch;
-        e.len = fields.len() as u8;
-        e.fields[..fields.len()].copy_from_slice(fields);
-        e.row = row;
-    }
-
-    /// Allocated slots (power of two).
-    #[must_use]
-    pub fn capacity(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// Lookups served from the cache since the last
-    /// [`FlowCache::reset_stats`].
-    #[must_use]
-    pub fn hits(&self) -> u64 {
-        self.hits
-    }
-
-    /// Lookups that fell through (including uncacheable headers).
-    #[must_use]
-    pub fn misses(&self) -> u64 {
-        self.misses
-    }
-
-    /// Hit fraction over all lookups since the last stats reset (0 when
-    /// nothing was looked up).
-    #[must_use]
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-
-    /// Zeroes the hit/miss counters (entries are kept).
-    pub fn reset_stats(&mut self) {
-        self.hits = 0;
-        self.misses = 0;
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn header(port: u128, dst: u128) -> HeaderValues {
-        HeaderValues::new().with(MatchFieldKind::InPort, port).with(MatchFieldKind::Ipv4Dst, dst)
-    }
-
-    #[test]
-    fn miss_then_hit_roundtrip() {
-        let mut c = FlowCache::new(64);
-        let h = header(1, 0x0A01_0203);
-        assert_eq!(c.lookup(0, &h), None);
-        c.insert(0, &h, Some(7));
-        assert_eq!(c.lookup(0, &h), Some(Some(7)));
-        // A memoised "no match" is a hit too.
-        let miss = header(2, 0xDEAD_BEEF);
-        assert_eq!(c.lookup(0, &miss), None);
-        c.insert(0, &miss, None);
-        assert_eq!(c.lookup(0, &miss), Some(None));
-        assert_eq!(c.hits(), 2);
-        assert_eq!(c.misses(), 2);
-        assert!((c.hit_rate() - 0.5).abs() < 1e-9);
-    }
-
-    #[test]
-    fn epoch_bump_invalidates_in_o1() {
-        let mut c = FlowCache::new(64);
-        let h = header(1, 0x0A01_0203);
-        c.insert(0, &h, Some(7));
-        assert_eq!(c.lookup(0, &h), Some(Some(7)));
-        // New epoch: the entry is stale without any cache walk.
-        assert_eq!(c.lookup(1, &h), None);
-        c.insert(1, &h, Some(9));
-        assert_eq!(c.lookup(1, &h), Some(Some(9)));
-    }
-
-    #[test]
-    fn distinct_headers_do_not_alias() {
-        let mut c = FlowCache::new(16);
-        for i in 0..200u128 {
-            c.insert(0, &header(i, i * 3), Some(i as u32));
-        }
-        // Whatever survived the capacity pressure must be correct.
-        for i in 0..200u128 {
-            if let Some(row) = c.lookup(0, &header(i, i * 3)) {
-                assert_eq!(row, Some(i as u32), "flow {i}");
-            }
-        }
-    }
-
-    #[test]
-    fn too_wide_headers_bypass() {
-        let mut c = FlowCache::new(16);
-        let mut h = HeaderValues::new();
-        for (i, &f) in MatchFieldKind::ALL.iter().take(MAX_CACHED_FIELDS + 1).enumerate() {
-            h.set(f, i as u128);
-        }
-        assert!(h.len() > MAX_CACHED_FIELDS);
-        c.insert(0, &h, Some(1));
-        assert_eq!(c.lookup(0, &h), None, "uncacheable header must not be served");
-    }
-
-    #[test]
-    fn stats_reset() {
-        let mut c = FlowCache::new(16);
-        let h = header(1, 2);
-        let _ = c.lookup(0, &h);
-        c.insert(0, &h, None);
-        let _ = c.lookup(0, &h);
-        assert!(c.hits() + c.misses() > 0);
-        c.reset_stats();
-        assert_eq!(c.hits(), 0);
-        assert_eq!(c.misses(), 0);
-        assert_eq!(c.hit_rate(), 0.0);
-        // Entries survive a stats reset.
-        assert_eq!(c.lookup(0, &h), Some(None));
-    }
-
-    #[test]
-    fn capacity_rounds_to_power_of_two() {
-        assert_eq!(FlowCache::new(0).capacity(), 4);
-        assert_eq!(FlowCache::new(100).capacity(), 128);
-        assert_eq!(FlowCache::new(128).capacity(), 128);
-    }
-}
+pub use classifier_api::cache::{Admission, CacheStats, FlowCache, MAX_CACHED_FIELDS};

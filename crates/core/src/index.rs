@@ -60,52 +60,11 @@ impl Bucket {
     const VACANT: Self = Self { hash: EMPTY, priority: 0, row: 0 };
 }
 
-/// Multiply-rotate hasher (the FxHash construction) for the probe path.
-///
-/// Index keys are short vectors of dense, attacker-free label ids — the
-/// builder assigns them, not the traffic — so SipHash's flooding
-/// resistance buys nothing here while dominating the per-probe cost. The
-/// lookup hot path probes the product of the match chains per packet;
-/// a two-multiply hash keeps each probe a handful of cycles.
-#[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct FxHasher(u64);
-
-impl FxHasher {
-    const SEED: u64 = 0x517c_c1b7_2722_0a95;
-
-    #[inline]
-    fn add(&mut self, word: u64) {
-        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
-    }
-}
-
-impl Hasher for FxHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.add(u64::from(b));
-        }
-    }
-
-    #[inline]
-    fn write_u32(&mut self, v: u32) {
-        self.add(u64::from(v));
-    }
-
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.add(v);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, v: usize) {
-        self.add(v as u64);
-    }
-}
+// The FxHash-style multiply-rotate hasher the probe path uses moved to
+// `classifier_api::cache` (the flow cache keys with the same
+// construction); index keys remain short vectors of dense,
+// attacker-free label ids, so the rationale is unchanged.
+use classifier_api::FxHasher;
 
 /// A label-combination index.
 #[derive(Debug, Clone)]
@@ -151,7 +110,7 @@ impl IndexTable {
     fn hash_key(key: &[Label]) -> u64 {
         let mut h = FxHasher::default();
         for &label in key {
-            h.add(u64::from(label.0));
+            h.write_u32(label.0);
         }
         let v = h.finish();
         if v == EMPTY {

@@ -46,9 +46,9 @@ pub mod report;
 pub mod switch;
 pub mod update;
 
-pub use cache::FlowCache;
+pub use cache::{Admission, CacheStats, FlowCache};
 pub use classifier_api::{
-    BuildError, Classifier, ClassifierBuilder, DynamicClassifier, UpdateReport,
+    BuildError, CachedClassifier, Classifier, ClassifierBuilder, DynamicClassifier, UpdateReport,
 };
 pub use config::{AlgorithmKind, FieldConfig, SwitchConfig, TableConfig};
 pub use engine::FieldEngine;

@@ -31,16 +31,23 @@ pub struct TraceConfig {
     /// Zipf exponent `s` over flow ranks; `0.0` = uniform.
     pub skew: f64,
     /// Fraction of the flow pool that is fully random (usually matching
-    /// no rule — exercising the miss path).
+    /// no rule — exercising the miss path). These are still *flows*:
+    /// they repeat per the skew distribution and are cacheable.
     pub random_fraction: f64,
+    /// Fraction of **packets** that are fresh, never-repeating random
+    /// headers — scan/garbage traffic. Real traces carry a steady
+    /// stream of one-hit wonders; they are what blind cache admission
+    /// lets pollute the resident set, so the cache experiments turn
+    /// this on. `0.0` reproduces the pure flow-pool traces.
+    pub oneshot_fraction: f64,
 }
 
 impl TraceConfig {
     /// A trace of `packets` packets over 1024 flows at the given skew,
-    /// with 1/8 of the flows random.
+    /// with 1/8 of the flows random and no one-shot scan traffic.
     #[must_use]
     pub fn with_skew(packets: usize, skew: f64) -> Self {
-        Self { packets, flows: 1024, skew, random_fraction: 0.125 }
+        Self { packets, flows: 1024, skew, random_fraction: 0.125, oneshot_fraction: 0.0 }
     }
 }
 
@@ -174,7 +181,9 @@ pub fn generate_flows(set: &FilterSet, cfg: &TraceConfig, seed: u64) -> Vec<Head
 }
 
 /// Generates a trace of `cfg.packets` headers over the flow pool of
-/// [`generate_flows`], flow ranks sampled Zipf(`cfg.skew`).
+/// [`generate_flows`], flow ranks sampled Zipf(`cfg.skew`), with
+/// `cfg.oneshot_fraction` of the packets replaced by fresh
+/// never-repeating random headers (scan/garbage traffic).
 ///
 /// # Panics
 /// Panics if the set has no rules, or `cfg.flows`/`cfg.packets` is zero.
@@ -184,7 +193,15 @@ pub fn generate_trace(set: &FilterSet, cfg: &TraceConfig, seed: u64) -> Vec<Head
     let flows = generate_flows(set, cfg, seed);
     let sampler = ZipfSampler::new(flows.len(), cfg.skew);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x7061_636B);
-    (0..cfg.packets).map(|_| flows[sampler.sample(&mut rng)].clone()).collect()
+    (0..cfg.packets)
+        .map(|_| {
+            if cfg.oneshot_fraction > 0.0 && rng.gen_bool(cfg.oneshot_fraction) {
+                random_header(set, &mut rng)
+            } else {
+                flows[sampler.sample(&mut rng)].clone()
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -240,7 +257,13 @@ mod tests {
     #[test]
     fn trace_respects_flow_pool_and_packet_count() {
         let set = routing_set();
-        let cfg = TraceConfig { packets: 5000, flows: 64, skew: 1.1, random_fraction: 0.1 };
+        let cfg = TraceConfig {
+            packets: 5000,
+            flows: 64,
+            skew: 1.1,
+            random_fraction: 0.1,
+            oneshot_fraction: 0.0,
+        };
         let trace = generate_trace(&set, &cfg, 7);
         assert_eq!(trace.len(), 5000);
         let mut counts: HashMap<String, usize> = HashMap::new();
@@ -252,6 +275,28 @@ mod tests {
         // The hottest flow dominates under s=1.1.
         let max = counts.values().max().copied().unwrap();
         assert!(max > 5000 / 64 * 3, "hottest flow carries {max} packets");
+    }
+
+    #[test]
+    fn oneshot_packets_are_fresh_headers() {
+        let set = routing_set();
+        let cfg = TraceConfig {
+            packets: 2000,
+            flows: 16,
+            skew: 0.0,
+            random_fraction: 0.0,
+            oneshot_fraction: 0.5,
+        };
+        let trace = generate_trace(&set, &cfg, 9);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for h in &trace {
+            *counts.entry(format!("{h}")).or_default() += 1;
+        }
+        // Half the packets are one-shot scan headers: they (almost
+        // surely) appear exactly once, on top of the 16-flow pool.
+        let singles = counts.values().filter(|&&c| c == 1).count();
+        assert!((800..=1200).contains(&singles), "~1000 one-shot headers expected, got {singles}");
+        assert!(counts.len() > 16 + 800, "distinct headers: {}", counts.len());
     }
 
     #[test]
@@ -268,7 +313,13 @@ mod tests {
     #[test]
     fn rule_derived_flows_match_their_rule() {
         let set = routing_set();
-        let cfg = TraceConfig { packets: 1, flows: 128, skew: 0.0, random_fraction: 0.0 };
+        let cfg = TraceConfig {
+            packets: 1,
+            flows: 128,
+            skew: 0.0,
+            random_fraction: 0.0,
+            oneshot_fraction: 0.0,
+        };
         let flows = generate_flows(&set, &cfg, 3);
         // Every non-random flow must match the rule it was derived from
         // (some rule — the derivation guarantees at least one match).

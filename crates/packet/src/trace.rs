@@ -1,17 +1,38 @@
-//! Synthetic packet-trace generation.
+//! Synthetic packet-trace generation and recorded-trace replay.
 //!
 //! Benchmarks need packet streams with controlled locality and hit ratios.
 //! [`TraceGenerator`] produces [`oflow::HeaderValues`] sequences (and full
 //! frames via [`TraceGenerator::frames`]) by sampling from a population of
 //! header templates — typically derived from a rule set so a chosen fraction
 //! of packets hit installed flows.
+//!
+//! ## Recorded traces
+//!
+//! [`write_trace`] / [`read_trace`] implement a minimal line-oriented
+//! trace file so experiments can replay *recorded* traffic instead of a
+//! synthetic distribution (the `repro` harness's `--trace FILE` flag):
+//!
+//! ```text
+//! # comment lines and blank lines are ignored
+//! in_port=1 ipv4_dst=a010203
+//! eth_dst=20000000001 vlan_vid=64
+//! -
+//! ```
+//!
+//! One packet per line as `field=hex` pairs in OXM field names
+//! ([`MatchFieldKind::name`]); a lone `-` is a packet with no parsed
+//! fields. The format is deliberately the smallest thing that
+//! round-trips [`HeaderValues`] — a pcap ingest can target it without
+//! the experiments caring.
 
 use crate::addr::MacAddr;
 use crate::builder::PacketBuilder;
 use oflow::{HeaderValues, MatchFieldKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::io::{self, BufRead, Write};
 use std::net::Ipv4Addr;
+use std::path::Path;
 
 /// A reproducible trace generator over a template population.
 #[derive(Debug)]
@@ -93,6 +114,93 @@ pub fn realise(h: &HeaderValues) -> Vec<u8> {
     b.build()
 }
 
+/// Serialises headers into the line-oriented trace format (see the
+/// [module docs](self)).
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn write_trace(mut w: impl Write, headers: &[HeaderValues]) -> io::Result<()> {
+    writeln!(w, "# openflow-mtl header trace v1: one packet per line, field=hex pairs")?;
+    for h in headers {
+        let fields = h.fields();
+        if fields.is_empty() {
+            writeln!(w, "-")?;
+            continue;
+        }
+        let mut line = String::new();
+        for (i, &(field, value)) in fields.iter().enumerate() {
+            if i > 0 {
+                line.push(' ');
+            }
+            line.push_str(field.name());
+            line.push('=');
+            line.push_str(&format!("{value:x}"));
+        }
+        writeln!(w, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Parses a trace written by [`write_trace`] (or by hand, or by a pcap
+/// converter). Blank lines and `#` comments are skipped.
+///
+/// # Errors
+/// [`io::ErrorKind::InvalidData`] for unknown field names, missing `=`,
+/// or non-hex values; reader errors are propagated.
+pub fn read_trace(r: impl BufRead) -> io::Result<Vec<HeaderValues>> {
+    let bad = |line_no: usize, what: &str| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("trace line {line_no}: {what}"))
+    };
+    let mut out = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        let line_no = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut h = HeaderValues::new();
+        if line != "-" {
+            for pair in line.split_ascii_whitespace() {
+                let Some((name, hex)) = pair.split_once('=') else {
+                    return Err(bad(line_no, &format!("`{pair}` is not a field=hex pair")));
+                };
+                let Some(&field) = MatchFieldKind::ALL.iter().find(|f| f.name() == name) else {
+                    return Err(bad(line_no, &format!("unknown field `{name}`")));
+                };
+                let value = u128::from_str_radix(hex, 16)
+                    .map_err(|_| bad(line_no, &format!("`{hex}` is not a hex value")))?;
+                let width = field.bit_width();
+                if width < 128 && value >> width != 0 {
+                    return Err(bad(
+                        line_no,
+                        &format!("`{hex}` exceeds the {width}-bit field `{name}`"),
+                    ));
+                }
+                h.set(field, value);
+            }
+        }
+        out.push(h);
+    }
+    Ok(out)
+}
+
+/// [`write_trace`] to a file path.
+///
+/// # Errors
+/// Propagates file-creation and write errors.
+pub fn write_trace_file(path: impl AsRef<Path>, headers: &[HeaderValues]) -> io::Result<()> {
+    write_trace(io::BufWriter::new(std::fs::File::create(path)?), headers)
+}
+
+/// [`read_trace`] from a file path.
+///
+/// # Errors
+/// Propagates file-open errors and [`read_trace`]'s parse errors.
+pub fn read_trace_file(path: impl AsRef<Path>) -> io::Result<Vec<HeaderValues>> {
+    read_trace(io::BufReader::new(std::fs::File::open(path)?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +259,55 @@ mod tests {
     #[should_panic(expected = "at least one template")]
     fn empty_templates_panic() {
         let _ = TraceGenerator::new(vec![], 1.0, 0);
+    }
+
+    #[test]
+    fn trace_file_roundtrip() {
+        let mut g = TraceGenerator::new(vec![template()], 0.5, 13);
+        let mut headers = g.headers(64);
+        headers.push(HeaderValues::new()); // field-less packets survive too
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &headers).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, headers);
+    }
+
+    #[test]
+    fn trace_parser_skips_comments_and_blanks() {
+        let text = "# a comment\n\n  \nin_port=1 ipv4_dst=a010203\n# tail\n-\n";
+        let parsed = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].get(MatchFieldKind::InPort), Some(1));
+        assert_eq!(parsed[0].get(MatchFieldKind::Ipv4Dst), Some(0x0A01_0203));
+        assert_eq!(parsed[1].len(), 0);
+    }
+
+    #[test]
+    fn trace_parser_rejects_garbage() {
+        for (text, what) in [
+            ("nonsense_field=1\n", "unknown field"),
+            ("in_port\n", "field=hex"),
+            ("in_port=zz\n", "hex value"),
+            // Wider than the field: silently masking would replay a
+            // different packet than was recorded.
+            ("in_port=1ffffffff\n", "exceeds"),
+            ("vlan_vid=10000\n", "exceeds"),
+        ] {
+            let err = read_trace(text.as_bytes()).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{text}");
+            assert!(err.to_string().contains(what), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn trace_file_helpers_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join("ofpacket-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("t{}.trace", std::process::id()));
+        let mut g = TraceGenerator::new(vec![template()], 1.0, 5);
+        let headers = g.headers(16);
+        write_trace_file(&path, &headers).unwrap();
+        assert_eq!(read_trace_file(&path).unwrap(), headers);
+        std::fs::remove_file(&path).ok();
     }
 }

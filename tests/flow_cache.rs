@@ -6,7 +6,10 @@
 //! drive random interleavings of updates and cached classification and
 //! assert, after **every** update, that cache-enabled classification ==
 //! cache-disabled classification == the reference oracle — exactly the
-//! bug class (serving stale rows) an epoch mistake would produce.
+//! bug class (serving stale rows) an epoch mistake would produce. Both
+//! admission policies are driven: TinyLFU (the default — its rejections
+//! and sketch-guided evictions must never change *what* is served, only
+//! *whether* it is memoised) and blind replacement.
 
 use classifier_api::reference_classify;
 use mtl_core::{FlowCache, MtlSwitch, SwitchConfig};
@@ -104,8 +107,10 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Random interleavings of add_rule / remove_rule with cached
-    /// classification: after every update the cache must agree with the
-    /// uncached path and the oracle (no stale rows survive an epoch).
+    /// classification: after every update, caches under **both**
+    /// admission policies must agree with the uncached path and the
+    /// oracle (no stale rows survive an epoch, and TinyLFU's admission
+    /// decisions never alter served results).
     #[test]
     fn cached_classification_survives_random_updates(
         seed_mask in 1u32..0xFFFF,
@@ -124,12 +129,16 @@ proptest! {
         let config = SwitchConfig::single_app(FilterKind::Routing, 0);
         let mut sw = MtlSwitch::build(&config, &[&set]);
         let mut live: Vec<Rule> = seeded;
-        let mut cache = FlowCache::new(64);
+        // A deliberately tiny TinyLFU cache (constant admission
+        // pressure) and a blind cache.
+        let mut tinylfu = FlowCache::new(16);
+        let mut blind = FlowCache::blind(64);
         let headers = probes();
 
-        // Warm the cache on the seed state (entries that MUST not be
+        // Warm the caches on the seed state (entries that MUST not be
         // served stale after the updates below).
-        assert_consistent(&sw, &live, &mut cache, &headers, "seed");
+        assert_consistent(&sw, &live, &mut tinylfu, &headers, "seed (tinylfu)");
+        assert_consistent(&sw, &live, &mut blind, &headers, "seed (blind)");
 
         for (i, (add, which)) in ops.iter().enumerate() {
             if *add {
@@ -150,7 +159,8 @@ proptest! {
                 sw.remove_rule(FilterKind::Routing, victim).expect("victim is live");
                 live.retain(|r| r.id != victim);
             }
-            assert_consistent(&sw, &live, &mut cache, &headers, &format!("op {i}"));
+            assert_consistent(&sw, &live, &mut tinylfu, &headers, &format!("op {i} (tinylfu)"));
+            assert_consistent(&sw, &live, &mut blind, &headers, &format!("op {i} (blind)"));
         }
     }
 }
@@ -168,6 +178,43 @@ fn epoch_advances_on_every_mutation() {
     sw.remove_rule(FilterKind::Routing, pool[1].id).expect("rule exists");
     let e2 = sw.epoch();
     assert!(e2 > e1, "remove_rule must bump the epoch");
+}
+
+/// A baseline engine behind `CachedClassifier` (the unified cache-aware
+/// surface) stays oracle-consistent across dynamic updates forwarded
+/// through the wrapper — TSS bumps its generation on in-place inserts,
+/// and the wrapper's bump counter covers the rest.
+#[test]
+fn cached_tss_stays_consistent_under_updates() {
+    use classifier_api::{CachedClassifier, Classifier, ClassifierBuilder, DynamicClassifier};
+    use ofbaseline::tss::TupleSpaceSearch;
+    let pool = rule_pool();
+    let seed: Vec<Rule> = pool[..8].to_vec();
+    let set = FilterSet::preserving_ids("fc", FilterKind::Routing, seed.clone());
+    let mut cached = CachedClassifier::new(TupleSpaceSearch::try_build(&set).unwrap(), 64);
+    let mut live = seed;
+    let headers = probes();
+    let check = |cached: &CachedClassifier<TupleSpaceSearch>, live: &[Rule], ctx: &str| {
+        // Twice: the second pass is served from the (now warm) cache.
+        for pass in 0..2 {
+            for h in &headers {
+                assert_eq!(
+                    cached.classify(h),
+                    reference_classify(live, h),
+                    "{ctx} pass {pass}: {h}"
+                );
+            }
+        }
+    };
+    check(&cached, &live, "seed");
+    cached.insert_rule(pool[10].clone()).expect("tss insert works");
+    live.push(pool[10].clone());
+    check(&cached, &live, "after insert");
+    let victim = live[2].id;
+    cached.remove_rule(victim).expect("rule exists");
+    live.retain(|r| r.id != victim);
+    check(&cached, &live, "after remove");
+    assert!(cached.stats().hits > 0, "warm passes must be served from the cache");
 }
 
 #[test]

@@ -175,6 +175,44 @@ proptest! {
         }
     }
 
+    /// The vector (SIMD) group walks are bit-identical to the scalar
+    /// walks on random tries and key batches, for both `lookup_multi`
+    /// and `chain_into_multi`. Without the `simd` feature (or on CPUs
+    /// with no vector backend) both passes run the scalar walk and the
+    /// property is trivially true; under `--features simd` this is the
+    /// scalar-vs-vector equivalence proof the runtime dispatch relies
+    /// on.
+    #[test]
+    fn simd_walks_match_scalar_walks(
+        schedule in schedules(),
+        raw in proptest::collection::vec((any::<u64>(), 0u32..=16), 0..80),
+        keys in proptest::collection::vec(any::<u64>(), 0..60)
+    ) {
+        let prefixes = normalise(raw, 16);
+        let mut sorted = prefixes.clone();
+        sorted.sort_by_key(|&(_, l)| l);
+        let mut trie = Mbt::new(schedule);
+        for (i, &(v, l)) in sorted.iter().enumerate() {
+            trie.insert(v, l, Label(i as u32));
+        }
+        let keys: Vec<u64> = keys.into_iter().map(|k| k & 0xFFFF).collect();
+
+        ofalgo::set_simd_enabled(false);
+        let mut hits_scalar = vec![None; keys.len()];
+        trie.lookup_multi(&keys, &mut hits_scalar);
+        let mut chains_scalar = vec![ofalgo::MatchChain::new(); keys.len()];
+        trie.chain_into_multi(&keys, &mut chains_scalar);
+
+        ofalgo::set_simd_enabled(true);
+        let mut hits_simd = vec![None; keys.len()];
+        trie.lookup_multi(&keys, &mut hits_simd);
+        let mut chains_simd = vec![ofalgo::MatchChain::new(); keys.len()];
+        trie.chain_into_multi(&keys, &mut chains_simd);
+
+        prop_assert_eq!(hits_simd, hits_scalar, "backend {}", ofalgo::simd_level());
+        prop_assert_eq!(chains_simd, chains_scalar, "backend {}", ofalgo::simd_level());
+    }
+
     /// Rebuild preserves semantics and size exactly (block numbering may
     /// permute, so equivalence is checked on lookups and node counts).
     #[test]
