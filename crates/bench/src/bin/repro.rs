@@ -2,15 +2,23 @@
 //!
 //! ```text
 //! repro [EXPERIMENT...] [--seed N] [--full] [--trace FILE]
+//! repro trace convert --pcap FILE [--out FILE] [--port N]
 //!
 //! EXPERIMENT: all (default) | table1 | table2 | table3 | table4
 //!           | fig2 | fig3 | fig4 | fig5 | headline | throughput | cache
+//!           | runtime
 //! --seed N      workload RNG seed (default 2015)
 //! --full        generate the four 180k-rule routing sets at full size
 //!               (several extra seconds; default scales them down 20x)
 //! --trace FILE  replay a recorded header trace (ofpacket::trace format)
 //!               through the cache experiment instead of the synthetic
 //!               Zipf sweep
+//!
+//! trace convert ingests a classic libpcap capture (linktype Ethernet)
+//! into the ofpacket::trace replay format consumed by --trace:
+//! --pcap FILE   the capture to convert (required)
+//! --out FILE    output path (default: the capture with a .trace suffix)
+//! --port N      ingress port stamped on every packet (default 0)
 //! ```
 //!
 //! Results print as aligned tables and are also written as JSON under
@@ -18,12 +26,15 @@
 
 use mtl_bench::data::Workloads;
 use mtl_bench::{
-    cache, fig2, fig3, fig4, fig5, headline, table1, table2, table3, table4, throughput,
+    cache, fig2, fig3, fig4, fig5, headline, runtime, table1, table2, table3, table4, throughput,
     DEFAULT_SEED,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        return trace_tool(&args[1..]);
+    }
     let mut seed = DEFAULT_SEED;
     let mut full = false;
     let mut trace: Option<std::path::PathBuf> = None;
@@ -62,6 +73,7 @@ fn main() {
         "headline",
         "throughput",
         "cache",
+        "runtime",
     ];
     let selected: Vec<&str> = if experiments.iter().any(|e| e == "all") {
         known.to_vec()
@@ -106,6 +118,7 @@ fn main() {
                 Some(path) => cache::report_recorded(workloads.as_ref().expect("data"), path),
                 None => cache::report(workloads.as_ref().expect("data")),
             },
+            "runtime" => runtime::report(workloads.as_ref().expect("data")),
             _ => unreachable!(),
         }
     }
@@ -118,7 +131,51 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [EXPERIMENT...] [--seed N] [--full] [--trace FILE]\n\
-         experiments: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 headline throughput cache"
+         \x20      repro trace convert --pcap FILE [--out FILE] [--port N]\n\
+         experiments: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 headline throughput \
+         cache runtime"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// The `trace` tool: capture-format conversions feeding `--trace`.
+fn trace_tool(args: &[String]) {
+    if args.first().map(String::as_str) != Some("convert") {
+        usage("trace supports one subcommand: convert");
+    }
+    let mut pcap: Option<std::path::PathBuf> = None;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut port = 0u32;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--pcap" => {
+                pcap = Some(it.next().unwrap_or_else(|| usage("--pcap needs a file path")).into());
+            }
+            "--out" => {
+                out = Some(it.next().unwrap_or_else(|| usage("--out needs a file path")).into());
+            }
+            "--port" => {
+                let v = it.next().unwrap_or_else(|| usage("--port needs a value"));
+                port = v.parse().unwrap_or_else(|_| usage("--port must be an integer"));
+            }
+            other => usage(&format!("unknown trace-convert argument {other}")),
+        }
+    }
+    let pcap = pcap.unwrap_or_else(|| usage("trace convert requires --pcap FILE"));
+    let out = out.unwrap_or_else(|| pcap.with_extension("trace"));
+    match ofpacket::pcap::pcap_to_trace_file(&pcap, &out, port) {
+        Ok(packets) => {
+            eprintln!(
+                "converted {packets} packets: {} -> {} (replay with: repro cache --trace {})",
+                pcap.display(),
+                out.display(),
+                out.display()
+            );
+        }
+        Err(e) => {
+            eprintln!("error: cannot convert {}: {e}", pcap.display());
+            std::process::exit(1);
+        }
+    }
 }

@@ -58,8 +58,12 @@ pub struct SkewRow {
     /// Warmed hit rate under blind (always-admit) replacement — the
     /// PR 3 baseline policy.
     pub blind_hit_rate: f64,
-    /// Warmed hit rate under TinyLFU admission.
+    /// Warmed hit rate under W-TinyLFU admission (frequency filter +
+    /// recency window — the default policy).
     pub tinylfu_hit_rate: f64,
+    /// Warmed hit rate under *window-less* TinyLFU (the PR 4 policy) —
+    /// the A/B partner isolating what the recency window buys.
+    pub tinylfu_nowindow_hit_rate: f64,
     /// ns/packet, uncached engine-major batch path, scalar trie walks.
     pub uncached_scalar_ns_per_packet: f64,
     /// ns/packet, uncached engine-major batch path, SIMD trie walks
@@ -89,6 +93,8 @@ fn stats_json(s: &CacheStats) -> Json {
         ("evictions", s.evictions.into()),
         ("rejections", s.rejections.into()),
         ("capacity", s.capacity.into()),
+        ("window_capacity", s.window_capacity.into()),
+        ("window_hits", s.window_hits.into()),
         ("hit_rate", s.hit_rate().into()),
     ])
 }
@@ -100,6 +106,7 @@ impl ToJson for SkewRow {
             ("skew", self.skew.into()),
             ("blind_hit_rate", self.blind_hit_rate.into()),
             ("tinylfu_hit_rate", self.tinylfu_hit_rate.into()),
+            ("tinylfu_nowindow_hit_rate", self.tinylfu_nowindow_hit_rate.into()),
             ("uncached_scalar_ns_per_packet", self.uncached_scalar_ns_per_packet.into()),
             ("uncached_simd_ns_per_packet", self.uncached_simd_ns_per_packet.into()),
             ("cached_blind_ns_per_packet", self.cached_blind_ns_per_packet.into()),
@@ -364,6 +371,17 @@ fn sweep_point(
     });
     let blind_hit_rate = blind.hit_rate();
 
+    // Window-less TinyLFU (the PR 4 policy): the recency-window A/B
+    // partner — warmed hit rate only (the timed policy is the default).
+    let mut nowindow = FlowCache::with_window(cache_capacity, 0);
+    for _ in 0..2 {
+        let warmed = sw.classify_batch_rows_cached(kind, trace, &mut nowindow);
+        assert_eq!(warmed, expect, "{label}: window-less cached disagrees with uncached");
+    }
+    nowindow.reset_stats();
+    let _ = sw.classify_batch_rows_cached(kind, trace, &mut nowindow);
+    let tinylfu_nowindow_hit_rate = nowindow.hit_rate();
+
     // TinyLFU admission: warm, verify, and prove update consistency.
     let mut cache = FlowCache::new(cache_capacity);
     let warmed = sw.classify_batch_rows_cached(kind, trace, &mut cache);
@@ -409,6 +427,7 @@ fn sweep_point(
         skew,
         blind_hit_rate,
         tinylfu_hit_rate,
+        tinylfu_nowindow_hit_rate,
         uncached_scalar_ns_per_packet: uncached_scalar_ns,
         uncached_simd_ns_per_packet: uncached_simd_ns,
         cached_blind_ns_per_packet: cached_blind_ns,
@@ -632,6 +651,7 @@ fn print_experiment(e: &CacheExperiment) {
                 r.label.clone(),
                 format!("{:.2}", r.skew),
                 format!("{:.1}%", r.blind_hit_rate * 100.0),
+                format!("{:.1}%", r.tinylfu_nowindow_hit_rate * 100.0),
                 format!("{:.1}%", r.tinylfu_hit_rate * 100.0),
                 format!("{:.0}", r.uncached_scalar_ns_per_packet),
                 format!("{:.0}", r.uncached_simd_ns_per_packet),
@@ -650,6 +670,7 @@ fn print_experiment(e: &CacheExperiment) {
                 "skew",
                 "blind hit",
                 "tlfu hit",
+                "w-tlfu hit",
                 "scalar ns",
                 "simd ns",
                 "blind ns",
@@ -720,6 +741,13 @@ mod tests {
             assert!(r.cached_tinylfu_ns_per_packet > 0.0, "{}", r.label);
             assert!((0.0..=1.0).contains(&r.blind_hit_rate), "{}", r.label);
             assert!((0.0..=1.0).contains(&r.tinylfu_hit_rate), "{}", r.label);
+            assert!((0.0..=1.0).contains(&r.tinylfu_nowindow_hit_rate), "{}", r.label);
+            assert_eq!(
+                r.stats.window_capacity,
+                (e.cache_capacity / 100).max(2),
+                "{}: the default cache reports its ~1% recency window",
+                r.label
+            );
             // The counter block is real: hits + misses cover the timed
             // lookups and the admission filter only rejects under
             // TinyLFU.

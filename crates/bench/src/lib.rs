@@ -23,6 +23,7 @@
 //! | `headline` | §V.A totals (5 Mbit, 4 tables, MBT share) | [`headline`] |
 //! | `throughput` | (extension) batch / multi-core lookup + alloc probe | [`throughput`] |
 //! | `cache`  | (extension) flow-cache hit rate + ns/pkt under Zipf skew | [`cache`] |
+//! | `runtime` | (extension) sharded-runtime scaling + consistency under rule churn | [`runtime`] |
 
 // Unsafe is denied everywhere except the counting global allocator in
 // [`alloc_probe`], which needs a `GlobalAlloc` impl.
@@ -38,6 +39,7 @@ pub mod fig5;
 pub mod headline;
 pub mod output;
 pub mod registry;
+pub mod runtime;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -37,6 +37,26 @@
 //! carry traffic. [`Admission::Blind`] keeps the always-replace policy
 //! for comparison.
 //!
+//! ## Recency window (W-TinyLFU)
+//!
+//! Pure TinyLFU has a blind spot: a *brand-new* flow has no sketch
+//! history, so its first packets are rejected until enough frequency
+//! accrues — a recency burst (a new elephant ramping up) pays the full
+//! miss cost while the filter warms to it. The fix is Caffeine's
+//! **W-TinyLFU** shape: a small LRU **window segment** (~1 % of
+//! capacity, see [`FlowCache::window_capacity`]) sits in front of the
+//! frequency-guarded main region. New flows land in the window
+//! unconditionally, so a burst is served from cache immediately; when
+//! the window is full its least-recently-used entry is evicted and
+//! *that* entry — now carrying whatever frequency it earned — competes
+//! for main-region admission under the TinyLFU rule. Scan garbage
+//! therefore churns only the tiny window and still cannot flush the
+//! elephants. The window is a fully-associative linear scan, so the
+//! default sizing caps it at 64 slots however large the main region
+//! grows; [`FlowCache::with_window`] pins an explicit window size
+//! (0 restores pure TinyLFU, the A/B baseline in the `cache` bench
+//! experiment).
+//!
 //! ## Allocation behaviour
 //!
 //! Entries are plain `Copy` data: a header's fields are stored in a
@@ -141,8 +161,13 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Candidates the admission filter turned away (TinyLFU only).
     pub rejections: u64,
-    /// Effective slot count of the cache.
+    /// Effective slot count of the main region.
     pub capacity: usize,
+    /// Slots of the LRU recency window in front of the main region
+    /// (0 = pure TinyLFU / blind cache).
+    pub window_capacity: usize,
+    /// Lookups served from the recency window (a subset of `hits`).
+    pub window_hits: u64,
 }
 
 impl CacheStats {
@@ -168,6 +193,8 @@ impl CacheStats {
             evictions: self.evictions + other.evictions,
             rejections: self.rejections + other.rejections,
             capacity: self.capacity + other.capacity,
+            window_capacity: self.window_capacity + other.window_capacity,
+            window_hits: self.window_hits + other.window_hits,
         }
     }
 }
@@ -305,16 +332,28 @@ pub struct FlowCache {
     entries: Vec<Entry>,
     mask: usize,
     sketch: Option<FrequencySketch>,
+    /// W-TinyLFU recency window: a small fully-associative LRU segment
+    /// probed before the main region. Empty for blind caches and for
+    /// [`FlowCache::with_window`]`(_, 0)`.
+    window: Vec<Entry>,
+    /// Last-touch stamp per window slot ([`FlowCache::tick`] time).
+    window_stamp: Vec<u64>,
+    /// Monotone access clock driving the window's LRU order.
+    tick: u64,
     stats: CacheStats,
 }
 
 impl FlowCache {
-    /// Creates a cache with TinyLFU admission (the default policy).
+    /// Creates a cache with W-TinyLFU admission (the default policy):
+    /// TinyLFU frequency admission for the main region, fronted by the
+    /// default recency window (~1 % of capacity, minimum 2 slots; see
+    /// the [module docs](self)).
     ///
     /// The requested `capacity` is **rounded up to the next power of
     /// two** (minimum 4 — the probe-window width) so the slot index is a
     /// mask instead of a modulo; [`FlowCache::capacity`] returns the
-    /// effective slot count actually allocated.
+    /// effective main-region slot count actually allocated (the recency
+    /// window's slots, [`FlowCache::window_capacity`], come on top).
     ///
     /// # Panics
     /// Panics if `capacity` exceeds 2^28 slots (a unit error, not a
@@ -325,7 +364,8 @@ impl FlowCache {
     }
 
     /// Creates a cache with blind always-admit replacement (the policy
-    /// to beat — kept for A/B measurement). Same capacity rounding as
+    /// to beat — kept for A/B measurement; no recency window, blind
+    /// caches admit everything anyway). Same capacity rounding as
     /// [`FlowCache::new`].
     ///
     /// # Panics
@@ -335,18 +375,49 @@ impl FlowCache {
         Self::with_admission(capacity, Admission::Blind)
     }
 
-    /// Creates a cache with an explicit admission policy. Same capacity
-    /// rounding as [`FlowCache::new`].
+    /// Creates a cache with an explicit admission policy
+    /// ([`Admission::TinyLfu`] gets the default recency window). Same
+    /// capacity rounding as [`FlowCache::new`].
     ///
     /// # Panics
     /// Panics if `capacity` exceeds 2^28 slots.
     #[must_use]
     pub fn with_admission(capacity: usize, admission: Admission) -> Self {
+        let window = match admission {
+            Admission::Blind => 0,
+            // ~1 % of the main region, floor 2: large enough to absorb a
+            // short recency burst, small enough that scan garbage churn
+            // stays negligible. Ceiling 64: the window is probed by
+            // linear scan on every lookup, so its size must stay O(1)
+            // however large the main region grows.
+            Admission::TinyLfu => (capacity / 100).clamp(2, 64),
+        };
+        Self::build(capacity, admission, window)
+    }
+
+    /// Creates a TinyLFU cache with an **explicit** recency-window size
+    /// (`window_slots == 0` restores pure window-less TinyLFU — the A/B
+    /// baseline of the `cache` bench experiment). Same capacity rounding
+    /// as [`FlowCache::new`]; the window slots are allocated on top.
+    /// The window is probed by linear scan on every lookup and insert,
+    /// so a large explicit window trades hit latency for burst
+    /// absorption (the default policy caps itself at 64 slots).
+    ///
+    /// # Panics
+    /// Panics if `capacity` exceeds 2^28 slots or `window_slots` exceeds
+    /// the rounded main capacity.
+    #[must_use]
+    pub fn with_window(capacity: usize, window_slots: usize) -> Self {
+        Self::build(capacity, Admission::TinyLfu, window_slots)
+    }
+
+    fn build(capacity: usize, admission: Admission, window: usize) -> Self {
         assert!(
             capacity <= MAX_CAPACITY,
             "cache capacity {capacity} exceeds the 2^28-slot ceiling"
         );
         let cap = capacity.next_power_of_two().max(WAYS);
+        assert!(window <= cap, "window of {window} slots exceeds the {cap}-slot main region");
         Self {
             entries: vec![Entry::VACANT; cap],
             mask: cap - 1,
@@ -354,7 +425,10 @@ impl FlowCache {
                 Admission::Blind => None,
                 Admission::TinyLfu => Some(FrequencySketch::new(cap)),
             },
-            stats: CacheStats { capacity: cap, ..CacheStats::default() },
+            window: vec![Entry::VACANT; window],
+            window_stamp: vec![0; window],
+            tick: 0,
+            stats: CacheStats { capacity: cap, window_capacity: window, ..CacheStats::default() },
         }
     }
 
@@ -386,10 +460,18 @@ impl FlowCache {
         Some(if v == EMPTY { 0 } else { v })
     }
 
+    /// Whether `e` memoises exactly this flow key.
+    #[inline]
+    fn same_key(e: &Entry, hash: u64, fields: &[(MatchFieldKind, u128)]) -> bool {
+        e.hash == hash && usize::from(e.len) == fields.len() && &e.fields[..fields.len()] == fields
+    }
+
     /// Looks up a header's memoised result under the given owner epoch.
     /// `Some(row)` is a cache hit (the memoised classification, which may
     /// itself be `None` = to-controller); `None` means the caller must
-    /// classify and [`FlowCache::insert`] the result.
+    /// classify and [`FlowCache::insert`] the result. The recency window
+    /// is probed before the main region; a window hit refreshes the
+    /// entry's LRU stamp.
     ///
     /// Every cacheable lookup — hit or miss — also feeds the TinyLFU
     /// frequency sketch, so admission decisions reflect true access
@@ -404,14 +486,21 @@ impl FlowCache {
             sketch.increment(hash);
         }
         let fields = header.fields();
+        for i in 0..self.window.len() {
+            let e = &self.window[i];
+            if e.epoch == epoch && Self::same_key(e, hash, fields) {
+                let row = e.row;
+                self.tick += 1;
+                self.window_stamp[i] = self.tick;
+                self.stats.hits += 1;
+                self.stats.window_hits += 1;
+                return Some(row);
+            }
+        }
         let base = (hash as usize) & self.mask;
         for way in 0..WAYS {
             let e = &self.entries[(base + way) & self.mask];
-            if e.hash == hash
-                && e.epoch == epoch
-                && usize::from(e.len) == fields.len()
-                && &e.fields[..fields.len()] == fields
-            {
+            if e.epoch == epoch && Self::same_key(e, hash, fields) {
                 self.stats.hits += 1;
                 return Some(e.row);
             }
@@ -420,36 +509,103 @@ impl FlowCache {
         None
     }
 
-    /// Installs a classification result under the given epoch. A vacant
-    /// or stale (old-epoch) slot in the probe window is always used, as
-    /// is the flow's own slot on a re-install. When the whole window is
-    /// live, the admission policy decides: blind caches replace the home
-    /// slot unconditionally; TinyLFU replaces the window's
-    /// least-frequent entry only if the candidate's sketched frequency
-    /// is strictly higher, and otherwise rejects the candidate (see
-    /// [`CacheStats::rejections`]). Headers too wide to cache are
+    /// Installs a classification result under the given epoch.
+    ///
+    /// With a recency window (the W-TinyLFU default) the candidate lands
+    /// in the window first: same-key refreshes update in place (window
+    /// or live main slot), vacant/stale window slots are reused, and a
+    /// full window evicts its LRU entry — which then competes for
+    /// main-region admission carrying its earned sketch frequency.
+    /// Window-less caches install straight into the main region: a
+    /// vacant or stale (old-epoch) slot in the probe window is always
+    /// used, as is the flow's own slot on a re-install; when the whole
+    /// probe window is live, the admission policy decides — blind caches
+    /// replace the home slot unconditionally, TinyLFU replaces the
+    /// window's least-frequent entry only if the candidate's sketched
+    /// frequency is strictly higher, and otherwise rejects the candidate
+    /// (see [`CacheStats::rejections`]). Headers too wide to cache are
     /// skipped. Allocation-free.
     pub fn insert(&mut self, epoch: u64, header: &HeaderValues, row: Option<u32>) {
         let Some(hash) = Self::hash_header(header) else {
             return;
         };
         let fields = header.fields();
-        let base = (hash as usize) & self.mask;
+        let mut entry = Entry::VACANT;
+        entry.hash = hash;
+        entry.epoch = epoch;
+        entry.len = fields.len() as u8;
+        entry.fields[..fields.len()].copy_from_slice(fields);
+        entry.row = row;
+        if self.window.is_empty() {
+            self.install_main(entry);
+        } else {
+            self.insert_windowed(entry);
+        }
+    }
+
+    /// The windowed (W-TinyLFU) insert path; see [`FlowCache::insert`].
+    fn insert_windowed(&mut self, entry: Entry) {
+        let fields = &entry.fields[..usize::from(entry.len)];
+        // Same key already in the window (any epoch): refresh in place.
+        if let Some(i) = self.window.iter().position(|e| Self::same_key(e, entry.hash, fields)) {
+            self.window[i] = entry;
+            self.tick += 1;
+            self.window_stamp[i] = self.tick;
+            self.stats.insertions += 1;
+            return;
+        }
+        // Same key live in the main region: overwrite in place — the
+        // flow is already a resident, routing it through the window
+        // would duplicate it.
+        let base = (entry.hash as usize) & self.mask;
+        for way in 0..WAYS {
+            let i = (base + way) & self.mask;
+            let e = &self.entries[i];
+            if e.epoch == entry.epoch && Self::same_key(e, entry.hash, fields) {
+                self.entries[i] = entry;
+                self.stats.insertions += 1;
+                return;
+            }
+        }
+        // New flow: take a vacant/stale window slot, else displace the
+        // LRU window entry and let it compete for the main region.
+        let slot = self
+            .window
+            .iter()
+            .position(|e| e.hash == EMPTY || e.epoch != entry.epoch)
+            .unwrap_or_else(|| {
+                let lru = (0..self.window.len())
+                    .min_by_key(|&i| self.window_stamp[i])
+                    .expect("window is non-empty");
+                let victim = self.window[lru];
+                // The victim is live (stale slots were preferred above);
+                // promote-or-reject under the TinyLFU rule.
+                self.install_main(victim);
+                lru
+            });
+        self.window[slot] = entry;
+        self.tick += 1;
+        self.window_stamp[slot] = self.tick;
+        self.stats.insertions += 1;
+    }
+
+    /// Installs `entry` into the main region, applying the admission
+    /// policy on a genuine conflict; see [`FlowCache::insert`].
+    fn install_main(&mut self, entry: Entry) {
+        let fields = &entry.fields[..usize::from(entry.len)];
+        let base = (entry.hash as usize) & self.mask;
         let mut victim = None;
         for way in 0..WAYS {
             let i = (base + way) & self.mask;
             let e = &self.entries[i];
-            let same_key = e.hash == hash
-                && usize::from(e.len) == fields.len()
-                && &e.fields[..fields.len()] == fields;
-            if e.hash == EMPTY || e.epoch != epoch || same_key {
+            if e.hash == EMPTY || e.epoch != entry.epoch || Self::same_key(e, entry.hash, fields) {
                 victim = Some(i);
                 break;
             }
         }
         let victim = match victim {
             Some(i) => i,
-            // The window is full of live current-epoch entries: a
+            // The probe window is full of live current-epoch entries: a
             // genuine conflict, admission decides.
             None => match &self.sketch {
                 None => {
@@ -457,7 +613,7 @@ impl FlowCache {
                     base
                 }
                 Some(sketch) => {
-                    let candidate = sketch.estimate(hash);
+                    let candidate = sketch.estimate(entry.hash);
                     let (coldest, coldest_freq) = (0..WAYS)
                         .map(|way| {
                             let i = (base + way) & self.mask;
@@ -475,20 +631,23 @@ impl FlowCache {
                 }
             },
         };
-        let e = &mut self.entries[victim];
-        e.hash = hash;
-        e.epoch = epoch;
-        e.len = fields.len() as u8;
-        e.fields[..fields.len()].copy_from_slice(fields);
-        e.row = row;
+        self.entries[victim] = entry;
         self.stats.insertions += 1;
     }
 
-    /// Allocated slots — the *effective* capacity after the constructor's
-    /// power-of-two rounding.
+    /// Allocated main-region slots — the *effective* capacity after the
+    /// constructor's power-of-two rounding (the recency window's slots,
+    /// [`FlowCache::window_capacity`], come on top).
     #[must_use]
     pub fn capacity(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Slots of the LRU recency window fronting the main region (0 for
+    /// blind caches and pure window-less TinyLFU).
+    #[must_use]
+    pub fn window_capacity(&self) -> usize {
+        self.window.len()
     }
 
     /// Lookups served from the cache since the last
@@ -518,19 +677,26 @@ impl FlowCache {
         self.stats
     }
 
-    /// Zeroes every counter (entries and frequency history are kept).
+    /// Zeroes every counter (entries, window order and frequency history
+    /// are kept).
     pub fn reset_stats(&mut self) {
-        self.stats = CacheStats { capacity: self.entries.len(), ..CacheStats::default() };
+        self.stats = CacheStats {
+            capacity: self.entries.len(),
+            window_capacity: self.window.len(),
+            ..CacheStats::default()
+        };
     }
 
-    /// Modeled memory footprint in bits: the entry array plus the
+    /// Modeled memory footprint in bits: the main entry array, the
+    /// recency window (entries plus a 64-bit LRU stamp each) and the
     /// admission sketch. An entry holds the key hash (64), epoch stamp
     /// (64), field count (8), the inline field array and the memoised
     /// row (1 + 32).
     #[must_use]
     pub fn memory_bits(&self) -> u64 {
         let entry_bits = 64 + 64 + 8 + (MAX_CACHED_FIELDS as u64) * (8 + 128) + 33;
-        self.entries.len() as u64 * entry_bits
+        (self.entries.len() as u64 + self.window.len() as u64) * entry_bits
+            + self.window.len() as u64 * 64
             + self.sketch.as_ref().map_or(0, FrequencySketch::memory_bits)
     }
 }
@@ -676,6 +842,89 @@ mod tests {
         let tiny = run(FlowCache::new(32));
         assert!(tiny > blind + 0.1, "TinyLFU ({tiny:.2}) must beat blind admission ({blind:.2})");
         assert!(tiny > 0.45, "hot flows must stay resident under TinyLFU ({tiny:.2})");
+    }
+
+    /// The W-TinyLFU property the window exists for: a brand-new flow
+    /// bursting right after the cache filled with frequent residents is
+    /// served from the window immediately, while pure TinyLFU rejects it
+    /// until the sketch warms to it.
+    #[test]
+    fn window_admits_recency_bursts() {
+        let run = |mut c: FlowCache| -> (u64, u64) {
+            // Saturate the main region with residents carrying sketch
+            // history (3x capacity, so every probe window is full of
+            // live, frequent entries) — sized to stay under the sketch's
+            // halving period so the history is not aged away mid-test.
+            let hot: Vec<HeaderValues> = (0..48u128).map(|i| header(i, 0xBB00 + i)).collect();
+            for _ in 0..3 {
+                for h in &hot {
+                    if c.lookup(0, h).is_none() {
+                        c.insert(0, h, Some(1));
+                    }
+                }
+            }
+            // A brand-new flow bursts: insert once, then re-access.
+            c.reset_stats();
+            let fresh = header(99, 0xF00D);
+            for _ in 0..5 {
+                if c.lookup(0, &fresh).is_none() {
+                    c.insert(0, &fresh, Some(7));
+                }
+            }
+            (c.stats().hits, c.stats().window_hits)
+        };
+        let (windowed_hits, from_window) = run(FlowCache::new(16));
+        let (pure_hits, _) = run(FlowCache::with_window(16, 0));
+        assert_eq!(windowed_hits, 4, "burst served from the window after the first miss");
+        assert_eq!(from_window, 4, "every burst hit comes from the window segment");
+        assert!(
+            pure_hits <= 1,
+            "pure TinyLFU must reject the historyless flow until the sketch warms \
+             ({pure_hits} hits)"
+        );
+        assert!(windowed_hits > pure_hits, "the window must beat pure TinyLFU on the burst");
+    }
+
+    #[test]
+    fn window_capacity_is_reported_and_bounded() {
+        let c = FlowCache::new(512);
+        assert_eq!(c.window_capacity(), 5, "~1% of 512");
+        assert_eq!(c.stats().window_capacity, 5);
+        let c = FlowCache::new(16);
+        assert_eq!(c.window_capacity(), 2, "floor of 2 slots");
+        // The default window is a linear scan, so it is capped however
+        // large the main region grows.
+        assert_eq!(FlowCache::new(1 << 20).window_capacity(), 64, "ceiling of 64 slots");
+        assert_eq!(FlowCache::blind(512).window_capacity(), 0);
+        assert_eq!(FlowCache::with_window(64, 0).window_capacity(), 0);
+        assert_eq!(FlowCache::with_window(64, 8).window_capacity(), 8);
+        // Stats survive a reset; memory accounting includes the window.
+        let mut c = FlowCache::with_window(64, 8);
+        c.reset_stats();
+        assert_eq!(c.stats().window_capacity, 8);
+        assert!(c.memory_bits() > FlowCache::with_window(64, 0).memory_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the")]
+    fn oversized_window_panics() {
+        let _ = FlowCache::with_window(16, 17);
+    }
+
+    #[test]
+    fn window_respects_epochs_and_updates_in_place() {
+        let mut c = FlowCache::new(16);
+        let h = header(1, 2);
+        c.insert(0, &h, Some(3));
+        assert_eq!(c.lookup(0, &h), Some(Some(3)), "window serves the fresh flow");
+        // Epoch bump: the window entry is stale too.
+        assert_eq!(c.lookup(1, &h), None);
+        c.insert(1, &h, Some(9));
+        assert_eq!(c.lookup(1, &h), Some(Some(9)));
+        // Same-key re-insert refreshes in place: no duplicate copies, so
+        // a subsequent lookup sees the newest row.
+        c.insert(1, &h, Some(11));
+        assert_eq!(c.lookup(1, &h), Some(Some(11)));
     }
 
     #[test]

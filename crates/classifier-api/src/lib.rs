@@ -191,6 +191,50 @@ pub trait Classifier: Send + Sync {
     }
 }
 
+/// Forwarding impls: shared and owning smart pointers classify exactly
+/// like the classifier they point at, so a runtime can hold `Arc<C>`
+/// snapshots (one per worker shard, swapped RCU-style) and still hand
+/// them to any code written against `impl Classifier` — no unwrapping,
+/// no trait-object detour.
+macro_rules! forward_classifier {
+    ($ptr:ident) => {
+        impl<C: Classifier + ?Sized> Classifier for $ptr<C> {
+            fn name(&self) -> &str {
+                (**self).name()
+            }
+            fn classify(&self, header: &HeaderValues) -> Option<u32> {
+                (**self).classify(header)
+            }
+            fn classify_batch(&self, headers: &[HeaderValues]) -> Vec<Option<u32>> {
+                (**self).classify_batch(headers)
+            }
+            fn par_classify_batch(
+                &self,
+                headers: &[HeaderValues],
+                threads: usize,
+            ) -> Vec<Option<u32>> {
+                (**self).par_classify_batch(headers, threads)
+            }
+            fn memory_bits(&self) -> u64 {
+                (**self).memory_bits()
+            }
+            fn lookup_accesses(&self, header: &HeaderValues) -> usize {
+                (**self).lookup_accesses(header)
+            }
+            fn build_records(&self) -> usize {
+                (**self).build_records()
+            }
+            fn generation(&self) -> u64 {
+                (**self).generation()
+            }
+        }
+    };
+}
+
+use std::sync::Arc;
+forward_classifier!(Arc);
+forward_classifier!(Box);
+
 /// Shards `items` into `threads` contiguous chunks, runs `f` on each
 /// inside [`std::thread::scope`], and concatenates the results in input
 /// order. The backbone of [`Classifier::par_classify_batch`] — also used
@@ -385,6 +429,31 @@ mod tests {
         // Trait objects can shard too (Classifier is Send + Sync).
         let boxed: Box<dyn Classifier> = Box::new(Fixed(None));
         assert_eq!(boxed.par_classify_batch(&headers, 3), vec![None; 37]);
+    }
+
+    #[test]
+    fn smart_pointers_forward_the_whole_surface() {
+        let shared: Arc<Fixed> = Arc::new(Fixed(Some(5)));
+        let boxed: Box<dyn Classifier> = Box::new(Fixed(Some(6)));
+        let h = HeaderValues::new();
+        assert_eq!(shared.name(), "fixed");
+        assert_eq!(Classifier::classify(&shared, &h), Some(5));
+        assert_eq!(boxed.classify(&h), Some(6));
+        assert_eq!(Classifier::classify_batch(&shared, &[h.clone(), h.clone()]), vec![Some(5); 2]);
+        assert_eq!(shared.par_classify_batch(&vec![h.clone(); 8], 3), vec![Some(5); 8]);
+        assert_eq!(shared.memory_bits(), 1);
+        assert_eq!(boxed.lookup_accesses(&h), 1);
+        assert_eq!(shared.generation(), 0);
+        // An Arc'd trait object forwards too (the runtime's snapshots
+        // over dynamic classifiers).
+        let dynamic: Arc<dyn Classifier> = Arc::new(Fixed(None));
+        assert_eq!(Classifier::classify(&dynamic, &h), None);
+        // And still satisfies `impl Classifier` bounds generically.
+        fn takes_classifier(c: &impl Classifier, h: &HeaderValues) -> Option<u32> {
+            c.classify(h)
+        }
+        assert_eq!(takes_classifier(&shared, &h), Some(5));
+        assert_eq!(takes_classifier(&dynamic, &h), None);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use ofmem::MemoryReport;
 use crate::config::AlgorithmKind;
 
 /// A built single-field engine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum FieldEngine {
     /// Exact-match LUT with an optional wildcard label.
     Em {

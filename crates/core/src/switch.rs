@@ -31,7 +31,7 @@ use crate::index::IndexTable;
 use crate::update::BuildLedger;
 
 /// One lookup table: engines + index + actions.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TableEngine {
     /// Static configuration.
     pub config: TableConfig,
@@ -103,7 +103,7 @@ thread_local! {
 }
 
 /// One application's table chain.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AppEngine {
     /// The application kind.
     pub kind: FilterKind,
@@ -147,7 +147,14 @@ pub struct ClassifyResult {
 }
 
 /// The built switch.
-#[derive(Debug)]
+///
+/// The switch is `Clone`: a clone is an independent deep **snapshot** of
+/// every engine, index and action table (plus the current epoch), which
+/// is what the `mtl-runtime` control plane publishes to its reader
+/// shards — the master copy mutates through
+/// [`MtlSwitch::add_rule`]/[`MtlSwitch::remove_rule`] while workers keep
+/// classifying against the previously published snapshot.
+#[derive(Debug, Clone)]
 pub struct MtlSwitch {
     /// Configuration name.
     pub name: String,
@@ -1062,6 +1069,28 @@ mod tests {
         let h = header_for(&routing.rules[10], FilterKind::Routing);
         let got = sw.classify_app(FilterKind::Routing, &h);
         assert!(matches!(got.verdict, Verdict::Output(_)));
+    }
+
+    #[test]
+    fn cloned_snapshot_is_independent() {
+        let set = routing_set();
+        let config = SwitchConfig::single_app(FilterKind::Routing, 0);
+        let mut sw = MtlSwitch::build(&config, &[&set]);
+        let snapshot = sw.clone();
+        assert_eq!(snapshot.epoch(), sw.epoch());
+        let headers: Vec<HeaderValues> =
+            set.rules.iter().map(|r| header_for(r, FilterKind::Routing)).collect();
+        for h in &headers {
+            assert_eq!(snapshot.classify(h), sw.classify(h), "header {h}");
+        }
+        // Mutating the original must not leak into the snapshot: the
+        // removed rule keeps matching through the old table image.
+        let victim = set.rules[0].id;
+        let victim_header = header_for(&set.rules[0], FilterKind::Routing);
+        let before = snapshot.classify(&victim_header);
+        sw.remove_rule(FilterKind::Routing, victim).expect("rule exists");
+        assert_eq!(snapshot.classify(&victim_header), before);
+        assert!(sw.epoch() > snapshot.epoch(), "mutation bumps only the master epoch");
     }
 
     #[test]

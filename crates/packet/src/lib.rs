@@ -11,7 +11,8 @@
 //! 2. **Field extraction** — [`extract::parse_packet`] turns raw bytes into
 //!    [`oflow::HeaderValues`], the interface all classifiers consume.
 //! 3. **Trace generation** — [`trace`] synthesises packet streams that hit
-//!    or miss a given rule population with a chosen ratio.
+//!    or miss a given rule population with a chosen ratio, and [`pcap`]
+//!    ingests real classic-libpcap captures into the same replay format.
 //!
 //! All multi-byte fields are network byte order (big-endian) on the wire.
 
@@ -23,6 +24,7 @@ pub mod builder;
 pub mod checksum;
 pub mod extract;
 pub mod headers;
+pub mod pcap;
 pub mod trace;
 
 pub use addr::MacAddr;

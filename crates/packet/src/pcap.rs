@@ -1,0 +1,420 @@
+//! Classic libpcap capture ingest.
+//!
+//! Real traffic lives in `.pcap` files, so the runtime and cache
+//! experiments need a path from a capture to the line-oriented replay
+//! format of [`crate::trace`]. This module reads the **classic libpcap**
+//! container (the `tcpdump -w` format — not pcapng): a 24-byte global
+//! header whose magic encodes byte order and timestamp resolution,
+//! followed by length-prefixed packet records.
+//!
+//! ```text
+//! magic (4)  0xa1b2c3d4 = µs timestamps, 0xa1b23c4d = ns;
+//!            byte-swapped values mean the file is opposite-endian
+//! version (2+2), thiszone (4), sigfigs (4), snaplen (4), linktype (4)
+//! per record: ts_sec (4), ts_frac (4), incl_len (4), orig_len (4),
+//!             incl_len bytes of frame data
+//! ```
+//!
+//! Only linktype 1 (`LINKTYPE_ETHERNET`) is accepted — that is what the
+//! workspace's parser ([`crate::extract::parse_packet`]) walks.
+//! Malformed input is never papered over: unknown magics, wrong
+//! linktypes, truncated records, records whose captured length exceeds
+//! the original length, and frames the Ethernet parser rejects all
+//! surface as [`io::ErrorKind::InvalidData`] errors naming the offending
+//! record. `repro -- trace convert --pcap FILE` drives
+//! [`pcap_to_trace_file`] from the command line.
+
+use crate::extract::parse_packet;
+use oflow::HeaderValues;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Classic pcap magic, microsecond timestamps, file-native byte order.
+pub const MAGIC_MICROS: u32 = 0xa1b2_c3d4;
+/// Classic pcap magic, nanosecond timestamps.
+pub const MAGIC_NANOS: u32 = 0xa1b2_3c4d;
+/// `LINKTYPE_ETHERNET` — the only link layer this reader accepts.
+pub const LINKTYPE_ETHERNET: u32 = 1;
+
+/// Ceiling on one record's captured length: larger values are corrupt
+/// length fields, not jumbo frames (64 KiB covers every Ethernet MTU).
+const MAX_CAPTURED_LEN: u32 = 1 << 16;
+
+/// How the reader must interpret the file's multi-byte integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ByteOrder {
+    Little,
+    Big,
+}
+
+impl ByteOrder {
+    fn u32(self, bytes: [u8; 4]) -> u32 {
+        match self {
+            ByteOrder::Little => u32::from_le_bytes(bytes),
+            ByteOrder::Big => u32::from_be_bytes(bytes),
+        }
+    }
+}
+
+/// One captured packet record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapRecord {
+    /// Capture timestamp, seconds part.
+    pub ts_sec: u32,
+    /// Capture timestamp, sub-second part in **nanoseconds** (µs files
+    /// are scaled on read, so consumers see one unit).
+    pub ts_nanos: u32,
+    /// Original on-the-wire length (may exceed `frame.len()` when the
+    /// capture was truncated by the snap length).
+    pub orig_len: u32,
+    /// The captured frame bytes.
+    pub frame: Vec<u8>,
+}
+
+/// A parsed capture: the records plus the global-header facts consumers
+/// care about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcap {
+    /// Snap length the capture was taken with.
+    pub snaplen: u32,
+    /// Whether timestamps were recorded with nanosecond resolution.
+    pub nanosecond_timestamps: bool,
+    /// The captured records, file order.
+    pub records: Vec<PcapRecord>,
+}
+
+fn bad(what: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.into())
+}
+
+/// Reads exactly `N` bytes, or reports which structure was truncated.
+fn read_exact<const N: usize>(r: &mut impl Read, what: &str) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            bad(format!("truncated pcap: EOF inside {what}"))
+        } else {
+            e
+        }
+    })?;
+    Ok(buf)
+}
+
+/// Parses a classic libpcap stream (both byte orders, µs and ns
+/// timestamp resolution, linktype Ethernet).
+///
+/// # Errors
+/// [`io::ErrorKind::InvalidData`] for unknown magics, non-Ethernet
+/// linktypes, implausible or inconsistent record lengths and truncated
+/// records; reader errors are propagated.
+pub fn read_pcap(mut r: impl Read) -> io::Result<Pcap> {
+    let magic_bytes: [u8; 4] = read_exact(&mut r, "the global header")?;
+    let le = u32::from_le_bytes(magic_bytes);
+    let be = u32::from_be_bytes(magic_bytes);
+    let (order, nanos) = match (le, be) {
+        (MAGIC_MICROS, _) => (ByteOrder::Little, false),
+        (MAGIC_NANOS, _) => (ByteOrder::Little, true),
+        (_, MAGIC_MICROS) => (ByteOrder::Big, false),
+        (_, MAGIC_NANOS) => (ByteOrder::Big, true),
+        _ => return Err(bad(format!("not a classic pcap file (magic {le:#010x})"))),
+    };
+    // version major/minor, thiszone, sigfigs: read and ignored (2.4 is
+    // the only version ever emitted in practice).
+    let _version_zone_sigfigs: [u8; 12] = read_exact(&mut r, "the global header")?;
+    let snaplen = order.u32(read_exact(&mut r, "the global header")?);
+    let linktype = order.u32(read_exact(&mut r, "the global header")?);
+    if linktype != LINKTYPE_ETHERNET {
+        return Err(bad(format!("unsupported linktype {linktype} (only Ethernet = 1)")));
+    }
+
+    let mut records = Vec::new();
+    loop {
+        // Record boundaries are the only legal EOF points.
+        let mut first = [0u8; 4];
+        let n = {
+            let mut filled = 0;
+            while filled < 4 {
+                match r.read(&mut first[filled..])? {
+                    0 => break,
+                    k => filled += k,
+                }
+            }
+            filled
+        };
+        if n == 0 {
+            break;
+        }
+        if n < 4 {
+            return Err(bad(format!("truncated pcap: EOF inside record {} header", records.len())));
+        }
+        let which = format!("record {} header", records.len());
+        let ts_sec = order.u32(first);
+        let ts_frac = order.u32(read_exact(&mut r, &which)?);
+        let incl_len = order.u32(read_exact(&mut r, &which)?);
+        let orig_len = order.u32(read_exact(&mut r, &which)?);
+        if incl_len > MAX_CAPTURED_LEN {
+            return Err(bad(format!(
+                "record {}: captured length {incl_len} is implausible (corrupt length field?)",
+                records.len()
+            )));
+        }
+        if incl_len > orig_len {
+            return Err(bad(format!(
+                "record {}: captured length {incl_len} exceeds original length {orig_len}",
+                records.len()
+            )));
+        }
+        let mut frame = vec![0u8; incl_len as usize];
+        r.read_exact(&mut frame).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                bad(format!("truncated pcap: EOF inside record {} data", records.len()))
+            } else {
+                e
+            }
+        })?;
+        let ts_nanos = if nanos { ts_frac } else { ts_frac.saturating_mul(1000) };
+        records.push(PcapRecord { ts_sec, ts_nanos, orig_len, frame });
+    }
+    Ok(Pcap { snaplen, nanosecond_timestamps: nanos, records })
+}
+
+/// [`read_pcap`] from a file path.
+///
+/// # Errors
+/// Propagates file-open errors and [`read_pcap`]'s parse errors.
+pub fn read_pcap_file(path: impl AsRef<Path>) -> io::Result<Pcap> {
+    read_pcap(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Extracts OXM header values from every record via
+/// [`crate::extract::parse_packet`], stamping `in_port` as the ingress
+/// port (captures carry no port; classification rule sets key on one).
+///
+/// # Errors
+/// [`io::ErrorKind::InvalidData`] naming the record whose frame the
+/// Ethernet-upward parser rejects (e.g. a layer cut off by the snap
+/// length).
+pub fn pcap_headers(pcap: &Pcap, in_port: u32) -> io::Result<Vec<HeaderValues>> {
+    pcap.records
+        .iter()
+        .enumerate()
+        .map(|(i, rec)| {
+            let pkt = parse_packet(&rec.frame)
+                .map_err(|e| bad(format!("record {i}: malformed frame: {e}")))?;
+            Ok(pkt.header_values(in_port))
+        })
+        .collect()
+}
+
+/// Converts a capture file into the [`crate::trace`] replay format: read,
+/// extract, write. Returns the number of packets converted.
+///
+/// # Errors
+/// Propagates [`read_pcap_file`] / [`pcap_headers`] errors and trace-file
+/// write errors.
+pub fn pcap_to_trace_file(
+    pcap_path: impl AsRef<Path>,
+    trace_path: impl AsRef<Path>,
+    in_port: u32,
+) -> io::Result<usize> {
+    let pcap = read_pcap_file(pcap_path)?;
+    let headers = pcap_headers(&pcap, in_port)?;
+    crate::trace::write_trace_file(trace_path, &headers)?;
+    Ok(headers.len())
+}
+
+/// Writes frames as a classic little-endian microsecond pcap (the
+/// recording side — lets tests and tooling fabricate captures without an
+/// external dependency). Timestamps are synthesised as one packet per
+/// microsecond.
+///
+/// # Errors
+/// Propagates writer errors.
+pub fn write_pcap(mut w: impl Write, frames: &[Vec<u8>]) -> io::Result<()> {
+    w.write_all(&MAGIC_MICROS.to_le_bytes())?;
+    w.write_all(&2u16.to_le_bytes())?; // version major
+    w.write_all(&4u16.to_le_bytes())?; // version minor
+    w.write_all(&0i32.to_le_bytes())?; // thiszone
+    w.write_all(&0u32.to_le_bytes())?; // sigfigs
+    w.write_all(&MAX_CAPTURED_LEN.to_le_bytes())?; // snaplen
+    w.write_all(&LINKTYPE_ETHERNET.to_le_bytes())?;
+    for (i, frame) in frames.iter().enumerate() {
+        let len = u32::try_from(frame.len()).map_err(|_| bad("frame exceeds u32 length"))?;
+        w.write_all(&(i as u32).to_le_bytes())?; // ts_sec
+        w.write_all(&(i as u32 % 1_000_000).to_le_bytes())?; // ts_usec
+        w.write_all(&len.to_le_bytes())?; // incl_len
+        w.write_all(&len.to_le_bytes())?; // orig_len
+        w.write_all(frame)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::MacAddr;
+    use crate::builder::PacketBuilder;
+    use oflow::MatchFieldKind;
+    use std::net::Ipv4Addr;
+
+    fn frames() -> Vec<Vec<u8>> {
+        let s = MacAddr::from_u64(0x0200_0000_0001);
+        let d = MacAddr::from_u64(0x0200_0000_0002);
+        vec![
+            PacketBuilder::ethernet(s, d)
+                .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(192, 168, 1, 1))
+                .tcp(4444, 80)
+                .build(),
+            PacketBuilder::ethernet(s, d)
+                .vlan(100, 3)
+                .ipv4(Ipv4Addr::new(10, 0, 0, 2), Ipv4Addr::new(192, 168, 1, 2))
+                .udp(53, 53)
+                .build(),
+        ]
+    }
+
+    /// Byte-swaps a little-endian capture into a big-endian one (header
+    /// and record-header words only; frame bytes are order-free).
+    fn swap_to_big_endian(le: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(le.len());
+        // magic, then 2x u16, then 4x u32.
+        out.extend(le[0..4].iter().rev());
+        out.extend(le[4..6].iter().rev());
+        out.extend(le[6..8].iter().rev());
+        for w in 0..4 {
+            out.extend(le[8 + 4 * w..12 + 4 * w].iter().rev());
+        }
+        let mut off = 24;
+        while off < le.len() {
+            for w in 0..4 {
+                out.extend(le[off + 4 * w..off + 4 * w + 4].iter().rev());
+            }
+            let incl = u32::from_le_bytes(le[off + 8..off + 12].try_into().unwrap()) as usize;
+            off += 16;
+            out.extend(&le[off..off + incl]);
+            off += incl;
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_and_extraction() {
+        let frames = frames();
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &frames).unwrap();
+        let pcap = read_pcap(buf.as_slice()).unwrap();
+        assert_eq!(pcap.records.len(), 2);
+        assert!(!pcap.nanosecond_timestamps);
+        assert_eq!(pcap.records[0].frame, frames[0]);
+        assert_eq!(pcap.records[1].orig_len as usize, frames[1].len());
+        assert_eq!(pcap.records[1].ts_nanos, 1000, "µs scaled to ns");
+
+        let headers = pcap_headers(&pcap, 7).unwrap();
+        assert_eq!(headers.len(), 2);
+        assert_eq!(headers[0].get(MatchFieldKind::InPort), Some(7));
+        assert_eq!(headers[0].get(MatchFieldKind::TcpDst), Some(80));
+        assert_eq!(headers[1].get(MatchFieldKind::VlanVid), Some(0x1000 | 100));
+        assert_eq!(headers[1].get(MatchFieldKind::UdpDst), Some(53));
+    }
+
+    #[test]
+    fn big_endian_captures_parse() {
+        let mut le = Vec::new();
+        write_pcap(&mut le, &frames()).unwrap();
+        let be = swap_to_big_endian(&le);
+        assert_ne!(le, be);
+        let a = read_pcap(le.as_slice()).unwrap();
+        let b = read_pcap(be.as_slice()).unwrap();
+        assert_eq!(a, b, "byte order must not change what was captured");
+    }
+
+    #[test]
+    fn nanosecond_magic_keeps_fractions() {
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &frames()).unwrap();
+        buf[0..4].copy_from_slice(&MAGIC_NANOS.to_le_bytes());
+        let pcap = read_pcap(buf.as_slice()).unwrap();
+        assert!(pcap.nanosecond_timestamps);
+        assert_eq!(pcap.records[1].ts_nanos, 1, "ns fractions are taken verbatim");
+    }
+
+    #[test]
+    fn malformed_captures_are_errors() {
+        let mut good = Vec::new();
+        write_pcap(&mut good, &frames()).unwrap();
+
+        // Unknown magic.
+        let mut bad_magic = good.clone();
+        bad_magic[0..4].copy_from_slice(&0xdead_beefu32.to_le_bytes());
+        let err = read_pcap(bad_magic.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("magic"), "{err}");
+
+        // Non-Ethernet linktype.
+        let mut bad_link = good.clone();
+        bad_link[20..24].copy_from_slice(&101u32.to_le_bytes()); // LINKTYPE_RAW
+        let err = read_pcap(bad_link.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("linktype 101"), "{err}");
+
+        // Truncated mid-record-data and mid-record-header.
+        let err = read_pcap(&good[..good.len() - 3]).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        let err = read_pcap(&good[..24 + 9]).unwrap_err();
+        assert!(err.to_string().contains("record 0 header"), "{err}");
+
+        // Captured length exceeding the original length.
+        let mut inconsistent = good.clone();
+        inconsistent[36..40].copy_from_slice(&1u32.to_le_bytes()); // orig_len of record 0
+        let err = read_pcap(inconsistent.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("exceeds original"), "{err}");
+
+        // Corrupt (huge) captured length.
+        let mut corrupt = good;
+        corrupt[32..36].copy_from_slice(&u32::MAX.to_le_bytes()); // incl_len of record 0
+        corrupt[36..40].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_pcap(corrupt.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("implausible"), "{err}");
+    }
+
+    #[test]
+    fn truncated_frame_surfaces_the_record_index() {
+        // A record whose frame was cut mid-IPv4 by the snap length: the
+        // container parses, extraction must name the record.
+        let full = &frames()[0];
+        let cut = full[..20].to_vec();
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &[frames()[1].clone(), cut]).unwrap();
+        let pcap = read_pcap(buf.as_slice()).unwrap();
+        let err = pcap_headers(&pcap, 0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("record 1"), "{err}");
+    }
+
+    #[test]
+    fn convert_writes_a_replayable_trace() {
+        let dir = std::env::temp_dir().join("ofpacket-pcap-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pcap_path = dir.join(format!("c{}.pcap", std::process::id()));
+        let trace_path = dir.join(format!("c{}.trace", std::process::id()));
+        let mut bytes = Vec::new();
+        write_pcap(&mut bytes, &frames()).unwrap();
+        std::fs::write(&pcap_path, &bytes).unwrap();
+
+        let n = pcap_to_trace_file(&pcap_path, &trace_path, 3).unwrap();
+        assert_eq!(n, 2);
+        let replayed = crate::trace::read_trace_file(&trace_path).unwrap();
+        let direct = pcap_headers(&read_pcap(bytes.as_slice()).unwrap(), 3).unwrap();
+        assert_eq!(replayed, direct, "trace roundtrip preserves extraction");
+        std::fs::remove_file(&pcap_path).ok();
+        std::fs::remove_file(&trace_path).ok();
+    }
+
+    #[test]
+    fn empty_capture_is_fine() {
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &[]).unwrap();
+        let pcap = read_pcap(buf.as_slice()).unwrap();
+        assert!(pcap.records.is_empty());
+        assert_eq!(pcap.snaplen, MAX_CAPTURED_LEN);
+    }
+}

@@ -177,6 +177,12 @@ pub fn read_trace(r: impl BufRead) -> io::Result<Vec<HeaderValues>> {
                         &format!("`{hex}` exceeds the {width}-bit field `{name}`"),
                     ));
                 }
+                // A repeated key on one line is a malformed record, not a
+                // last-wins overwrite: silently keeping either value would
+                // replay a packet the recorder never saw.
+                if h.contains(field) {
+                    return Err(bad(line_no, &format!("duplicate field `{name}`")));
+                }
                 h.set(field, value);
             }
         }
@@ -292,6 +298,10 @@ mod tests {
             // different packet than was recorded.
             ("in_port=1ffffffff\n", "exceeds"),
             ("vlan_vid=10000\n", "exceeds"),
+            // A duplicate key is a malformed record: last-wins would
+            // silently replay a packet the recorder never saw.
+            ("in_port=1 ipv4_dst=a in_port=2\n", "duplicate field"),
+            ("in_port=1 in_port=1\n", "duplicate field"),
         ] {
             let err = read_trace(text.as_bytes()).unwrap_err();
             assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "{text}");

@@ -1,0 +1,44 @@
+//! # mtl-runtime — the sharded lock-free dataplane runtime
+//!
+//! The paper evaluates its switch as a static lookup structure; the
+//! ROADMAP's north star is a production system classifying at full rate
+//! *while* rules are inserted and removed across many cores. This crate
+//! is the subsystem that closes that gap, fronting **any**
+//! [`classifier_api::Classifier`]:
+//!
+//! * [`snapshot`] — the RCU primitive: [`snapshot::SnapshotCell`], an
+//!   `ArcSwap` equivalent on one `AtomicPtr` with epoch-based
+//!   reclamation. Readers are wait-free; the single writer publishes a
+//!   whole table image with one pointer swap.
+//! * [`ring`] — bounded SPSC batch rings (Lamport queues) carrying jobs
+//!   from the dispatcher to the shards, lock- and allocation-free.
+//! * [`runtime`] — [`runtime::Runtime`]: N run-to-completion worker
+//!   shards (best-effort CPU-pinned, see [`pin`]), each with its own
+//!   replicated snapshot and its own
+//!   [`classifier_api::FlowCache`]; an RSS-style header-hash dispatcher;
+//!   and the [`runtime::RuntimeHandle`] control plane
+//!   (`add_rule` / `remove_rule` / `swap_table`) applying updates to a
+//!   private master copy and publishing clones — classification never
+//!   blocks on updates.
+//! * [`telemetry`] — per-shard throughput / hit-rate / latency-percentile
+//!   counters, exported as one JSON block.
+//!
+//! Consistency contract: every served batch reports, per packet, the
+//! snapshot **version** it was classified under
+//! ([`runtime::ClassifiedBatch::versions`]), and the result is
+//! byte-identical to what that version's table answers sequentially —
+//! the `runtime` bench experiment and the `runtime_consistency` stress
+//! suite assert exactly that under concurrent add/remove churn.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pin;
+pub mod ring;
+pub mod runtime;
+pub mod snapshot;
+pub mod telemetry;
+
+pub use runtime::{ClassifiedBatch, Runtime, RuntimeConfig, RuntimeHandle, Ticket};
+pub use snapshot::{Snapshot, SnapshotCell, SnapshotReader};
+pub use telemetry::{RuntimeTelemetry, ShardCounters, ShardTelemetry};

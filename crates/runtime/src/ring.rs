@@ -1,0 +1,237 @@
+//! Single-producer/single-consumer batch ring.
+//!
+//! Each worker shard owns the consumer end of one bounded ring; the
+//! dispatcher owns the producer end. One producer, one consumer —
+//! enforced by ownership (the handles are `Send` but not `Clone`) — is
+//! exactly the classic Lamport queue: the producer writes only `tail`,
+//! the consumer writes only `head`, each side *reads* the other's index
+//! with `Acquire` and publishes its own with `Release`, and the slots
+//! in between need no synchronisation at all. No locks, no CAS loops,
+//! no allocation after construction.
+
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Pads an index to its own cache line so the producer's and consumer's
+/// counters do not false-share.
+#[repr(align(64))]
+struct PaddedIndex(AtomicUsize);
+
+struct Shared<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot the consumer will read. Written only by the consumer.
+    head: PaddedIndex,
+    /// Next slot the producer will write. Written only by the producer.
+    tail: PaddedIndex,
+}
+
+// SAFETY: the ring transfers `T` values between exactly two threads;
+// slot access is serialised by the head/tail Acquire/Release protocol.
+unsafe impl<T: Send> Sync for Shared<T> {}
+unsafe impl<T: Send> Send for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Both handles are gone; whatever sits between head and tail
+        // was initialised by the producer and never consumed.
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        for i in head..tail {
+            // SAFETY: slots in [head, tail) hold initialised values.
+            unsafe { (*self.buf[i & self.mask].get()).assume_init_drop() };
+        }
+    }
+}
+
+/// The producing end: [`Producer::push`] from one thread.
+pub struct Producer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The consuming end: [`Consumer::pop`] from one thread.
+pub struct Consumer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a bounded SPSC ring of at least `capacity` slots (rounded up
+/// to a power of two, minimum 2).
+///
+/// # Panics
+/// Panics if `capacity` exceeds `usize::MAX / 4` (a unit error).
+#[must_use]
+pub fn spsc<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity <= usize::MAX / 4, "ring capacity {capacity} is implausible");
+    let cap = capacity.next_power_of_two().max(2);
+    let buf: Box<[UnsafeCell<MaybeUninit<T>>]> =
+        (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let shared = Arc::new(Shared {
+        buf,
+        mask: cap - 1,
+        head: PaddedIndex(AtomicUsize::new(0)),
+        tail: PaddedIndex(AtomicUsize::new(0)),
+    });
+    (Producer { shared: Arc::clone(&shared) }, Consumer { shared })
+}
+
+impl<T: Send> Producer<T> {
+    /// Enqueues `item`, or returns it if the ring is full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        let s = &*self.shared;
+        let tail = s.tail.0.load(Ordering::Relaxed); // we are the only writer
+        let head = s.head.0.load(Ordering::Acquire);
+        if tail - head > s.mask {
+            return Err(item);
+        }
+        // SAFETY: slot `tail` is outside [head, tail) — unoccupied — and
+        // only this producer writes slots; the Release store below
+        // publishes the initialised value to the consumer.
+        unsafe { (*s.buf[tail & s.mask].get()).write(item) };
+        s.tail.0.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Slots currently enqueued (racy, advisory).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let s = &*self.shared;
+        s.tail.0.load(Ordering::Relaxed) - s.head.0.load(Ordering::Acquire)
+    }
+
+    /// Whether the ring is empty (racy, advisory).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the consumer end still exists.
+    #[must_use]
+    pub fn consumer_alive(&self) -> bool {
+        Arc::strong_count(&self.shared) > 1
+    }
+}
+
+impl<T: Send> Consumer<T> {
+    /// Dequeues the oldest item, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        let s = &*self.shared;
+        let head = s.head.0.load(Ordering::Relaxed); // we are the only writer
+        let tail = s.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: slot `head` is inside [head, tail): initialised by the
+        // producer and published by its Release store; after this read
+        // the Release store below marks it unoccupied.
+        let item = unsafe { (*s.buf[head & s.mask].get()).assume_init_read() };
+        s.head.0.store(head + 1, Ordering::Release);
+        Some(item)
+    }
+
+    /// Whether the ring is empty (racy, advisory).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        let s = &*self.shared;
+        s.head.0.load(Ordering::Relaxed) == s.tail.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_capacity() {
+        let (mut tx, mut rx) = spsc::<u32>(4);
+        assert!(rx.is_empty());
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(99), "ring of 4 holds 4");
+        assert_eq!(tx.len(), 4);
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+        // Wrap-around keeps working.
+        for round in 0..10u32 {
+            tx.push(round).unwrap();
+            assert_eq!(rx.pop(), Some(round));
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_up() {
+        let (mut tx, _rx) = spsc::<u8>(3);
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert!(tx.push(9).is_err());
+        let (tx0, _rx0) = spsc::<u8>(0);
+        assert!(tx0.is_empty());
+    }
+
+    #[test]
+    fn unconsumed_items_are_dropped() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        #[derive(Debug)]
+        struct D(Arc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, mut rx) = spsc::<D>(8);
+        for _ in 0..5 {
+            tx.push(D(Arc::clone(&counter))).unwrap();
+        }
+        drop(rx.pop()); // one consumed
+        drop(tx);
+        drop(rx);
+        assert_eq!(counter.load(Ordering::SeqCst), 5, "4 in-flight + 1 consumed");
+    }
+
+    #[test]
+    fn cross_thread_stream_is_lossless() {
+        let (mut tx, mut rx) = spsc::<u64>(64);
+        const N: u64 = 200_000;
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..N {
+                    let mut item = i;
+                    loop {
+                        match tx.push(item) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                item = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            });
+            let mut expected = 0;
+            while expected < N {
+                if let Some(v) = rx.pop() {
+                    assert_eq!(v, expected);
+                    expected += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            assert_eq!(rx.pop(), None);
+        });
+    }
+
+    #[test]
+    fn consumer_liveness_is_observable() {
+        let (tx, rx) = spsc::<u8>(2);
+        assert!(tx.consumer_alive());
+        drop(rx);
+        assert!(!tx.consumer_alive());
+    }
+}

@@ -1,0 +1,936 @@
+//! The sharded run-to-completion runtime.
+//!
+//! ```text
+//!                    RSS-style header hash
+//!  submit(batch) ──► dispatcher ──► SPSC ring ──► shard worker 0 ──┐
+//!                        │                          (FlowCache +   │ scatter
+//!                        ├────────► SPSC ring ──► shard worker 1   ├──────► rows +
+//!                        │                            replicated   │        versions
+//!                        └────────► SPSC ring ──► shard worker N   ┘
+//!                                                      ▲
+//!                       SnapshotCell ◄── publish ── control plane
+//!                      (RCU swaps)       (add_rule / remove_rule /
+//!                                         swap_table, single writer)
+//! ```
+//!
+//! * **Dispatcher** ([`RuntimeHandle::submit`]): hashes each header's
+//!   field tuple (the software analogue of NIC RSS) so every packet of a
+//!   flow lands on the same shard — which is what makes per-shard flow
+//!   caches effective — and enqueues one job per shard.
+//! * **Workers**: run-to-completion loops, one per shard, optionally
+//!   CPU-pinned. Each owns its ring's consumer end, its own
+//!   [`FlowCache`] and its own replicated `Arc` snapshot of the lookup
+//!   table — refreshed *between* jobs when the cell's version moved, so
+//!   one job is always served under exactly one table generation. The
+//!   per-packet path touches no locks: cache probe (worker-owned) and
+//!   table walk (immutable snapshot) only.
+//! * **Control plane** ([`RuntimeHandle::add_rule`],
+//!   [`RuntimeHandle::remove_rule`], [`RuntimeHandle::swap_table`]):
+//!   mutates a private master copy, then publishes a cloned snapshot
+//!   through the [`SnapshotCell`] — readers never block, and the
+//!   publish version *is* every worker's cache epoch (unique and
+//!   strictly monotone per table image), so stale memoised results die
+//!   on the next lookup without any cache walking.
+//!
+//! Results come back as a [`ClassifiedBatch`]: the rows in input order
+//! plus, per packet, the **version** of the table that served it — the
+//! hook consistency harnesses use to check every answer against a
+//! sequential oracle *at the generation it was served under*.
+
+use classifier_api::{
+    Admission, BuildError, Classifier, DynamicClassifier, FlowCache, FxHasher, UpdateReport,
+};
+use offilter::Rule;
+use oflow::HeaderValues;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::pin::pin_to_cpu;
+use crate::ring::{spsc, Consumer, Producer};
+use crate::snapshot::{Snapshot, SnapshotCell};
+use crate::telemetry::{RuntimeTelemetry, ShardCounters, ShardTelemetry};
+
+/// Shape of a [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker shards (≥ 1; clamped up from 0).
+    pub shards: usize,
+    /// In-flight batch jobs each shard's ring holds before the
+    /// dispatcher back-pressures.
+    pub ring_capacity: usize,
+    /// Per-shard flow-cache slots (0 disables caching).
+    pub cache_capacity: usize,
+    /// Admission policy of the per-shard caches.
+    pub cache_admission: Admission,
+    /// Pin worker `i` to CPU `i` (best-effort; see [`crate::pin`]).
+    pub pin_workers: bool,
+    /// Thread-local allocation counter the workers sample around their
+    /// per-packet serve loop (e.g. the bench harness's probe); the
+    /// deltas surface as `hot_path_allocs` in telemetry and are
+    /// required to be zero once warmed.
+    pub alloc_counter: Option<fn() -> u64>,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            shards: std::thread::available_parallelism().map_or(1, usize::from).min(8),
+            ring_capacity: 64,
+            cache_capacity: 1024,
+            cache_admission: Admission::TinyLfu,
+            pin_workers: true,
+            alloc_counter: None,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// The default configuration with an explicit shard count.
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        Self { shards, ..Self::default() }
+    }
+}
+
+/// One shard's portion of a submitted batch.
+struct Job {
+    headers: Arc<[HeaderValues]>,
+    /// Packet indices (into `headers`) this shard serves.
+    idx: Vec<u32>,
+    submitted: Instant,
+    reply: Arc<Reply>,
+}
+
+/// One shard's results for one batch.
+struct Part {
+    idx: Vec<u32>,
+    rows: Vec<Option<u32>>,
+    version: u64,
+}
+
+struct ReplyState {
+    remaining: usize,
+    parts: Vec<Part>,
+}
+
+/// Completion rendezvous between the shards serving one batch and the
+/// ticket holder. Locked per *batch* (never per packet).
+struct Reply {
+    state: Mutex<ReplyState>,
+    cv: Condvar,
+}
+
+impl Reply {
+    fn complete(&self, part: Part) {
+        let mut st = self.state.lock().expect("reply lock poisoned");
+        st.parts.push(part);
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// An in-flight batch. [`Ticket::wait`] blocks until every shard
+/// finished and reassembles the results in input order.
+#[must_use = "a ticket resolves to the batch's classifications"]
+pub struct Ticket {
+    reply: Arc<Reply>,
+    len: usize,
+}
+
+impl Ticket {
+    /// Waits for the batch and scatters the per-shard parts back into
+    /// input order.
+    ///
+    /// # Panics
+    /// Panics if the reply lock was poisoned (a worker panicked).
+    pub fn wait(self) -> ClassifiedBatch {
+        let mut st = self.reply.state.lock().expect("reply lock poisoned");
+        while st.remaining > 0 {
+            st = self.reply.cv.wait(st).expect("reply lock poisoned");
+        }
+        let mut rows = vec![None; self.len];
+        let mut versions = vec![0u64; self.len];
+        for part in &st.parts {
+            for (k, &i) in part.idx.iter().enumerate() {
+                rows[i as usize] = part.rows[k];
+                versions[i as usize] = part.version;
+            }
+        }
+        ClassifiedBatch { rows, versions }
+    }
+}
+
+/// A served batch: per-packet rows (input order) and the table version
+/// each packet was classified under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifiedBatch {
+    /// `rows[i]` is the classification of input header `i` (the same
+    /// contract as [`Classifier::classify_batch`]).
+    pub rows: Vec<Option<u32>>,
+    /// `versions[i]` is the snapshot version that served header `i`.
+    pub versions: Vec<u64>,
+}
+
+impl ClassifiedBatch {
+    /// Packets in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the batch was empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Producer-side doorbell: wakes a parked worker after a push. A
+/// pending counter (not a bare notify) closes the check-then-park race.
+struct Doorbell {
+    pending: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Doorbell {
+    fn new() -> Self {
+        Self { pending: Mutex::new(0), cv: Condvar::new() }
+    }
+
+    fn ring(&self) {
+        *self.pending.lock().expect("doorbell lock poisoned") += 1;
+        self.cv.notify_one();
+    }
+
+    /// Parks until rung or `timeout`; consumes any pending rings.
+    fn park(&self, timeout: Duration) {
+        let mut p = self.pending.lock().expect("doorbell lock poisoned");
+        if *p == 0 {
+            let (guard, _) = self.cv.wait_timeout(p, timeout).expect("doorbell lock poisoned");
+            p = guard;
+        }
+        *p = 0;
+    }
+}
+
+/// State shared by the handle(s), the workers and the runtime owner.
+struct Shared<C> {
+    cell: Arc<SnapshotCell<C>>,
+    /// Control-plane master copy (`None` for data-plane-only runtimes
+    /// built with [`Runtime::new`]).
+    master: Mutex<Option<C>>,
+    /// One lock per shard ring's producer end: the SPSC invariant needs
+    /// submitters serialised *per shard*, and per-shard locks mean a
+    /// full ring (back-pressure spin) on one shard never convoys
+    /// submitters whose packets target other shards.
+    producers: Vec<Mutex<Producer<Job>>>,
+    doorbells: Vec<Arc<Doorbell>>,
+    counters: Vec<Arc<ShardCounters>>,
+    stop: AtomicBool,
+    shards: usize,
+    cache_capacity: usize,
+}
+
+/// RSS-style shard selection: hash of the header's full field tuple, so
+/// one flow always lands on the same shard (cache affinity), uniform
+/// across shards for distinct flows.
+fn shard_of(header: &HeaderValues, shards: usize) -> usize {
+    let mut hasher = FxHasher::default();
+    for &(field, value) in header.fields() {
+        hasher.write_u32(field as u32);
+        hasher.write_u64(value as u64);
+        hasher.write_u64((value >> 64) as u64);
+    }
+    let x = hasher.finish();
+    #[allow(clippy::cast_possible_truncation)]
+    let mixed = (x ^ (x >> 32)) as usize;
+    mixed % shards
+}
+
+/// Cloneable control + data handle onto a running [`Runtime`].
+pub struct RuntimeHandle<C> {
+    shared: Arc<Shared<C>>,
+}
+
+impl<C> Clone for RuntimeHandle<C> {
+    fn clone(&self) -> Self {
+        Self { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<C: Classifier + 'static> RuntimeHandle<C> {
+    /// The current published table version.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.shared.cell.version()
+    }
+
+    /// The current published snapshot (control-plane path).
+    #[must_use]
+    pub fn latest(&self) -> Arc<Snapshot<C>> {
+        self.shared.cell.latest()
+    }
+
+    /// Submits a batch for classification across the shards and returns
+    /// immediately; [`Ticket::wait`] collects the results. Back-pressures
+    /// (yielding) while a shard's ring is full.
+    ///
+    /// # Panics
+    /// Panics if the runtime has been shut down.
+    pub fn submit(&self, headers: Arc<[HeaderValues]>) -> Ticket {
+        assert!(!self.shared.stop.load(SeqCst), "runtime is shut down");
+        let n = headers.len();
+        let shards = self.shared.shards;
+        let mut idx: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        if shards == 1 {
+            idx[0] = (0..u32::try_from(n).expect("batch fits u32 indices")).collect();
+        } else {
+            for (i, h) in headers.iter().enumerate() {
+                idx[shard_of(h, shards)].push(u32::try_from(i).expect("batch fits u32 indices"));
+            }
+        }
+        let live = idx.iter().filter(|l| !l.is_empty()).count();
+        let reply = Arc::new(Reply {
+            state: Mutex::new(ReplyState { remaining: live, parts: Vec::with_capacity(live) }),
+            cv: Condvar::new(),
+        });
+        let submitted = Instant::now();
+        for (shard, list) in idx.into_iter().enumerate() {
+            if list.is_empty() {
+                continue;
+            }
+            let mut job = Job {
+                headers: Arc::clone(&headers),
+                idx: list,
+                submitted,
+                reply: Arc::clone(&reply),
+            };
+            let mut producer = self.shared.producers[shard].lock().expect("producer lock poisoned");
+            loop {
+                match producer.push(job) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        // Ring full: nudge the worker and retry.
+                        job = back;
+                        self.shared.doorbells[shard].ring();
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            drop(producer);
+            self.shared.doorbells[shard].ring();
+        }
+        Ticket { reply, len: n }
+    }
+
+    /// Classifies one batch synchronously: submit + wait.
+    ///
+    /// # Panics
+    /// See [`RuntimeHandle::submit`] / [`Ticket::wait`].
+    #[must_use]
+    pub fn classify_batch(&self, headers: &[HeaderValues]) -> ClassifiedBatch {
+        self.submit(headers.to_vec().into()).wait()
+    }
+
+    /// Classifies one batch and returns only the rows — the exact
+    /// [`Classifier::classify_batch`] contract, for oracle comparisons.
+    ///
+    /// # Panics
+    /// See [`RuntimeHandle::submit`] / [`Ticket::wait`].
+    #[must_use]
+    pub fn classify_rows(&self, headers: &[HeaderValues]) -> Vec<Option<u32>> {
+        self.classify_batch(headers).rows
+    }
+
+    /// Publishes a brand-new table, replacing whatever is being served
+    /// **and** the control-plane master (single O(1) swap for readers).
+    /// Returns the new version.
+    ///
+    /// # Panics
+    /// Panics if the master lock was poisoned.
+    pub fn swap_table(&self, table: C) -> u64
+    where
+        C: Clone,
+    {
+        let mut master = self.shared.master.lock().expect("master lock poisoned");
+        *master = Some(table.clone());
+        let version = self.shared.cell.publish(table);
+        drop(master);
+        version
+    }
+
+    /// Adds one rule through the control plane: mutates the master copy
+    /// off the hot path, then publishes a new snapshot. Returns the
+    /// update report and the version at which the rule is visible.
+    ///
+    /// # Errors
+    /// [`BuildError::InvalidConfig`] when the runtime was built without
+    /// a control-plane master ([`Runtime::new`] instead of
+    /// [`Runtime::with_control`]); otherwise whatever the classifier's
+    /// [`DynamicClassifier::insert_rule`] reports.
+    ///
+    /// # Panics
+    /// Panics if the master lock was poisoned.
+    pub fn add_rule(&self, rule: Rule) -> Result<(UpdateReport, u64), BuildError>
+    where
+        C: DynamicClassifier + Clone,
+    {
+        let mut master = self.shared.master.lock().expect("master lock poisoned");
+        let table = master.as_mut().ok_or_else(|| BuildError::InvalidConfig {
+            detail: "runtime has no control-plane master (built with Runtime::new; \
+                     use Runtime::with_control)"
+                .into(),
+        })?;
+        let report = table.insert_rule(rule)?;
+        let version = self.shared.cell.publish(table.clone());
+        Ok((report, version))
+    }
+
+    /// Removes a rule by id through the control plane; `None` when no
+    /// such rule is stored. Returns the update report and the version at
+    /// which the removal is visible.
+    ///
+    /// # Panics
+    /// Panics if the runtime was built without a control-plane master or
+    /// the master lock was poisoned.
+    pub fn remove_rule(&self, rule_id: u32) -> Option<(UpdateReport, u64)>
+    where
+        C: DynamicClassifier + Clone,
+    {
+        let mut master = self.shared.master.lock().expect("master lock poisoned");
+        let table = master.as_mut().expect("runtime has no control-plane master");
+        let report = table.remove_rule(rule_id)?;
+        let version = self.shared.cell.publish(table.clone());
+        Some((report, version))
+    }
+
+    /// Snapshots every shard's counters.
+    #[must_use]
+    pub fn telemetry(&self) -> RuntimeTelemetry {
+        RuntimeTelemetry {
+            version: self.shared.cell.version(),
+            shards: self.shared.shards,
+            per_shard: self
+                .shared
+                .counters
+                .iter()
+                .enumerate()
+                .map(|(s, c)| ShardTelemetry::capture(s, c, self.shared.cache_capacity))
+                .collect(),
+        }
+    }
+}
+
+/// The running dataplane: owns the worker threads. Cheap handles
+/// ([`Runtime::handle`]) do the talking; dropping the runtime stops and
+/// joins the workers (outstanding tickets must be resolved first).
+pub struct Runtime<C: Classifier + 'static> {
+    handle: RuntimeHandle<C>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<C: Classifier + 'static> Runtime<C> {
+    /// Starts a data-plane-only runtime serving `classifier` (no
+    /// control-plane master: [`RuntimeHandle::add_rule`] is unavailable,
+    /// table replacement goes through [`SnapshotCell`]-level swaps of a
+    /// runtime built [`Runtime::with_control`]).
+    #[must_use]
+    pub fn new(classifier: C, config: &RuntimeConfig) -> Self {
+        Self::build(classifier, None, config)
+    }
+
+    /// Starts a runtime with a control plane: `classifier` is cloned
+    /// into the published snapshot, the original becomes the mutable
+    /// master behind [`RuntimeHandle::add_rule`] /
+    /// [`RuntimeHandle::remove_rule`] / [`RuntimeHandle::swap_table`].
+    #[must_use]
+    pub fn with_control(classifier: C, config: &RuntimeConfig) -> Self
+    where
+        C: Clone,
+    {
+        let snapshot = classifier.clone();
+        Self::build(snapshot, Some(classifier), config)
+    }
+
+    fn build(classifier: C, master: Option<C>, config: &RuntimeConfig) -> Self {
+        let shards = config.shards.max(1);
+        let cell = Arc::new(SnapshotCell::new(classifier));
+        let mut producers = Vec::with_capacity(shards);
+        let mut consumers = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = spsc::<Job>(config.ring_capacity.max(1));
+            producers.push(tx);
+            consumers.push(rx);
+        }
+        let doorbells: Vec<Arc<Doorbell>> =
+            (0..shards).map(|_| Arc::new(Doorbell::new())).collect();
+        let counters: Vec<Arc<ShardCounters>> =
+            (0..shards).map(|_| Arc::new(ShardCounters::default())).collect();
+        let shared = Arc::new(Shared {
+            cell,
+            master: Mutex::new(master),
+            producers: producers.into_iter().map(Mutex::new).collect(),
+            doorbells,
+            counters,
+            stop: AtomicBool::new(false),
+            shards,
+            cache_capacity: config.cache_capacity,
+        });
+        let workers = consumers
+            .into_iter()
+            .enumerate()
+            .map(|(shard, consumer)| {
+                let shared = Arc::clone(&shared);
+                let cfg = WorkerConfig {
+                    shard,
+                    pin: config.pin_workers,
+                    cache_capacity: config.cache_capacity,
+                    cache_admission: config.cache_admission,
+                    alloc_counter: config.alloc_counter,
+                };
+                std::thread::Builder::new()
+                    .name(format!("mtl-shard-{shard}"))
+                    .spawn(move || worker_loop(&cfg, &shared, consumer))
+                    .expect("spawning a shard worker")
+            })
+            .collect();
+        Self { handle: RuntimeHandle { shared }, workers }
+    }
+
+    /// A cloneable handle (control + data plane).
+    #[must_use]
+    pub fn handle(&self) -> RuntimeHandle<C> {
+        self.handle.clone()
+    }
+
+    /// Stops the workers and joins them. Equivalent to dropping the
+    /// runtime, as an explicit verb.
+    pub fn shutdown(self) {}
+}
+
+impl<C: Classifier + 'static> std::ops::Deref for Runtime<C> {
+    type Target = RuntimeHandle<C>;
+    fn deref(&self) -> &Self::Target {
+        &self.handle
+    }
+}
+
+impl<C: Classifier + 'static> Drop for Runtime<C> {
+    fn drop(&mut self) {
+        self.handle.shared.stop.store(true, SeqCst);
+        for bell in &self.handle.shared.doorbells {
+            bell.ring();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+struct WorkerConfig {
+    shard: usize,
+    pin: bool,
+    cache_capacity: usize,
+    cache_admission: Admission,
+    alloc_counter: Option<fn() -> u64>,
+}
+
+/// The run-to-completion shard loop. Per job: refresh the replicated
+/// snapshot if the cell moved, then serve every packet through the
+/// worker-owned cache and the immutable table — no locks, and (once
+/// warmed) no heap allocations inside the per-packet loop.
+fn worker_loop<C: Classifier + 'static>(
+    cfg: &WorkerConfig,
+    shared: &Shared<C>,
+    mut jobs: Consumer<Job>,
+) {
+    let counters = Arc::clone(&shared.counters[cfg.shard]);
+    let doorbell = Arc::clone(&shared.doorbells[cfg.shard]);
+    if cfg.pin {
+        counters.pinned.store(pin_to_cpu(cfg.shard), SeqCst);
+    }
+    let reader = shared.cell.register("shard");
+    let mut cache = (cfg.cache_capacity > 0)
+        .then(|| FlowCache::with_admission(cfg.cache_capacity, cfg.cache_admission));
+    if let Some(cache) = cache.as_ref() {
+        // Seed the telemetry mirrors with the cache's effective
+        // (rounding-aware) capacities before any traffic arrives.
+        counters.record_cache(&cache.stats());
+    }
+    let mut snap = reader.load();
+    let mut spins = 0u32;
+    loop {
+        let Some(job) = jobs.pop() else {
+            if shared.stop.load(SeqCst) {
+                break;
+            }
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                counters.idle_parks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                doorbell.park(Duration::from_millis(1));
+            }
+            continue;
+        };
+        spins = 0;
+        // Refresh the replicated snapshot between jobs only: one job =
+        // one table generation.
+        if reader.cell().version() != snap.version {
+            snap = reader.load();
+            counters.snapshot_refreshes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        let started = Instant::now();
+        // The cache epoch is the snapshot's publish version, alone: it
+        // is unique and strictly monotone per table image, so a cached
+        // row can never be served across a publish. (Folding the
+        // table's own `generation()` in would *break* this: version
+        // and generation move in lockstep under add/remove, and a
+        // `swap_table` to a lower-generation table could then reproduce
+        // an old epoch and revive that epoch's stale entries.)
+        let epoch = snap.version;
+        let Job { headers, idx, submitted, reply } = job;
+        let mut rows: Vec<Option<u32>> = Vec::with_capacity(idx.len());
+        // Sample the thread-local allocation counter strictly around the
+        // per-packet loop (the rows buffer above is per-batch).
+        let allocs_before = cfg.alloc_counter.map(|probe| probe());
+        match cache.as_mut() {
+            Some(cache) => {
+                for &i in &idx {
+                    let header = &headers[i as usize];
+                    let row = match cache.lookup(epoch, header) {
+                        Some(row) => row,
+                        None => {
+                            let row = snap.value.classify(header);
+                            cache.insert(epoch, header, row);
+                            row
+                        }
+                    };
+                    rows.push(row);
+                }
+            }
+            None => {
+                for &i in &idx {
+                    rows.push(snap.value.classify(&headers[i as usize]));
+                }
+            }
+        }
+        if let (Some(probe), Some(before)) = (cfg.alloc_counter, allocs_before) {
+            counters
+                .hot_path_allocs
+                .fetch_add(probe() - before, std::sync::atomic::Ordering::Relaxed);
+        }
+        let served = idx.len() as u64;
+        counters.packets.fetch_add(served, std::sync::atomic::Ordering::Relaxed);
+        counters.batches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        #[allow(clippy::cast_possible_truncation)]
+        counters
+            .busy_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
+        #[allow(clippy::cast_possible_truncation)]
+        counters.latency.record(submitted.elapsed().as_nanos() as u64);
+        if let Some(cache) = cache.as_ref() {
+            counters.record_cache(&cache.stats());
+        }
+        reply.complete(Part { idx, rows, version: snap.version });
+        drop(headers);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use classifier_api::{reference_classify, ClassifierBuilder};
+    use offilter::{FilterSet, RuleAction};
+    use oflow::{FlowMatch, MatchFieldKind};
+
+    /// A tiny linear-scan dynamic classifier (the real engines live
+    /// downstream; the runtime only needs the trait surface).
+    #[derive(Clone)]
+    struct Scan(Vec<Rule>);
+
+    impl Classifier for Scan {
+        fn name(&self) -> &str {
+            "scan"
+        }
+        fn classify(&self, header: &HeaderValues) -> Option<u32> {
+            reference_classify(&self.0, header)
+        }
+        fn memory_bits(&self) -> u64 {
+            1
+        }
+        fn lookup_accesses(&self, _header: &HeaderValues) -> usize {
+            self.0.len()
+        }
+        fn build_records(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    impl ClassifierBuilder for Scan {
+        fn try_build(set: &FilterSet) -> Result<Self, BuildError> {
+            Ok(Self(set.rules.clone()))
+        }
+    }
+
+    impl DynamicClassifier for Scan {
+        fn insert_rule(&mut self, rule: Rule) -> Result<UpdateReport, BuildError> {
+            self.0.push(rule);
+            Ok(UpdateReport { records: 1, rebuilt: false })
+        }
+        fn remove_rule(&mut self, rule_id: u32) -> Option<UpdateReport> {
+            let before = self.0.len();
+            self.0.retain(|r| r.id != rule_id);
+            (self.0.len() < before).then_some(UpdateReport { records: 1, rebuilt: false })
+        }
+    }
+
+    fn route(id: u32, port: u128, value: u128, len: u32, out: u32) -> Rule {
+        Rule::new(
+            id,
+            len as u16,
+            FlowMatch::any()
+                .with_exact(MatchFieldKind::InPort, port)
+                .unwrap()
+                .with_prefix(MatchFieldKind::Ipv4Dst, value, len)
+                .unwrap(),
+            RuleAction::Forward(out),
+        )
+    }
+
+    fn rules() -> Vec<Rule> {
+        vec![
+            route(0, 1, 0x0A00_0000, 8, 1),
+            route(1, 1, 0x0A01_0200, 24, 2),
+            route(2, 2, 0x0A00_0000, 8, 3),
+            route(3, 3, 0, 0, 4),
+        ]
+    }
+
+    fn headers(n: usize) -> Vec<HeaderValues> {
+        (0..n as u128)
+            .map(|i| {
+                HeaderValues::new()
+                    .with(MatchFieldKind::InPort, 1 + (i % 4))
+                    .with(MatchFieldKind::Ipv4Dst, 0x0A00_0000 + (i % 61) * 0x101)
+            })
+            .collect()
+    }
+
+    fn quick_config(shards: usize) -> RuntimeConfig {
+        RuntimeConfig {
+            shards,
+            ring_capacity: 8,
+            cache_capacity: 64,
+            pin_workers: false,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn matches_the_sequential_oracle_across_shard_counts() {
+        let hs = headers(257);
+        for shards in [1, 2, 3, 8] {
+            let rt = Runtime::new(Scan(rules()), &quick_config(shards));
+            let want: Vec<Option<u32>> =
+                hs.iter().map(|h| reference_classify(&rules(), h)).collect();
+            // Cold and warm (cache-served) passes are byte-identical.
+            let cold = rt.classify_batch(&hs);
+            assert_eq!(cold.rows, want, "{shards} shards (cold)");
+            assert!(cold.versions.iter().all(|&v| v == 1), "{shards} shards: quiesced version");
+            let warm = rt.classify_batch(&hs);
+            assert_eq!(warm.rows, want, "{shards} shards (warm)");
+            let t = rt.telemetry();
+            assert_eq!(t.total_packets(), 2 * 257, "{shards} shards");
+            assert_eq!(t.per_shard.len(), shards);
+            // The cache mirrors carry the cache's own effective sizes
+            // (64 main slots + the default W-TinyLFU window).
+            assert!(
+                t.per_shard.iter().all(|s| s.cache.capacity == 64 && s.cache.window_capacity == 2),
+                "{shards} shards: telemetry must report real cache geometry"
+            );
+            if shards > 1 {
+                let busy: Vec<u64> = t.per_shard.iter().map(|s| s.packets).collect();
+                assert!(
+                    busy.iter().filter(|&&p| p > 0).count() > 1,
+                    "RSS dispatch uses multiple shards: {busy:?}"
+                );
+            }
+            rt.shutdown();
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_batches() {
+        let rt = Runtime::new(Scan(rules()), &quick_config(4));
+        let out = rt.classify_batch(&[]);
+        assert!(out.is_empty());
+        let one = headers(1);
+        let out = rt.classify_batch(&one);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows[0], reference_classify(&rules(), &one[0]));
+    }
+
+    #[test]
+    fn pipelined_submissions_all_resolve() {
+        let rt = Runtime::new(Scan(rules()), &quick_config(2));
+        let hs: Arc<[HeaderValues]> = headers(64).into();
+        let want: Vec<Option<u32>> = hs.iter().map(|h| reference_classify(&rules(), h)).collect();
+        let tickets: Vec<Ticket> = (0..32).map(|_| rt.submit(Arc::clone(&hs))).collect();
+        for t in tickets {
+            assert_eq!(t.wait().rows, want);
+        }
+        assert_eq!(rt.telemetry().total_packets(), 32 * 64);
+    }
+
+    #[test]
+    fn control_plane_updates_become_visible_with_version() {
+        let rt = Runtime::with_control(Scan(rules()), &quick_config(2));
+        let h = HeaderValues::new()
+            .with(MatchFieldKind::InPort, 1)
+            .with(MatchFieldKind::Ipv4Dst, 0x0A01_0203u128);
+        assert_eq!(rt.classify_batch(std::slice::from_ref(&h)).rows, vec![Some(1)]);
+
+        let (report, v2) = rt.add_rule(route(9, 1, 0x0A01_0200, 24, 9)).unwrap();
+        assert_eq!(report.records, 1);
+        assert_eq!(v2, 2);
+        let out = rt.classify_batch(std::slice::from_ref(&h));
+        assert_eq!(out.rows, vec![Some(9)], "higher-priority rule serves after publish");
+        assert_eq!(out.versions, vec![2]);
+
+        let (_, v3) = rt.remove_rule(9).expect("rule exists");
+        assert_eq!(v3, 3);
+        let out = rt.classify_batch(std::slice::from_ref(&h));
+        assert_eq!(out.rows, vec![Some(1)], "removal rolls the answer back");
+        assert!(rt.remove_rule(123).is_none());
+        assert_eq!(rt.version(), 3, "a no-op removal publishes nothing");
+    }
+
+    #[test]
+    fn swap_table_replaces_everything() {
+        let rt = Runtime::with_control(Scan(rules()), &quick_config(2));
+        let h = HeaderValues::new()
+            .with(MatchFieldKind::InPort, 3)
+            .with(MatchFieldKind::Ipv4Dst, 0x0102_0304u128);
+        assert_eq!(rt.classify_batch(std::slice::from_ref(&h)).rows, vec![Some(3)]);
+        let v = rt.swap_table(Scan(vec![route(77, 3, 0, 0, 7)]));
+        assert_eq!(v, 2);
+        assert_eq!(rt.classify_batch(std::slice::from_ref(&h)).rows, vec![Some(77)]);
+        // The master moved with the swap: updates apply to the new table.
+        rt.remove_rule(77).expect("new table's rule exists");
+        assert_eq!(rt.classify_batch(std::slice::from_ref(&h)).rows, vec![None]);
+    }
+
+    /// Regression: the cache epoch must be the publish version alone.
+    /// Folding the table's `generation()` in lets `swap_table` to a
+    /// lower-generation table reproduce an earlier epoch and serve that
+    /// epoch's stale cached rows.
+    #[test]
+    fn swap_table_to_lower_generation_does_not_revive_stale_cache() {
+        /// A classifier with an arbitrary caller-chosen generation.
+        #[derive(Clone)]
+        struct Gen(Vec<Rule>, u64);
+        impl Classifier for Gen {
+            fn name(&self) -> &str {
+                "gen"
+            }
+            fn classify(&self, header: &HeaderValues) -> Option<u32> {
+                reference_classify(&self.0, header)
+            }
+            fn memory_bits(&self) -> u64 {
+                1
+            }
+            fn lookup_accesses(&self, _header: &HeaderValues) -> usize {
+                1
+            }
+            fn build_records(&self) -> usize {
+                0
+            }
+            fn generation(&self) -> u64 {
+                self.1
+            }
+        }
+
+        let h = HeaderValues::new()
+            .with(MatchFieldKind::InPort, 3)
+            .with(MatchFieldKind::Ipv4Dst, 0x0102_0304u128);
+        // Version 1, generation 2: under a version+generation epoch this
+        // caches at epoch 3.
+        let rt = Runtime::with_control(Gen(vec![route(0, 3, 0, 0, 1)], 2), &quick_config(1));
+        assert_eq!(rt.classify_batch(std::slice::from_ref(&h)).rows, vec![Some(0)]);
+        assert_eq!(rt.classify_batch(std::slice::from_ref(&h)).rows, vec![Some(0)], "warm hit");
+        // Version 2, generation 1 — the old epoch arithmetic collides
+        // (2 + 1 == 1 + 2) and would serve the stale Some(0) row; the
+        // new table answers None for this flow.
+        let v = rt.swap_table(Gen(Vec::new(), 1));
+        assert_eq!(v, 2);
+        assert_eq!(
+            rt.classify_batch(std::slice::from_ref(&h)).rows,
+            vec![None],
+            "swap_table must invalidate every cached row, whatever the generations"
+        );
+    }
+
+    #[test]
+    fn data_plane_only_runtime_rejects_updates() {
+        let rt = Runtime::new(Scan(rules()), &quick_config(1));
+        let err = rt.add_rule(route(9, 1, 0, 0, 9)).unwrap_err();
+        assert!(matches!(err, BuildError::InvalidConfig { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn concurrent_classification_and_churn_matches_versioned_oracle() {
+        let rt = Runtime::with_control(Scan(rules()), &quick_config(3));
+        let handle = rt.handle();
+        // Version → rule set at that version.
+        let log = Mutex::new(vec![(1u64, rules())]);
+        let hs = headers(128);
+        std::thread::scope(|scope| {
+            let churn = scope.spawn(|| {
+                // Single publisher: versions are predictable, and each
+                // log entry is appended *before* its publish so a racing
+                // worker can never serve a version the log lacks.
+                let mut rs = rules();
+                let mut next_version = 2u64;
+                for round in 0..40u32 {
+                    let rule = route(100 + round, 1 + u128::from(round % 4), 0, 0, 90 + round);
+                    rs.push(rule.clone());
+                    log.lock().unwrap().push((next_version, rs.clone()));
+                    let (_, v) = handle.add_rule(rule).unwrap();
+                    assert_eq!(v, next_version);
+                    next_version += 1;
+                    if round % 2 == 0 {
+                        rs.retain(|r| r.id != 100 + round);
+                        log.lock().unwrap().push((next_version, rs.clone()));
+                        let (_, v) = handle.remove_rule(100 + round).expect("just added");
+                        assert_eq!(v, next_version);
+                        next_version += 1;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+            for _ in 0..60 {
+                let out = rt.classify_batch(&hs);
+                let snapshot_log = log.lock().unwrap().clone();
+                for (i, (&row, &version)) in out.rows.iter().zip(&out.versions).enumerate() {
+                    let rules_at = &snapshot_log
+                        .iter()
+                        .rev()
+                        .find(|(v, _)| *v <= version)
+                        .expect("every served version has a log entry")
+                        .1;
+                    assert_eq!(
+                        row,
+                        reference_classify(rules_at, &hs[i]),
+                        "packet {i} at version {version}"
+                    );
+                }
+            }
+            churn.join().unwrap();
+        });
+    }
+}

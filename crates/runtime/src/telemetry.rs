@@ -1,0 +1,337 @@
+//! Per-shard runtime telemetry: throughput, cache effectiveness, batch
+//! latency percentiles, hot-path allocation accounting.
+//!
+//! Workers publish into plain atomic counters ([`ShardCounters`],
+//! relaxed stores, touched once per *batch*, never per packet);
+//! [`crate::RuntimeHandle::telemetry`] snapshots them into the
+//! immutable [`RuntimeTelemetry`] block, which renders itself as JSON
+//! ([`RuntimeTelemetry::to_json`]) so operational tooling consumes one
+//! self-contained document instead of scraping counters.
+
+use classifier_api::CacheStats;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+
+/// Latency histogram: power-of-two nanosecond buckets (bucket `i` holds
+/// samples in `[2^i, 2^(i+1))` ns; bucket 0 holds sub-2ns samples).
+const LATENCY_BUCKETS: usize = 40;
+
+/// Lock-free counters one worker shard writes and anyone may read.
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    /// Packets classified.
+    pub packets: AtomicU64,
+    /// Batch jobs served.
+    pub batches: AtomicU64,
+    /// Nanoseconds spent classifying (excludes idle waiting).
+    pub busy_ns: AtomicU64,
+    /// Snapshot refreshes (RCU re-acquisitions after a publish).
+    pub snapshot_refreshes: AtomicU64,
+    /// Times the worker parked on its doorbell with an empty ring.
+    pub idle_parks: AtomicU64,
+    /// Heap allocations observed *inside* the per-packet serve loop by
+    /// the installed allocation hook (see
+    /// [`crate::RuntimeConfig::alloc_counter`]); stays 0 without a hook.
+    pub hot_path_allocs: AtomicU64,
+    /// Whether the kernel accepted this worker's CPU pin.
+    pub pinned: AtomicBool,
+    /// Mirrors of the worker-owned flow cache's counters.
+    pub cache_hits: AtomicU64,
+    /// See [`ShardCounters::cache_hits`].
+    pub cache_misses: AtomicU64,
+    /// See [`ShardCounters::cache_hits`].
+    pub cache_insertions: AtomicU64,
+    /// See [`ShardCounters::cache_hits`].
+    pub cache_evictions: AtomicU64,
+    /// See [`ShardCounters::cache_hits`].
+    pub cache_rejections: AtomicU64,
+    /// See [`ShardCounters::cache_hits`].
+    pub cache_window_hits: AtomicU64,
+    /// Effective main-region slot count of the worker's cache (set from
+    /// the cache itself, so power-of-two rounding is reflected).
+    pub cache_capacity: AtomicU64,
+    /// Recency-window slot count of the worker's cache.
+    pub cache_window_capacity: AtomicU64,
+    /// Batch service latency histogram (submit → served), log2-ns.
+    pub latency: LatencyHistogram,
+}
+
+impl ShardCounters {
+    /// Copies the worker's cache stats into the atomic mirrors.
+    pub fn record_cache(&self, stats: &CacheStats) {
+        self.cache_hits.store(stats.hits, Relaxed);
+        self.cache_misses.store(stats.misses, Relaxed);
+        self.cache_insertions.store(stats.insertions, Relaxed);
+        self.cache_evictions.store(stats.evictions, Relaxed);
+        self.cache_rejections.store(stats.rejections, Relaxed);
+        self.cache_window_hits.store(stats.window_hits, Relaxed);
+        self.cache_capacity.store(stats.capacity as u64, Relaxed);
+        self.cache_window_capacity.store(stats.window_capacity as u64, Relaxed);
+    }
+}
+
+/// A lock-free log2 histogram of nanosecond durations.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one duration.
+    pub fn record(&self, ns: u64) {
+        let bits = 64 - ns.leading_zeros() as usize; // 0 for ns = 0
+        let bucket = bits.saturating_sub(1).min(LATENCY_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Relaxed);
+    }
+
+    /// Snapshot of the bucket counts.
+    fn snapshot(&self) -> [u64; LATENCY_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Relaxed))
+    }
+}
+
+/// Upper bound (exclusive) of histogram bucket `i` in nanoseconds.
+fn bucket_upper(i: usize) -> u64 {
+    1u64 << (i + 1)
+}
+
+/// The `q`-quantile (0..=1) of a bucketed sample set, as the matched
+/// bucket's upper bound; 0 when empty.
+fn quantile(buckets: &[u64; LATENCY_BUCKETS], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+    #[allow(clippy::cast_sign_loss)]
+    let rank = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut seen = 0;
+    for (i, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return bucket_upper(i);
+        }
+    }
+    bucket_upper(LATENCY_BUCKETS - 1)
+}
+
+/// One shard's telemetry snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardTelemetry {
+    /// Shard index.
+    pub shard: usize,
+    /// Packets classified.
+    pub packets: u64,
+    /// Batch jobs served.
+    pub batches: u64,
+    /// Nanoseconds spent classifying.
+    pub busy_ns: u64,
+    /// Packets per second of busy time (0 when idle so far).
+    pub busy_packets_per_sec: f64,
+    /// Snapshot refreshes after RCU publishes.
+    pub snapshot_refreshes: u64,
+    /// Doorbell parks with an empty ring.
+    pub idle_parks: u64,
+    /// Heap allocations inside the per-packet serve loop (0 without an
+    /// installed hook; required to stay 0 once warmed).
+    pub hot_path_allocs: u64,
+    /// Whether this worker is CPU-pinned.
+    pub pinned: bool,
+    /// Flow-cache counters (cumulative since the worker started).
+    pub cache: CacheStats,
+    /// Median batch latency (submit → served), ns, bucket upper bound.
+    pub latency_p50_ns: u64,
+    /// 90th-percentile batch latency, ns.
+    pub latency_p90_ns: u64,
+    /// 99th-percentile batch latency, ns.
+    pub latency_p99_ns: u64,
+}
+
+impl ShardTelemetry {
+    /// Snapshots one shard's counters. `configured_capacity` is the
+    /// fallback for the cache-capacity fields until the worker's first
+    /// cache-stats mirror lands (the mirrors carry the cache's own
+    /// effective, rounding-aware numbers).
+    #[must_use]
+    pub fn capture(shard: usize, c: &ShardCounters, configured_capacity: usize) -> Self {
+        let packets = c.packets.load(Relaxed);
+        let busy_ns = c.busy_ns.load(Relaxed);
+        let hist = c.latency.snapshot();
+        #[allow(clippy::cast_precision_loss)]
+        let busy_packets_per_sec =
+            if busy_ns == 0 { 0.0 } else { packets as f64 / (busy_ns as f64 / 1e9) };
+        Self {
+            shard,
+            packets,
+            batches: c.batches.load(Relaxed),
+            busy_ns,
+            busy_packets_per_sec,
+            snapshot_refreshes: c.snapshot_refreshes.load(Relaxed),
+            idle_parks: c.idle_parks.load(Relaxed),
+            hot_path_allocs: c.hot_path_allocs.load(Relaxed),
+            pinned: c.pinned.load(Relaxed),
+            cache: CacheStats {
+                hits: c.cache_hits.load(Relaxed),
+                misses: c.cache_misses.load(Relaxed),
+                insertions: c.cache_insertions.load(Relaxed),
+                evictions: c.cache_evictions.load(Relaxed),
+                rejections: c.cache_rejections.load(Relaxed),
+                window_hits: c.cache_window_hits.load(Relaxed),
+                capacity: match c.cache_capacity.load(Relaxed) {
+                    0 => configured_capacity,
+                    mirrored => mirrored as usize,
+                },
+                window_capacity: c.cache_window_capacity.load(Relaxed) as usize,
+            },
+            latency_p50_ns: quantile(&hist, 0.50),
+            latency_p90_ns: quantile(&hist, 0.90),
+            latency_p99_ns: quantile(&hist, 0.99),
+        }
+    }
+}
+
+/// Whole-runtime telemetry snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeTelemetry {
+    /// Current published table version.
+    pub version: u64,
+    /// Worker shard count.
+    pub shards: usize,
+    /// Per-shard snapshots, shard order.
+    pub per_shard: Vec<ShardTelemetry>,
+}
+
+impl RuntimeTelemetry {
+    /// Packets classified across all shards.
+    #[must_use]
+    pub fn total_packets(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.packets).sum()
+    }
+
+    /// Aggregate cache hit rate across shards (0 when idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let merged =
+            self.per_shard.iter().map(|s| s.cache).fold(CacheStats::default(), CacheStats::merged);
+        merged.hit_rate()
+    }
+
+    /// Heap allocations observed on any shard's per-packet serve loop.
+    #[must_use]
+    pub fn hot_path_allocs(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.hot_path_allocs).sum()
+    }
+
+    /// Renders the telemetry as a self-contained JSON document (compact,
+    /// stable key order).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(256 + 256 * self.per_shard.len());
+        let _ = write!(
+            out,
+            "{{\"version\":{},\"shards\":{},\"total_packets\":{},\"hit_rate\":{:.6},\
+             \"per_shard\":[",
+            self.version,
+            self.shards,
+            self.total_packets(),
+            self.hit_rate()
+        );
+        for (i, s) in self.per_shard.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"shard\":{},\"packets\":{},\"batches\":{},\"busy_ns\":{},\
+                 \"busy_packets_per_sec\":{:.1},\"snapshot_refreshes\":{},\"idle_parks\":{},\
+                 \"hot_path_allocs\":{},\"pinned\":{},\"cache\":{{\"hits\":{},\"misses\":{},\
+                 \"hit_rate\":{:.6},\"insertions\":{},\"evictions\":{},\"rejections\":{},\
+                 \"window_hits\":{},\"capacity\":{},\"window_capacity\":{}}},\
+                 \"latency_ns\":{{\"p50\":{},\"p90\":{},\"p99\":{}}}}}",
+                s.shard,
+                s.packets,
+                s.batches,
+                s.busy_ns,
+                s.busy_packets_per_sec,
+                s.snapshot_refreshes,
+                s.idle_parks,
+                s.hot_path_allocs,
+                s.pinned,
+                s.cache.hits,
+                s.cache.misses,
+                s.cache.hit_rate(),
+                s.cache.insertions,
+                s.cache.evictions,
+                s.cache.rejections,
+                s.cache.window_hits,
+                s.cache.capacity,
+                s.cache.window_capacity,
+                s.latency_p50_ns,
+                s.latency_p90_ns,
+                s.latency_p99_ns,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_percentiles_bracket_samples() {
+        let h = LatencyHistogram::default();
+        for ns in [100u64, 100, 100, 100, 100, 100, 100, 100, 100, 100_000] {
+            h.record(ns);
+        }
+        let snap = h.snapshot();
+        let p50 = quantile(&snap, 0.50);
+        let p99 = quantile(&snap, 0.99);
+        assert!((64..=256).contains(&p50), "p50 {p50}");
+        assert!(p99 >= 65_536, "p99 {p99}");
+        assert_eq!(quantile(&LatencyHistogram::default().snapshot(), 0.5), 0);
+        // Extremes do not overflow the bucket range.
+        h.record(0);
+        h.record(u64::MAX);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let counters = ShardCounters::default();
+        counters.packets.store(10, Relaxed);
+        counters.busy_ns.store(1000, Relaxed);
+        counters.record_cache(&CacheStats { hits: 7, misses: 3, ..CacheStats::default() });
+        counters.latency.record(500);
+        let t = RuntimeTelemetry {
+            version: 3,
+            shards: 1,
+            per_shard: vec![ShardTelemetry::capture(0, &counters, 64)],
+        };
+        assert_eq!(t.total_packets(), 10);
+        assert!((t.hit_rate() - 0.7).abs() < 1e-9);
+        let json = t.to_json();
+        for needle in [
+            "\"version\":3",
+            "\"total_packets\":10",
+            "\"hits\":7",
+            "\"p50\":",
+            "\"pinned\":false",
+            "\"busy_packets_per_sec\":",
+            "\"window_capacity\":",
+        ] {
+            assert!(json.contains(needle), "{needle} missing from {json}");
+        }
+        // Balanced braces/brackets (a cheap well-formedness check given
+        // the workspace has no JSON parser).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

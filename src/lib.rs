@@ -19,6 +19,7 @@
 //! | [`ofmem`] | Memory layouts, blocks, Kbit accounting, M20K mapping |
 //! | [`classifier_api`] | The unified fallible `Classifier` contract every engine implements |
 //! | [`mtl_core`] | The paper's architecture: engines, index tables, action tables, update model |
+//! | [`mtl_runtime`] | Sharded lock-free dataplane runtime: RCU snapshot swaps, SPSC rings, per-shard caches |
 //! | [`ofbaseline`] | Linear scan, TCAM model, tuple space search, HiCuts |
 //!
 //! ## Quickstart
@@ -66,6 +67,7 @@
 
 pub use classifier_api;
 pub use mtl_core;
+pub use mtl_runtime;
 pub use ofalgo;
 pub use ofbaseline;
 pub use offilter;
@@ -80,6 +82,7 @@ pub mod prelude {
         DynamicClassifier, UpdateReport,
     };
     pub use mtl_core::{ClassifyResult, MtlSwitch, SwitchConfig, SwitchMemoryReport, UpdatePlan};
+    pub use mtl_runtime::{ClassifiedBatch, Runtime, RuntimeConfig, RuntimeHandle};
     pub use ofalgo::{HashLut, Label, Mbt, PartitionedTrie, RangeMatcher, StrideSchedule};
     pub use offilter::{FilterKind, FilterSet, Rule, RuleAction};
     pub use oflow::{
