@@ -38,6 +38,15 @@
 //! masked to 0 — valid whenever any lane is live, because blocks are
 //! allocated densely from 0. The walk breaks before touching a level with
 //! no live lanes.
+//!
+//! The lane algorithm itself (shift/mask/select level step) is proven
+//! equivalent to the scalar walk in the standalone `proofs/` workspace:
+//! the `simd_walk_equivalence` Kani harness checks a faithful portable
+//! model of the generic `lookup_impl`/`chain_impl` kernels against the
+//! scalar reference on symbolic lane inputs; the in-tree proptests then
+//! pin the real intrinsics to the same results.
+
+#![deny(unsafe_op_in_unsafe_fn)]
 
 #[cfg(not(feature = "simd"))]
 use super::{MatchChain, Mbt};
@@ -216,6 +225,11 @@ mod vector {
     /// Eight 64-bit lanes held in arch-specific registers. Every method
     /// is `#[inline(always)]` so the generic walks below compile to one
     /// straight-line vector kernel inside the per-arch entry points.
+    ///
+    /// Every method is `unsafe` for one shared reason: the caller must
+    /// guarantee the implementing type's instruction set is available on
+    /// the running CPU (checked once by [`kind`]). [`Lanes::gather`]
+    /// additionally requires every lane index to be in bounds of `base`.
     trait Lanes: Copy {
         /// Broadcasts one value to all lanes.
         unsafe fn splat(v: u64) -> Self;
@@ -278,28 +292,38 @@ mod vector {
         debug_assert!(n <= MULTI_WAY && out.len() >= n);
         let mut buf = [0u64; MULTI_WAY];
         buf[..n].copy_from_slice(keys);
-        let keyv = L::load(&buf);
-        let mut live = L::load(&live_init(n));
-        let mut block = L::splat(0);
-        let mut best = L::splat(UNLABELED);
-        let no_label_hi = L::splat(PackedEntry::NO_LABEL);
-        let child_mask = L::splat(PackedEntry::NO_CHILD);
-        for (li, level) in t.levels.iter().enumerate() {
-            if !live.any() {
-                break;
+        // SAFETY: the caller guarantees `L`'s instruction set (this fn is
+        // only reached through the arch entry points below). The gather
+        // is in bounds structurally: a live lane's `block` came from a
+        // child pointer (which always names an allocated block of the
+        // next level), a dead lane's address is masked to 0, and entry 0
+        // exists whenever the walk reaches a level with any live lane.
+        unsafe {
+            let keyv = L::load(&buf);
+            let mut live = L::load(&live_init(n));
+            let mut block = L::splat(0);
+            let mut best = L::splat(UNLABELED);
+            let no_label_hi = L::splat(PackedEntry::NO_LABEL);
+            let child_mask = L::splat(PackedEntry::NO_CHILD);
+            for (li, level) in t.levels.iter().enumerate() {
+                if !live.any() {
+                    break;
+                }
+                let idx =
+                    keyv.srl(t.schedule.shift_of(li)).and(L::splat((1u64 << level.stride) - 1));
+                // Dead lanes read block 0 / index 0 (in bounds while any
+                // lane is live); their loads are discarded by the masks
+                // below.
+                let addr = block.sll(level.stride).add(idx).and(live);
+                let words = L::gather(level.entries.as_ptr().cast::<u64>(), addr);
+                let unlabeled = words.srl(40).cmpeq(no_label_hi);
+                best = L::select(live.andnot(unlabeled), words, best);
+                let child = words.and(child_mask);
+                live = live.andnot(child.cmpeq(child_mask));
+                block = child.and(live);
             }
-            let idx = keyv.srl(t.schedule.shift_of(li)).and(L::splat((1u64 << level.stride) - 1));
-            // Dead lanes read block 0 / index 0 (in bounds while any lane
-            // is live); their loads are discarded by the masks below.
-            let addr = block.sll(level.stride).add(idx).and(live);
-            let words = L::gather(level.entries.as_ptr().cast::<u64>(), addr);
-            let unlabeled = words.srl(40).cmpeq(no_label_hi);
-            best = L::select(live.andnot(unlabeled), words, best);
-            let child = words.and(child_mask);
-            live = live.andnot(child.cmpeq(child_mask));
-            block = child.and(live);
+            best.store(&mut buf);
         }
-        best.store(&mut buf);
         for (slot, &word) in out.iter_mut().zip(buf.iter()).take(n) {
             *slot = decode(word);
         }
@@ -318,35 +342,43 @@ mod vector {
         }
         let mut buf = [0u64; MULTI_WAY];
         buf[..n].copy_from_slice(keys);
-        let keyv = L::load(&buf);
-        let mut live = L::load(&live_init(n));
-        let mut block = L::splat(0);
-        let no_label_hi = L::splat(PackedEntry::NO_LABEL);
-        let child_mask = L::splat(PackedEntry::NO_CHILD);
-        for (li, level) in t.levels.iter().enumerate() {
-            if !live.any() {
-                break;
-            }
-            let idx = keyv.srl(t.schedule.shift_of(li)).and(L::splat((1u64 << level.stride) - 1));
-            let addr = block.sll(level.stride).add(idx).and(live);
-            let words = L::gather(level.entries.as_ptr().cast::<u64>(), addr);
-            let unlabeled = words.srl(40).cmpeq(no_label_hi);
-            let labelled = live.andnot(unlabeled);
-            if labelled.any() {
-                let mut wa = [0u64; MULTI_WAY];
-                words.store(&mut wa);
-                let mut take = [0u64; MULTI_WAY];
-                labelled.store(&mut take);
-                for lane in 0..n {
-                    if take[lane] != 0 {
-                        let word = wa[lane];
-                        outs[lane].push(Label((word >> 40) as u32), ((word >> 32) & 0xFF) as u32);
+        // SAFETY: as in `lookup_impl` — the caller guarantees `L`'s
+        // instruction set, and the gather addresses are in bounds
+        // structurally (child pointers name allocated blocks; dead lanes
+        // are masked to entry 0, valid while any lane is live).
+        unsafe {
+            let keyv = L::load(&buf);
+            let mut live = L::load(&live_init(n));
+            let mut block = L::splat(0);
+            let no_label_hi = L::splat(PackedEntry::NO_LABEL);
+            let child_mask = L::splat(PackedEntry::NO_CHILD);
+            for (li, level) in t.levels.iter().enumerate() {
+                if !live.any() {
+                    break;
+                }
+                let idx =
+                    keyv.srl(t.schedule.shift_of(li)).and(L::splat((1u64 << level.stride) - 1));
+                let addr = block.sll(level.stride).add(idx).and(live);
+                let words = L::gather(level.entries.as_ptr().cast::<u64>(), addr);
+                let unlabeled = words.srl(40).cmpeq(no_label_hi);
+                let labelled = live.andnot(unlabeled);
+                if labelled.any() {
+                    let mut wa = [0u64; MULTI_WAY];
+                    words.store(&mut wa);
+                    let mut take = [0u64; MULTI_WAY];
+                    labelled.store(&mut take);
+                    for lane in 0..n {
+                        if take[lane] != 0 {
+                            let word = wa[lane];
+                            outs[lane]
+                                .push(Label((word >> 40) as u32), ((word >> 32) & 0xFF) as u32);
+                        }
                     }
                 }
+                let child = words.and(child_mask);
+                live = live.andnot(child.cmpeq(child_mask));
+                block = child.and(live);
             }
-            let child = words.and(child_mask);
-            live = live.andnot(child.cmpeq(child_mask));
-            block = child.and(live);
         }
         for chain in outs.iter_mut().take(n) {
             chain.reverse();
@@ -362,76 +394,116 @@ mod vector {
         #[derive(Clone, Copy)]
         struct Avx2(__m256i, __m256i);
 
+        // SAFETY comments below share one justification: the caller of
+        // every `Lanes` method guarantees AVX2 is available (runtime
+        // detection in `kind()`, re-checked by the `#[target_feature]`
+        // entry points), register-only ops have no other requirement,
+        // and the `loadu`/`storeu` pointers come from `[u64; 8]`
+        // references (valid, unaligned-tolerant instructions).
         impl Lanes for Avx2 {
             #[inline(always)]
             unsafe fn splat(v: u64) -> Self {
-                let x = _mm256_set1_epi64x(v as i64);
-                Self(x, x)
+                // SAFETY: AVX2 register op (see impl-level comment).
+                unsafe {
+                    let x = _mm256_set1_epi64x(v as i64);
+                    Self(x, x)
+                }
             }
             #[inline(always)]
             unsafe fn load(a: &[u64; MULTI_WAY]) -> Self {
-                Self(
-                    _mm256_loadu_si256(a.as_ptr().cast()),
-                    _mm256_loadu_si256(a.as_ptr().add(4).cast()),
-                )
+                // SAFETY: unaligned loads of 8 u64 from a valid array.
+                unsafe {
+                    Self(
+                        _mm256_loadu_si256(a.as_ptr().cast()),
+                        _mm256_loadu_si256(a.as_ptr().add(4).cast()),
+                    )
+                }
             }
             #[inline(always)]
             unsafe fn store(self, a: &mut [u64; MULTI_WAY]) {
-                _mm256_storeu_si256(a.as_mut_ptr().cast(), self.0);
-                _mm256_storeu_si256(a.as_mut_ptr().add(4).cast(), self.1);
+                // SAFETY: unaligned stores of 8 u64 into a valid array.
+                unsafe {
+                    _mm256_storeu_si256(a.as_mut_ptr().cast(), self.0);
+                    _mm256_storeu_si256(a.as_mut_ptr().add(4).cast(), self.1);
+                }
             }
             #[inline(always)]
             unsafe fn srl(self, n: u32) -> Self {
-                let c = _mm_cvtsi32_si128(n as i32);
-                Self(_mm256_srl_epi64(self.0, c), _mm256_srl_epi64(self.1, c))
+                // SAFETY: AVX2 register op.
+                unsafe {
+                    let c = _mm_cvtsi32_si128(n as i32);
+                    Self(_mm256_srl_epi64(self.0, c), _mm256_srl_epi64(self.1, c))
+                }
             }
             #[inline(always)]
             unsafe fn sll(self, n: u32) -> Self {
-                let c = _mm_cvtsi32_si128(n as i32);
-                Self(_mm256_sll_epi64(self.0, c), _mm256_sll_epi64(self.1, c))
+                // SAFETY: AVX2 register op.
+                unsafe {
+                    let c = _mm_cvtsi32_si128(n as i32);
+                    Self(_mm256_sll_epi64(self.0, c), _mm256_sll_epi64(self.1, c))
+                }
             }
             #[inline(always)]
             unsafe fn and(self, o: Self) -> Self {
-                Self(_mm256_and_si256(self.0, o.0), _mm256_and_si256(self.1, o.1))
+                // SAFETY: AVX2 register op.
+                unsafe { Self(_mm256_and_si256(self.0, o.0), _mm256_and_si256(self.1, o.1)) }
             }
             #[inline(always)]
             unsafe fn add(self, o: Self) -> Self {
-                Self(_mm256_add_epi64(self.0, o.0), _mm256_add_epi64(self.1, o.1))
+                // SAFETY: AVX2 register op.
+                unsafe { Self(_mm256_add_epi64(self.0, o.0), _mm256_add_epi64(self.1, o.1)) }
             }
             #[inline(always)]
             unsafe fn cmpeq(self, o: Self) -> Self {
-                Self(_mm256_cmpeq_epi64(self.0, o.0), _mm256_cmpeq_epi64(self.1, o.1))
+                // SAFETY: AVX2 register op.
+                unsafe { Self(_mm256_cmpeq_epi64(self.0, o.0), _mm256_cmpeq_epi64(self.1, o.1)) }
             }
             #[inline(always)]
             unsafe fn andnot(self, m: Self) -> Self {
-                Self(_mm256_andnot_si256(m.0, self.0), _mm256_andnot_si256(m.1, self.1))
+                // SAFETY: AVX2 register op.
+                unsafe { Self(_mm256_andnot_si256(m.0, self.0), _mm256_andnot_si256(m.1, self.1)) }
             }
             #[inline(always)]
             unsafe fn select(m: Self, a: Self, b: Self) -> Self {
-                Self(_mm256_blendv_epi8(b.0, a.0, m.0), _mm256_blendv_epi8(b.1, a.1, m.1))
+                // SAFETY: AVX2 register op.
+                unsafe {
+                    Self(_mm256_blendv_epi8(b.0, a.0, m.0), _mm256_blendv_epi8(b.1, a.1, m.1))
+                }
             }
             #[inline(always)]
             unsafe fn any(self) -> bool {
-                let both = _mm256_or_si256(self.0, self.1);
-                _mm256_testz_si256(both, both) == 0
+                // SAFETY: AVX2 register op.
+                unsafe {
+                    let both = _mm256_or_si256(self.0, self.1);
+                    _mm256_testz_si256(both, both) == 0
+                }
             }
             #[inline(always)]
             unsafe fn gather(base: *const u64, idx: Self) -> Self {
-                Self(
-                    _mm256_i64gather_epi64::<8>(base.cast::<i64>(), idx.0),
-                    _mm256_i64gather_epi64::<8>(base.cast::<i64>(), idx.1),
-                )
+                // SAFETY: `vpgatherqq` dereferences `base + 8*idx[lane]`
+                // per lane; the caller guarantees every lane index is in
+                // bounds of the arena behind `base` (see the trait docs).
+                unsafe {
+                    Self(
+                        _mm256_i64gather_epi64::<8>(base.cast::<i64>(), idx.0),
+                        _mm256_i64gather_epi64::<8>(base.cast::<i64>(), idx.1),
+                    )
+                }
             }
         }
 
         #[target_feature(enable = "avx2")]
         pub(super) unsafe fn lookup_avx2(t: &Mbt, keys: &[u64], out: &mut [Option<(Label, u32)>]) {
-            lookup_impl::<Avx2>(t, keys, out);
+            // SAFETY: this entry point carries `target_feature(avx2)` and
+            // is only called after runtime detection, satisfying the
+            // `Avx2: Lanes` contract end to end.
+            unsafe { lookup_impl::<Avx2>(t, keys, out) };
         }
 
         #[target_feature(enable = "avx2")]
         pub(super) unsafe fn chain_avx2(t: &Mbt, keys: &[u64], outs: &mut [MatchChain]) {
-            chain_impl::<Avx2>(t, keys, outs);
+            // SAFETY: as `lookup_avx2` — AVX2 verified by the caller.
+            unsafe { chain_impl::<Avx2>(t, keys, outs) };
         }
 
         /// Eight lanes as four 128-bit registers (2 × u64 each). SSE2 is
@@ -443,117 +515,178 @@ mod vector {
 
         #[inline(always)]
         unsafe fn cmpeq64(a: __m128i, b: __m128i) -> __m128i {
-            // 64-bit equality from 32-bit equality: both halves must
-            // match.
-            let eq32 = _mm_cmpeq_epi32(a, b);
-            _mm_and_si128(eq32, _mm_shuffle_epi32::<0b1011_0001>(eq32))
+            // SAFETY: SSE2 register ops — part of the x86_64 baseline.
+            unsafe {
+                // 64-bit equality from 32-bit equality: both halves must
+                // match.
+                let eq32 = _mm_cmpeq_epi32(a, b);
+                _mm_and_si128(eq32, _mm_shuffle_epi32::<0b1011_0001>(eq32))
+            }
         }
 
+        // SAFETY comments below share one justification: SSE2 is part of
+        // the x86_64 baseline (always available on this target), the
+        // `loadu`/`storeu` pointers come from `[u64; 8]` references, and
+        // `gather` is scalar loads whose in-bounds requirement the caller
+        // guarantees (trait docs).
         impl Lanes for Sse2 {
             #[inline(always)]
             unsafe fn splat(v: u64) -> Self {
-                let x = _mm_set1_epi64x(v as i64);
-                Self([x; 4])
+                // SAFETY: SSE2 register op (x86_64 baseline).
+                unsafe {
+                    let x = _mm_set1_epi64x(v as i64);
+                    Self([x; 4])
+                }
             }
             #[inline(always)]
             unsafe fn load(a: &[u64; MULTI_WAY]) -> Self {
-                let p = a.as_ptr();
-                Self([
-                    _mm_loadu_si128(p.cast()),
-                    _mm_loadu_si128(p.add(2).cast()),
-                    _mm_loadu_si128(p.add(4).cast()),
-                    _mm_loadu_si128(p.add(6).cast()),
-                ])
+                // SAFETY: unaligned loads of 8 u64 from a valid array.
+                unsafe {
+                    let p = a.as_ptr();
+                    Self([
+                        _mm_loadu_si128(p.cast()),
+                        _mm_loadu_si128(p.add(2).cast()),
+                        _mm_loadu_si128(p.add(4).cast()),
+                        _mm_loadu_si128(p.add(6).cast()),
+                    ])
+                }
             }
             #[inline(always)]
             unsafe fn store(self, a: &mut [u64; MULTI_WAY]) {
-                let p = a.as_mut_ptr();
-                _mm_storeu_si128(p.cast(), self.0[0]);
-                _mm_storeu_si128(p.add(2).cast(), self.0[1]);
-                _mm_storeu_si128(p.add(4).cast(), self.0[2]);
-                _mm_storeu_si128(p.add(6).cast(), self.0[3]);
+                // SAFETY: unaligned stores of 8 u64 into a valid array.
+                unsafe {
+                    let p = a.as_mut_ptr();
+                    _mm_storeu_si128(p.cast(), self.0[0]);
+                    _mm_storeu_si128(p.add(2).cast(), self.0[1]);
+                    _mm_storeu_si128(p.add(4).cast(), self.0[2]);
+                    _mm_storeu_si128(p.add(6).cast(), self.0[3]);
+                }
             }
             #[inline(always)]
             unsafe fn srl(self, n: u32) -> Self {
-                let c = _mm_cvtsi32_si128(n as i32);
-                Self(self.0.map(|v| _mm_srl_epi64(v, c)))
+                // SAFETY: SSE2 register op.
+                unsafe {
+                    let c = _mm_cvtsi32_si128(n as i32);
+                    Self(self.0.map(|v| _mm_srl_epi64(v, c)))
+                }
             }
             #[inline(always)]
             unsafe fn sll(self, n: u32) -> Self {
-                let c = _mm_cvtsi32_si128(n as i32);
-                Self(self.0.map(|v| _mm_sll_epi64(v, c)))
+                // SAFETY: SSE2 register op.
+                unsafe {
+                    let c = _mm_cvtsi32_si128(n as i32);
+                    Self(self.0.map(|v| _mm_sll_epi64(v, c)))
+                }
             }
             #[inline(always)]
             unsafe fn and(self, o: Self) -> Self {
-                Self([
-                    _mm_and_si128(self.0[0], o.0[0]),
-                    _mm_and_si128(self.0[1], o.0[1]),
-                    _mm_and_si128(self.0[2], o.0[2]),
-                    _mm_and_si128(self.0[3], o.0[3]),
-                ])
+                // SAFETY: SSE2 register op.
+                unsafe {
+                    Self([
+                        _mm_and_si128(self.0[0], o.0[0]),
+                        _mm_and_si128(self.0[1], o.0[1]),
+                        _mm_and_si128(self.0[2], o.0[2]),
+                        _mm_and_si128(self.0[3], o.0[3]),
+                    ])
+                }
             }
             #[inline(always)]
             unsafe fn add(self, o: Self) -> Self {
-                Self([
-                    _mm_add_epi64(self.0[0], o.0[0]),
-                    _mm_add_epi64(self.0[1], o.0[1]),
-                    _mm_add_epi64(self.0[2], o.0[2]),
-                    _mm_add_epi64(self.0[3], o.0[3]),
-                ])
+                // SAFETY: SSE2 register op.
+                unsafe {
+                    Self([
+                        _mm_add_epi64(self.0[0], o.0[0]),
+                        _mm_add_epi64(self.0[1], o.0[1]),
+                        _mm_add_epi64(self.0[2], o.0[2]),
+                        _mm_add_epi64(self.0[3], o.0[3]),
+                    ])
+                }
             }
             #[inline(always)]
             unsafe fn cmpeq(self, o: Self) -> Self {
-                Self([
-                    cmpeq64(self.0[0], o.0[0]),
-                    cmpeq64(self.0[1], o.0[1]),
-                    cmpeq64(self.0[2], o.0[2]),
-                    cmpeq64(self.0[3], o.0[3]),
-                ])
+                // SAFETY: SSE2 register ops (via `cmpeq64`).
+                unsafe {
+                    Self([
+                        cmpeq64(self.0[0], o.0[0]),
+                        cmpeq64(self.0[1], o.0[1]),
+                        cmpeq64(self.0[2], o.0[2]),
+                        cmpeq64(self.0[3], o.0[3]),
+                    ])
+                }
             }
             #[inline(always)]
             unsafe fn andnot(self, m: Self) -> Self {
-                Self([
-                    _mm_andnot_si128(m.0[0], self.0[0]),
-                    _mm_andnot_si128(m.0[1], self.0[1]),
-                    _mm_andnot_si128(m.0[2], self.0[2]),
-                    _mm_andnot_si128(m.0[3], self.0[3]),
-                ])
+                // SAFETY: SSE2 register op.
+                unsafe {
+                    Self([
+                        _mm_andnot_si128(m.0[0], self.0[0]),
+                        _mm_andnot_si128(m.0[1], self.0[1]),
+                        _mm_andnot_si128(m.0[2], self.0[2]),
+                        _mm_andnot_si128(m.0[3], self.0[3]),
+                    ])
+                }
             }
             #[inline(always)]
             unsafe fn select(m: Self, a: Self, b: Self) -> Self {
-                Self([
-                    _mm_or_si128(_mm_and_si128(m.0[0], a.0[0]), _mm_andnot_si128(m.0[0], b.0[0])),
-                    _mm_or_si128(_mm_and_si128(m.0[1], a.0[1]), _mm_andnot_si128(m.0[1], b.0[1])),
-                    _mm_or_si128(_mm_and_si128(m.0[2], a.0[2]), _mm_andnot_si128(m.0[2], b.0[2])),
-                    _mm_or_si128(_mm_and_si128(m.0[3], a.0[3]), _mm_andnot_si128(m.0[3], b.0[3])),
-                ])
+                // SAFETY: SSE2 register ops.
+                unsafe {
+                    Self([
+                        _mm_or_si128(
+                            _mm_and_si128(m.0[0], a.0[0]),
+                            _mm_andnot_si128(m.0[0], b.0[0]),
+                        ),
+                        _mm_or_si128(
+                            _mm_and_si128(m.0[1], a.0[1]),
+                            _mm_andnot_si128(m.0[1], b.0[1]),
+                        ),
+                        _mm_or_si128(
+                            _mm_and_si128(m.0[2], a.0[2]),
+                            _mm_andnot_si128(m.0[2], b.0[2]),
+                        ),
+                        _mm_or_si128(
+                            _mm_and_si128(m.0[3], a.0[3]),
+                            _mm_andnot_si128(m.0[3], b.0[3]),
+                        ),
+                    ])
+                }
             }
             #[inline(always)]
             unsafe fn any(self) -> bool {
-                let acc = _mm_or_si128(
-                    _mm_or_si128(self.0[0], self.0[1]),
-                    _mm_or_si128(self.0[2], self.0[3]),
-                );
-                _mm_movemask_epi8(_mm_cmpeq_epi32(acc, _mm_setzero_si128())) != 0xFFFF
+                // SAFETY: SSE2 register ops.
+                unsafe {
+                    let acc = _mm_or_si128(
+                        _mm_or_si128(self.0[0], self.0[1]),
+                        _mm_or_si128(self.0[2], self.0[3]),
+                    );
+                    _mm_movemask_epi8(_mm_cmpeq_epi32(acc, _mm_setzero_si128())) != 0xFFFF
+                }
             }
             #[inline(always)]
             unsafe fn gather(base: *const u64, idx: Self) -> Self {
-                let mut ia = [0u64; MULTI_WAY];
-                idx.store(&mut ia);
-                let mut out = [0u64; MULTI_WAY];
-                for (slot, &i) in out.iter_mut().zip(ia.iter()) {
-                    *slot = *base.add(i as usize);
+                // SAFETY: scalar feeds — each `base.add(i)` dereference
+                // is in bounds per the caller's gather contract; the
+                // surrounding loads/stores use valid local arrays.
+                unsafe {
+                    let mut ia = [0u64; MULTI_WAY];
+                    idx.store(&mut ia);
+                    let mut out = [0u64; MULTI_WAY];
+                    for (slot, &i) in out.iter_mut().zip(ia.iter()) {
+                        *slot = *base.add(i as usize);
+                    }
+                    Self::load(&out)
                 }
-                Self::load(&out)
             }
         }
 
         pub(super) unsafe fn lookup_sse2(t: &Mbt, keys: &[u64], out: &mut [Option<(Label, u32)>]) {
-            lookup_impl::<Sse2>(t, keys, out);
+            // SAFETY: SSE2 is part of the x86_64 baseline, satisfying the
+            // `Sse2: Lanes` contract unconditionally on this target.
+            unsafe { lookup_impl::<Sse2>(t, keys, out) };
         }
 
         pub(super) unsafe fn chain_sse2(t: &Mbt, keys: &[u64], outs: &mut [MatchChain]) {
-            chain_impl::<Sse2>(t, keys, outs);
+            // SAFETY: as `lookup_sse2` — SSE2 is the x86_64 baseline.
+            unsafe { chain_impl::<Sse2>(t, keys, outs) };
         }
     }
 
@@ -566,103 +699,152 @@ mod vector {
         #[derive(Clone, Copy)]
         struct Neon([uint64x2_t; 4]);
 
+        // SAFETY comments below share one justification: NEON is part of
+        // the aarch64 baseline (always available on this target), the
+        // `vld1q`/`vst1q` pointers come from `[u64; 8]` references, and
+        // `gather` is scalar loads whose in-bounds requirement the caller
+        // guarantees (trait docs).
         impl Lanes for Neon {
             #[inline(always)]
             unsafe fn splat(v: u64) -> Self {
-                Self([vdupq_n_u64(v); 4])
+                // SAFETY: NEON register op (aarch64 baseline).
+                unsafe { Self([vdupq_n_u64(v); 4]) }
             }
             #[inline(always)]
             unsafe fn load(a: &[u64; MULTI_WAY]) -> Self {
-                let p = a.as_ptr();
-                Self([vld1q_u64(p), vld1q_u64(p.add(2)), vld1q_u64(p.add(4)), vld1q_u64(p.add(6))])
+                // SAFETY: loads of 8 u64 from a valid array.
+                unsafe {
+                    let p = a.as_ptr();
+                    Self([
+                        vld1q_u64(p),
+                        vld1q_u64(p.add(2)),
+                        vld1q_u64(p.add(4)),
+                        vld1q_u64(p.add(6)),
+                    ])
+                }
             }
             #[inline(always)]
             unsafe fn store(self, a: &mut [u64; MULTI_WAY]) {
-                let p = a.as_mut_ptr();
-                vst1q_u64(p, self.0[0]);
-                vst1q_u64(p.add(2), self.0[1]);
-                vst1q_u64(p.add(4), self.0[2]);
-                vst1q_u64(p.add(6), self.0[3]);
+                // SAFETY: stores of 8 u64 into a valid array.
+                unsafe {
+                    let p = a.as_mut_ptr();
+                    vst1q_u64(p, self.0[0]);
+                    vst1q_u64(p.add(2), self.0[1]);
+                    vst1q_u64(p.add(4), self.0[2]);
+                    vst1q_u64(p.add(6), self.0[3]);
+                }
             }
             #[inline(always)]
             unsafe fn srl(self, n: u32) -> Self {
-                let c = vdupq_n_s64(-i64::from(n));
-                Self(self.0.map(|v| vshlq_u64(v, c)))
+                // SAFETY: NEON register op.
+                unsafe {
+                    let c = vdupq_n_s64(-i64::from(n));
+                    Self(self.0.map(|v| vshlq_u64(v, c)))
+                }
             }
             #[inline(always)]
             unsafe fn sll(self, n: u32) -> Self {
-                let c = vdupq_n_s64(i64::from(n));
-                Self(self.0.map(|v| vshlq_u64(v, c)))
+                // SAFETY: NEON register op.
+                unsafe {
+                    let c = vdupq_n_s64(i64::from(n));
+                    Self(self.0.map(|v| vshlq_u64(v, c)))
+                }
             }
             #[inline(always)]
             unsafe fn and(self, o: Self) -> Self {
-                Self([
-                    vandq_u64(self.0[0], o.0[0]),
-                    vandq_u64(self.0[1], o.0[1]),
-                    vandq_u64(self.0[2], o.0[2]),
-                    vandq_u64(self.0[3], o.0[3]),
-                ])
+                // SAFETY: NEON register op.
+                unsafe {
+                    Self([
+                        vandq_u64(self.0[0], o.0[0]),
+                        vandq_u64(self.0[1], o.0[1]),
+                        vandq_u64(self.0[2], o.0[2]),
+                        vandq_u64(self.0[3], o.0[3]),
+                    ])
+                }
             }
             #[inline(always)]
             unsafe fn add(self, o: Self) -> Self {
-                Self([
-                    vaddq_u64(self.0[0], o.0[0]),
-                    vaddq_u64(self.0[1], o.0[1]),
-                    vaddq_u64(self.0[2], o.0[2]),
-                    vaddq_u64(self.0[3], o.0[3]),
-                ])
+                // SAFETY: NEON register op.
+                unsafe {
+                    Self([
+                        vaddq_u64(self.0[0], o.0[0]),
+                        vaddq_u64(self.0[1], o.0[1]),
+                        vaddq_u64(self.0[2], o.0[2]),
+                        vaddq_u64(self.0[3], o.0[3]),
+                    ])
+                }
             }
             #[inline(always)]
             unsafe fn cmpeq(self, o: Self) -> Self {
-                Self([
-                    vceqq_u64(self.0[0], o.0[0]),
-                    vceqq_u64(self.0[1], o.0[1]),
-                    vceqq_u64(self.0[2], o.0[2]),
-                    vceqq_u64(self.0[3], o.0[3]),
-                ])
+                // SAFETY: NEON register op.
+                unsafe {
+                    Self([
+                        vceqq_u64(self.0[0], o.0[0]),
+                        vceqq_u64(self.0[1], o.0[1]),
+                        vceqq_u64(self.0[2], o.0[2]),
+                        vceqq_u64(self.0[3], o.0[3]),
+                    ])
+                }
             }
             #[inline(always)]
             unsafe fn andnot(self, m: Self) -> Self {
-                Self([
-                    vbicq_u64(self.0[0], m.0[0]),
-                    vbicq_u64(self.0[1], m.0[1]),
-                    vbicq_u64(self.0[2], m.0[2]),
-                    vbicq_u64(self.0[3], m.0[3]),
-                ])
+                // SAFETY: NEON register op.
+                unsafe {
+                    Self([
+                        vbicq_u64(self.0[0], m.0[0]),
+                        vbicq_u64(self.0[1], m.0[1]),
+                        vbicq_u64(self.0[2], m.0[2]),
+                        vbicq_u64(self.0[3], m.0[3]),
+                    ])
+                }
             }
             #[inline(always)]
             unsafe fn select(m: Self, a: Self, b: Self) -> Self {
-                Self([
-                    vbslq_u64(m.0[0], a.0[0], b.0[0]),
-                    vbslq_u64(m.0[1], a.0[1], b.0[1]),
-                    vbslq_u64(m.0[2], a.0[2], b.0[2]),
-                    vbslq_u64(m.0[3], a.0[3], b.0[3]),
-                ])
+                // SAFETY: NEON register op.
+                unsafe {
+                    Self([
+                        vbslq_u64(m.0[0], a.0[0], b.0[0]),
+                        vbslq_u64(m.0[1], a.0[1], b.0[1]),
+                        vbslq_u64(m.0[2], a.0[2], b.0[2]),
+                        vbslq_u64(m.0[3], a.0[3], b.0[3]),
+                    ])
+                }
             }
             #[inline(always)]
             unsafe fn any(self) -> bool {
-                let acc =
-                    vorrq_u64(vorrq_u64(self.0[0], self.0[1]), vorrq_u64(self.0[2], self.0[3]));
-                (vgetq_lane_u64::<0>(acc) | vgetq_lane_u64::<1>(acc)) != 0
+                // SAFETY: NEON register op.
+                unsafe {
+                    let acc =
+                        vorrq_u64(vorrq_u64(self.0[0], self.0[1]), vorrq_u64(self.0[2], self.0[3]));
+                    (vgetq_lane_u64::<0>(acc) | vgetq_lane_u64::<1>(acc)) != 0
+                }
             }
             #[inline(always)]
             unsafe fn gather(base: *const u64, idx: Self) -> Self {
-                let mut ia = [0u64; MULTI_WAY];
-                idx.store(&mut ia);
-                let mut out = [0u64; MULTI_WAY];
-                for (slot, &i) in out.iter_mut().zip(ia.iter()) {
-                    *slot = *base.add(i as usize);
+                // SAFETY: scalar feeds — each `base.add(i)` dereference
+                // is in bounds per the caller's gather contract; the
+                // surrounding loads/stores use valid local arrays.
+                unsafe {
+                    let mut ia = [0u64; MULTI_WAY];
+                    idx.store(&mut ia);
+                    let mut out = [0u64; MULTI_WAY];
+                    for (slot, &i) in out.iter_mut().zip(ia.iter()) {
+                        *slot = *base.add(i as usize);
+                    }
+                    Self::load(&out)
                 }
-                Self::load(&out)
             }
         }
 
         pub(super) unsafe fn lookup_neon(t: &Mbt, keys: &[u64], out: &mut [Option<(Label, u32)>]) {
-            lookup_impl::<Neon>(t, keys, out);
+            // SAFETY: NEON is part of the aarch64 baseline, satisfying
+            // the `Neon: Lanes` contract unconditionally on this target.
+            unsafe { lookup_impl::<Neon>(t, keys, out) };
         }
 
         pub(super) unsafe fn chain_neon(t: &Mbt, keys: &[u64], outs: &mut [MatchChain]) {
-            chain_impl::<Neon>(t, keys, outs);
+            // SAFETY: as `lookup_neon` — NEON is the aarch64 baseline.
+            unsafe { chain_impl::<Neon>(t, keys, outs) };
         }
     }
 }

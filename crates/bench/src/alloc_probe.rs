@@ -14,6 +14,7 @@
 //! to their high-water mark on first use), then assert the steady state.
 
 #![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -39,23 +40,32 @@ impl CountingAllocator {
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         Self::bump();
-        System.alloc(layout)
+        // SAFETY: the caller upholds `GlobalAlloc::alloc`'s contract
+        // (nonzero-sized layout), which is exactly `System`'s.
+        unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr` was returned by `alloc`/`realloc` above, which
+        // forward to `System`, with this same `layout` (caller contract).
+        unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         Self::bump();
-        System.alloc_zeroed(layout)
+        // SAFETY: as `alloc` — the caller's layout contract is forwarded
+        // verbatim.
+        unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if new_size > layout.size() {
             Self::bump();
         }
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: `ptr` came from this allocator (hence from `System`)
+        // with `layout`, and `new_size` is nonzero per the caller's
+        // `realloc` contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 

@@ -12,6 +12,7 @@
 //! error.
 
 #![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 /// Highest CPU index the fixed-size mask can express.
 const MAX_CPUS: usize = 1024;

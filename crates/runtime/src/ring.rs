@@ -8,8 +8,35 @@
 //! with `Acquire` and publishes its own with `Release`, and the slots
 //! in between need no synchronisation at all. No locks, no CAS loops,
 //! no allocation after construction.
+//!
+//! ## Index protocol
+//!
+//! `head` and `tail` are **free-running** counters: they only ever
+//! increase (wrapping at `usize::MAX`) and are reduced to a slot by
+//! `index & mask`. The invariants the unsafe slot accesses ride on —
+//! machine-checked in `proofs/` (the `ring_indices` Kani harness walks
+//! symbolic op sequences over symbolic capacities and
+//! `usize::MAX`-adjacent starting offsets; the model checker replays
+//! producer/consumer interleavings across wraparound):
+//!
+//! * `tail.wrapping_sub(head)` is the exact number of occupied slots and
+//!   never exceeds `capacity` (`mask + 1`, a power of two);
+//! * the producer writes slot `tail & mask` only when that count is
+//!   `< capacity`, so the physical slot is unoccupied — it can never
+//!   alias a slot the consumer is still reading, even across index
+//!   wraparound, because `capacity` divides `usize::MAX + 1`;
+//! * the consumer reads slot `head & mask` only when the count is
+//!   `> 0`, i.e. the slot was written and published by the producer's
+//!   `Release` store.
+//!
+//! All index arithmetic is `wrapping_*`: with plain `+`/`-` the
+//! free-running counters would panic (debug) or silently corrupt the
+//! occupancy count (release overflow UB-adjacent semantics are fine for
+//! `usize`, but the *debug* builds the reclamation-race CI leg runs
+//! would abort) once a long-lived ring crosses `usize::MAX`.
 
 #![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
@@ -33,7 +60,21 @@ struct Shared<T> {
 // SAFETY: the ring transfers `T` values between exactly two threads;
 // slot access is serialised by the head/tail Acquire/Release protocol.
 unsafe impl<T: Send> Sync for Shared<T> {}
+// SAFETY: as above — ownership of the buffered `T`s moves with the
+// handles, which requires `T: Send`.
 unsafe impl<T: Send> Send for Shared<T> {}
+
+impl<T> Shared<T> {
+    /// Occupied-slot count from a producer/consumer index pair.
+    /// Wrapping subtraction keeps the count exact across index
+    /// wraparound (free-running counters, see the module docs).
+    #[inline]
+    fn occupied(&self, head: usize, tail: usize) -> usize {
+        let used = tail.wrapping_sub(head);
+        debug_assert!(used <= self.mask + 1, "ring occupancy {used} exceeds capacity");
+        used
+    }
+}
 
 impl<T> Drop for Shared<T> {
     fn drop(&mut self) {
@@ -41,10 +82,21 @@ impl<T> Drop for Shared<T> {
         // was initialised by the producer and never consumed.
         let head = self.head.0.load(Ordering::Relaxed);
         let tail = self.tail.0.load(Ordering::Relaxed);
-        for i in head..tail {
+        debug_assert!((self.mask + 1).is_power_of_two(), "ring capacity must be a power of two");
+        let mut drained = 0usize;
+        let mut i = head;
+        while i != tail {
             // SAFETY: slots in [head, tail) hold initialised values.
             unsafe { (*self.buf[i & self.mask].get()).assume_init_drop() };
+            i = i.wrapping_add(1);
+            drained += 1;
+            debug_assert!(drained <= self.mask + 1, "drop drained more slots than the capacity");
         }
+        debug_assert_eq!(
+            drained,
+            self.occupied(head, tail),
+            "drop must drain exactly the occupied slots"
+        );
     }
 }
 
@@ -65,6 +117,15 @@ pub struct Consumer<T> {
 /// Panics if `capacity` exceeds `usize::MAX / 4` (a unit error).
 #[must_use]
 pub fn spsc<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    spsc_at(capacity, 0)
+}
+
+/// As [`spsc`], but with both free-running indices starting at `start`
+/// instead of 0 — the wraparound regression tests start rings just
+/// below `usize::MAX` so the index arithmetic crosses the wrap within a
+/// few operations. The physical slot is always `index & mask`, so a
+/// nonzero start only shifts which slot is "first".
+fn spsc_at<T: Send>(capacity: usize, start: usize) -> (Producer<T>, Consumer<T>) {
     assert!(capacity <= usize::MAX / 4, "ring capacity {capacity} is implausible");
     let cap = capacity.next_power_of_two().max(2);
     let buf: Box<[UnsafeCell<MaybeUninit<T>>]> =
@@ -72,8 +133,8 @@ pub fn spsc<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
     let shared = Arc::new(Shared {
         buf,
         mask: cap - 1,
-        head: PaddedIndex(AtomicUsize::new(0)),
-        tail: PaddedIndex(AtomicUsize::new(0)),
+        head: PaddedIndex(AtomicUsize::new(start)),
+        tail: PaddedIndex(AtomicUsize::new(start)),
     });
     (Producer { shared: Arc::clone(&shared) }, Consumer { shared })
 }
@@ -84,14 +145,15 @@ impl<T: Send> Producer<T> {
         let s = &*self.shared;
         let tail = s.tail.0.load(Ordering::Relaxed); // we are the only writer
         let head = s.head.0.load(Ordering::Acquire);
-        if tail - head > s.mask {
+        if s.occupied(head, tail) > s.mask {
             return Err(item);
         }
-        // SAFETY: slot `tail` is outside [head, tail) — unoccupied — and
-        // only this producer writes slots; the Release store below
-        // publishes the initialised value to the consumer.
+        // SAFETY: occupancy < capacity, so slot `tail & mask` is not one
+        // of the occupied slots in [head, tail) — unoccupied — and only
+        // this producer writes slots; the Release store below publishes
+        // the initialised value to the consumer.
         unsafe { (*s.buf[tail & s.mask].get()).write(item) };
-        s.tail.0.store(tail + 1, Ordering::Release);
+        s.tail.0.store(tail.wrapping_add(1), Ordering::Release);
         Ok(())
     }
 
@@ -99,7 +161,7 @@ impl<T: Send> Producer<T> {
     #[must_use]
     pub fn len(&self) -> usize {
         let s = &*self.shared;
-        s.tail.0.load(Ordering::Relaxed) - s.head.0.load(Ordering::Acquire)
+        s.occupied(s.head.0.load(Ordering::Acquire), s.tail.0.load(Ordering::Relaxed))
     }
 
     /// Whether the ring is empty (racy, advisory).
@@ -121,14 +183,15 @@ impl<T: Send> Consumer<T> {
         let s = &*self.shared;
         let head = s.head.0.load(Ordering::Relaxed); // we are the only writer
         let tail = s.tail.0.load(Ordering::Acquire);
-        if head == tail {
+        if s.occupied(head, tail) == 0 {
             return None;
         }
-        // SAFETY: slot `head` is inside [head, tail): initialised by the
-        // producer and published by its Release store; after this read
-        // the Release store below marks it unoccupied.
+        // SAFETY: occupancy > 0, so slot `head & mask` is inside
+        // [head, tail): initialised by the producer and published by its
+        // Release store; after this read the Release store below marks
+        // it unoccupied.
         let item = unsafe { (*s.buf[head & s.mask].get()).assume_init_read() };
-        s.head.0.store(head + 1, Ordering::Release);
+        s.head.0.store(head.wrapping_add(1), Ordering::Release);
         Some(item)
     }
 
@@ -136,7 +199,7 @@ impl<T: Send> Consumer<T> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         let s = &*self.shared;
-        s.head.0.load(Ordering::Relaxed) == s.tail.0.load(Ordering::Acquire)
+        s.occupied(s.head.0.load(Ordering::Relaxed), s.tail.0.load(Ordering::Acquire)) == 0
     }
 }
 
@@ -195,10 +258,97 @@ mod tests {
         assert_eq!(counter.load(Ordering::SeqCst), 5, "4 in-flight + 1 consumed");
     }
 
+    /// Regression for the free-running index protocol: a ring whose
+    /// indices start just below `usize::MAX` crosses the numeric wrap
+    /// within a handful of operations. With the pre-hardening plain
+    /// `tail - head` arithmetic this test aborts in debug builds
+    /// (subtraction overflow once `tail` wraps to 0 while `head` is
+    /// still near `usize::MAX`).
+    #[test]
+    fn index_wraparound_near_usize_max() {
+        for start in [usize::MAX - 7, usize::MAX - 4, usize::MAX - 2, usize::MAX - 1, usize::MAX, 0]
+        {
+            let (mut tx, mut rx) = spsc_at::<u64>(4, start);
+            // Fill, drain, and interleave across the wrap boundary.
+            for i in 0..4u64 {
+                tx.push(i).unwrap();
+            }
+            assert_eq!(tx.len(), 4, "start {start:#x}");
+            assert!(tx.push(99).is_err(), "start {start:#x}: full ring rejects");
+            for i in 0..4u64 {
+                assert_eq!(rx.pop(), Some(i), "start {start:#x}");
+            }
+            assert_eq!(rx.pop(), None, "start {start:#x}");
+            for round in 0..16u64 {
+                tx.push(round).unwrap();
+                tx.push(round + 100).unwrap();
+                assert_eq!(rx.pop(), Some(round), "start {start:#x}");
+                assert_eq!(rx.pop(), Some(round + 100), "start {start:#x}");
+            }
+        }
+    }
+
+    /// Unconsumed items straddling the numeric wrap are still dropped
+    /// exactly once (the Drop accounting walks `head..tail` with
+    /// wrapping increments).
+    #[test]
+    fn drop_accounting_across_wraparound() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        struct D(Arc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, mut rx) = spsc_at::<D>(4, usize::MAX - 1);
+        for _ in 0..3 {
+            assert!(tx.push(D(Arc::clone(&counter))).is_ok());
+        }
+        drop(rx.pop()); // head crosses to usize::MAX; 2 left spanning the wrap
+        drop(tx);
+        drop(rx);
+        assert_eq!(counter.load(Ordering::SeqCst), 3, "2 in-flight across the wrap + 1 consumed");
+    }
+
     #[test]
     fn cross_thread_stream_is_lossless() {
         let (mut tx, mut rx) = spsc::<u64>(64);
         const N: u64 = 200_000;
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..N {
+                    let mut item = i;
+                    loop {
+                        match tx.push(item) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                item = back;
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                }
+            });
+            let mut expected = 0;
+            while expected < N {
+                if let Some(v) = rx.pop() {
+                    assert_eq!(v, expected);
+                    expected += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            assert_eq!(rx.pop(), None);
+        });
+    }
+
+    /// As the lossless-stream test, but with the indices starting at the
+    /// numeric wrap so the cross-thread protocol (not just the
+    /// single-thread arithmetic) is exercised across it.
+    #[test]
+    fn cross_thread_stream_across_wraparound() {
+        let (mut tx, mut rx) = spsc_at::<u64>(8, usize::MAX - 3);
+        const N: u64 = 10_000;
         std::thread::scope(|scope| {
             scope.spawn(move || {
                 for i in 0..N {

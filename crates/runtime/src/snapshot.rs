@@ -30,8 +30,42 @@
 //! Reclamation is *deferred, never blocking*: a stalled reader delays
 //! the drop of an old table image (bounded by the number of unreclaimed
 //! publishes), it never delays the writer's swap or other readers.
+//!
+//! ## Reclamation safety argument
+//!
+//! This is the argument every `unsafe` block in this module rides on.
+//! It is machine-checked twice in the standalone `proofs/` workspace:
+//! the **`snapshot_reclamation`** Kani harness drives the protocol
+//! below with a symbolic reader/writer schedule and asserts no
+//! use-after-free and no double-free, and the bounded model checker's
+//! `publish_load_collect` / `reader_stall` scenarios exhaustively
+//! replay every interleaving of the same ops over modeled atomics.
+//!
+//! All the protocol's atomics are `SeqCst`, so there is one total order
+//! over: a reader's announce store (**A**), its pointer load (**L**),
+//! the writer's swap (**W**), the version bump, and a collect scan's
+//! slot reads (**S**). A pointer `p` retired at version `R` was swapped
+//! out by some W before this scan. Suppose a reader's L returned `p`
+//! and the reader has not yet taken its reference:
+//!
+//! * L must precede W (after W, `current` no longer holds `p` —
+//!   retired pointers are never re-published);
+//! * the reader's A precedes its L, so A precedes W precedes S: the
+//!   scan **sees the announcement**, and the announced version was read
+//!   before the bump to `R`, hence `< R`.
+//!
+//! The scan therefore keeps `p` whenever any slot announces a version
+//! `< R`. Conversely, a slot that is quiescent either never held `p` or
+//! has already taken its own strong reference (readers return to
+//! quiescent only after `increment_strong_count`), so dropping the
+//! cell's reference is a plain refcount decrement. A stale announcement
+//! (reader observed an old version, then stalled before loading) only
+//! *under*-estimates, which delays reclamation — never unsoundness.
+//! Double-frees cannot occur because entries leave the retire list
+//! exactly once, and each entry owns exactly one deferred reference.
 
 #![allow(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
 use std::sync::{Arc, Mutex};
@@ -87,6 +121,8 @@ pub struct SnapshotCell<T> {
 // SAFETY: the raw pointer in `current` is an owned `Arc` reference;
 // all shared mutation goes through atomics and mutexes.
 unsafe impl<T: Send + Sync> Send for SnapshotCell<T> {}
+// SAFETY: as above — concurrent access is mediated entirely by the
+// `SeqCst` atomics and the mutex-guarded registries.
 unsafe impl<T: Send + Sync> Sync for SnapshotCell<T> {}
 
 impl<T: Send + Sync> SnapshotCell<T> {
@@ -167,29 +203,15 @@ impl<T: Send + Sync> SnapshotCell<T> {
     /// Drops every retired reference that no reader can still be
     /// acquiring. Runs under the writer lock (from `publish`).
     ///
-    /// ## Safety argument
-    ///
-    /// All the protocol's atomics are `SeqCst`, so there is one total
-    /// order over: a reader's announce store (A), its pointer load (L),
-    /// the writer's swap (W), version bump, and this scan's slot reads
-    /// (S). A pointer `p` retired at version `R` was swapped out by some
-    /// W before this scan. Suppose a reader's L returned `p` and the
-    /// reader has not yet taken its reference:
-    ///
-    /// * L must precede W (after W, `current` no longer holds `p` —
-    ///   retired pointers are never re-published).
-    /// * The reader's A precedes its L, so A precedes W precedes S: the
-    ///   scan **sees the announcement**, and the announced version was
-    ///   read before the bump to `R`, hence `< R`.
-    ///
-    /// The scan therefore keeps `p` whenever any slot announces a
-    /// version `< R`. Conversely, a slot that is quiescent either never
-    /// held `p` or has already taken its own strong reference (readers
-    /// return to quiescent only after `increment_strong_count`), so
-    /// dropping the cell's reference is a plain refcount decrement.
-    /// A stale announcement (reader observed an old version, then
-    /// stalled before loading) only *under*-estimates, which delays
-    /// reclamation — never unsoundness.
+    /// Why this is sound is the module-level
+    /// [Reclamation safety argument](self#reclamation-safety-argument):
+    /// the scan keeps a pointer retired at version `R` whenever any
+    /// reader slot announces a version `< R`, and that announcement is
+    /// guaranteed visible to the scan for any reader still inside its
+    /// load window. The `proofs/` workspace checks the argument
+    /// mechanically (`snapshot_reclamation` harness, the
+    /// `publish_load_collect` and `reader_stall` model-checker
+    /// scenarios).
     fn collect(&self) {
         let mut readers = self.readers.lock().expect("reader registry lock poisoned");
         // Prune slots whose reader handle is gone (worker exited): only
@@ -207,8 +229,8 @@ impl<T: Send + Sync> SnapshotCell<T> {
                 // SAFETY: the pointer came from `Arc::into_raw` when it
                 // was published, the cell's reference has not been
                 // dropped before (entries leave the retire list exactly
-                // once), and per the argument above no reader is still
-                // acquiring it.
+                // once), and per the module-level reclamation safety
+                // argument no reader is still acquiring it.
                 drop(unsafe { Arc::from_raw(r.ptr) });
             }
             !reclaimable

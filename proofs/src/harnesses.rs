@@ -1,0 +1,292 @@
+//! Kani proof harnesses, with stable `cargo test` shims.
+//!
+//! With [Kani](https://model-checking.github.io/kani/) installed,
+//! `cargo kani` compiles this crate under `cfg(kani)` and proves each
+//! `#[kani::proof]` below for **symbolic** inputs — every schedule,
+//! every capacity, every key, within the stated bounds. Without Kani
+//! (the normal offline build) the same properties compile as plain
+//! tests that check the exhaustive-enumeration equivalent: the
+//! [`mck`](crate::mck) checker walks every interleaving the symbolic
+//! schedule ranges over, and the input sweeps enumerate what the
+//! symbolic values range over. The crate therefore always builds and
+//! always tests, Kani or not.
+//!
+//! | Harness | Symbolic over | Shim equivalent |
+//! |---|---|---|
+//! | `snapshot_reclamation` | reader/writer schedules | DFS over all schedules |
+//! | `ring_indices` | capacity, start offset, op sequence | sweep of capacities × wrap-adjacent starts × all op sequences |
+//! | `doorbell_wakeup` | submit/park schedules | DFS over all schedules |
+//! | `simd_walk_equivalence` | trie entries, lane keys, group size | generated tries × all keys, plus cross-check against the real `ofalgo::Mbt` |
+
+#[cfg(kani)]
+mod verify {
+    use crate::mck::Scenario;
+    use crate::models::doorbell::DoorbellScenario;
+    use crate::models::ring::RingModel;
+    use crate::models::simd::{ModelTrie, LANES, NO_CHILD};
+    use crate::models::snapshot::{Bug, SnapshotScenario};
+
+    /// Drives a scenario with a fully symbolic schedule: every step,
+    /// Kani picks any enabled thread. Asserts deadlock freedom at
+    /// every point and the scenario's own safety properties at every
+    /// step; final invariants whenever the schedule runs to
+    /// completion.
+    fn symbolic_interleaving<S: Scenario>(sc: &S, max_steps: usize) {
+        let mut state = sc.init();
+        for _ in 0..max_steps {
+            if (0..sc.threads()).all(|t| sc.done(&state, t)) {
+                break;
+            }
+            assert!(
+                (0..sc.threads()).any(|t| sc.enabled(&state, t)),
+                "deadlock: live threads but none enabled"
+            );
+            let tid: usize = kani::any();
+            kani::assume(tid < sc.threads() && sc.enabled(&state, tid));
+            if let Err(msg) = sc.step(&mut state, tid) {
+                panic!("{}", msg);
+            }
+        }
+        if (0..sc.threads()).all(|t| sc.done(&state, t)) {
+            if let Err(msg) = sc.check_final(&state) {
+                panic!("{}", msg);
+            }
+        }
+    }
+
+    /// No use-after-free, no double-free, no leak on the
+    /// `SnapshotCell` retire/collect path, for every interleaving of
+    /// one granular reader with a writer publishing twice. Cited by
+    /// the reclamation safety argument in `mtl-runtime/src/snapshot.rs`.
+    #[kani::proof]
+    #[kani::unwind(40)]
+    fn snapshot_reclamation() {
+        let sc = SnapshotScenario { readers: 1, publishes: 2, bug: Bug::None };
+        symbolic_interleaving(&sc, 24);
+    }
+
+    /// The free-running index arithmetic never aliases an occupied
+    /// slot, never over- or under-counts occupancy, and preserves FIFO
+    /// order — for a symbolic power-of-two capacity, a fully symbolic
+    /// starting offset (so `usize::MAX` wraparound is covered), and
+    /// every push/pop sequence of length 12. Cited by the index
+    /// protocol docs in `mtl-runtime/src/ring.rs`.
+    #[kani::proof]
+    #[kani::unwind(16)]
+    fn ring_indices() {
+        let exp: u32 = kani::any();
+        kani::assume((1..=3).contains(&exp)); // capacities 2, 4, 8
+        let start: usize = kani::any();
+        let mut m = RingModel::new(1 << exp, start, false);
+        for _ in 0..12 {
+            let push: bool = kani::any();
+            let step = if push { m.push() } else { m.pop() };
+            assert!(step.is_ok(), "ring invariant violated");
+        }
+    }
+
+    /// No missed wakeup on the doorbell park/unpark path: for every
+    /// interleaving of a submitter (push + ring, then stop + ring) and
+    /// a parking worker, some thread is always runnable and every job
+    /// is processed. Cited by `Doorbell` in
+    /// `mtl-runtime/src/runtime.rs`.
+    #[kani::proof]
+    #[kani::unwind(40)]
+    fn doorbell_wakeup() {
+        let sc = DoorbellScenario { jobs: 2, bare_notify: false };
+        symbolic_interleaving(&sc, 32);
+    }
+
+    /// The branchless lane kernel computes exactly the scalar walk:
+    /// for a two-level trie with fully symbolic packed entries
+    /// (constrained only to the structural validity the gather's
+    /// in-bounds argument needs) and fully symbolic lane keys, every
+    /// lane of `lookup_lanes` equals `lookup_scalar` and every chain
+    /// of `chain_lanes` equals `chain_scalar`. Cited by the module
+    /// docs of `ofalgo/src/trie/simd.rs`.
+    #[kani::proof]
+    #[kani::unwind(16)]
+    fn simd_walk_equivalence() {
+        let mut t = ModelTrie::new(&[2, 2]);
+        assert_eq!(t.alloc_block(1), 0);
+        assert_eq!(t.alloc_block(1), 1);
+        // Level 0: one block of 4 symbolic words; children point into
+        // level 1's two blocks or nowhere.
+        for i in 0..4 {
+            let word: u64 = kani::any();
+            let child = word & NO_CHILD;
+            kani::assume(child == NO_CHILD || child < 2);
+            t.set_word(0, i, word);
+        }
+        // Level 1 (last): two blocks of symbolic words, no children.
+        for i in 0..8 {
+            let word: u64 = kani::any();
+            kani::assume(word & NO_CHILD == NO_CHILD);
+            t.set_word(1, i, word);
+        }
+        assert!(t.is_valid());
+
+        let n: usize = kani::any();
+        kani::assume((1..=LANES).contains(&n));
+        let mut keys = [0u64; LANES];
+        for k in keys.iter_mut() {
+            *k = kani::any();
+            kani::assume(*k < 1 << t.total_bits());
+        }
+        let got = t.lookup_lanes(&keys[..n]);
+        let chains = t.chain_lanes(&keys[..n]);
+        for (i, &key) in keys[..n].iter().enumerate() {
+            assert!(got[i] == t.lookup_scalar(key), "lane lookup diverged from scalar");
+            assert!(chains[i] == t.chain_scalar(key), "lane chain diverged from scalar");
+        }
+    }
+}
+
+/// Stable shims: the exhaustive-enumeration equivalents of the Kani
+/// harnesses, run by plain `cargo test`. Each shim covers the same
+/// property over the concrete portion of the symbolic input space that
+/// is enumerable in milliseconds, and cross-checks the models against
+/// the real implementations so the proofs can't drift from the code.
+#[cfg(all(test, not(kani)))]
+mod shims {
+    use crate::mck::Checker;
+    use crate::models::doorbell::DoorbellScenario;
+    use crate::models::ring::RingModel;
+    use crate::models::simd::{ModelTrie, LANES};
+    use crate::models::snapshot::{Bug, SnapshotScenario};
+    use ofalgo::{Label, Mbt, StrideSchedule, MULTI_WAY};
+
+    /// Exhaustive-DFS twin of the `snapshot_reclamation` proof, plus
+    /// the two-reader configuration the symbolic harness keeps
+    /// bounded.
+    #[test]
+    fn snapshot_reclamation() {
+        for (readers, publishes) in [(1, 2), (1, 3), (2, 1), (2, 2)] {
+            let sc = SnapshotScenario { readers, publishes, bug: Bug::None };
+            let out = Checker::default().explore(&sc);
+            assert!(out.passed(), "readers {readers} publishes {publishes}: {out:?}");
+        }
+    }
+
+    /// Exhaustive twin of the `ring_indices` proof: every capacity the
+    /// symbolic harness ranges over, wrap-adjacent and ordinary start
+    /// offsets, and all 2^12 push/pop sequences.
+    #[test]
+    fn ring_indices() {
+        for cap in [2usize, 4, 8] {
+            for start in [0usize, 1, usize::MAX, usize::MAX - 1, usize::MAX - 3, usize::MAX - 7] {
+                for ops in 0u32..1 << 12 {
+                    let mut m = RingModel::new(cap, start, false);
+                    for bit in 0..12 {
+                        let step = if ops >> bit & 1 == 1 { m.push() } else { m.pop() };
+                        step.unwrap_or_else(|e| {
+                            panic!("cap {cap} start {start:#x} ops {ops:#014b}: {e}")
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Exhaustive-DFS twin of the `doorbell_wakeup` proof.
+    #[test]
+    fn doorbell_wakeup() {
+        for jobs in 0..=3 {
+            let out = Checker::default().explore(&DoorbellScenario { jobs, bare_notify: false });
+            assert!(out.passed(), "jobs {jobs}: {out:?}");
+        }
+    }
+
+    /// The model trie must agree with the real `ofalgo::Mbt` — scalar
+    /// and multi-key walks — on identical prefix sets, over the whole
+    /// key space. This pins the `simd_walk_equivalence` model to the
+    /// code it models: if either walk or the packed layout drifts,
+    /// this shim fails before the proof goes stale. (A deterministic
+    /// LCG generates the prefix sets; no RNG dependency.)
+    #[test]
+    fn simd_model_matches_real_mbt() {
+        assert_eq!(LANES, MULTI_WAY, "lane-count drift between model and production");
+        let mut seed = 0x9E37_79B9_7F4A_7C15u64;
+        let mut rng = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed >> 33
+        };
+        for strides in [vec![2u32, 2], vec![3, 2, 2], vec![4, 4]] {
+            let total: u32 = strides.iter().sum();
+            for _ in 0..8 {
+                let mut model = ModelTrie::new(&strides);
+                let mut real = Mbt::new(StrideSchedule::new(strides.clone()));
+                for label in 1..=12u32 {
+                    let len = rng() as u32 % (total + 1);
+                    let value = if len == 0 {
+                        0
+                    } else {
+                        (rng() & ((1 << total) - 1)) >> (total - len) << (total - len)
+                    };
+                    model.insert(value, len, label);
+                    real.insert(value, len, Label(label));
+                }
+                assert!(model.is_valid());
+                let keys: Vec<u64> = (0..1u64 << total).collect();
+                let mut multi = vec![None; keys.len()];
+                real.lookup_multi(&keys, &mut multi);
+                for group in keys.chunks(LANES) {
+                    let lanes = model.lookup_lanes(group);
+                    let chains = model.chain_lanes(group);
+                    for (i, &key) in group.iter().enumerate() {
+                        let want = real.lookup(key).map(|(l, len)| (l.0, len));
+                        assert_eq!(model.lookup_scalar(key), want, "scalar model drift, key {key}");
+                        assert_eq!(lanes[i], want, "lane model drift, key {key}");
+                        assert_eq!(
+                            multi[key as usize].map(|(l, len)| (l.0, len)),
+                            want,
+                            "real multi-key walk drift, key {key}"
+                        );
+                        let want_chain: Vec<(u32, u32)> =
+                            real.chain(key).iter().map(|(l, len)| (l.0, len)).collect();
+                        assert_eq!(chains[i], want_chain, "chain model drift, key {key}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The modeled snapshot protocol must agree with the real
+    /// `SnapshotCell` on the observable schedule the models fix:
+    /// versions, retire-backlog bounds, and value visibility.
+    #[test]
+    fn snapshot_model_matches_real_cell() {
+        use std::sync::Arc;
+        let cell = Arc::new(mtl_runtime::snapshot::SnapshotCell::new(0u64));
+        let reader = cell.register("proofs");
+        let held = reader.load();
+        assert_eq!((held.version, held.value), (1, 0));
+        for i in 1..=3u64 {
+            assert_eq!(cell.publish(i), i + 1, "publish returns the bumped version");
+        }
+        // The reader is quiescent, so at most the just-retired image
+        // lingers — the model's check_final drains the same backlog.
+        assert!(cell.retired_len() <= 1, "backlog {}", cell.retired_len());
+        assert_eq!(reader.load().value, 3);
+    }
+
+    /// The modeled ring must agree with the real SPSC ring on
+    /// fill/drain behaviour at the capacity boundary.
+    #[test]
+    fn ring_model_matches_real_spsc() {
+        let (mut tx, mut rx) = mtl_runtime::ring::spsc::<u64>(4);
+        let mut model = RingModel::new(4, 0, false);
+        for i in 0..4u64 {
+            assert!(tx.push(i).is_ok());
+            assert_eq!(model.push(), Ok(true));
+        }
+        assert!(tx.push(99).is_err(), "real ring full");
+        assert_eq!(model.push(), Ok(false), "model ring full");
+        for _ in 0..4 {
+            assert!(rx.pop().is_some());
+            assert_eq!(model.pop(), Ok(true));
+        }
+        assert_eq!(rx.pop(), None);
+        assert_eq!(model.pop(), Ok(false));
+    }
+}

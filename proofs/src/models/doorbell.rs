@@ -1,0 +1,219 @@
+//! Model of the worker doorbell's park/unpark protocol
+//! (`mtl-runtime/src/runtime.rs`, `Doorbell`).
+//!
+//! The race the production code closes: a worker finds its ring empty,
+//! decides to park, and a submitter's wakeup lands **between the check
+//! and the park** — a bare `notify_one` with no waiter is lost, and
+//! the worker sleeps on work that has already arrived. Production
+//! closes the window with a mutex-guarded pending counter: `ring()`
+//! increments it under the mutex, `park()` re-checks it under the same
+//! mutex before waiting (and `Condvar::wait` releases the mutex
+//! atomically), so a wakeup can never fall into the gap. The
+//! production park also carries a timeout as a second belt — this
+//! model deliberately omits it, so a missed wakeup cannot be papered
+//! over: it manifests as a checker-visible deadlock.
+//!
+//! Step granularity: each mutex-guarded critical section is one step
+//! (nothing can interleave with it in the real code); the worker's
+//! empty-check on its job ring is a separate step from the park
+//! decision, because the ring and the doorbell are different
+//! synchronization domains — that separation *is* the race window.
+//!
+//! The [`bare_notify`](DoorbellScenario::bare_notify) variant removes
+//! the pending counter — `ring()` becomes a naked notify, `park()` a
+//! naked wait — and `tests/scenarios.rs` requires the checker to find
+//! the resulting lost-wakeup deadlock.
+
+use crate::mck::Scenario;
+
+/// Producer submitting jobs + one worker draining them.
+pub struct DoorbellScenario {
+    /// Jobs the producer pushes (each followed by a `ring()`), before
+    /// setting `stop` and ringing one final time — the same shutdown
+    /// sequence `Runtime::drop` uses.
+    pub jobs: u8,
+    /// Seeded bug: no pending counter; `ring()` is a bare notify and
+    /// `park()` a bare wait.
+    pub bare_notify: bool,
+}
+
+/// Worker program counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Wpc {
+    /// Polling the job ring.
+    Poll,
+    /// Saw an empty ring (and `stop` unset); about to take the
+    /// doorbell mutex and decide whether to wait.
+    Park,
+    /// Waiting on the condvar; runnable only when notified.
+    Waiting,
+    /// Exited.
+    Done,
+}
+
+/// Shared state: the job queue depth, the doorbell, the stop flag,
+/// both program counters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DoorbellState {
+    /// Jobs pushed but not yet consumed (stands in for the SPSC ring).
+    queue: u8,
+    /// The doorbell's mutex-guarded pending counter.
+    pending: u8,
+    /// Set while the worker is inside `Condvar::wait` — a notify only
+    /// reaches a current waiter; otherwise it is lost. (The fixed
+    /// protocol is immune to that loss *because* of the pending
+    /// counter; the bare variant is not.)
+    notified: bool,
+    stop: bool,
+    /// Producer: 0..jobs = push job, then ring; jobs*2 = set stop,
+    /// jobs*2+1 = final ring, then done.
+    ppc: u8,
+    wpc: Wpc,
+    processed: u8,
+}
+
+impl DoorbellScenario {
+    fn producer_steps(&self) -> u8 {
+        self.jobs * 2 + 2
+    }
+}
+
+impl Scenario for DoorbellScenario {
+    type State = DoorbellState;
+
+    fn init(&self) -> DoorbellState {
+        DoorbellState {
+            queue: 0,
+            pending: 0,
+            notified: false,
+            stop: false,
+            ppc: 0,
+            wpc: Wpc::Poll,
+            processed: 0,
+        }
+    }
+
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn done(&self, s: &DoorbellState, tid: usize) -> bool {
+        if tid == 0 {
+            s.ppc == self.producer_steps()
+        } else {
+            s.wpc == Wpc::Done
+        }
+    }
+
+    fn enabled(&self, s: &DoorbellState, tid: usize) -> bool {
+        if self.done(s, tid) {
+            return false;
+        }
+        if tid == 0 {
+            return true;
+        }
+        // A waiting worker is runnable only once a notify reached it.
+        s.wpc != Wpc::Waiting || s.notified
+    }
+
+    fn step(&self, s: &mut DoorbellState, tid: usize) -> Result<(), String> {
+        if tid == 0 {
+            let pc = s.ppc;
+            if pc < self.jobs * 2 {
+                if pc.is_multiple_of(2) {
+                    // producer.push(job) into the worker's ring.
+                    s.queue += 1;
+                } else {
+                    // doorbell.ring(): one mutex-guarded critical
+                    // section (or a bare notify under the seeded bug).
+                    if !self.bare_notify {
+                        s.pending += 1;
+                    }
+                    if s.wpc == Wpc::Waiting {
+                        s.notified = true;
+                    }
+                }
+            } else if pc == self.jobs * 2 {
+                s.stop = true;
+            } else {
+                // Final ring after stop (Runtime::drop's sequence).
+                if !self.bare_notify {
+                    s.pending += 1;
+                }
+                if s.wpc == Wpc::Waiting {
+                    s.notified = true;
+                }
+            }
+            s.ppc += 1;
+            return Ok(());
+        }
+        match s.wpc {
+            // jobs.pop() — one atomic poll of the ring; then the stop
+            // check, exactly the worker_loop order.
+            Wpc::Poll => {
+                if s.queue > 0 {
+                    s.queue -= 1;
+                    s.processed += 1;
+                } else if s.stop {
+                    s.wpc = Wpc::Done;
+                } else {
+                    s.wpc = Wpc::Park;
+                }
+            }
+            // park(): take the doorbell mutex. The fixed protocol
+            // consumes a pending ring instead of waiting; the bare
+            // variant waits unconditionally — the lost-wakeup window.
+            Wpc::Park => {
+                if !self.bare_notify && s.pending > 0 {
+                    s.pending = 0;
+                    s.wpc = Wpc::Poll;
+                } else {
+                    s.wpc = Wpc::Waiting;
+                }
+            }
+            // Woken: consume the notification (and any pending rings)
+            // and go back to polling.
+            Wpc::Waiting => {
+                if !s.notified {
+                    return Err("worker stepped while waiting unnotified".into());
+                }
+                s.notified = false;
+                s.pending = 0;
+                s.wpc = Wpc::Poll;
+            }
+            Wpc::Done => unreachable!("worker stepped after exit"),
+        }
+        Ok(())
+    }
+
+    fn check_final(&self, s: &DoorbellState) -> Result<(), String> {
+        if s.processed != self.jobs {
+            return Err(format!("worker processed {} of {} jobs", s.processed, self.jobs));
+        }
+        if s.queue != 0 {
+            return Err(format!("{} job(s) left on the ring at shutdown", s.queue));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mck::{Checker, Outcome};
+
+    #[test]
+    fn pending_counter_never_misses_a_wakeup() {
+        for jobs in 0..=3 {
+            let out = Checker::default().explore(&DoorbellScenario { jobs, bare_notify: false });
+            assert!(out.passed(), "jobs {jobs}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn bare_notify_loses_a_wakeup() {
+        let sc = DoorbellScenario { jobs: 1, bare_notify: true };
+        let out = Checker::default().explore(&sc);
+        assert!(matches!(out, Outcome::Deadlock { .. }), "lost wakeup not found: {out:?}");
+    }
+}
