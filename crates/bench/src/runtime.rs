@@ -32,8 +32,8 @@ use crate::data::Workloads;
 use crate::output::{obj, render_table, write_json, Json, ToJson};
 use classifier_api::{reference_classify, Classifier, ClassifierBuilder};
 use mtl_core::MtlSwitch;
-use mtl_runtime::{Runtime, RuntimeConfig};
-use offilter::synth::{generate_trace, TraceConfig};
+use mtl_runtime::{shard_of, Runtime, RuntimeConfig};
+use offilter::synth::{generate_scan_trace, generate_trace, generate_trace_where, TraceConfig};
 use offilter::{Rule, RuleAction};
 use oflow::{FlowMatch, HeaderValues, MatchFieldKind};
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
@@ -95,6 +95,34 @@ impl ToJson for ShardPoint {
     }
 }
 
+/// One adversarial-traffic profile measured at the widest shard count
+/// (quiesced — the sweep isolates traffic shape, not churn).
+#[derive(Debug, Clone)]
+pub struct DegradationPoint {
+    /// Profile name: `zipf` (the friendly baseline), `rss-pinned`
+    /// (every packet hashes onto shard 0), or `scan` (never-repeating
+    /// cache-busting headers).
+    pub profile: String,
+    /// Aggregate throughput on this profile.
+    pub packets_per_sec: f64,
+    /// Aggregate flow-cache hit rate on this profile.
+    pub hit_rate: f64,
+    /// Slowdown vs the `zipf` baseline (baseline pps / this pps;
+    /// 1.0 for the baseline itself, > 1 means degraded).
+    pub slowdown_vs_zipf: f64,
+}
+
+impl ToJson for DegradationPoint {
+    fn to_json(&self) -> Json {
+        obj([
+            ("profile", self.profile.as_str().into()),
+            ("packets_per_sec", self.packets_per_sec.into()),
+            ("hit_rate", self.hit_rate.into()),
+            ("slowdown_vs_zipf", self.slowdown_vs_zipf.into()),
+        ])
+    }
+}
+
 /// The whole experiment.
 #[derive(Debug, Clone)]
 pub struct RuntimeExperiment {
@@ -112,6 +140,9 @@ pub struct RuntimeExperiment {
     pub scaling_asserted: bool,
     /// One point per shard count, sweep order.
     pub points: Vec<ShardPoint>,
+    /// Adversarial-traffic degradation at the widest shard count:
+    /// `zipf` baseline, then `rss-pinned` and `scan`.
+    pub degradation: Vec<DegradationPoint>,
     /// The 4-shard (or widest) point's telemetry JSON block, verbatim
     /// from the runtime.
     pub telemetry_json: String,
@@ -126,6 +157,7 @@ impl ToJson for RuntimeExperiment {
             ("available_parallelism", self.available_parallelism.into()),
             ("scaling_asserted", self.scaling_asserted.into()),
             ("points", self.points.to_json()),
+            ("degradation", self.degradation.to_json()),
             ("telemetry", Json::Str(self.telemetry_json.clone())),
         ])
     }
@@ -315,6 +347,123 @@ fn shard_point(
     point
 }
 
+/// Measures one traffic profile on a fresh quiesced runtime: warm
+/// pass, then `batches` pipelined submissions, returning (pps, hit
+/// rate). Correctness is spot-checked against the sequential oracle on
+/// the first batch (the shard sweep's churn verifier covers the deep
+/// end; here the traffic *shape* is the variable).
+fn profile_run(
+    set: &offilter::FilterSet,
+    batches: &[std::sync::Arc<[HeaderValues]>],
+    shards: usize,
+) -> (f64, f64) {
+    let switch = <MtlSwitch as ClassifierBuilder>::try_build(set).expect("switch builds");
+    let oracle = <MtlSwitch as ClassifierBuilder>::try_build(set).expect("oracle builds");
+    let rt = Runtime::new(switch, &RuntimeConfig::with_shards(shards));
+    // batches[0] is the warm-up / oracle-check batch; only batches[1..]
+    // are timed (and, for the scan profile, never seen again — the warm
+    // pass must not pre-populate the cache with timed headers).
+    let first = batches.first().expect("at least one batch");
+    assert_eq!(
+        rt.classify_rows(first),
+        Classifier::classify_batch(&oracle, first),
+        "{shards} shards: profile output diverges from the oracle"
+    );
+    let _ = rt.classify_rows(first);
+    let merged_stats = |rt: &Runtime<MtlSwitch>| {
+        rt.telemetry()
+            .per_shard
+            .iter()
+            .map(|s| s.cache)
+            .fold(classifier_api::CacheStats::default(), classifier_api::CacheStats::merged)
+    };
+    let warm = merged_stats(&rt);
+    let started = Instant::now();
+    let mut tickets = std::collections::VecDeque::with_capacity(8);
+    for batch in &batches[1..] {
+        tickets.push_back(rt.submit(std::sync::Arc::clone(batch)));
+        if tickets.len() >= 8 {
+            let _ = tickets.pop_front().expect("nonempty").wait();
+        }
+    }
+    while let Some(t) = tickets.pop_front() {
+        let _ = t.wait();
+    }
+    let secs = started.elapsed().as_secs_f64();
+    // Hit rate over the timed portion only (the warm passes would
+    // otherwise pollute the scan profile's zero-reuse property).
+    let total = merged_stats(&rt);
+    let timed = classifier_api::CacheStats {
+        hits: total.hits - warm.hits,
+        misses: total.misses - warm.misses,
+        ..classifier_api::CacheStats::default()
+    };
+    rt.shutdown();
+    let packets = batches[1..].iter().map(|b| b.len()).sum::<usize>() as f64;
+    (if secs > 0.0 { packets / secs } else { 0.0 }, timed.hit_rate())
+}
+
+/// The adversarial-traffic degradation sweep at one shard count:
+/// the friendly Zipf baseline, an RSS-collision trace that pins every
+/// packet onto shard 0 (via the runtime's own [`shard_of`] hash — the
+/// software analogue of an RSS hash-collision attack), and a
+/// never-repeating cache-busting scan. Each profile runs on a fresh
+/// quiesced runtime so the shapes are compared like for like.
+fn degradation_sweep(
+    set: &offilter::FilterSet,
+    shards: usize,
+    batch_size: usize,
+    batches: usize,
+) -> Vec<DegradationPoint> {
+    let cfg = TraceConfig {
+        packets: batch_size,
+        flows: (batch_size / 4).max(64),
+        skew: 0.9,
+        random_fraction: 0.125,
+        oneshot_fraction: 0.1,
+    };
+    // Zipf and rss-pinned are *flow* traces: one batch, resubmitted —
+    // flow recurrence (and so cache affinity) is their point. The scan
+    // is the opposite: every batch holds fresh never-seen headers, so
+    // the full run never reuses a cache entry.
+    let repeat = |trace: Vec<HeaderValues>| -> Vec<std::sync::Arc<[HeaderValues]>> {
+        let arc: std::sync::Arc<[HeaderValues]> = trace.into();
+        vec![arc; batches + 1] // +1: the warm-up batch
+    };
+    let zipf = repeat(generate_trace(set, &cfg, crate::DEFAULT_SEED));
+    let pinned_trace =
+        generate_trace_where(set, &cfg, crate::DEFAULT_SEED, &|h| shard_of(h, shards) == 0);
+    assert!(
+        pinned_trace.iter().all(|h| shard_of(h, shards) == 0),
+        "rss-pinned trace must land entirely on shard 0"
+    );
+    let pinned = repeat(pinned_trace);
+    let scan: Vec<std::sync::Arc<[HeaderValues]>> =
+        generate_scan_trace(set, batch_size * (batches + 1), crate::DEFAULT_SEED)
+            .chunks(batch_size)
+            .map(std::sync::Arc::from)
+            .collect();
+
+    let mut points = Vec::with_capacity(3);
+    let (base_pps, base_hit) = profile_run(set, &zipf, shards);
+    points.push(DegradationPoint {
+        profile: "zipf".to_owned(),
+        packets_per_sec: base_pps,
+        hit_rate: base_hit,
+        slowdown_vs_zipf: 1.0,
+    });
+    for (profile, trace) in [("rss-pinned", &pinned), ("scan", &scan)] {
+        let (pps, hit_rate) = profile_run(set, trace, shards);
+        points.push(DegradationPoint {
+            profile: profile.to_owned(),
+            packets_per_sec: pps,
+            hit_rate,
+            slowdown_vs_zipf: if pps > 0.0 { base_pps / pps } else { 0.0 },
+        });
+    }
+    points
+}
+
 /// Runs the sweep on one routing set.
 ///
 /// # Panics
@@ -341,12 +490,13 @@ pub fn run(
     };
     let trace = generate_trace(set, &cfg, crate::DEFAULT_SEED);
 
+    let widest = shard_counts.iter().copied().max().unwrap_or(1);
     let mut points: Vec<ShardPoint> = Vec::with_capacity(shard_counts.len());
     let mut telemetry_json = String::new();
     for &shards in shard_counts {
         let baseline = points.first().map(|p| p.packets_per_sec);
         let point = shard_point(set, &trace, shards, batches, baseline);
-        if shards == shard_counts.iter().copied().max().unwrap_or(shards) {
+        if shards == widest {
             // Re-derive a telemetry block for the widest point via a
             // fresh quiesced runtime (the sweep's runtime is gone).
             let switch = <MtlSwitch as ClassifierBuilder>::try_build(set).expect("builds");
@@ -356,6 +506,7 @@ pub fn run(
         }
         points.push(point);
     }
+    let degradation = degradation_sweep(set, widest, batch_size, batches);
 
     let available_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
     let four = points.iter().find(|p| p.shards == 4);
@@ -376,6 +527,7 @@ pub fn run(
         available_parallelism,
         scaling_asserted,
         points,
+        degradation,
         telemetry_json,
     }
 }
@@ -424,13 +576,31 @@ fn print_experiment(e: &RuntimeExperiment) {
             &rows
         )
     );
+    let widest = e.points.iter().map(|p| p.shards).max().unwrap_or(1);
+    println!("-- adversarial traffic degradation at {widest} shards (quiesced) --");
+    let rows: Vec<Vec<String>> = e
+        .degradation
+        .iter()
+        .map(|d| {
+            vec![
+                d.profile.clone(),
+                format!("{:.2}", d.packets_per_sec / 1e6),
+                format!("{:.1}%", d.hit_rate * 100.0),
+                format!("{:.2}x", d.slowdown_vs_zipf),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["profile", "Mpps", "hit rate", "slowdown"], &rows));
 }
 
-/// Prints the sweep and writes JSON.
+/// Prints the sweep and writes JSON — both the `runtime` artifact and
+/// the canonical `BENCH_7` artifact (shard scaling + adversarial
+/// degradation), which CI archives.
 pub fn report(w: &Workloads) {
     let e = run(w, "boza", 4096, 48, &[1, 2, 4, 8], true);
     print_experiment(&e);
     write_json("runtime", &e);
+    write_json("BENCH_7", &e);
 }
 
 /// A quick 2-shard churn run for local smoke checks (consistency
@@ -463,5 +633,19 @@ mod tests {
             assert!(p.publishes > 0, "churn must actually publish ({} shards)", p.shards);
         }
         assert!(e.telemetry_json.contains("\"per_shard\""));
+        let profiles: Vec<&str> = e.degradation.iter().map(|d| d.profile.as_str()).collect();
+        assert_eq!(profiles, ["zipf", "rss-pinned", "scan"]);
+        for d in &e.degradation {
+            assert!(d.packets_per_sec > 0.0, "{}", d.profile);
+            assert!(d.slowdown_vs_zipf > 0.0, "{}", d.profile);
+        }
+        let zipf = &e.degradation[0];
+        let scan = &e.degradation[2];
+        assert!((zipf.slowdown_vs_zipf - 1.0).abs() < f64::EPSILON);
+        // A never-repeating scan cannot hit a flow cache; the Zipf
+        // baseline overwhelmingly does. (Throughput ordering is *not*
+        // asserted — too machine-dependent for a unit test.)
+        assert!(zipf.hit_rate > 0.5, "zipf hit rate {}", zipf.hit_rate);
+        assert!(scan.hit_rate < 0.05, "scan hit rate {}", scan.hit_rate);
     }
 }

@@ -18,7 +18,10 @@ pub use acl::{generate_acl, AclConfig};
 pub use mac::{generate_mac, MacTargets};
 pub use pools::UniquePool;
 pub use routing::{generate_routing, RoutingTargets};
-pub use traffic::{generate_flows, generate_trace, TraceConfig, ZipfSampler};
+pub use traffic::{
+    generate_flows, generate_flows_where, generate_scan_trace, generate_trace,
+    generate_trace_where, TraceConfig, ZipfSampler,
+};
 
 use crate::paper_data::{MAC_FILTERS, ROUTING_FILTERS};
 use crate::set::FilterSet;

@@ -204,6 +204,114 @@ pub fn generate_trace(set: &FilterSet, cfg: &TraceConfig, seed: u64) -> Vec<Head
         .collect()
 }
 
+/// Rejection-sampling attempts per flow before concluding the predicate
+/// is unsatisfiable over the generator's header space.
+const PIN_ATTEMPTS: usize = 10_000;
+
+/// [`generate_flows`], restricted to headers the `accept` predicate
+/// admits (rejection sampling). This is the adversarial-traffic
+/// primitive: a caller that knows the runtime's RSS hash can pass
+/// "lands on shard 0" and pin an entire trace onto one shard — the
+/// software analogue of an RSS-collision attack — while the headers
+/// still derive from real rules. As attempts grow the generator walks
+/// other rules too (an all-exact rule admits exactly one header, which
+/// the predicate may reject for good).
+///
+/// # Panics
+/// Panics if the set has no rules, `cfg.flows` is zero, or the
+/// predicate rejects [`PIN_ATTEMPTS`] consecutive candidates.
+#[must_use]
+pub fn generate_flows_where(
+    set: &FilterSet,
+    cfg: &TraceConfig,
+    seed: u64,
+    accept: &dyn Fn(&HeaderValues) -> bool,
+) -> Vec<HeaderValues> {
+    assert!(!set.rules.is_empty(), "flow pool needs rules to derive headers from");
+    assert!(cfg.flows > 0, "need at least one flow");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7472_6166);
+    let mut flows = Vec::with_capacity(cfg.flows);
+    for i in 0..cfg.flows {
+        let random = rng.gen_bool(cfg.random_fraction);
+        let mut attempt = 0usize;
+        let header = loop {
+            let candidate = if random {
+                random_header(set, &mut rng)
+            } else {
+                header_for_rule(set, (i + attempt) % set.rules.len(), &mut rng)
+            };
+            if accept(&candidate) {
+                break candidate;
+            }
+            attempt += 1;
+            assert!(
+                attempt < PIN_ATTEMPTS,
+                "predicate accepted none of {PIN_ATTEMPTS} candidate flows"
+            );
+        };
+        flows.push(header);
+    }
+    // Fisher-Yates: decorrelate Zipf rank (index) from rule order.
+    for i in (1..flows.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        flows.swap(i, j);
+    }
+    flows
+}
+
+/// [`generate_trace`] over a predicate-restricted flow pool
+/// ([`generate_flows_where`]); one-shot scan packets are rejection-
+/// sampled against the same predicate, so *every* packet of the trace
+/// satisfies it (a pinned trace stays pinned).
+///
+/// # Panics
+/// As [`generate_flows_where`], plus if `cfg.packets` is zero.
+#[must_use]
+pub fn generate_trace_where(
+    set: &FilterSet,
+    cfg: &TraceConfig,
+    seed: u64,
+    accept: &dyn Fn(&HeaderValues) -> bool,
+) -> Vec<HeaderValues> {
+    assert!(cfg.packets > 0, "need at least one packet");
+    let flows = generate_flows_where(set, cfg, seed, accept);
+    let sampler = ZipfSampler::new(flows.len(), cfg.skew);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7061_636B);
+    (0..cfg.packets)
+        .map(|_| {
+            if cfg.oneshot_fraction > 0.0 && rng.gen_bool(cfg.oneshot_fraction) {
+                let mut attempt = 0usize;
+                loop {
+                    let candidate = random_header(set, &mut rng);
+                    if accept(&candidate) {
+                        break candidate;
+                    }
+                    attempt += 1;
+                    assert!(
+                        attempt < PIN_ATTEMPTS,
+                        "predicate accepted none of {PIN_ATTEMPTS} scan headers"
+                    );
+                }
+            } else {
+                flows[sampler.sample(&mut rng)].clone()
+            }
+        })
+        .collect()
+}
+
+/// A pure cache-busting scan: `packets` fresh random headers that
+/// (almost surely) never repeat — the worst case for any flow cache,
+/// since no entry is ever reused. Deterministic per seed.
+///
+/// # Panics
+/// Panics if the set has no rules or `packets` is zero.
+#[must_use]
+pub fn generate_scan_trace(set: &FilterSet, packets: usize, seed: u64) -> Vec<HeaderValues> {
+    let cfg =
+        TraceConfig { packets, flows: 1, skew: 0.0, random_fraction: 0.0, oneshot_fraction: 1.0 };
+    generate_trace_where(set, &cfg, seed, &|_| true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +416,67 @@ mod tests {
         assert_eq!(a, b);
         let c = generate_trace(&set, &cfg, 12);
         assert_ne!(a, c, "different seeds give different traces");
+    }
+
+    /// A toy RSS-style predicate over the header's field values (the
+    /// bench uses the runtime's real shard hash; any deterministic
+    /// header → bool function exercises the same machinery).
+    fn lands_even(h: &HeaderValues) -> bool {
+        h.fields().iter().map(|&(_, v)| v as u64 ^ (v >> 64) as u64).sum::<u64>() % 2 == 0
+    }
+
+    #[test]
+    fn predicate_pinned_flows_all_satisfy_and_still_derive_from_rules() {
+        let set = routing_set();
+        let cfg = TraceConfig {
+            packets: 1,
+            flows: 128,
+            skew: 0.0,
+            random_fraction: 0.0,
+            oneshot_fraction: 0.0,
+        };
+        let flows = generate_flows_where(&set, &cfg, 3, &lands_even);
+        assert_eq!(flows.len(), 128);
+        assert!(flows.iter().all(lands_even), "every pinned flow satisfies the predicate");
+        assert!(
+            flows.iter().all(|h| set.rules.iter().any(|r| r.flow_match.matches(h))),
+            "pinned flows still derive from (and match) real rules"
+        );
+        // Unrestricted generation would violate the predicate somewhere.
+        let free = generate_flows(&set, &cfg, 3);
+        assert!(free.iter().any(|h| !lands_even(h)), "the predicate is non-trivial");
+    }
+
+    #[test]
+    fn predicate_pinned_trace_pins_scan_packets_too() {
+        let set = routing_set();
+        let cfg = TraceConfig {
+            packets: 2000,
+            flows: 32,
+            skew: 1.1,
+            random_fraction: 0.1,
+            oneshot_fraction: 0.3,
+        };
+        let trace = generate_trace_where(&set, &cfg, 5, &lands_even);
+        assert_eq!(trace.len(), 2000);
+        assert!(trace.iter().all(lands_even), "every packet (flows and scans) stays pinned");
+        let distinct: HashMap<String, usize> = trace.iter().fold(HashMap::new(), |mut m, h| {
+            *m.entry(format!("{h}")).or_default() += 1;
+            m
+        });
+        assert!(distinct.len() > 32, "one-shot scan packets add fresh headers");
+    }
+
+    #[test]
+    fn scan_trace_never_repeats_and_is_deterministic() {
+        let set = routing_set();
+        let a = generate_scan_trace(&set, 2000, 13);
+        assert_eq!(a.len(), 2000);
+        let distinct: std::collections::HashSet<String> =
+            a.iter().map(|h| format!("{h}")).collect();
+        assert_eq!(distinct.len(), 2000, "a scan never reuses a header");
+        assert_eq!(a, generate_scan_trace(&set, 2000, 13), "deterministic per seed");
+        assert_ne!(a, generate_scan_trace(&set, 2000, 14));
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Deterministic fault injection for the supervised runtime
+//! (compiled only with the `fault-injection` cargo feature).
+//!
+//! A [`FaultPlan`] is a *seeded, step-indexed* schedule of faults the
+//! runtime threads consult at fixed hook points:
+//!
+//! * **worker panic** — the shard's worker thread panics when it picks
+//!   up its `N`-th batch job (exercising the supervisor's detect →
+//!   respawn → re-route path);
+//! * **shard stall** — the worker wedges (busy holds the batch) for a
+//!   fixed duration before serving its `N`-th job (exercising heartbeat
+//!   stall detection, ticket deadlines and load shedding);
+//! * **doorbell notify drop** — the dispatcher's `N`-th wakeup aimed at
+//!   a shard is swallowed (exercising the park-timeout liveness
+//!   backstop);
+//! * **snapshot-publish delay** — the control plane sleeps before its
+//!   `N`-th publish (exercising stale-replica windows under churn).
+//!
+//! Determinism is the point: every hook is indexed by a monotone atomic
+//! counter owned by the *plan* (not the worker), so a respawned shard
+//! continues the original schedule instead of replaying it — a panic
+//! planned "at batch 5" fires exactly once per run. The chaos suite
+//! (`tests/chaos.rs`) drives churn + traffic under seeded plans and
+//! asserts the runtime degrades, counts, and recovers.
+
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::time::Duration;
+
+/// One injected worker-side fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic the worker thread (the supervisor must respawn the shard
+    /// and re-route the batch; the ticket must still resolve).
+    WorkerPanic,
+    /// Wedge the worker for the duration before serving the batch.
+    Stall(Duration),
+}
+
+/// A worker fault scheduled at one (shard, batch-step) coordinate.
+#[derive(Debug, Clone, Copy)]
+struct WorkerEvent {
+    shard: usize,
+    /// 0-based index of the batch job the shard picks up.
+    step: u64,
+    fault: Fault,
+}
+
+/// A deterministic fault schedule. Construct with [`FaultPlan::new`] +
+/// the builder methods, or [`FaultPlan::seeded`] for a randomized but
+/// reproducible plan, then hand it to
+/// [`crate::RuntimeConfig::fault_plan`].
+#[derive(Debug)]
+pub struct FaultPlan {
+    worker: Vec<WorkerEvent>,
+    /// `(shard, n)`: swallow the `n`-th (0-based) doorbell ring aimed at
+    /// `shard`.
+    notify_drops: Vec<(usize, u64)>,
+    /// `(n, delay)`: sleep `delay` before the `n`-th (0-based) publish.
+    publish_delays: Vec<(u64, Duration)>,
+    /// Per-shard batch-step counters. Owned by the plan so a respawned
+    /// worker *continues* the schedule rather than restarting it.
+    steps: Vec<AtomicU64>,
+    /// Per-shard doorbell-ring counters.
+    rings: Vec<AtomicU64>,
+    /// Control-plane publish counter.
+    publishes: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An empty plan for a runtime with `shards` worker shards.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            worker: Vec::new(),
+            notify_drops: Vec::new(),
+            publish_delays: Vec::new(),
+            steps: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            rings: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            publishes: AtomicU64::new(0),
+        }
+    }
+
+    /// Panics `shard`'s worker when it picks up its `step`-th batch.
+    #[must_use]
+    pub fn worker_panic(mut self, shard: usize, step: u64) -> Self {
+        self.worker.push(WorkerEvent { shard, step, fault: Fault::WorkerPanic });
+        self
+    }
+
+    /// Stalls `shard`'s worker for `wedge` before serving its `step`-th
+    /// batch.
+    #[must_use]
+    pub fn stall(mut self, shard: usize, step: u64, wedge: Duration) -> Self {
+        self.worker.push(WorkerEvent { shard, step, fault: Fault::Stall(wedge) });
+        self
+    }
+
+    /// Swallows the `nth` (0-based) doorbell notify aimed at `shard`.
+    #[must_use]
+    pub fn drop_notify(mut self, shard: usize, nth: u64) -> Self {
+        self.notify_drops.push((shard, nth));
+        self
+    }
+
+    /// Sleeps `delay` before the control plane's `nth` (0-based)
+    /// snapshot publish.
+    #[must_use]
+    pub fn publish_delay(mut self, nth: u64, delay: Duration) -> Self {
+        self.publish_delays.push((nth, delay));
+        self
+    }
+
+    /// A reproducible randomized plan: guaranteed **at least one worker
+    /// panic and one shard stall** within the first `horizon` batch
+    /// steps, plus a seed-dependent sprinkling of dropped notifies and
+    /// one publish delay. Identical `(seed, shards, horizon)` triples
+    /// yield identical plans.
+    ///
+    /// # Panics
+    /// Panics if `horizon` is zero.
+    #[must_use]
+    pub fn seeded(seed: u64, shards: usize, horizon: u64) -> Self {
+        assert!(horizon > 0, "fault horizon must cover at least one step");
+        let shards = shards.max(1);
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = Self::new(shards);
+        // The two guaranteed faults land on seed-chosen coordinates.
+        let panic_shard = (rng.next() as usize) % shards;
+        plan = plan.worker_panic(panic_shard, rng.next() % horizon);
+        let stall_shard = (rng.next() as usize) % shards;
+        // Long enough that the supervisor's stall detector (25ms of
+        // heartbeat silence) is guaranteed to notice.
+        let stall_ms = 40 + rng.next() % 60;
+        plan = plan.stall(stall_shard, rng.next() % horizon, Duration::from_millis(stall_ms));
+        // Extras: up to 2 more panics/stalls, a few dropped notifies, one
+        // delayed publish.
+        for _ in 0..rng.next() % 3 {
+            let shard = (rng.next() as usize) % shards;
+            let step = rng.next() % horizon;
+            plan = if rng.next().is_multiple_of(2) {
+                plan.worker_panic(shard, step)
+            } else {
+                plan.stall(shard, step, Duration::from_millis(10 + rng.next() % 40))
+            };
+        }
+        for _ in 0..1 + rng.next() % 4 {
+            plan = plan.drop_notify((rng.next() as usize) % shards, rng.next() % (horizon * 2));
+        }
+        plan.publish_delay(rng.next() % 8, Duration::from_millis(1 + rng.next() % 10))
+    }
+
+    /// Worker shards the plan was built for.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Scheduled worker panics (observability for harnesses).
+    #[must_use]
+    pub fn planned_panics(&self) -> usize {
+        self.worker.iter().filter(|e| e.fault == Fault::WorkerPanic).count()
+    }
+
+    /// Scheduled worker stalls.
+    #[must_use]
+    pub fn planned_stalls(&self) -> usize {
+        self.worker.iter().filter(|e| matches!(e.fault, Fault::Stall(_))).count()
+    }
+
+    /// Hook: the worker on `shard` is about to serve its next batch.
+    /// Advances the shard's step counter and returns the fault scheduled
+    /// at this step, if any. Out-of-range shards (a runtime wider than
+    /// the plan) never fault.
+    pub(crate) fn on_batch(&self, shard: usize) -> Option<Fault> {
+        let step = self.steps.get(shard)?.fetch_add(1, SeqCst);
+        self.worker.iter().find(|e| e.shard == shard && e.step == step).map(|e| e.fault)
+    }
+
+    /// Hook: the dispatcher is about to ring `shard`'s doorbell. `true`
+    /// means the notify must be dropped.
+    pub(crate) fn on_notify(&self, shard: usize) -> bool {
+        let Some(counter) = self.rings.get(shard) else { return false };
+        let nth = counter.fetch_add(1, SeqCst);
+        self.notify_drops.iter().any(|&(s, n)| s == shard && n == nth)
+    }
+
+    /// Hook: the control plane is about to publish. Returns the delay to
+    /// apply first, if one is scheduled.
+    pub(crate) fn on_publish(&self) -> Option<Duration> {
+        let nth = self.publishes.fetch_add(1, SeqCst);
+        self.publish_delays.iter().find(|&&(n, _)| n == nth).map(|&(_, d)| d)
+    }
+}
+
+/// Sebastiano Vigna's SplitMix64 — tiny, seedable, good enough to
+/// scatter fault coordinates (no external RNG dependency).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_advance_and_fire_exactly_once() {
+        let plan = FaultPlan::new(2).worker_panic(0, 2).stall(1, 0, Duration::from_millis(5));
+        assert_eq!(plan.on_batch(0), None); // step 0
+        assert_eq!(plan.on_batch(0), None); // step 1
+        assert_eq!(plan.on_batch(0), Some(Fault::WorkerPanic)); // step 2
+        assert_eq!(plan.on_batch(0), None, "fires once");
+        assert_eq!(plan.on_batch(1), Some(Fault::Stall(Duration::from_millis(5))));
+        assert_eq!(plan.on_batch(1), None);
+        assert_eq!(plan.on_batch(99), None, "out-of-range shards never fault");
+    }
+
+    #[test]
+    fn notify_and_publish_hooks_are_nth_indexed() {
+        let plan = FaultPlan::new(1).drop_notify(0, 1).publish_delay(1, Duration::from_millis(3));
+        assert!(!plan.on_notify(0));
+        assert!(plan.on_notify(0), "second ring dropped");
+        assert!(!plan.on_notify(0));
+        assert_eq!(plan.on_publish(), None);
+        assert_eq!(plan.on_publish(), Some(Duration::from_millis(3)));
+        assert_eq!(plan.on_publish(), None);
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_guarantee_core_faults() {
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let a = FaultPlan::seeded(seed, 3, 16);
+            let b = FaultPlan::seeded(seed, 3, 16);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed}");
+            assert!(a.planned_panics() >= 1, "seed {seed} plans a panic");
+            assert!(a.planned_stalls() >= 1, "seed {seed} plans a stall");
+            assert!(
+                a.worker.iter().all(|e| e.shard < 3 && e.step < 16),
+                "seed {seed}: worker faults inside the horizon"
+            );
+        }
+        let a = FaultPlan::seeded(7, 2, 8);
+        let c = FaultPlan::seeded(8, 2, 8);
+        assert_ne!(format!("{a:?}"), format!("{c:?}"), "different seeds differ");
+    }
+}

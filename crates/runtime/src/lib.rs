@@ -21,24 +21,45 @@
 //!   private master copy and publishing clones — classification never
 //!   blocks on updates.
 //! * [`telemetry`] — per-shard throughput / hit-rate / latency-percentile
-//!   counters, exported as one JSON block.
+//!   counters plus fault accounting (panics, restarts, sheds, poison
+//!   recoveries), exported as one JSON block.
+//! * [`supervisor`](self) — an internal monitor thread: every worker
+//!   runs under an unwind boundary; the supervisor detects dead or
+//!   stalled shards, respawns them with a fresh ring/snapshot/cache and
+//!   re-routes their recovered jobs, so a panicking classifier costs a
+//!   restart — never a hung [`runtime::Ticket`] or a dead process.
+//! * [`fault`] *(cargo feature `fault-injection`)* — deterministic,
+//!   seeded fault schedules (worker panics, stalls, dropped doorbell
+//!   notifies, delayed publishes) threaded through the runtime's hook
+//!   points; the `chaos` test suite drives them.
 //!
 //! Consistency contract: every served batch reports, per packet, the
 //! snapshot **version** it was classified under
 //! ([`runtime::ClassifiedBatch::versions`]), and the result is
 //! byte-identical to what that version's table answers sequentially —
 //! the `runtime` bench experiment and the `runtime_consistency` stress
-//! suite assert exactly that under concurrent add/remove churn.
+//! suite assert exactly that under concurrent add/remove churn. Packets
+//! the runtime chose not to serve (load shedding, expired deadlines,
+//! abandoned poison jobs, shutdown) are explicit: they report
+//! [`runtime::UNSERVED_VERSION`], never a fabricated answer.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "fault-injection")]
+pub mod fault;
 pub mod pin;
 pub mod ring;
 pub mod runtime;
 pub mod snapshot;
+mod supervisor;
 pub mod telemetry;
 
-pub use runtime::{ClassifiedBatch, Runtime, RuntimeConfig, RuntimeHandle, Ticket};
+#[cfg(feature = "fault-injection")]
+pub use fault::{Fault, FaultPlan};
+pub use runtime::{
+    shard_of, AdmissionPolicy, ClassifiedBatch, Runtime, RuntimeConfig, RuntimeHandle, Ticket,
+    WaitOutcome, MAX_REQUEUES, UNSERVED_VERSION,
+};
 pub use snapshot::{Snapshot, SnapshotCell, SnapshotReader};
 pub use telemetry::{RuntimeTelemetry, ShardCounters, ShardTelemetry};

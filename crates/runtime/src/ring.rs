@@ -76,6 +76,29 @@ impl<T> Shared<T> {
     }
 }
 
+impl<T> Shared<T> {
+    /// Drains the occupied slots of an exclusively owned ring in FIFO
+    /// order and marks them consumed (so `Drop` has nothing left).
+    /// Callable only with `&mut self`, i.e. after `Arc::try_unwrap`
+    /// proved both handles collapsed into one owner.
+    fn drain_owned(&mut self) -> Vec<T> {
+        let head = *self.head.0.get_mut();
+        let tail = *self.tail.0.get_mut();
+        let mut out = Vec::with_capacity(self.occupied(head, tail));
+        let mut i = head;
+        while i != tail {
+            // SAFETY: we own the ring exclusively (`&mut self` via
+            // `Arc::try_unwrap`), and slots in [head, tail) hold values
+            // the producer initialised and the consumer never read.
+            out.push(unsafe { (*self.buf[i & self.mask].get()).assume_init_read() });
+            i = i.wrapping_add(1);
+        }
+        // Every slot read above is now logically unoccupied.
+        *self.head.0.get_mut() = tail;
+        out
+    }
+}
+
 impl<T> Drop for Shared<T> {
     fn drop(&mut self) {
         // Both handles are gone; whatever sits between head and tail
@@ -174,6 +197,35 @@ impl<T: Send> Producer<T> {
     #[must_use]
     pub fn consumer_alive(&self) -> bool {
         Arc::strong_count(&self.shared) > 1
+    }
+
+    /// Reclaims every unconsumed item from a ring whose consumer is
+    /// gone (the worker thread died and dropped its [`Consumer`]),
+    /// in FIFO order. This is the supervisor's re-routing primitive: a
+    /// respawned shard gets the dead shard's backlog re-submitted so no
+    /// in-flight batch is lost with the thread.
+    ///
+    /// Returns `Err(self)` when the consumer is still alive — exclusive
+    /// ownership of the shared state is the whole safety argument, so
+    /// recovery is refused while the other end could still pop.
+    pub fn recover(self) -> Result<Vec<T>, Self> {
+        match Arc::try_unwrap(self.shared) {
+            Ok(mut shared) => Ok(shared.drain_owned()),
+            Err(shared) => Err(Self { shared }),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = &*self.shared;
+        let occupied =
+            s.occupied(s.head.0.load(Ordering::Acquire), s.tail.0.load(Ordering::Relaxed));
+        f.debug_struct("Producer")
+            .field("len", &occupied)
+            .field("capacity", &(s.mask + 1))
+            .field("consumer_alive", &(Arc::strong_count(&self.shared) > 1))
+            .finish()
     }
 }
 
@@ -383,5 +435,61 @@ mod tests {
         assert!(tx.consumer_alive());
         drop(rx);
         assert!(!tx.consumer_alive());
+    }
+
+    /// A consumer dropped *mid-stream* (items pushed, some popped, some
+    /// still queued) is observable from the producer, and the producer
+    /// can keep pushing into the orphaned ring without error until it
+    /// fills — exactly the window the supervisor operates in.
+    #[test]
+    fn consumer_dropped_mid_stream() {
+        let (mut tx, mut rx) = spsc::<u32>(4);
+        tx.push(1).unwrap();
+        tx.push(2).unwrap();
+        assert_eq!(rx.pop(), Some(1));
+        drop(rx);
+        assert!(!tx.consumer_alive());
+        // The orphaned ring still accepts pushes up to capacity.
+        tx.push(3).unwrap();
+        tx.push(4).unwrap();
+        tx.push(5).unwrap();
+        assert_eq!(tx.push(6), Err(6), "orphaned ring still bounds occupancy");
+        assert_eq!(tx.recover().expect("consumer is gone"), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn recover_refuses_while_consumer_alive() {
+        let (mut tx, mut rx) = spsc::<u8>(2);
+        tx.push(7).unwrap();
+        tx = match tx.recover() {
+            Err(tx) => tx,
+            Ok(_) => panic!("recover must refuse while the consumer lives"),
+        };
+        assert_eq!(rx.pop(), Some(7), "refused recovery leaves the ring intact");
+        drop(rx);
+        assert_eq!(tx.recover().expect("now exclusive"), Vec::<u8>::new());
+    }
+
+    /// Recovery drains in FIFO order with correct drop accounting even
+    /// when the occupied span straddles the numeric index wrap.
+    #[test]
+    fn recover_across_wraparound() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        struct D(u32, Arc<AtomicUsize>);
+        impl Drop for D {
+            fn drop(&mut self) {
+                self.1.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let (mut tx, mut rx) = spsc_at::<D>(4, usize::MAX - 1);
+        for i in 0..3 {
+            assert!(tx.push(D(i, Arc::clone(&counter))).is_ok());
+        }
+        drop(rx.pop()); // head crosses the wrap; 2 items straddle it
+        drop(rx);
+        let Ok(recovered) = tx.recover() else { panic!("consumer is gone") };
+        assert_eq!(recovered.iter().map(|d| d.0).collect::<Vec<_>>(), vec![1, 2]);
+        drop(recovered);
+        assert_eq!(counter.load(Ordering::SeqCst), 3, "each item dropped exactly once");
     }
 }

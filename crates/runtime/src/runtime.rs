@@ -3,27 +3,39 @@
 //! ```text
 //!                    RSS-style header hash
 //!  submit(batch) ──► dispatcher ──► SPSC ring ──► shard worker 0 ──┐
-//!                        │                          (FlowCache +   │ scatter
-//!                        ├────────► SPSC ring ──► shard worker 1   ├──────► rows +
-//!                        │                            replicated   │        versions
-//!                        └────────► SPSC ring ──► shard worker N   ┘
-//!                                                      ▲
-//!                       SnapshotCell ◄── publish ── control plane
-//!                      (RCU swaps)       (add_rule / remove_rule /
-//!                                         swap_table, single writer)
+//!                        │ admission                (FlowCache +   │ scatter
+//!                        │ policy ──► SPSC ring ──► shard worker 1 ├──────► rows +
+//!                        │ (shed?)                     replicated  │        versions
+//!                        └────────► SPSC ring ──► shard worker N ──┘
+//!                                       ▲              ▲    │ heartbeat
+//!                       SnapshotCell ◄──┼─ publish ─ control│plane
+//!                      (RCU swaps)      │                   ▼
+//!                                       └──────────── supervisor
+//!                                        (respawn dead shards, re-route
+//!                                         their in-flight batches)
 //! ```
 //!
 //! * **Dispatcher** ([`RuntimeHandle::submit`]): hashes each header's
 //!   field tuple (the software analogue of NIC RSS) so every packet of a
 //!   flow lands on the same shard — which is what makes per-shard flow
-//!   caches effective — and enqueues one job per shard.
+//!   caches effective — and enqueues one job per shard, subject to the
+//!   configured [`AdmissionPolicy`] (block, shed over occupancy, or
+//!   deadline-aware shedding).
 //! * **Workers**: run-to-completion loops, one per shard, optionally
 //!   CPU-pinned. Each owns its ring's consumer end, its own
 //!   [`FlowCache`] and its own replicated `Arc` snapshot of the lookup
 //!   table — refreshed *between* jobs when the cell's version moved, so
 //!   one job is always served under exactly one table generation. The
 //!   per-packet path touches no locks: cache probe (worker-owned) and
-//!   table walk (immutable snapshot) only.
+//!   table walk (immutable snapshot) only. Every worker runs under an
+//!   unwind boundary: a panic is caught, counted, and handed to the
+//!   supervisor instead of aborting the process.
+//! * **Supervisor** ([`crate::supervisor`]): detects worker death
+//!   (thread liveness + the ring's `consumer_alive` signal) and stalls
+//!   (frozen heartbeat with work pending), respawns dead shards with a
+//!   fresh ring / snapshot reader / cache, and re-routes the dead ring's
+//!   backlog plus the orphaned in-flight job — a [`Ticket`] never hangs
+//!   on a crashed shard.
 //! * **Control plane** ([`RuntimeHandle::add_rule`],
 //!   [`RuntimeHandle::remove_rule`], [`RuntimeHandle::swap_table`]):
 //!   mutates a private master copy, then publishes a cloned snapshot
@@ -35,7 +47,21 @@
 //! Results come back as a [`ClassifiedBatch`]: the rows in input order
 //! plus, per packet, the **version** of the table that served it — the
 //! hook consistency harnesses use to check every answer against a
-//! sequential oracle *at the generation it was served under*.
+//! sequential oracle *at the generation it was served under*. Packets
+//! that were shed (admission or deadline) or lost to a repeatedly
+//! crashing shard report [`UNSERVED_VERSION`] instead of a real
+//! generation: delivery is explicit, never implied.
+//!
+//! ## Failure model
+//!
+//! Every lock in the runtime recovers from poisoning (a panic on one
+//! thread never cascades into `PoisonError` panics on others; each
+//! recovery is counted in [`RuntimeTelemetry::poison_recoveries`]).
+//! A worker panic costs at most its in-flight job a re-route; a job
+//! that kills its shard [`MAX_REQUEUES`] times is completed unserved
+//! rather than respawning forever. Shutdown drains every ring and
+//! orphan slot and completes outstanding tickets unserved, so no waiter
+//! is stranded.
 
 use classifier_api::{
     Admission, BuildError, Classifier, DynamicClassifier, FlowCache, FxHasher, UpdateReport,
@@ -43,8 +69,12 @@ use classifier_api::{
 use offilter::Rule;
 use oflow::HeaderValues;
 use std::hash::Hasher;
-use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{
+    AtomicBool, AtomicU64,
+    Ordering::{Relaxed, SeqCst},
+};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use crate::pin::pin_to_cpu;
@@ -52,18 +82,70 @@ use crate::ring::{spsc, Consumer, Producer};
 use crate::snapshot::{Snapshot, SnapshotCell};
 use crate::telemetry::{RuntimeTelemetry, ShardCounters, ShardTelemetry};
 
+#[cfg(feature = "fault-injection")]
+use crate::fault::{Fault, FaultPlan};
+
+/// The version reported for packets that were never classified: shed at
+/// admission, expired past their deadline, stranded by shutdown, or
+/// abandoned after [`MAX_REQUEUES`] shard crashes. Real snapshot
+/// versions start at 1, so 0 is unambiguous.
+pub const UNSERVED_VERSION: u64 = 0;
+
+/// How many times the supervisor re-routes one job whose shard died
+/// serving it before declaring the job poisonous and completing it
+/// unserved (otherwise a deterministically crashing batch would respawn
+/// the shard forever).
+pub const MAX_REQUEUES: u8 = 3;
+
+/// Locks `m`, recovering from a poisoned guard — the thread that
+/// panicked while holding the lock already paid for the failure; later
+/// accessors count the recovery and move on instead of cascading it.
+fn lock_count<'a, T>(m: &'a Mutex<T>, recoveries: &AtomicU64) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|poisoned| {
+        recoveries.fetch_add(1, Relaxed);
+        poisoned.into_inner()
+    })
+}
+
+/// What the dispatcher does when a shard's ring cannot take a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Back-pressure: spin (yielding) until the ring has space. No job
+    /// is ever dropped; submitters absorb the overload.
+    #[default]
+    Block,
+    /// Load shedding: a shard-job is rejected outright when its ring
+    /// already holds `max_queued` jobs (clamped to ≥ 1) or is full. Shed
+    /// packets resolve immediately as unserved
+    /// ([`UNSERVED_VERSION`]) and are counted per shard.
+    Shed {
+        /// Jobs a shard's ring may hold before new ones are shed.
+        max_queued: usize,
+    },
+    /// Deadline-aware shedding: submitters block while the deadline is
+    /// reachable, then shed; workers additionally drop (as unserved) any
+    /// job whose deadline already passed when they pick it up, so a
+    /// stalled shard shed its queue instead of serving uselessly late.
+    DeadlineShed {
+        /// Per-batch service deadline, measured from `submit`.
+        deadline: Duration,
+    },
+}
+
 /// Shape of a [`Runtime`].
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// Worker shards (≥ 1; clamped up from 0).
     pub shards: usize,
     /// In-flight batch jobs each shard's ring holds before the
-    /// dispatcher back-pressures.
+    /// dispatcher applies the admission policy.
     pub ring_capacity: usize,
     /// Per-shard flow-cache slots (0 disables caching).
     pub cache_capacity: usize,
     /// Admission policy of the per-shard caches.
     pub cache_admission: Admission,
+    /// What `submit` does when a shard's ring is saturated.
+    pub admission: AdmissionPolicy,
     /// Pin worker `i` to CPU `i` (best-effort; see [`crate::pin`]).
     pub pin_workers: bool,
     /// Thread-local allocation counter the workers sample around their
@@ -71,6 +153,10 @@ pub struct RuntimeConfig {
     /// deltas surface as `hot_path_allocs` in telemetry and are
     /// required to be zero once warmed.
     pub alloc_counter: Option<fn() -> u64>,
+    /// Deterministic fault schedule the runtime threads consult
+    /// (chaos/fault-injection builds only).
+    #[cfg(feature = "fault-injection")]
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for RuntimeConfig {
@@ -80,8 +166,11 @@ impl Default for RuntimeConfig {
             ring_capacity: 64,
             cache_capacity: 1024,
             cache_admission: Admission::TinyLfu,
+            admission: AdmissionPolicy::Block,
             pin_workers: true,
             alloc_counter: None,
+            #[cfg(feature = "fault-injection")]
+            fault_plan: None,
         }
     }
 }
@@ -95,16 +184,25 @@ impl RuntimeConfig {
 }
 
 /// One shard's portion of a submitted batch.
-struct Job {
-    headers: Arc<[HeaderValues]>,
+#[derive(Clone)]
+pub(crate) struct Job {
+    pub(crate) headers: Arc<[HeaderValues]>,
     /// Packet indices (into `headers`) this shard serves.
-    idx: Vec<u32>,
-    submitted: Instant,
-    reply: Arc<Reply>,
+    pub(crate) idx: Vec<u32>,
+    /// The shard this job was dispatched to (the reply dedup key: a
+    /// batch has at most one job per shard).
+    pub(crate) shard: u32,
+    pub(crate) submitted: Instant,
+    /// Service deadline under [`AdmissionPolicy::DeadlineShed`].
+    pub(crate) deadline: Option<Instant>,
+    /// Times the supervisor already re-routed this job after a crash.
+    pub(crate) requeues: u8,
+    pub(crate) reply: Arc<Reply>,
 }
 
 /// One shard's results for one batch.
-struct Part {
+pub(crate) struct Part {
+    shard: u32,
     idx: Vec<u32>,
     rows: Vec<Option<u32>>,
     version: u64,
@@ -112,19 +210,30 @@ struct Part {
 
 struct ReplyState {
     remaining: usize,
+    /// Shards whose part already landed — the dedup set that makes a
+    /// crash-window double completion (worker completed, died before
+    /// clearing its in-flight slot, supervisor re-routed) harmless.
+    done: Vec<u32>,
     parts: Vec<Part>,
 }
 
 /// Completion rendezvous between the shards serving one batch and the
 /// ticket holder. Locked per *batch* (never per packet).
-struct Reply {
+pub(crate) struct Reply {
     state: Mutex<ReplyState>,
     cv: Condvar,
+    recoveries: Arc<AtomicU64>,
 }
 
 impl Reply {
-    fn complete(&self, part: Part) {
-        let mut st = self.state.lock().expect("reply lock poisoned");
+    pub(crate) fn complete(&self, part: Part) {
+        let mut st = lock_count(&self.state, &self.recoveries);
+        if st.done.contains(&part.shard) {
+            // A re-routed job whose original worker already completed
+            // the part before dying: drop the duplicate.
+            return;
+        }
+        st.done.push(part.shard);
         st.parts.push(part);
         st.remaining -= 1;
         if st.remaining == 0 {
@@ -133,28 +242,97 @@ impl Reply {
     }
 }
 
+/// Completes `job`'s reply part as unserved (every packet reports
+/// [`UNSERVED_VERSION`]); optionally counted as shed on `counters`.
+pub(crate) fn complete_unserved(counters: &ShardCounters, job: Job, count_shed: bool) {
+    if count_shed {
+        counters.shed_jobs.fetch_add(1, Relaxed);
+        counters.shed_packets.fetch_add(job.idx.len() as u64, Relaxed);
+    }
+    let Job { idx, shard, reply, .. } = job;
+    let rows = vec![None; idx.len()];
+    reply.complete(Part { shard, idx, rows, version: UNSERVED_VERSION });
+}
+
+/// How a [`Ticket::wait_timeout`] resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// Every shard delivered (some packets may still be unserved if
+    /// they were shed — check [`ClassifiedBatch::delivered_count`]).
+    Complete(ClassifiedBatch),
+    /// The deadline passed with at least one shard still outstanding;
+    /// the partial batch carries what arrived, missing packets report
+    /// [`UNSERVED_VERSION`].
+    Partial {
+        /// Rows/versions for the packets that did arrive.
+        batch: ClassifiedBatch,
+        /// Packets whose shard had not delivered by the deadline.
+        missing: usize,
+    },
+    /// The deadline passed before any shard delivered.
+    Timeout,
+}
+
 /// An in-flight batch. [`Ticket::wait`] blocks until every shard
-/// finished and reassembles the results in input order.
+/// finished and reassembles the results in input order;
+/// [`Ticket::wait_timeout`] bounds the wait.
 #[must_use = "a ticket resolves to the batch's classifications"]
 pub struct Ticket {
     reply: Arc<Reply>,
     len: usize,
+    timeouts: Arc<AtomicU64>,
 }
 
 impl Ticket {
     /// Waits for the batch and scatters the per-shard parts back into
-    /// input order.
-    ///
-    /// # Panics
-    /// Panics if the reply lock was poisoned (a worker panicked).
+    /// input order. The supervisor guarantees progress (dead shards are
+    /// respawned and their jobs re-routed or completed unserved), so
+    /// this resolves even across worker crashes.
     pub fn wait(self) -> ClassifiedBatch {
-        let mut st = self.reply.state.lock().expect("reply lock poisoned");
+        let mut st = lock_count(&self.reply.state, &self.reply.recoveries);
         while st.remaining > 0 {
-            st = self.reply.cv.wait(st).expect("reply lock poisoned");
+            st = self.reply.cv.wait(st).unwrap_or_else(|poisoned| {
+                self.reply.recoveries.fetch_add(1, Relaxed);
+                poisoned.into_inner()
+            });
         }
-        let mut rows = vec![None; self.len];
-        let mut versions = vec![0u64; self.len];
-        for part in &st.parts {
+        Self::assemble(&st.parts, self.len)
+    }
+
+    /// As [`Ticket::wait`], but gives up after `timeout`: the batch
+    /// never blocks its consumer forever, whatever the shards are
+    /// doing. A timed-out wait is counted in
+    /// [`RuntimeTelemetry::ticket_timeouts`]; parts arriving after the
+    /// timeout are dropped with the ticket.
+    pub fn wait_timeout(self, timeout: Duration) -> WaitOutcome {
+        let deadline = Instant::now() + timeout;
+        let mut st = lock_count(&self.reply.state, &self.reply.recoveries);
+        while st.remaining > 0 {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                self.timeouts.fetch_add(1, Relaxed);
+                if st.parts.is_empty() {
+                    return WaitOutcome::Timeout;
+                }
+                let missing: usize = self.len - st.parts.iter().map(|p| p.idx.len()).sum::<usize>();
+                return WaitOutcome::Partial {
+                    batch: Self::assemble(&st.parts, self.len),
+                    missing,
+                };
+            }
+            let (guard, _) = self.reply.cv.wait_timeout(st, left).unwrap_or_else(|poisoned| {
+                self.reply.recoveries.fetch_add(1, Relaxed);
+                poisoned.into_inner()
+            });
+            st = guard;
+        }
+        WaitOutcome::Complete(Self::assemble(&st.parts, self.len))
+    }
+
+    fn assemble(parts: &[Part], len: usize) -> ClassifiedBatch {
+        let mut rows = vec![None; len];
+        let mut versions = vec![UNSERVED_VERSION; len];
+        for part in parts {
             for (k, &i) in part.idx.iter().enumerate() {
                 rows[i as usize] = part.rows[k];
                 versions[i as usize] = part.version;
@@ -169,9 +347,12 @@ impl Ticket {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClassifiedBatch {
     /// `rows[i]` is the classification of input header `i` (the same
-    /// contract as [`Classifier::classify_batch`]).
+    /// contract as [`Classifier::classify_batch`]); `None` for both
+    /// genuine no-match and unserved packets — disambiguate with
+    /// [`ClassifiedBatch::delivered`].
     pub rows: Vec<Option<u32>>,
-    /// `versions[i]` is the snapshot version that served header `i`.
+    /// `versions[i]` is the snapshot version that served header `i`, or
+    /// [`UNSERVED_VERSION`] if the packet was shed / expired / lost.
     pub versions: Vec<u64>,
 }
 
@@ -187,58 +368,149 @@ impl ClassifiedBatch {
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }
+
+    /// Whether packet `i` was actually classified (as opposed to shed,
+    /// expired, or lost to a crashing shard).
+    #[must_use]
+    pub fn delivered(&self, i: usize) -> bool {
+        self.versions[i] != UNSERVED_VERSION
+    }
+
+    /// Packets that were actually classified.
+    #[must_use]
+    pub fn delivered_count(&self) -> usize {
+        self.versions.iter().filter(|&&v| v != UNSERVED_VERSION).count()
+    }
+
+    /// Whether every packet was classified (nothing shed or lost).
+    #[must_use]
+    pub fn fully_delivered(&self) -> bool {
+        self.delivered_count() == self.len()
+    }
 }
 
 /// Producer-side doorbell: wakes a parked worker after a push. A
-/// pending counter (not a bare notify) closes the check-then-park race.
-struct Doorbell {
+/// pending counter (not a bare notify) closes the check-then-park race;
+/// the worker's bounded park ([`Doorbell::park`]'s timeout) additionally
+/// bounds the damage of a *lost* notify (e.g. an injected drop) to one
+/// timeout period instead of a hang.
+pub(crate) struct Doorbell {
     pending: Mutex<u64>,
     cv: Condvar,
+    recoveries: Arc<AtomicU64>,
 }
 
 impl Doorbell {
-    fn new() -> Self {
-        Self { pending: Mutex::new(0), cv: Condvar::new() }
+    pub(crate) fn new(recoveries: Arc<AtomicU64>) -> Self {
+        Self { pending: Mutex::new(0), cv: Condvar::new(), recoveries }
     }
 
-    fn ring(&self) {
-        *self.pending.lock().expect("doorbell lock poisoned") += 1;
+    pub(crate) fn ring(&self) {
+        *lock_count(&self.pending, &self.recoveries) += 1;
         self.cv.notify_one();
     }
 
     /// Parks until rung or `timeout`; consumes any pending rings.
-    fn park(&self, timeout: Duration) {
-        let mut p = self.pending.lock().expect("doorbell lock poisoned");
+    pub(crate) fn park(&self, timeout: Duration) {
+        let mut p = lock_count(&self.pending, &self.recoveries);
         if *p == 0 {
-            let (guard, _) = self.cv.wait_timeout(p, timeout).expect("doorbell lock poisoned");
+            let (guard, _) = self.cv.wait_timeout(p, timeout).unwrap_or_else(|poisoned| {
+                self.recoveries.fetch_add(1, Relaxed);
+                poisoned.into_inner()
+            });
             p = guard;
         }
         *p = 0;
     }
 }
 
-/// State shared by the handle(s), the workers and the runtime owner.
-struct Shared<C> {
-    cell: Arc<SnapshotCell<C>>,
+/// Per-worker knobs the supervisor needs to rebuild a shard.
+#[derive(Clone)]
+pub(crate) struct WorkerSettings {
+    pub(crate) pin: bool,
+    pub(crate) cache_capacity: usize,
+    pub(crate) cache_admission: Admission,
+    pub(crate) alloc_counter: Option<fn() -> u64>,
+    pub(crate) ring_capacity: usize,
+}
+
+/// State shared by the handle(s), the workers, the supervisor and the
+/// runtime owner.
+pub(crate) struct Shared<C> {
+    pub(crate) cell: Arc<SnapshotCell<C>>,
     /// Control-plane master copy (`None` for data-plane-only runtimes
     /// built with [`Runtime::new`]).
     master: Mutex<Option<C>>,
     /// One lock per shard ring's producer end: the SPSC invariant needs
     /// submitters serialised *per shard*, and per-shard locks mean a
     /// full ring (back-pressure spin) on one shard never convoys
-    /// submitters whose packets target other shards.
-    producers: Vec<Mutex<Producer<Job>>>,
-    doorbells: Vec<Arc<Doorbell>>,
-    counters: Vec<Arc<ShardCounters>>,
-    stop: AtomicBool,
-    shards: usize,
+    /// submitters whose packets target other shards. The supervisor
+    /// swaps a fresh ring in here when it respawns a shard.
+    pub(crate) producers: Vec<Mutex<Producer<Job>>>,
+    pub(crate) doorbells: Vec<Arc<Doorbell>>,
+    pub(crate) counters: Vec<Arc<ShardCounters>>,
+    /// The job each worker is currently serving (set before any
+    /// fallible work, cleared after the reply completes): the
+    /// supervisor's re-route source when the worker dies mid-batch.
+    pub(crate) inflight: Vec<Mutex<Option<Job>>>,
+    pub(crate) stop: AtomicBool,
+    pub(crate) shards: usize,
     cache_capacity: usize,
+    pub(crate) settings: WorkerSettings,
+    admission: AdmissionPolicy,
+    pub(crate) poison_recoveries: Arc<AtomicU64>,
+    ticket_timeouts: Arc<AtomicU64>,
+    #[cfg(feature = "fault-injection")]
+    pub(crate) fault_plan: Option<Arc<FaultPlan>>,
+}
+
+impl<C> Shared<C> {
+    pub(crate) fn lock_producer(&self, shard: usize) -> MutexGuard<'_, Producer<Job>> {
+        lock_count(&self.producers[shard], &self.poison_recoveries)
+    }
+
+    pub(crate) fn lock_inflight(&self, shard: usize) -> MutexGuard<'_, Option<Job>> {
+        lock_count(&self.inflight[shard], &self.poison_recoveries)
+    }
+
+    fn lock_master(&self) -> MutexGuard<'_, Option<C>> {
+        lock_count(&self.master, &self.poison_recoveries)
+    }
+
+    /// Rings `shard`'s doorbell — unless a fault plan swallows it.
+    pub(crate) fn ring_doorbell(&self, shard: usize) {
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = &self.fault_plan {
+            if plan.on_notify(shard) {
+                return;
+            }
+        }
+        self.doorbells[shard].ring();
+    }
+
+    /// Publishes through the snapshot cell, honouring any scheduled
+    /// publish delay fault.
+    fn publish_table(&self, table: C) -> u64
+    where
+        C: Send + Sync,
+    {
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = &self.fault_plan {
+            if let Some(delay) = plan.on_publish() {
+                std::thread::sleep(delay);
+            }
+        }
+        self.cell.publish(table)
+    }
 }
 
 /// RSS-style shard selection: hash of the header's full field tuple, so
 /// one flow always lands on the same shard (cache affinity), uniform
-/// across shards for distinct flows.
-fn shard_of(header: &HeaderValues, shards: usize) -> usize {
+/// across shards for distinct flows. Public so harnesses (and the
+/// adversarial trace generators) can craft RSS-colliding traffic that
+/// pins every packet onto one shard.
+#[must_use]
+pub fn shard_of(header: &HeaderValues, shards: usize) -> usize {
     let mut hasher = FxHasher::default();
     for &(field, value) in header.fields() {
         hasher.write_u32(field as u32);
@@ -276,8 +548,10 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
     }
 
     /// Submits a batch for classification across the shards and returns
-    /// immediately; [`Ticket::wait`] collects the results. Back-pressures
-    /// (yielding) while a shard's ring is full.
+    /// immediately; [`Ticket::wait`] / [`Ticket::wait_timeout`] collect
+    /// the results. Ring saturation is handled per the configured
+    /// [`AdmissionPolicy`]: blocked, shed (those packets resolve
+    /// immediately as unserved), or deadline-bounded.
     ///
     /// # Panics
     /// Panics if the runtime has been shut down.
@@ -295,42 +569,92 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
         }
         let live = idx.iter().filter(|l| !l.is_empty()).count();
         let reply = Arc::new(Reply {
-            state: Mutex::new(ReplyState { remaining: live, parts: Vec::with_capacity(live) }),
+            state: Mutex::new(ReplyState {
+                remaining: live,
+                done: Vec::with_capacity(live),
+                parts: Vec::with_capacity(live),
+            }),
             cv: Condvar::new(),
+            recoveries: Arc::clone(&self.shared.poison_recoveries),
         });
         let submitted = Instant::now();
+        let deadline = match self.shared.admission {
+            AdmissionPolicy::DeadlineShed { deadline } => Some(submitted + deadline),
+            AdmissionPolicy::Block | AdmissionPolicy::Shed { .. } => None,
+        };
         for (shard, list) in idx.into_iter().enumerate() {
             if list.is_empty() {
                 continue;
             }
-            let mut job = Job {
+            let job = Job {
                 headers: Arc::clone(&headers),
                 idx: list,
+                shard: u32::try_from(shard).expect("shard fits u32"),
                 submitted,
+                deadline,
+                requeues: 0,
                 reply: Arc::clone(&reply),
             };
-            let mut producer = self.shared.producers[shard].lock().expect("producer lock poisoned");
-            loop {
-                match producer.push(job) {
-                    Ok(()) => break,
-                    Err(back) => {
-                        // Ring full: nudge the worker and retry.
-                        job = back;
-                        self.shared.doorbells[shard].ring();
-                        std::thread::yield_now();
-                    }
+            self.dispatch(shard, job);
+        }
+        Ticket { reply, len: n, timeouts: Arc::clone(&self.shared.ticket_timeouts) }
+    }
+
+    /// Enqueues one shard-job per the admission policy.
+    fn dispatch(&self, shard: usize, mut job: Job) {
+        let shared = &*self.shared;
+        if let AdmissionPolicy::Shed { max_queued } = shared.admission {
+            let mut producer = shared.lock_producer(shard);
+            if producer.len() >= max_queued.max(1) {
+                drop(producer);
+                complete_unserved(&shared.counters[shard], job, true);
+                return;
+            }
+            match producer.push(job) {
+                Ok(()) => {
+                    drop(producer);
+                    shared.ring_doorbell(shard);
+                }
+                Err(back) => {
+                    drop(producer);
+                    complete_unserved(&shared.counters[shard], back, true);
                 }
             }
-            drop(producer);
-            self.shared.doorbells[shard].ring();
+            return;
         }
-        Ticket { reply, len: n }
+        // Block / DeadlineShed: spin for space, releasing the producer
+        // lock between attempts so the supervisor can swap the ring of a
+        // dead shard out from under a spinning submitter (holding it
+        // across the spin would deadlock respawn against back-pressure).
+        loop {
+            let mut producer = shared.lock_producer(shard);
+            match producer.push(job) {
+                Ok(()) => {
+                    drop(producer);
+                    shared.ring_doorbell(shard);
+                    return;
+                }
+                Err(back) => {
+                    drop(producer);
+                    job = back;
+                    if let Some(deadline) = job.deadline {
+                        if Instant::now() >= deadline {
+                            complete_unserved(&shared.counters[shard], job, true);
+                            return;
+                        }
+                    }
+                    // Ring full: nudge the worker and retry.
+                    shared.ring_doorbell(shard);
+                    std::thread::yield_now();
+                }
+            }
+        }
     }
 
     /// Classifies one batch synchronously: submit + wait.
     ///
     /// # Panics
-    /// See [`RuntimeHandle::submit`] / [`Ticket::wait`].
+    /// See [`RuntimeHandle::submit`].
     #[must_use]
     pub fn classify_batch(&self, headers: &[HeaderValues]) -> ClassifiedBatch {
         self.submit(headers.to_vec().into()).wait()
@@ -340,7 +664,7 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
     /// [`Classifier::classify_batch`] contract, for oracle comparisons.
     ///
     /// # Panics
-    /// See [`RuntimeHandle::submit`] / [`Ticket::wait`].
+    /// See [`RuntimeHandle::submit`].
     #[must_use]
     pub fn classify_rows(&self, headers: &[HeaderValues]) -> Vec<Option<u32>> {
         self.classify_batch(headers).rows
@@ -349,16 +673,13 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
     /// Publishes a brand-new table, replacing whatever is being served
     /// **and** the control-plane master (single O(1) swap for readers).
     /// Returns the new version.
-    ///
-    /// # Panics
-    /// Panics if the master lock was poisoned.
     pub fn swap_table(&self, table: C) -> u64
     where
         C: Clone,
     {
-        let mut master = self.shared.master.lock().expect("master lock poisoned");
+        let mut master = self.shared.lock_master();
         *master = Some(table.clone());
-        let version = self.shared.cell.publish(table);
+        let version = self.shared.publish_table(table);
         drop(master);
         version
     }
@@ -366,27 +687,26 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
     /// Adds one rule through the control plane: mutates the master copy
     /// off the hot path, then publishes a new snapshot. Returns the
     /// update report and the version at which the rule is visible.
+    /// A master lock poisoned by an earlier panic is recovered (and
+    /// counted), never propagated.
     ///
     /// # Errors
     /// [`BuildError::InvalidConfig`] when the runtime was built without
     /// a control-plane master ([`Runtime::new`] instead of
     /// [`Runtime::with_control`]); otherwise whatever the classifier's
     /// [`DynamicClassifier::insert_rule`] reports.
-    ///
-    /// # Panics
-    /// Panics if the master lock was poisoned.
     pub fn add_rule(&self, rule: Rule) -> Result<(UpdateReport, u64), BuildError>
     where
         C: DynamicClassifier + Clone,
     {
-        let mut master = self.shared.master.lock().expect("master lock poisoned");
+        let mut master = self.shared.lock_master();
         let table = master.as_mut().ok_or_else(|| BuildError::InvalidConfig {
             detail: "runtime has no control-plane master (built with Runtime::new; \
                      use Runtime::with_control)"
                 .into(),
         })?;
         let report = table.insert_rule(rule)?;
-        let version = self.shared.cell.publish(table.clone());
+        let version = self.shared.publish_table(table.clone());
         Ok((report, version))
     }
 
@@ -395,16 +715,15 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
     /// which the removal is visible.
     ///
     /// # Panics
-    /// Panics if the runtime was built without a control-plane master or
-    /// the master lock was poisoned.
+    /// Panics if the runtime was built without a control-plane master.
     pub fn remove_rule(&self, rule_id: u32) -> Option<(UpdateReport, u64)>
     where
         C: DynamicClassifier + Clone,
     {
-        let mut master = self.shared.master.lock().expect("master lock poisoned");
+        let mut master = self.shared.lock_master();
         let table = master.as_mut().expect("runtime has no control-plane master");
         let report = table.remove_rule(rule_id)?;
-        let version = self.shared.cell.publish(table.clone());
+        let version = self.shared.publish_table(table.clone());
         Some((report, version))
     }
 
@@ -414,6 +733,8 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
         RuntimeTelemetry {
             version: self.shared.cell.version(),
             shards: self.shared.shards,
+            poison_recoveries: self.shared.poison_recoveries.load(Relaxed),
+            ticket_timeouts: self.shared.ticket_timeouts.load(Relaxed),
             per_shard: self
                 .shared
                 .counters
@@ -425,12 +746,14 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
     }
 }
 
-/// The running dataplane: owns the worker threads. Cheap handles
-/// ([`Runtime::handle`]) do the talking; dropping the runtime stops and
-/// joins the workers (outstanding tickets must be resolved first).
+/// The running dataplane: owns the supervisor thread, which in turn
+/// owns the workers. Cheap handles ([`Runtime::handle`]) do the
+/// talking; dropping the runtime stops and joins everything, and
+/// completes any still-outstanding ticket as unserved so no waiter is
+/// stranded.
 pub struct Runtime<C: Classifier + 'static> {
     handle: RuntimeHandle<C>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
 }
 
 impl<C: Classifier + 'static> Runtime<C> {
@@ -459,6 +782,7 @@ impl<C: Classifier + 'static> Runtime<C> {
     fn build(classifier: C, master: Option<C>, config: &RuntimeConfig) -> Self {
         let shards = config.shards.max(1);
         let cell = Arc::new(SnapshotCell::new(classifier));
+        let poison_recoveries = Arc::new(AtomicU64::new(0));
         let mut producers = Vec::with_capacity(shards);
         let mut consumers = Vec::with_capacity(shards);
         for _ in 0..shards {
@@ -467,7 +791,7 @@ impl<C: Classifier + 'static> Runtime<C> {
             consumers.push(rx);
         }
         let doorbells: Vec<Arc<Doorbell>> =
-            (0..shards).map(|_| Arc::new(Doorbell::new())).collect();
+            (0..shards).map(|_| Arc::new(Doorbell::new(Arc::clone(&poison_recoveries)))).collect();
         let counters: Vec<Arc<ShardCounters>> =
             (0..shards).map(|_| Arc::new(ShardCounters::default())).collect();
         let shared = Arc::new(Shared {
@@ -476,29 +800,36 @@ impl<C: Classifier + 'static> Runtime<C> {
             producers: producers.into_iter().map(Mutex::new).collect(),
             doorbells,
             counters,
+            inflight: (0..shards).map(|_| Mutex::new(None)).collect(),
             stop: AtomicBool::new(false),
             shards,
             cache_capacity: config.cache_capacity,
+            settings: WorkerSettings {
+                pin: config.pin_workers,
+                cache_capacity: config.cache_capacity,
+                cache_admission: config.cache_admission,
+                alloc_counter: config.alloc_counter,
+                ring_capacity: config.ring_capacity.max(1),
+            },
+            admission: config.admission,
+            poison_recoveries,
+            ticket_timeouts: Arc::new(AtomicU64::new(0)),
+            #[cfg(feature = "fault-injection")]
+            fault_plan: config.fault_plan.clone(),
         });
         let workers = consumers
             .into_iter()
             .enumerate()
-            .map(|(shard, consumer)| {
-                let shared = Arc::clone(&shared);
-                let cfg = WorkerConfig {
-                    shard,
-                    pin: config.pin_workers,
-                    cache_capacity: config.cache_capacity,
-                    cache_admission: config.cache_admission,
-                    alloc_counter: config.alloc_counter,
-                };
-                std::thread::Builder::new()
-                    .name(format!("mtl-shard-{shard}"))
-                    .spawn(move || worker_loop(&cfg, &shared, consumer))
-                    .expect("spawning a shard worker")
-            })
+            .map(|(shard, consumer)| spawn_worker(&shared, shard, consumer))
             .collect();
-        Self { handle: RuntimeHandle { shared }, workers }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mtl-supervisor".into())
+                .spawn(move || crate::supervisor::supervise(&shared, workers))
+                .expect("spawning the supervisor")
+        };
+        Self { handle: RuntimeHandle { shared }, supervisor: Some(supervisor) }
     }
 
     /// A cloneable handle (control + data plane).
@@ -521,41 +852,90 @@ impl<C: Classifier + 'static> std::ops::Deref for Runtime<C> {
 
 impl<C: Classifier + 'static> Drop for Runtime<C> {
     fn drop(&mut self) {
-        self.handle.shared.stop.store(true, SeqCst);
-        for bell in &self.handle.shared.doorbells {
+        let shared = &self.handle.shared;
+        shared.stop.store(true, SeqCst);
+        for bell in &shared.doorbells {
             bell.ring();
         }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        // The supervisor joins every worker before returning.
+        if let Some(sup) = self.supervisor.take() {
+            let _ = sup.join();
+        }
+        // Strand no waiter: complete whatever the shutdown cut off —
+        // orphaned in-flight jobs and ring backlogs — as unserved.
+        for shard in 0..shared.shards {
+            if let Some(job) = shared.lock_inflight(shard).take() {
+                complete_unserved(&shared.counters[shard], job, false);
+            }
+            let (dummy, _) = spsc::<Job>(1);
+            let old = std::mem::replace(&mut *shared.lock_producer(shard), dummy);
+            if let Ok(backlog) = old.recover() {
+                for job in backlog {
+                    complete_unserved(&shared.counters[shard], job, false);
+                }
+            }
         }
     }
 }
 
-struct WorkerConfig {
-    shard: usize,
-    pin: bool,
-    cache_capacity: usize,
-    cache_admission: Admission,
-    alloc_counter: Option<fn() -> u64>,
+/// Per-worker spawn parameters.
+pub(crate) struct WorkerConfig {
+    pub(crate) shard: usize,
+    pub(crate) settings: WorkerSettings,
 }
 
-/// The run-to-completion shard loop. Per job: refresh the replicated
-/// snapshot if the cell moved, then serve every packet through the
-/// worker-owned cache and the immutable table — no locks, and (once
-/// warmed) no heap allocations inside the per-packet loop.
+/// Spawns one shard worker thread (initial build and supervisor
+/// respawns share this path).
+pub(crate) fn spawn_worker<C: Classifier + 'static>(
+    shared: &Arc<Shared<C>>,
+    shard: usize,
+    consumer: Consumer<Job>,
+) -> std::thread::JoinHandle<()> {
+    let cfg = WorkerConfig { shard, settings: shared.settings.clone() };
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("mtl-shard-{shard}"))
+        .spawn(move || worker_entry(&cfg, &shared, consumer))
+        .expect("spawning a shard worker")
+}
+
+/// The worker thread body: the run-to-completion loop under an unwind
+/// boundary. A panic anywhere in the loop is caught and counted; the
+/// thread then exits (dropping its ring consumer), which is the
+/// supervisor's signal to respawn the shard and re-route whatever the
+/// dead worker left behind (its recorded in-flight job + ring backlog).
+fn worker_entry<C: Classifier + 'static>(
+    cfg: &WorkerConfig,
+    shared: &Arc<Shared<C>>,
+    mut consumer: Consumer<Job>,
+) {
+    let result = catch_unwind(AssertUnwindSafe(|| worker_loop(cfg, shared, &mut consumer)));
+    if result.is_err() {
+        shared.counters[cfg.shard].panics.fetch_add(1, Relaxed);
+    }
+    // `consumer` drops here: `Producer::consumer_alive` turns false,
+    // and `Producer::recover` becomes possible.
+}
+
+/// The run-to-completion shard loop. Per job: record it as in-flight
+/// (crash insurance), refresh the replicated snapshot if the cell
+/// moved, then serve every packet through the worker-owned cache and
+/// the immutable table — no locks, and (once warmed) no heap
+/// allocations inside the per-packet loop.
 fn worker_loop<C: Classifier + 'static>(
     cfg: &WorkerConfig,
     shared: &Shared<C>,
-    mut jobs: Consumer<Job>,
+    jobs: &mut Consumer<Job>,
 ) {
     let counters = Arc::clone(&shared.counters[cfg.shard]);
     let doorbell = Arc::clone(&shared.doorbells[cfg.shard]);
-    if cfg.pin {
+    if cfg.settings.pin {
         counters.pinned.store(pin_to_cpu(cfg.shard), SeqCst);
     }
     let reader = shared.cell.register("shard");
-    let mut cache = (cfg.cache_capacity > 0)
-        .then(|| FlowCache::with_admission(cfg.cache_capacity, cfg.cache_admission));
+    let mut cache = (cfg.settings.cache_capacity > 0).then(|| {
+        FlowCache::with_admission(cfg.settings.cache_capacity, cfg.settings.cache_admission)
+    });
     if let Some(cache) = cache.as_ref() {
         // Seed the telemetry mirrors with the cache's effective
         // (rounding-aware) capacities before any traffic arrives.
@@ -564,6 +944,8 @@ fn worker_loop<C: Classifier + 'static>(
     let mut snap = reader.load();
     let mut spins = 0u32;
     loop {
+        // Liveness beat for the supervisor's stall detector.
+        counters.heartbeat.fetch_add(1, Relaxed);
         let Some(job) = jobs.pop() else {
             if shared.stop.load(SeqCst) {
                 break;
@@ -572,17 +954,40 @@ fn worker_loop<C: Classifier + 'static>(
             if spins < 64 {
                 std::hint::spin_loop();
             } else {
-                counters.idle_parks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                counters.idle_parks.fetch_add(1, Relaxed);
                 doorbell.park(Duration::from_millis(1));
             }
             continue;
         };
         spins = 0;
+        // Crash insurance: record the job before any fallible work so
+        // the supervisor can re-route it if this thread dies. (Cleared
+        // only *after* the reply completes; the reply's per-shard dedup
+        // makes the complete-then-die window harmless.)
+        *shared.lock_inflight(cfg.shard) = Some(job.clone());
+        #[cfg(feature = "fault-injection")]
+        if let Some(plan) = &shared.fault_plan {
+            match plan.on_batch(cfg.shard) {
+                Some(Fault::WorkerPanic) => panic!("injected worker panic (fault plan)"),
+                Some(Fault::Stall(wedge)) => std::thread::sleep(wedge),
+                None => {}
+            }
+        }
+        // Deadline-aware service: a job that already missed its
+        // deadline is shed here, not served uselessly late.
+        if let Some(deadline) = job.deadline {
+            if Instant::now() >= deadline {
+                counters.deadline_shed_packets.fetch_add(job.idx.len() as u64, Relaxed);
+                complete_unserved(&counters, job, false);
+                *shared.lock_inflight(cfg.shard) = None;
+                continue;
+            }
+        }
         // Refresh the replicated snapshot between jobs only: one job =
         // one table generation.
         if reader.cell().version() != snap.version {
             snap = reader.load();
-            counters.snapshot_refreshes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            counters.snapshot_refreshes.fetch_add(1, Relaxed);
         }
         let started = Instant::now();
         // The cache epoch is the snapshot's publish version, alone: it
@@ -593,11 +998,11 @@ fn worker_loop<C: Classifier + 'static>(
         // `swap_table` to a lower-generation table could then reproduce
         // an old epoch and revive that epoch's stale entries.)
         let epoch = snap.version;
-        let Job { headers, idx, submitted, reply } = job;
+        let Job { headers, idx, shard: shard_id, submitted, reply, .. } = job;
         let mut rows: Vec<Option<u32>> = Vec::with_capacity(idx.len());
         // Sample the thread-local allocation counter strictly around the
         // per-packet loop (the rows buffer above is per-batch).
-        let allocs_before = cfg.alloc_counter.map(|probe| probe());
+        let allocs_before = cfg.settings.alloc_counter.map(|probe| probe());
         match cache.as_mut() {
             Some(cache) => {
                 for &i in &idx {
@@ -619,24 +1024,21 @@ fn worker_loop<C: Classifier + 'static>(
                 }
             }
         }
-        if let (Some(probe), Some(before)) = (cfg.alloc_counter, allocs_before) {
-            counters
-                .hot_path_allocs
-                .fetch_add(probe() - before, std::sync::atomic::Ordering::Relaxed);
+        if let (Some(probe), Some(before)) = (cfg.settings.alloc_counter, allocs_before) {
+            counters.hot_path_allocs.fetch_add(probe() - before, Relaxed);
         }
         let served = idx.len() as u64;
-        counters.packets.fetch_add(served, std::sync::atomic::Ordering::Relaxed);
-        counters.batches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        counters.packets.fetch_add(served, Relaxed);
+        counters.batches.fetch_add(1, Relaxed);
         #[allow(clippy::cast_possible_truncation)]
-        counters
-            .busy_ns
-            .fetch_add(started.elapsed().as_nanos() as u64, std::sync::atomic::Ordering::Relaxed);
+        counters.busy_ns.fetch_add(started.elapsed().as_nanos() as u64, Relaxed);
         #[allow(clippy::cast_possible_truncation)]
         counters.latency.record(submitted.elapsed().as_nanos() as u64);
         if let Some(cache) = cache.as_ref() {
             counters.record_cache(&cache.stats());
         }
-        reply.complete(Part { idx, rows, version: snap.version });
+        reply.complete(Part { shard: shard_id, idx, rows, version: snap.version });
+        *shared.lock_inflight(cfg.shard) = None;
         drop(headers);
     }
 }
@@ -742,6 +1144,7 @@ mod tests {
             let cold = rt.classify_batch(&hs);
             assert_eq!(cold.rows, want, "{shards} shards (cold)");
             assert!(cold.versions.iter().all(|&v| v == 1), "{shards} shards: quiesced version");
+            assert!(cold.fully_delivered(), "{shards} shards: nothing shed at rest");
             let warm = rt.classify_batch(&hs);
             assert_eq!(warm.rows, want, "{shards} shards (warm)");
             let t = rt.telemetry();
@@ -932,5 +1335,418 @@ mod tests {
             }
             churn.join().unwrap();
         });
+    }
+
+    // ---- fault-tolerance surface -------------------------------------
+
+    /// A classifier that busy-holds every `classify` call while `hold`
+    /// is set — the deterministic way to wedge a worker mid-batch.
+    #[derive(Clone)]
+    struct Gate {
+        rules: Vec<Rule>,
+        hold: Arc<AtomicBool>,
+        entered: Arc<AtomicU64>,
+    }
+
+    impl Classifier for Gate {
+        fn name(&self) -> &str {
+            "gate"
+        }
+        fn classify(&self, header: &HeaderValues) -> Option<u32> {
+            self.entered.fetch_add(1, SeqCst);
+            while self.hold.load(SeqCst) {
+                std::thread::yield_now();
+            }
+            reference_classify(&self.rules, header)
+        }
+        fn memory_bits(&self) -> u64 {
+            1
+        }
+        fn lookup_accesses(&self, _header: &HeaderValues) -> usize {
+            1
+        }
+        fn build_records(&self) -> usize {
+            self.rules.len()
+        }
+    }
+
+    fn wait_until(entered: &AtomicU64, at_least: u64) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while entered.load(SeqCst) < at_least {
+            assert!(Instant::now() < deadline, "worker never reached the gate");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn doorbell_ring_before_park_returns_immediately() {
+        let bell = Doorbell::new(Arc::new(AtomicU64::new(0)));
+        bell.ring();
+        let t = Instant::now();
+        bell.park(Duration::from_secs(5));
+        assert!(t.elapsed() < Duration::from_secs(1), "pending ring consumed without sleeping");
+    }
+
+    #[test]
+    fn doorbell_park_times_out_without_a_ring() {
+        let bell = Doorbell::new(Arc::new(AtomicU64::new(0)));
+        let t = Instant::now();
+        bell.park(Duration::from_millis(10));
+        assert!(t.elapsed() >= Duration::from_millis(5), "park honours its timeout");
+    }
+
+    #[test]
+    fn doorbell_wakes_a_parked_thread() {
+        let bell = Arc::new(Doorbell::new(Arc::new(AtomicU64::new(0))));
+        std::thread::scope(|scope| {
+            let parked = {
+                let bell = Arc::clone(&bell);
+                scope.spawn(move || {
+                    let t = Instant::now();
+                    bell.park(Duration::from_secs(10));
+                    t.elapsed()
+                })
+            };
+            std::thread::sleep(Duration::from_millis(10));
+            bell.ring();
+            assert!(parked.join().unwrap() < Duration::from_secs(5), "ring wakes the parker");
+        });
+    }
+
+    #[test]
+    fn poisoned_master_lock_recovers_and_is_counted() {
+        /// `insert_rule` panics while armed — poisoning the master lock
+        /// the way a buggy table update would.
+        #[derive(Clone)]
+        struct FlakyInsert {
+            rules: Vec<Rule>,
+            armed: Arc<AtomicBool>,
+        }
+        impl Classifier for FlakyInsert {
+            fn name(&self) -> &str {
+                "flaky"
+            }
+            fn classify(&self, header: &HeaderValues) -> Option<u32> {
+                reference_classify(&self.rules, header)
+            }
+            fn memory_bits(&self) -> u64 {
+                1
+            }
+            fn lookup_accesses(&self, _header: &HeaderValues) -> usize {
+                1
+            }
+            fn build_records(&self) -> usize {
+                self.rules.len()
+            }
+        }
+        impl DynamicClassifier for FlakyInsert {
+            fn insert_rule(&mut self, rule: Rule) -> Result<UpdateReport, BuildError> {
+                if self.armed.swap(false, SeqCst) {
+                    panic!("injected control-plane panic");
+                }
+                self.rules.push(rule);
+                Ok(UpdateReport { records: 1, rebuilt: false })
+            }
+            fn remove_rule(&mut self, _rule_id: u32) -> Option<UpdateReport> {
+                None
+            }
+        }
+
+        let armed = Arc::new(AtomicBool::new(true));
+        let rt = Runtime::with_control(
+            FlakyInsert { rules: rules(), armed: Arc::clone(&armed) },
+            &quick_config(2),
+        );
+        let boom = catch_unwind(AssertUnwindSafe(|| rt.add_rule(route(9, 1, 0, 0, 9))));
+        assert!(boom.is_err(), "the injected panic propagates to the updater");
+        // The master lock is now poisoned; the next update recovers it
+        // instead of cascading the failure.
+        let (_, v) = rt.add_rule(route(9, 1, 0, 0, 9)).expect("recovered master accepts updates");
+        assert_eq!(v, 2);
+        let t = rt.telemetry();
+        assert!(t.poison_recoveries >= 1, "recovery is counted: {}", t.poison_recoveries);
+        assert!(t.to_json().contains("\"poison_recoveries\""));
+    }
+
+    #[test]
+    fn shed_policy_drops_over_occupancy_and_resolves_unserved() {
+        let hold = Arc::new(AtomicBool::new(true));
+        let entered = Arc::new(AtomicU64::new(0));
+        let rt = Runtime::new(
+            Gate { rules: rules(), hold: Arc::clone(&hold), entered: Arc::clone(&entered) },
+            &RuntimeConfig {
+                shards: 1,
+                ring_capacity: 8,
+                cache_capacity: 0,
+                admission: AdmissionPolicy::Shed { max_queued: 1 },
+                pin_workers: false,
+                ..RuntimeConfig::default()
+            },
+        );
+        let one: Arc<[HeaderValues]> = headers(1).into();
+        // A: picked up, wedged inside classify.
+        let a = rt.submit(Arc::clone(&one));
+        wait_until(&entered, 1);
+        // B: sits in the ring (occupancy 1).
+        let b = rt.submit(Arc::clone(&one));
+        // C: over the occupancy bound — shed immediately.
+        let c = rt.submit(Arc::clone(&one));
+        let shed = c.wait();
+        assert_eq!(shed.versions, vec![UNSERVED_VERSION], "shed packets are marked unserved");
+        assert_eq!(shed.rows, vec![None]);
+        assert_eq!(shed.delivered_count(), 0);
+        hold.store(false, SeqCst);
+        assert!(a.wait().fully_delivered(), "the wedged batch still serves");
+        assert!(b.wait().fully_delivered(), "the queued batch still serves");
+        let t = rt.telemetry();
+        assert!(t.per_shard[0].shed_jobs >= 1, "shed jobs counted");
+        assert!(t.per_shard[0].shed_packets >= 1, "shed packets counted");
+        assert!(t.total_shed_packets() >= 1);
+    }
+
+    #[test]
+    fn wait_timeout_times_out_instead_of_hanging() {
+        let hold = Arc::new(AtomicBool::new(true));
+        let entered = Arc::new(AtomicU64::new(0));
+        let rt = Runtime::new(
+            Gate { rules: rules(), hold: Arc::clone(&hold), entered: Arc::clone(&entered) },
+            &RuntimeConfig {
+                shards: 1,
+                ring_capacity: 8,
+                cache_capacity: 0,
+                pin_workers: false,
+                ..RuntimeConfig::default()
+            },
+        );
+        let one: Arc<[HeaderValues]> = headers(1).into();
+        let stuck = rt.submit(Arc::clone(&one));
+        wait_until(&entered, 1);
+        match stuck.wait_timeout(Duration::from_millis(20)) {
+            WaitOutcome::Timeout => {}
+            other => panic!("wedged shard must time out, got {other:?}"),
+        }
+        assert_eq!(rt.telemetry().ticket_timeouts, 1);
+        hold.store(false, SeqCst);
+        // A healthy runtime resolves Complete within the timeout.
+        match rt.submit(one).wait_timeout(Duration::from_secs(10)) {
+            WaitOutcome::Complete(batch) => assert!(batch.fully_delivered()),
+            other => panic!("healthy shard completes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wait_timeout_reports_partial_delivery() {
+        /// Wedges only packets whose `InPort` is 2 — so one shard
+        /// delivers while another hangs.
+        #[derive(Clone)]
+        struct HalfGate {
+            rules: Vec<Rule>,
+            hold: Arc<AtomicBool>,
+        }
+        impl Classifier for HalfGate {
+            fn name(&self) -> &str {
+                "half-gate"
+            }
+            fn classify(&self, header: &HeaderValues) -> Option<u32> {
+                let wedged =
+                    header.fields().iter().any(|&(f, v)| f == MatchFieldKind::InPort && v == 2);
+                while wedged && self.hold.load(SeqCst) {
+                    std::thread::yield_now();
+                }
+                reference_classify(&self.rules, header)
+            }
+            fn memory_bits(&self) -> u64 {
+                1
+            }
+            fn lookup_accesses(&self, _header: &HeaderValues) -> usize {
+                1
+            }
+            fn build_records(&self) -> usize {
+                self.rules.len()
+            }
+        }
+
+        let shards = 2;
+        let free = HeaderValues::new()
+            .with(MatchFieldKind::InPort, 1)
+            .with(MatchFieldKind::Ipv4Dst, 0x0A00_0000u128);
+        // A header that (a) wedges and (b) lands on the *other* shard.
+        let wedged = (0..4096u128)
+            .map(|i| {
+                HeaderValues::new()
+                    .with(MatchFieldKind::InPort, 2)
+                    .with(MatchFieldKind::Ipv4Dst, 0x0A00_0000 + i)
+            })
+            .find(|h| shard_of(h, shards) != shard_of(&free, shards))
+            .expect("some dst hashes onto the other shard");
+
+        let hold = Arc::new(AtomicBool::new(true));
+        let rt = Runtime::new(
+            HalfGate { rules: rules(), hold: Arc::clone(&hold) },
+            &RuntimeConfig {
+                shards,
+                ring_capacity: 8,
+                cache_capacity: 0,
+                pin_workers: false,
+                ..RuntimeConfig::default()
+            },
+        );
+        let batch: Arc<[HeaderValues]> = vec![free.clone(), wedged].into();
+        match rt.submit(batch).wait_timeout(Duration::from_millis(200)) {
+            WaitOutcome::Partial { batch, missing } => {
+                assert_eq!(missing, 1, "one packet's shard never delivered");
+                assert_eq!(batch.delivered_count(), 1);
+                assert!(batch.delivered(0), "the free shard delivered");
+                assert!(!batch.delivered(1), "the wedged packet is marked unserved");
+                assert_eq!(batch.rows[0], reference_classify(&rules(), &free));
+            }
+            other => panic!("expected partial delivery, got {other:?}"),
+        }
+        hold.store(false, SeqCst);
+    }
+
+    #[test]
+    fn deadline_shed_drops_expired_jobs_at_the_worker() {
+        let hold = Arc::new(AtomicBool::new(true));
+        let entered = Arc::new(AtomicU64::new(0));
+        let rt = Runtime::new(
+            Gate { rules: rules(), hold: Arc::clone(&hold), entered: Arc::clone(&entered) },
+            &RuntimeConfig {
+                shards: 1,
+                ring_capacity: 8,
+                cache_capacity: 0,
+                admission: AdmissionPolicy::DeadlineShed { deadline: Duration::from_millis(30) },
+                pin_workers: false,
+                ..RuntimeConfig::default()
+            },
+        );
+        let one: Arc<[HeaderValues]> = headers(1).into();
+        // A: picked up before its deadline, then wedged.
+        let a = rt.submit(Arc::clone(&one));
+        wait_until(&entered, 1);
+        // B: queued behind the wedge; its deadline expires in the ring.
+        let b = rt.submit(Arc::clone(&one));
+        std::thread::sleep(Duration::from_millis(50));
+        hold.store(false, SeqCst);
+        assert!(a.wait().fully_delivered(), "a job picked up in time still serves");
+        let late = b.wait();
+        assert_eq!(late.versions, vec![UNSERVED_VERSION], "expired jobs are shed, not served late");
+        let t = rt.telemetry();
+        assert!(t.per_shard[0].deadline_shed_packets >= 1, "deadline sheds counted");
+        assert!(t.total_shed_packets() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_is_survived_and_the_batch_still_serves() {
+        /// Panics on exactly one `classify` call, then behaves.
+        #[derive(Clone)]
+        struct PanicOnce {
+            rules: Vec<Rule>,
+            armed: Arc<AtomicBool>,
+        }
+        impl Classifier for PanicOnce {
+            fn name(&self) -> &str {
+                "panic-once"
+            }
+            fn classify(&self, header: &HeaderValues) -> Option<u32> {
+                if self.armed.swap(false, SeqCst) {
+                    panic!("injected data-plane panic");
+                }
+                reference_classify(&self.rules, header)
+            }
+            fn memory_bits(&self) -> u64 {
+                1
+            }
+            fn lookup_accesses(&self, _header: &HeaderValues) -> usize {
+                1
+            }
+            fn build_records(&self) -> usize {
+                self.rules.len()
+            }
+        }
+
+        let rt = Runtime::new(
+            PanicOnce { rules: rules(), armed: Arc::new(AtomicBool::new(true)) },
+            &RuntimeConfig {
+                shards: 2,
+                ring_capacity: 8,
+                cache_capacity: 0,
+                pin_workers: false,
+                ..RuntimeConfig::default()
+            },
+        );
+        let hs = headers(64);
+        let out = rt.classify_batch(&hs);
+        let want: Vec<Option<u32>> = hs.iter().map(|h| reference_classify(&rules(), h)).collect();
+        assert_eq!(out.rows, want, "the re-routed batch serves correctly");
+        assert!(out.fully_delivered(), "one panic costs nothing: the shard respawns");
+        let t = rt.telemetry();
+        assert!(t.total_panics() >= 1, "the panic is counted");
+        assert!(t.total_restarts() >= 1, "the respawn is counted");
+        assert!(t.per_shard.iter().map(|s| s.requeued_jobs).sum::<u64>() >= 1);
+        assert!(t.to_json().contains("\"total_restarts\""));
+        // The respawned shard keeps serving.
+        assert!(rt.classify_batch(&hs).fully_delivered());
+    }
+
+    #[test]
+    fn a_poisonous_job_is_abandoned_instead_of_crash_looping() {
+        /// Deterministically panics on `InPort == 7` headers, forever.
+        #[derive(Clone)]
+        struct PoisonPill {
+            rules: Vec<Rule>,
+        }
+        impl Classifier for PoisonPill {
+            fn name(&self) -> &str {
+                "poison-pill"
+            }
+            fn classify(&self, header: &HeaderValues) -> Option<u32> {
+                if header.fields().iter().any(|&(f, v)| f == MatchFieldKind::InPort && v == 7) {
+                    panic!("poisonous header");
+                }
+                reference_classify(&self.rules, header)
+            }
+            fn memory_bits(&self) -> u64 {
+                1
+            }
+            fn lookup_accesses(&self, _header: &HeaderValues) -> usize {
+                1
+            }
+            fn build_records(&self) -> usize {
+                self.rules.len()
+            }
+        }
+
+        let rt = Runtime::new(
+            PoisonPill { rules: rules() },
+            &RuntimeConfig {
+                shards: 1,
+                ring_capacity: 8,
+                cache_capacity: 0,
+                pin_workers: false,
+                ..RuntimeConfig::default()
+            },
+        );
+        let mut hs = headers(8);
+        hs.push(
+            HeaderValues::new()
+                .with(MatchFieldKind::InPort, 7)
+                .with(MatchFieldKind::Ipv4Dst, 0x0A00_0000u128),
+        );
+        // The key liveness property: the ticket resolves at all, even
+        // though the job kills its shard on every attempt.
+        let out = rt.classify_batch(&hs);
+        assert!(!out.delivered(8), "the poisonous packet is abandoned, not served");
+        let t = rt.telemetry();
+        assert!(t.total_panics() > u64::from(MAX_REQUEUES), "each attempt panicked");
+        assert!(t.total_restarts() > u64::from(MAX_REQUEUES));
+        assert!(t.per_shard[0].shed_packets >= 1, "the abandoned job counts as shed");
+        // The shard is healthy again for clean traffic.
+        let clean = headers(16);
+        let out = rt.classify_batch(&clean);
+        assert!(out.fully_delivered());
+        let want: Vec<Option<u32>> =
+            clean.iter().map(|h| reference_classify(&rules(), h)).collect();
+        assert_eq!(out.rows, want);
     }
 }

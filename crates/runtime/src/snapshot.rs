@@ -68,7 +68,16 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering a poisoned guard: a panic on some other thread
+/// (e.g. a worker dying mid-batch) must not cascade into the
+/// publish/reclamation machinery. Every registry the cell guards is
+/// kept consistent by the code holding the guard, not by intermediate
+/// states a panic could expose, so recovery is always sound here.
+fn recovered<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Announced-slot value meaning "not currently loading".
 const QUIESCENT: u64 = u64::MAX;
@@ -150,17 +159,15 @@ impl<T: Send + Sync> SnapshotCell<T> {
     /// version. O(1) for readers: one pointer swap; the old image is
     /// retired and reclaimed once no reader can still be acquiring it.
     /// Callers may race — publishes serialise on the writer lock — but
-    /// the intended topology is a single control-plane writer.
-    ///
-    /// # Panics
-    /// Panics if the cell's writer lock was poisoned.
+    /// the intended topology is a single control-plane writer. A writer
+    /// lock poisoned by a dead publisher is recovered, not propagated.
     pub fn publish(&self, value: T) -> u64 {
-        let guard = self.writer.lock().expect("snapshot writer lock poisoned");
+        let guard = recovered(&self.writer);
         let version = self.version.load(SeqCst) + 1;
         let next = Arc::new(Snapshot { version, value });
         let old = self.current.swap(Arc::into_raw(next).cast_mut(), SeqCst);
         self.version.store(version, SeqCst);
-        self.retired.lock().expect("retire list lock poisoned").push(Retired { ptr: old, version });
+        recovered(&self.retired).push(Retired { ptr: old, version });
         self.collect();
         drop(guard);
         version
@@ -170,12 +177,9 @@ impl<T: Send + Sync> SnapshotCell<T> {
     /// telemetry path — a registered [`SnapshotReader`] is the lock-free
     /// way). Holding the writer lock excludes any concurrent retire or
     /// collect, so the loaded pointer cannot be reclaimed mid-acquire.
-    ///
-    /// # Panics
-    /// Panics if the cell's writer lock was poisoned.
     #[must_use]
     pub fn latest(&self) -> Arc<Snapshot<T>> {
-        let _guard = self.writer.lock().expect("snapshot writer lock poisoned");
+        let _guard = recovered(&self.writer);
         let ptr = self.current.load(SeqCst);
         // SAFETY: `ptr` came from `Arc::into_raw` and the cell still owns
         // a strong reference to it; reclamation only happens in
@@ -189,14 +193,11 @@ impl<T: Send + Sync> SnapshotCell<T> {
     /// Registers a lock-free reader. Each worker shard registers once
     /// and calls [`SnapshotReader::load`] whenever
     /// [`SnapshotCell::version`] says its replica is stale.
-    ///
-    /// # Panics
-    /// Panics if the cell's reader registry lock was poisoned.
     #[must_use]
     pub fn register(self: &Arc<Self>, name: &str) -> SnapshotReader<T> {
         let _ = name;
         let slot = Arc::new(AtomicU64::new(QUIESCENT));
-        self.readers.lock().expect("reader registry lock poisoned").push(Arc::clone(&slot));
+        recovered(&self.readers).push(Arc::clone(&slot));
         SnapshotReader { cell: Arc::clone(self), slot }
     }
 
@@ -213,13 +214,13 @@ impl<T: Send + Sync> SnapshotCell<T> {
     /// `publish_load_collect` and `reader_stall` model-checker
     /// scenarios).
     fn collect(&self) {
-        let mut readers = self.readers.lock().expect("reader registry lock poisoned");
+        let mut readers = recovered(&self.readers);
         // Prune slots whose reader handle is gone (worker exited): only
         // the registry holds them, and an exited reader is quiescent.
         readers.retain(|slot| Arc::strong_count(slot) > 1);
         let min_active = readers.iter().map(|s| s.load(SeqCst)).filter(|&v| v != QUIESCENT).min();
         drop(readers);
-        let mut retired = self.retired.lock().expect("retire list lock poisoned");
+        let mut retired = recovered(&self.retired);
         retired.retain(|r| {
             let reclaimable = match min_active {
                 None => true,
@@ -238,12 +239,9 @@ impl<T: Send + Sync> SnapshotCell<T> {
     }
 
     /// Retired-but-unreclaimed snapshots (observability / tests).
-    ///
-    /// # Panics
-    /// Panics if the retire list lock was poisoned.
     #[must_use]
     pub fn retired_len(&self) -> usize {
-        self.retired.lock().expect("retire list lock poisoned").len()
+        recovered(&self.retired).len()
     }
 }
 
@@ -256,7 +254,7 @@ impl<T> Drop for SnapshotCell<T> {
         // SAFETY: `current` always holds an owned `Arc::into_raw`
         // reference, dropped exactly once here.
         drop(unsafe { Arc::from_raw(ptr) });
-        for r in self.retired.get_mut().expect("retire list lock poisoned").drain(..) {
+        for r in self.retired.get_mut().unwrap_or_else(PoisonError::into_inner).drain(..) {
             // SAFETY: as in `collect` — each retired entry owns one
             // reference, dropped exactly once.
             drop(unsafe { Arc::from_raw(r.ptr) });

@@ -1,0 +1,150 @@
+//! The shard supervisor: the thread that makes worker death a counted,
+//! recovered event instead of a hung dataplane.
+//!
+//! The supervisor owns every worker `JoinHandle` and polls two signals:
+//!
+//! * **death** — the worker thread finished. The only way out of the
+//!   run-to-completion loop besides shutdown is a caught panic
+//!   ([`crate::runtime`]'s `worker_entry` unwind boundary), so a
+//!   finished thread while the runtime is live means the shard crashed.
+//! * **stall** — the worker's heartbeat counter froze while the shard
+//!   has work pending (an in-flight job or ring backlog). Stalls are
+//!   detected and counted (`stalls_detected`) but not killed: Rust has
+//!   no safe thread preemption, and deadline shedding + ticket timeouts
+//!   bound the damage instead.
+//!
+//! Respawn protocol, in order: **join** the dead thread (after which its
+//! ring consumer is provably dropped), swap a **fresh ring** into the
+//! shared producer slot (submitters serialise on that lock, so no job
+//! can fall between the rings), **recover** the dead ring's backlog
+//! ([`crate::ring::Producer::recover`]), take the orphaned in-flight
+//! job, spawn a fresh worker (new snapshot reader, new cache), and
+//! re-route orphan + backlog in FIFO order. A job whose shard died
+//! serving it more than [`MAX_REQUEUES`](crate::runtime::MAX_REQUEUES)
+//! times is completed unserved instead of crash-looping the shard.
+
+use std::sync::atomic::Ordering::{Relaxed, SeqCst};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use classifier_api::Classifier;
+
+use crate::ring::spsc;
+use crate::runtime::{complete_unserved, spawn_worker, Job, Shared, MAX_REQUEUES};
+
+/// Poll cadence: cheap (two atomic loads per shard) and far below any
+/// ticket timeout a caller would choose.
+const POLL: Duration = Duration::from_micros(500);
+
+/// Heartbeat silence (with work pending) before a shard counts as
+/// stalled.
+const STALL_AFTER: Duration = Duration::from_millis(25);
+
+/// Supervises `workers` until the runtime stops, then joins them all.
+pub(crate) fn supervise<C: Classifier + 'static>(
+    shared: &Arc<Shared<C>>,
+    workers: Vec<JoinHandle<()>>,
+) {
+    let mut workers: Vec<Option<JoinHandle<()>>> = workers.into_iter().map(Some).collect();
+    let now = Instant::now();
+    let mut beats: Vec<(u64, Instant)> =
+        shared.counters.iter().map(|c| (c.heartbeat.load(Relaxed), now)).collect();
+    let mut stalled = vec![false; shared.shards];
+    while !shared.stop.load(SeqCst) {
+        for shard in 0..shared.shards {
+            if shared.stop.load(SeqCst) {
+                break;
+            }
+            if workers[shard].as_ref().is_some_and(JoinHandle::is_finished) {
+                let old = workers[shard].take().expect("worker slot occupied");
+                workers[shard] = Some(respawn(shared, shard, old));
+                beats[shard] = (shared.counters[shard].heartbeat.load(Relaxed), Instant::now());
+                stalled[shard] = false;
+                continue;
+            }
+            let beat = shared.counters[shard].heartbeat.load(Relaxed);
+            if beat != beats[shard].0 {
+                beats[shard] = (beat, Instant::now());
+                stalled[shard] = false;
+            } else if !stalled[shard]
+                && beats[shard].1.elapsed() > STALL_AFTER
+                && has_pending(shared, shard)
+            {
+                // Count the episode once; cleared when the beat moves.
+                stalled[shard] = true;
+                shared.counters[shard].stalls_detected.fetch_add(1, Relaxed);
+            }
+        }
+        std::thread::sleep(POLL);
+    }
+    for worker in workers.into_iter().flatten() {
+        let _ = worker.join();
+    }
+}
+
+/// Whether the shard has undone work (the stall predicate: a frozen
+/// heartbeat on an idle shard is just a long park, not a stall).
+fn has_pending<C>(shared: &Arc<Shared<C>>, shard: usize) -> bool {
+    if shared.lock_inflight(shard).is_some() {
+        return true;
+    }
+    !shared.lock_producer(shard).is_empty()
+}
+
+/// Rebuilds a dead shard and re-routes everything it left behind.
+fn respawn<C: Classifier + 'static>(
+    shared: &Arc<Shared<C>>,
+    shard: usize,
+    old: JoinHandle<()>,
+) -> JoinHandle<()> {
+    // Reap the dead thread first: once joined, its ring consumer is
+    // guaranteed dropped and the old producer end is exclusively ours.
+    let _ = old.join();
+    let counters = &shared.counters[shard];
+    let (fresh, consumer) = spsc::<Job>(shared.settings.ring_capacity);
+    let old_producer = std::mem::replace(&mut *shared.lock_producer(shard), fresh);
+    let backlog = old_producer.recover().unwrap_or_else(|_| {
+        debug_assert!(false, "a joined worker cannot still hold its consumer");
+        Vec::new()
+    });
+    let orphan = shared.lock_inflight(shard).take();
+    counters.restarts.fetch_add(1, Relaxed);
+    let handle = spawn_worker(shared, shard, consumer);
+    // Re-route in FIFO order: the orphan was popped before the backlog.
+    if let Some(mut job) = orphan {
+        job.requeues += 1;
+        if job.requeues > MAX_REQUEUES {
+            // This job has killed the shard repeatedly: declare it
+            // poisonous and resolve its ticket unserved rather than
+            // crash-looping forever.
+            complete_unserved(counters, job, true);
+        } else {
+            requeue(shared, shard, job);
+        }
+    }
+    for job in backlog {
+        requeue(shared, shard, job);
+    }
+    handle
+}
+
+/// Pushes a recovered job back onto its shard's (fresh) ring. The new
+/// worker is already draining, so a full ring is transient; the
+/// producer lock is released between attempts so submitters (and a
+/// later respawn) are never blocked behind this spin.
+fn requeue<C: Classifier>(shared: &Arc<Shared<C>>, shard: usize, mut job: Job) {
+    shared.counters[shard].requeued_jobs.fetch_add(1, Relaxed);
+    loop {
+        let mut producer = shared.lock_producer(shard);
+        match producer.push(job) {
+            Ok(()) => break,
+            Err(back) => {
+                drop(producer);
+                job = back;
+                std::thread::yield_now();
+            }
+        }
+    }
+    shared.ring_doorbell(shard);
+}

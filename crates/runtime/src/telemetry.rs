@@ -34,6 +34,29 @@ pub struct ShardCounters {
     pub hot_path_allocs: AtomicU64,
     /// Whether the kernel accepted this worker's CPU pin.
     pub pinned: AtomicBool,
+    /// Liveness beat: bumped once per worker-loop iteration. The
+    /// supervisor reads it to tell a wedged shard from an idle one; it
+    /// is not part of the telemetry snapshot.
+    pub heartbeat: AtomicU64,
+    /// Worker panics caught by the shard's unwind boundary (injected or
+    /// organic). Each one costs the in-flight batch a re-route.
+    pub panics: AtomicU64,
+    /// Times the supervisor respawned this shard after its worker died.
+    pub restarts: AtomicU64,
+    /// Jobs the supervisor re-routed into this shard's fresh ring after
+    /// a death (ring backlog + the orphaned in-flight job).
+    pub requeued_jobs: AtomicU64,
+    /// Stall episodes the supervisor detected (heartbeat frozen with
+    /// work pending).
+    pub stalls_detected: AtomicU64,
+    /// Batch jobs the dispatcher shed at admission (ring occupancy over
+    /// the policy's bound, or deadline unreachable).
+    pub shed_jobs: AtomicU64,
+    /// Packets inside those shed jobs.
+    pub shed_packets: AtomicU64,
+    /// Packets whose job expired (deadline passed) before the worker
+    /// picked it up — shed at service rather than at admission.
+    pub deadline_shed_packets: AtomicU64,
     /// Mirrors of the worker-owned flow cache's counters.
     pub cache_hits: AtomicU64,
     /// See [`ShardCounters::cache_hits`].
@@ -142,7 +165,22 @@ pub struct ShardTelemetry {
     pub hot_path_allocs: u64,
     /// Whether this worker is CPU-pinned.
     pub pinned: bool,
-    /// Flow-cache counters (cumulative since the worker started).
+    /// Worker panics caught by the shard's unwind boundary.
+    pub panics: u64,
+    /// Supervisor respawns of this shard.
+    pub restarts: u64,
+    /// Jobs re-routed into this shard after a respawn.
+    pub requeued_jobs: u64,
+    /// Stall episodes the supervisor detected on this shard.
+    pub stalls_detected: u64,
+    /// Batch jobs shed at admission for this shard.
+    pub shed_jobs: u64,
+    /// Packets shed at admission.
+    pub shed_packets: u64,
+    /// Packets shed at service because their deadline expired.
+    pub deadline_shed_packets: u64,
+    /// Flow-cache counters (cumulative since the worker started; reset
+    /// when a respawn rebuilds the cache).
     pub cache: CacheStats,
     /// Median batch latency (submit → served), ns, bucket upper bound.
     pub latency_p50_ns: u64,
@@ -175,6 +213,13 @@ impl ShardTelemetry {
             idle_parks: c.idle_parks.load(Relaxed),
             hot_path_allocs: c.hot_path_allocs.load(Relaxed),
             pinned: c.pinned.load(Relaxed),
+            panics: c.panics.load(Relaxed),
+            restarts: c.restarts.load(Relaxed),
+            requeued_jobs: c.requeued_jobs.load(Relaxed),
+            stalls_detected: c.stalls_detected.load(Relaxed),
+            shed_jobs: c.shed_jobs.load(Relaxed),
+            shed_packets: c.shed_packets.load(Relaxed),
+            deadline_shed_packets: c.deadline_shed_packets.load(Relaxed),
             cache: CacheStats {
                 hits: c.cache_hits.load(Relaxed),
                 misses: c.cache_misses.load(Relaxed),
@@ -202,6 +247,13 @@ pub struct RuntimeTelemetry {
     pub version: u64,
     /// Worker shard count.
     pub shards: usize,
+    /// Poisoned-lock recoveries across the runtime: a thread panicked
+    /// while holding a runtime lock and a later accessor recovered the
+    /// guard instead of cascading the panic.
+    pub poison_recoveries: u64,
+    /// Tickets whose `wait_timeout` elapsed before every shard
+    /// delivered (the batch was returned `Partial` or `Timeout`).
+    pub ticket_timeouts: u64,
     /// Per-shard snapshots, shard order.
     pub per_shard: Vec<ShardTelemetry>,
 }
@@ -227,6 +279,25 @@ impl RuntimeTelemetry {
         self.per_shard.iter().map(|s| s.hot_path_allocs).sum()
     }
 
+    /// Supervisor respawns across all shards.
+    #[must_use]
+    pub fn total_restarts(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.restarts).sum()
+    }
+
+    /// Worker panics caught across all shards.
+    #[must_use]
+    pub fn total_panics(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.panics).sum()
+    }
+
+    /// Packets shed across all shards, at admission or at service
+    /// (deadline expiry).
+    #[must_use]
+    pub fn total_shed_packets(&self) -> u64 {
+        self.per_shard.iter().map(|s| s.shed_packets + s.deadline_shed_packets).sum()
+    }
+
     /// Renders the telemetry as a self-contained JSON document (compact,
     /// stable key order).
     #[must_use]
@@ -236,11 +307,18 @@ impl RuntimeTelemetry {
         let _ = write!(
             out,
             "{{\"version\":{},\"shards\":{},\"total_packets\":{},\"hit_rate\":{:.6},\
+             \"total_restarts\":{},\"total_panics\":{},\"total_shed_packets\":{},\
+             \"poison_recoveries\":{},\"ticket_timeouts\":{},\
              \"per_shard\":[",
             self.version,
             self.shards,
             self.total_packets(),
-            self.hit_rate()
+            self.hit_rate(),
+            self.total_restarts(),
+            self.total_panics(),
+            self.total_shed_packets(),
+            self.poison_recoveries,
+            self.ticket_timeouts,
         );
         for (i, s) in self.per_shard.iter().enumerate() {
             if i > 0 {
@@ -250,7 +328,11 @@ impl RuntimeTelemetry {
                 out,
                 "{{\"shard\":{},\"packets\":{},\"batches\":{},\"busy_ns\":{},\
                  \"busy_packets_per_sec\":{:.1},\"snapshot_refreshes\":{},\"idle_parks\":{},\
-                 \"hot_path_allocs\":{},\"pinned\":{},\"cache\":{{\"hits\":{},\"misses\":{},\
+                 \"hot_path_allocs\":{},\"pinned\":{},\
+                 \"faults\":{{\"panics\":{},\"restarts\":{},\"requeued_jobs\":{},\
+                 \"stalls_detected\":{},\"shed_jobs\":{},\"shed_packets\":{},\
+                 \"deadline_shed_packets\":{}}},\
+                 \"cache\":{{\"hits\":{},\"misses\":{},\
                  \"hit_rate\":{:.6},\"insertions\":{},\"evictions\":{},\"rejections\":{},\
                  \"window_hits\":{},\"capacity\":{},\"window_capacity\":{}}},\
                  \"latency_ns\":{{\"p50\":{},\"p90\":{},\"p99\":{}}}}}",
@@ -263,6 +345,13 @@ impl RuntimeTelemetry {
                 s.idle_parks,
                 s.hot_path_allocs,
                 s.pinned,
+                s.panics,
+                s.restarts,
+                s.requeued_jobs,
+                s.stalls_detected,
+                s.shed_jobs,
+                s.shed_packets,
+                s.deadline_shed_packets,
                 s.cache.hits,
                 s.cache.misses,
                 s.cache.hit_rate(),
@@ -310,13 +399,22 @@ mod tests {
         counters.busy_ns.store(1000, Relaxed);
         counters.record_cache(&CacheStats { hits: 7, misses: 3, ..CacheStats::default() });
         counters.latency.record(500);
+        counters.panics.store(1, Relaxed);
+        counters.restarts.store(1, Relaxed);
+        counters.shed_packets.store(5, Relaxed);
+        counters.deadline_shed_packets.store(2, Relaxed);
         let t = RuntimeTelemetry {
             version: 3,
             shards: 1,
+            poison_recoveries: 4,
+            ticket_timeouts: 1,
             per_shard: vec![ShardTelemetry::capture(0, &counters, 64)],
         };
         assert_eq!(t.total_packets(), 10);
         assert!((t.hit_rate() - 0.7).abs() < 1e-9);
+        assert_eq!(t.total_restarts(), 1);
+        assert_eq!(t.total_panics(), 1);
+        assert_eq!(t.total_shed_packets(), 7);
         let json = t.to_json();
         for needle in [
             "\"version\":3",
@@ -326,6 +424,14 @@ mod tests {
             "\"pinned\":false",
             "\"busy_packets_per_sec\":",
             "\"window_capacity\":",
+            "\"total_restarts\":1",
+            "\"total_panics\":1",
+            "\"total_shed_packets\":7",
+            "\"poison_recoveries\":4",
+            "\"ticket_timeouts\":1",
+            "\"faults\":{\"panics\":1,\"restarts\":1",
+            "\"shed_packets\":5",
+            "\"deadline_shed_packets\":2",
         ] {
             assert!(json.contains(needle), "{needle} missing from {json}");
         }

@@ -14,7 +14,7 @@
 //! | Harness | Symbolic over | Shim equivalent |
 //! |---|---|---|
 //! | `snapshot_reclamation` | reader/writer schedules | DFS over all schedules |
-//! | `ring_indices` | capacity, start offset, op sequence | sweep of capacities × wrap-adjacent starts × all op sequences |
+//! | `ring_indices` | capacity, start offset, op sequence (+ recover drain) | sweep of capacities × wrap-adjacent starts × all op sequences, each ending in a recover drain |
 //! | `doorbell_wakeup` | submit/park schedules | DFS over all schedules |
 //! | `simd_walk_equivalence` | trie entries, lane keys, group size | generated tries × all keys, plus cross-check against the real `ofalgo::Mbt` |
 
@@ -69,8 +69,11 @@ mod verify {
     /// slot, never over- or under-counts occupancy, and preserves FIFO
     /// order — for a symbolic power-of-two capacity, a fully symbolic
     /// starting offset (so `usize::MAX` wraparound is covered), and
-    /// every push/pop sequence of length 12. Cited by the index
-    /// protocol docs in `mtl-runtime/src/ring.rs`.
+    /// every push/pop sequence of length 12 — and from *any* state such
+    /// a sequence leaves behind, the supervisor's `Producer::recover`
+    /// drain rescues exactly the buffered backlog, in FIFO order,
+    /// leaving the ring empty. Cited by the index protocol docs in
+    /// `mtl-runtime/src/ring.rs`.
     #[kani::proof]
     #[kani::unwind(16)]
     fn ring_indices() {
@@ -83,6 +86,7 @@ mod verify {
             let step = if push { m.push() } else { m.pop() };
             assert!(step.is_ok(), "ring invariant violated");
         }
+        assert!(m.recover().is_ok(), "recover drain violated an invariant");
     }
 
     /// No missed wakeup on the doorbell park/unpark path: for every
@@ -170,7 +174,9 @@ mod shims {
 
     /// Exhaustive twin of the `ring_indices` proof: every capacity the
     /// symbolic harness ranges over, wrap-adjacent and ordinary start
-    /// offsets, and all 2^12 push/pop sequences.
+    /// offsets, and all 2^12 push/pop sequences — each followed by the
+    /// `Producer::recover` drain, which must rescue exactly the
+    /// buffered backlog from whatever state the sequence left.
     #[test]
     fn ring_indices() {
         for cap in [2usize, 4, 8] {
@@ -183,6 +189,9 @@ mod shims {
                             panic!("cap {cap} start {start:#x} ops {ops:#014b}: {e}")
                         });
                     }
+                    m.recover().unwrap_or_else(|e| {
+                        panic!("cap {cap} start {start:#x} ops {ops:#014b}: recover: {e}")
+                    });
                 }
             }
         }

@@ -145,6 +145,31 @@ impl RingModel {
     pub fn is_empty(&self) -> Result<bool, String> {
         Ok(self.len()? == 0)
     }
+
+    /// Producer-side drain after the consumer is gone — the model of
+    /// `Producer::recover` in the production ring (the supervisor's
+    /// backlog-rescue path): every buffered item comes out, in FIFO
+    /// order, and the ring is empty afterwards. Exercises the same
+    /// occupancy/stamp invariants as `pop`, from whatever
+    /// (possibly wrapped) index state the run left behind.
+    ///
+    /// # Errors
+    /// A violated index invariant, a drain count that disagrees with
+    /// the occupancy arithmetic, or a non-empty ring after the drain.
+    pub fn recover(&mut self) -> Result<usize, String> {
+        let expect = self.len()?;
+        let mut drained = 0usize;
+        while self.pop()? {
+            drained += 1;
+        }
+        if drained != expect {
+            return Err(format!("recover drained {drained} items but occupancy said {expect}"));
+        }
+        if !self.is_empty()? {
+            return Err("ring not empty after recover".into());
+        }
+        Ok(drained)
+    }
 }
 
 /// Slots in the concurrent scenario's ring (the smallest power of two,
@@ -363,6 +388,20 @@ mod tests {
         }
         assert_eq!(m.pop(), Ok(false), "empty ring rejects");
         assert_eq!(m.is_empty(), Ok(true));
+    }
+
+    #[test]
+    fn recover_drains_exactly_whats_buffered_across_the_wrap() {
+        for start in [0usize, usize::MAX - 1, usize::MAX] {
+            let mut m = RingModel::new(4, start, false);
+            for _ in 0..3 {
+                assert_eq!(m.push(), Ok(true));
+            }
+            assert_eq!(m.pop(), Ok(true));
+            assert_eq!(m.recover(), Ok(2), "start {start:#x}");
+            assert_eq!(m.is_empty(), Ok(true));
+            assert_eq!(m.recover(), Ok(0), "empty recover is a no-op");
+        }
     }
 
     #[test]
