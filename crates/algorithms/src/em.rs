@@ -112,6 +112,25 @@ impl HashLut {
         self.key_bits
     }
 
+    /// The raw slot array (codec access: serialized verbatim so decoded
+    /// tables are byte-identical on re-encode).
+    pub(crate) fn slots(&self) -> &[Option<(u64, Label)>] {
+        &self.slots
+    }
+
+    /// Rebuilds a LUT from decoded parts. `slots` must be a non-empty
+    /// power-of-two array (the probe mask depends on it).
+    pub(crate) fn from_parts(
+        key_bits: u32,
+        slots: Vec<Option<(u64, Label)>>,
+        len: usize,
+        max_probes_seen: usize,
+    ) -> Self {
+        assert!((1..=64).contains(&key_bits));
+        assert!(slots.len().is_power_of_two(), "slot capacity must be a power of two");
+        Self { key_bits, slots, len, max_probes_seen }
+    }
+
     /// The slot layout: valid + key + label.
     #[must_use]
     pub fn slot_layout(&self, label_bits: Option<u32>) -> EntryLayout {

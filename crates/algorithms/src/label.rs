@@ -59,6 +59,14 @@ impl<K: Eq + Hash + Clone> Dictionary<K> {
         (l, true)
     }
 
+    /// Rebuilds a dictionary from its decoded parts. `values` must be in
+    /// label order (position `i` becomes `Label(i)`) — exactly the order
+    /// [`Dictionary::values`] yields, so encode → decode is the identity.
+    pub(crate) fn from_parts(values: Vec<K>, interned_total: usize) -> Self {
+        let map = values.iter().enumerate().map(|(i, v)| (v.clone(), Label(i as u32))).collect();
+        Self { map, values, interned_total }
+    }
+
     /// The label of an already-interned value.
     #[must_use]
     pub fn get(&self, value: &K) -> Option<Label> {

@@ -36,6 +36,7 @@
 #![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod em;
 pub mod label;
 pub mod partitioned;

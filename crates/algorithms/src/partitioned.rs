@@ -89,6 +89,33 @@ impl PartitionedTrie {
         self.tries.len()
     }
 
+    /// Full field width in bits.
+    #[must_use]
+    pub fn field_bits(&self) -> u32 {
+        self.field_bits
+    }
+
+    /// Width of one partition in bits.
+    #[must_use]
+    pub fn partition_bits(&self) -> u32 {
+        self.partition_bits
+    }
+
+    /// Rebuilds a partitioned trie from decoded parts. The ancestor
+    /// tables are *not* part of the wire image — callers re-derive them
+    /// with [`PartitionedTrie::finalize`], which is deterministic in the
+    /// dictionaries.
+    pub(crate) fn from_parts(
+        field_bits: u32,
+        partition_bits: u32,
+        tries: Vec<Mbt>,
+        dicts: Vec<Dictionary<(u64, u32)>>,
+    ) -> Self {
+        assert!(field_bits.is_multiple_of(partition_bits), "partitions must tile the field");
+        assert_eq!(tries.len(), dicts.len(), "one dictionary per partition trie");
+        Self { field_bits, partition_bits, tries, dicts, parent_cache: None }
+    }
+
     /// The partition tries (0 = higher).
     #[must_use]
     pub fn tries(&self) -> &[Mbt] {
@@ -113,14 +140,54 @@ impl PartitionedTrie {
             let (label, is_new) = self.dicts[i].intern((pv, pl));
             if is_new {
                 // Only new values change the structure (and thus the
-                // ancestor tables); duplicate inserts leave the cache
-                // valid.
-                self.parent_cache = None;
+                // ancestor tables). A finalized trie maintains its
+                // ancestor table in place — one dictionary sweep —
+                // instead of invalidating it, so a single rule add (the
+                // control plane's publish path, and WAL replay) never
+                // pays a full recompute.
+                if self.parent_cache.is_some() {
+                    self.maintain_parents(i, pv, pl, label);
+                }
                 count.absorb(self.tries[i].insert(pv, pl, label));
             }
             labels.push(label);
         }
         (labels, count)
+    }
+
+    /// Incrementally extends partition `i`'s ancestor table for a newly
+    /// interned `(value, len)` with dense label `label`: computes the new
+    /// entry's own ancestor, then re-parents existing entries whose
+    /// nearest proper ancestor the new prefix now is. Equivalent to (and
+    /// asserted against) a full [`PartitionedTrie::finalize`].
+    fn maintain_parents(&mut self, i: usize, value: u64, len: u32, label: Label) {
+        let pb = self.partition_bits;
+        let Self { dicts, parent_cache, .. } = self;
+        let dict = &dicts[i];
+        let table = &mut parent_cache.as_mut().expect("caller checked")[i];
+        debug_assert_eq!(table.len(), label.0 as usize, "labels are dense");
+        let mut parent = NO_PARENT;
+        for al in (0..len).rev() {
+            let av = if al == 0 { 0 } else { value >> (pb - al) << (pb - al) };
+            if let Some(p) = dict.get(&(av, al)) {
+                parent = p;
+                break;
+            }
+        }
+        table.push(parent);
+        let values = dict.values();
+        for (slot, &(v, l)) in table.iter_mut().zip(values) {
+            // The new prefix becomes the parent of any strictly longer
+            // entry it covers whose current ancestor is shorter.
+            let covered = l > len && (len == 0 || v >> (pb - len) << (pb - len) == value);
+            if covered {
+                let current_len =
+                    if *slot == NO_PARENT { None } else { Some(values[slot.0 as usize].1) };
+                if current_len.is_none_or(|cl| cl < len) {
+                    *slot = label;
+                }
+            }
+        }
     }
 
     /// The labels a full-width prefix maps to, if all its partition values
@@ -363,6 +430,46 @@ impl PartitionedTrie {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Incremental ancestor maintenance must be indistinguishable from a
+    /// full recompute, whatever order prefixes arrive in (children before
+    /// parents, parents before children, wildcards, duplicates).
+    #[test]
+    fn incremental_parent_maintenance_equals_full_finalize() {
+        // A deliberately nasty insertion order over one 16-bit field:
+        // longest first (so later, shorter prefixes re-parent existing
+        // entries), interleaved across partitions, with repeats.
+        let prefixes: &[(u128, u32)] = &[
+            (0xAABB, 16),
+            (0xAAB0, 12),
+            (0xAA00, 8),
+            (0xA000, 4),
+            (0, 0),
+            (0xAABC, 16),
+            (0xAAB0, 12), // duplicate: must not disturb anything
+            (0xBB00, 8),
+            (0xBBF0, 12),
+            (0x8000, 1),
+        ];
+        let mut incremental = PartitionedTrie::with_schedule(16, 16, StrideSchedule::classic_16());
+        incremental.finalize(); // empty tables: maintenance mode from the start
+        let mut batch = PartitionedTrie::with_schedule(16, 16, StrideSchedule::classic_16());
+        for &(v, l) in prefixes {
+            incremental.insert(v, l);
+            batch.insert(v, l);
+            batch.finalize();
+            assert!(incremental.is_finalized(), "maintenance keeps the cache live");
+            assert_eq!(incremental.parent_cache, batch.parent_cache, "after inserting {v:#x}/{l}");
+            // And the lookup behaviour built on the tables agrees.
+            for probe in [0u128, 0xAABB, 0xAABD, 0xBBFF, 0x1234] {
+                assert_eq!(
+                    incremental.effective_chains(probe),
+                    batch.effective_chains(probe),
+                    "probe {probe:#x} after {v:#x}/{l}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn decompose_exact_48_bit() {

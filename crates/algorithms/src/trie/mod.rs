@@ -91,6 +91,16 @@ impl PackedEntry {
         self.0 = (self.0 & Self::NO_CHILD) | (u64::from(len) << 32) | (u64::from(label.0) << 40);
     }
 
+    /// The raw packed word (codec access).
+    pub(crate) fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an entry from a raw packed word (codec access).
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
     /// Installs a child block pointer into the word.
     pub(crate) fn set_child(&mut self, child: u32) {
         debug_assert!(u64::from(child) != Self::NO_CHILD, "child index collides with sentinel");

@@ -6,7 +6,7 @@
 //!
 //! EXPERIMENT: all (default) | table1 | table2 | table3 | table4
 //!           | fig2 | fig3 | fig4 | fig5 | headline | throughput | cache
-//!           | runtime
+//!           | runtime | coldstart
 //! --seed N      workload RNG seed (default 2015)
 //! --full        generate the four 180k-rule routing sets at full size
 //!               (several extra seconds; default scales them down 20x)
@@ -26,8 +26,8 @@
 
 use mtl_bench::data::Workloads;
 use mtl_bench::{
-    cache, fig2, fig3, fig4, fig5, headline, runtime, table1, table2, table3, table4, throughput,
-    DEFAULT_SEED,
+    cache, coldstart, fig2, fig3, fig4, fig5, headline, runtime, table1, table2, table3, table4,
+    throughput, DEFAULT_SEED,
 };
 
 fn main() {
@@ -74,6 +74,7 @@ fn main() {
         "throughput",
         "cache",
         "runtime",
+        "coldstart",
     ];
     let selected: Vec<&str> = if experiments.iter().any(|e| e == "all") {
         known.to_vec()
@@ -90,8 +91,9 @@ fn main() {
             .collect()
     };
 
-    // table2 is static; everything else needs workloads.
-    let needs_data = selected.iter().any(|e| *e != "table2");
+    // table2 and coldstart are self-contained; everything else needs
+    // workloads.
+    let needs_data = selected.iter().any(|e| *e != "table2" && *e != "coldstart");
     let workloads = if needs_data {
         eprintln!(
             "generating workloads (seed {seed}, {}) ...",
@@ -119,6 +121,7 @@ fn main() {
                 None => cache::report(workloads.as_ref().expect("data")),
             },
             "runtime" => runtime::report(workloads.as_ref().expect("data")),
+            "coldstart" => coldstart::report(),
             _ => unreachable!(),
         }
     }
@@ -133,7 +136,7 @@ fn usage(err: &str) -> ! {
         "usage: repro [EXPERIMENT...] [--seed N] [--full] [--trace FILE]\n\
          \x20      repro trace convert --pcap FILE [--out FILE] [--port N]\n\
          experiments: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 headline throughput \
-         cache runtime"
+         cache runtime coldstart"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -24,6 +24,7 @@
 //! | `throughput` | (extension) batch / multi-core lookup + alloc probe | [`throughput`] |
 //! | `cache`  | (extension) flow-cache hit rate + ns/pkt under Zipf skew | [`cache`] |
 //! | `runtime` | (extension) sharded-runtime scaling + consistency under rule churn | [`runtime`] |
+//! | `coldstart` | (extension) snapshot-restore vs rebuild-from-rules cold start | [`coldstart`] |
 
 // Unsafe is denied everywhere except the counting global allocator in
 // [`alloc_probe`], which needs a `GlobalAlloc` impl.
@@ -31,6 +32,7 @@
 
 pub mod alloc_probe;
 pub mod cache;
+pub mod coldstart;
 pub mod data;
 pub mod fig2;
 pub mod fig3;

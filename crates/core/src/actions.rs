@@ -91,6 +91,16 @@ impl ActionTable {
         self.rows.is_empty()
     }
 
+    /// The dense row array (codec access).
+    pub(crate) fn rows(&self) -> &[ActionRow] {
+        &self.rows
+    }
+
+    /// Rebuilds a table from decoded rows (codec access).
+    pub(crate) fn from_rows(rows: Vec<ActionRow>) -> Self {
+        Self { rows }
+    }
+
     /// Memory report. The row word models the §IV.C instruction content:
     /// an instruction-kind field, the `Goto-Table` id, the metadata label
     /// (sized for this table's row count) and a 32-bit action operand

@@ -491,7 +491,12 @@ impl FieldEngine {
     /// trie engines.
     pub fn finalize(&mut self) {
         if let FieldEngine::Trie(pt) = self {
-            pt.finalize();
+            // A finalized trie keeps its ancestor tables current across
+            // inserts, so only a never-finalized one (fresh build or
+            // decode) pays the full recompute.
+            if !pt.is_finalized() {
+                pt.finalize();
+            }
         }
     }
 

@@ -123,7 +123,7 @@ impl MtlSwitch {
         let app = &mut apps[app_idx];
         let mut records = 0usize;
         let mut meta: Option<u32> = None;
-        let mut per_table_keys: Vec<Vec<FieldKey>> = Vec::with_capacity(app.tables.len());
+        let mut per_table_keys: Vec<FieldKey> = Vec::new();
 
         let num_tables = app.tables.len();
         for ti in 0..num_tables {
@@ -151,7 +151,7 @@ impl MtlSwitch {
             for (fi, (field, engine)) in te.engines.iter().enumerate() {
                 shadows.extend(engine.shadows_for(*field, keys[fi], field.bit_width())?);
             }
-            per_table_keys.push(keys);
+            per_table_keys.extend(keys);
 
             let last = ti + 1 == num_tables;
             if last {

@@ -336,6 +336,49 @@ impl IndexTable {
         self.completion_entries
     }
 
+    /// Raw codec view of the bucket array: one `(hash, priority, row)`
+    /// triple per slot, vacant slots carrying the [`EMPTY`] hash sentinel.
+    /// Serialized verbatim so a decoded table is byte-identical on
+    /// re-encode (probe order depends on physical slot placement).
+    pub(crate) fn raw_buckets(&self) -> impl Iterator<Item = (u64, u32, u32)> + '_ {
+        self.buckets.iter().map(|b| (b.hash, b.priority, b.row))
+    }
+
+    /// Raw codec view of the inline key arena.
+    pub(crate) fn raw_keys(&self) -> &[Label] {
+        &self.keys
+    }
+
+    /// Fixed key width in label positions (codec access).
+    pub(crate) fn positions(&self) -> usize {
+        self.positions
+    }
+
+    /// Rebuilds a table from decoded raw parts.
+    ///
+    /// # Panics
+    /// Panics if the bucket count is not zero or a power of two, or if the
+    /// key arena length disagrees with `buckets.len() * positions`.
+    pub(crate) fn from_raw_parts(
+        buckets: Vec<(u64, u32, u32)>,
+        keys: Vec<Label>,
+        positions: usize,
+        len: usize,
+        primary_entries: usize,
+        completion_entries: usize,
+    ) -> Self {
+        assert!(
+            buckets.is_empty() || buckets.len().is_power_of_two(),
+            "bucket capacity must be zero or a power of two"
+        );
+        assert_eq!(keys.len(), buckets.len() * positions, "key arena width mismatch");
+        let buckets = buckets
+            .into_iter()
+            .map(|(hash, priority, row)| Bucket { hash, priority, row })
+            .collect();
+        Self { buckets, keys, positions, len, primary_entries, completion_entries }
+    }
+
     /// Memory report: the open-addressed array at its actual allocated
     /// capacity (≤ 50 % load), each slot one wide word of
     /// `valid + key(label bits) + priority + row`.

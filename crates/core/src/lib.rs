@@ -42,6 +42,7 @@ pub mod config;
 pub mod engine;
 pub mod incremental;
 pub mod index;
+pub mod persist;
 pub mod report;
 pub mod switch;
 pub mod update;

@@ -125,12 +125,16 @@ impl AppEngine {
     }
 }
 
-/// Per-rule build record: the rule itself plus its engine-facing keys per
-/// table (used by incremental updates and the update-plan generator).
+/// Per-rule build record: the rule itself plus its engine-facing keys,
+/// flattened table-major (table 0's fields first, then table 1's, …) —
+/// used by incremental updates and the update-plan generator. Flat
+/// storage matters: with 10⁴–10⁵ of these decoded per cold start, one
+/// allocation per rule instead of one per table is a measurable slice
+/// of the restore budget.
 #[derive(Debug, Clone)]
 pub(crate) struct StoredRule {
     pub rule: offilter::Rule,
-    pub keys: Vec<Vec<FieldKey>>,
+    pub keys: Vec<FieldKey>,
 }
 
 /// Outcome of classifying one header.
@@ -743,12 +747,12 @@ pub(crate) fn try_build_app(
     let mut specs: Vec<Vec<u32>> = Vec::with_capacity(set.len());
     let mut first_cost: HashMap<(usize, usize, FieldKey), usize> = HashMap::new();
 
+    let total_fields: usize = tables.iter().map(|te| te.engines.len()).sum();
     for rule in &set.rules {
-        let mut per_table_keys = Vec::with_capacity(tables.len());
+        let mut per_table_keys = Vec::with_capacity(total_fields);
         let mut per_table_labels = Vec::with_capacity(tables.len());
         let mut per_table_spec = Vec::with_capacity(tables.len());
         for (ti, te) in tables.iter_mut().enumerate() {
-            let mut keys = Vec::with_capacity(te.engines.len());
             let mut table_labels = Vec::new();
             let mut spec = 0;
             for (fi, (field, engine)) in te.engines.iter_mut().enumerate() {
@@ -765,9 +769,8 @@ pub(crate) fn try_build_app(
                 ledger.algorithm_original_records += replay.max(1);
                 spec += outcome.specificity;
                 table_labels.extend(outcome.labels);
-                keys.push(key);
+                per_table_keys.push(key);
             }
-            per_table_keys.push(keys);
             per_table_labels.push(table_labels);
             per_table_spec.push(spec);
         }
@@ -790,6 +793,7 @@ pub(crate) fn try_build_app(
     let mut final_rule_ids: Vec<u32> = Vec::with_capacity(set.len());
     for (ri, rule) in set.rules.iter().enumerate() {
         let mut meta: Option<u32> = None;
+        let mut field_base = 0usize;
         for ti in 0..tables.len() {
             let mut key: Vec<Label> = Vec::new();
             let mut shadows: Vec<Vec<Label>> = Vec::new();
@@ -799,9 +803,10 @@ pub(crate) fn try_build_app(
             }
             key.extend(labels[ri][ti].iter().copied());
             for (fi, (field, engine)) in tables[ti].engines.iter().enumerate() {
-                let k = rule_keys[ri].keys[ti][fi];
+                let k = rule_keys[ri].keys[field_base + fi];
                 shadows.extend(engine.shadows_for(*field, k, field.bit_width())?);
             }
+            field_base += tables[ti].engines.len();
             let last = ti + 1 == tables.len();
             if last {
                 let row = tables[ti].actions.push(ActionRow::Final(rule.action));

@@ -1,0 +1,137 @@
+//! Named decode/store errors.
+//!
+//! Every way a snapshot or WAL can be bad has its own variant: the chaos
+//! suite injects each corruption class and asserts the decoder names it
+//! (rather than panicking, looping, or — worst — decoding garbage).
+
+use std::fmt;
+use std::io;
+
+/// Why a snapshot, WAL or store operation was rejected.
+#[derive(Debug)]
+pub enum PersistError {
+    /// The input ended before a read completed (torn/short write).
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The file does not start with the snapshot magic.
+    BadMagic {
+        /// The first bytes actually found.
+        found: [u8; 8],
+    },
+    /// The container format version is newer than this decoder.
+    UnsupportedVersion {
+        /// Version stamped in the header.
+        found: u32,
+        /// Highest version this build decodes.
+        supported: u32,
+    },
+    /// A checksum did not match (bit flip, partial overwrite).
+    ChecksumMismatch {
+        /// Which checksum failed (`"header"`, `"section"`, ...).
+        context: &'static str,
+        /// Checksum recorded in the file.
+        expected: u64,
+        /// Checksum computed over the bytes present.
+        actual: u64,
+    },
+    /// A section-table entry points outside the file.
+    SectionOutOfRange {
+        /// Section id.
+        id: u32,
+        /// Recorded offset.
+        offset: u64,
+        /// Recorded length.
+        len: u64,
+        /// Actual file length.
+        file_len: u64,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// Section id looked up.
+        id: u32,
+    },
+    /// The section table lists the same id twice.
+    DuplicateSection {
+        /// Offending section id.
+        id: u32,
+    },
+    /// A section decoded cleanly but left unconsumed bytes.
+    TrailingBytes {
+        /// Which decode left the residue.
+        context: &'static str,
+        /// Leftover byte count.
+        extra: usize,
+    },
+    /// Structurally invalid content (bad tag, out-of-range index,
+    /// impossible length) inside an otherwise well-framed section.
+    Malformed {
+        /// What was being decoded.
+        context: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The write-ahead log is corrupt beyond its (tolerated) torn tail.
+    WalCorrupt {
+        /// Byte offset of the bad record.
+        offset: u64,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated { context, needed, available } => {
+                write!(f, "truncated input in {context}: needed {needed} bytes, had {available}")
+            }
+            Self::BadMagic { found } => write!(f, "bad snapshot magic {found:02x?}"),
+            Self::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported container version {found} (decoder supports <= {supported})")
+            }
+            Self::ChecksumMismatch { context, expected, actual } => {
+                write!(f, "{context} checksum mismatch: file says {expected:#018x}, bytes hash to {actual:#018x}")
+            }
+            Self::SectionOutOfRange { id, offset, len, file_len } => {
+                write!(
+                    f,
+                    "section {id} spans {offset}..{} but file is {file_len} bytes",
+                    offset.saturating_add(*len)
+                )
+            }
+            Self::MissingSection { id } => write!(f, "required section {id} missing"),
+            Self::DuplicateSection { id } => write!(f, "section {id} listed twice"),
+            Self::TrailingBytes { context, extra } => {
+                write!(f, "{context} decoded with {extra} trailing bytes")
+            }
+            Self::Malformed { context, detail } => write!(f, "malformed {context}: {detail}"),
+            Self::WalCorrupt { offset, detail } => {
+                write!(f, "WAL corrupt at byte {offset}: {detail}")
+            }
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}

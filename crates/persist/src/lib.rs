@@ -1,0 +1,63 @@
+//! # mtl-persist — crash-only durability for the control plane
+//!
+//! The runtime's control plane is *crash-only*: there is no clean-shutdown
+//! path that the recovery path does not also exercise. Two artifacts make
+//! that possible:
+//!
+//! * **Snapshots** — a versioned, sectioned binary container
+//!   ([`container`]) holding a serialized classifier image. Every section
+//!   is independently checksummed and the decoder rejects torn, truncated
+//!   or bit-flipped files with named errors ([`PersistError`]) instead of
+//!   panicking or silently mis-decoding.
+//! * **A write-ahead rule log** ([`wal`]) — every `add_rule`/`remove_rule`
+//!   is framed, checksummed and fsynced *before* it is applied, so rules
+//!   admitted between checkpoints survive a crash. Recovery is always
+//!   `newest valid snapshot + WAL tail`.
+//!
+//! The WAL is never truncated when a checkpoint is written. Instead each
+//! record carries a monotone sequence number and each snapshot records the
+//! sequence watermark current at checkpoint time; restore replays only the
+//! records at or past the watermark of the snapshot it actually picked.
+//! That one decision makes the nasty cases fall out for free: a torn or
+//! fsync-dropped checkpoint simply loses the race to be "newest valid" and
+//! recovery falls back to an older snapshot plus a longer replay — never
+//! to silent rule loss.
+//!
+//! [`store::Store`] ties the two together over a directory and is what the
+//! runtime's supervisor drives; [`Persistent`] is the image codec contract
+//! a classifier implements to participate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod container;
+pub mod error;
+pub mod store;
+pub mod wal;
+pub mod wire;
+
+pub use container::{checksum64, Container, ContainerWriter, FORMAT_VERSION, MAGIC};
+pub use error::PersistError;
+pub use store::{CheckpointMode, RestorePoint, Store};
+pub use wal::{WalOp, WalRecord, WalTail};
+pub use wire::{Reader, Writer};
+
+/// The image codec contract: a classifier that can serialize itself into
+/// a self-contained byte image and decode back from one.
+///
+/// Determinism matters more than compactness here: encoding the *same*
+/// logical state must produce the *same* bytes, because the chaos suite
+/// proves post-restore state correct by comparing images byte-for-byte
+/// against a pre-crash oracle.
+pub trait Persistent: Sized {
+    /// Serializes the full state into a sectioned snapshot image.
+    fn encode_image(&self) -> Vec<u8>;
+
+    /// Decodes an image produced by [`Persistent::encode_image`].
+    ///
+    /// # Errors
+    /// Returns a named [`PersistError`] for torn, truncated or corrupted
+    /// input; implementations must never panic on hostile bytes.
+    fn decode_image(bytes: &[u8]) -> Result<Self, PersistError>;
+}

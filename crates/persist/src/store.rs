@@ -1,0 +1,459 @@
+//! The durable checkpoint + WAL store over a directory.
+//!
+//! Layout inside the store directory:
+//!
+//! ```text
+//! wal.log                    append-only record stream (see `wal`)
+//! snapshot-<version>.snap    one container per checkpoint (see `container`)
+//! ```
+//!
+//! Checkpoint files are written temp-then-rename with an fsync in
+//! between, so a crash leaves either the old set of snapshots or the old
+//! set plus one complete new file — never a half-visible one *unless* the
+//! fault plan says otherwise: [`CheckpointMode::Torn`] and
+//! [`CheckpointMode::SkipFsync`] deliberately break those guarantees so
+//! the chaos suite can prove [`Store::restore`] shrugs them off (a torn
+//! file fails its checksums and is skipped; an unsynced file vanishes at
+//! [`Store::simulate_crash`] — both fall back to the previous snapshot
+//! plus a longer WAL replay).
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::container::{Container, ContainerWriter};
+use crate::error::PersistError;
+use crate::wal::{frame_record, replay, WalRecord, WalTail};
+use crate::wire::Writer;
+
+/// Section id of the checkpoint metadata (version + WAL watermark).
+const SEC_META: u32 = 1;
+/// Section id of the opaque classifier image.
+const SEC_IMAGE: u32 = 2;
+
+const WAL_FILE: &str = "wal.log";
+const SNAP_PREFIX: &str = "snapshot-";
+const SNAP_SUFFIX: &str = ".snap";
+
+/// How a checkpoint write should (mis)behave — the durable path, or one
+/// of the injected control-plane faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointMode {
+    /// Temp file → fsync → rename → directory fsync.
+    Durable,
+    /// Rename without any fsync: the file looks fine but is dropped by
+    /// the next [`Store::simulate_crash`].
+    SkipFsync,
+    /// Persist only the first `keep` bytes (a torn write caught by the
+    /// container checksums at restore).
+    Torn {
+        /// Bytes of the container that reach the disk.
+        keep: usize,
+    },
+}
+
+/// Everything needed to rebuild control-plane state after a crash.
+#[derive(Debug)]
+pub struct RestorePoint {
+    /// Snapshot version (the runtime's table version at checkpoint).
+    pub version: u64,
+    /// WAL watermark: replay starts at this sequence number.
+    pub wal_seq: u64,
+    /// The serialized classifier image.
+    pub image: Vec<u8>,
+    /// Clean WAL records with `seq >= wal_seq`, in order.
+    pub wal_tail: Vec<WalRecord>,
+    /// Snapshot files that failed validation and were skipped.
+    pub skipped_checkpoints: usize,
+    /// Whether the WAL scan ended in a torn tail.
+    pub wal_torn: bool,
+}
+
+/// A checkpoint + WAL store rooted at one directory.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    wal: File,
+    wal_path: PathBuf,
+    /// Bytes of clean log currently on disk (the self-heal truncation
+    /// target for torn appends).
+    wal_len: u64,
+    next_seq: u64,
+    /// Checkpoint files renamed into place without fsync; a simulated
+    /// crash deletes them.
+    unsynced: Vec<PathBuf>,
+    wal_was_torn_at_open: bool,
+    self_heals: u64,
+}
+
+impl Store {
+    /// Opens (creating if needed) the store at `dir`, scanning the WAL to
+    /// find the next sequence number. A torn WAL tail left by a crash is
+    /// truncated away here — the partial record never became durable
+    /// state, so dropping it *is* the correct recovery.
+    ///
+    /// # Errors
+    /// I/O failures only; corrupt snapshots are dealt with lazily by
+    /// [`Store::restore`].
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, PersistError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let wal_path = dir.join(WAL_FILE);
+        let existing = match fs::read(&wal_path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let (records, tail) = replay(&existing);
+        let clean_len = match &tail {
+            WalTail::Clean => existing.len() as u64,
+            WalTail::Torn { offset, .. } => *offset,
+        };
+        let next_seq = records.last().map_or(0, |r| r.seq + 1);
+        let wal = OpenOptions::new().create(true).append(true).open(&wal_path)?;
+        if clean_len < existing.len() as u64 {
+            wal.set_len(clean_len)?;
+            wal.sync_data()?;
+        }
+        Ok(Self {
+            dir,
+            wal,
+            wal_path,
+            wal_len: clean_len,
+            next_seq,
+            unsynced: Vec::new(),
+            wal_was_torn_at_open: !matches!(tail, WalTail::Clean),
+            self_heals: 0,
+        })
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the write-ahead log file.
+    #[must_use]
+    pub fn wal_path(&self) -> &Path {
+        &self.wal_path
+    }
+
+    /// Sequence number the next append will use (also the watermark a
+    /// checkpoint taken *now* would record).
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Whether opening found (and truncated) a torn WAL tail.
+    #[must_use]
+    pub fn wal_was_torn_at_open(&self) -> bool {
+        self.wal_was_torn_at_open
+    }
+
+    /// Torn appends healed by truncating back to the last clean record.
+    #[must_use]
+    pub fn self_heals(&self) -> u64 {
+        self.self_heals
+    }
+
+    /// Durably appends one record; returns its sequence number. The
+    /// record is fsynced before this returns — that is the write-ahead
+    /// guarantee callers rely on to apply the operation afterwards.
+    ///
+    /// # Errors
+    /// I/O failures; on error the log is unchanged.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, PersistError> {
+        let seq = self.next_seq;
+        let frame = frame_record(seq, payload);
+        self.wal.write_all(&frame)?;
+        self.wal.sync_data()?;
+        self.wal_len += frame.len() as u64;
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// Injected fault: only the first `keep` bytes of the framed record
+    /// reach the disk. The store heals itself by truncating back to the
+    /// last clean record and reports failure — per write-ahead
+    /// discipline the caller must then *not* apply the operation, which
+    /// keeps live state and durable state in agreement.
+    ///
+    /// # Errors
+    /// Always, by construction.
+    pub fn append_torn(&mut self, payload: &[u8], keep: usize) -> Result<u64, PersistError> {
+        let frame = frame_record(self.next_seq, payload);
+        let keep = keep.min(frame.len().saturating_sub(1));
+        self.wal.write_all(&frame[..keep])?;
+        self.wal.sync_data()?;
+        // Self-heal: drop the partial frame so later appends land on a
+        // record boundary instead of behind unreachable garbage.
+        self.wal.set_len(self.wal_len)?;
+        self.wal.sync_data()?;
+        self.self_heals += 1;
+        Err(PersistError::WalCorrupt {
+            offset: self.wal_len,
+            detail: format!("injected torn append ({keep} of {} bytes)", frame.len()),
+        })
+    }
+
+    fn snapshot_path(&self, version: u64) -> PathBuf {
+        self.dir.join(format!("{SNAP_PREFIX}{version:020}{SNAP_SUFFIX}"))
+    }
+
+    /// Writes a checkpoint of `image` at table `version`, recording the
+    /// current WAL watermark. Returns the snapshot path.
+    ///
+    /// # Errors
+    /// I/O failures.
+    pub fn checkpoint(
+        &mut self,
+        version: u64,
+        image: &[u8],
+        mode: CheckpointMode,
+    ) -> Result<PathBuf, PersistError> {
+        let mut meta = Writer::new();
+        meta.put_u64(version);
+        meta.put_u64(self.next_seq);
+        let mut container = ContainerWriter::new();
+        container.section(SEC_META, meta.into_bytes());
+        container.section(SEC_IMAGE, image.to_vec());
+        let bytes = container.finish();
+
+        let final_path = self.snapshot_path(version);
+        match mode {
+            CheckpointMode::Durable => {
+                let tmp = final_path.with_extension("tmp");
+                let mut f = File::create(&tmp)?;
+                f.write_all(&bytes)?;
+                f.sync_all()?;
+                drop(f);
+                fs::rename(&tmp, &final_path)?;
+                // Make the rename itself durable; failure here downgrades
+                // to "maybe lost on crash", which restore tolerates anyway.
+                if let Ok(d) = File::open(&self.dir) {
+                    let _ = d.sync_all();
+                }
+                self.unsynced.retain(|p| p != &final_path);
+            }
+            CheckpointMode::SkipFsync => {
+                let tmp = final_path.with_extension("tmp");
+                let mut f = File::create(&tmp)?;
+                f.write_all(&bytes)?;
+                drop(f);
+                fs::rename(&tmp, &final_path)?;
+                self.unsynced.push(final_path.clone());
+            }
+            CheckpointMode::Torn { keep } => {
+                let keep = keep.min(bytes.len().saturating_sub(1));
+                let mut f = File::create(&final_path)?;
+                f.write_all(&bytes[..keep])?;
+                f.sync_all()?;
+            }
+        }
+        Ok(final_path)
+    }
+
+    /// Simulates the machine dying now: checkpoint files whose writes
+    /// were never fsynced disappear, exactly as a real power cut could
+    /// make them. (The WAL is fsynced per append, so it survives as-is.)
+    ///
+    /// # Errors
+    /// I/O failures while deleting.
+    pub fn simulate_crash(&mut self) -> Result<(), PersistError> {
+        for path in self.unsynced.drain(..) {
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot files currently on disk, oldest first.
+    ///
+    /// # Errors
+    /// I/O failures while listing.
+    pub fn snapshots(&self) -> Result<Vec<PathBuf>, PersistError> {
+        let mut found = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+            if name.starts_with(SNAP_PREFIX) && name.ends_with(SNAP_SUFFIX) {
+                found.push(path);
+            }
+        }
+        found.sort();
+        Ok(found)
+    }
+
+    /// Picks the newest *valid* snapshot, verifies it end-to-end, and
+    /// pairs it with the WAL records past its watermark. Invalid
+    /// snapshots (torn, truncated, bit-flipped, unparseable) are counted
+    /// and skipped — recovery falls back to the next-older candidate.
+    /// Returns `Ok(None)` for an empty store.
+    ///
+    /// # Errors
+    /// I/O failures reading the directory or WAL; *corruption* never
+    /// errors, it just narrows the candidate set.
+    pub fn restore(&mut self) -> Result<Option<RestorePoint>, PersistError> {
+        let mut skipped = 0usize;
+        let mut chosen: Option<(u64, u64, Vec<u8>)> = None;
+        for path in self.snapshots()?.into_iter().rev() {
+            match Self::read_snapshot(&path) {
+                Ok((version, wal_seq, image)) => {
+                    chosen = Some((version, wal_seq, image));
+                    break;
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+        let Some((version, wal_seq, image)) = chosen else {
+            return Ok(None);
+        };
+        let wal_bytes = fs::read(&self.wal_path)?;
+        let (records, tail) = replay(&wal_bytes);
+        let wal_tail: Vec<WalRecord> = records.into_iter().filter(|r| r.seq >= wal_seq).collect();
+        Ok(Some(RestorePoint {
+            version,
+            wal_seq,
+            image,
+            wal_tail,
+            skipped_checkpoints: skipped,
+            wal_torn: !matches!(tail, WalTail::Clean),
+        }))
+    }
+
+    fn read_snapshot(path: &Path) -> Result<(u64, u64, Vec<u8>), PersistError> {
+        let bytes = fs::read(path)?;
+        let container = Container::parse(&bytes)?;
+        let mut meta = container.section(SEC_META)?;
+        let version = meta.u64()?;
+        let wal_seq = meta.u64()?;
+        meta.finish()?;
+        let mut image = container.section(SEC_IMAGE)?;
+        Ok((version, wal_seq, image.rest().to_vec()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NONCE: AtomicU64 = AtomicU64::new(0);
+        let n = NONCE.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("mtl-persist-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn checkpoint_then_wal_tail_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let mut store = Store::open(&dir).unwrap();
+        store.append(b"pre-checkpoint").unwrap();
+        store.checkpoint(5, b"image-v5", CheckpointMode::Durable).unwrap();
+        store.append(b"post-1").unwrap();
+        store.append(b"post-2").unwrap();
+
+        let point = store.restore().unwrap().expect("snapshot present");
+        assert_eq!(point.version, 5);
+        assert_eq!(point.image, b"image-v5");
+        assert_eq!(point.skipped_checkpoints, 0);
+        assert!(!point.wal_torn);
+        // Only records past the watermark replay.
+        let payloads: Vec<&[u8]> = point.wal_tail.iter().map(|r| r.payload.as_slice()).collect();
+        assert_eq!(payloads, vec![b"post-1".as_slice(), b"post-2".as_slice()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_checkpoint_falls_back_to_older_snapshot() {
+        let dir = temp_dir("torn");
+        let mut store = Store::open(&dir).unwrap();
+        store.checkpoint(1, b"old-image", CheckpointMode::Durable).unwrap();
+        store.append(b"op-a").unwrap();
+        store.checkpoint(2, b"new-image", CheckpointMode::Torn { keep: 30 }).unwrap();
+        store.append(b"op-b").unwrap();
+
+        let point = store.restore().unwrap().expect("older snapshot valid");
+        assert_eq!(point.version, 1, "torn v2 skipped");
+        assert_eq!(point.image, b"old-image");
+        assert_eq!(point.skipped_checkpoints, 1);
+        // Fallback replays the *longer* WAL tail: both ops.
+        assert_eq!(point.wal_tail.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_dropped_checkpoint_vanishes_at_crash() {
+        let dir = temp_dir("fsync");
+        let mut store = Store::open(&dir).unwrap();
+        store.checkpoint(1, b"durable", CheckpointMode::Durable).unwrap();
+        store.append(b"op").unwrap();
+        store.checkpoint(2, b"ghost", CheckpointMode::SkipFsync).unwrap();
+
+        // Before the crash the unsynced file happens to be readable.
+        assert_eq!(store.restore().unwrap().unwrap().version, 2);
+        store.simulate_crash().unwrap();
+        let point = store.restore().unwrap().unwrap();
+        assert_eq!(point.version, 1, "unsynced v2 lost to the crash");
+        assert_eq!(point.wal_tail.len(), 1, "its rules survive via the WAL");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_append_self_heals_and_reports_failure() {
+        let dir = temp_dir("heal");
+        let mut store = Store::open(&dir).unwrap();
+        store.append(b"good").unwrap();
+        let err = store.append_torn(b"lost-forever", 7).unwrap_err();
+        assert!(matches!(err, PersistError::WalCorrupt { .. }));
+        assert_eq!(store.self_heals(), 1);
+        // The log is clean again and sequence numbers did not advance
+        // past the failed record.
+        store.append(b"after").unwrap();
+        drop(store);
+        let mut reopened = Store::open(&dir).unwrap();
+        assert!(!reopened.wal_was_torn_at_open());
+        reopened.checkpoint(0, b"", CheckpointMode::Durable).unwrap();
+        let point = reopened.restore().unwrap().unwrap();
+        assert_eq!(point.wal_tail.len(), 0, "watermark past both records");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_wal_tail_is_truncated_at_open() {
+        let dir = temp_dir("tail");
+        let mut store = Store::open(&dir).unwrap();
+        store.append(b"keep-me").unwrap();
+        drop(store);
+        // Simulate a crash mid-append: raw partial frame at the tail.
+        let wal_path = dir.join(WAL_FILE);
+        let mut f = OpenOptions::new().append(true).open(&wal_path).unwrap();
+        let partial = frame_record(1, b"half-written");
+        f.write_all(&partial[..partial.len() / 2]).unwrap();
+        drop(f);
+
+        let store = Store::open(&dir).unwrap();
+        assert!(store.wal_was_torn_at_open());
+        assert_eq!(store.next_seq(), 1, "clean prefix preserved, torn tail dropped");
+        let (records, tail) = replay(&fs::read(&wal_path).unwrap());
+        assert_eq!(records.len(), 1);
+        assert_eq!(tail, WalTail::Clean, "open healed the file");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_store_restores_to_none() {
+        let dir = temp_dir("empty");
+        let mut store = Store::open(&dir).unwrap();
+        assert!(store.restore().unwrap().is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

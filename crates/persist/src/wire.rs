@@ -1,0 +1,320 @@
+//! Little-endian wire primitives.
+//!
+//! [`Writer`] appends fixed-width little-endian scalars and
+//! length-prefixed blobs to a growable buffer; [`Reader`] is its
+//! bounds-checked inverse. Every `Reader` read that would run past the
+//! end returns [`PersistError::Truncated`] naming the decode context, so
+//! a short file fails loudly at the exact field that fell off the end.
+
+use crate::error::PersistError;
+
+/// Append-only little-endian encoder.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, yielding the encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a bool as one byte (0/1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Appends a `u16`, little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u128`, little-endian.
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (the on-disk width is fixed so images
+    /// are portable between 32- and 64-bit hosts).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends a length-prefixed byte blob.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian decoder over a borrowed byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Decode context stitched into every error.
+    context: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps `buf`; `context` names what is being decoded in errors.
+    #[must_use]
+    pub fn new(buf: &'a [u8], context: &'static str) -> Self {
+        Self { buf, pos: 0, context }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        if self.remaining() < n {
+            return Err(PersistError::Truncated {
+                context: self.context,
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, PersistError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool; any byte other than 0/1 is malformed.
+    pub fn bool(&mut self) -> Result<bool, PersistError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(PersistError::Malformed {
+                context: self.context,
+                detail: format!("bool byte {other}"),
+            }),
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, PersistError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("length checked")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, PersistError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("length checked")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, PersistError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("length checked")))
+    }
+
+    /// Reads a little-endian `u128`.
+    pub fn u128(&mut self) -> Result<u128, PersistError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().expect("length checked")))
+    }
+
+    /// Reads a `u64`-encoded `usize`, rejecting values this host cannot
+    /// represent.
+    pub fn usize(&mut self) -> Result<usize, PersistError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| PersistError::Malformed {
+            context: self.context,
+            detail: format!("length {v} exceeds host usize"),
+        })
+    }
+
+    /// Reads a sequence length and sanity-checks it against the bytes
+    /// actually remaining: a sequence of `len` elements each at least
+    /// `min_elem_bytes` wide cannot be longer than the residue. This is
+    /// what keeps a bit-flipped length field from turning into a
+    /// multi-gigabyte allocation before the truncation is noticed.
+    pub fn seq_len(&mut self, min_elem_bytes: usize) -> Result<usize, PersistError> {
+        let len = self.usize()?;
+        let floor = len.saturating_mul(min_elem_bytes.max(1));
+        if floor > self.remaining() {
+            return Err(PersistError::Truncated {
+                context: self.context,
+                needed: floor,
+                available: self.remaining(),
+            });
+        }
+        Ok(len)
+    }
+
+    /// Reads a length-prefixed byte blob.
+    pub fn bytes(&mut self) -> Result<&'a [u8], PersistError> {
+        let len = self.seq_len(1)?;
+        self.take(len)
+    }
+
+    /// Reads `n` raw bytes with a single bounds check — for
+    /// fixed-stride records the caller decodes in bulk (arena decode is
+    /// the cold-start hot path; per-element checked reads dominate it).
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], PersistError> {
+        self.take(n)
+    }
+
+    /// Reads `count` little-endian `u64`s as one bounds-checked slab,
+    /// yielding them without per-element checks.
+    pub fn u64_iter(
+        &mut self,
+        count: usize,
+    ) -> Result<impl Iterator<Item = u64> + 'a, PersistError> {
+        let n = count.checked_mul(8).ok_or(PersistError::Truncated {
+            context: self.context,
+            needed: usize::MAX,
+            available: self.remaining(),
+        })?;
+        let raw = self.take(n)?;
+        Ok(raw.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk"))))
+    }
+
+    /// Consumes and returns every remaining byte.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let out = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        out
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, PersistError> {
+        let raw = self.bytes()?;
+        String::from_utf8(raw.to_vec()).map_err(|e| PersistError::Malformed {
+            context: self.context,
+            detail: format!("invalid UTF-8: {e}"),
+        })
+    }
+
+    /// Asserts every byte was consumed; leftover bytes in a section mean
+    /// the encoder and decoder disagree about the format.
+    pub fn finish(self) -> Result<(), PersistError> {
+        if self.remaining() != 0 {
+            return Err(PersistError::TrailingBytes {
+                context: self.context,
+                extra: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_u128(u128::MAX / 3);
+        w.put_str("boza");
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes, "test");
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.u128().unwrap(), u128::MAX / 3);
+        assert_eq!(r.str().unwrap(), "boza");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn short_reads_name_the_context() {
+        let mut r = Reader::new(&[1, 2], "short-ctx");
+        let err = r.u32().unwrap_err();
+        match err {
+            PersistError::Truncated { context, needed, available } => {
+                assert_eq!(context, "short-ctx");
+                assert_eq!(needed, 4);
+                assert_eq!(available, 2);
+            }
+            other => panic!("expected Truncated, got {other}"),
+        }
+    }
+
+    #[test]
+    fn absurd_lengths_are_rejected_before_allocating() {
+        // A length field claiming u64::MAX elements must fail as
+        // truncation, not attempt the allocation.
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "len");
+        assert!(matches!(
+            r.seq_len(1),
+            Err(PersistError::Truncated { .. } | PersistError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut w = Writer::new();
+        w.put_u32(5);
+        w.put_u8(9);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "trail");
+        r.u32().unwrap();
+        assert!(matches!(r.finish(), Err(PersistError::TrailingBytes { extra: 1, .. })));
+    }
+}

@@ -1,0 +1,255 @@
+//! The corrupt-snapshot corpus (S6): a committed set of broken `.snap`
+//! files under `tests/data/`, each derived from one known-good baseline
+//! by a specific corruption, plus a fuzz-ish proptest that truncates
+//! and bit-flips the baseline at random positions.
+//!
+//! The decoder contract under test: hostile bytes **never panic**, and
+//! every malformation maps to a *named* [`PersistError`] — short file →
+//! `Truncated`, wrong first bytes → `BadMagic`, flipped payload bit →
+//! `ChecksumMismatch`, section table pointing outside the file →
+//! `SectionOutOfRange`. At the store level, a corrupt snapshot is
+//! *skipped* (counted, never fatal) and restore falls back to the next
+//! older valid checkpoint.
+//!
+//! The corpus is generated from the baseline builder below, so it can
+//! never drift from the on-disk format: `corpus_files_match_generator`
+//! fails if the committed bytes disagree. After a deliberate format
+//! change, regenerate with
+//! `PERSIST_CORPUS_REGEN=1 cargo test -p mtl-persist --test corrupt_corpus`.
+
+use mtl_persist::{
+    checksum64, codec, Container, ContainerWriter, PersistError, Store, Writer, MAGIC,
+};
+use offilter::{Rule, RuleAction};
+use oflow::{FlowMatch, MatchFieldKind};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+const SEC_META: u32 = 1;
+const SEC_IMAGE: u32 = 2;
+const FIXED_HEADER: usize = 8 + 4 + 4;
+const SECTION_ENTRY: usize = 4 + 8 + 8 + 8;
+
+fn data_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data")
+}
+
+/// The known-good baseline: a realistic two-section snapshot (meta:
+/// version 3 at WAL watermark 7; image: three codec-encoded rules),
+/// built exactly the way [`Store::checkpoint`] lays files out.
+fn baseline() -> Vec<u8> {
+    let rules = [
+        Rule::new(
+            1,
+            8,
+            FlowMatch::any().with_prefix(MatchFieldKind::Ipv4Dst, 0x0A00_0000, 8).unwrap(),
+            RuleAction::Forward(1),
+        ),
+        Rule::new(
+            2,
+            24,
+            FlowMatch::any().with_prefix(MatchFieldKind::Ipv4Dst, 0x0A01_0200, 24).unwrap(),
+            RuleAction::Forward(2),
+        ),
+        Rule::new(3, 0, FlowMatch::any(), RuleAction::Deny),
+    ];
+    let mut image = Writer::new();
+    image.put_usize(rules.len());
+    for rule in &rules {
+        codec::encode_rule(&mut image, rule);
+    }
+    let mut meta = Writer::new();
+    meta.put_u64(3); // snapshot version
+    meta.put_u64(7); // WAL watermark
+    let mut container = ContainerWriter::new();
+    container.section(SEC_META, meta.into_bytes());
+    container.section(SEC_IMAGE, image.into_bytes());
+    container.finish()
+}
+
+/// Header length of the two-section baseline (section table + checksum).
+fn header_len() -> usize {
+    FIXED_HEADER + SECTION_ENTRY * 2 + 8
+}
+
+/// Re-seals the header checksum after a deliberate header edit, so the
+/// corruption under test — not the seal — is what the decoder reports.
+fn reseal_header(bytes: &mut [u8]) {
+    let n = header_len();
+    let fixed = checksum64(&bytes[..n - 8]);
+    bytes[n - 8..n].copy_from_slice(&fixed.to_le_bytes());
+}
+
+/// The full decode a restore performs on one snapshot file: parse the
+/// container, read + verify both sections, structure-check the meta.
+fn decode_snapshot(bytes: &[u8]) -> Result<(u64, u64, Vec<u8>), PersistError> {
+    let container = Container::parse(bytes)?;
+    let mut meta = container.section(SEC_META)?;
+    let version = meta.u64()?;
+    let wal_seq = meta.u64()?;
+    meta.finish()?;
+    let mut image = container.section(SEC_IMAGE)?;
+    Ok((version, wal_seq, image.rest().to_vec()))
+}
+
+/// The corpus: file name → bytes. Every entry is the baseline plus one
+/// specific corruption.
+fn corpus() -> Vec<(&'static str, Vec<u8>)> {
+    let good = baseline();
+
+    // Cut mid-way through the section table: too short to even finish
+    // parsing the header.
+    let truncated_header = good[..FIXED_HEADER + SECTION_ENTRY / 2].to_vec();
+
+    // Cut mid-way through the last payload: the header parses, but the
+    // image section's recorded extent now runs past end-of-file.
+    let truncated_payload = good[..good.len() - 9].to_vec();
+
+    let mut bad_magic = good.clone();
+    bad_magic[..8].copy_from_slice(b"NOTASNAP");
+
+    // One flipped bit in the image payload: header is fine, the
+    // section checksum is not.
+    let mut bad_checksum = good.clone();
+    let last = bad_checksum.len() - 1;
+    bad_checksum[last] ^= 0x10;
+
+    // The image section's offset points far outside the file; the
+    // header is re-sealed so only the range check can fire.
+    let mut out_of_range = good.clone();
+    let image_entry_offset = FIXED_HEADER + SECTION_ENTRY + 4;
+    out_of_range[image_entry_offset..image_entry_offset + 8]
+        .copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+    reseal_header(&mut out_of_range);
+
+    vec![
+        ("valid.snap", good),
+        ("truncated_header.snap", truncated_header),
+        ("truncated_payload.snap", truncated_payload),
+        ("bad_magic.snap", bad_magic),
+        ("bad_checksum.snap", bad_checksum),
+        ("section_offset_out_of_range.snap", out_of_range),
+    ]
+}
+
+/// The committed corpus must equal the generator's output — set
+/// `PERSIST_CORPUS_REGEN=1` to rewrite it after a deliberate format
+/// change.
+#[test]
+fn corpus_files_match_generator() {
+    let dir = data_dir();
+    let regen = std::env::var_os("PERSIST_CORPUS_REGEN").is_some();
+    if regen {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    for (name, bytes) in corpus() {
+        let path = dir.join(name);
+        if regen {
+            std::fs::write(&path, &bytes).unwrap();
+            continue;
+        }
+        let committed = std::fs::read(&path)
+            .unwrap_or_else(|e| panic!("{name} missing from tests/data ({e}); regenerate"));
+        assert_eq!(committed, bytes, "{name} drifted from the format; regenerate the corpus");
+    }
+}
+
+#[test]
+fn each_corpus_file_maps_to_its_named_error() {
+    for (name, bytes) in corpus() {
+        let outcome = decode_snapshot(&bytes);
+        match name {
+            "valid.snap" => {
+                let (version, wal_seq, image) = outcome.unwrap();
+                assert_eq!((version, wal_seq), (3, 7));
+                assert!(!image.is_empty());
+            }
+            "truncated_header.snap" | "truncated_payload.snap" => assert!(
+                matches!(
+                    outcome,
+                    Err(PersistError::Truncated { .. } | PersistError::SectionOutOfRange { .. })
+                ),
+                "{name}: {outcome:?}"
+            ),
+            "bad_magic.snap" => {
+                let Err(PersistError::BadMagic { found }) = outcome else {
+                    panic!("{name}: {outcome:?}");
+                };
+                assert_eq!(&found, b"NOTASNAP");
+                assert_ne!(found, MAGIC);
+            }
+            "bad_checksum.snap" => assert!(
+                matches!(outcome, Err(PersistError::ChecksumMismatch { context: "section", .. })),
+                "{name}: {outcome:?}"
+            ),
+            "section_offset_out_of_range.snap" => assert!(
+                matches!(outcome, Err(PersistError::SectionOutOfRange { id: SEC_IMAGE, .. })),
+                "{name}: {outcome:?}"
+            ),
+            other => panic!("corpus entry {other} has no expectation"),
+        }
+    }
+}
+
+/// Store-level behaviour: every corrupt corpus file planted as a
+/// *newer* snapshot is skipped (and counted), and restore falls back to
+/// the older valid checkpoint.
+#[test]
+fn store_restore_skips_the_whole_corrupt_corpus() {
+    let dir = std::env::temp_dir().join(format!("mtl-persist-corpus-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = Store::open(&dir).unwrap();
+    let good_image = b"the one true image".to_vec();
+    store.checkpoint(1, &good_image, mtl_persist::CheckpointMode::Durable).unwrap();
+    let mut corrupt = 0usize;
+    for (i, (name, bytes)) in corpus().into_iter().enumerate() {
+        if name == "valid.snap" {
+            continue;
+        }
+        // Newer version numbers than the good checkpoint, so restore
+        // must consider (and reject) every one of them first.
+        std::fs::write(dir.join(format!("snapshot-{:020}.snap", 10 + i)), bytes).unwrap();
+        corrupt += 1;
+    }
+    let point = store.restore().unwrap().expect("the valid checkpoint survives");
+    assert_eq!(point.version, 1);
+    assert_eq!(point.image, good_image);
+    assert_eq!(point.skipped_checkpoints, corrupt, "every corrupt file was skipped, none fatal");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Truncation at any point strictly inside the file must fail with
+    /// a named error — never panic, never decode garbage.
+    #[test]
+    fn truncation_never_panics_and_never_decodes(cut in 0usize..1024) {
+        let good = baseline();
+        prop_assume!(cut < good.len());
+        let outcome = decode_snapshot(&good[..cut]);
+        prop_assert!(outcome.is_err(), "cut at {} decoded: {:?}", cut, outcome);
+    }
+
+    /// Every byte of the container is covered by a checksum (header
+    /// seal or per-section digest), so any single bit flip must be
+    /// detected by the full decode — and reported, not panicked.
+    #[test]
+    fn single_bit_flips_are_always_detected(pos in 0usize..1024, bit in 0u32..8) {
+        let mut bytes = baseline();
+        prop_assume!(pos < bytes.len());
+        bytes[pos] ^= 1u8 << bit;
+        let outcome = decode_snapshot(&bytes);
+        prop_assert!(
+            outcome.is_err(),
+            "flip at byte {} bit {} went undetected: {:?}", pos, bit, outcome
+        );
+    }
+
+    /// Arbitrary byte soup (not derived from a valid file) never
+    /// panics the decoder.
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_snapshot(&bytes);
+    }
+}

@@ -1,0 +1,196 @@
+//! The crash-only control plane: durable snapshots + write-ahead log.
+//!
+//! A durable runtime ([`crate::Runtime::with_durability`]) owns a
+//! [`mtl_persist::Store`]: every `add_rule`/`remove_rule` is appended to
+//! the write-ahead rule log **before** the master table is mutated, and
+//! every `checkpoint_every` logged records the control plane writes a
+//! versioned binary snapshot of the whole table image. Recovery — at
+//! startup or when the supervisor escalates a broken runtime to a full
+//! restore — is always the same computation:
+//!
+//! ```text
+//! state = decode(newest valid snapshot) + replay(WAL tail past its watermark)
+//! ```
+//!
+//! Torn snapshots, fsync-dropped checkpoints and cut WAL tails are all
+//! survivable by construction: the store skips invalid checkpoints
+//! (falling back to an older one with a longer replay), and a torn WAL
+//! append *rejects the update* so the live table and the log never
+//! disagree.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+use classifier_api::DynamicClassifier;
+use mtl_persist::{PersistError, Persistent, Store, WalOp};
+use offilter::FilterKind;
+
+/// Configuration for a durable runtime.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding the snapshot files and the write-ahead log.
+    pub dir: PathBuf,
+    /// Checkpoint after this many logged records (min 1).
+    pub checkpoint_every: u64,
+    /// Filter-application kind stamped on logged rule additions. Replay
+    /// inserts through [`DynamicClassifier::insert_rule`], which routes
+    /// by the table's own primary kind, so this tag is informational.
+    pub kind: FilterKind,
+    /// How many shard restarts within [`Self::escalate_window`] escalate
+    /// to a whole-runtime restore.
+    pub escalate_after: u32,
+    /// Sliding window for [`Self::escalate_after`].
+    pub escalate_window: Duration,
+    /// How long a restore waits for live workers to quiesce before
+    /// abandoning them as zombies and respawning over fresh rings.
+    pub quiesce_timeout: Duration,
+}
+
+impl DurabilityConfig {
+    /// Defaults: checkpoint every 8 records, escalate after 8 restarts
+    /// in 2 seconds, 200ms quiesce budget.
+    #[must_use]
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            checkpoint_every: 8,
+            kind: FilterKind::Routing,
+            escalate_after: 8,
+            escalate_window: Duration::from_secs(2),
+            quiesce_timeout: Duration::from_millis(200),
+        }
+    }
+}
+
+/// The escalation knobs the supervisor consults (copied out of
+/// [`DurabilityConfig`] so the generic supervisor never touches the
+/// persistence types).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EscalationPolicy {
+    pub(crate) after: u32,
+    pub(crate) window: Duration,
+    pub(crate) quiesce_timeout: Duration,
+}
+
+impl Default for EscalationPolicy {
+    fn default() -> Self {
+        Self {
+            after: u32::MAX,
+            window: Duration::from_secs(2),
+            quiesce_timeout: Duration::from_millis(200),
+        }
+    }
+}
+
+/// What a recovery actually did — returned by
+/// [`crate::Runtime::with_durability`] so callers can audit the boot.
+#[derive(Debug, Clone, Default)]
+pub struct RestoreReport {
+    /// Whether state came from disk (`false`: empty store, the fallback
+    /// table was used and checkpointed as version 1).
+    pub restored: bool,
+    /// Snapshot version the state was decoded from (0 when fresh).
+    pub version: u64,
+    /// WAL records replayed on top of the snapshot.
+    pub wal_replayed: usize,
+    /// Replayed records the table rejected (e.g. a duplicate add) —
+    /// skipped, not fatal.
+    pub wal_skipped: usize,
+    /// Newer-but-invalid checkpoints (torn, truncated, bit-flipped,
+    /// never synced) that were skipped to reach the restored one.
+    pub skipped_checkpoints: usize,
+    /// Whether the WAL tail was torn (the partial record was discarded
+    /// and the log healed at open).
+    pub wal_torn: bool,
+}
+
+/// The store-side state of a durable runtime, guarded by its own mutex
+/// inside `Shared`. Lock order: the master-table lock is always taken
+/// **before** this one.
+pub(crate) struct DurableState<C> {
+    pub(crate) store: Store,
+    /// Encodes a table image. Captured as a plain `fn` pointer where the
+    /// `Persistent` bound is known (`with_durability`), so the generic
+    /// update paths need no extra bounds.
+    pub(crate) encode: fn(&C) -> Vec<u8>,
+    /// Kind tag stamped on logged additions.
+    pub(crate) kind: FilterKind,
+    /// Version of the last checkpoint written (monotone).
+    pub(crate) snapshot_version: u64,
+    /// Records logged since that checkpoint.
+    pub(crate) records_since: u64,
+    /// Checkpoint cadence (min 1).
+    pub(crate) checkpoint_every: u64,
+}
+
+/// Monotone durability counters, surfaced through
+/// [`crate::telemetry::DurabilityTelemetry`].
+#[derive(Debug, Default)]
+pub(crate) struct DurabilityCounters {
+    pub(crate) wal_appends: AtomicU64,
+    pub(crate) wal_append_failures: AtomicU64,
+    pub(crate) checkpoints: AtomicU64,
+    pub(crate) checkpoint_failures: AtomicU64,
+    pub(crate) restores: AtomicU64,
+    pub(crate) restore_fallbacks: AtomicU64,
+    pub(crate) restore_skipped_checkpoints: AtomicU64,
+    pub(crate) wal_replayed: AtomicU64,
+}
+
+impl DurabilityCounters {
+    pub(crate) fn absorb_report(&self, report: &RestoreReport) {
+        self.wal_replayed.fetch_add(report.wal_replayed as u64, Relaxed);
+        self.restore_skipped_checkpoints.fetch_add(report.skipped_checkpoints as u64, Relaxed);
+    }
+}
+
+/// Rebuilds classifier state from the store: decodes the newest valid
+/// snapshot and replays the WAL tail past its watermark. `Ok(None)`
+/// means the store holds no usable checkpoint (fresh directory, or
+/// every snapshot invalid).
+///
+/// # Errors
+/// [`PersistError`] when a checkpoint passes the container checksums
+/// but its image payload does not decode — a format mismatch, not a
+/// torn write, so silently skipping it would mask a real bug.
+pub(crate) fn recover<C>(store: &mut Store) -> Result<Option<(C, RestoreReport)>, PersistError>
+where
+    C: Persistent + DynamicClassifier,
+{
+    let Some(point) = store.restore()? else { return Ok(None) };
+    let mut table = C::decode_image(&point.image)?;
+    let mut replayed = 0usize;
+    let mut skipped = 0usize;
+    for record in &point.wal_tail {
+        match WalOp::decode(&record.payload)? {
+            WalOp::Add { rule, .. } => {
+                // `insert_rule` routes by the table's own primary kind;
+                // a rejected replay (duplicate id, incompatible fields)
+                // is counted, not fatal — crash-only recovery must
+                // always terminate with a servable table.
+                if table.insert_rule(rule).is_ok() {
+                    replayed += 1;
+                } else {
+                    skipped += 1;
+                }
+            }
+            WalOp::Remove { rule_id } => {
+                if table.remove_rule(rule_id).is_some() {
+                    replayed += 1;
+                } else {
+                    skipped += 1;
+                }
+            }
+        }
+    }
+    let report = RestoreReport {
+        restored: true,
+        version: point.version,
+        wal_replayed: replayed,
+        wal_skipped: skipped,
+        skipped_checkpoints: point.skipped_checkpoints,
+        wal_torn: point.wal_torn,
+    };
+    Ok(Some((table, report)))
+}

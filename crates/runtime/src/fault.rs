@@ -14,7 +14,19 @@
 //!   a shard is swallowed (exercising the park-timeout liveness
 //!   backstop);
 //! * **snapshot-publish delay** — the control plane sleeps before its
-//!   `N`-th publish (exercising stale-replica windows under churn).
+//!   `N`-th publish (exercising stale-replica windows under churn);
+//! * **publish storm** — the control plane republishes the same table a
+//!   burst of extra times at its `N`-th publish (exercising version
+//!   churn racing shard respawns and restores);
+//! * **publish escalation** — the `N`-th publish raises the
+//!   runtime-restore flag (exercising the supervisor's cold-start-from-
+//!   checkpoint escalation path);
+//! * **WAL cut** — the `N`-th write-ahead append is torn mid-record,
+//!   keeping only a byte prefix (exercising torn-tail detection and the
+//!   reject-the-update contract);
+//! * **checkpoint fault** — the `N`-th checkpoint is written torn or
+//!   with its fsync dropped (exercising fallback to the previous
+//!   durable snapshot plus a longer WAL replay).
 //!
 //! Determinism is the point: every hook is indexed by a monotone atomic
 //! counter owned by the *plan* (not the worker), so a respawned shard
@@ -34,6 +46,34 @@ pub enum Fault {
     WorkerPanic,
     /// Wedge the worker for the duration before serving the batch.
     Stall(Duration),
+}
+
+/// What the control plane must do around one snapshot publish. Returned
+/// by the publish hook; a fault-free publish is the `Default` value.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PublishOutcome {
+    /// Sleep this long before publishing.
+    pub(crate) delay: Option<Duration>,
+    /// Republish the same table this many *extra* times (a publish
+    /// storm: every burst publish carries the new table, so versions
+    /// advance but contents do not).
+    pub(crate) storm: u32,
+    /// Raise the runtime-restore flag after publishing.
+    pub(crate) escalate: bool,
+}
+
+/// One injected checkpoint fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointFault {
+    /// Write only the first `keep` bytes of the snapshot file (a torn
+    /// write: the restore path must skip it and fall back).
+    Torn {
+        /// Bytes of the snapshot file that reach disk.
+        keep: usize,
+    },
+    /// Write the full file but skip the fsync; a simulated crash drops
+    /// it.
+    SkipFsync,
 }
 
 /// A worker fault scheduled at one (shard, batch-step) coordinate.
@@ -57,6 +97,14 @@ pub struct FaultPlan {
     notify_drops: Vec<(usize, u64)>,
     /// `(n, delay)`: sleep `delay` before the `n`-th (0-based) publish.
     publish_delays: Vec<(u64, Duration)>,
+    /// `(n, burst)`: republish `burst` extra times at the `n`-th publish.
+    publish_storms: Vec<(u64, u32)>,
+    /// Publish indices that raise the runtime-restore flag.
+    publish_escalations: Vec<u64>,
+    /// `(n, keep)`: tear the `n`-th WAL append after `keep` bytes.
+    wal_cuts: Vec<(u64, usize)>,
+    /// `(n, fault)`: corrupt the `n`-th checkpoint.
+    checkpoint_faults: Vec<(u64, CheckpointFault)>,
     /// Per-shard batch-step counters. Owned by the plan so a respawned
     /// worker *continues* the schedule rather than restarting it.
     steps: Vec<AtomicU64>,
@@ -64,6 +112,10 @@ pub struct FaultPlan {
     rings: Vec<AtomicU64>,
     /// Control-plane publish counter.
     publishes: AtomicU64,
+    /// Write-ahead append counter.
+    wal_appends: AtomicU64,
+    /// Checkpoint counter.
+    checkpoints: AtomicU64,
 }
 
 impl FaultPlan {
@@ -75,9 +127,15 @@ impl FaultPlan {
             worker: Vec::new(),
             notify_drops: Vec::new(),
             publish_delays: Vec::new(),
+            publish_storms: Vec::new(),
+            publish_escalations: Vec::new(),
+            wal_cuts: Vec::new(),
+            checkpoint_faults: Vec::new(),
             steps: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             rings: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             publishes: AtomicU64::new(0),
+            wal_appends: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
         }
     }
 
@@ -108,6 +166,49 @@ impl FaultPlan {
     #[must_use]
     pub fn publish_delay(mut self, nth: u64, delay: Duration) -> Self {
         self.publish_delays.push((nth, delay));
+        self
+    }
+
+    /// Republishes the same table `burst` extra times at the `nth`
+    /// (0-based) publish — a publish storm. Every storm publish carries
+    /// the *new* table, so replica versions race ahead while contents
+    /// stay fixed.
+    #[must_use]
+    pub fn publish_storm(mut self, nth: u64, burst: u32) -> Self {
+        self.publish_storms.push((nth, burst));
+        self
+    }
+
+    /// Raises the runtime-restore flag at the `nth` (0-based) publish,
+    /// forcing the supervisor's cold-start-from-checkpoint escalation.
+    #[must_use]
+    pub fn escalate_at_publish(mut self, nth: u64) -> Self {
+        self.publish_escalations.push(nth);
+        self
+    }
+
+    /// Tears the `nth` (0-based) write-ahead append, persisting only the
+    /// first `keep` bytes of the record. The runtime must reject the
+    /// update so the live table and the log never disagree.
+    #[must_use]
+    pub fn wal_cut(mut self, nth: u64, keep: usize) -> Self {
+        self.wal_cuts.push((nth, keep));
+        self
+    }
+
+    /// Tears the `nth` (0-based) checkpoint, keeping only `keep` bytes
+    /// of the snapshot file.
+    #[must_use]
+    pub fn torn_checkpoint(mut self, nth: u64, keep: usize) -> Self {
+        self.checkpoint_faults.push((nth, CheckpointFault::Torn { keep }));
+        self
+    }
+
+    /// Drops the fsync of the `nth` (0-based) checkpoint; a simulated
+    /// crash deletes it.
+    #[must_use]
+    pub fn drop_fsync(mut self, nth: u64) -> Self {
+        self.checkpoint_faults.push((nth, CheckpointFault::SkipFsync));
         self
     }
 
@@ -150,6 +251,35 @@ impl FaultPlan {
         plan.publish_delay(rng.next() % 8, Duration::from_millis(1 + rng.next() % 10))
     }
 
+    /// [`FaultPlan::seeded`] plus guaranteed control-plane faults: **at
+    /// least one publish storm, one torn WAL append and one corrupted
+    /// checkpoint** (torn or fsync-dropped), with a seed-dependent
+    /// chance of a publish-triggered runtime escalation. Identical
+    /// `(seed, shards, horizon)` triples yield identical plans.
+    ///
+    /// # Panics
+    /// Panics if `horizon` is zero.
+    #[must_use]
+    pub fn seeded_control(seed: u64, shards: usize, horizon: u64) -> Self {
+        let mut plan = Self::seeded(seed, shards, horizon);
+        // A distinct stream so control faults don't perturb the worker
+        // schedule for the same seed.
+        let mut rng = SplitMix64::new(seed ^ 0xC01A_B1E5_0000_0001);
+        plan = plan.publish_storm(rng.next() % 8, 2 + (rng.next() % 4) as u32);
+        // Cut inside the 20-byte record header about half the time, in
+        // the payload otherwise — both must read back as a torn tail.
+        plan = plan.wal_cut(rng.next() % horizon.max(4), (rng.next() % 24) as usize);
+        plan = if rng.next().is_multiple_of(2) {
+            plan.torn_checkpoint(rng.next() % 4, 1 + (rng.next() % 64) as usize)
+        } else {
+            plan.drop_fsync(rng.next() % 4)
+        };
+        if rng.next().is_multiple_of(2) {
+            plan = plan.escalate_at_publish(4 + rng.next() % 12);
+        }
+        plan
+    }
+
     /// Worker shards the plan was built for.
     #[must_use]
     pub fn shards(&self) -> usize {
@@ -166,6 +296,30 @@ impl FaultPlan {
     #[must_use]
     pub fn planned_stalls(&self) -> usize {
         self.worker.iter().filter(|e| matches!(e.fault, Fault::Stall(_))).count()
+    }
+
+    /// Scheduled publish storms.
+    #[must_use]
+    pub fn planned_storms(&self) -> usize {
+        self.publish_storms.len()
+    }
+
+    /// Scheduled torn WAL appends.
+    #[must_use]
+    pub fn planned_wal_cuts(&self) -> usize {
+        self.wal_cuts.len()
+    }
+
+    /// Scheduled checkpoint faults (torn or fsync-dropped).
+    #[must_use]
+    pub fn planned_checkpoint_faults(&self) -> usize {
+        self.checkpoint_faults.len()
+    }
+
+    /// Whether any publish raises the runtime-restore flag.
+    #[must_use]
+    pub fn plans_escalation(&self) -> bool {
+        !self.publish_escalations.is_empty()
     }
 
     /// Hook: the worker on `shard` is about to serve its next batch.
@@ -185,11 +339,55 @@ impl FaultPlan {
         self.notify_drops.iter().any(|&(s, n)| s == shard && n == nth)
     }
 
-    /// Hook: the control plane is about to publish. Returns the delay to
-    /// apply first, if one is scheduled.
-    pub(crate) fn on_publish(&self) -> Option<Duration> {
+    /// Hook: the control plane is about to publish. Returns the full
+    /// outcome for this publish index: an optional pre-publish delay, an
+    /// extra-republish burst, and whether to raise the restore flag.
+    pub(crate) fn on_publish(&self) -> PublishOutcome {
         let nth = self.publishes.fetch_add(1, SeqCst);
-        self.publish_delays.iter().find(|&&(n, _)| n == nth).map(|&(_, d)| d)
+        PublishOutcome {
+            delay: self.publish_delays.iter().find(|&&(n, _)| n == nth).map(|&(_, d)| d),
+            storm: self
+                .publish_storms
+                .iter()
+                .find(|&&(n, _)| n == nth)
+                .map_or(0, |&(_, burst)| burst),
+            escalate: self.publish_escalations.contains(&nth),
+        }
+    }
+
+    /// Hook: a write-ahead append is about to run. `Some(keep)` tears
+    /// the record after `keep` bytes.
+    pub(crate) fn on_wal_append(&self) -> Option<usize> {
+        let nth = self.wal_appends.fetch_add(1, SeqCst);
+        self.wal_cuts.iter().find(|&&(n, _)| n == nth).map(|&(_, keep)| keep)
+    }
+
+    /// Hook: a checkpoint is about to be written. Returns the fault to
+    /// apply, if one is scheduled at this index.
+    pub(crate) fn on_checkpoint(&self) -> Option<CheckpointFault> {
+        let nth = self.checkpoints.fetch_add(1, SeqCst);
+        self.checkpoint_faults.iter().find(|&&(n, _)| n == nth).map(|&(_, f)| f)
+    }
+}
+
+/// Resolves the chaos seed for a test: the `CHAOS_SEED` environment
+/// variable when set (decimal, or hex with an `0x` prefix), otherwise
+/// `default`. Threading every chaos test's seed through this one helper
+/// is what lets the nightly soak pin a failing seed for replay.
+///
+/// # Panics
+/// Panics when `CHAOS_SEED` is set but unparsable — a silently ignored
+/// override would defeat the replay workflow.
+#[must_use]
+pub fn resolve_seed(default: u64) -> u64 {
+    match std::env::var("CHAOS_SEED") {
+        Ok(raw) => {
+            let parsed = raw
+                .strip_prefix("0x")
+                .map_or_else(|| raw.parse(), |hex| u64::from_str_radix(hex, 16));
+            parsed.unwrap_or_else(|e| panic!("CHAOS_SEED={raw:?} is not a u64: {e}"))
+        }
+        Err(_) => default,
     }
 }
 
@@ -229,13 +427,47 @@ mod tests {
 
     #[test]
     fn notify_and_publish_hooks_are_nth_indexed() {
-        let plan = FaultPlan::new(1).drop_notify(0, 1).publish_delay(1, Duration::from_millis(3));
+        let plan = FaultPlan::new(1)
+            .drop_notify(0, 1)
+            .publish_delay(1, Duration::from_millis(3))
+            .publish_storm(2, 4)
+            .escalate_at_publish(2);
         assert!(!plan.on_notify(0));
         assert!(plan.on_notify(0), "second ring dropped");
         assert!(!plan.on_notify(0));
-        assert_eq!(plan.on_publish(), None);
-        assert_eq!(plan.on_publish(), Some(Duration::from_millis(3)));
-        assert_eq!(plan.on_publish(), None);
+        let first = plan.on_publish();
+        assert!(first.delay.is_none() && first.storm == 0 && !first.escalate);
+        assert_eq!(plan.on_publish().delay, Some(Duration::from_millis(3)));
+        let third = plan.on_publish();
+        assert_eq!(third.storm, 4, "storm fires at its index");
+        assert!(third.escalate, "escalation fires at its index");
+        let fourth = plan.on_publish();
+        assert!(fourth.delay.is_none() && fourth.storm == 0 && !fourth.escalate);
+    }
+
+    #[test]
+    fn wal_and_checkpoint_hooks_are_nth_indexed() {
+        let plan = FaultPlan::new(1).wal_cut(1, 7).torn_checkpoint(0, 16).drop_fsync(2);
+        assert_eq!(plan.on_wal_append(), None);
+        assert_eq!(plan.on_wal_append(), Some(7), "second append torn");
+        assert_eq!(plan.on_wal_append(), None);
+        assert_eq!(plan.on_checkpoint(), Some(CheckpointFault::Torn { keep: 16 }));
+        assert_eq!(plan.on_checkpoint(), None);
+        assert_eq!(plan.on_checkpoint(), Some(CheckpointFault::SkipFsync));
+        assert_eq!(plan.on_checkpoint(), None);
+    }
+
+    #[test]
+    fn seeded_control_extends_seeded_with_control_faults() {
+        for seed in [0u64, 7, 0xC0FF_EE42] {
+            let a = FaultPlan::seeded_control(seed, 2, 16);
+            let b = FaultPlan::seeded_control(seed, 2, 16);
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "seed {seed}");
+            assert!(a.planned_panics() >= 1 && a.planned_stalls() >= 1, "seed {seed}");
+            assert!(a.planned_storms() >= 1, "seed {seed} plans a storm");
+            assert!(a.planned_wal_cuts() >= 1, "seed {seed} plans a WAL cut");
+            assert!(a.planned_checkpoint_faults() >= 1, "seed {seed} plans a checkpoint fault");
+        }
     }
 
     #[test]

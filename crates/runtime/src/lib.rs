@@ -28,10 +28,17 @@
 //!   stalled shards, respawns them with a fresh ring/snapshot/cache and
 //!   re-routes their recovered jobs, so a panicking classifier costs a
 //!   restart — never a hung [`runtime::Ticket`] or a dead process.
+//! * [`durability`] — the crash-only control plane: a
+//!   [`mtl_persist::Store`] (versioned binary snapshots + write-ahead
+//!   rule log) wired under the runtime so `add_rule`/`remove_rule` are
+//!   durable between checkpoints, and the supervisor can tear the whole
+//!   runtime down and cold-start it from the latest good checkpoint plus
+//!   the WAL tail (escalation: shard respawn → runtime restore).
 //! * [`fault`] *(cargo feature `fault-injection`)* — deterministic,
 //!   seeded fault schedules (worker panics, stalls, dropped doorbell
-//!   notifies, delayed publishes) threaded through the runtime's hook
-//!   points; the `chaos` test suite drives them.
+//!   notifies, delayed/stormed publishes, torn WAL appends, corrupted
+//!   checkpoints) threaded through the runtime's hook points; the
+//!   `chaos` test suite drives them.
 //!
 //! Consistency contract: every served batch reports, per packet, the
 //! snapshot **version** it was classified under
@@ -46,6 +53,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durability;
 #[cfg(feature = "fault-injection")]
 pub mod fault;
 pub mod pin;
@@ -55,11 +63,12 @@ pub mod snapshot;
 mod supervisor;
 pub mod telemetry;
 
+pub use durability::{DurabilityConfig, RestoreReport};
 #[cfg(feature = "fault-injection")]
-pub use fault::{Fault, FaultPlan};
+pub use fault::{resolve_seed, CheckpointFault, Fault, FaultPlan};
 pub use runtime::{
     shard_of, AdmissionPolicy, ClassifiedBatch, Runtime, RuntimeConfig, RuntimeHandle, Ticket,
     WaitOutcome, MAX_REQUEUES, UNSERVED_VERSION,
 };
 pub use snapshot::{Snapshot, SnapshotCell, SnapshotReader};
-pub use telemetry::{RuntimeTelemetry, ShardCounters, ShardTelemetry};
+pub use telemetry::{DurabilityTelemetry, RuntimeTelemetry, ShardCounters, ShardTelemetry};

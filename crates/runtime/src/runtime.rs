@@ -77,13 +77,17 @@ use std::sync::atomic::{
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use crate::durability::{
+    recover, DurabilityConfig, DurabilityCounters, DurableState, EscalationPolicy, RestoreReport,
+};
 use crate::pin::pin_to_cpu;
 use crate::ring::{spsc, Consumer, Producer};
 use crate::snapshot::{Snapshot, SnapshotCell};
-use crate::telemetry::{RuntimeTelemetry, ShardCounters, ShardTelemetry};
+use crate::telemetry::{DurabilityTelemetry, RuntimeTelemetry, ShardCounters, ShardTelemetry};
+use mtl_persist::{CheckpointMode, PersistError, Persistent, Store, WalOp};
 
 #[cfg(feature = "fault-injection")]
-use crate::fault::{Fault, FaultPlan};
+use crate::fault::{CheckpointFault, Fault, FaultPlan};
 
 /// The version reported for packets that were never classified: shed at
 /// admission, expired past their deadline, stranded by shutdown, or
@@ -460,6 +464,30 @@ pub(crate) struct Shared<C> {
     admission: AdmissionPolicy,
     pub(crate) poison_recoveries: Arc<AtomicU64>,
     ticket_timeouts: Arc<AtomicU64>,
+    /// Store-side state of a durable runtime (`None` for in-memory
+    /// runtimes). Lock order: `master` is always taken before this.
+    durable: Option<Mutex<DurableState<C>>>,
+    /// Durability counters (always present; all-zero when not durable).
+    pub(crate) durability: Arc<DurabilityCounters>,
+    /// Rebuilds + republishes the master from the store. Boxed and
+    /// type-erased here because it is constructed where the
+    /// `Persistent + DynamicClassifier + Clone` bounds hold
+    /// ([`Runtime::with_durability`]) but called from the generic
+    /// supervisor.
+    pub(crate) rebuild_master: Option<RebuildMaster<C>>,
+    /// Set by [`RuntimeHandle::force_restore`], a fault plan's publish
+    /// escalation, or the supervisor's restart-window trigger; consumed
+    /// by the supervisor, which performs the runtime restore.
+    pub(crate) restore_requested: AtomicBool,
+    /// Raised while a restore tears the runtime down: workers of the
+    /// current epoch park out at the loop top.
+    pub(crate) quiesce: AtomicBool,
+    /// Bumped once per completed runtime restore. A worker whose spawn
+    /// epoch is older than the current one is a *zombie*: it drains
+    /// whatever remains of its (already replaced) ring, then exits.
+    pub(crate) run_epoch: AtomicU64,
+    /// Escalation knobs (inert defaults when not durable).
+    pub(crate) escalation: EscalationPolicy,
     #[cfg(feature = "fault-injection")]
     pub(crate) fault_plan: Option<Arc<FaultPlan>>,
 }
@@ -489,19 +517,105 @@ impl<C> Shared<C> {
     }
 
     /// Publishes through the snapshot cell, honouring any scheduled
-    /// publish delay fault.
+    /// publish fault: a pre-publish delay, a publish *storm* (the same
+    /// new table republished a burst of extra times, so replica versions
+    /// race ahead while contents stay fixed), or a raised restore flag.
     fn publish_table(&self, table: C) -> u64
     where
-        C: Send + Sync,
+        C: Clone + Send + Sync,
     {
         #[cfg(feature = "fault-injection")]
         if let Some(plan) = &self.fault_plan {
-            if let Some(delay) = plan.on_publish() {
+            let outcome = plan.on_publish();
+            if let Some(delay) = outcome.delay {
                 std::thread::sleep(delay);
+            }
+            for _ in 0..outcome.storm {
+                self.cell.publish(table.clone());
+            }
+            if outcome.escalate {
+                self.restore_requested.store(true, SeqCst);
             }
         }
         self.cell.publish(table)
     }
+
+    /// Write-ahead: durably appends `op` to the rule log *before* the
+    /// master is mutated. `Err` means nothing reached the log — the
+    /// caller must reject the update so the live table and the log never
+    /// disagree. No-op (always `Ok`) on non-durable runtimes.
+    fn wal_append(&self, op: &LoggedOp<'_>) -> Result<(), BuildError> {
+        let Some(durable) = &self.durable else { return Ok(()) };
+        let mut d = lock_count(durable, &self.poison_recoveries);
+        let payload = match *op {
+            LoggedOp::Add(rule) => WalOp::Add { kind: d.kind, rule: rule.clone() }.encode(),
+            LoggedOp::Remove(rule_id) => WalOp::Remove { rule_id }.encode(),
+        };
+        #[cfg(feature = "fault-injection")]
+        let cut = self.fault_plan.as_ref().and_then(|plan| plan.on_wal_append());
+        #[cfg(not(feature = "fault-injection"))]
+        let cut: Option<usize> = None;
+        let appended = match cut {
+            Some(keep) => d.store.append_torn(&payload, keep).map(|_| ()),
+            None => d.store.append(&payload).map(|_| ()),
+        };
+        match appended {
+            Ok(()) => {
+                d.records_since += 1;
+                self.durability.wal_appends.fetch_add(1, Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.durability.wal_append_failures.fetch_add(1, Relaxed);
+                Err(BuildError::InvalidConfig {
+                    detail: format!("write-ahead append failed; update rejected: {e}"),
+                })
+            }
+        }
+    }
+
+    /// Checkpoints `table` if the cadence is due (`force` overrides).
+    /// Called with the master lock held; takes the durable lock inside
+    /// (the runtime-wide lock order). Checkpoint failures are counted,
+    /// never propagated: the WAL already holds every record, so a failed
+    /// checkpoint only means a longer replay.
+    fn maybe_checkpoint(&self, table: &C, force: bool) {
+        let Some(durable) = &self.durable else { return };
+        let mut d = lock_count(durable, &self.poison_recoveries);
+        if !force && d.records_since < d.checkpoint_every {
+            return;
+        }
+        let image = (d.encode)(table);
+        #[cfg(feature = "fault-injection")]
+        let mode = match self.fault_plan.as_ref().and_then(|plan| plan.on_checkpoint()) {
+            Some(CheckpointFault::Torn { keep }) => CheckpointMode::Torn { keep },
+            Some(CheckpointFault::SkipFsync) => CheckpointMode::SkipFsync,
+            None => CheckpointMode::Durable,
+        };
+        #[cfg(not(feature = "fault-injection"))]
+        let mode = CheckpointMode::Durable;
+        d.snapshot_version += 1;
+        let version = d.snapshot_version;
+        match d.store.checkpoint(version, &image, mode) {
+            Ok(_) => {
+                // A torn or unsynced checkpoint still counts here — the
+                // write-side cadence advanced; whether it *restores* is
+                // the store's judgement at recovery time (it falls back
+                // to the previous durable one, replaying more WAL).
+                d.records_since = 0;
+                self.durability.checkpoints.fetch_add(1, Relaxed);
+            }
+            Err(_) => {
+                self.durability.checkpoint_failures.fetch_add(1, Relaxed);
+            }
+        }
+    }
+}
+
+/// A control-plane mutation about to be write-ahead logged.
+enum LoggedOp<'a> {
+    Add(&'a Rule),
+    Remove(u32),
 }
 
 /// RSS-style shard selection: hash of the header's full field tuple, so
@@ -680,6 +794,12 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
         let mut master = self.shared.lock_master();
         *master = Some(table.clone());
         let version = self.shared.publish_table(table);
+        // A whole-table swap is not expressible as WAL records, so on a
+        // durable runtime it checkpoints immediately: the snapshot's
+        // watermark fences off the pre-swap WAL tail.
+        if let Some(t) = master.as_ref() {
+            self.shared.maybe_checkpoint(t, true);
+        }
         drop(master);
         version
     }
@@ -693,26 +813,42 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
     /// # Errors
     /// [`BuildError::InvalidConfig`] when the runtime was built without
     /// a control-plane master ([`Runtime::new`] instead of
-    /// [`Runtime::with_control`]); otherwise whatever the classifier's
+    /// [`Runtime::with_control`]), or when a durable runtime's
+    /// write-ahead append fails (the update is rejected *before* the
+    /// master is touched, so the live table and the log always agree);
+    /// otherwise whatever the classifier's
     /// [`DynamicClassifier::insert_rule`] reports.
     pub fn add_rule(&self, rule: Rule) -> Result<(UpdateReport, u64), BuildError>
     where
         C: DynamicClassifier + Clone,
     {
         let mut master = self.shared.lock_master();
-        let table = master.as_mut().ok_or_else(|| BuildError::InvalidConfig {
-            detail: "runtime has no control-plane master (built with Runtime::new; \
-                     use Runtime::with_control)"
-                .into(),
-        })?;
+        if master.is_none() {
+            return Err(BuildError::InvalidConfig {
+                detail: "runtime has no control-plane master (built with Runtime::new; \
+                         use Runtime::with_control)"
+                    .into(),
+            });
+        }
+        // Write-ahead: the rule reaches the durable log before the
+        // master mutates. A torn append rejects the whole update.
+        self.shared.wal_append(&LoggedOp::Add(&rule))?;
+        let table = master.as_mut().expect("checked above");
         let report = table.insert_rule(rule)?;
         let version = self.shared.publish_table(table.clone());
+        self.shared.maybe_checkpoint(table, false);
         Ok((report, version))
     }
 
     /// Removes a rule by id through the control plane; `None` when no
     /// such rule is stored. Returns the update report and the version at
     /// which the removal is visible.
+    ///
+    /// On a durable runtime the removal is write-ahead logged before the
+    /// master mutates; a torn append rejects the removal (returns
+    /// `None`, counted in the durability telemetry as an append
+    /// failure). A logged removal of an id the table does not hold is a
+    /// harmless no-op on replay.
     ///
     /// # Panics
     /// Panics if the runtime was built without a control-plane master.
@@ -722,19 +858,33 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
     {
         let mut master = self.shared.lock_master();
         let table = master.as_mut().expect("runtime has no control-plane master");
+        self.shared.wal_append(&LoggedOp::Remove(rule_id)).ok()?;
         let report = table.remove_rule(rule_id)?;
         let version = self.shared.publish_table(table.clone());
+        self.shared.maybe_checkpoint(table, false);
         Some((report, version))
     }
 
     /// Snapshots every shard's counters.
     #[must_use]
     pub fn telemetry(&self) -> RuntimeTelemetry {
+        let d = &self.shared.durability;
         RuntimeTelemetry {
             version: self.shared.cell.version(),
             shards: self.shared.shards,
             poison_recoveries: self.shared.poison_recoveries.load(Relaxed),
             ticket_timeouts: self.shared.ticket_timeouts.load(Relaxed),
+            durability: self.shared.durable.is_some().then(|| DurabilityTelemetry {
+                wal_appends: d.wal_appends.load(Relaxed),
+                wal_append_failures: d.wal_append_failures.load(Relaxed),
+                checkpoints: d.checkpoints.load(Relaxed),
+                checkpoint_failures: d.checkpoint_failures.load(Relaxed),
+                runtime_restores: d.restores.load(Relaxed),
+                restore_fallbacks: d.restore_fallbacks.load(Relaxed),
+                restore_skipped_checkpoints: d.restore_skipped_checkpoints.load(Relaxed),
+                wal_records_replayed: d.wal_replayed.load(Relaxed),
+                run_epoch: self.shared.run_epoch.load(SeqCst),
+            }),
             per_shard: self
                 .shared
                 .counters
@@ -743,6 +893,60 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
                 .map(|(s, c)| ShardTelemetry::capture(s, c, self.shared.cache_capacity))
                 .collect(),
         }
+    }
+
+    /// Whether this runtime persists its control plane (built with
+    /// [`Runtime::with_durability`]).
+    #[must_use]
+    pub fn durable(&self) -> bool {
+        self.shared.durable.is_some()
+    }
+
+    /// The current run epoch: 0 at start, +1 per completed runtime
+    /// restore. Tests use the transition to await a restore.
+    #[must_use]
+    pub fn run_epoch(&self) -> u64 {
+        self.shared.run_epoch.load(SeqCst)
+    }
+
+    /// Asks the supervisor to tear the runtime down and cold-start it
+    /// from the latest good checkpoint + WAL tail (the escalation the
+    /// restart-window trigger takes on its own). Returns `false` on a
+    /// non-durable runtime, where there is nothing to restore from.
+    /// Asynchronous: poll [`RuntimeHandle::run_epoch`] to observe
+    /// completion.
+    pub fn force_restore(&self) -> bool {
+        if self.shared.rebuild_master.is_none() {
+            return false;
+        }
+        self.shared.restore_requested.store(true, SeqCst);
+        true
+    }
+
+    /// The master table serialized through its [`Persistent`] codec —
+    /// the byte-level oracle the restore tests compare a recovered store
+    /// against. `None` when the runtime is not durable or has no master.
+    #[must_use]
+    pub fn master_image(&self) -> Option<Vec<u8>> {
+        let master = self.shared.lock_master();
+        let table = master.as_ref()?;
+        let durable = self.shared.durable.as_ref()?;
+        let d = lock_count(durable, &self.shared.poison_recoveries);
+        Some((d.encode)(table))
+    }
+
+    /// Forces a durable checkpoint of the current master now, regardless
+    /// of cadence. Returns the checkpoint's version, or `None` on a
+    /// non-durable runtime. Fault-plan checkpoint faults apply (that is
+    /// what makes torn-checkpoint chaos scriptable).
+    pub fn checkpoint_now(&self) -> Option<u64> {
+        let master = self.shared.lock_master();
+        let table = master.as_ref()?;
+        self.shared.durable.as_ref()?;
+        self.shared.maybe_checkpoint(table, true);
+        let durable = self.shared.durable.as_ref()?;
+        let d = lock_count(durable, &self.shared.poison_recoveries);
+        Some(d.snapshot_version)
     }
 }
 
@@ -763,7 +967,7 @@ impl<C: Classifier + 'static> Runtime<C> {
     /// runtime built [`Runtime::with_control`]).
     #[must_use]
     pub fn new(classifier: C, config: &RuntimeConfig) -> Self {
-        Self::build(classifier, None, config)
+        Self::build(classifier, None, config, None)
     }
 
     /// Starts a runtime with a control plane: `classifier` is cloned
@@ -776,10 +980,124 @@ impl<C: Classifier + 'static> Runtime<C> {
         C: Clone,
     {
         let snapshot = classifier.clone();
-        Self::build(snapshot, Some(classifier), config)
+        Self::build(snapshot, Some(classifier), config, None)
     }
 
-    fn build(classifier: C, master: Option<C>, config: &RuntimeConfig) -> Self {
+    /// Starts a **durable** control-plane runtime backed by a
+    /// [`Store`] in `durability.dir`: state is recovered as
+    /// `decode(newest valid snapshot) + replay(WAL tail)` — `fallback`
+    /// is used (and checkpointed as version 1) only when the store holds
+    /// no usable checkpoint. Every subsequent
+    /// [`RuntimeHandle::add_rule`] / [`RuntimeHandle::remove_rule`] is
+    /// write-ahead logged before it touches the master, with a full
+    /// checkpoint every [`DurabilityConfig::checkpoint_every`] records,
+    /// and the supervisor escalates a broken runtime (restart storm, or
+    /// an explicit [`RuntimeHandle::force_restore`]) to a whole-runtime
+    /// cold start from that same recovery computation.
+    ///
+    /// Returns the runtime plus a [`RestoreReport`] describing what the
+    /// boot recovery actually did.
+    ///
+    /// # Errors
+    /// [`PersistError`] when the store cannot be opened, a recovered
+    /// image does not decode, or the initial checkpoint of `fallback`
+    /// cannot be written.
+    pub fn with_durability(
+        fallback: C,
+        config: &RuntimeConfig,
+        durability: &DurabilityConfig,
+    ) -> Result<(Self, RestoreReport), PersistError>
+    where
+        C: DynamicClassifier + Persistent + Clone,
+    {
+        let mut store = Store::open(&durability.dir)?;
+        let (master, mut report) = match recover::<C>(&mut store)? {
+            Some((table, report)) => (table, report),
+            None => (fallback, RestoreReport::default()),
+        };
+        report.wal_torn |= store.wal_was_torn_at_open();
+        let mut state = DurableState {
+            store,
+            encode: encode_image_of::<C>,
+            kind: durability.kind,
+            snapshot_version: report.version,
+            records_since: 0,
+            checkpoint_every: durability.checkpoint_every.max(1),
+        };
+        // Make the boot state durable up front: a fresh store gets the
+        // fallback as checkpoint 1; a store whose recovery replayed WAL
+        // records gets a compacting checkpoint so the next cold start is
+        // one decode with an empty tail.
+        if !report.restored || report.wal_replayed > 0 || report.wal_skipped > 0 {
+            state.snapshot_version += 1;
+            state.store.checkpoint(
+                state.snapshot_version,
+                &master.encode_image(),
+                CheckpointMode::Durable,
+            )?;
+        }
+        let escalation = EscalationPolicy {
+            after: durability.escalate_after.max(1),
+            window: durability.escalate_window,
+            quiesce_timeout: durability.quiesce_timeout,
+        };
+        // Type-erased restore-time rebuild: constructed here, where the
+        // `Persistent + DynamicClassifier + Clone` bounds hold, called
+        // by the (bound-free) supervisor during a runtime restore. The
+        // caller holds no runtime locks at that point.
+        let rebuild: RebuildMaster<C> = Box::new(|shared| {
+            let mut master = shared.lock_master();
+            let Some(durable) = &shared.durable else { return };
+            let mut d = lock_count(durable, &shared.poison_recoveries);
+            match recover::<C>(&mut d.store) {
+                Ok(Some((table, report))) => {
+                    shared.durability.absorb_report(&report);
+                    d.snapshot_version = d.snapshot_version.max(report.version);
+                    let encode = d.encode;
+                    // Write-ahead-before-mutate keeps the live master
+                    // and the store in agreement, so an in-process
+                    // restore normally recovers a byte-identical table:
+                    // publishing it again would only burn a version on
+                    // duplicate content. Publish only on divergence
+                    // (i.e. the disk state moved under us) — directly
+                    // through the cell (no fault-plan publish hooks)
+                    // and under the master lock, which serializes every
+                    // control-plane publish.
+                    let identical =
+                        master.as_ref().is_some_and(|live| encode(live) == encode(&table));
+                    drop(d);
+                    if !identical {
+                        *master = Some(table.clone());
+                        shared.cell.publish(table);
+                    }
+                    drop(master);
+                }
+                Ok(None) | Err(_) => {
+                    // No usable checkpoint (or an undecodable image):
+                    // crash-only still has to come back up, so keep the
+                    // live master serving — the published snapshot is
+                    // already in sync with it.
+                    shared.durability.restore_fallbacks.fetch_add(1, Relaxed);
+                }
+            }
+        });
+        let snapshot = master.clone();
+        let runtime = Self::build(
+            snapshot,
+            Some(master),
+            config,
+            Some(DurableParts { state, rebuild, escalation }),
+        );
+        runtime.handle.shared.durability.absorb_report(&report);
+        Ok((runtime, report))
+    }
+
+    fn build(
+        classifier: C,
+        master: Option<C>,
+        config: &RuntimeConfig,
+        durable: Option<DurableParts<C>>,
+    ) -> Self {
         let shards = config.shards.max(1);
         let cell = Arc::new(SnapshotCell::new(classifier));
         let poison_recoveries = Arc::new(AtomicU64::new(0));
@@ -794,6 +1112,10 @@ impl<C: Classifier + 'static> Runtime<C> {
             (0..shards).map(|_| Arc::new(Doorbell::new(Arc::clone(&poison_recoveries)))).collect();
         let counters: Vec<Arc<ShardCounters>> =
             (0..shards).map(|_| Arc::new(ShardCounters::default())).collect();
+        let (durable_state, rebuild_master, escalation) = match durable {
+            Some(parts) => (Some(Mutex::new(parts.state)), Some(parts.rebuild), parts.escalation),
+            None => (None, None, EscalationPolicy::default()),
+        };
         let shared = Arc::new(Shared {
             cell,
             master: Mutex::new(master),
@@ -814,6 +1136,13 @@ impl<C: Classifier + 'static> Runtime<C> {
             admission: config.admission,
             poison_recoveries,
             ticket_timeouts: Arc::new(AtomicU64::new(0)),
+            durable: durable_state,
+            durability: Arc::new(DurabilityCounters::default()),
+            rebuild_master,
+            restore_requested: AtomicBool::new(false),
+            quiesce: AtomicBool::new(false),
+            run_epoch: AtomicU64::new(0),
+            escalation,
             #[cfg(feature = "fault-injection")]
             fault_plan: config.fault_plan.clone(),
         });
@@ -876,6 +1205,25 @@ impl<C: Classifier + 'static> Drop for Runtime<C> {
             }
         }
     }
+}
+
+/// Restore-time master rebuild, type-erased so the bound-free
+/// supervisor can call it (see [`Runtime::with_durability`]).
+pub(crate) type RebuildMaster<C> = Box<dyn Fn(&Shared<C>) + Send + Sync>;
+
+/// The durable pieces [`Runtime::with_durability`] threads into
+/// [`Runtime::build`].
+struct DurableParts<C> {
+    state: DurableState<C>,
+    rebuild: RebuildMaster<C>,
+    escalation: EscalationPolicy,
+}
+
+/// [`Persistent::encode_image`] as a plain `fn` pointer — stored in
+/// [`DurableState`] so the generic update paths can encode without a
+/// `Persistent` bound.
+fn encode_image_of<C: Persistent>(table: &C) -> Vec<u8> {
+    table.encode_image()
 }
 
 /// Per-worker spawn parameters.
@@ -943,11 +1291,22 @@ fn worker_loop<C: Classifier + 'static>(
     }
     let mut snap = reader.load();
     let mut spins = 0u32;
+    // The runtime epoch this worker belongs to. A restore bumps the
+    // epoch *after* swapping in fresh rings; a worker that observes a
+    // newer epoch is a zombie — its ring has already been replaced, so
+    // it drains what remains (completing those replies; the per-shard
+    // dedup and the deadline check keep that harmless) and exits.
+    let my_epoch = shared.run_epoch.load(SeqCst);
     loop {
         // Liveness beat for the supervisor's stall detector.
         counters.heartbeat.fetch_add(1, Relaxed);
+        // A restore in progress quiesces current-epoch workers at a job
+        // boundary: park out here, before touching the next job.
+        if shared.quiesce.load(SeqCst) && shared.run_epoch.load(SeqCst) == my_epoch {
+            break;
+        }
         let Some(job) = jobs.pop() else {
-            if shared.stop.load(SeqCst) {
+            if shared.stop.load(SeqCst) || shared.run_epoch.load(SeqCst) != my_epoch {
                 break;
             }
             spins += 1;
@@ -963,8 +1322,16 @@ fn worker_loop<C: Classifier + 'static>(
         // Crash insurance: record the job before any fallible work so
         // the supervisor can re-route it if this thread dies. (Cleared
         // only *after* the reply completes; the reply's per-shard dedup
-        // makes the complete-then-die window harmless.)
-        *shared.lock_inflight(cfg.shard) = Some(job.clone());
+        // makes the complete-then-die window harmless.) Zombies skip
+        // this: the slot belongs to the shard's *current* worker, and
+        // the epoch check runs inside the slot's critical section so a
+        // zombie can never clobber its replacement's record.
+        {
+            let mut slot = shared.lock_inflight(cfg.shard);
+            if shared.run_epoch.load(SeqCst) == my_epoch {
+                *slot = Some(job.clone());
+            }
+        }
         #[cfg(feature = "fault-injection")]
         if let Some(plan) = &shared.fault_plan {
             match plan.on_batch(cfg.shard) {
@@ -979,7 +1346,7 @@ fn worker_loop<C: Classifier + 'static>(
             if Instant::now() >= deadline {
                 counters.deadline_shed_packets.fetch_add(job.idx.len() as u64, Relaxed);
                 complete_unserved(&counters, job, false);
-                *shared.lock_inflight(cfg.shard) = None;
+                clear_inflight(shared, cfg.shard, my_epoch);
                 continue;
             }
         }
@@ -1038,8 +1405,19 @@ fn worker_loop<C: Classifier + 'static>(
             counters.record_cache(&cache.stats());
         }
         reply.complete(Part { shard: shard_id, idx, rows, version: snap.version });
-        *shared.lock_inflight(cfg.shard) = None;
+        clear_inflight(shared, cfg.shard, my_epoch);
         drop(headers);
+    }
+}
+
+/// Clears `shard`'s in-flight slot — only if the clearing worker still
+/// owns the shard (its epoch is current). The check runs inside the
+/// slot's critical section, so a worker zombied by a runtime restore
+/// can never erase the record of the fresh worker that replaced it.
+fn clear_inflight<C>(shared: &Shared<C>, shard: usize, my_epoch: u64) {
+    let mut slot = shared.lock_inflight(shard);
+    if shared.run_epoch.load(SeqCst) == my_epoch {
+        *slot = None;
     }
 }
 
@@ -1748,5 +2126,159 @@ mod tests {
         let want: Vec<Option<u32>> =
             clean.iter().map(|h| reference_classify(&rules(), h)).collect();
         assert_eq!(out.rows, want);
+    }
+
+    // ---- durable control plane --------------------------------------
+
+    impl Persistent for Scan {
+        fn encode_image(&self) -> Vec<u8> {
+            let mut w = mtl_persist::Writer::new();
+            w.put_usize(self.0.len());
+            for rule in &self.0 {
+                mtl_persist::codec::encode_rule(&mut w, rule);
+            }
+            w.into_bytes()
+        }
+        fn decode_image(bytes: &[u8]) -> Result<Self, PersistError> {
+            let mut r = mtl_persist::Reader::new(bytes, "scan image");
+            let n = r.seq_len(7)?;
+            let mut rules = Vec::with_capacity(n);
+            for _ in 0..n {
+                rules.push(mtl_persist::codec::decode_rule(&mut r)?);
+            }
+            r.finish()?;
+            Ok(Self(rules))
+        }
+    }
+
+    fn temp_store(tag: &str) -> std::path::PathBuf {
+        static NONCE: AtomicU64 = AtomicU64::new(0);
+        let n = NONCE.fetch_add(1, Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("mtl-runtime-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn wait_epoch(rt: &RuntimeHandle<Scan>, want: u64) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while rt.run_epoch() < want {
+            assert!(Instant::now() < deadline, "restore never completed");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn durable_runtime_recovers_state_across_restarts() {
+        let dir = temp_store("recover");
+        let durability = DurabilityConfig { checkpoint_every: 4, ..DurabilityConfig::new(&dir) };
+        let hs = headers(64);
+        let image_before;
+        {
+            let (rt, report) =
+                Runtime::with_durability(Scan(rules()), &quick_config(2), &durability).unwrap();
+            assert!(!report.restored, "fresh store boots from the fallback");
+            // 6 adds: checkpoint at 4, records 5-6 live only in the WAL.
+            for i in 0..6u32 {
+                rt.add_rule(route(100 + i, 1, 0x1400_0000 + (u128::from(i) << 8), 24, 50 + i))
+                    .unwrap();
+            }
+            rt.remove_rule(3).expect("seed rule 3 exists");
+            let d = rt.telemetry().durability.expect("durable runtime reports durability");
+            assert_eq!(d.wal_appends, 7);
+            assert!(d.checkpoints >= 1, "cadence checkpoint happened");
+            image_before = rt.master_image().expect("durable master image");
+            rt.shutdown();
+        }
+        // Cold start with a *different* fallback: disk must win.
+        let (rt, report) =
+            Runtime::with_durability(Scan(Vec::new()), &quick_config(2), &durability).unwrap();
+        assert!(report.restored, "second boot restores from disk");
+        assert!(report.wal_replayed > 0, "the WAL tail past the watermark replays");
+        assert_eq!(
+            rt.master_image().expect("image"),
+            image_before,
+            "restored master is byte-identical to the pre-shutdown image"
+        );
+        let mut oracle = rules();
+        oracle.retain(|r| r.id != 3);
+        for i in 0..6u32 {
+            oracle.push(route(100 + i, 1, 0x1400_0000 + (u128::from(i) << 8), 24, 50 + i));
+        }
+        let want: Vec<Option<u32>> = hs.iter().map(|h| reference_classify(&oracle, h)).collect();
+        assert_eq!(rt.classify_rows(&hs), want, "recovered table serves the full rule set");
+    }
+
+    #[test]
+    fn forced_restore_bumps_epoch_and_keeps_serving() {
+        let dir = temp_store("force");
+        let (rt, _) =
+            Runtime::with_durability(Scan(rules()), &quick_config(2), &DurabilityConfig::new(&dir))
+                .unwrap();
+        let hs = headers(128);
+        let want: Vec<Option<u32>> = hs.iter().map(|h| reference_classify(&rules(), h)).collect();
+        assert_eq!(rt.classify_rows(&hs), want);
+        assert!(rt.force_restore(), "durable runtimes accept the escalation");
+        wait_epoch(&rt, 1);
+        let d = rt.telemetry().durability.expect("durability block");
+        assert_eq!(d.runtime_restores, 1);
+        assert_eq!(d.restore_fallbacks, 0, "the boot checkpoint restores cleanly");
+        assert_eq!(rt.classify_rows(&hs), want, "service is identical after the restore");
+        // The control plane keeps working on the new epoch.
+        rt.add_rule(route(200, 1, 0x3300_0000, 24, 9)).unwrap();
+        assert!(rt.telemetry().durability.expect("block").wal_appends >= 1);
+    }
+
+    #[test]
+    fn non_durable_runtimes_refuse_restore_and_report_nothing() {
+        let rt = Runtime::with_control(Scan(rules()), &quick_config(1));
+        assert!(!rt.durable());
+        assert!(!rt.force_restore(), "nothing to restore from");
+        assert!(rt.telemetry().durability.is_none());
+        assert!(rt.master_image().is_none());
+        assert!(rt.checkpoint_now().is_none());
+    }
+
+    #[test]
+    fn checkpoint_now_compacts_the_replay() {
+        let dir = temp_store("compact");
+        let durability = DurabilityConfig { checkpoint_every: 1000, ..DurabilityConfig::new(&dir) };
+        {
+            let (rt, _) =
+                Runtime::with_durability(Scan(rules()), &quick_config(1), &durability).unwrap();
+            for i in 0..5u32 {
+                rt.add_rule(route(300 + i, 2, 0x2800_0000 + (u128::from(i) << 8), 24, 70)).unwrap();
+            }
+            let v = rt.checkpoint_now().expect("durable checkpoint");
+            assert!(v >= 2, "explicit checkpoint version advances past the boot checkpoint");
+            rt.shutdown();
+        }
+        let (_rt, report) =
+            Runtime::with_durability(Scan(Vec::new()), &quick_config(1), &durability).unwrap();
+        assert!(report.restored);
+        assert_eq!(report.wal_replayed, 0, "checkpoint_now left an empty tail");
+    }
+
+    #[test]
+    fn swap_table_checkpoints_immediately() {
+        let dir = temp_store("swap");
+        let durability = DurabilityConfig { checkpoint_every: 1000, ..DurabilityConfig::new(&dir) };
+        {
+            let (rt, _) =
+                Runtime::with_durability(Scan(rules()), &quick_config(1), &durability).unwrap();
+            rt.add_rule(route(400, 1, 0x5000_0000, 8, 11)).unwrap();
+            // The swap is not WAL-expressible: it must checkpoint, and
+            // the watermark must fence off the pre-swap WAL tail.
+            rt.swap_table(Scan(vec![route(77, 1, 0x0A00_0000, 8, 77)]));
+            rt.shutdown();
+        }
+        let (rt, report) =
+            Runtime::with_durability(Scan(Vec::new()), &quick_config(1), &durability).unwrap();
+        assert!(report.restored);
+        assert_eq!(report.wal_replayed, 0, "pre-swap WAL records sit below the watermark");
+        let h = HeaderValues::new()
+            .with(MatchFieldKind::InPort, 1)
+            .with(MatchFieldKind::Ipv4Dst, 0x0A01_0203u128);
+        assert_eq!(rt.classify_rows(std::slice::from_ref(&h)), vec![Some(77)]);
     }
 }

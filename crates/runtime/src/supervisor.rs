@@ -22,6 +22,21 @@
 //! re-route orphan + backlog in FIFO order. A job whose shard died
 //! serving it more than [`MAX_REQUEUES`](crate::runtime::MAX_REQUEUES)
 //! times is completed unserved instead of crash-looping the shard.
+//!
+//! ## Escalation: shard respawn → runtime restore
+//!
+//! On a durable runtime ([`crate::Runtime::with_durability`]) the
+//! supervisor also owns the next rung of the ladder. When a
+//! runtime-level invariant breaks — more than `escalate_after` shard
+//! restarts inside `escalate_window`, a fault plan's publish escalation,
+//! or an explicit [`crate::RuntimeHandle::force_restore`] — it tears the
+//! whole dataplane down and cold-starts it from the latest good
+//! checkpoint plus the WAL tail ([`runtime_restore`]): quiesce the
+//! workers (bounded wait; wedged ones are left behind as *zombies* that
+//! drain their replaced rings and exit), swap every ring fresh, rebuild
+//! and republish the master from the store, bump the run epoch, respawn
+//! every shard, and re-admit every queued or orphaned job — no ticket
+//! hangs across the restore.
 
 use std::sync::atomic::Ordering::{Relaxed, SeqCst};
 use std::sync::Arc;
@@ -51,7 +66,19 @@ pub(crate) fn supervise<C: Classifier + 'static>(
     let mut beats: Vec<(u64, Instant)> =
         shared.counters.iter().map(|c| (c.heartbeat.load(Relaxed), now)).collect();
     let mut stalled = vec![false; shared.shards];
+    // Zombies: workers a restore abandoned because they would not
+    // quiesce in time. They drain their replaced rings and exit on
+    // their own; joined at shutdown.
+    let mut zombies: Vec<JoinHandle<()>> = Vec::new();
+    // Restart timestamps inside the escalation window.
+    let mut restart_times: Vec<Instant> = Vec::new();
     while !shared.stop.load(SeqCst) {
+        if shared.restore_requested.swap(false, SeqCst) && shared.rebuild_master.is_some() {
+            runtime_restore(shared, &mut workers, &mut zombies, &mut beats);
+            stalled.fill(false);
+            restart_times.clear();
+            continue;
+        }
         for shard in 0..shared.shards {
             if shared.stop.load(SeqCst) {
                 break;
@@ -61,6 +88,18 @@ pub(crate) fn supervise<C: Classifier + 'static>(
                 workers[shard] = Some(respawn(shared, shard, old));
                 beats[shard] = (shared.counters[shard].heartbeat.load(Relaxed), Instant::now());
                 stalled[shard] = false;
+                // Escalation trigger: a restart storm. More than
+                // `after` respawns inside the sliding window means the
+                // shard-level ladder is not converging — tear down and
+                // cold-start from the durable state instead.
+                if shared.rebuild_master.is_some() {
+                    let now = Instant::now();
+                    restart_times.push(now);
+                    restart_times.retain(|t| now.duration_since(*t) <= shared.escalation.window);
+                    if restart_times.len() > shared.escalation.after as usize {
+                        shared.restore_requested.store(true, SeqCst);
+                    }
+                }
                 continue;
             }
             let beat = shared.counters[shard].heartbeat.load(Relaxed);
@@ -78,8 +117,102 @@ pub(crate) fn supervise<C: Classifier + 'static>(
         }
         std::thread::sleep(POLL);
     }
-    for worker in workers.into_iter().flatten() {
+    for worker in workers.into_iter().flatten().chain(zombies) {
         let _ = worker.join();
+    }
+}
+
+/// The top rung of the escalation ladder: tear the whole dataplane down
+/// and cold-start it from the durable store.
+///
+/// Protocol, in order:
+///
+/// 1. **Quiesce**: raise the flag and ring every doorbell; current-epoch
+///    workers park out at their next job boundary. The wait is bounded
+///    by the configured quiesce timeout — a wedged worker cannot be
+///    preempted, so it is abandoned as a *zombie* (it drains whatever
+///    remains of its replaced ring, then exits; joined at shutdown).
+/// 2. **Swap every ring fresh** under the producer locks (submitters
+///    serialise there, so no job falls between rings), collecting the
+///    backlog + orphan of every shard whose worker exited.
+/// 3. **Rebuild the master from the store** (the type-erased closure
+///    installed by `with_durability`): newest valid checkpoint decoded +
+///    WAL tail replayed, republished through the snapshot cell.
+/// 4. **Bump the run epoch** (zombie demarcation), drop the quiesce
+///    flag, respawn every shard, and **re-admit** the collected jobs —
+///    orphans from crashed workers count a requeue (and are completed
+///    unserved past [`MAX_REQUEUES`]); clean ring backlog is re-admitted
+///    as-is. No ticket hangs across the restore.
+fn runtime_restore<C: Classifier + 'static>(
+    shared: &Arc<Shared<C>>,
+    workers: &mut [Option<JoinHandle<()>>],
+    zombies: &mut Vec<JoinHandle<()>>,
+    beats: &mut [(u64, Instant)],
+) {
+    shared.quiesce.store(true, SeqCst);
+    for shard in 0..shared.shards {
+        shared.ring_doorbell(shard);
+    }
+    let deadline = Instant::now() + shared.escalation.quiesce_timeout;
+    while workers.iter().flatten().any(|w| !w.is_finished()) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    // (shard, job, from_crash) in FIFO order per shard.
+    let mut pending: Vec<(usize, Job, bool)> = Vec::new();
+    let mut consumers = Vec::with_capacity(shared.shards);
+    for (shard, worker_slot) in workers.iter_mut().enumerate().take(shared.shards) {
+        let (fresh, consumer) = spsc::<Job>(shared.settings.ring_capacity);
+        let old_producer = std::mem::replace(&mut *shared.lock_producer(shard), fresh);
+        consumers.push(consumer);
+        let old_worker = worker_slot.take().expect("worker slot occupied");
+        if old_worker.is_finished() {
+            // The worker exited (clean quiesce or an earlier panic):
+            // its consumer is dropped, so its ring and in-flight slot
+            // are exclusively ours. The orphan (if any) was popped
+            // before the backlog — keep FIFO.
+            let _ = old_worker.join();
+            if let Some(job) = shared.lock_inflight(shard).take() {
+                // A recorded in-flight job on an exited worker means it
+                // died mid-batch (clean quiesce clears the slot): the
+                // re-route counts against MAX_REQUEUES.
+                pending.push((shard, job, true));
+            }
+            match old_producer.recover() {
+                Ok(backlog) => pending.extend(backlog.into_iter().map(|j| (shard, j, false))),
+                Err(_) => debug_assert!(false, "a joined worker cannot still hold its consumer"),
+            }
+        } else {
+            // Wedged mid-job: no safe preemption exists. Drop our
+            // producer end and abandon the worker as a zombie — it
+            // still owns its consumer, so it (alone) drains the old
+            // ring's jobs, completes them, and exits when it observes
+            // the epoch moved. Its in-flight job stays with it.
+            drop(old_producer);
+            zombies.push(old_worker);
+        }
+    }
+    if let Some(rebuild) = &shared.rebuild_master {
+        rebuild(shared);
+    }
+    shared.durability.restores.fetch_add(1, Relaxed);
+    // Epoch before spawn: every fresh worker must read the new epoch,
+    // and zombies must observe themselves stale before any fresh worker
+    // shares their shard's in-flight slot.
+    shared.run_epoch.fetch_add(1, SeqCst);
+    shared.quiesce.store(false, SeqCst);
+    for (shard, consumer) in consumers.into_iter().enumerate() {
+        workers[shard] = Some(spawn_worker(shared, shard, consumer));
+        beats[shard] = (shared.counters[shard].heartbeat.load(Relaxed), Instant::now());
+    }
+    for (shard, mut job, from_crash) in pending {
+        if from_crash {
+            job.requeues += 1;
+            if job.requeues > MAX_REQUEUES {
+                complete_unserved(&shared.counters[shard], job, true);
+                continue;
+            }
+        }
+        requeue(shared, shard, job);
     }
 }
 

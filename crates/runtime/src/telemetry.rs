@@ -254,8 +254,38 @@ pub struct RuntimeTelemetry {
     /// Tickets whose `wait_timeout` elapsed before every shard
     /// delivered (the batch was returned `Partial` or `Timeout`).
     pub ticket_timeouts: u64,
+    /// Durable-control-plane counters; `None` on in-memory runtimes.
+    pub durability: Option<DurabilityTelemetry>,
     /// Per-shard snapshots, shard order.
     pub per_shard: Vec<ShardTelemetry>,
+}
+
+/// Counters of a durable runtime's crash-only control plane
+/// ([`crate::Runtime::with_durability`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DurabilityTelemetry {
+    /// Rule operations durably appended to the write-ahead log.
+    pub wal_appends: u64,
+    /// Appends that failed (torn mid-record); each one rejected its
+    /// update, so the live table and the log never diverged.
+    pub wal_append_failures: u64,
+    /// Checkpoints written (including injected torn/unsynced ones —
+    /// whether a checkpoint *restores* is judged at recovery time).
+    pub checkpoints: u64,
+    /// Checkpoints that failed outright at write time.
+    pub checkpoint_failures: u64,
+    /// Whole-runtime restores the supervisor performed (escalations).
+    pub runtime_restores: u64,
+    /// Restores that found no usable checkpoint and fell back to
+    /// republishing the live master.
+    pub restore_fallbacks: u64,
+    /// Invalid (torn / truncated / bit-flipped / unsynced) checkpoints
+    /// skipped over across all restores.
+    pub restore_skipped_checkpoints: u64,
+    /// WAL records replayed on top of snapshots across all restores.
+    pub wal_records_replayed: u64,
+    /// Current run epoch (+1 per completed restore).
+    pub run_epoch: u64,
 }
 
 impl RuntimeTelemetry {
@@ -308,8 +338,7 @@ impl RuntimeTelemetry {
             out,
             "{{\"version\":{},\"shards\":{},\"total_packets\":{},\"hit_rate\":{:.6},\
              \"total_restarts\":{},\"total_panics\":{},\"total_shed_packets\":{},\
-             \"poison_recoveries\":{},\"ticket_timeouts\":{},\
-             \"per_shard\":[",
+             \"poison_recoveries\":{},\"ticket_timeouts\":{},",
             self.version,
             self.shards,
             self.total_packets(),
@@ -320,6 +349,28 @@ impl RuntimeTelemetry {
             self.poison_recoveries,
             self.ticket_timeouts,
         );
+        match &self.durability {
+            Some(d) => {
+                let _ = write!(
+                    out,
+                    "\"durability\":{{\"wal_appends\":{},\"wal_append_failures\":{},\
+                     \"checkpoints\":{},\"checkpoint_failures\":{},\"runtime_restores\":{},\
+                     \"restore_fallbacks\":{},\"restore_skipped_checkpoints\":{},\
+                     \"wal_records_replayed\":{},\"run_epoch\":{}}},",
+                    d.wal_appends,
+                    d.wal_append_failures,
+                    d.checkpoints,
+                    d.checkpoint_failures,
+                    d.runtime_restores,
+                    d.restore_fallbacks,
+                    d.restore_skipped_checkpoints,
+                    d.wal_records_replayed,
+                    d.run_epoch,
+                );
+            }
+            None => out.push_str("\"durability\":null,"),
+        }
+        out.push_str("\"per_shard\":[");
         for (i, s) in self.per_shard.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -403,11 +454,12 @@ mod tests {
         counters.restarts.store(1, Relaxed);
         counters.shed_packets.store(5, Relaxed);
         counters.deadline_shed_packets.store(2, Relaxed);
-        let t = RuntimeTelemetry {
+        let mut t = RuntimeTelemetry {
             version: 3,
             shards: 1,
             poison_recoveries: 4,
             ticket_timeouts: 1,
+            durability: None,
             per_shard: vec![ShardTelemetry::capture(0, &counters, 64)],
         };
         assert_eq!(t.total_packets(), 10);
@@ -429,6 +481,7 @@ mod tests {
             "\"total_shed_packets\":7",
             "\"poison_recoveries\":4",
             "\"ticket_timeouts\":1",
+            "\"durability\":null",
             "\"faults\":{\"panics\":1,\"restarts\":1",
             "\"shed_packets\":5",
             "\"deadline_shed_packets\":2",
@@ -439,5 +492,28 @@ mod tests {
         // the workspace has no JSON parser).
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+
+        // A durable runtime renders the nested block instead of null.
+        t.durability = Some(DurabilityTelemetry {
+            wal_appends: 12,
+            wal_append_failures: 1,
+            checkpoints: 2,
+            runtime_restores: 1,
+            wal_records_replayed: 4,
+            run_epoch: 1,
+            ..DurabilityTelemetry::default()
+        });
+        let json = t.to_json();
+        for needle in [
+            "\"durability\":{\"wal_appends\":12",
+            "\"wal_append_failures\":1",
+            "\"checkpoints\":2",
+            "\"runtime_restores\":1",
+            "\"wal_records_replayed\":4",
+            "\"run_epoch\":1",
+        ] {
+            assert!(json.contains(needle), "{needle} missing from {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -1,11 +1,16 @@
-//! Repo automation tasks. The one that matters for correctness is
-//! `lint-unsafe`: the unsafe-hygiene static-analysis pass that CI runs
-//! on every push.
+//! Repo automation tasks.
 //!
 //! ```text
-//! cargo run -p xtask -- lint-unsafe            # enforce the allowlist
+//! cargo run -p xtask -- lint-unsafe            # enforce the unsafe allowlist
 //! cargo run -p xtask -- lint-unsafe --counts   # print per-file unsafe-site counts
+//! cargo run -p xtask -- bench-report           # regenerate benches/RESULTS.md
+//! cargo run -p xtask -- bench-report --check   # fail if RESULTS.md drifted
+//! cargo run -p xtask -- bench-gate             # perf floors + >10% regression gate
 //! ```
+//!
+//! `bench-report` / `bench-gate` live in [`bench`]; the rest of this
+//! file is `lint-unsafe`, the unsafe-hygiene static-analysis pass that
+//! CI runs on every push.
 //!
 //! The pass walks every `.rs` file in the repository (excluding build
 //! output) and:
@@ -29,6 +34,8 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+mod bench;
 
 /// The unsafe islands: every file permitted to contain `unsafe`, with
 /// the maximum number of `unsafe` tokens it may carry. Everything else
@@ -71,8 +78,23 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint-unsafe") => lint_unsafe(args.iter().any(|a| a == "--counts")),
+        Some("bench-report") => bench::report(&repo_root(), args.iter().any(|a| a == "--check")),
+        Some("bench-gate") => {
+            let candidate = args
+                .iter()
+                .position(|a| a == "--candidate")
+                .and_then(|i| args.get(i + 1))
+                .map_or_else(|| repo_root().join("target/repro"), PathBuf::from);
+            bench::gate(&repo_root(), &candidate)
+        }
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint-unsafe [--counts]");
+            eprintln!(
+                "usage: cargo run -p xtask -- <task>\n\
+                 tasks:\n  \
+                 lint-unsafe [--counts]\n  \
+                 bench-report [--check]\n  \
+                 bench-gate [--candidate <dir>]"
+            );
             ExitCode::FAILURE
         }
     }
