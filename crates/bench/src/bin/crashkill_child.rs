@@ -1,0 +1,75 @@
+//! The victim process of `repro -- crashkill`: boots a durable runtime
+//! over the store directory the driver hands it, reports the op prefix
+//! it recovered (`READY <n>`), then publishes the shared deterministic
+//! op stream from `n` to `--ops`, acking each durably-logged op
+//! (`ACK <i>`) and printing `DONE` when the batch completes. The driver
+//! SIGKILLs it at a seeded random point — nothing in here runs cleanup,
+//! by design: the store directory must be crash-consistent at every
+//! instruction boundary.
+
+use mtl_bench::crashkill::{
+    durable_prefix, fallback_switch, stream_op, CrashOp, CHECKPOINT_EVERY, RETAIN, SEGMENT_BYTES,
+};
+use mtl_runtime::{DurabilityConfig, Runtime, RuntimeConfig};
+use std::io::Write;
+use std::path::PathBuf;
+
+fn main() {
+    let mut dir: Option<PathBuf> = None;
+    let mut seed: u64 = 0;
+    let mut ops: u64 = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| panic!("{arg} needs a value"));
+        match arg.as_str() {
+            "--dir" => dir = Some(PathBuf::from(value())),
+            "--seed" => seed = value().parse().expect("--seed is a u64"),
+            "--ops" => ops = value().parse().expect("--ops is a u64"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let dir = dir.expect("--dir is required");
+
+    // Where to resume: ops map 1:1 onto WAL sequence numbers, so the
+    // durable prefix on disk is the first op this incarnation owes.
+    let recovered = durable_prefix(&dir);
+
+    let config = RuntimeConfig {
+        shards: 1,
+        ring_capacity: 8,
+        cache_capacity: 0,
+        ..RuntimeConfig::default()
+    };
+    let durability = DurabilityConfig {
+        checkpoint_every: CHECKPOINT_EVERY,
+        wal_segment_bytes: SEGMENT_BYTES,
+        retain_snapshots: RETAIN,
+        ..DurabilityConfig::new(&dir)
+    };
+    let (rt, _report) = Runtime::with_durability(fallback_switch(seed), &config, &durability)
+        .expect("durable boot over the inherited store");
+    let handle = rt.handle();
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    writeln!(out, "READY {recovered}").expect("stdout");
+    out.flush().expect("stdout flush");
+
+    for i in recovered..ops {
+        match stream_op(seed, i) {
+            CrashOp::Add(rule) => {
+                handle.add_rule(rule).expect("publish add");
+            }
+            CrashOp::Remove(id) => {
+                handle.remove_rule(id).expect("publish remove hits");
+            }
+        }
+        // Acked only after the handle returned, i.e. after the WAL
+        // frame was fsynced — the driver holds us to exactly this.
+        writeln!(out, "ACK {i}").expect("stdout");
+        out.flush().expect("stdout flush");
+    }
+    writeln!(out, "DONE").expect("stdout");
+    out.flush().expect("stdout flush");
+    rt.shutdown();
+}

@@ -6,7 +6,7 @@
 //!
 //! EXPERIMENT: all (default) | table1 | table2 | table3 | table4
 //!           | fig2 | fig3 | fig4 | fig5 | headline | throughput | cache
-//!           | runtime | coldstart
+//!           | runtime | coldstart | storm | crashkill
 //! --seed N      workload RNG seed (default 2015)
 //! --full        generate the four 180k-rule routing sets at full size
 //!               (several extra seconds; default scales them down 20x)
@@ -26,8 +26,8 @@
 
 use mtl_bench::data::Workloads;
 use mtl_bench::{
-    cache, coldstart, fig2, fig3, fig4, fig5, headline, runtime, table1, table2, table3, table4,
-    throughput, DEFAULT_SEED,
+    cache, coldstart, crashkill, fig2, fig3, fig4, fig5, headline, runtime, storm, table1, table2,
+    table3, table4, throughput, DEFAULT_SEED,
 };
 
 fn main() {
@@ -75,9 +75,13 @@ fn main() {
         "cache",
         "runtime",
         "coldstart",
+        "storm",
+        "crashkill",
     ];
     let selected: Vec<&str> = if experiments.iter().any(|e| e == "all") {
-        known.to_vec()
+        // crashkill spawns the separately-built `crashkill_child` binary
+        // and SIGKILLs it in a loop — opt in by name, not via `all`.
+        known.iter().copied().filter(|k| *k != "crashkill").collect()
     } else {
         experiments
             .iter()
@@ -91,9 +95,10 @@ fn main() {
             .collect()
     };
 
-    // table2 and coldstart are self-contained; everything else needs
-    // workloads.
-    let needs_data = selected.iter().any(|e| *e != "table2" && *e != "coldstart");
+    // table2, coldstart, storm and crashkill are self-contained;
+    // everything else needs workloads.
+    let needs_data =
+        selected.iter().any(|e| !matches!(*e, "table2" | "coldstart" | "storm" | "crashkill"));
     let workloads = if needs_data {
         eprintln!(
             "generating workloads (seed {seed}, {}) ...",
@@ -122,6 +127,8 @@ fn main() {
             },
             "runtime" => runtime::report(workloads.as_ref().expect("data")),
             "coldstart" => coldstart::report(),
+            "storm" => storm::report(),
+            "crashkill" => crashkill::report(),
             _ => unreachable!(),
         }
     }
@@ -136,7 +143,7 @@ fn usage(err: &str) -> ! {
         "usage: repro [EXPERIMENT...] [--seed N] [--full] [--trace FILE]\n\
          \x20      repro trace convert --pcap FILE [--out FILE] [--port N]\n\
          experiments: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 headline throughput \
-         cache runtime coldstart"
+         cache runtime coldstart storm crashkill (crashkill is not part of `all`)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

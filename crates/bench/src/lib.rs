@@ -25,6 +25,8 @@
 //! | `cache`  | (extension) flow-cache hit rate + ns/pkt under Zipf skew | [`cache`] |
 //! | `runtime` | (extension) sharded-runtime scaling + consistency under rule churn | [`runtime`] |
 //! | `coldstart` | (extension) snapshot-restore vs rebuild-from-rules cold start | [`coldstart`] |
+//! | `storm` | (extension) publish-storm throughput: durability off / WAL-only / WAL+checkpoint | [`storm`] |
+//! | `crashkill` | (extension) real `kill -9` process-crash recovery harness | [`crashkill`] |
 
 // Unsafe is denied everywhere except the counting global allocator in
 // [`alloc_probe`], which needs a `GlobalAlloc` impl.
@@ -33,6 +35,7 @@
 pub mod alloc_probe;
 pub mod cache;
 pub mod coldstart;
+pub mod crashkill;
 pub mod data;
 pub mod fig2;
 pub mod fig3;
@@ -42,6 +45,7 @@ pub mod headline;
 pub mod output;
 pub mod registry;
 pub mod runtime;
+pub mod storm;
 pub mod table1;
 pub mod table2;
 pub mod table3;

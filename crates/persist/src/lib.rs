@@ -14,14 +14,24 @@
 //!   admitted between checkpoints survive a crash. Recovery is always
 //!   `newest valid snapshot + WAL tail`.
 //!
-//! The WAL is never truncated when a checkpoint is written. Instead each
-//! record carries a monotone sequence number and each snapshot records the
+//! A checkpoint never truncates WAL records in place. Instead each record
+//! carries a monotone sequence number and each snapshot records the
 //! sequence watermark current at checkpoint time; restore replays only the
 //! records at or past the watermark of the snapshot it actually picked.
 //! That one decision makes the nasty cases fall out for free: a torn or
 //! fsync-dropped checkpoint simply loses the race to be "newest valid" and
 //! recovery falls back to an older snapshot plus a longer replay — never
-//! to silent rule loss.
+//! to silent rule loss. Log hygiene happens at whole-file granularity:
+//! the WAL rotates into fixed-size segments and retention GC unlinks
+//! segments that lie entirely below the watermark of the oldest snapshot
+//! it retains (newest K valid), which bounds the directory under churn
+//! without ever deleting a byte recovery could still want ([`store`]).
+//!
+//! All file IO goes through the injectable [`storage::Storage`] trait —
+//! the real filesystem in production, the fault-injecting in-memory
+//! [`storage::FaultFs`] in the chaos suite, which is how torn writes,
+//! `ENOSPC`, failed fsyncs and frozen directory images get produced by
+//! the IO layer itself rather than staged above it.
 //!
 //! [`store::Store`] ties the two together over a directory and is what the
 //! runtime's supervisor drives; [`Persistent`] is the image codec contract
@@ -33,13 +43,18 @@
 pub mod codec;
 pub mod container;
 pub mod error;
+pub mod storage;
 pub mod store;
 pub mod wal;
 pub mod wire;
 
 pub use container::{checksum64, Container, ContainerWriter, FORMAT_VERSION, MAGIC};
 pub use error::PersistError;
-pub use store::{CheckpointMode, RestorePoint, Store};
+pub use storage::{FaultFs, FaultFsCounters, RealFs, Storage};
+pub use store::{
+    CheckpointMode, GcReport, RestorePoint, Store, StoreDiskStats, StoreStats,
+    DEFAULT_RETAIN_SNAPSHOTS, DEFAULT_SEGMENT_BYTES,
+};
 pub use wal::{WalOp, WalRecord, WalTail};
 pub use wire::{Reader, Writer};
 

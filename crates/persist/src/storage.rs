@@ -1,0 +1,737 @@
+//! Injectable storage: the syscall surface [`store::Store`](crate::store)
+//! is allowed to touch, as a trait.
+//!
+//! Two implementations ship:
+//!
+//! * [`RealFs`] — the real filesystem via `std::fs`. All handles are
+//!   transient: every operation opens, acts and closes, which keeps the
+//!   trait object stateless and `fsync` semantics honest (on Linux,
+//!   `fsync` flushes the *inode*, not a private buffer, so syncing a
+//!   freshly opened handle to the same path is sound).
+//! * [`FaultFs`] — a fully in-memory filesystem with a *durable/volatile
+//!   split* and seeded fault injection. Every file tracks how many of its
+//!   bytes have been fsynced and every directory operation (create,
+//!   rename, unlink) stays in a journal until the directory itself is
+//!   fsynced; [`FaultFs::crash`] rolls the whole image back to exactly
+//!   what a power cut would leave. On top of that it injects the hostile
+//!   cases a real disk produces: `ENOSPC` after a byte budget, oversized
+//!   writes rejected mid-write, short writes, `fsync` returning `Err`,
+//!   and freeze points that fail every mutation from the N-th operation
+//!   on — the syscall-level twin of the control-plane faults in
+//!   `mtl-runtime`'s `fault` module.
+//!
+//! The store treats *any* error from this layer as "the operation did not
+//! become durable" and heals or degrades accordingly; the chaos suite
+//! drives it through `FaultFs` to prove that.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The filesystem surface the store runs on.
+///
+/// All operations are path-addressed and handle-free; implementations
+/// must be safe to share behind an `Arc` across threads. Writes may make
+/// partial progress before failing (exactly like the real thing), so
+/// callers must treat any `Err` — and any short count from
+/// [`Storage::append`] / [`Storage::write_file`] — as "bytes may be on
+/// disk but are not durable".
+pub trait Storage: fmt::Debug + Send + Sync {
+    /// Creates `dir` and any missing parents.
+    ///
+    /// # Errors
+    /// Underlying I/O failures.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Reads the whole file at `path`.
+    ///
+    /// # Errors
+    /// Underlying I/O failures, including `NotFound`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Appends `bytes` to `path`, creating the file if needed. Returns
+    /// the number of bytes actually written, which may be short.
+    ///
+    /// # Errors
+    /// Underlying I/O failures; partial progress may remain on disk.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<usize>;
+
+    /// Creates (or truncates) `path` and writes `bytes`. Returns the
+    /// number of bytes actually written, which may be short.
+    ///
+    /// # Errors
+    /// Underlying I/O failures; partial progress may remain on disk.
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<usize>;
+
+    /// Truncates `path` to `len` bytes.
+    ///
+    /// # Errors
+    /// Underlying I/O failures.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+
+    /// Fsyncs the file at `path` (data and length).
+    ///
+    /// # Errors
+    /// Underlying I/O failures — a durability loss the caller must treat
+    /// as a failed write.
+    fn sync_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Fsyncs the directory itself, making completed create/rename/unlink
+    /// operations inside it durable.
+    ///
+    /// # Errors
+    /// Underlying I/O failures.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to` (same directory).
+    ///
+    /// # Errors
+    /// Underlying I/O failures.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes the file at `path`.
+    ///
+    /// # Errors
+    /// Underlying I/O failures, including `NotFound`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Lists the files directly inside `dir`, sorted by path.
+    ///
+    /// # Errors
+    /// Underlying I/O failures.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Current length of the file at `path` in bytes.
+    ///
+    /// # Errors
+    /// Underlying I/O failures, including `NotFound`.
+    fn len(&self, path: &Path) -> io::Result<u64>;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl Storage for RealFs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<usize> {
+        let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+        f.write_all(bytes)?;
+        Ok(bytes.len())
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<usize> {
+        let mut f = File::create(path)?;
+        f.write_all(bytes)?;
+        Ok(bytes.len())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        File::open(path)?.sync_all()
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+}
+
+/// Cumulative operation and fault counters for a [`FaultFs`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FaultFsCounters {
+    /// Data-writing calls (`append`, `write_file`).
+    pub writes: u64,
+    /// `sync_file` + `sync_dir` calls.
+    pub fsyncs: u64,
+    /// Writes that hit the byte budget or the per-write cap.
+    pub enospc_hits: u64,
+    /// Writes that returned a short count without an error.
+    pub short_writes: u64,
+    /// Fsyncs that returned `Err`.
+    pub fsync_failures: u64,
+    /// Operations rejected because the image was frozen.
+    pub frozen_rejections: u64,
+    /// Simulated power cuts ([`FaultFs::crash`]).
+    pub crashes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct MemFile {
+    data: Vec<u8>,
+    /// Bytes guaranteed to survive a crash; `fsync` advances it to
+    /// `data.len()`, a truncating rewrite resets it to zero.
+    synced_len: usize,
+}
+
+/// One not-yet-durable directory operation; [`FaultFs::crash`] undoes the
+/// journal in reverse, exactly like losing unsynced directory metadata.
+#[derive(Debug)]
+enum LinkOp {
+    Created(PathBuf),
+    Renamed { from: PathBuf, to: PathBuf, replaced: Option<MemFile> },
+    Removed(PathBuf, MemFile),
+}
+
+#[derive(Debug, Default)]
+struct FaultKnobs {
+    /// Remaining writable bytes before every further write fails ENOSPC.
+    byte_budget: Option<u64>,
+    /// Single writes larger than this many bytes fail ENOSPC mid-write.
+    write_cap: Option<usize>,
+    /// Fsync call indexes at or past this fail.
+    fail_fsync_from: Option<u64>,
+    /// Seeded chance (per mille) that a write is short.
+    short_write_per_mille: u32,
+    /// Seeded chance (per mille) that an fsync fails.
+    fsync_fail_per_mille: u32,
+    /// One-shot: the write with this index keeps only `.1` bytes.
+    short_write_at: Option<(u64, usize)>,
+    /// Mutating-operation index at which the image freezes.
+    freeze_after_ops: Option<u64>,
+    frozen: bool,
+}
+
+#[derive(Debug)]
+struct FaultFsInner {
+    files: BTreeMap<PathBuf, MemFile>,
+    journal: Vec<LinkOp>,
+    knobs: FaultKnobs,
+    rng: u64,
+    counters: FaultFsCounters,
+    /// Mutating operations observed so far (freeze-point clock).
+    ops: u64,
+}
+
+/// An in-memory filesystem that misbehaves on purpose.
+///
+/// See the [module docs](self) for the fault model. All knobs take
+/// `&self` so a single `Arc<FaultFs>` can be shared between the store
+/// under test and the test driving it.
+#[derive(Debug)]
+pub struct FaultFs {
+    inner: Mutex<FaultFsInner>,
+}
+
+impl Default for FaultFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn enospc(context: &str) -> io::Error {
+    io::Error::other(format!("injected ENOSPC: {context}"))
+}
+
+fn frozen_err() -> io::Error {
+    io::Error::other("storage frozen at injected crash point")
+}
+
+/// SplitMix64 step — the same tiny generator the chaos plans use, local
+/// so `mtl-persist` keeps zero dependencies.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultFs {
+    /// A fault-free in-memory filesystem (still crash-simulatable).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::seeded(0)
+    }
+
+    /// An in-memory filesystem whose probabilistic faults draw from
+    /// `seed`. No faults are armed until a knob is set.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            inner: Mutex::new(FaultFsInner {
+                files: BTreeMap::new(),
+                journal: Vec::new(),
+                knobs: FaultKnobs::default(),
+                rng: seed ^ 0x5DEE_CE66_D1CE_CAFE,
+                counters: FaultFsCounters::default(),
+                ops: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultFsInner> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Arms (or disarms with `None`) a global byte budget: once the
+    /// budget is exhausted every write fails with `ENOSPC` after partial
+    /// progress — a disk filling up.
+    pub fn set_byte_budget(&self, bytes: Option<u64>) {
+        self.lock().knobs.byte_budget = bytes;
+    }
+
+    /// Arms a per-write size cap: any single write larger than `bytes`
+    /// fails with `ENOSPC` after `bytes` of partial progress. Big
+    /// checkpoint images hit this while small WAL frames squeeze through
+    /// — the shape that forces WAL-only degraded mode.
+    pub fn set_write_cap(&self, bytes: Option<usize>) {
+        self.lock().knobs.write_cap = bytes;
+    }
+
+    /// Makes every fsync with call index `>= n` return `Err`.
+    pub fn fail_fsync_from(&self, n: Option<u64>) {
+        self.lock().knobs.fail_fsync_from = n;
+    }
+
+    /// Arms seeded probabilistic faults: each write is short with
+    /// probability `short_write_per_mille`/1000 and each fsync fails with
+    /// probability `fsync_fail_per_mille`/1000.
+    pub fn set_fault_rates(&self, short_write_per_mille: u32, fsync_fail_per_mille: u32) {
+        let mut inner = self.lock();
+        inner.knobs.short_write_per_mille = short_write_per_mille;
+        inner.knobs.fsync_fail_per_mille = fsync_fail_per_mille;
+    }
+
+    /// One-shot: the write call with index `nth` (0-based over the life
+    /// of this filesystem) persists only `keep` bytes and returns the
+    /// short count without an error.
+    pub fn short_write_at(&self, nth: u64, keep: usize) {
+        self.lock().knobs.short_write_at = Some((nth, keep));
+    }
+
+    /// Freezes the image at the `n`-th mutating operation: that operation
+    /// and every later one fail until [`FaultFs::crash`] thaws the
+    /// filesystem. Sweeping `n` over a workload probes every
+    /// intermediate crash point.
+    pub fn freeze_after_ops(&self, n: Option<u64>) {
+        let mut inner = self.lock();
+        inner.knobs.freeze_after_ops = n;
+        if n.is_none() {
+            inner.knobs.frozen = false;
+        }
+    }
+
+    /// Mutating operations observed so far — record a workload's op count
+    /// with this, then sweep [`FaultFs::freeze_after_ops`] below it.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn counters(&self) -> FaultFsCounters {
+        self.lock().counters
+    }
+
+    /// Disarms every fault knob (the disk stops misbehaving); the image
+    /// and its durability bookkeeping are untouched.
+    pub fn heal(&self) {
+        let mut inner = self.lock();
+        inner.knobs = FaultKnobs::default();
+    }
+
+    /// Simulates a power cut *now*: unsynced directory operations are
+    /// undone in reverse, every file is truncated back to its fsynced
+    /// length, and the freeze (if any) thaws. What remains is exactly
+    /// the on-disk image a reboot would find.
+    pub fn crash(&self) {
+        let mut inner = self.lock();
+        inner.counters.crashes += 1;
+        while let Some(op) = inner.journal.pop() {
+            match op {
+                LinkOp::Created(path) => {
+                    inner.files.remove(&path);
+                }
+                LinkOp::Renamed { from, to, replaced } => {
+                    let moved = inner.files.remove(&to);
+                    if let Some(old) = replaced {
+                        inner.files.insert(to, old);
+                    }
+                    if let Some(f) = moved {
+                        inner.files.insert(from, f);
+                    }
+                }
+                LinkOp::Removed(path, file) => {
+                    inner.files.insert(path, file);
+                }
+            }
+        }
+        for file in inner.files.values_mut() {
+            file.data.truncate(file.synced_len);
+        }
+        // The crash point has fired; the rebooted image starts thawed.
+        inner.knobs.frozen = false;
+        inner.knobs.freeze_after_ops = None;
+    }
+
+    /// The durable byte length of `path` — what a crash right now would
+    /// leave (`None` if the file's directory entry itself is not durable).
+    #[must_use]
+    pub fn durable_len(&self, path: &Path) -> Option<u64> {
+        let inner = self.lock();
+        let file = inner.files.get(path)?;
+        let volatile_link = inner.journal.iter().any(|op| match op {
+            LinkOp::Created(p) => p == path,
+            LinkOp::Renamed { to, .. } => to == path,
+            LinkOp::Removed(..) => false,
+        });
+        if volatile_link {
+            None
+        } else {
+            Some(file.synced_len as u64)
+        }
+    }
+
+    /// Checks freeze state and advances the op clock; returns `Err` if
+    /// this mutation must be rejected.
+    fn gate_mutation(inner: &mut FaultFsInner) -> io::Result<()> {
+        let op = inner.ops;
+        inner.ops += 1;
+        if let Some(n) = inner.knobs.freeze_after_ops {
+            if op >= n {
+                inner.knobs.frozen = true;
+            }
+        }
+        if inner.knobs.frozen {
+            inner.counters.frozen_rejections += 1;
+            return Err(frozen_err());
+        }
+        Ok(())
+    }
+
+    /// Decides how many of `len` requested bytes a write may persist.
+    /// `Ok(keep)` with `keep < len` is a short write; `Err` carries the
+    /// partial byte count to persist before failing.
+    fn gate_write(inner: &mut FaultFsInner, len: usize) -> Result<usize, (usize, io::Error)> {
+        let idx = inner.counters.writes;
+        inner.counters.writes += 1;
+        if let Some((nth, keep)) = inner.knobs.short_write_at {
+            if idx == nth {
+                inner.knobs.short_write_at = None;
+                inner.counters.short_writes += 1;
+                return Ok(keep.min(len));
+            }
+        }
+        if inner.knobs.short_write_per_mille > 0
+            && len > 0
+            && (splitmix64(&mut inner.rng) % 1000) < u64::from(inner.knobs.short_write_per_mille)
+        {
+            inner.counters.short_writes += 1;
+            let keep = splitmix64(&mut inner.rng) as usize % len;
+            return Ok(keep);
+        }
+        if let Some(cap) = inner.knobs.write_cap {
+            if len > cap {
+                inner.counters.enospc_hits += 1;
+                return Err((cap, enospc("write larger than injected cap")));
+            }
+        }
+        if let Some(budget) = inner.knobs.byte_budget {
+            if (len as u64) > budget {
+                inner.counters.enospc_hits += 1;
+                inner.knobs.byte_budget = Some(0);
+                return Err((budget as usize, enospc("byte budget exhausted")));
+            }
+            inner.knobs.byte_budget = Some(budget - len as u64);
+        }
+        Ok(len)
+    }
+
+    fn gate_fsync(inner: &mut FaultFsInner) -> io::Result<()> {
+        let idx = inner.counters.fsyncs;
+        inner.counters.fsyncs += 1;
+        if let Some(n) = inner.knobs.fail_fsync_from {
+            if idx >= n {
+                inner.counters.fsync_failures += 1;
+                return Err(io::Error::other("injected fsync failure"));
+            }
+        }
+        if inner.knobs.fsync_fail_per_mille > 0
+            && (splitmix64(&mut inner.rng) % 1000) < u64::from(inner.knobs.fsync_fail_per_mille)
+        {
+            inner.counters.fsync_failures += 1;
+            return Err(io::Error::other("injected fsync failure"));
+        }
+        Ok(())
+    }
+
+    fn not_found(path: &Path) -> io::Error {
+        io::Error::new(io::ErrorKind::NotFound, format!("no such file: {}", path.display()))
+    }
+}
+
+impl Storage for FaultFs {
+    fn create_dir_all(&self, _dir: &Path) -> io::Result<()> {
+        // Directories are implicit: every path is an opaque key and
+        // `list` filters by parent. Creating one is always a no-op.
+        Ok(())
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let inner = self.lock();
+        inner.files.get(path).map(|f| f.data.clone()).ok_or_else(|| Self::not_found(path))
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<usize> {
+        let mut inner = self.lock();
+        Self::gate_mutation(&mut inner)?;
+        let decision = Self::gate_write(&mut inner, bytes.len());
+        let keep = match &decision {
+            Ok(keep) => *keep,
+            Err((partial, _)) => *partial,
+        };
+        if !inner.files.contains_key(path) {
+            inner.files.insert(path.to_path_buf(), MemFile { data: Vec::new(), synced_len: 0 });
+            inner.journal.push(LinkOp::Created(path.to_path_buf()));
+        }
+        let file = inner.files.get_mut(path).expect("inserted above");
+        file.data.extend_from_slice(&bytes[..keep]);
+        match decision {
+            Ok(keep) => Ok(keep),
+            Err((_, e)) => Err(e),
+        }
+    }
+
+    fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<usize> {
+        let mut inner = self.lock();
+        Self::gate_mutation(&mut inner)?;
+        let decision = Self::gate_write(&mut inner, bytes.len());
+        let keep = match &decision {
+            Ok(keep) => *keep,
+            Err((partial, _)) => *partial,
+        };
+        if !inner.files.contains_key(path) {
+            inner.journal.push(LinkOp::Created(path.to_path_buf()));
+        }
+        // A truncating rewrite throws away the durable old contents: the
+        // new bytes are volatile until the next successful fsync, so a
+        // crash leaves a zero-length file — the nastiest real-disk shape.
+        inner
+            .files
+            .insert(path.to_path_buf(), MemFile { data: bytes[..keep].to_vec(), synced_len: 0 });
+        match decision {
+            Ok(keep) => Ok(keep),
+            Err((_, e)) => Err(e),
+        }
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let mut inner = self.lock();
+        Self::gate_mutation(&mut inner)?;
+        let file = inner.files.get_mut(path).ok_or_else(|| Self::not_found(path))?;
+        let len = usize::try_from(len).unwrap_or(usize::MAX);
+        if len < file.data.len() {
+            file.data.truncate(len);
+        }
+        file.synced_len = file.synced_len.min(len);
+        Ok(())
+    }
+
+    fn sync_file(&self, path: &Path) -> io::Result<()> {
+        let mut inner = self.lock();
+        Self::gate_mutation(&mut inner)?;
+        Self::gate_fsync(&mut inner)?;
+        let file = inner.files.get_mut(path).ok_or_else(|| Self::not_found(path))?;
+        file.synced_len = file.data.len();
+        Ok(())
+    }
+
+    fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
+        let mut inner = self.lock();
+        Self::gate_mutation(&mut inner)?;
+        Self::gate_fsync(&mut inner)?;
+        inner.journal.clear();
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut inner = self.lock();
+        Self::gate_mutation(&mut inner)?;
+        let file = inner.files.remove(from).ok_or_else(|| Self::not_found(from))?;
+        let replaced = inner.files.insert(to.to_path_buf(), file);
+        inner.journal.push(LinkOp::Renamed {
+            from: from.to_path_buf(),
+            to: to.to_path_buf(),
+            replaced,
+        });
+        Ok(())
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut inner = self.lock();
+        Self::gate_mutation(&mut inner)?;
+        let file = inner.files.remove(path).ok_or_else(|| Self::not_found(path))?;
+        inner.journal.push(LinkOp::Removed(path.to_path_buf(), file));
+        Ok(())
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let inner = self.lock();
+        Ok(inner.files.keys().filter(|p| p.parent() == Some(dir)).cloned().collect())
+    }
+
+    fn len(&self, path: &Path) -> io::Result<u64> {
+        let inner = self.lock();
+        inner.files.get(path).map(|f| f.data.len() as u64).ok_or_else(|| Self::not_found(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str) -> PathBuf {
+        PathBuf::from("/store").join(name)
+    }
+
+    #[test]
+    fn crash_drops_unsynced_bytes_but_keeps_synced_prefix() {
+        let fs = FaultFs::new();
+        fs.append(&p("wal"), b"durable").unwrap();
+        fs.sync_file(&p("wal")).unwrap();
+        fs.sync_dir(Path::new("/store")).unwrap();
+        fs.append(&p("wal"), b"-volatile").unwrap();
+        fs.crash();
+        assert_eq!(fs.read(&p("wal")).unwrap(), b"durable");
+    }
+
+    #[test]
+    fn crash_undoes_unsynced_creates_renames_and_removes() {
+        let fs = FaultFs::new();
+        fs.write_file(&p("a"), b"aaa").unwrap();
+        fs.sync_file(&p("a")).unwrap();
+        fs.sync_dir(Path::new("/store")).unwrap();
+
+        // Unsynced rename over an existing file plus an unsynced create:
+        // the crash must restore "a" and erase both newcomers.
+        fs.write_file(&p("tmp"), b"new").unwrap();
+        fs.sync_file(&p("tmp")).unwrap();
+        fs.rename(&p("tmp"), &p("a")).unwrap();
+        fs.write_file(&p("b"), b"bbb").unwrap();
+        fs.remove_file(&p("a")).unwrap();
+        fs.crash();
+
+        assert_eq!(fs.read(&p("a")).unwrap(), b"aaa", "rename + remove rolled back");
+        assert!(fs.read(&p("b")).is_err(), "unsynced create rolled back");
+        assert!(fs.read(&p("tmp")).is_err(), "renamed-away source did not resurrect");
+    }
+
+    #[test]
+    fn truncating_rewrite_is_volatile_until_synced() {
+        let fs = FaultFs::new();
+        fs.write_file(&p("snap"), b"old-image").unwrap();
+        fs.sync_file(&p("snap")).unwrap();
+        fs.sync_dir(Path::new("/store")).unwrap();
+        fs.write_file(&p("snap"), b"new-image").unwrap();
+        fs.crash();
+        // The rewrite clobbered the durable bytes and never synced: a
+        // crash exposes the zero-length file real disks produce.
+        assert_eq!(fs.read(&p("snap")).unwrap(), b"");
+    }
+
+    #[test]
+    fn byte_budget_fails_enospc_with_partial_progress() {
+        let fs = FaultFs::new();
+        fs.set_byte_budget(Some(4));
+        let err = fs.append(&p("wal"), b"0123456789").unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"));
+        assert_eq!(fs.read(&p("wal")).unwrap(), b"0123", "partial progress visible");
+        assert_eq!(fs.counters().enospc_hits, 1);
+    }
+
+    #[test]
+    fn write_cap_rejects_only_large_writes() {
+        let fs = FaultFs::new();
+        fs.set_write_cap(Some(8));
+        fs.append(&p("wal"), b"small").unwrap();
+        assert!(fs.write_file(&p("snap"), &[0u8; 64]).is_err());
+        assert_eq!(fs.read(&p("snap")).unwrap().len(), 8, "cap bytes of partial progress");
+    }
+
+    #[test]
+    fn fsync_failures_leave_bytes_volatile() {
+        let fs = FaultFs::new();
+        fs.append(&p("wal"), b"abc").unwrap();
+        fs.fail_fsync_from(Some(0));
+        assert!(fs.sync_file(&p("wal")).is_err());
+        fs.heal();
+        fs.crash();
+        assert!(
+            fs.read(&p("wal")).is_err(),
+            "create was never made durable, crash removes the file"
+        );
+    }
+
+    #[test]
+    fn freeze_rejects_every_mutation_until_crash() {
+        let fs = FaultFs::new();
+        fs.append(&p("wal"), b"abc").unwrap();
+        fs.sync_file(&p("wal")).unwrap();
+        fs.sync_dir(Path::new("/store")).unwrap();
+        fs.freeze_after_ops(Some(fs.ops()));
+        assert!(fs.append(&p("wal"), b"more").is_err());
+        assert!(fs.sync_file(&p("wal")).is_err());
+        assert!(fs.remove_file(&p("wal")).is_err());
+        assert!(fs.counters().frozen_rejections >= 3);
+        fs.crash();
+        fs.heal();
+        assert_eq!(fs.read(&p("wal")).unwrap(), b"abc");
+        fs.append(&p("wal"), b"-again").unwrap();
+    }
+
+    #[test]
+    fn seeded_fault_rates_are_deterministic() {
+        let run = |seed| {
+            let fs = FaultFs::seeded(seed);
+            fs.set_fault_rates(200, 200);
+            for i in 0..200u32 {
+                let _ = fs.append(&p("wal"), &i.to_le_bytes());
+                let _ = fs.sync_file(&p("wal"));
+            }
+            let c = fs.counters();
+            (c.short_writes, c.fsync_failures)
+        };
+        assert_eq!(run(7), run(7), "same seed, same fault schedule");
+        assert!(run(7).0 > 0 && run(7).1 > 0, "rates actually fire");
+        assert_ne!(run(7), run(8), "different seed, different schedule");
+    }
+}

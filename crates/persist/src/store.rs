@@ -3,9 +3,29 @@
 //! Layout inside the store directory:
 //!
 //! ```text
-//! wal.log                    append-only record stream (see `wal`)
+//! wal-<startseq>.log         append-only record segments (see `wal`)
 //! snapshot-<version>.snap    one container per checkpoint (see `container`)
+//! snapshot-<version>.tmp     in-flight checkpoint (swept at open and by GC)
 //! ```
+//!
+//! The WAL is written as *segments*: each file is named for the sequence
+//! number of its first record, appends rotate to a fresh segment once the
+//! active one crosses [`Store::set_segment_bytes`], and segment GC
+//! ([`Store::gc`], run automatically after every durable checkpoint)
+//! unlinks segments that lie entirely below the watermark of the oldest
+//! *retained* valid snapshot (newest K, [`Store::set_retain_snapshots`]).
+//! That keeps the directory bounded under continuous churn while
+//! preserving the crash-only recovery contract: every record at or past
+//! the watermark of whichever snapshot restore actually picks is still on
+//! disk.
+//!
+//! All file IO goes through an injectable [`Storage`] ([`RealFs`] in
+//! production, [`FaultFs`](crate::storage::FaultFs) in the chaos suite),
+//! and the store treats every storage error as "not durable": a failed or
+//! short append is healed away and the operation rejected; a failed
+//! checkpoint leaves the previous snapshot set intact (and runs GC anyway,
+//! so a full disk can drain itself); a crash between "new snapshot
+//! durable" and "old segment unlinked" just leaves harmless extra files.
 //!
 //! Checkpoint files are written temp-then-rename with an fsync in
 //! between, so a crash leaves either the old set of snapshots or the old
@@ -17,13 +37,14 @@
 //! [`Store::simulate_crash`] — both fall back to the previous snapshot
 //! plus a longer WAL replay).
 
-use std::fs::{self, File, OpenOptions};
-use std::io::Write as _;
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::container::{Container, ContainerWriter};
 use crate::error::PersistError;
-use crate::wal::{frame_record, replay, WalRecord, WalTail};
+use crate::storage::{RealFs, Storage};
+use crate::wal::{frame_record, replay, WalRecord, WalTail, RECORD_HEADER};
 use crate::wire::Writer;
 
 /// Section id of the checkpoint metadata (version + WAL watermark).
@@ -31,15 +52,22 @@ const SEC_META: u32 = 1;
 /// Section id of the opaque classifier image.
 const SEC_IMAGE: u32 = 2;
 
-const WAL_FILE: &str = "wal.log";
+const LEGACY_WAL_FILE: &str = "wal.log";
+const WAL_PREFIX: &str = "wal-";
+const WAL_SUFFIX: &str = ".log";
 const SNAP_PREFIX: &str = "snapshot-";
 const SNAP_SUFFIX: &str = ".snap";
+
+/// Default byte size at which the active WAL segment rotates.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 64 * 1024;
+/// Default number of newest valid snapshots GC retains.
+pub const DEFAULT_RETAIN_SNAPSHOTS: usize = 2;
 
 /// How a checkpoint write should (mis)behave — the durable path, or one
 /// of the injected control-plane faults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CheckpointMode {
-    /// Temp file → fsync → rename → directory fsync.
+    /// Temp file → fsync → rename → directory fsync → GC.
     Durable,
     /// Rename without any fsync: the file looks fine but is dropped by
     /// the next [`Store::simulate_crash`].
@@ -69,61 +97,342 @@ pub struct RestorePoint {
     pub wal_torn: bool,
 }
 
+/// What one [`Store::gc`] pass actually unlinked.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GcReport {
+    /// Snapshot files removed (invalid, or older than the retained K).
+    pub snapshots_removed: u64,
+    /// WAL segments removed (entirely below the retained watermark).
+    pub segments_removed: u64,
+    /// Orphaned `.tmp` files removed.
+    pub tmp_removed: u64,
+}
+
+/// Cumulative housekeeping counters for one [`Store`] session.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StoreStats {
+    /// Orphaned `.tmp` files removed (at open and by GC).
+    pub tmp_cleaned: u64,
+    /// GC passes run.
+    pub gc_runs: u64,
+    /// Snapshot files GC unlinked.
+    pub gc_snapshots_removed: u64,
+    /// WAL segments GC unlinked.
+    pub gc_segments_removed: u64,
+    /// Active-segment rotations.
+    pub segments_rotated: u64,
+}
+
+/// Sizes currently on disk, for telemetry and bound assertions.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StoreDiskStats {
+    /// WAL segment files present.
+    pub wal_segments: u64,
+    /// Total bytes across WAL segments.
+    pub wal_bytes: u64,
+    /// Snapshot files present.
+    pub snapshots: u64,
+    /// Total bytes across snapshot files.
+    pub snapshot_bytes: u64,
+}
+
 /// A checkpoint + WAL store rooted at one directory.
 #[derive(Debug)]
 pub struct Store {
     dir: PathBuf,
-    wal: File,
-    wal_path: PathBuf,
-    /// Bytes of clean log currently on disk (the self-heal truncation
-    /// target for torn appends).
+    storage: Arc<dyn Storage>,
+    /// Path of the segment appends currently go to (it may not exist on
+    /// disk yet — the first append creates it).
+    active_wal: PathBuf,
+    /// Bytes of clean log in the active segment (the self-heal
+    /// truncation target for torn appends).
     wal_len: u64,
     next_seq: u64,
+    segment_bytes: u64,
+    retain_snapshots: usize,
+    /// The active segment's directory entry has not been fsynced yet;
+    /// the next successful append must sync the directory too.
+    needs_dir_sync: bool,
+    /// A failed append could not heal its partial frame away; the next
+    /// append must retry the truncation before writing.
+    tail_dirty: bool,
     /// Checkpoint files renamed into place without fsync; a simulated
-    /// crash deletes them.
+    /// crash deletes them, and GC never anchors on them.
     unsynced: Vec<PathBuf>,
     wal_was_torn_at_open: bool,
     self_heals: u64,
+    stats: StoreStats,
+    /// See [`BootSnapshot`].
+    boot_cache: Option<BootSnapshot>,
+}
+
+fn wal_segment_path(dir: &Path, start_seq: u64) -> PathBuf {
+    dir.join(format!("{WAL_PREFIX}{start_seq:020}{WAL_SUFFIX}"))
+}
+
+fn parse_numbered(path: &Path, prefix: &str, suffix: &str) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix(prefix)?.strip_suffix(suffix)?;
+    if digits.len() == 20 && digits.bytes().all(|b| b.is_ascii_digit()) {
+        digits.parse().ok()
+    } else {
+        None
+    }
+}
+
+fn segment_start(path: &Path) -> Option<u64> {
+    parse_numbered(path, WAL_PREFIX, WAL_SUFFIX)
+}
+
+fn snapshot_version_of(path: &Path) -> Option<u64> {
+    parse_numbered(path, SNAP_PREFIX, SNAP_SUFFIX)
+}
+
+fn is_tmp(path: &Path) -> bool {
+    path.extension().is_some_and(|e| e == "tmp")
+}
+
+fn write_fully(storage: &dyn Storage, path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let n = storage.write_file(path, bytes)?;
+    if n < bytes.len() {
+        return Err(PersistError::Io(io::Error::new(
+            io::ErrorKind::WriteZero,
+            format!("short write ({n} of {} bytes)", bytes.len()),
+        )));
+    }
+    Ok(())
+}
+
+fn read_snapshot(storage: &dyn Storage, path: &Path) -> Result<(u64, u64, Vec<u8>), PersistError> {
+    let bytes = storage.read(path)?;
+    let container = Container::parse(&bytes)?;
+    let mut meta = container.section(SEC_META)?;
+    let version = meta.u64()?;
+    let wal_seq = meta.u64()?;
+    meta.finish()?;
+    let mut image = container.section(SEC_IMAGE)?;
+    Ok((version, wal_seq, image.rest().to_vec()))
+}
+
+/// The newest end-to-end-valid snapshot, fully read and validated once
+/// at [`Store::open`] and consumed by the first [`Store::restore`] —
+/// so a boot (open + restore) pays for one snapshot read, not two.
+/// Any checkpoint, GC pass or simulated crash drops the cache; restore
+/// then re-scans the directory.
+#[derive(Debug)]
+struct BootSnapshot {
+    version: u64,
+    wal_seq: u64,
+    image: Vec<u8>,
+    /// Newer-but-invalid snapshot files skipped to reach this one.
+    skipped: usize,
+}
+
+/// Newest snapshot that parses and checksums end-to-end, with its
+/// image bytes and the count of newer-invalid files skipped over.
+fn newest_valid_snapshot(
+    storage: &dyn Storage,
+    dir: &Path,
+) -> Result<Option<BootSnapshot>, PersistError> {
+    let mut snaps: Vec<(u64, PathBuf)> = storage
+        .list(dir)?
+        .into_iter()
+        .filter_map(|p| snapshot_version_of(&p).map(|v| (v, p)))
+        .collect();
+    snaps.sort();
+    for (skipped, (_, path)) in snaps.iter().rev().enumerate() {
+        if let Ok((version, wal_seq, image)) = read_snapshot(storage, path) {
+            return Ok(Some(BootSnapshot { version, wal_seq, image, skipped }));
+        }
+    }
+    Ok(None)
+}
+
+enum Heal {
+    Truncate(PathBuf, u64),
+    Remove(PathBuf),
+}
+
+/// Outcome of scanning every WAL segment in sequence order.
+struct WalScan {
+    records: Vec<WalRecord>,
+    torn: bool,
+    next_seq: u64,
+    /// Last surviving segment and its clean byte length.
+    active: Option<(PathBuf, u64)>,
+    /// Disk fixes the scan decided on (applied by `open`, ignored by the
+    /// read-only paths).
+    heals: Vec<Heal>,
+}
+
+/// Walks the segments in name order applying the recovery policy:
+/// records inside a segment must be dense from the segment's name; a
+/// torn or mis-numbered record truncates its segment there; at a segment
+/// boundary the next segment must either continue the sequence exactly
+/// or jump *forward* to a sequence at or below `watermark` (the newest
+/// durable snapshot's) — such a gap is what a crash mid-GC legitimately
+/// leaves, and the snapshot already covers every record inside it. Any
+/// other boundary is a tear, and everything past a tear is unreachable
+/// by replay, so it is dropped rather than resynced.
+fn scan_wal(storage: &dyn Storage, dir: &Path, watermark: u64) -> Result<WalScan, PersistError> {
+    let mut segments: Vec<(u64, PathBuf)> =
+        storage.list(dir)?.into_iter().filter_map(|p| segment_start(&p).map(|s| (s, p))).collect();
+    segments.sort();
+
+    let mut scan =
+        WalScan { records: Vec::new(), torn: false, next_seq: 0, active: None, heals: Vec::new() };
+    let mut expected: Option<u64> = None;
+    let mut drop_rest = false;
+    for (start, path) in segments {
+        if drop_rest {
+            scan.heals.push(Heal::Remove(path));
+            continue;
+        }
+        if let Some(exp) = expected {
+            let contiguous = start == exp;
+            let covered_gap = start > exp && start <= watermark;
+            if !contiguous && !covered_gap {
+                scan.torn = true;
+                drop_rest = true;
+                scan.heals.push(Heal::Remove(path));
+                continue;
+            }
+        }
+        let bytes = storage.read(&path)?;
+        let (mut records, tail) = replay(&bytes);
+        let mut seg_torn = !matches!(tail, WalTail::Clean);
+        let mut clean_len = match tail {
+            WalTail::Clean => bytes.len() as u64,
+            WalTail::Torn { offset, .. } => offset,
+        };
+        let mut dense = records.len();
+        let mut offset = 0u64;
+        for (i, r) in records.iter().enumerate() {
+            if r.seq != start + i as u64 {
+                dense = i;
+                clean_len = offset;
+                seg_torn = true;
+                break;
+            }
+            offset += (RECORD_HEADER + r.payload.len()) as u64;
+        }
+        records.truncate(dense);
+        if clean_len < bytes.len() as u64 {
+            scan.heals.push(Heal::Truncate(path.clone(), clean_len));
+        }
+        scan.torn |= seg_torn;
+        expected = Some(start + records.len() as u64);
+        scan.records.append(&mut records);
+        scan.active = Some((path, clean_len));
+    }
+    scan.next_seq = expected.unwrap_or(0);
+    Ok(scan)
 }
 
 impl Store {
-    /// Opens (creating if needed) the store at `dir`, scanning the WAL to
-    /// find the next sequence number. A torn WAL tail left by a crash is
-    /// truncated away here — the partial record never became durable
-    /// state, so dropping it *is* the correct recovery.
+    /// Opens (creating if needed) the store at `dir` on the real
+    /// filesystem. See [`Store::open_with`].
     ///
     /// # Errors
     /// I/O failures only; corrupt snapshots are dealt with lazily by
     /// [`Store::restore`].
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, PersistError> {
+        Self::open_with(dir, Arc::new(RealFs))
+    }
+
+    /// Opens the store at `dir` on `storage`, scanning the WAL segments
+    /// to find the next sequence number. Housekeeping happens here:
+    /// orphaned `.tmp` files from torn checkpoints are swept, a legacy
+    /// single-file `wal.log` is migrated to the segmented layout, and a
+    /// torn WAL tail left by a crash is truncated away — the partial
+    /// record never became durable state, so dropping it *is* the
+    /// correct recovery.
+    ///
+    /// # Errors
+    /// I/O failures only; corrupt snapshots are dealt with lazily by
+    /// [`Store::restore`].
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        storage: Arc<dyn Storage>,
+    ) -> Result<Self, PersistError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        let wal_path = dir.join(WAL_FILE);
-        let existing = match fs::read(&wal_path) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-            Err(e) => return Err(e.into()),
-        };
-        let (records, tail) = replay(&existing);
-        let clean_len = match &tail {
-            WalTail::Clean => existing.len() as u64,
-            WalTail::Torn { offset, .. } => *offset,
-        };
-        let next_seq = records.last().map_or(0, |r| r.seq + 1);
-        let wal = OpenOptions::new().create(true).append(true).open(&wal_path)?;
-        if clean_len < existing.len() as u64 {
-            wal.set_len(clean_len)?;
-            wal.sync_data()?;
+        storage.create_dir_all(&dir)?;
+        let mut stats = StoreStats::default();
+
+        // Sweep checkpoint temp files a torn write left behind.
+        for path in storage.list(&dir)? {
+            if is_tmp(&path) && storage.remove_file(&path).is_ok() {
+                stats.tmp_cleaned += 1;
+            }
         }
+
+        // Migrate a pre-segmentation single-file WAL: it simply becomes
+        // the segment named for its first record.
+        let legacy = dir.join(LEGACY_WAL_FILE);
+        match storage.read(&legacy) {
+            Ok(bytes) if bytes.is_empty() => {
+                let _ = storage.remove_file(&legacy);
+            }
+            Ok(bytes) => {
+                let (records, _) = replay(&bytes);
+                let start = records.first().map_or(0, |r| r.seq);
+                let target = wal_segment_path(&dir, start);
+                if storage.len(&target).is_ok() {
+                    return Err(PersistError::Malformed {
+                        context: "wal migration",
+                        detail: format!("both {} and {} exist", legacy.display(), target.display()),
+                    });
+                }
+                storage.rename(&legacy, &target)?;
+                let _ = storage.sync_dir(&dir);
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+
+        let boot_cache = newest_valid_snapshot(&*storage, &dir)?;
+        let watermark = boot_cache.as_ref().map_or(0, |b| b.wal_seq);
+        let mut scan = scan_wal(&*storage, &dir, watermark)?;
+        for heal in scan.heals.drain(..) {
+            match heal {
+                Heal::Truncate(path, len) => {
+                    storage.truncate(&path, len)?;
+                    storage.sync_file(&path)?;
+                }
+                Heal::Remove(path) => {
+                    storage.remove_file(&path)?;
+                }
+            }
+        }
+
+        let mut next_seq = scan.next_seq;
+        let (active_wal, wal_len) = match scan.active {
+            Some((path, len)) if next_seq >= watermark => (path, len),
+            _ => {
+                // Fresh store — or the log somehow regressed below the
+                // newest durable snapshot's watermark. Appends restart
+                // at the watermark in a fresh segment so the snapshot's
+                // replay filter stays sound.
+                next_seq = next_seq.max(watermark);
+                (wal_segment_path(&dir, next_seq), 0)
+            }
+        };
+
         Ok(Self {
             dir,
-            wal,
-            wal_path,
-            wal_len: clean_len,
+            storage,
+            active_wal,
+            wal_len,
             next_seq,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            retain_snapshots: DEFAULT_RETAIN_SNAPSHOTS,
+            needs_dir_sync: true,
+            tail_dirty: false,
             unsynced: Vec::new(),
-            wal_was_torn_at_open: !matches!(tail, WalTail::Clean),
+            wal_was_torn_at_open: scan.torn,
             self_heals: 0,
+            stats,
+            boot_cache,
         })
     }
 
@@ -133,10 +442,10 @@ impl Store {
         &self.dir
     }
 
-    /// Path of the write-ahead log file.
+    /// Path of the active write-ahead log segment.
     #[must_use]
     pub fn wal_path(&self) -> &Path {
-        &self.wal_path
+        &self.active_wal
     }
 
     /// Sequence number the next append will use (also the watermark a
@@ -158,17 +467,102 @@ impl Store {
         self.self_heals
     }
 
+    /// Housekeeping counters for this session.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Byte size at which the active segment rotates (default
+    /// [`DEFAULT_SEGMENT_BYTES`]).
+    pub fn set_segment_bytes(&mut self, bytes: u64) {
+        self.segment_bytes = bytes.max(1);
+    }
+
+    /// Newest valid snapshots GC keeps (default
+    /// [`DEFAULT_RETAIN_SNAPSHOTS`], minimum 1).
+    pub fn set_retain_snapshots(&mut self, keep: usize) {
+        self.retain_snapshots = keep.max(1);
+    }
+
+    /// Truncates the active segment back to its clean length; `true` if
+    /// the disk is known clean afterwards.
+    fn truncate_tail(&self) -> bool {
+        match self.storage.truncate(&self.active_wal, self.wal_len) {
+            Ok(()) => self.storage.sync_file(&self.active_wal).is_ok(),
+            // The segment was never created: zero clean bytes *is* the
+            // on-disk state already.
+            Err(e) if e.kind() == io::ErrorKind::NotFound && self.wal_len == 0 => true,
+            Err(_) => false,
+        }
+    }
+
+    fn heal_tail(&mut self) {
+        if self.truncate_tail() {
+            self.self_heals += 1;
+            self.tail_dirty = false;
+        } else {
+            self.tail_dirty = true;
+        }
+    }
+
     /// Durably appends one record; returns its sequence number. The
     /// record is fsynced before this returns — that is the write-ahead
     /// guarantee callers rely on to apply the operation afterwards.
+    /// Rotates to a fresh segment first when the active one is full.
+    ///
+    /// Any storage failure (`ENOSPC`, a short write, a failed fsync, a
+    /// failed directory sync for a fresh segment) rejects the append:
+    /// partial bytes are healed away (or, if even the heal fails,
+    /// retried before the next append) so later records always land on a
+    /// record boundary.
     ///
     /// # Errors
-    /// I/O failures; on error the log is unchanged.
+    /// I/O failures; on error the record is not durable and the caller
+    /// must not apply the operation.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64, PersistError> {
+        if self.tail_dirty {
+            if !self.truncate_tail() {
+                return Err(PersistError::Io(io::Error::other(
+                    "WAL tail still dirty after failed self-heal",
+                )));
+            }
+            self.tail_dirty = false;
+            self.self_heals += 1;
+        }
+        if self.wal_len >= self.segment_bytes {
+            self.active_wal = wal_segment_path(&self.dir, self.next_seq);
+            self.wal_len = 0;
+            self.needs_dir_sync = true;
+            self.stats.segments_rotated += 1;
+        }
         let seq = self.next_seq;
         let frame = frame_record(seq, payload);
-        self.wal.write_all(&frame)?;
-        self.wal.sync_data()?;
+        let wrote = match self.storage.append(&self.active_wal, &frame) {
+            Ok(n) if n == frame.len() => Ok(()),
+            Ok(n) => Err(PersistError::WalCorrupt {
+                offset: self.wal_len,
+                detail: format!("short append ({n} of {} bytes)", frame.len()),
+            }),
+            Err(e) => Err(e.into()),
+        };
+        if let Err(e) = wrote {
+            self.heal_tail();
+            return Err(e);
+        }
+        if let Err(e) = self.storage.sync_file(&self.active_wal) {
+            self.heal_tail();
+            return Err(e.into());
+        }
+        if self.needs_dir_sync {
+            // A fresh segment's directory entry must be durable before
+            // the record inside it is acknowledged.
+            if let Err(e) = self.storage.sync_dir(&self.dir) {
+                self.heal_tail();
+                return Err(e.into());
+            }
+            self.needs_dir_sync = false;
+        }
         self.wal_len += frame.len() as u64;
         self.next_seq = seq + 1;
         Ok(seq)
@@ -185,13 +579,11 @@ impl Store {
     pub fn append_torn(&mut self, payload: &[u8], keep: usize) -> Result<u64, PersistError> {
         let frame = frame_record(self.next_seq, payload);
         let keep = keep.min(frame.len().saturating_sub(1));
-        self.wal.write_all(&frame[..keep])?;
-        self.wal.sync_data()?;
+        let _ = self.storage.append(&self.active_wal, &frame[..keep]);
+        let _ = self.storage.sync_file(&self.active_wal);
         // Self-heal: drop the partial frame so later appends land on a
         // record boundary instead of behind unreachable garbage.
-        self.wal.set_len(self.wal_len)?;
-        self.wal.sync_data()?;
-        self.self_heals += 1;
+        self.heal_tail();
         Err(PersistError::WalCorrupt {
             offset: self.wal_len,
             detail: format!("injected torn append ({keep} of {} bytes)", frame.len()),
@@ -202,17 +594,50 @@ impl Store {
         self.dir.join(format!("{SNAP_PREFIX}{version:020}{SNAP_SUFFIX}"))
     }
 
+    /// The durable checkpoint write path: temp → fsync → rename →
+    /// directory fsync. The directory fsync is mandatory — GC anchors on
+    /// this snapshot, so its directory entry must be crash-durable
+    /// before anything older is unlinked.
+    fn durable_checkpoint(&mut self, final_path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+        let tmp = final_path.with_extension("tmp");
+        let staged = write_fully(&*self.storage, &tmp, bytes)
+            .and_then(|()| self.storage.sync_file(&tmp).map_err(PersistError::from));
+        if let Err(e) = staged {
+            let _ = self.storage.remove_file(&tmp);
+            return Err(e);
+        }
+        if let Err(e) = self.storage.rename(&tmp, final_path) {
+            let _ = self.storage.remove_file(&tmp);
+            return Err(e.into());
+        }
+        if let Err(e) = self.storage.sync_dir(&self.dir) {
+            // Content is good but the directory entry may not survive a
+            // crash; GC must never anchor on it. Drop it, or quarantine
+            // it as unsynced if even the unlink fails.
+            if self.storage.remove_file(final_path).is_err() {
+                self.unsynced.push(final_path.to_path_buf());
+            }
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
     /// Writes a checkpoint of `image` at table `version`, recording the
-    /// current WAL watermark. Returns the snapshot path.
+    /// current WAL watermark. Returns the snapshot path. In
+    /// [`CheckpointMode::Durable`] a GC pass runs afterwards — including
+    /// after a *failed* write, so a full disk reclaims space for the
+    /// next retry.
     ///
     /// # Errors
-    /// I/O failures.
+    /// I/O failures; on error no new snapshot is visible (or, if its
+    /// unlink also failed, it is quarantined so GC never anchors on it).
     pub fn checkpoint(
         &mut self,
         version: u64,
         image: &[u8],
         mode: CheckpointMode,
     ) -> Result<PathBuf, PersistError> {
+        self.boot_cache = None;
         let mut meta = Writer::new();
         meta.put_u64(version);
         meta.put_u64(self.next_seq);
@@ -224,35 +649,111 @@ impl Store {
         let final_path = self.snapshot_path(version);
         match mode {
             CheckpointMode::Durable => {
-                let tmp = final_path.with_extension("tmp");
-                let mut f = File::create(&tmp)?;
-                f.write_all(&bytes)?;
-                f.sync_all()?;
-                drop(f);
-                fs::rename(&tmp, &final_path)?;
-                // Make the rename itself durable; failure here downgrades
-                // to "maybe lost on crash", which restore tolerates anyway.
-                if let Ok(d) = File::open(&self.dir) {
-                    let _ = d.sync_all();
+                if let Err(e) = self.durable_checkpoint(&final_path, &bytes) {
+                    let _ = self.gc();
+                    return Err(e);
                 }
                 self.unsynced.retain(|p| p != &final_path);
+                let _ = self.gc();
             }
             CheckpointMode::SkipFsync => {
                 let tmp = final_path.with_extension("tmp");
-                let mut f = File::create(&tmp)?;
-                f.write_all(&bytes)?;
-                drop(f);
-                fs::rename(&tmp, &final_path)?;
+                write_fully(&*self.storage, &tmp, &bytes)?;
+                self.storage.rename(&tmp, &final_path)?;
                 self.unsynced.push(final_path.clone());
             }
             CheckpointMode::Torn { keep } => {
                 let keep = keep.min(bytes.len().saturating_sub(1));
-                let mut f = File::create(&final_path)?;
-                f.write_all(&bytes[..keep])?;
-                f.sync_all()?;
+                let _ = self.storage.write_file(&final_path, &bytes[..keep])?;
+                self.storage.sync_file(&final_path)?;
             }
         }
         Ok(final_path)
+    }
+
+    /// Retention GC: keeps the newest [`Store::set_retain_snapshots`]
+    /// valid, crash-durable snapshots, unlinks every other snapshot file
+    /// (invalid or superseded), sweeps orphaned `.tmp` files, and
+    /// unlinks WAL segments that lie entirely below the watermark of the
+    /// *oldest retained* snapshot. Runs automatically after durable
+    /// checkpoints; callable directly too.
+    ///
+    /// Crash-safe by ordering: the new snapshot was made durable first
+    /// (directory fsync included), unlinks happen after, and recovery
+    /// tolerates any prefix of the unlinks resurrecting — a surviving
+    /// older snapshot is just a fallback candidate, a surviving segment
+    /// below the watermark is skipped by the replay filter, and a
+    /// boundary gap left by partially-unlinked segments is accepted by
+    /// the scan exactly when a durable snapshot covers it.
+    ///
+    /// # Errors
+    /// I/O failures listing the directory; individual unlink failures
+    /// are skipped (the next pass retries them).
+    pub fn gc(&mut self) -> Result<GcReport, PersistError> {
+        self.boot_cache = None;
+        let mut report = GcReport::default();
+        let mut snaps: Vec<(u64, PathBuf)> = Vec::new();
+        let mut segs: Vec<(u64, PathBuf)> = Vec::new();
+        for path in self.storage.list(&self.dir)? {
+            if let Some(v) = snapshot_version_of(&path) {
+                snaps.push((v, path));
+            } else if let Some(s) = segment_start(&path) {
+                segs.push((s, path));
+            } else if is_tmp(&path) && self.storage.remove_file(&path).is_ok() {
+                report.tmp_removed += 1;
+            }
+        }
+        snaps.sort();
+        segs.sort();
+
+        let mut floor: Option<u64> = None;
+        let mut retained = 0usize;
+        let mut doomed: Vec<PathBuf> = Vec::new();
+        for (_, path) in snaps.iter().rev() {
+            if self.unsynced.contains(path) {
+                // Not crash-durable: neither an anchor nor (yet) garbage.
+                continue;
+            }
+            if retained < self.retain_snapshots {
+                if let Ok((_, wal_seq, _)) = read_snapshot(&*self.storage, path) {
+                    retained += 1;
+                    floor = Some(wal_seq);
+                } else {
+                    doomed.push(path.clone());
+                }
+            } else {
+                doomed.push(path.clone());
+            }
+        }
+        if retained > 0 {
+            for path in doomed {
+                if self.storage.remove_file(&path).is_ok() {
+                    report.snapshots_removed += 1;
+                }
+            }
+        }
+        if let Some(floor) = floor {
+            for i in 0..segs.len().saturating_sub(1) {
+                // A segment is dead only when the *next* segment starts
+                // at or below the floor — then every record in it is
+                // below the floor too. Never the active segment.
+                if segs[i + 1].0 <= floor && segs[i].1 != self.active_wal {
+                    if self.storage.remove_file(&segs[i].1).is_ok() {
+                        report.segments_removed += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+        if report.snapshots_removed + report.segments_removed + report.tmp_removed > 0 {
+            let _ = self.storage.sync_dir(&self.dir);
+        }
+        self.stats.gc_runs += 1;
+        self.stats.gc_snapshots_removed += report.snapshots_removed;
+        self.stats.gc_segments_removed += report.segments_removed;
+        self.stats.tmp_cleaned += report.tmp_removed;
+        Ok(report)
     }
 
     /// Simulates the machine dying now: checkpoint files whose writes
@@ -262,10 +763,11 @@ impl Store {
     /// # Errors
     /// I/O failures while deleting.
     pub fn simulate_crash(&mut self) -> Result<(), PersistError> {
+        self.boot_cache = None;
         for path in self.unsynced.drain(..) {
-            match fs::remove_file(&path) {
+            match self.storage.remove_file(&path) {
                 Ok(()) => {}
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
                 Err(e) => return Err(e.into()),
             }
         }
@@ -277,70 +779,102 @@ impl Store {
     /// # Errors
     /// I/O failures while listing.
     pub fn snapshots(&self) -> Result<Vec<PathBuf>, PersistError> {
-        let mut found = Vec::new();
-        for entry in fs::read_dir(&self.dir)? {
-            let path = entry?.path();
-            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default();
-            if name.starts_with(SNAP_PREFIX) && name.ends_with(SNAP_SUFFIX) {
-                found.push(path);
+        let mut found: Vec<(u64, PathBuf)> = self
+            .storage
+            .list(&self.dir)?
+            .into_iter()
+            .filter_map(|p| snapshot_version_of(&p).map(|v| (v, p)))
+            .collect();
+        found.sort();
+        Ok(found.into_iter().map(|(_, p)| p).collect())
+    }
+
+    /// Bytes and file counts currently on disk.
+    ///
+    /// # Errors
+    /// I/O failures while listing.
+    pub fn disk_stats(&self) -> Result<StoreDiskStats, PersistError> {
+        let mut out = StoreDiskStats::default();
+        for path in self.storage.list(&self.dir)? {
+            let len = self.storage.len(&path).unwrap_or(0);
+            if segment_start(&path).is_some() {
+                out.wal_segments += 1;
+                out.wal_bytes += len;
+            } else if snapshot_version_of(&path).is_some() {
+                out.snapshots += 1;
+                out.snapshot_bytes += len;
             }
         }
-        found.sort();
-        Ok(found)
+        Ok(out)
+    }
+
+    /// Every clean WAL record currently on disk, in sequence order —
+    /// recovery's input when no snapshot survives (replay onto the
+    /// caller's initial table).
+    ///
+    /// # Errors
+    /// I/O failures while scanning.
+    pub fn wal_records(&self) -> Result<Vec<WalRecord>, PersistError> {
+        let watermark = match &self.boot_cache {
+            Some(b) => b.wal_seq,
+            None => newest_valid_snapshot(&*self.storage, &self.dir)?.map_or(0, |b| b.wal_seq),
+        };
+        Ok(scan_wal(&*self.storage, &self.dir, watermark)?.records)
     }
 
     /// Picks the newest *valid* snapshot, verifies it end-to-end, and
     /// pairs it with the WAL records past its watermark. Invalid
     /// snapshots (torn, truncated, bit-flipped, unparseable) are counted
     /// and skipped — recovery falls back to the next-older candidate.
-    /// Returns `Ok(None)` for an empty store.
+    /// Returns `Ok(None)` for a store with no snapshot (see
+    /// [`Store::wal_records`] for the WAL-only case).
     ///
     /// # Errors
     /// I/O failures reading the directory or WAL; *corruption* never
     /// errors, it just narrows the candidate set.
     pub fn restore(&mut self) -> Result<Option<RestorePoint>, PersistError> {
-        let mut skipped = 0usize;
-        let mut chosen: Option<(u64, u64, Vec<u8>)> = None;
-        for path in self.snapshots()?.into_iter().rev() {
-            match Self::read_snapshot(&path) {
-                Ok((version, wal_seq, image)) => {
-                    chosen = Some((version, wal_seq, image));
-                    break;
+        let (version, wal_seq, image, skipped) = match self.boot_cache.take() {
+            // The snapshot set has not changed since open — reuse the
+            // copy open already read and validated end-to-end.
+            Some(b) => (b.version, b.wal_seq, b.image, b.skipped),
+            None => {
+                let mut skipped = 0usize;
+                let mut chosen: Option<(u64, u64, Vec<u8>)> = None;
+                for path in self.snapshots()?.into_iter().rev() {
+                    match read_snapshot(&*self.storage, &path) {
+                        Ok(found) => {
+                            chosen = Some(found);
+                            break;
+                        }
+                        Err(_) => skipped += 1,
+                    }
                 }
-                Err(_) => skipped += 1,
+                let Some((version, wal_seq, image)) = chosen else {
+                    return Ok(None);
+                };
+                (version, wal_seq, image, skipped)
             }
-        }
-        let Some((version, wal_seq, image)) = chosen else {
-            return Ok(None);
         };
-        let wal_bytes = fs::read(&self.wal_path)?;
-        let (records, tail) = replay(&wal_bytes);
-        let wal_tail: Vec<WalRecord> = records.into_iter().filter(|r| r.seq >= wal_seq).collect();
+        let scan = scan_wal(&*self.storage, &self.dir, wal_seq)?;
+        let wal_tail: Vec<WalRecord> =
+            scan.records.into_iter().filter(|r| r.seq >= wal_seq).collect();
         Ok(Some(RestorePoint {
             version,
             wal_seq,
             image,
             wal_tail,
             skipped_checkpoints: skipped,
-            wal_torn: !matches!(tail, WalTail::Clean),
+            wal_torn: scan.torn,
         }))
-    }
-
-    fn read_snapshot(path: &Path) -> Result<(u64, u64, Vec<u8>), PersistError> {
-        let bytes = fs::read(path)?;
-        let container = Container::parse(&bytes)?;
-        let mut meta = container.section(SEC_META)?;
-        let version = meta.u64()?;
-        let wal_seq = meta.u64()?;
-        meta.finish()?;
-        let mut image = container.section(SEC_IMAGE)?;
-        Ok((version, wal_seq, image.rest().to_vec()))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storage::FaultFs;
+    use std::fs::{self, OpenOptions};
+    use std::io::Write as _;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn temp_dir(tag: &str) -> PathBuf {
@@ -432,9 +966,9 @@ mod tests {
         let dir = temp_dir("tail");
         let mut store = Store::open(&dir).unwrap();
         store.append(b"keep-me").unwrap();
+        let wal_path = store.wal_path().to_path_buf();
         drop(store);
         // Simulate a crash mid-append: raw partial frame at the tail.
-        let wal_path = dir.join(WAL_FILE);
         let mut f = OpenOptions::new().append(true).open(&wal_path).unwrap();
         let partial = frame_record(1, b"half-written");
         f.write_all(&partial[..partial.len() / 2]).unwrap();
@@ -455,5 +989,239 @@ mod tests {
         let mut store = Store::open(&dir).unwrap();
         assert!(store.restore().unwrap().is_none());
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_orphaned_checkpoint_temp_files() {
+        let dir = temp_dir("tmpsweep");
+        fs::create_dir_all(&dir).unwrap();
+        let orphan = dir.join(format!("{SNAP_PREFIX}{:020}.tmp", 7));
+        fs::write(&orphan, b"half a checkpoint").unwrap();
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.stats().tmp_cleaned, 1);
+        assert!(!orphan.exists(), "orphaned .tmp removed at open");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_wal_log_migrates_to_a_segment() {
+        let dir = temp_dir("legacy");
+        fs::create_dir_all(&dir).unwrap();
+        let mut bytes = Vec::new();
+        for seq in 0..3u64 {
+            bytes.extend_from_slice(&frame_record(seq, format!("legacy-{seq}").as_bytes()));
+        }
+        fs::write(dir.join(LEGACY_WAL_FILE), &bytes).unwrap();
+
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.next_seq(), 3);
+        assert!(!dir.join(LEGACY_WAL_FILE).exists(), "legacy file renamed away");
+        assert!(wal_segment_path(&dir, 0).exists(), "segment named for first record");
+        let records = store.wal_records().unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2].payload, b"legacy-2");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_rotate_and_replay_in_order() {
+        let dir = temp_dir("rotate");
+        let mut store = Store::open(&dir).unwrap();
+        store.set_segment_bytes(64);
+        store.checkpoint(1, b"base", CheckpointMode::Durable).unwrap();
+        for i in 0..20u32 {
+            store.append(format!("record-{i:03}").as_bytes()).unwrap();
+        }
+        let disk = store.disk_stats().unwrap();
+        assert!(disk.wal_segments > 1, "rotation produced {} segment(s)", disk.wal_segments);
+        assert!(store.stats().segments_rotated > 0);
+        drop(store);
+
+        let mut reopened = Store::open(&dir).unwrap();
+        assert!(!reopened.wal_was_torn_at_open());
+        assert_eq!(reopened.next_seq(), 20);
+        let point = reopened.restore().unwrap().unwrap();
+        assert_eq!(point.wal_tail.len(), 20, "all records replay across segments");
+        for (i, r) in point.wal_tail.iter().enumerate() {
+            assert_eq!(r.payload, format!("record-{i:03}").as_bytes());
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_bounds_snapshots_and_segments_under_churn() {
+        let dir = temp_dir("gcbound");
+        let mut store = Store::open(&dir).unwrap();
+        store.set_segment_bytes(128);
+        store.set_retain_snapshots(2);
+        for round in 0..30u64 {
+            for i in 0..8u64 {
+                store.append(format!("round-{round}-op-{i}").as_bytes()).unwrap();
+            }
+            store.checkpoint(round + 1, b"image", CheckpointMode::Durable).unwrap();
+        }
+        let disk = store.disk_stats().unwrap();
+        assert_eq!(disk.snapshots, 2, "exactly K snapshots retained");
+        assert!(
+            disk.wal_segments <= 4,
+            "segments bounded under churn, found {}",
+            disk.wal_segments
+        );
+        assert!(store.stats().gc_segments_removed > 0);
+        assert!(store.stats().gc_snapshots_removed > 0);
+
+        // The retained tail still replays exactly.
+        let point = store.restore().unwrap().unwrap();
+        assert_eq!(point.version, 30);
+        assert_eq!(point.wal_seq, 240);
+        assert!(!point.wal_torn);
+        assert_eq!(point.wal_tail.len(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_floor_is_the_oldest_retained_snapshot_not_the_newest() {
+        let dir = temp_dir("gcfloor");
+        let mut store = Store::open(&dir).unwrap();
+        store.set_segment_bytes(1); // one record per segment
+        store.set_retain_snapshots(2);
+        store.append(b"op-0").unwrap();
+        store.checkpoint(1, b"v1", CheckpointMode::Durable).unwrap(); // watermark 1
+        store.append(b"op-1").unwrap();
+        store.append(b"op-2").unwrap();
+        store.checkpoint(2, b"v2", CheckpointMode::Durable).unwrap(); // watermark 3
+
+        // If v2 were torn on disk, restore falls back to v1 and needs
+        // records 1 and 2: GC must keep every segment at or above v1's
+        // watermark even though v2's is higher.
+        let records = store.wal_records().unwrap();
+        let seqs: Vec<u64> = records.iter().map(|r| r.seq).collect();
+        assert!(
+            seqs.contains(&1) && seqs.contains(&2),
+            "records above the oldest retained watermark survive GC, got {seqs:?}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_rejects_append_and_checkpoint_then_recovers_after_heal() {
+        let fs_fault = Arc::new(FaultFs::new());
+        let dir = PathBuf::from("/fault-enospc");
+        let storage: Arc<dyn Storage> = fs_fault.clone();
+        let mut store = Store::open_with(&dir, storage).unwrap();
+        store.append(b"fits").unwrap();
+        store.checkpoint(1, b"image", CheckpointMode::Durable).unwrap();
+
+        fs_fault.set_byte_budget(Some(4));
+        let err = store.append(b"does-not-fit-anymore").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+        assert!(store.checkpoint(2, b"image", CheckpointMode::Durable).is_err());
+
+        // The disk stops misbehaving: the store carries on where the
+        // acked prefix left off.
+        fs_fault.heal();
+        store.append(b"fits-again").unwrap();
+        store.checkpoint(3, b"image2", CheckpointMode::Durable).unwrap();
+        let point = store.restore().unwrap().unwrap();
+        assert_eq!(point.version, 3);
+        assert_eq!(point.wal_tail.len(), 0);
+        assert_eq!(store.next_seq(), 2, "only acked appends consumed sequence numbers");
+    }
+
+    #[test]
+    fn failed_fsync_rejects_the_append_and_the_bytes_never_become_durable() {
+        let fs_fault = Arc::new(FaultFs::new());
+        let dir = PathBuf::from("/fault-fsync");
+        let storage: Arc<dyn Storage> = fs_fault.clone();
+        let mut store = Store::open_with(&dir, storage).unwrap();
+        store.append(b"acked").unwrap();
+
+        fs_fault.fail_fsync_from(Some(fs_fault.counters().fsyncs));
+        assert!(store.append(b"rejected").unwrap_err().to_string().contains("fsync"));
+        fs_fault.heal();
+        fs_fault.crash();
+
+        let mut reopened = Store::open_with(&dir, fs_fault).unwrap();
+        let records = reopened.wal_records().unwrap();
+        assert_eq!(records.len(), 1, "only the acked record survived the crash");
+        assert_eq!(records[0].payload, b"acked");
+        assert_eq!(reopened.next_seq(), 1);
+        assert!(reopened.restore().unwrap().is_none());
+    }
+
+    /// The crash-point sweep: run one fixed workload (appends, rotation,
+    /// durable checkpoints, GC with retain=1) against a `FaultFs` frozen
+    /// at every possible mutating-operation index, power-cut, reopen,
+    /// and require the recovered record set to be exactly a dense acked
+    /// prefix — never a lost acked record, never a gap, never garbage.
+    #[test]
+    fn every_intermediate_crash_point_recovers_a_dense_acked_prefix() {
+        fn workload(fs: &Arc<FaultFs>) -> (u64, u64) {
+            let dir = PathBuf::from("/fault-sweep");
+            let storage: Arc<dyn Storage> = fs.clone();
+            let Ok(mut store) = Store::open_with(&dir, storage) else {
+                return (0, 0);
+            };
+            store.set_segment_bytes(48);
+            store.set_retain_snapshots(1);
+            let (mut acked, mut attempted) = (0u64, 0u64);
+            for i in 0..24u64 {
+                attempted += 1;
+                if store.append(format!("op-{i:04}").as_bytes()).is_ok() {
+                    acked += 1;
+                }
+                if i % 6 == 5 {
+                    let _ = store.checkpoint(i / 6 + 1, b"sweep-image", CheckpointMode::Durable);
+                }
+            }
+            (acked, attempted)
+        }
+
+        // Learn the op budget from a fault-free run.
+        let clean = Arc::new(FaultFs::new());
+        let (clean_acked, clean_attempted) = workload(&clean);
+        assert_eq!(clean_acked, clean_attempted, "fault-free run acks everything");
+        let total_ops = clean.ops();
+        assert!(total_ops > 40, "workload exercises enough crash points ({total_ops})");
+
+        for crash_at in 0..total_ops {
+            let fs_fault = Arc::new(FaultFs::new());
+            fs_fault.freeze_after_ops(Some(crash_at));
+            let (acked, attempted) = workload(&fs_fault);
+            fs_fault.crash();
+
+            let storage: Arc<dyn Storage> = fs_fault.clone();
+            let mut store = Store::open_with(PathBuf::from("/fault-sweep"), storage)
+                .unwrap_or_else(|e| panic!("reopen after crash at op {crash_at}: {e}"));
+            let durable = match store.restore().unwrap() {
+                Some(point) => {
+                    for (i, r) in point.wal_tail.iter().enumerate() {
+                        assert_eq!(
+                            r.seq,
+                            point.wal_seq + i as u64,
+                            "crash at {crash_at}: tail has a gap"
+                        );
+                    }
+                    point.wal_seq + point.wal_tail.len() as u64
+                }
+                None => {
+                    let records = store.wal_records().unwrap();
+                    for (i, r) in records.iter().enumerate() {
+                        assert_eq!(r.seq, i as u64, "crash at {crash_at}: records have a gap");
+                    }
+                    records.len() as u64
+                }
+            };
+            // Every acked op must be durable; at most one unacked op may
+            // have reached the disk before its append was rejected.
+            assert!(
+                durable >= acked && durable <= attempted,
+                "crash at {crash_at}: acked {acked}, durable {durable}, attempted {attempted}"
+            );
+            // Payload integrity for everything that survived.
+            for r in store.wal_records().unwrap() {
+                assert_eq!(r.payload, format!("op-{:04}", r.seq).as_bytes());
+            }
+        }
     }
 }

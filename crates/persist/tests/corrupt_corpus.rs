@@ -129,7 +129,27 @@ fn corpus() -> Vec<(&'static str, Vec<u8>)> {
         ("bad_magic.snap", bad_magic),
         ("bad_checksum.snap", bad_checksum),
         ("section_offset_out_of_range.snap", out_of_range),
+        // What a crash inside a truncating rewrite (or an `O_CREAT` that
+        // never got its bytes) leaves behind: a name with nothing in it.
+        ("zero_length.snap", Vec::new()),
     ]
+}
+
+/// The WAL corpus: file name → bytes. `torn_then_valid.wal` is the
+/// adversarial shape for a scanner: a clean record, then a *torn* frame,
+/// then a perfectly valid frame after it. Replay must stop at the tear
+/// and never resync to the later record — trusting bytes past a tear
+/// means trusting the very region of the disk that just proved itself
+/// untrustworthy.
+fn wal_corpus() -> Vec<(&'static str, Vec<u8>)> {
+    use mtl_persist::wal::frame_record;
+    let rec0 = frame_record(0, b"wal-op-zero");
+    let rec1 = frame_record(1, b"wal-op-one-torn-midway");
+    let rec2 = frame_record(2, b"wal-op-two-valid-after-tear");
+
+    let valid = [rec0.clone(), rec1.clone(), rec2.clone()].concat();
+    let torn_then_valid = [rec0, rec1[..rec1.len() / 2].to_vec(), rec2].concat();
+    vec![("valid.wal", valid), ("torn_then_valid.wal", torn_then_valid)]
 }
 
 /// The committed corpus must equal the generator's output — set
@@ -142,7 +162,7 @@ fn corpus_files_match_generator() {
     if regen {
         std::fs::create_dir_all(&dir).unwrap();
     }
-    for (name, bytes) in corpus() {
+    for (name, bytes) in corpus().into_iter().chain(wal_corpus()) {
         let path = dir.join(name);
         if regen {
             std::fs::write(&path, &bytes).unwrap();
@@ -186,9 +206,65 @@ fn each_corpus_file_maps_to_its_named_error() {
                 matches!(outcome, Err(PersistError::SectionOutOfRange { id: SEC_IMAGE, .. })),
                 "{name}: {outcome:?}"
             ),
+            "zero_length.snap" => assert!(
+                matches!(outcome, Err(PersistError::Truncated { .. })),
+                "{name}: {outcome:?}"
+            ),
             other => panic!("corpus entry {other} has no expectation"),
         }
     }
+}
+
+/// The committed torn-then-valid WAL: replay keeps the clean prefix,
+/// reports the tear, and — critically — never resyncs to the valid
+/// record sitting beyond it.
+#[test]
+fn wal_replay_stops_at_the_tear_and_never_resyncs() {
+    use mtl_persist::wal::replay;
+    use mtl_persist::WalTail;
+    for (name, bytes) in wal_corpus() {
+        let (records, tail) = replay(&bytes);
+        match name {
+            "valid.wal" => {
+                assert_eq!(tail, WalTail::Clean);
+                assert_eq!(records.len(), 3);
+            }
+            "torn_then_valid.wal" => {
+                assert_eq!(records.len(), 1, "only the pre-tear record is recovered");
+                assert_eq!(records[0].seq, 0);
+                assert!(
+                    records.iter().all(|r| r.seq != 2),
+                    "the valid frame past the tear must not be resynced to"
+                );
+                let expected_offset = records[0].payload.len() as u64 + 20;
+                assert!(
+                    matches!(tail, WalTail::Torn { offset, .. } if offset == expected_offset),
+                    "{name}: {tail:?}"
+                );
+            }
+            other => panic!("wal corpus entry {other} has no expectation"),
+        }
+    }
+}
+
+/// Store-level behaviour of the same file planted as a WAL segment: open
+/// truncates at the tear (dropping the unreachable valid record too,
+/// deliberately) and sequence numbering resumes from the clean prefix.
+#[test]
+fn store_open_heals_a_mid_log_tear_without_resyncing() {
+    let dir = std::env::temp_dir().join(format!("mtl-persist-corpus-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let (_, torn) = wal_corpus().pop().expect("torn_then_valid is last");
+    std::fs::write(dir.join(format!("wal-{:020}.log", 0)), &torn).unwrap();
+
+    let store = Store::open(&dir).unwrap();
+    assert!(store.wal_was_torn_at_open());
+    assert_eq!(store.next_seq(), 1, "replay resumes after the clean prefix");
+    let records = store.wal_records().unwrap();
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].payload, b"wal-op-zero");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Store-level behaviour: every corrupt corpus file planted as a

@@ -19,11 +19,15 @@
 //! disagree.
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
 use std::time::Duration;
 
 use classifier_api::DynamicClassifier;
-use mtl_persist::{PersistError, Persistent, Store, WalOp};
+use mtl_persist::{
+    PersistError, Persistent, Storage, Store, WalOp, DEFAULT_RETAIN_SNAPSHOTS,
+    DEFAULT_SEGMENT_BYTES,
+};
 use offilter::FilterKind;
 
 /// Configuration for a durable runtime.
@@ -45,6 +49,17 @@ pub struct DurabilityConfig {
     /// How long a restore waits for live workers to quiesce before
     /// abandoning them as zombies and respawning over fresh rings.
     pub quiesce_timeout: Duration,
+    /// How many valid snapshot generations retention GC keeps (min 1).
+    pub retain_snapshots: usize,
+    /// WAL segment rotation threshold in bytes (min 1): once the active
+    /// segment reaches this size, the next append opens a fresh one, and
+    /// GC may unlink whole segments below the retained watermark.
+    pub wal_segment_bytes: u64,
+    /// Storage backend for the store directory. `None` uses the real
+    /// filesystem; the chaos suite injects a
+    /// [`mtl_persist::FaultFs`] here to make the IO layer itself
+    /// hostile.
+    pub storage: Option<Arc<dyn Storage>>,
 }
 
 impl DurabilityConfig {
@@ -59,6 +74,9 @@ impl DurabilityConfig {
             escalate_after: 8,
             escalate_window: Duration::from_secs(2),
             quiesce_timeout: Duration::from_millis(200),
+            retain_snapshots: DEFAULT_RETAIN_SNAPSHOTS,
+            wal_segment_bytes: DEFAULT_SEGMENT_BYTES,
+            storage: None,
         }
     }
 }
@@ -136,6 +154,13 @@ pub(crate) struct DurabilityCounters {
     pub(crate) restore_fallbacks: AtomicU64,
     pub(crate) restore_skipped_checkpoints: AtomicU64,
     pub(crate) wal_replayed: AtomicU64,
+    /// Times the control plane *entered* WAL-only degraded mode (a
+    /// durable checkpoint failed and the runtime kept serving on the
+    /// log alone until a later checkpoint succeeded).
+    pub(crate) degraded_episodes: AtomicU64,
+    /// Whether the control plane is currently in WAL-only degraded
+    /// mode.
+    pub(crate) degraded: AtomicBool,
 }
 
 impl DurabilityCounters {
@@ -160,15 +185,40 @@ where
 {
     let Some(point) = store.restore()? else { return Ok(None) };
     let mut table = C::decode_image(&point.image)?;
+    let (replayed, skipped) = replay_onto(&mut table, &point.wal_tail)?;
+    let report = RestoreReport {
+        restored: true,
+        version: point.version,
+        wal_replayed: replayed,
+        wal_skipped: skipped,
+        skipped_checkpoints: point.skipped_checkpoints,
+        wal_torn: point.wal_torn,
+    };
+    Ok(Some((table, report)))
+}
+
+/// Replays decoded WAL records onto `table`, returning
+/// `(replayed, skipped)`. `insert_rule` routes by the table's own
+/// primary kind; a rejected replay (duplicate id, incompatible fields)
+/// is counted, not fatal — crash-only recovery must always terminate
+/// with a servable table.
+///
+/// # Errors
+/// [`PersistError`] when a record's payload does not decode as a
+/// [`WalOp`] — checksummed bytes that fail the op codec are a format
+/// bug, not a torn write.
+pub(crate) fn replay_onto<C>(
+    table: &mut C,
+    records: &[mtl_persist::WalRecord],
+) -> Result<(usize, usize), PersistError>
+where
+    C: DynamicClassifier,
+{
     let mut replayed = 0usize;
     let mut skipped = 0usize;
-    for record in &point.wal_tail {
+    for record in records {
         match WalOp::decode(&record.payload)? {
             WalOp::Add { rule, .. } => {
-                // `insert_rule` routes by the table's own primary kind;
-                // a rejected replay (duplicate id, incompatible fields)
-                // is counted, not fatal — crash-only recovery must
-                // always terminate with a servable table.
                 if table.insert_rule(rule).is_ok() {
                     replayed += 1;
                 } else {
@@ -184,13 +234,5 @@ where
             }
         }
     }
-    let report = RestoreReport {
-        restored: true,
-        version: point.version,
-        wal_replayed: replayed,
-        wal_skipped: skipped,
-        skipped_checkpoints: point.skipped_checkpoints,
-        wal_torn: point.wal_torn,
-    };
-    Ok(Some((table, report)))
+    Ok((replayed, skipped))
 }

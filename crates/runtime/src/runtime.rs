@@ -78,7 +78,8 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use crate::durability::{
-    recover, DurabilityConfig, DurabilityCounters, DurableState, EscalationPolicy, RestoreReport,
+    recover, replay_onto, DurabilityConfig, DurabilityCounters, DurableState, EscalationPolicy,
+    RestoreReport,
 };
 use crate::pin::pin_to_cpu;
 use crate::ring::{spsc, Consumer, Producer};
@@ -604,9 +605,25 @@ impl<C> Shared<C> {
                 // to the previous durable one, replaying more WAL).
                 d.records_since = 0;
                 self.durability.checkpoints.fetch_add(1, Relaxed);
+                // Only a genuinely durable checkpoint ends a WAL-only
+                // degraded episode: an injected torn/unsynced image
+                // would not survive a power cut.
+                if matches!(mode, CheckpointMode::Durable) {
+                    self.durability.degraded.store(false, Relaxed);
+                }
             }
             Err(_) => {
+                // Graceful degradation, not an error path: the WAL
+                // already holds every acked record, so the control
+                // plane keeps serving log-only and retries the
+                // checkpoint at the next cadence interval. Roll the
+                // version back so the retry does not burn numbers while
+                // the disk is hostile.
+                d.snapshot_version -= 1;
                 self.durability.checkpoint_failures.fetch_add(1, Relaxed);
+                if !self.durability.degraded.swap(true, Relaxed) {
+                    self.durability.degraded_episodes.fetch_add(1, Relaxed);
+                }
             }
         }
     }
@@ -869,12 +886,19 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
     #[must_use]
     pub fn telemetry(&self) -> RuntimeTelemetry {
         let d = &self.shared.durability;
+        // Brief durable-lock hold to snapshot the store's housekeeping
+        // and on-disk sizes (same lock order as everywhere: no master
+        // lock is held here).
+        let store_view = self.shared.durable.as_ref().map(|durable| {
+            let s = lock_count(durable, &self.shared.poison_recoveries);
+            (s.store.stats(), s.store.disk_stats().unwrap_or_default())
+        });
         RuntimeTelemetry {
             version: self.shared.cell.version(),
             shards: self.shared.shards,
             poison_recoveries: self.shared.poison_recoveries.load(Relaxed),
             ticket_timeouts: self.shared.ticket_timeouts.load(Relaxed),
-            durability: self.shared.durable.is_some().then(|| DurabilityTelemetry {
+            durability: store_view.map(|(stats, disk)| DurabilityTelemetry {
                 wal_appends: d.wal_appends.load(Relaxed),
                 wal_append_failures: d.wal_append_failures.load(Relaxed),
                 checkpoints: d.checkpoints.load(Relaxed),
@@ -884,6 +908,17 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
                 restore_skipped_checkpoints: d.restore_skipped_checkpoints.load(Relaxed),
                 wal_records_replayed: d.wal_replayed.load(Relaxed),
                 run_epoch: self.shared.run_epoch.load(SeqCst),
+                wal_bytes: disk.wal_bytes,
+                wal_segments: disk.wal_segments,
+                snapshots: disk.snapshots,
+                snapshot_bytes: disk.snapshot_bytes,
+                gc_runs: stats.gc_runs,
+                gc_snapshots_removed: stats.gc_snapshots_removed,
+                gc_segments_removed: stats.gc_segments_removed,
+                tmp_cleaned: stats.tmp_cleaned,
+                segments_rotated: stats.segments_rotated,
+                degraded_episodes: d.degraded_episodes.load(Relaxed),
+                degraded: d.degraded.load(Relaxed),
             }),
             per_shard: self
                 .shared
@@ -1010,10 +1045,30 @@ impl<C: Classifier + 'static> Runtime<C> {
     where
         C: DynamicClassifier + Persistent + Clone,
     {
-        let mut store = Store::open(&durability.dir)?;
+        let mut store = match &durability.storage {
+            Some(storage) => Store::open_with(&durability.dir, Arc::clone(storage))?,
+            None => Store::open(&durability.dir)?,
+        };
+        store.set_segment_bytes(durability.wal_segment_bytes);
+        store.set_retain_snapshots(durability.retain_snapshots);
         let (master, mut report) = match recover::<C>(&mut store)? {
             Some((table, report)) => (table, report),
-            None => (fallback, RestoreReport::default()),
+            None => {
+                // No decodable snapshot at all — but on a hostile disk
+                // the WAL may still hold every acked record (every
+                // checkpoint attempt failed while appends kept
+                // succeeding). Replay the log onto the fallback so a
+                // durably-acked rule is never lost to a missing image.
+                let mut table = fallback;
+                let records = store.wal_records()?;
+                let (replayed, skipped) = replay_onto(&mut table, &records)?;
+                let report = RestoreReport {
+                    wal_replayed: replayed,
+                    wal_skipped: skipped,
+                    ..RestoreReport::default()
+                };
+                (table, report)
+            }
         };
         report.wal_torn |= store.wal_was_torn_at_open();
         let mut state = DurableState {
@@ -1027,14 +1082,21 @@ impl<C: Classifier + 'static> Runtime<C> {
         // Make the boot state durable up front: a fresh store gets the
         // fallback as checkpoint 1; a store whose recovery replayed WAL
         // records gets a compacting checkpoint so the next cold start is
-        // one decode with an empty tail.
+        // one decode with an empty tail. A *failed* boot checkpoint is
+        // not fatal — the WAL (plus any older snapshot) already covers
+        // the state, so the runtime comes up in WAL-only degraded mode
+        // and retries at the next cadence interval.
+        let mut boot_checkpoint_failed = false;
         if !report.restored || report.wal_replayed > 0 || report.wal_skipped > 0 {
             state.snapshot_version += 1;
-            state.store.checkpoint(
-                state.snapshot_version,
-                &master.encode_image(),
-                CheckpointMode::Durable,
-            )?;
+            if state
+                .store
+                .checkpoint(state.snapshot_version, &master.encode_image(), CheckpointMode::Durable)
+                .is_err()
+            {
+                state.snapshot_version -= 1;
+                boot_checkpoint_failed = true;
+            }
         }
         let escalation = EscalationPolicy {
             after: durability.escalate_after.max(1),
@@ -1089,6 +1151,12 @@ impl<C: Classifier + 'static> Runtime<C> {
             Some(DurableParts { state, rebuild, escalation }),
         );
         runtime.handle.shared.durability.absorb_report(&report);
+        if boot_checkpoint_failed {
+            let d = &runtime.handle.shared.durability;
+            d.checkpoint_failures.fetch_add(1, Relaxed);
+            d.degraded.store(true, Relaxed);
+            d.degraded_episodes.fetch_add(1, Relaxed);
+        }
         Ok((runtime, report))
     }
 

@@ -286,6 +286,32 @@ pub struct DurabilityTelemetry {
     pub wal_records_replayed: u64,
     /// Current run epoch (+1 per completed restore).
     pub run_epoch: u64,
+    /// Total bytes across WAL segment files currently on disk.
+    pub wal_bytes: u64,
+    /// WAL segment files currently on disk.
+    pub wal_segments: u64,
+    /// Snapshot files currently on disk (valid or not).
+    pub snapshots: u64,
+    /// Total bytes across snapshot files currently on disk.
+    pub snapshot_bytes: u64,
+    /// Retention-GC passes the store ran this session.
+    pub gc_runs: u64,
+    /// Snapshot files GC unlinked (invalid, or older than the retained
+    /// K generations).
+    pub gc_snapshots_removed: u64,
+    /// WAL segments GC unlinked (entirely below the retained
+    /// watermark).
+    pub gc_segments_removed: u64,
+    /// Orphaned checkpoint `.tmp` files swept (at open and by GC).
+    pub tmp_cleaned: u64,
+    /// Active-WAL-segment rotations this session.
+    pub segments_rotated: u64,
+    /// Times the control plane entered WAL-only degraded mode (a
+    /// durable checkpoint failed; serving continued on the log alone).
+    pub degraded_episodes: u64,
+    /// Whether the control plane is in WAL-only degraded mode right
+    /// now (the last durable checkpoint attempt failed).
+    pub degraded: bool,
 }
 
 impl RuntimeTelemetry {
@@ -356,7 +382,11 @@ impl RuntimeTelemetry {
                     "\"durability\":{{\"wal_appends\":{},\"wal_append_failures\":{},\
                      \"checkpoints\":{},\"checkpoint_failures\":{},\"runtime_restores\":{},\
                      \"restore_fallbacks\":{},\"restore_skipped_checkpoints\":{},\
-                     \"wal_records_replayed\":{},\"run_epoch\":{}}},",
+                     \"wal_records_replayed\":{},\"run_epoch\":{},\
+                     \"wal_bytes\":{},\"wal_segments\":{},\"snapshots\":{},\
+                     \"snapshot_bytes\":{},\"gc_runs\":{},\"gc_snapshots_removed\":{},\
+                     \"gc_segments_removed\":{},\"tmp_cleaned\":{},\"segments_rotated\":{},\
+                     \"degraded_episodes\":{},\"degraded\":{}}},",
                     d.wal_appends,
                     d.wal_append_failures,
                     d.checkpoints,
@@ -366,6 +396,17 @@ impl RuntimeTelemetry {
                     d.restore_skipped_checkpoints,
                     d.wal_records_replayed,
                     d.run_epoch,
+                    d.wal_bytes,
+                    d.wal_segments,
+                    d.snapshots,
+                    d.snapshot_bytes,
+                    d.gc_runs,
+                    d.gc_snapshots_removed,
+                    d.gc_segments_removed,
+                    d.tmp_cleaned,
+                    d.segments_rotated,
+                    d.degraded_episodes,
+                    d.degraded,
                 );
             }
             None => out.push_str("\"durability\":null,"),
@@ -501,6 +542,14 @@ mod tests {
             runtime_restores: 1,
             wal_records_replayed: 4,
             run_epoch: 1,
+            wal_bytes: 4096,
+            wal_segments: 2,
+            snapshots: 2,
+            gc_runs: 3,
+            gc_segments_removed: 5,
+            segments_rotated: 6,
+            degraded_episodes: 1,
+            degraded: true,
             ..DurabilityTelemetry::default()
         });
         let json = t.to_json();
@@ -511,6 +560,17 @@ mod tests {
             "\"runtime_restores\":1",
             "\"wal_records_replayed\":4",
             "\"run_epoch\":1",
+            "\"wal_bytes\":4096",
+            "\"wal_segments\":2",
+            "\"snapshots\":2",
+            "\"snapshot_bytes\":0",
+            "\"gc_runs\":3",
+            "\"gc_snapshots_removed\":0",
+            "\"gc_segments_removed\":5",
+            "\"tmp_cleaned\":0",
+            "\"segments_rotated\":6",
+            "\"degraded_episodes\":1",
+            "\"degraded\":true",
         ] {
             assert!(json.contains(needle), "{needle} missing from {json}");
         }

@@ -23,12 +23,12 @@
 #![cfg(feature = "fault-injection")]
 
 use classifier_api::{reference_classify, Classifier, DynamicClassifier, UpdateReport};
-use mtl_persist::{PersistError, Persistent, Store, WalOp};
+use mtl_persist::{FaultFs, PersistError, Persistent, Storage, Store, WalOp};
 use mtl_runtime::{
     resolve_seed, shard_of, AdmissionPolicy, DurabilityConfig, FaultPlan, Runtime, RuntimeConfig,
     RuntimeHandle, Ticket, WaitOutcome, UNSERVED_VERSION,
 };
-use offilter::{Rule, RuleAction};
+use offilter::{FilterKind, Rule, RuleAction};
 use oflow::{FlowMatch, HeaderValues, MatchFieldKind};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
@@ -165,7 +165,17 @@ fn wait_epoch(rt: &RuntimeHandle<Scan>, want: u64) {
 /// against — it shares no code with the runtime's own restore path
 /// beyond the store itself.
 fn replayed_image(dir: &Path) -> Option<Vec<u8>> {
-    let mut store = Store::open(dir).expect("store reopens");
+    replayed_image_on(Store::open(dir).expect("store reopens"))
+}
+
+/// [`replayed_image`] over an injected [`Storage`] backend — the oracle
+/// for stores that live inside a [`FaultFs`] rather than on the real
+/// filesystem.
+fn replayed_image_with(dir: &Path, storage: Arc<dyn Storage>) -> Option<Vec<u8>> {
+    replayed_image_on(Store::open_with(dir, storage).expect("store reopens"))
+}
+
+fn replayed_image_on(mut store: Store) -> Option<Vec<u8>> {
     let point = store.restore().expect("restore scan succeeds")?;
     let mut table = Scan::decode_image(&point.image).expect("checkpoint image decodes");
     for record in &point.wal_tail {
@@ -844,6 +854,218 @@ fn restart_storm_escalates_to_runtime_restore_automatically() {
     let t = rt.telemetry();
     assert!(t.total_restarts() >= 3, "the storm was real");
     assert!(t.durability.unwrap().runtime_restores >= 1, "and it escalated");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- hostile disk (injected storage faults) -------------------------
+
+/// A fault-free runtime config for the hostile-disk tests, where the
+/// adversary is the storage layer rather than the fault plan.
+fn plain_config(shards: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        shards,
+        ring_capacity: 8,
+        cache_capacity: 0,
+        pin_workers: false,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// The largest WAL frame any of this suite's `route` rules can produce
+/// (payload + record header) — the "small writes still fit" side of the
+/// ENOSPC geometry.
+fn frame_ceiling(rules: &[Rule]) -> usize {
+    rules
+        .iter()
+        .map(|r| WalOp::Add { kind: FilterKind::Routing, rule: r.clone() }.encode().len())
+        .max()
+        .expect("at least one rule")
+        + mtl_persist::wal::RECORD_HEADER
+}
+
+/// ENOSPC on every checkpoint-sized write: the runtime must *degrade*,
+/// not error — WAL-only serving, counted in telemetry — and return to
+/// full durability once the disk heals, with the store still replaying
+/// to the live master byte-for-byte.
+#[test]
+fn enospc_checkpoints_degrade_to_wal_only_and_heal() {
+    let fs = Arc::new(FaultFs::seeded(resolve_seed(0xD15C_Fa11)));
+    let dir = PathBuf::from("/faultfs/enospc");
+    let durability = DurabilityConfig {
+        checkpoint_every: 2,
+        storage: Some(Arc::<FaultFs>::clone(&fs) as Arc<dyn Storage>),
+        ..DurabilityConfig::new(&dir)
+    };
+    let (rt, boot) =
+        Runtime::with_durability(Scan(rules()), &plain_config(1), &durability).unwrap();
+    assert!(!boot.restored, "fresh in-memory store boots from the fallback");
+
+    // Arm the cap *between* the boot image size and the largest WAL
+    // frame: every checkpoint from here on hits ENOSPC mid-write, every
+    // append still fits. (The table only grows below, and the on-disk
+    // checkpoint carries container overhead on top of the raw image, so
+    // the boot image length is a safe floor.)
+    let adds: Vec<Rule> =
+        (0..6u32).map(|n| route(200 + n, 1, 0x3000_0000 + (u128::from(n) << 8), 32, n)).collect();
+    let cap = Scan(rules()).encode_image().len();
+    assert!(
+        frame_ceiling(&adds) < cap,
+        "test geometry: WAL frames must fit under the checkpoint-sized cap"
+    );
+    fs.set_write_cap(Some(cap));
+
+    // Four adds = two failed cadence checkpoints; the control plane
+    // keeps accepting updates and the dataplane keeps classifying.
+    for rule in &adds[..4] {
+        rt.add_rule(rule.clone()).expect("WAL-only degraded mode still accepts updates");
+    }
+    let h = HeaderValues::new()
+        .with(MatchFieldKind::InPort, 1)
+        .with(MatchFieldKind::Ipv4Dst, 0x3000_0100u128);
+    assert_eq!(rt.classify_rows(std::slice::from_ref(&h)), vec![Some(201)], "still classifying");
+    let d = rt.telemetry().durability.unwrap();
+    assert!(d.checkpoint_failures >= 2, "both cadence checkpoints hit ENOSPC");
+    assert!(d.degraded, "the runtime reports WAL-only degraded mode");
+    assert_eq!(d.degraded_episodes, 1, "one continuous episode, not one per failure");
+    assert_eq!(d.wal_appends, 4, "every update was still write-ahead logged");
+    assert!(fs.counters().enospc_hits >= 2, "the faults came from the IO layer itself");
+
+    // Disk heals: the next cadence checkpoint succeeds and ends the
+    // episode.
+    fs.heal();
+    for rule in &adds[4..] {
+        rt.add_rule(rule.clone()).unwrap();
+    }
+    let d = rt.telemetry().durability.unwrap();
+    assert!(!d.degraded, "a durable checkpoint ended the degraded episode");
+    assert_eq!(d.degraded_episodes, 1);
+    assert!(d.checkpoints >= 1, "the post-heal cadence checkpoint landed");
+
+    let live = rt.master_image().unwrap();
+    rt.shutdown();
+    let replayed = replayed_image_with(&dir, fs).expect("the healed store restores");
+    assert_eq!(replayed, live, "no durably-acked rule was lost across the ENOSPC episode");
+}
+
+/// Per-mille fsync failures from the storage layer: a failed WAL fsync
+/// must reject its update (the bytes never became durable), the live
+/// table and the log must stay in agreement, and the store must still
+/// replay to the live master.
+#[test]
+fn injected_fsync_failures_reject_updates_and_keep_log_and_table_agreeing() {
+    let seed = resolve_seed(0xF5C_FA11);
+    let fs = Arc::new(FaultFs::seeded(seed));
+    let dir = PathBuf::from("/faultfs/fsync");
+    let durability = DurabilityConfig {
+        checkpoint_every: 1000, // WAL-only: isolate the append path
+        storage: Some(Arc::<FaultFs>::clone(&fs) as Arc<dyn Storage>),
+        ..DurabilityConfig::new(&dir)
+    };
+    let (rt, _) = Runtime::with_durability(Scan(rules()), &plain_config(1), &durability).unwrap();
+    fs.set_fault_rates(0, 300); // ~30% of fsyncs fail
+    let mut acked = Vec::new();
+    let mut rejected = 0u32;
+    for n in 0..40u32 {
+        let rule = route(300 + n, 1, 0x4000_0000 + (u128::from(n) << 8), 32, n);
+        match rt.add_rule(rule) {
+            Ok(_) => acked.push(300 + n),
+            Err(_) => rejected += 1,
+        }
+    }
+    assert!(rejected >= 1, "the fault rate fired at least once (seed {seed:#x})");
+    assert!(!acked.is_empty(), "and at least one add got through (seed {seed:#x})");
+    let d = rt.telemetry().durability.unwrap();
+    assert_eq!(d.wal_appends, acked.len() as u64);
+    assert_eq!(d.wal_append_failures, u64::from(rejected));
+    let live = rt.master_image().unwrap();
+    rt.shutdown();
+    fs.heal();
+    let replayed = replayed_image_with(&dir, fs).expect("store restores");
+    assert_eq!(
+        replayed, live,
+        "acked updates are durable, rejected ones left no trace (seed {seed:#x})"
+    );
+}
+
+/// A compaction + GC soak on the real filesystem: continuous churn with
+/// small segments and a tight checkpoint cadence must keep the store
+/// directory bounded (segments rotated *and* collected, ≤ K snapshots)
+/// while never losing a durably-acked rule.
+#[test]
+fn gc_soak_bounds_the_store_directory_and_loses_no_acked_rule() {
+    let dir = temp_store("gc-soak");
+    let durability = DurabilityConfig {
+        checkpoint_every: 4,
+        wal_segment_bytes: 512,
+        retain_snapshots: 2,
+        ..DurabilityConfig::new(&dir)
+    };
+    let (rt, _) = Runtime::with_durability(Scan(rules()), &plain_config(1), &durability).unwrap();
+    for n in 0..200u32 {
+        rt.add_rule(route(1000 + n, 1 + u128::from(n % 4), 0x5000_0000 + u128::from(n), 32, n))
+            .unwrap();
+        if n % 3 == 0 {
+            rt.remove_rule(1000 + n).expect("just added");
+        }
+    }
+    let d = rt.telemetry().durability.unwrap();
+    assert!(d.segments_rotated >= 4, "512-byte segments rotate under 200 ops");
+    assert!(d.gc_runs >= 1 && d.gc_segments_removed >= 1, "GC collected rotated-out segments");
+    assert!(
+        d.wal_segments <= 6,
+        "live segments stay near the retained watermark ({} on disk)",
+        d.wal_segments
+    );
+    assert_eq!(d.snapshots, 2, "exactly K snapshot generations retained");
+    assert!(
+        d.wal_bytes <= 8 * 512,
+        "WAL bytes bounded by the rotation/retention policy ({} bytes)",
+        d.wal_bytes
+    );
+    let live = rt.master_image().unwrap();
+    rt.shutdown();
+    let replayed = replayed_image(&dir).expect("the GC'd store restores");
+    assert_eq!(replayed, live, "compaction + GC never loses a durably-acked rule");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every snapshot lost (all images corrupt or deleted) with the WAL
+/// intact: boot must fall back to replaying the *entire* log onto the
+/// fallback table instead of silently dropping acked rules.
+#[test]
+fn boot_with_no_valid_snapshot_replays_the_whole_wal_onto_the_fallback() {
+    let dir = temp_store("wal-only-boot");
+    let live;
+    {
+        let durability = DurabilityConfig { checkpoint_every: 1000, ..DurabilityConfig::new(&dir) };
+        let (rt, _) =
+            Runtime::with_durability(Scan(rules()), &plain_config(1), &durability).unwrap();
+        for n in 0..5u32 {
+            rt.add_rule(route(400 + n, 1, 0x6000_0000 + (u128::from(n) << 8), 32, n)).unwrap();
+        }
+        live = rt.master_image().unwrap();
+        rt.shutdown();
+    }
+    // A hostile disk ate every snapshot; the log survived.
+    let mut removed = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.file_name().is_some_and(|n| n.to_string_lossy().starts_with("snapshot-")) {
+            std::fs::remove_file(&path).unwrap();
+            removed += 1;
+        }
+    }
+    assert!(removed >= 1, "the store had checkpoints to lose");
+    let durability = DurabilityConfig { checkpoint_every: 1000, ..DurabilityConfig::new(&dir) };
+    let (rt, report) =
+        Runtime::with_durability(Scan(rules()), &plain_config(1), &durability).unwrap();
+    assert!(!report.restored, "no snapshot to restore from");
+    assert_eq!(report.wal_replayed, 5, "every logged add replayed onto the fallback");
+    assert_eq!(
+        rt.master_image().unwrap(),
+        live,
+        "fallback + full WAL replay reproduces the pre-crash master"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

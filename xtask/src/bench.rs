@@ -343,6 +343,7 @@ pub fn render_report(baselines: &[Baseline]) -> Result<String, String> {
         match baseline.experiment() {
             "coldstart" => render_coldstart(&mut md, baseline)?,
             "runtime-scaling" => render_runtime(&mut md, baseline)?,
+            "storm" => render_storm(&mut md, baseline)?,
             other => render_generic(&mut md, baseline, other),
         }
     }
@@ -447,6 +448,52 @@ fn render_runtime(md: &mut String, b: &Baseline) -> Result<(), String> {
                 d.num("slowdown_vs_zipf").map_err(|e| format!("{}: {e}", b.file_name))?,
             ));
         }
+    }
+    Ok(())
+}
+
+fn render_storm(md: &mut String, b: &Baseline) -> Result<(), String> {
+    md.push_str(&format!(
+        "## {} — publish storm: durability tax and store hygiene\n\n",
+        b.file_name
+    ));
+    let err = |b: &Baseline, e: String| format!("{}: {e}", b.file_name);
+    md.push_str(&format!(
+        "{} back-to-back rule publishes per mode (adds with interleaved removes),\n\
+         per table size: durability off, WAL-only, and WAL + a checkpoint every\n\
+         {} records with {}-byte WAL segments and a {}-snapshot retention GC.\n\
+         The gated ratio is `full/WAL-only` — the publish throughput that\n\
+         survives turning checkpoints on. Every full-durability store is\n\
+         replay-verified byte-identical and must stay bounded on disk.\n\n",
+        fmt_num(b.json.num("ops").map_err(|e| err(b, e))?),
+        fmt_num(b.json.num("checkpoint_every").map_err(|e| err(b, e))?),
+        fmt_num(b.json.num("segment_bytes").map_err(|e| err(b, e))?),
+        fmt_num(b.json.num("retain_snapshots").map_err(|e| err(b, e))?),
+    ));
+    md.push_str(
+        "| rules | off/s | WAL-only/s | full/s | full/WAL ratio | segments | snapshots | store KiB | GC runs | bounded | identical |\n\
+         |---:|---:|---:|---:|---:|---:|---:|---:|---:|:---|:---|\n",
+    );
+    let points = b
+        .json
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{}: missing points", b.file_name))?;
+    for p in points {
+        md.push_str(&format!(
+            "| {} | {:.0} | {:.0} | {:.0} | {:.3} | {} | {} | {:.1} | {} | {} | {} |\n",
+            fmt_num(p.num("rules").map_err(|e| err(b, e))?),
+            p.num("off_per_sec").map_err(|e| err(b, e))?,
+            p.num("walonly_per_sec").map_err(|e| err(b, e))?,
+            p.num("full_per_sec").map_err(|e| err(b, e))?,
+            p.num("speedup").map_err(|e| err(b, e))?,
+            fmt_num(p.num("wal_segments").map_err(|e| err(b, e))?),
+            fmt_num(p.num("snapshots").map_err(|e| err(b, e))?),
+            p.num("store_bytes").map_err(|e| err(b, e))? / 1024.0,
+            fmt_num(p.num("gc_runs").map_err(|e| err(b, e))?),
+            if p.get("bounded").and_then(Json::as_bool).unwrap_or(false) { "yes" } else { "NO" },
+            if p.get("identical").and_then(Json::as_bool).unwrap_or(false) { "yes" } else { "NO" },
+        ));
     }
     Ok(())
 }
@@ -564,6 +611,15 @@ fn primary_metric(b: &Baseline) -> Result<(String, f64), String> {
             let largest = points.last().ok_or_else(|| format!("{}: no points", b.file_name))?;
             Ok(("cold-start speedup at largest size".into(), largest.num("speedup")?))
         }
+        "storm" => {
+            // The worst point is the gate: the ratio of publish
+            // throughput that survives checkpoints must not erode.
+            let mut worst = f64::INFINITY;
+            for p in points {
+                worst = worst.min(p.num("speedup")?);
+            }
+            Ok(("worst full/WAL-only publish-throughput ratio".into(), worst))
+        }
         _ => {
             let mut best = f64::NEG_INFINITY;
             for p in points {
@@ -607,6 +663,32 @@ fn static_floors(b: &Baseline) -> Vec<String> {
                 )),
                 Some(Err(e)) => failures.push(format!("{}: {e}", b.file_name)),
                 None => failures.push(format!("{}: no points", b.file_name)),
+            }
+        }
+        "storm" => {
+            if b.json.get("bounds_asserted").and_then(Json::as_bool) != Some(true) {
+                failures.push(format!(
+                    "{}: bounds_asserted is not true — the harness did not enforce the \
+                     bounded-store and GC floors when this baseline was recorded",
+                    b.file_name
+                ));
+            }
+            for p in points {
+                if p.get("bounded").and_then(Json::as_bool) != Some(true) {
+                    failures.push(format!(
+                        "{}: a full-durability store directory was not bounded under the storm",
+                        b.file_name
+                    ));
+                }
+                if p.get("identical").and_then(Json::as_bool) != Some(true) {
+                    failures.push(format!(
+                        "{}: a storm store did not replay byte-identical to the live master",
+                        b.file_name
+                    ));
+                }
+                if let Err(e) = p.num("speedup") {
+                    failures.push(format!("{}: {e}", b.file_name));
+                }
             }
         }
         "runtime-scaling" => {
