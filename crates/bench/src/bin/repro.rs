@@ -6,7 +6,8 @@
 //!
 //! EXPERIMENT: all (default) | table1 | table2 | table3 | table4
 //!           | fig2 | fig3 | fig4 | fig5 | headline | throughput | cache
-//!           | runtime | coldstart | storm | crashkill
+//!           | runtime | coldstart | storm | crashkill | obs | obs-smoke
+//!           | trace-dump
 //! --seed N      workload RNG seed (default 2015)
 //! --full        generate the four 180k-rule routing sets at full size
 //!               (several extra seconds; default scales them down 20x)
@@ -26,8 +27,8 @@
 
 use mtl_bench::data::Workloads;
 use mtl_bench::{
-    cache, coldstart, crashkill, fig2, fig3, fig4, fig5, headline, runtime, storm, table1, table2,
-    table3, table4, throughput, DEFAULT_SEED,
+    cache, coldstart, crashkill, fig2, fig3, fig4, fig5, headline, obs, runtime, storm, table1,
+    table2, table3, table4, throughput, tracedump, DEFAULT_SEED,
 };
 
 fn main() {
@@ -77,11 +78,16 @@ fn main() {
         "coldstart",
         "storm",
         "crashkill",
+        "obs",
+        "obs-smoke",
+        "trace-dump",
     ];
     let selected: Vec<&str> = if experiments.iter().any(|e| e == "all") {
         // crashkill spawns the separately-built `crashkill_child` binary
         // and SIGKILLs it in a loop — opt in by name, not via `all`.
-        known.iter().copied().filter(|k| *k != "crashkill").collect()
+        // obs-smoke is the quick CI variant of obs; `all` runs the
+        // real sweep, not both.
+        known.iter().copied().filter(|k| !matches!(*k, "crashkill" | "obs-smoke")).collect()
     } else {
         experiments
             .iter()
@@ -129,6 +135,9 @@ fn main() {
             "coldstart" => coldstart::report(),
             "storm" => storm::report(),
             "crashkill" => crashkill::report(),
+            "obs" => obs::report(workloads.as_ref().expect("data")),
+            "obs-smoke" => obs::smoke(workloads.as_ref().expect("data")),
+            "trace-dump" => tracedump::report(workloads.as_ref().expect("data")),
             _ => unreachable!(),
         }
     }
@@ -143,7 +152,8 @@ fn usage(err: &str) -> ! {
         "usage: repro [EXPERIMENT...] [--seed N] [--full] [--trace FILE]\n\
          \x20      repro trace convert --pcap FILE [--out FILE] [--port N]\n\
          experiments: all table1 table2 table3 table4 fig2 fig3 fig4 fig5 headline throughput \
-         cache runtime coldstart storm crashkill (crashkill is not part of `all`)"
+         cache runtime coldstart storm crashkill obs obs-smoke trace-dump (crashkill and \
+         obs-smoke are not part of `all`)"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -20,7 +20,13 @@
 //!   for byte, the oracle table built by replaying ops `0..n` onto the
 //!   same fallback — for *every* incarnation, not just the last;
 //! * WAL compaction + snapshot retention GC keep the directory bounded
-//!   across dozens of kill/restart generations.
+//!   across dozens of kill/restart generations;
+//! * **flight-log post-mortem** — the corpse's `flight.log` (the flight
+//!   recorder image the runtime flushes at checkpoint cadence) decodes
+//!   cleanly, its timeline is time-ordered, and every WAL append /
+//!   checkpoint watermark it records lies inside the durable prefix
+//!   the disk actually holds — the recorder's last words never claim
+//!   work the crash lost.
 //!
 //! Reproducibility: the op stream, fallback table and kill delays all
 //! derive from one seed (`CHAOS_SEED`, decimal or `0x`-hex). The kill
@@ -34,6 +40,7 @@ use crate::output::{obj, write_json, Json, ToJson};
 use classifier_api::{ClassifierBuilder, DynamicClassifier};
 use mtl_core::MtlSwitch;
 use mtl_persist::{Persistent, Store, WalOp, WalRecord};
+use mtl_runtime::trace::{decode_flight_log, EventKind};
 use offilter::synth::{generate_routing, RoutingTargets};
 use offilter::{Rule, RuleAction};
 use oflow::{FlowMatch, MatchFieldKind};
@@ -211,6 +218,10 @@ pub struct CrashkillRun {
     pub final_ops: u64,
     /// Byte-identical disk-vs-oracle audits performed (one per round).
     pub audits: u64,
+    /// Flight-log post-mortems performed (rounds where a `flight.log`
+    /// existed, decoded cleanly, and told a story consistent with the
+    /// disk's durable prefix).
+    pub post_mortems: u64,
     /// WAL segments on disk at the end.
     pub wal_segments: u64,
     /// Snapshot files on disk at the end.
@@ -228,6 +239,7 @@ impl ToJson for CrashkillRun {
             ("clean_rounds", self.clean_rounds.into()),
             ("final_ops", self.final_ops.into()),
             ("audits", self.audits.into()),
+            ("post_mortems", self.post_mortems.into()),
             ("wal_segments", self.wal_segments.into()),
             ("snapshots", self.snapshots.into()),
             ("store_bytes", self.store_bytes.into()),
@@ -262,6 +274,55 @@ struct Round {
     killed: bool,
     /// Time from READY to DONE when the round ran clean.
     clean_elapsed: Option<Duration>,
+    /// Whether a flight-log post-mortem ran (a `flight.log` existed).
+    post_mortem: bool,
+}
+
+/// The flight-log post-mortem: decodes whatever `flight.log` the corpse
+/// (or clean exit) left behind and cross-checks the recorder's story
+/// against the disk's. Returns whether a log existed to audit.
+///
+/// The invariants: the image decodes (it was written atomically, so a
+/// kill mid-flush can never leave a torn one), the timeline is
+/// time-ordered, and nothing in it claims durability the disk does not
+/// have — every recorded WAL append seq and checkpoint watermark lies
+/// strictly inside the durable prefix, because the flush that persisted
+/// the event happened *after* the append it describes was fsynced.
+fn flight_post_mortem(dir: &Path, durable: u64) -> bool {
+    let store = Store::open(dir).expect("store opens");
+    let Some(image) = store.read_flight_log().expect("flight log readable") else {
+        return false;
+    };
+    let events = decode_flight_log(&image).expect("flight log decodes after SIGKILL");
+    assert!(!events.is_empty(), "a flushed flight log is never empty");
+    assert!(
+        events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns),
+        "post-mortem timeline is time-ordered"
+    );
+    assert!(
+        events.iter().any(|e| e.kind == EventKind::Boot),
+        "the incarnation's boot is on the timeline"
+    );
+    for e in &events {
+        match e.kind {
+            // WalAppend.a is the record's WAL seq; ops map 1:1 onto
+            // seqs, so a recorded append must lie inside the prefix.
+            EventKind::WalAppend => assert!(
+                e.a < durable,
+                "flight log records WAL append seq {} beyond the durable prefix {durable}",
+                e.a
+            ),
+            // CheckpointSuccess.b is the seq watermark at checkpoint
+            // time — never past what the disk durably holds.
+            EventKind::CheckpointSuccess => assert!(
+                e.b <= durable,
+                "flight log records checkpoint watermark {} beyond the durable prefix {durable}",
+                e.b
+            ),
+            _ => {}
+        }
+    }
+    true
 }
 
 /// Spawns one child incarnation over `dir`, optionally killing it after
@@ -333,8 +394,9 @@ fn round(dir: &Path, seed: u64, ops_target: u64, kill_after: Option<Duration>) -
         disk, oracle,
         "recovery diverged from the oracle at durable prefix {durable} (seed {seed:#x})"
     );
+    let post_mortem = flight_post_mortem(dir, durable);
 
-    Round { durable, killed: killed && !done, clean_elapsed }
+    Round { durable, killed: killed && !done, clean_elapsed, post_mortem }
 }
 
 /// Runs the full harness: `kills` SIGKILLs (plus however many clean
@@ -351,10 +413,15 @@ pub fn run(seed: u64, kills: u64, batch: u64) -> CrashkillRun {
     let first = round(&dir, seed, batch, None);
     let mut window = first.clean_elapsed.expect("calibration round ran clean");
     let mut durable = first.durable;
+    assert!(
+        first.post_mortem,
+        "the calibration round checkpoints and shuts down cleanly, so a flight log must exist"
+    );
 
     let mut killed = 0u64;
     let mut clean = 0u64;
     let mut audits = 1u64;
+    let mut post_mortems = 1u64;
     let mut attempt = 0u64;
     while killed < kills {
         attempt += 1;
@@ -368,6 +435,10 @@ pub fn run(seed: u64, kills: u64, batch: u64) -> CrashkillRun {
         let r = round(&dir, seed, durable + batch, Some(delay));
         durable = r.durable;
         audits += 1;
+        // The flight log is never unlinked, so once the calibration
+        // round wrote one every later audit has a corpse to read.
+        assert!(r.post_mortem, "flight log vanished after round {attempt}");
+        post_mortems += 1;
         if r.killed {
             killed += 1;
         } else {
@@ -383,8 +454,10 @@ pub fn run(seed: u64, kills: u64, batch: u64) -> CrashkillRun {
     // completion unkilled.
     let last = round(&dir, seed, durable + batch / 2, None);
     assert!(!last.killed && last.clean_elapsed.is_some());
+    assert!(last.post_mortem);
     durable = last.durable;
     audits += 1;
+    post_mortems += 1;
 
     // Hygiene: dozens of generations later the directory is still a
     // couple of snapshots plus a short WAL window, not a log of
@@ -406,6 +479,7 @@ pub fn run(seed: u64, kills: u64, batch: u64) -> CrashkillRun {
         clean_rounds: clean,
         final_ops: durable,
         audits,
+        post_mortems,
         wal_segments: disk.wal_segments,
         snapshots: disk.snapshots,
         store_bytes: disk.wal_bytes + disk.snapshot_bytes,
@@ -422,9 +496,16 @@ pub fn report() {
     println!("== crashkill: {kills} SIGKILLs against a durable runtime (seed {seed:#x}) ==");
     let r = run(seed, kills, 240);
     println!(
-        "survived {} kills ({} clean rounds), {} byte-identical audits, \
-         {} ops durable, store: {} segments / {} snapshots / {} bytes",
-        r.kills, r.clean_rounds, r.audits, r.final_ops, r.wal_segments, r.snapshots, r.store_bytes
+        "survived {} kills ({} clean rounds), {} byte-identical audits, {} flight-log \
+         post-mortems, {} ops durable, store: {} segments / {} snapshots / {} bytes",
+        r.kills,
+        r.clean_rounds,
+        r.audits,
+        r.post_mortems,
+        r.final_ops,
+        r.wal_segments,
+        r.snapshots,
+        r.store_bytes
     );
     write_json("crashkill", &r);
 }

@@ -26,7 +26,9 @@
 //! | `runtime` | (extension) sharded-runtime scaling + consistency under rule churn | [`runtime`] |
 //! | `coldstart` | (extension) snapshot-restore vs rebuild-from-rules cold start | [`coldstart`] |
 //! | `storm` | (extension) publish-storm throughput: durability off / WAL-only / WAL+checkpoint | [`storm`] |
-//! | `crashkill` | (extension) real `kill -9` process-crash recovery harness | [`crashkill`] |
+//! | `crashkill` | (extension) real `kill -9` process-crash recovery harness + flight-log post-mortem | [`crashkill`] |
+//! | `obs` | (extension) observability tax: recorder off / rings / rings+sampler per shard count | [`obs`] |
+//! | `trace-dump` | (extension) live flight-recorder capture rendered as a Chrome/Perfetto trace | [`tracedump`] |
 
 // Unsafe is denied everywhere except the counting global allocator in
 // [`alloc_probe`], which needs a `GlobalAlloc` impl.
@@ -42,6 +44,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod headline;
+pub mod obs;
 pub mod output;
 pub mod registry;
 pub mod runtime;
@@ -51,6 +54,7 @@ pub mod table2;
 pub mod table3;
 pub mod table4;
 pub mod throughput;
+pub mod tracedump;
 
 /// Default RNG seed for every experiment (reproducibility).
 pub const DEFAULT_SEED: u64 = 2015;

@@ -53,7 +53,7 @@ pub use error::PersistError;
 pub use storage::{FaultFs, FaultFsCounters, RealFs, Storage};
 pub use store::{
     CheckpointMode, GcReport, RestorePoint, Store, StoreDiskStats, StoreStats,
-    DEFAULT_RETAIN_SNAPSHOTS, DEFAULT_SEGMENT_BYTES,
+    DEFAULT_RETAIN_SNAPSHOTS, DEFAULT_SEGMENT_BYTES, FLIGHT_LOG_FILE, FLIGHT_LOG_MAX_BYTES,
 };
 pub use wal::{WalOp, WalRecord, WalTail};
 pub use wire::{Reader, Writer};

@@ -63,6 +63,16 @@ pub const DEFAULT_SEGMENT_BYTES: u64 = 64 * 1024;
 /// Default number of newest valid snapshots GC retains.
 pub const DEFAULT_RETAIN_SNAPSHOTS: usize = 2;
 
+/// File name of the flight-recorder region (the runtime's crash
+/// forensics timeline). One bounded file, atomically replaced on every
+/// flush; it matches no WAL/snapshot pattern, so retention GC never
+/// touches it.
+pub const FLIGHT_LOG_FILE: &str = "flight.log";
+/// Upper bound on the flight-log region — a flush larger than this is
+/// rejected so a hostile recorder config cannot grow the store
+/// unboundedly.
+pub const FLIGHT_LOG_MAX_BYTES: usize = 8 * 1024 * 1024;
+
 /// How a checkpoint write should (mis)behave — the durable path, or one
 /// of the injected control-plane faults.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -485,6 +495,50 @@ impl Store {
         self.retain_snapshots = keep.max(1);
     }
 
+    /// Where the flight-recorder region lives under `dir` — exposed so
+    /// post-mortem tooling can read the pre-crash timeline without
+    /// opening (and thereby mutating) the store.
+    #[must_use]
+    pub fn flight_log_path_in(dir: &Path) -> PathBuf {
+        dir.join(FLIGHT_LOG_FILE)
+    }
+
+    /// Atomically replaces the flight-log region: temp file → fsync →
+    /// rename → directory fsync, so a crash mid-flush leaves the
+    /// previous image intact (never a torn half of the new one). The
+    /// orphaned temp of an interrupted flush is swept by the store's
+    /// normal `.tmp` cleanup at the next open.
+    ///
+    /// # Errors
+    /// I/O failures, or an image larger than [`FLIGHT_LOG_MAX_BYTES`].
+    pub fn put_flight_log(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        if bytes.len() > FLIGHT_LOG_MAX_BYTES {
+            return Err(PersistError::Io(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("flight log image {} bytes exceeds the region bound", bytes.len()),
+            )));
+        }
+        let tmp = self.dir.join(format!("{FLIGHT_LOG_FILE}.tmp"));
+        write_fully(&*self.storage, &tmp, bytes)?;
+        self.storage.sync_file(&tmp)?;
+        self.storage.rename(&tmp, &Self::flight_log_path_in(&self.dir))?;
+        self.storage.sync_dir(&self.dir)?;
+        Ok(())
+    }
+
+    /// Reads the flight-log region; `Ok(None)` when no flush has ever
+    /// landed.
+    ///
+    /// # Errors
+    /// I/O failures other than the region being absent.
+    pub fn read_flight_log(&self) -> Result<Option<Vec<u8>>, PersistError> {
+        match self.storage.read(&Self::flight_log_path_in(&self.dir)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(PersistError::Io(e)),
+        }
+    }
+
     /// Truncates the active segment back to its clean length; `true` if
     /// the disk is known clean afterwards.
     fn truncate_tail(&self) -> bool {
@@ -903,6 +957,55 @@ mod tests {
         // Only records past the watermark replay.
         let payloads: Vec<&[u8]> = point.wal_tail.iter().map(|r| r.payload.as_slice()).collect();
         assert_eq!(payloads, vec![b"post-1".as_slice(), b"post-2".as_slice()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flight_log_region_is_bounded_atomic_and_gc_proof() {
+        let dir = temp_dir("flight");
+        let mut store = Store::open(&dir).unwrap();
+        // Absent until first written.
+        assert_eq!(store.read_flight_log().unwrap(), None);
+        store.put_flight_log(b"first image").unwrap();
+        assert_eq!(store.read_flight_log().unwrap().as_deref(), Some(b"first image".as_ref()));
+        // A rewrite replaces the whole region.
+        store.put_flight_log(b"second, longer image").unwrap();
+        assert_eq!(
+            store.read_flight_log().unwrap().as_deref(),
+            Some(b"second, longer image".as_ref())
+        );
+        // The bound is enforced at write time, and a rejected write
+        // leaves the previous image intact.
+        let oversize = vec![0u8; FLIGHT_LOG_MAX_BYTES + 1];
+        assert!(store.put_flight_log(&oversize).is_err());
+        assert_eq!(
+            store.read_flight_log().unwrap().as_deref(),
+            Some(b"second, longer image".as_ref())
+        );
+        // Retention GC churns snapshots and WAL segments; the flight
+        // log matches neither pattern and must survive.
+        store.set_retain_snapshots(1);
+        for v in 1..=4u64 {
+            store.append(b"op").unwrap();
+            store.checkpoint(v, b"image", CheckpointMode::Durable).unwrap();
+        }
+        store.gc().unwrap();
+        assert_eq!(
+            store.read_flight_log().unwrap().as_deref(),
+            Some(b"second, longer image".as_ref())
+        );
+        // An orphaned tmp file (crash mid-replace) is swept at open and
+        // never shadows the committed image.
+        let tmp = dir.join(format!("{FLIGHT_LOG_FILE}.tmp"));
+        fs::write(&tmp, b"torn replacement").unwrap();
+        drop(store);
+        let reopened = Store::open(&dir).unwrap();
+        assert!(!tmp.exists(), "orphaned tmp swept at open");
+        assert_eq!(
+            reopened.read_flight_log().unwrap().as_deref(),
+            Some(b"second, longer image".as_ref())
+        );
+        assert_eq!(Store::flight_log_path_in(&dir), dir.join(FLIGHT_LOG_FILE));
         let _ = fs::remove_dir_all(&dir);
     }
 

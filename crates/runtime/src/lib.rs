@@ -71,4 +71,10 @@ pub use runtime::{
     WaitOutcome, MAX_REQUEUES, UNSERVED_VERSION,
 };
 pub use snapshot::{Snapshot, SnapshotCell, SnapshotReader};
-pub use telemetry::{DurabilityTelemetry, RuntimeTelemetry, ShardCounters, ShardTelemetry};
+pub use telemetry::{
+    DurabilityTelemetry, RuntimeTelemetry, ShardCounters, ShardTelemetry, TraceTelemetry,
+};
+
+// Re-exported so harnesses can decode flight recordings and consume
+// metric series against the exact trace types this runtime emits.
+pub use mtl_trace as trace;

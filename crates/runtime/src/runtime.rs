@@ -84,8 +84,13 @@ use crate::durability::{
 use crate::pin::pin_to_cpu;
 use crate::ring::{spsc, Consumer, Producer};
 use crate::snapshot::{Snapshot, SnapshotCell};
-use crate::telemetry::{DurabilityTelemetry, RuntimeTelemetry, ShardCounters, ShardTelemetry};
-use mtl_persist::{CheckpointMode, PersistError, Persistent, Store, WalOp};
+use crate::telemetry::{
+    DurabilityTelemetry, RuntimeTelemetry, ShardCounters, ShardTelemetry, TraceTelemetry,
+};
+use mtl_persist::{CheckpointMode, PersistError, Persistent, Store, WalOp, FLIGHT_LOG_MAX_BYTES};
+use mtl_trace::{
+    encode_flight_log, Event, EventKind, FlightRecorder, MetricPoint, SeriesRing, SpanOp,
+};
 
 #[cfg(feature = "fault-injection")]
 use crate::fault::{CheckpointFault, Fault, FaultPlan};
@@ -158,6 +163,20 @@ pub struct RuntimeConfig {
     /// deltas surface as `hot_path_allocs` in telemetry and are
     /// required to be zero once warmed.
     pub alloc_counter: Option<fn() -> u64>,
+    /// Whether the flight recorder runs (always-on by default; the
+    /// only reason to turn it off is measuring the observability tax's
+    /// baseline). Off, the runtime carries zero tracing work.
+    pub flight_recorder: bool,
+    /// Ring capacity per recorder lane, in events (rounded up to a
+    /// power of two, clamped to
+    /// [`mtl_trace::EVENTS_PER_LANE_MAX`]).
+    pub trace_events_per_lane: usize,
+    /// Cadence of the metrics sampler thread, which snapshots the
+    /// runtime telemetry into an in-memory time series; `None` (the
+    /// default) spawns no sampler. Requires the flight recorder.
+    pub metrics_sampler: Option<Duration>,
+    /// Samples the metrics time-series ring retains.
+    pub metrics_series_capacity: usize,
     /// Deterministic fault schedule the runtime threads consult
     /// (chaos/fault-injection builds only).
     #[cfg(feature = "fault-injection")]
@@ -174,6 +193,10 @@ impl Default for RuntimeConfig {
             admission: AdmissionPolicy::Block,
             pin_workers: true,
             alloc_counter: None,
+            flight_recorder: true,
+            trace_events_per_lane: mtl_trace::DEFAULT_EVENTS_PER_LANE,
+            metrics_sampler: None,
+            metrics_series_capacity: mtl_trace::DEFAULT_SERIES_CAPACITY,
             #[cfg(feature = "fault-injection")]
             fault_plan: None,
         }
@@ -286,6 +309,7 @@ pub struct Ticket {
     reply: Arc<Reply>,
     len: usize,
     timeouts: Arc<AtomicU64>,
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Ticket {
@@ -316,10 +340,13 @@ impl Ticket {
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 self.timeouts.fetch_add(1, Relaxed);
+                let missing: usize = self.len - st.parts.iter().map(|p| p.idx.len()).sum::<usize>();
+                if let Some(r) = &self.recorder {
+                    r.emit(r.control_lane(), EventKind::TicketTimeout, missing as u64, 0);
+                }
                 if st.parts.is_empty() {
                     return WaitOutcome::Timeout;
                 }
-                let missing: usize = self.len - st.parts.iter().map(|p| p.idx.len()).sum::<usize>();
                 return WaitOutcome::Partial {
                     batch: Self::assemble(&st.parts, self.len),
                     missing,
@@ -489,6 +516,19 @@ pub(crate) struct Shared<C> {
     pub(crate) run_epoch: AtomicU64,
     /// Escalation knobs (inert defaults when not durable).
     pub(crate) escalation: EscalationPolicy,
+    /// The always-on flight recorder (`None` only when the config
+    /// explicitly disabled it for tax measurement).
+    pub(crate) recorder: Option<Arc<FlightRecorder>>,
+    /// The metrics time series the sampler thread fills (empty and
+    /// unused when no sampler is configured).
+    pub(crate) series: Arc<SeriesRing>,
+    /// Sampler cadence, kept for telemetry (None = sampler off).
+    sampler_cadence: Option<Duration>,
+    /// Events already drained from the rings for flight-log flushing,
+    /// accumulated across flushes (a drain is destructive, so without
+    /// this journal each flushed image would hold only the events since
+    /// the previous flush). Bounded to what the flight-log region fits.
+    flight_journal: Mutex<Vec<Event>>,
     #[cfg(feature = "fault-injection")]
     pub(crate) fault_plan: Option<Arc<FaultPlan>>,
 }
@@ -504,6 +544,104 @@ impl<C> Shared<C> {
 
     fn lock_master(&self) -> MutexGuard<'_, Option<C>> {
         lock_count(&self.master, &self.poison_recoveries)
+    }
+
+    /// Emits one flight-recorder event on a worker shard's lane
+    /// (no-op with the recorder off — one branch).
+    #[inline]
+    pub(crate) fn trace_shard(&self, shard: usize, kind: EventKind, a: u64, b: u64) {
+        if let Some(r) = &self.recorder {
+            r.emit(r.shard_lane(shard), kind, a, b);
+        }
+    }
+
+    /// Emits on the control-plane lane.
+    #[inline]
+    pub(crate) fn trace_control(&self, kind: EventKind, a: u64, b: u64) {
+        if let Some(r) = &self.recorder {
+            r.emit(r.control_lane(), kind, a, b);
+        }
+    }
+
+    /// Emits on the durability lane.
+    #[inline]
+    fn trace_durability(&self, kind: EventKind, a: u64, b: u64) {
+        if let Some(r) = &self.recorder {
+            r.emit(r.durability_lane(), kind, a, b);
+        }
+    }
+
+    /// Emits on the supervisor lane.
+    #[inline]
+    pub(crate) fn trace_supervisor(&self, kind: EventKind, a: u64, b: u64) {
+        if let Some(r) = &self.recorder {
+            r.emit(r.supervisor_lane(), kind, a, b);
+        }
+    }
+
+    /// Opens a control-plane span (0 with the recorder off).
+    fn span_begin(&self, op: SpanOp) -> u64 {
+        self.recorder.as_ref().map_or(0, |r| r.span_begin(op))
+    }
+
+    /// Closes span `id` with the version the operation produced (0 for
+    /// a failed operation); no-op for the recorder-off sentinel id 0.
+    fn span_end(&self, id: u64, version: u64) {
+        if id != 0 {
+            if let Some(r) = &self.recorder {
+                r.span_end(id, version);
+            }
+        }
+    }
+
+    /// Current durable checkpoint version (0 on in-memory runtimes).
+    pub(crate) fn durable_snapshot_version(&self) -> u64 {
+        self.durable.as_ref().map_or(0, |d| lock_count(d, &self.poison_recoveries).snapshot_version)
+    }
+
+    /// Flushes the recorder's timeline into the store's bounded
+    /// `flight.log` region (checkpoint cadence, panic catch, restore).
+    /// Best-effort: `false` when not durable, recorder off, or the
+    /// write failed — forensics never block the dataplane.
+    pub(crate) fn flush_flight_log(&self) -> bool {
+        let Some(durable) = &self.durable else { return false };
+        if self.recorder.is_none() {
+            return false;
+        }
+        let mut d = lock_count(durable, &self.poison_recoveries);
+        self.flush_flight_locked(&mut d)
+    }
+
+    /// As [`Shared::flush_flight_log`] with the durable lock already
+    /// held (the checkpoint path flushes without re-taking it).
+    fn flush_flight_locked(&self, d: &mut DurableState<C>) -> bool {
+        let Some(recorder) = &self.recorder else { return false };
+        // Draining the rings is destructive, so fold each drain into
+        // the journal: every flushed image holds the full retained
+        // timeline, not just the slice since the previous flush.
+        let mut journal = lock_count(&self.flight_journal, &self.poison_recoveries);
+        journal.extend(recorder.snapshot());
+        // Concurrent emits around a drain can straddle two chunks:
+        // re-sort so the persisted timeline stays time-ordered.
+        journal.sort_by_key(|e| (e.ts_ns, e.lane, e.kind as u16));
+        // Keep the newest events that fit the bounded region (32 B per
+        // event + header/trailer); the oldest are the ones the ring
+        // would overwrite next anyway.
+        let max_events = (FLIGHT_LOG_MAX_BYTES - 24) / 32;
+        if journal.len() > max_events {
+            let excess = journal.len() - max_events;
+            journal.drain(..excess);
+        }
+        let image = encode_flight_log(&journal);
+        let bytes = image.len() as u64;
+        match d.store.put_flight_log(&image) {
+            Ok(()) => {
+                recorder.count_flush();
+                self.trace_durability(EventKind::FlightFlush, bytes, 0);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// Rings `shard`'s doorbell — unless a fault plan swallows it.
@@ -538,7 +676,9 @@ impl<C> Shared<C> {
                 self.restore_requested.store(true, SeqCst);
             }
         }
-        self.cell.publish(table)
+        let version = self.cell.publish(table);
+        self.trace_control(EventKind::Publish, version, 0);
+        version
     }
 
     /// Write-ahead: durably appends `op` to the rule log *before* the
@@ -556,14 +696,20 @@ impl<C> Shared<C> {
         let cut = self.fault_plan.as_ref().and_then(|plan| plan.on_wal_append());
         #[cfg(not(feature = "fault-injection"))]
         let cut: Option<usize> = None;
+        let rotated_before = d.store.stats().segments_rotated;
         let appended = match cut {
-            Some(keep) => d.store.append_torn(&payload, keep).map(|_| ()),
-            None => d.store.append(&payload).map(|_| ()),
+            Some(keep) => d.store.append_torn(&payload, keep),
+            None => d.store.append(&payload),
         };
         match appended {
-            Ok(()) => {
+            Ok(seq) => {
                 d.records_since += 1;
                 self.durability.wal_appends.fetch_add(1, Relaxed);
+                self.trace_durability(EventKind::WalAppend, seq, payload.len() as u64);
+                let rotated = d.store.stats().segments_rotated;
+                if rotated != rotated_before {
+                    self.trace_durability(EventKind::WalRotate, rotated, 0);
+                }
                 Ok(())
             }
             Err(e) => {
@@ -597,6 +743,11 @@ impl<C> Shared<C> {
         let mode = CheckpointMode::Durable;
         d.snapshot_version += 1;
         let version = d.snapshot_version;
+        // The watermark this checkpoint covers: every WAL record below
+        // the next sequence number is folded into the image.
+        let watermark = d.store.next_seq().saturating_sub(1);
+        let gc_before = d.store.stats();
+        self.trace_durability(EventKind::CheckpointStart, version, 0);
         match d.store.checkpoint(version, &image, mode) {
             Ok(_) => {
                 // A torn or unsynced checkpoint still counts here — the
@@ -605,12 +756,27 @@ impl<C> Shared<C> {
                 // to the previous durable one, replaying more WAL).
                 d.records_since = 0;
                 self.durability.checkpoints.fetch_add(1, Relaxed);
+                self.trace_durability(EventKind::CheckpointSuccess, version, watermark);
                 // Only a genuinely durable checkpoint ends a WAL-only
                 // degraded episode: an injected torn/unsynced image
                 // would not survive a power cut.
-                if matches!(mode, CheckpointMode::Durable) {
-                    self.durability.degraded.store(false, Relaxed);
+                if matches!(mode, CheckpointMode::Durable)
+                    && self.durability.degraded.swap(false, Relaxed)
+                {
+                    self.trace_durability(EventKind::DegradedExit, version, 0);
                 }
+                let gc_after = d.store.stats();
+                if gc_after.gc_runs != gc_before.gc_runs {
+                    self.trace_durability(
+                        EventKind::GcPass,
+                        gc_after.gc_segments_removed - gc_before.gc_segments_removed,
+                        gc_after.gc_snapshots_removed - gc_before.gc_snapshots_removed,
+                    );
+                }
+                // Checkpoint cadence is also the flight-log flush
+                // cadence: the freshest pre-crash timeline a SIGKILL
+                // post-mortem can rely on.
+                self.flush_flight_locked(&mut *d);
             }
             Err(_) => {
                 // Graceful degradation, not an error path: the WAL
@@ -621,8 +787,10 @@ impl<C> Shared<C> {
                 // the disk is hostile.
                 d.snapshot_version -= 1;
                 self.durability.checkpoint_failures.fetch_add(1, Relaxed);
+                self.trace_durability(EventKind::CheckpointFailure, version, 0);
                 if !self.durability.degraded.swap(true, Relaxed) {
                     self.durability.degraded_episodes.fetch_add(1, Relaxed);
+                    self.trace_durability(EventKind::DegradedEnter, 1, 0);
                 }
             }
         }
@@ -728,26 +896,37 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
             };
             self.dispatch(shard, job);
         }
-        Ticket { reply, len: n, timeouts: Arc::clone(&self.shared.ticket_timeouts) }
+        Ticket {
+            reply,
+            len: n,
+            timeouts: Arc::clone(&self.shared.ticket_timeouts),
+            recorder: self.shared.recorder.clone(),
+        }
     }
 
     /// Enqueues one shard-job per the admission policy.
     fn dispatch(&self, shard: usize, mut job: Job) {
         let shared = &*self.shared;
+        let packets = job.idx.len() as u64;
         if let AdmissionPolicy::Shed { max_queued } = shared.admission {
             let mut producer = shared.lock_producer(shard);
-            if producer.len() >= max_queued.max(1) {
+            let queued = producer.len();
+            if queued >= max_queued.max(1) {
                 drop(producer);
+                shared.trace_shard(shard, EventKind::ShedJob, packets, queued as u64);
                 complete_unserved(&shared.counters[shard], job, true);
                 return;
             }
             match producer.push(job) {
                 Ok(()) => {
+                    let depth = producer.len();
                     drop(producer);
+                    shared.trace_shard(shard, EventKind::BatchSubmit, packets, depth as u64);
                     shared.ring_doorbell(shard);
                 }
                 Err(back) => {
                     drop(producer);
+                    shared.trace_shard(shard, EventKind::ShedJob, packets, queued as u64);
                     complete_unserved(&shared.counters[shard], back, true);
                 }
             }
@@ -761,7 +940,9 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
             let mut producer = shared.lock_producer(shard);
             match producer.push(job) {
                 Ok(()) => {
+                    let depth = producer.len();
                     drop(producer);
+                    shared.trace_shard(shard, EventKind::BatchSubmit, packets, depth as u64);
                     shared.ring_doorbell(shard);
                     return;
                 }
@@ -770,6 +951,7 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
                     job = back;
                     if let Some(deadline) = job.deadline {
                         if Instant::now() >= deadline {
+                            shared.trace_shard(shard, EventKind::DeadlineShed, packets, 0);
                             complete_unserved(&shared.counters[shard], job, true);
                             return;
                         }
@@ -808,6 +990,7 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
     where
         C: Clone,
     {
+        let span = self.shared.span_begin(SpanOp::SwapTable);
         let mut master = self.shared.lock_master();
         *master = Some(table.clone());
         let version = self.shared.publish_table(table);
@@ -818,6 +1001,7 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
             self.shared.maybe_checkpoint(t, true);
         }
         drop(master);
+        self.shared.span_end(span, version);
         version
     }
 
@@ -836,6 +1020,16 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
     /// otherwise whatever the classifier's
     /// [`DynamicClassifier::insert_rule`] reports.
     pub fn add_rule(&self, rule: Rule) -> Result<(UpdateReport, u64), BuildError>
+    where
+        C: DynamicClassifier + Clone,
+    {
+        let span = self.shared.span_begin(SpanOp::AddRule);
+        let result = self.add_rule_inner(rule);
+        self.shared.span_end(span, result.as_ref().map_or(0, |&(_, v)| v));
+        result
+    }
+
+    fn add_rule_inner(&self, rule: Rule) -> Result<(UpdateReport, u64), BuildError>
     where
         C: DynamicClassifier + Clone,
     {
@@ -870,6 +1064,16 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
     /// # Panics
     /// Panics if the runtime was built without a control-plane master.
     pub fn remove_rule(&self, rule_id: u32) -> Option<(UpdateReport, u64)>
+    where
+        C: DynamicClassifier + Clone,
+    {
+        let span = self.shared.span_begin(SpanOp::RemoveRule);
+        let result = self.remove_rule_inner(rule_id);
+        self.shared.span_end(span, result.as_ref().map_or(0, |&(_, v)| v));
+        result
+    }
+
+    fn remove_rule_inner(&self, rule_id: u32) -> Option<(UpdateReport, u64)>
     where
         C: DynamicClassifier + Clone,
     {
@@ -920,6 +1124,19 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
                 degraded_episodes: d.degraded_episodes.load(Relaxed),
                 degraded: d.degraded.load(Relaxed),
             }),
+            trace: self.shared.recorder.as_ref().map(|r| TraceTelemetry {
+                lanes: r.lane_count(),
+                events_per_lane: r.events_per_lane(),
+                events_recorded: r.events_recorded(),
+                events_overwritten: r.events_overwritten(),
+                flight_flushes: r.flushes(),
+                sampler_samples: self.shared.series.total_samples(),
+                sampler_capacity: if self.shared.sampler_cadence.is_some() {
+                    self.shared.series.capacity()
+                } else {
+                    0
+                },
+            }),
             per_shard: self
                 .shared
                 .counters
@@ -935,6 +1152,35 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
     #[must_use]
     pub fn durable(&self) -> bool {
         self.shared.durable.is_some()
+    }
+
+    /// The flight recorder, when enabled (the default). Shared so
+    /// harnesses can drain or inspect the live timeline.
+    #[must_use]
+    pub fn flight_recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.shared.recorder.clone()
+    }
+
+    /// A drained, time-sorted snapshot of the flight-recorder timeline
+    /// (empty with the recorder off).
+    #[must_use]
+    pub fn trace_events(&self) -> Vec<Event> {
+        self.shared.recorder.as_ref().map_or_else(Vec::new, |r| r.snapshot())
+    }
+
+    /// The metrics time series the sampler has captured so far, oldest
+    /// first (empty with the sampler off).
+    #[must_use]
+    pub fn metrics_series(&self) -> Vec<MetricPoint> {
+        self.shared.series.snapshot()
+    }
+
+    /// Flushes the flight recorder into the store's `flight.log` region
+    /// now (tests and orderly shutdowns; the runtime also flushes on
+    /// checkpoint cadence, worker panics, and restores). `false` when
+    /// not durable, the recorder is off, or the write failed.
+    pub fn flush_flight_log(&self) -> bool {
+        self.shared.flush_flight_log()
     }
 
     /// The current run epoch: 0 at start, +1 per completed runtime
@@ -993,6 +1239,7 @@ impl<C: Classifier + 'static> RuntimeHandle<C> {
 pub struct Runtime<C: Classifier + 'static> {
     handle: RuntimeHandle<C>,
     supervisor: Option<std::thread::JoinHandle<()>>,
+    sampler: Option<std::thread::JoinHandle<()>>,
 }
 
 impl<C: Classifier + 'static> Runtime<C> {
@@ -1151,6 +1398,11 @@ impl<C: Classifier + 'static> Runtime<C> {
             Some(DurableParts { state, rebuild, escalation }),
         );
         runtime.handle.shared.durability.absorb_report(&report);
+        runtime.handle.shared.trace_control(
+            EventKind::Boot,
+            report.version,
+            report.wal_replayed as u64,
+        );
         if boot_checkpoint_failed {
             let d = &runtime.handle.shared.durability;
             d.checkpoint_failures.fetch_add(1, Relaxed);
@@ -1180,10 +1432,14 @@ impl<C: Classifier + 'static> Runtime<C> {
             (0..shards).map(|_| Arc::new(Doorbell::new(Arc::clone(&poison_recoveries)))).collect();
         let counters: Vec<Arc<ShardCounters>> =
             (0..shards).map(|_| Arc::new(ShardCounters::default())).collect();
+        let is_durable = durable.is_some();
         let (durable_state, rebuild_master, escalation) = match durable {
             Some(parts) => (Some(Mutex::new(parts.state)), Some(parts.rebuild), parts.escalation),
             None => (None, None, EscalationPolicy::default()),
         };
+        let recorder = config
+            .flight_recorder
+            .then(|| Arc::new(FlightRecorder::new(shards, config.trace_events_per_lane)));
         let shared = Arc::new(Shared {
             cell,
             master: Mutex::new(master),
@@ -1211,9 +1467,18 @@ impl<C: Classifier + 'static> Runtime<C> {
             quiesce: AtomicBool::new(false),
             run_epoch: AtomicU64::new(0),
             escalation,
+            recorder,
+            series: Arc::new(SeriesRing::new(config.metrics_series_capacity)),
+            sampler_cadence: config.metrics_sampler,
+            flight_journal: Mutex::new(Vec::new()),
             #[cfg(feature = "fault-injection")]
             fault_plan: config.fault_plan.clone(),
         });
+        // Durable boots emit their Boot event from `with_durability`,
+        // where the restore report (version + replay length) is known.
+        if !is_durable {
+            shared.trace_control(EventKind::Boot, 0, 0);
+        }
         let workers = consumers
             .into_iter()
             .enumerate()
@@ -1226,7 +1491,20 @@ impl<C: Classifier + 'static> Runtime<C> {
                 .spawn(move || crate::supervisor::supervise(&shared, workers))
                 .expect("spawning the supervisor")
         };
-        Self { handle: RuntimeHandle { shared }, supervisor: Some(supervisor) }
+        let sampler = match (&shared.recorder, shared.sampler_cadence) {
+            (Some(recorder), Some(cadence)) => {
+                let recorder = Arc::clone(recorder);
+                let handle = RuntimeHandle { shared: Arc::clone(&shared) };
+                Some(
+                    std::thread::Builder::new()
+                        .name("mtl-sampler".into())
+                        .spawn(move || sampler_loop(&handle, &recorder, cadence))
+                        .expect("spawning the metrics sampler"),
+                )
+            }
+            _ => None,
+        };
+        Self { handle: RuntimeHandle { shared }, supervisor: Some(supervisor), sampler }
     }
 
     /// A cloneable handle (control + data plane).
@@ -1258,6 +1536,9 @@ impl<C: Classifier + 'static> Drop for Runtime<C> {
         if let Some(sup) = self.supervisor.take() {
             let _ = sup.join();
         }
+        if let Some(sampler) = self.sampler.take() {
+            let _ = sampler.join();
+        }
         // Strand no waiter: complete whatever the shutdown cut off —
         // orphaned in-flight jobs and ring backlogs — as unserved.
         for shard in 0..shared.shards {
@@ -1272,6 +1553,9 @@ impl<C: Classifier + 'static> Drop for Runtime<C> {
                 }
             }
         }
+        // Orderly shutdowns leave a final flight-log image behind;
+        // crashes rely on the panic/escalation/checkpoint flushes.
+        shared.flush_flight_log();
     }
 }
 
@@ -1328,9 +1612,62 @@ fn worker_entry<C: Classifier + 'static>(
     let result = catch_unwind(AssertUnwindSafe(|| worker_loop(cfg, shared, &mut consumer)));
     if result.is_err() {
         shared.counters[cfg.shard].panics.fetch_add(1, Relaxed);
+        shared.trace_supervisor(EventKind::WorkerPanic, cfg.shard as u64, 0);
+        // Crash forensics: persist the timeline that led up to the
+        // panic now, while the evidence is still in the rings.
+        shared.flush_flight_log();
     }
     // `consumer` drops here: `Producer::consumer_alive` turns false,
     // and `Producer::recover` becomes possible.
+}
+
+/// The metrics-sampler thread body: every `cadence` it folds a full
+/// telemetry snapshot into one [`MetricPoint`] and pushes it into the
+/// shared [`SeriesRing`]. Sleeps in short slices so shutdown never
+/// waits out a long cadence.
+fn sampler_loop<C: Classifier + 'static>(
+    handle: &RuntimeHandle<C>,
+    recorder: &FlightRecorder,
+    cadence: Duration,
+) {
+    const SLICE: Duration = Duration::from_millis(20);
+    let shared = &handle.shared;
+    let mut ordinal = 0u64;
+    let mut last = Instant::now();
+    while !shared.stop.load(Relaxed) {
+        std::thread::sleep(cadence.min(SLICE));
+        if shared.stop.load(Relaxed) {
+            break;
+        }
+        if last.elapsed() < cadence {
+            continue;
+        }
+        last = Instant::now();
+        let t = handle.telemetry();
+        let packets: u64 = t.per_shard.iter().map(|s| s.packets).sum();
+        let shed: u64 = t.per_shard.iter().map(|s| s.shed_packets).sum();
+        let restarts: u64 = t.per_shard.iter().map(|s| s.restarts).sum();
+        let hits: u64 = t.per_shard.iter().map(|s| s.cache.hits).sum();
+        let lookups: u64 = t.per_shard.iter().map(|s| s.cache.hits + s.cache.misses).sum();
+        let hit_rate = if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 };
+        let (wal_appends, checkpoints) =
+            t.durability.map_or((0, 0), |d| (d.wal_appends, d.checkpoints));
+        shared.series.push(MetricPoint {
+            ts_ns: recorder.now_ns(),
+            values: vec![
+                ("packets", packets as f64),
+                ("hit_rate", hit_rate),
+                ("shed_packets", shed as f64),
+                ("restarts", restarts as f64),
+                ("version", t.version as f64),
+                ("wal_appends", wal_appends as f64),
+                ("checkpoints", checkpoints as f64),
+                ("ticket_timeouts", t.ticket_timeouts as f64),
+            ],
+        });
+        recorder.emit(recorder.control_lane(), EventKind::SamplerTick, ordinal, 0);
+        ordinal += 1;
+    }
 }
 
 /// The run-to-completion shard loop. Per job: record it as in-flight
@@ -1412,7 +1749,9 @@ fn worker_loop<C: Classifier + 'static>(
         // deadline is shed here, not served uselessly late.
         if let Some(deadline) = job.deadline {
             if Instant::now() >= deadline {
-                counters.deadline_shed_packets.fetch_add(job.idx.len() as u64, Relaxed);
+                let packets = job.idx.len() as u64;
+                counters.deadline_shed_packets.fetch_add(packets, Relaxed);
+                shared.trace_shard(cfg.shard, EventKind::DeadlineShed, packets, 0);
                 complete_unserved(&counters, job, false);
                 clear_inflight(shared, cfg.shard, my_epoch);
                 continue;
@@ -1421,8 +1760,13 @@ fn worker_loop<C: Classifier + 'static>(
         // Refresh the replicated snapshot between jobs only: one job =
         // one table generation.
         if reader.cell().version() != snap.version {
+            let prev = snap.version;
             snap = reader.load();
             counters.snapshot_refreshes.fetch_add(1, Relaxed);
+            shared.trace_shard(cfg.shard, EventKind::SnapshotRefresh, snap.version, prev);
+            // The cache epoch tracks the publish version (see below),
+            // so a refresh is also the shard's cache-generation bump.
+            shared.trace_shard(cfg.shard, EventKind::CacheEpochBump, snap.version, 0);
         }
         let started = Instant::now();
         // The cache epoch is the snapshot's publish version, alone: it
@@ -1472,6 +1816,7 @@ fn worker_loop<C: Classifier + 'static>(
         if let Some(cache) = cache.as_ref() {
             counters.record_cache(&cache.stats());
         }
+        shared.trace_shard(cfg.shard, EventKind::BatchServe, served, snap.version);
         reply.complete(Part { shard: shard_id, idx, rows, version: snap.version });
         clear_inflight(shared, cfg.shard, my_epoch);
         drop(headers);

@@ -44,6 +44,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use classifier_api::Classifier;
+use mtl_trace::EventKind;
 
 use crate::ring::spsc;
 use crate::runtime::{complete_unserved, spawn_worker, Job, Shared, MAX_REQUEUES};
@@ -113,6 +114,12 @@ pub(crate) fn supervise<C: Classifier + 'static>(
                 // Count the episode once; cleared when the beat moves.
                 stalled[shard] = true;
                 shared.counters[shard].stalls_detected.fetch_add(1, Relaxed);
+                #[allow(clippy::cast_possible_truncation)]
+                shared.trace_supervisor(
+                    EventKind::WorkerStall,
+                    shard as u64,
+                    beats[shard].1.elapsed().as_nanos() as u64,
+                );
             }
         }
         std::thread::sleep(POLL);
@@ -149,6 +156,8 @@ fn runtime_restore<C: Classifier + 'static>(
     zombies: &mut Vec<JoinHandle<()>>,
     beats: &mut [(u64, Instant)],
 ) {
+    let old_epoch = shared.run_epoch.load(SeqCst);
+    shared.trace_supervisor(EventKind::RestoreBegin, old_epoch, 0);
     shared.quiesce.store(true, SeqCst);
     for shard in 0..shared.shards {
         shared.ring_doorbell(shard);
@@ -201,6 +210,10 @@ fn runtime_restore<C: Classifier + 'static>(
     shared.run_epoch.fetch_add(1, SeqCst);
     shared.quiesce.store(false, SeqCst);
     for (shard, consumer) in consumers.into_iter().enumerate() {
+        // Every shard gets a fresh worker (and so a fresh cache): fold
+        // the old generation's cache counters into the baseline so
+        // telemetry stays monotone across the restore.
+        shared.counters[shard].absorb_cache_baseline();
         workers[shard] = Some(spawn_worker(shared, shard, consumer));
         beats[shard] = (shared.counters[shard].heartbeat.load(Relaxed), Instant::now());
     }
@@ -214,6 +227,10 @@ fn runtime_restore<C: Classifier + 'static>(
         }
         requeue(shared, shard, job);
     }
+    let restored = shared.durable_snapshot_version();
+    shared.trace_supervisor(EventKind::RestoreEnd, shared.run_epoch.load(SeqCst), restored);
+    // The restore is itself forensic evidence — persist it.
+    shared.flush_flight_log();
 }
 
 /// Whether the shard has undone work (the stall predicate: a frozen
@@ -243,6 +260,15 @@ fn respawn<C: Classifier + 'static>(
     });
     let orphan = shared.lock_inflight(shard).take();
     counters.restarts.fetch_add(1, Relaxed);
+    // The replacement worker builds a fresh cache whose stats restart
+    // at zero: fold the dead generation's counters into the baseline
+    // first so cumulative cache telemetry never goes backwards.
+    counters.absorb_cache_baseline();
+    shared.trace_supervisor(
+        EventKind::WorkerRespawn,
+        shard as u64,
+        counters.restarts.load(Relaxed),
+    );
     let handle = spawn_worker(shared, shard, consumer);
     // Re-route in FIFO order: the orphan was popped before the backlog.
     if let Some(mut job) = orphan {

@@ -76,19 +76,55 @@ pub struct ShardCounters {
     pub cache_window_capacity: AtomicU64,
     /// Batch service latency histogram (submit → served), log2-ns.
     pub latency: LatencyHistogram,
+    /// Totals from caches destroyed by respawns (see
+    /// [`ShardCounters::absorb_cache_baseline`]).
+    cache_base: CacheBaseline,
+}
+
+/// Base offsets for the cumulative cache counters: the totals of every
+/// cache this shard has already worn out (a supervisor respawn builds
+/// the worker a fresh cache whose stats restart at zero — without the
+/// base, the mirrors would silently rewind).
+#[derive(Debug, Default)]
+struct CacheBaseline {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    rejections: AtomicU64,
+    window_hits: AtomicU64,
 }
 
 impl ShardCounters {
-    /// Copies the worker's cache stats into the atomic mirrors.
+    /// Copies the worker's cache stats into the atomic mirrors, on top
+    /// of the base carried over from caches destroyed by respawns —
+    /// the cumulative counters are monotone across worker generations.
+    /// The capacity fields stay absolute (they describe the current
+    /// cache, not a history).
     pub fn record_cache(&self, stats: &CacheStats) {
-        self.cache_hits.store(stats.hits, Relaxed);
-        self.cache_misses.store(stats.misses, Relaxed);
-        self.cache_insertions.store(stats.insertions, Relaxed);
-        self.cache_evictions.store(stats.evictions, Relaxed);
-        self.cache_rejections.store(stats.rejections, Relaxed);
-        self.cache_window_hits.store(stats.window_hits, Relaxed);
+        let base = &self.cache_base;
+        self.cache_hits.store(base.hits.load(Relaxed) + stats.hits, Relaxed);
+        self.cache_misses.store(base.misses.load(Relaxed) + stats.misses, Relaxed);
+        self.cache_insertions.store(base.insertions.load(Relaxed) + stats.insertions, Relaxed);
+        self.cache_evictions.store(base.evictions.load(Relaxed) + stats.evictions, Relaxed);
+        self.cache_rejections.store(base.rejections.load(Relaxed) + stats.rejections, Relaxed);
+        self.cache_window_hits.store(base.window_hits.load(Relaxed) + stats.window_hits, Relaxed);
         self.cache_capacity.store(stats.capacity as u64, Relaxed);
         self.cache_window_capacity.store(stats.window_capacity as u64, Relaxed);
+    }
+
+    /// Folds the current mirrors into the base offsets. The supervisor
+    /// calls this when it replaces a dead or abandoned worker (whose
+    /// fresh cache restarts at zero), so [`ShardCounters::record_cache`]
+    /// keeps the cumulative view monotone.
+    pub fn absorb_cache_baseline(&self) {
+        let base = &self.cache_base;
+        base.hits.store(self.cache_hits.load(Relaxed), Relaxed);
+        base.misses.store(self.cache_misses.load(Relaxed), Relaxed);
+        base.insertions.store(self.cache_insertions.load(Relaxed), Relaxed);
+        base.evictions.store(self.cache_evictions.load(Relaxed), Relaxed);
+        base.rejections.store(self.cache_rejections.load(Relaxed), Relaxed);
+        base.window_hits.store(self.cache_window_hits.load(Relaxed), Relaxed);
     }
 }
 
@@ -123,8 +159,19 @@ fn bucket_upper(i: usize) -> u64 {
     1u64 << (i + 1)
 }
 
-/// The `q`-quantile (0..=1) of a bucketed sample set, as the matched
-/// bucket's upper bound; 0 when empty.
+/// Lower bound (inclusive) of histogram bucket `i` in nanoseconds.
+fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// The `q`-quantile (0..=1) of a bucketed sample set, linearly
+/// interpolated within the matched log2 bucket by the rank's position
+/// among that bucket's samples (the old upper-bound answer overstated
+/// quantiles by up to 2x); 0 when empty.
 fn quantile(buckets: &[u64; LATENCY_BUCKETS], q: f64) -> u64 {
     let total: u64 = buckets.iter().sum();
     if total == 0 {
@@ -135,9 +182,16 @@ fn quantile(buckets: &[u64; LATENCY_BUCKETS], q: f64) -> u64 {
     let rank = ((total as f64) * q).ceil().max(1.0) as u64;
     let mut seen = 0;
     for (i, &count) in buckets.iter().enumerate() {
+        let before = seen;
         seen += count;
         if seen >= rank {
-            return bucket_upper(i);
+            let (lower, upper) = (bucket_lower(i), bucket_upper(i));
+            let into = rank - before; // 1..=count
+            #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+            #[allow(clippy::cast_sign_loss)]
+            let interpolated =
+                lower + (((upper - lower) as f64) * (into as f64 / count as f64)) as u64;
+            return interpolated;
         }
     }
     bucket_upper(LATENCY_BUCKETS - 1)
@@ -179,10 +233,12 @@ pub struct ShardTelemetry {
     pub shed_packets: u64,
     /// Packets shed at service because their deadline expired.
     pub deadline_shed_packets: u64,
-    /// Flow-cache counters (cumulative since the worker started; reset
-    /// when a respawn rebuilds the cache).
+    /// Flow-cache counters, cumulative across worker generations (a
+    /// respawn's fresh cache is folded onto the prior totals, see
+    /// [`ShardCounters::absorb_cache_baseline`]).
     pub cache: CacheStats,
-    /// Median batch latency (submit → served), ns, bucket upper bound.
+    /// Median batch latency (submit → served), ns, interpolated within
+    /// its log2 bucket.
     pub latency_p50_ns: u64,
     /// 90th-percentile batch latency, ns.
     pub latency_p90_ns: u64,
@@ -256,8 +312,33 @@ pub struct RuntimeTelemetry {
     pub ticket_timeouts: u64,
     /// Durable-control-plane counters; `None` on in-memory runtimes.
     pub durability: Option<DurabilityTelemetry>,
+    /// Flight-recorder / metrics-sampler counters; `None` when the
+    /// recorder is disabled ([`crate::RuntimeConfig::flight_recorder`]).
+    pub trace: Option<TraceTelemetry>,
     /// Per-shard snapshots, shard order.
     pub per_shard: Vec<ShardTelemetry>,
+}
+
+/// Counters of the always-on flight recorder and the optional metrics
+/// sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceTelemetry {
+    /// Event lanes (worker shards + control, durability, supervisor).
+    pub lanes: usize,
+    /// Ring capacity per lane, in events.
+    pub events_per_lane: usize,
+    /// Events emitted across all lanes since boot.
+    pub events_recorded: u64,
+    /// Events the rings overwrote before any drain saw them.
+    pub events_overwritten: u64,
+    /// Flight-log images flushed to durable storage (checkpoint
+    /// cadence, panic hook, escalation).
+    pub flight_flushes: u64,
+    /// Telemetry samples the cadence sampler has pushed (0 with the
+    /// sampler off).
+    pub sampler_samples: u64,
+    /// Sample-ring retention bound (0 with the sampler off).
+    pub sampler_capacity: usize,
 }
 
 /// Counters of a durable runtime's crash-only control plane
@@ -411,6 +492,24 @@ impl RuntimeTelemetry {
             }
             None => out.push_str("\"durability\":null,"),
         }
+        match &self.trace {
+            Some(tr) => {
+                let _ = write!(
+                    out,
+                    "\"trace\":{{\"lanes\":{},\"events_per_lane\":{},\"events_recorded\":{},\
+                     \"events_overwritten\":{},\"flight_flushes\":{},\"sampler_samples\":{},\
+                     \"sampler_capacity\":{}}},",
+                    tr.lanes,
+                    tr.events_per_lane,
+                    tr.events_recorded,
+                    tr.events_overwritten,
+                    tr.flight_flushes,
+                    tr.sampler_samples,
+                    tr.sampler_capacity,
+                );
+            }
+            None => out.push_str("\"trace\":null,"),
+        }
         out.push_str("\"per_shard\":[");
         for (i, s) in self.per_shard.iter().enumerate() {
             if i > 0 {
@@ -466,6 +565,7 @@ impl RuntimeTelemetry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use minijson::{parse_json, Json};
 
     #[test]
     fn histogram_percentiles_bracket_samples() {
@@ -485,6 +585,203 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_interpolate_within_their_bucket() {
+        // Six samples all in bucket [64, 128). rank(p50) = 3 of 6, so
+        // the interpolated p50 sits halfway through the bucket — not at
+        // its 128 upper bound (the old behaviour, up to 2x overstated).
+        let h = LatencyHistogram::default();
+        for ns in [70u64, 80, 90, 100, 110, 120] {
+            h.record(ns);
+        }
+        let snap = h.snapshot();
+        assert_eq!(quantile(&snap, 0.50), 96, "64 + 64 * (3/6)");
+        assert_eq!(quantile(&snap, 1.0), 128, "the max rank reaches the upper bound");
+
+        // The known set from the bracketing test: nine 100s, one 100_000.
+        // rank(p50) = 5 of the 9 samples in [64, 128): 64 + 64*5/9 = 99.
+        let h = LatencyHistogram::default();
+        for ns in [100u64, 100, 100, 100, 100, 100, 100, 100, 100, 100_000] {
+            h.record(ns);
+        }
+        assert_eq!(quantile(&h.snapshot(), 0.50), 99);
+
+        // A lone sample in a bucket lands on the bucket's upper bound
+        // (rank position 1 of 1), never beyond it.
+        let h = LatencyHistogram::default();
+        h.record(1000); // bucket [512, 1024)
+        assert_eq!(quantile(&h.snapshot(), 0.50), 1024);
+        // Bucket 0 interpolates from 0, not from a phantom 2^0 = 1.
+        let h = LatencyHistogram::default();
+        h.record(0);
+        assert!(quantile(&h.snapshot(), 0.50) <= 2);
+    }
+
+    #[test]
+    fn cache_counters_stay_monotone_across_respawns() {
+        let counters = ShardCounters::default();
+        counters.record_cache(&CacheStats {
+            hits: 100,
+            misses: 40,
+            insertions: 30,
+            evictions: 5,
+            rejections: 2,
+            window_hits: 9,
+            capacity: 64,
+            window_capacity: 4,
+        });
+        assert_eq!(counters.cache_hits.load(Relaxed), 100);
+
+        // The worker dies; the supervisor folds the dead cache's totals
+        // into the base before the fresh worker (whose stats restart at
+        // zero) reports.
+        counters.absorb_cache_baseline();
+        counters.record_cache(&CacheStats {
+            hits: 3,
+            misses: 1,
+            capacity: 64,
+            window_capacity: 4,
+            ..CacheStats::default()
+        });
+        assert_eq!(counters.cache_hits.load(Relaxed), 103, "hits accumulate across generations");
+        assert_eq!(counters.cache_misses.load(Relaxed), 41);
+        assert_eq!(counters.cache_insertions.load(Relaxed), 30);
+        assert_eq!(counters.cache_window_hits.load(Relaxed), 9);
+        assert_eq!(counters.cache_capacity.load(Relaxed), 64, "capacity stays absolute");
+
+        // A second generation keeps compounding.
+        counters.absorb_cache_baseline();
+        counters.record_cache(&CacheStats { hits: 10, ..CacheStats::default() });
+        assert_eq!(counters.cache_hits.load(Relaxed), 113);
+    }
+
+    /// Asserts `value` is an object whose keys are exactly `want`, in
+    /// document order.
+    fn assert_keys(value: &Json, want: &[&str], context: &str) {
+        assert!(matches!(value, Json::Obj(_)), "{context} is not an object");
+        assert_eq!(value.keys(), want, "{context} key set drifted");
+    }
+
+    fn assert_telemetry_schema(doc: &Json) {
+        assert_keys(
+            doc,
+            &[
+                "version",
+                "shards",
+                "total_packets",
+                "hit_rate",
+                "total_restarts",
+                "total_panics",
+                "total_shed_packets",
+                "poison_recoveries",
+                "ticket_timeouts",
+                "durability",
+                "trace",
+                "per_shard",
+            ],
+            "document",
+        );
+        match doc.get("durability").expect("durability present") {
+            Json::Null => {}
+            d => assert_keys(
+                d,
+                &[
+                    "wal_appends",
+                    "wal_append_failures",
+                    "checkpoints",
+                    "checkpoint_failures",
+                    "runtime_restores",
+                    "restore_fallbacks",
+                    "restore_skipped_checkpoints",
+                    "wal_records_replayed",
+                    "run_epoch",
+                    "wal_bytes",
+                    "wal_segments",
+                    "snapshots",
+                    "snapshot_bytes",
+                    "gc_runs",
+                    "gc_snapshots_removed",
+                    "gc_segments_removed",
+                    "tmp_cleaned",
+                    "segments_rotated",
+                    "degraded_episodes",
+                    "degraded",
+                ],
+                "durability",
+            ),
+        }
+        match doc.get("trace").expect("trace present") {
+            Json::Null => {}
+            tr => assert_keys(
+                tr,
+                &[
+                    "lanes",
+                    "events_per_lane",
+                    "events_recorded",
+                    "events_overwritten",
+                    "flight_flushes",
+                    "sampler_samples",
+                    "sampler_capacity",
+                ],
+                "trace",
+            ),
+        }
+        let shards = doc.get("per_shard").and_then(Json::as_arr).expect("per_shard array");
+        for s in shards {
+            assert_keys(
+                s,
+                &[
+                    "shard",
+                    "packets",
+                    "batches",
+                    "busy_ns",
+                    "busy_packets_per_sec",
+                    "snapshot_refreshes",
+                    "idle_parks",
+                    "hot_path_allocs",
+                    "pinned",
+                    "faults",
+                    "cache",
+                    "latency_ns",
+                ],
+                "per_shard entry",
+            );
+            assert_keys(
+                s.get("faults").expect("faults"),
+                &[
+                    "panics",
+                    "restarts",
+                    "requeued_jobs",
+                    "stalls_detected",
+                    "shed_jobs",
+                    "shed_packets",
+                    "deadline_shed_packets",
+                ],
+                "faults",
+            );
+            assert_keys(
+                s.get("cache").expect("cache"),
+                &[
+                    "hits",
+                    "misses",
+                    "hit_rate",
+                    "insertions",
+                    "evictions",
+                    "rejections",
+                    "window_hits",
+                    "capacity",
+                    "window_capacity",
+                ],
+                "cache",
+            );
+            assert_keys(
+                s.get("latency_ns").expect("latency_ns"),
+                &["p50", "p90", "p99"],
+                "latency",
+            );
+        }
+    }
+
+    #[test]
     fn json_is_well_formed_and_complete() {
         let counters = ShardCounters::default();
         counters.packets.store(10, Relaxed);
@@ -501,6 +798,7 @@ mod tests {
             poison_recoveries: 4,
             ticket_timeouts: 1,
             durability: None,
+            trace: None,
             per_shard: vec![ShardTelemetry::capture(0, &counters, 64)],
         };
         assert_eq!(t.total_packets(), 10);
@@ -508,33 +806,33 @@ mod tests {
         assert_eq!(t.total_restarts(), 1);
         assert_eq!(t.total_panics(), 1);
         assert_eq!(t.total_shed_packets(), 7);
-        let json = t.to_json();
-        for needle in [
-            "\"version\":3",
-            "\"total_packets\":10",
-            "\"hits\":7",
-            "\"p50\":",
-            "\"pinned\":false",
-            "\"busy_packets_per_sec\":",
-            "\"window_capacity\":",
-            "\"total_restarts\":1",
-            "\"total_panics\":1",
-            "\"total_shed_packets\":7",
-            "\"poison_recoveries\":4",
-            "\"ticket_timeouts\":1",
-            "\"durability\":null",
-            "\"faults\":{\"panics\":1,\"restarts\":1",
-            "\"shed_packets\":5",
-            "\"deadline_shed_packets\":2",
-        ] {
-            assert!(json.contains(needle), "{needle} missing from {json}");
-        }
-        // Balanced braces/brackets (a cheap well-formedness check given
-        // the workspace has no JSON parser).
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert_eq!(json.matches('[').count(), json.matches(']').count());
 
-        // A durable runtime renders the nested block instead of null.
+        // In-memory runtime: durability and trace render as null.
+        let doc = parse_json(&t.to_json()).expect("telemetry JSON parses");
+        assert_telemetry_schema(&doc);
+        assert_eq!(doc.get("version").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(doc.get("total_packets").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(doc.get("total_shed_packets").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(doc.get("poison_recoveries").and_then(Json::as_f64), Some(4.0));
+        assert!(matches!(doc.get("durability"), Some(Json::Null)));
+        assert!(matches!(doc.get("trace"), Some(Json::Null)));
+        let shard0 = &doc.get("per_shard").and_then(Json::as_arr).expect("per_shard")[0];
+        assert_eq!(shard0.get("pinned").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            shard0.get("cache").and_then(|c| c.get("hits")).and_then(Json::as_f64),
+            Some(7.0)
+        );
+        assert_eq!(
+            shard0.get("faults").and_then(|f| f.get("shed_packets")).and_then(Json::as_f64),
+            Some(5.0)
+        );
+        assert!(shard0
+            .get("latency_ns")
+            .and_then(|l| l.get("p50"))
+            .and_then(Json::as_f64)
+            .is_some());
+
+        // A durable, traced runtime renders the nested blocks instead.
         t.durability = Some(DurabilityTelemetry {
             wal_appends: 12,
             wal_append_failures: 1,
@@ -552,28 +850,24 @@ mod tests {
             degraded: true,
             ..DurabilityTelemetry::default()
         });
-        let json = t.to_json();
-        for needle in [
-            "\"durability\":{\"wal_appends\":12",
-            "\"wal_append_failures\":1",
-            "\"checkpoints\":2",
-            "\"runtime_restores\":1",
-            "\"wal_records_replayed\":4",
-            "\"run_epoch\":1",
-            "\"wal_bytes\":4096",
-            "\"wal_segments\":2",
-            "\"snapshots\":2",
-            "\"snapshot_bytes\":0",
-            "\"gc_runs\":3",
-            "\"gc_snapshots_removed\":0",
-            "\"gc_segments_removed\":5",
-            "\"tmp_cleaned\":0",
-            "\"segments_rotated\":6",
-            "\"degraded_episodes\":1",
-            "\"degraded\":true",
-        ] {
-            assert!(json.contains(needle), "{needle} missing from {json}");
-        }
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        t.trace = Some(TraceTelemetry {
+            lanes: 4,
+            events_per_lane: 1024,
+            events_recorded: 99,
+            events_overwritten: 7,
+            flight_flushes: 2,
+            sampler_samples: 31,
+            sampler_capacity: 512,
+        });
+        let doc = parse_json(&t.to_json()).expect("durable telemetry JSON parses");
+        assert_telemetry_schema(&doc);
+        let d = doc.get("durability").expect("durability block");
+        assert_eq!(d.get("wal_appends").and_then(Json::as_f64), Some(12.0));
+        assert_eq!(d.get("gc_segments_removed").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(d.get("degraded").and_then(Json::as_bool), Some(true));
+        let tr = doc.get("trace").expect("trace block");
+        assert_eq!(tr.get("lanes").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(tr.get("events_recorded").and_then(Json::as_f64), Some(99.0));
+        assert_eq!(tr.get("sampler_samples").and_then(Json::as_f64), Some(31.0));
     }
 }

@@ -819,6 +819,73 @@ fn crashes_racing_a_forced_restore_strand_no_ticket() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Cache telemetry must be cumulative across worker generations: a
+/// respawn hands the shard a *fresh* cache whose internal stats restart
+/// at zero, and the supervisor folds the dead generation's totals into
+/// a baseline first. Regression test for the counter-amnesia bug where
+/// hits/misses/insertions visibly went backwards after every panic.
+#[test]
+fn cache_counters_stay_monotone_across_worker_respawns() {
+    let plan = FaultPlan::new(1).worker_panic(0, 3).worker_panic(0, 9);
+    let rt = Runtime::with_control(Scan(rules()), &fault_config(1, Arc::new(plan)));
+    let hs = headers(64);
+    let mut last = (0u64, 0u64, 0u64);
+    for round in 0..30 {
+        let out = must_complete(rt.submit(hs.clone().into()), "monotonicity batch");
+        assert!(out.fully_delivered(), "round {round}: a crash re-routes, never loses");
+        let cache = rt.telemetry().per_shard[0].cache;
+        let now = (cache.hits, cache.misses, cache.insertions);
+        assert!(
+            now.0 >= last.0 && now.1 >= last.1 && now.2 >= last.2,
+            "round {round}: cumulative cache counters went backwards: {last:?} -> {now:?}"
+        );
+        last = now;
+    }
+    let t = rt.telemetry();
+    assert_eq!(t.total_panics(), 2, "both planned panics fired");
+    assert!(t.per_shard[0].restarts >= 2, "both crashes were respawned");
+    let lookups = last.0 + last.1;
+    assert!(
+        lookups >= (30 * hs.len()) as u64,
+        "cumulative lookups span all generations: {lookups} < {}",
+        30 * hs.len()
+    );
+}
+
+/// The flight recorder is crash forensics: after injected panics the
+/// drained timeline must contain the whole story — submits, serves,
+/// the panics themselves, and the supervisor's respawns — and the
+/// trace telemetry block must account for it.
+#[test]
+fn flight_recorder_captures_panic_and_respawn_forensics() {
+    use mtl_runtime::trace::EventKind;
+    let plan = FaultPlan::new(2).worker_panic(0, 2).worker_panic(1, 5);
+    let rt = Runtime::with_control(Scan(rules()), &fault_config(2, Arc::new(plan)));
+    let hs = headers(64);
+    for _ in 0..12 {
+        let _ = must_complete(rt.submit(hs.clone().into()), "forensics batch");
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while rt.telemetry().total_restarts() < 2 {
+        assert!(Instant::now() < deadline, "respawns never landed");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let events = rt.trace_events();
+    let count = |kind: EventKind| events.iter().filter(|e| e.kind == kind).count();
+    assert!(count(EventKind::Boot) >= 1, "boot is on the timeline");
+    assert!(count(EventKind::BatchSubmit) > 0, "admissions are on the timeline");
+    assert!(count(EventKind::BatchServe) > 0, "serves are on the timeline");
+    assert_eq!(count(EventKind::WorkerPanic), 2, "both injected panics were recorded");
+    assert!(count(EventKind::WorkerRespawn) >= 2, "both respawns were recorded");
+    assert!(
+        events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns),
+        "the drained timeline is time-sorted"
+    );
+    let trace = rt.telemetry().trace.expect("recorder is on by default");
+    assert!(trace.events_recorded >= events.len() as u64);
+    assert_eq!(trace.lanes, 2 + 3, "shards + control/durability/supervisor lanes");
+}
+
 /// The automatic rung of the escalation ladder: a restart storm (> K
 /// respawns inside the window) must escalate to a whole-runtime restore
 /// without any explicit `force_restore`.

@@ -1,0 +1,172 @@
+//! The in-memory metrics time-series: a bounded ring of telemetry
+//! samples plus first-class deltas, so rates (publishes/s, sheds/s,
+//! hit-rate trend) come from one place instead of being re-derived by
+//! every caller.
+//!
+//! Sampling runs on its own cadence thread far from the hot path; a
+//! `Mutex` around the ring is deliberate — contention is one sampler
+//! writer against occasional dump readers.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+/// Default retained samples (at a 50 ms cadence: ~25 s of history).
+pub const DEFAULT_SERIES_CAPACITY: usize = 512;
+
+/// One telemetry sample: a timestamp plus named values. Keys are
+/// static so samples never allocate strings; values are `f64` (every
+/// counter/gauge the runtime exposes fits).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricPoint {
+    /// Monotonic nanoseconds (same clock as the flight recorder).
+    pub ts_ns: u64,
+    /// Named values, in capture order.
+    pub values: Vec<(&'static str, f64)>,
+}
+
+impl MetricPoint {
+    /// Value lookup by key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.values.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+}
+
+/// The per-key change between two consecutive samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesDelta {
+    /// Timestamp of the newer sample.
+    pub ts_ns: u64,
+    /// Wall time between the two samples.
+    pub dt_ns: u64,
+    /// Per key: (delta over the interval, rate per second).
+    pub changes: Vec<(&'static str, f64, f64)>,
+}
+
+/// Deltas between each consecutive pair of samples. Keys are matched
+/// by name (a key absent from either side is skipped); rate is
+/// delta / seconds. Monotonic counters yield events/s, gauges yield a
+/// trend slope — the caller knows which is which by key.
+#[must_use]
+pub fn deltas(points: &[MetricPoint]) -> Vec<SeriesDelta> {
+    points
+        .windows(2)
+        .map(|pair| {
+            let (prev, next) = (&pair[0], &pair[1]);
+            let dt_ns = next.ts_ns.saturating_sub(prev.ts_ns);
+            let secs = (dt_ns as f64 / 1e9).max(1e-12);
+            let changes = next
+                .values
+                .iter()
+                .filter_map(|&(key, value)| {
+                    prev.get(key).map(|before| {
+                        let delta = value - before;
+                        (key, delta, delta / secs)
+                    })
+                })
+                .collect();
+            SeriesDelta { ts_ns: next.ts_ns, dt_ns, changes }
+        })
+        .collect()
+}
+
+/// The bounded sample ring (overwrite-oldest).
+pub struct SeriesRing {
+    capacity: usize,
+    points: Mutex<VecDeque<MetricPoint>>,
+    total: AtomicU64,
+}
+
+impl SeriesRing {
+    /// A ring retaining at most `capacity` samples.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2);
+        Self {
+            capacity,
+            points: Mutex::new(VecDeque::with_capacity(capacity)),
+            total: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends a sample, evicting the oldest at capacity.
+    pub fn push(&self, point: MetricPoint) {
+        let mut points = self.points.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if points.len() == self.capacity {
+            points.pop_front();
+        }
+        points.push_back(point);
+        self.total.fetch_add(1, Relaxed);
+    }
+
+    /// The resident samples, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<MetricPoint> {
+        self.points
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Samples ever pushed (including evicted ones).
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.total.load(Relaxed)
+    }
+
+    /// Retention bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(ts_ns: u64, publishes: f64, hit_rate: f64) -> MetricPoint {
+        MetricPoint { ts_ns, values: vec![("publishes", publishes), ("hit_rate", hit_rate)] }
+    }
+
+    #[test]
+    fn ring_bounds_residency_and_counts_totals() {
+        let ring = SeriesRing::new(3);
+        for i in 0..10u64 {
+            ring.push(point(i, i as f64, 0.5));
+        }
+        let resident = ring.snapshot();
+        assert_eq!(resident.len(), 3);
+        assert_eq!(resident[0].ts_ns, 7, "oldest evicted");
+        assert_eq!(ring.total_samples(), 10);
+    }
+
+    #[test]
+    fn deltas_compute_per_second_rates_between_consecutive_samples() {
+        // Two samples 500 ms apart; publishes went 10 → 35.
+        let points = vec![point(1_000_000_000, 10.0, 0.50), point(1_500_000_000, 35.0, 0.60)];
+        let ds = deltas(&points);
+        assert_eq!(ds.len(), 1);
+        let d = &ds[0];
+        assert_eq!(d.dt_ns, 500_000_000);
+        let (_, delta, rate) =
+            *d.changes.iter().find(|(k, _, _)| *k == "publishes").expect("key matched");
+        assert!((delta - 25.0).abs() < 1e-9);
+        assert!((rate - 50.0).abs() < 1e-9, "25 publishes over 0.5 s = 50/s, got {rate}");
+        let (_, hr_delta, _) =
+            *d.changes.iter().find(|(k, _, _)| *k == "hit_rate").expect("gauge matched");
+        assert!((hr_delta - 0.1).abs() < 1e-9, "hit-rate trend is a first-class delta");
+    }
+
+    #[test]
+    fn deltas_skip_keys_missing_on_either_side() {
+        let a = MetricPoint { ts_ns: 0, values: vec![("x", 1.0)] };
+        let b = MetricPoint { ts_ns: 1_000_000_000, values: vec![("x", 2.0), ("y", 9.0)] };
+        let ds = deltas(&[a, b]);
+        assert_eq!(ds[0].changes.len(), 1, "y has no previous value to difference");
+        assert_eq!(ds[0].changes[0].0, "x");
+    }
+}

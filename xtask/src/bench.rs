@@ -30,10 +30,12 @@
 //!    experiment, the newer one may not regress >10% against the older
 //!    (catches committing a bad re-measurement).
 //!
-//! Everything here is dependency-free: the JSON reader below is a
-//! minimal recursive-descent parser over the subset our bench harness
-//! emits (it is strict — unknown syntax is an error, not a guess).
+//! Everything here is dependency-free: the JSON reader is the
+//! workspace's own `minijson` — a minimal recursive-descent parser over
+//! the subset our tooling emits (strict — unknown syntax is an error,
+//! not a guess) — shared with the telemetry/trace schema tests.
 
+use minijson::{parse_json, Json};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -48,222 +50,12 @@ const REGRESSION_TOLERANCE: f64 = 0.10;
 /// claim cannot rot in the baseline file.
 const COLDSTART_FLOOR: f64 = 5.0;
 
-// ---------------------------------------------------------------------------
-// Minimal JSON value + parser (no dependencies).
-// ---------------------------------------------------------------------------
-
-/// A parsed JSON value. Objects keep insertion order; numbers are f64
-/// (every value our harness writes fits without loss of meaning).
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Object field lookup (None on missing key or non-object).
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// Convenience: `point.num("speedup")` with a named error.
-    fn num(&self, key: &str) -> Result<f64, String> {
-        self.get(key).and_then(Json::as_f64).ok_or_else(|| format!("missing number `{key}`"))
-    }
-}
-
-/// Parses a complete JSON document; trailing garbage is an error.
-pub fn parse_json(input: &str) -> Result<Json, String> {
-    let bytes = input.as_bytes();
-    let mut pos = 0;
-    let value = parse_value(bytes, &mut pos)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
-    }
-    Ok(value)
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'{') => {
-            *pos += 1;
-            let mut fields = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(fields));
-            }
-            loop {
-                skip_ws(b, pos);
-                let key = match parse_value(b, pos)? {
-                    Json::Str(s) => s,
-                    other => return Err(format!("object key must be a string, got {other:?}")),
-                };
-                skip_ws(b, pos);
-                if b.get(*pos) != Some(&b':') {
-                    return Err(format!("expected ':' at byte {pos}"));
-                }
-                *pos += 1;
-                fields.push((key, parse_value(b, pos)?));
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(fields));
-                    }
-                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
-                }
-            }
-        }
-        Some(b'"') => parse_string(b, pos).map(Json::Str),
-        Some(b't') => parse_literal(b, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_literal(b, pos, "false", Json::Bool(false)),
-        Some(b'n') => parse_literal(b, pos, "null", Json::Null),
-        Some(_) => parse_number(b, pos),
-    }
-}
-
-fn parse_literal(b: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
-    if b[*pos..].starts_with(word.as_bytes()) {
-        *pos += word.len();
-        Ok(value)
-    } else {
-        Err(format!("invalid literal at byte {pos}"))
-    }
-}
-
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
-        *pos += 1;
-    }
-    let text = std::str::from_utf8(&b[start..*pos]).expect("ASCII slice");
-    text.parse::<f64>().map(Json::Num).map_err(|e| format!("bad number `{text}`: {e}"))
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    debug_assert_eq!(b[*pos], b'"');
-    *pos += 1;
-    let mut out = String::new();
-    loop {
-        match b.get(*pos) {
-            None => return Err("unterminated string".into()),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match b.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or("truncated \\u escape")?;
-                        let code =
-                            u32::from_str_radix(hex, 16).map_err(|e| format!("bad \\u: {e}"))?;
-                        // Surrogate pairs never appear in our harness
-                        // output; map them to U+FFFD rather than guess.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
-                    }
-                    _ => return Err(format!("bad escape at byte {pos}")),
-                }
-                *pos += 1;
-            }
-            Some(&c) => {
-                // Multi-byte UTF-8 passes through verbatim.
-                let len = utf8_len(c);
-                let chunk = b.get(*pos..*pos + len).ok_or("truncated UTF-8")?;
-                out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
-                *pos += len;
-            }
-        }
-    }
-}
-
-fn utf8_len(first: u8) -> usize {
-    match first {
-        0x00..=0x7F => 1,
-        0xC0..=0xDF => 2,
-        0xE0..=0xEF => 3,
-        _ => 4,
-    }
-}
+/// The observability-tax floor: dataplane throughput with the flight
+/// recorder *and* the metrics sampler on must stay ≥ 97% of the
+/// instrumentation-off throughput at the widest measured shard count.
+/// Mirrors the assert in `mtl-bench`'s obs harness; re-checked here on
+/// the committed numbers.
+const OBS_TAX_FLOOR: f64 = 0.97;
 
 // ---------------------------------------------------------------------------
 // Baseline discovery.
@@ -344,6 +136,7 @@ pub fn render_report(baselines: &[Baseline]) -> Result<String, String> {
             "coldstart" => render_coldstart(&mut md, baseline)?,
             "runtime-scaling" => render_runtime(&mut md, baseline)?,
             "storm" => render_storm(&mut md, baseline)?,
+            "obs" => render_obs(&mut md, baseline)?,
             other => render_generic(&mut md, baseline, other),
         }
     }
@@ -498,6 +291,55 @@ fn render_storm(md: &mut String, b: &Baseline) -> Result<(), String> {
     Ok(())
 }
 
+fn render_obs(md: &mut String, b: &Baseline) -> Result<(), String> {
+    md.push_str(&format!(
+        "## {} — observability tax: flight recorder + metrics sampler\n\n",
+        b.file_name
+    ));
+    let err = |b: &Baseline, e: String| format!("{}: {e}", b.file_name);
+    md.push_str(&format!(
+        "Router `{}`, batch size {}, {} batches, best of {} interleaved runs per\n\
+         mode. Three configurations per shard count: instrumentation off, the\n\
+         per-shard flight-recorder rings on, and rings plus the periodic metrics\n\
+         sampler. The gated ratio is `ring+sampler/off` at the widest shard\n\
+         count — the dataplane throughput that survives always-on tracing.\n\n",
+        b.json.get("router").and_then(Json::as_str).unwrap_or("?"),
+        fmt_num(b.json.num("batch_size").map_err(|e| err(b, e))?),
+        fmt_num(b.json.num("batches").map_err(|e| err(b, e))?),
+        fmt_num(b.json.num("repeats").map_err(|e| err(b, e))?),
+    ));
+    md.push_str(
+        "| shards | off pkts/s | ring pkts/s | ring+sampler pkts/s | ring/off | sampler/off | events | overwritten | samples |\n\
+         |---:|---:|---:|---:|---:|---:|---:|---:|---:|\n",
+    );
+    let points = b
+        .json
+        .get("points")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{}: missing points", b.file_name))?;
+    for p in points {
+        md.push_str(&format!(
+            "| {} | {:.0} | {:.0} | {:.0} | {:.3} | {:.3} | {} | {} | {} |\n",
+            fmt_num(p.num("shards").map_err(|e| err(b, e))?),
+            p.num("pps_off").map_err(|e| err(b, e))?,
+            p.num("pps_ring").map_err(|e| err(b, e))?,
+            p.num("pps_ring_sampler").map_err(|e| err(b, e))?,
+            p.num("ring_ratio").map_err(|e| err(b, e))?,
+            p.num("sampler_ratio").map_err(|e| err(b, e))?,
+            fmt_num(p.num("events_recorded").map_err(|e| err(b, e))?),
+            fmt_num(p.num("events_overwritten").map_err(|e| err(b, e))?),
+            fmt_num(p.num("sampler_samples").map_err(|e| err(b, e))?),
+        ));
+    }
+    md.push_str(&format!(
+        "\nFloor: the full-instrumentation ratio at the widest shard count must\n\
+         stay ≥ {OBS_TAX_FLOOR} (currently {:.3} — a {:.1}% tax).\n",
+        b.json.num("tax_ratio").map_err(|e| err(b, e))?,
+        (1.0 - b.json.num("tax_ratio").map_err(|e| err(b, e))?) * 100.0,
+    ));
+    Ok(())
+}
+
 /// Fallback for experiments this renderer does not know: scalar dump
 /// plus a generic point table, so a future BENCH_9.json never breaks
 /// report generation before a curated section is written.
@@ -620,6 +462,14 @@ fn primary_metric(b: &Baseline) -> Result<(String, f64), String> {
             }
             Ok(("worst full/WAL-only publish-throughput ratio".into(), worst))
         }
+        "obs" => {
+            // The gated number is the top-level tax ratio — full
+            // instrumentation vs off at the widest shard count.
+            Ok((
+                "ring+sampler/off throughput ratio at widest shard count".into(),
+                b.json.num("tax_ratio")?,
+            ))
+        }
         _ => {
             let mut best = f64::NEG_INFINITY;
             for p in points {
@@ -688,6 +538,42 @@ fn static_floors(b: &Baseline) -> Vec<String> {
                 }
                 if let Err(e) = p.num("speedup") {
                     failures.push(format!("{}: {e}", b.file_name));
+                }
+            }
+        }
+        "obs" => {
+            if b.json.get("tax_asserted").and_then(Json::as_bool) != Some(true) {
+                failures.push(format!(
+                    "{}: tax_asserted is not true — the harness did not enforce the \
+                     ≥{OBS_TAX_FLOOR} observability-tax floor when this baseline was recorded",
+                    b.file_name
+                ));
+            }
+            match b.json.num("tax_ratio") {
+                Ok(ratio) if ratio >= OBS_TAX_FLOOR => {}
+                Ok(ratio) => failures.push(format!(
+                    "{}: ring+sampler throughput ratio {ratio:.3} at the widest shard \
+                     count is below the {OBS_TAX_FLOOR} floor",
+                    b.file_name
+                )),
+                Err(e) => failures.push(format!("{}: {e}", b.file_name)),
+            }
+            for p in points {
+                match p.num("events_recorded") {
+                    Ok(n) if n > 0.0 => {}
+                    Ok(_) => failures.push(format!(
+                        "{}: an instrumented run recorded zero flight-recorder events",
+                        b.file_name
+                    )),
+                    Err(e) => failures.push(format!("{}: {e}", b.file_name)),
+                }
+                match p.num("sampler_samples") {
+                    Ok(n) if n > 0.0 => {}
+                    Ok(_) => failures.push(format!(
+                        "{}: a ring+sampler run produced zero metric samples",
+                        b.file_name
+                    )),
+                    Err(e) => failures.push(format!("{}: {e}", b.file_name)),
                 }
             }
         }
@@ -813,31 +699,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parser_round_trips_the_harness_subset() {
-        let json = parse_json(
-            r#"{"experiment":"coldstart","n":3,"f":1.5,"neg":-2e3,
-                "ok":true,"no":false,"nil":null,
-                "arr":[1,2,3],"nested":{"s":"a\"b\\c\nA"}}"#,
-        )
-        .expect("parses");
-        assert_eq!(json.get("experiment").and_then(Json::as_str), Some("coldstart"));
-        assert_eq!(json.get("n").and_then(Json::as_f64), Some(3.0));
-        assert_eq!(json.get("neg").and_then(Json::as_f64), Some(-2000.0));
-        assert_eq!(json.get("arr").and_then(Json::as_arr).map(<[Json]>::len), Some(3));
-        assert_eq!(
-            json.get("nested").and_then(|n| n.get("s")).and_then(Json::as_str),
-            Some("a\"b\\c\nA")
-        );
-    }
-
-    #[test]
-    fn parser_rejects_torn_documents() {
-        for bad in [r#"{"a":1"#, "[1,2", r#"{"a"}"#, "{} trailing", r#""unterminated"#] {
-            assert!(parse_json(bad).is_err(), "{bad:?} should not parse");
-        }
-    }
-
-    #[test]
     fn bench_numbers_parse_from_names_only() {
         assert_eq!(bench_number("BENCH_8.json"), Some(8));
         assert_eq!(bench_number("BENCH_12.json"), Some(12));
@@ -858,6 +719,32 @@ mod tests {
             failures.iter().any(|f| f.contains("below the 5x floor")),
             "expected a floor failure, got {failures:?}"
         );
+    }
+
+    #[test]
+    fn obs_tax_floor_failures_are_reported() {
+        let json = parse_json(
+            r#"{"experiment":"obs","router":"boza","batch_size":4096,"batches":48,
+                "repeats":3,"tax_floor":0.97,"tax_asserted":true,"tax_ratio":0.91,
+                "points":[{"shards":8,"pps_off":1e6,"pps_ring":9.5e5,
+                           "pps_ring_sampler":9.1e5,"ring_ratio":0.95,
+                           "sampler_ratio":0.91,"events_recorded":100,
+                           "events_overwritten":0,"sampler_samples":0}]}"#,
+        )
+        .expect("parses");
+        let b = Baseline { number: 10, file_name: "BENCH_10.json".into(), json };
+        let failures = static_floors(&b);
+        assert!(
+            failures.iter().any(|f| f.contains("below the 0.97 floor")),
+            "expected a tax-floor failure, got {failures:?}"
+        );
+        assert!(
+            failures.iter().any(|f| f.contains("zero metric samples")),
+            "expected a sampler-samples failure, got {failures:?}"
+        );
+        let (label, value) = primary_metric(&b).expect("metric");
+        assert!(label.contains("ring+sampler/off"));
+        assert!((value - 0.91).abs() < 1e-9);
     }
 
     #[test]
